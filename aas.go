@@ -1,0 +1,224 @@
+// Package aas is the public API of the AAS framework — a Go implementation
+// of the auto-adaptive systems vision of Aksit & Choukair, "Dynamic,
+// Adaptive and Reconfigurable Systems — Overview and Prospective Vision"
+// (ICDCSW'03): component-based applications described in an ADL, bound
+// on-line through first-class connectors, and governed by a Reconfiguration
+// and Adaptation Meta-Level (RAML) that observes the system through
+// introspection and changes it through intercession.
+//
+// Quick start:
+//
+//	reg := aas.NewRegistry()
+//	reg.MustRegister("Greeter", "1.0", nil, func() any { return &Greeter{} })
+//	sys, err := aas.Load(adlSource, aas.Options{Registry: reg})
+//	if err != nil { ... }
+//	if err := sys.Start(ctx); err != nil { ... }
+//	defer sys.Stop()
+//	out, err := sys.Call("Greeter", "greet", "world")
+//
+// See examples/ for complete programs and DESIGN.md for the architecture.
+package aas
+
+import (
+	"time"
+
+	"repro/internal/adl"
+	"repro/internal/aspects"
+	"repro/internal/bus"
+	"repro/internal/clock"
+	"repro/internal/connector"
+	"repro/internal/container"
+	"repro/internal/core"
+	"repro/internal/deploy"
+	"repro/internal/filters"
+	"repro/internal/flo"
+	"repro/internal/inject"
+	"repro/internal/lts"
+	"repro/internal/netsim"
+	"repro/internal/qos"
+	"repro/internal/registry"
+	"repro/internal/strategy"
+)
+
+// System is a running auto-adaptive system (see core.System).
+type System = core.System
+
+// Options configures system assembly.
+type Options = core.Options
+
+// Event and EventKind form the RAML introspection stream.
+type (
+	// Event is one RAML stream observation.
+	Event = core.Event
+	// EventKind classifies events.
+	EventKind = core.EventKind
+)
+
+// Re-exported event kinds (subset most callers react to).
+const (
+	EvRequestServed      = core.EvRequestServed
+	EvRequestFailed      = core.EvRequestFailed
+	EvQoSViolation       = core.EvQoSViolation
+	EvReconfigCommitted  = core.EvReconfigCommitted
+	EvReconfigRolledBack = core.EvReconfigRolledBack
+	EvAdaptation         = core.EvAdaptation
+	EvMigration          = core.EvMigration
+	EvSwap               = core.EvSwap
+	EvTriggerFired       = core.EvTriggerFired
+)
+
+// Component-side contracts.
+type (
+	// Component is the behaviour hosted in a container.
+	Component = container.Component
+	// StateCapturer enables strong (state-transferring) hot swaps.
+	StateCapturer = container.StateCapturer
+	// Caller lets a component invoke its required services.
+	Caller = core.Caller
+	// CallerAware components receive their Caller at assembly.
+	CallerAware = core.CallerAware
+)
+
+// Meta-level control types.
+type (
+	// TriggerRule is a criteria-based adaptation trigger.
+	TriggerRule = core.TriggerRule
+	// EventTrigger is a Durra-style event-based trigger.
+	EventTrigger = core.EventTrigger
+	// Guard is a post-reconfiguration non-regression invariant.
+	Guard = core.Guard
+	// SwapReport quantifies a hot swap.
+	SwapReport = core.SwapReport
+	// Model is the introspection snapshot.
+	Model = core.Model
+)
+
+// Registry holds versioned component implementations.
+type Registry struct {
+	*registry.Registry
+}
+
+// NewRegistry returns an empty implementation registry.
+func NewRegistry() *Registry { return &Registry{Registry: &registry.Registry{}} }
+
+// MustRegister registers a factory under name/version; provides may be nil
+// for components without a declared interface. It panics on registration
+// errors (meant for program initialization).
+func (r *Registry) MustRegister(name, version string, provides *Interface, factory func() any) {
+	v, err := registry.ParseVersion(version)
+	if err != nil {
+		panic(err)
+	}
+	e := registry.Entry{Name: name, Version: v, New: factory}
+	if provides != nil {
+		e.Provides = *provides
+	}
+	if err := r.Register(e); err != nil {
+		panic(err)
+	}
+}
+
+// Interface is a versioned service interface.
+type Interface = registry.Interface
+
+// Signature is one service operation signature.
+type Signature = registry.Signature
+
+// Version is an interface/implementation version.
+type Version = registry.Version
+
+// Config is a parsed ADL configuration.
+type Config = adl.Config
+
+// ParseConfig parses ADL source ("system Name { ... }").
+func ParseConfig(src string) (*Config, error) { return adl.Parse(src) }
+
+// CheckConfig semantically validates a configuration and returns its
+// diagnostics.
+func CheckConfig(cfg *Config) ([]adl.Diagnostic, error) { return adl.Check(cfg) }
+
+// DiffConfigs computes the reconfiguration plan between two configurations.
+func DiffConfigs(old, new *Config) []adl.Change { return adl.Diff(old, new) }
+
+// Load parses, validates and assembles a system from ADL source.
+func Load(src string, opts Options) (*System, error) {
+	cfg, err := adl.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Registry == nil {
+		opts.Registry = &registry.Registry{}
+	}
+	return core.NewSystem(cfg, opts)
+}
+
+// New assembles a system from an already-parsed configuration.
+func New(cfg *Config, opts Options) (*System, error) { return core.NewSystem(cfg, opts) }
+
+// Commonly re-exported subsystem handles. Advanced callers can use the
+// internal packages through these aliases without importing them directly.
+type (
+	// Bus is the software bus.
+	Bus = bus.Bus
+	// Message is the bus message unit.
+	Message = bus.Message
+	// Topology is the simulated infrastructure.
+	Topology = netsim.Topology
+	// NodeID identifies a topology node.
+	NodeID = netsim.NodeID
+	// Region names a geographic area.
+	Region = netsim.Region
+	// Contract is a QoS contract.
+	Contract = qos.Contract
+	// Bound is one QoS contract clause.
+	Bound = qos.Bound
+	// Monitor is a QoS monitor.
+	Monitor = qos.Monitor
+	// Placement maps components to nodes.
+	Placement = deploy.Placement
+	// Connector mediates a binding at run time.
+	Connector = connector.Connector
+	// Aspect is a named crosscutting concern.
+	Aspect = aspects.Aspect
+	// Advice is one aspect hook.
+	Advice = aspects.Advice
+	// Pointcut selects join points.
+	Pointcut = aspects.Pointcut
+	// Invocation is a join point instance.
+	Invocation = aspects.Invocation
+	// FilterSet is a component/connector filter pair.
+	FilterSet = filters.Set
+	// Injector inserts behaviour into communications.
+	Injector = inject.Injector
+	// LTS is a labelled transition system behaviour model.
+	LTS = lts.LTS
+	// Rule is a FLO/C interaction rule.
+	Rule = flo.Rule
+	// SimClock is the deterministic simulated clock.
+	SimClock = clock.Sim
+)
+
+// NewTopology builds a simulated infrastructure (see netsim.New).
+func NewTopology(seed int64, intraLatency time.Duration, jitterFrac float64) *Topology {
+	return netsim.New(seed, intraLatency, jitterFrac)
+}
+
+// QoS dimension and statistic constants for contract construction.
+const (
+	Latency      = qos.Latency
+	Throughput   = qos.Throughput
+	Availability = qos.Availability
+	Jitter       = qos.Jitter
+	Loss         = qos.Loss
+
+	Mean = qos.Mean
+	P50  = qos.P50
+	P95  = qos.P95
+	P99  = qos.P99
+	Max  = qos.Max
+	Min  = qos.Min
+	Rate = qos.Rate
+)
+
+// Metrics is an introspection metric snapshot.
+type Metrics = strategy.Metrics

@@ -1,0 +1,285 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+	"sync"
+	"time"
+
+	aas "repro"
+
+	"repro/internal/adl"
+	"repro/internal/bus"
+	"repro/internal/connector"
+	"repro/internal/filters"
+	"repro/internal/flo"
+)
+
+// runE1 exercises Figure 1 end-to-end: serve through the connector,
+// observe the RAML stream, perform one intercession (hot swap), verify
+// service continuity.
+func runE1() {
+	sys, reg := startKVSystem()
+	defer sys.Stop()
+
+	if _, err := sys.Call("Store", "put", "k", "v"); err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.Call("Front", "fetch", "k")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("before swap: fetch(k) = %v (impl %v)\n", res[0], res[1])
+
+	entry, err := reg.Lookup("StoreV2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := sys.SwapImplementation("Store", entry, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err = sys.Call("Front", "fetch", "k")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after swap:  fetch(k) = %v (impl %v), state preserved\n", res[0], res[1])
+	fmt.Printf("swap blackout=%v held=%d stateBytes=%d\n", rep.Blackout, rep.HeldMessages, rep.StateBytes)
+
+	m := sys.Introspect()
+	fmt.Printf("introspection: %d components, %d connectors, %d raml events\n",
+		len(m.Components), len(m.Connectors), len(sys.Events().History(0)))
+}
+
+// runE2 measures the claim "a connector is a light-weight component …
+// induces a low overload": per-call cost of direct delivery vs connector
+// mediation vs mediation with filters and rules.
+func runE2() {
+	const calls = 20000
+	fmt.Printf("%-32s %12s %10s\n", "path", "ns/call", "vs direct")
+
+	direct := measureCalls(calls, nil, 0, false)
+	fmt.Printf("%-32s %12d %9.2fx\n", "direct component call", direct, 1.0)
+	conn := measureCalls(calls, nil, 0, true)
+	fmt.Printf("%-32s %12d %9.2fx\n", "via connector", conn, float64(conn)/float64(direct))
+	for _, nf := range []int{1, 4, 16} {
+		v := measureCalls(calls, nil, nf, true)
+		fmt.Printf("%-32s %12d %9.2fx\n",
+			fmt.Sprintf("via connector + %d filters", nf), v, float64(v)/float64(direct))
+	}
+	rules, err := flo.NewEngine([]flo.Rule{{Trigger: "get", Op: flo.ImpliesLater, Target: "audit"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	v := measureCalls(calls, rules, 0, true)
+	fmt.Printf("%-32s %12d %9.2fx\n", "via connector + rule engine", v, float64(v)/float64(direct))
+}
+
+// measureCalls builds a minimal bus topology and returns mean ns per
+// request/reply exchange.
+func measureCalls(calls int, rules *flo.Engine, nFilters int, viaConnector bool) int64 {
+	b := bus.New()
+	serverEp, err := b.Attach("srv", 4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			m, err := serverEp.Receive(ctx)
+			if err != nil {
+				return
+			}
+			_ = b.Send(bus.Message{Kind: bus.Reply, Op: m.Op,
+				Payload: connector.ReplyPayload{Results: []any{"v"}},
+				Src:     "srv", Dst: m.Src, Corr: m.Corr})
+		}
+	}()
+
+	target := bus.Address("srv")
+	var conn *connector.Connector
+	if viaConnector {
+		var opts []connector.Option
+		if rules != nil {
+			opts = append(opts, connector.WithRules(rules))
+		}
+		conn, err = connector.New("c", adl.KindRPC, b, []bus.Address{"srv"}, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var filterWork uint64
+		for i := 0; i < nFilters; i++ {
+			conn.Filters().Attach(filters.Input, filters.Transform{
+				FilterName: fmt.Sprintf("f%d", i),
+				Fn:         func(*bus.Message) { filterWork++ },
+			})
+		}
+		conn.Start(ctx)
+		defer conn.Stop()
+		target = connector.Address("c")
+	}
+
+	clientEp, err := b.Attach("cli", 4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	for i := 0; i < calls; i++ {
+		corr := uint64(i + 1)
+		if err := b.Send(bus.Message{Kind: bus.Request, Op: "get",
+			Payload: connector.CallPayload{Args: []any{"k"}},
+			Src:     "cli", Dst: target, Corr: corr}); err != nil {
+			log.Fatal(err)
+		}
+		for {
+			m, err := clientEp.Receive(ctx)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if m.Kind == bus.Reply && m.Corr == corr {
+				break
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	wg.Add(0)
+	return elapsed.Nanoseconds() / int64(calls)
+}
+
+// runE3 compares the two change mechanisms of the paper on the same
+// behavioural change: a light-weight adaptation (connector filter swap —
+// no quiescence) vs a full reconfiguration (component hot swap with
+// quiescence). "In case light-weight highly reactive solutions are
+// required, dynamic adaptability should be preferred."
+func runE3() {
+	sys, reg := startKVSystem()
+	defer sys.Stop()
+	if _, err := sys.Call("Store", "put", "k", "v"); err != nil {
+		log.Fatal(err)
+	}
+	conn, err := sys.Connector("Front", "get")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const changes = 200
+	// Adaptation path: attach/detach a transform filter on the live
+	// connector.
+	start := time.Now()
+	for i := 0; i < changes; i++ {
+		conn.Filters().Attach(filters.Input, filters.Transform{
+			FilterName: "adapt", Fn: func(m *bus.Message) {}})
+		conn.Filters().Detach(filters.Input, "adapt")
+	}
+	adaptPer := time.Since(start) / (2 * changes)
+
+	// Reconfiguration path: full quiescence-protected implementation swap.
+	e1, err := reg.Lookup("Store")
+	if err != nil {
+		log.Fatal(err)
+	}
+	e2, err := reg.Lookup("StoreV2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	start = time.Now()
+	var blackout time.Duration
+	for i := 0; i < changes; i++ {
+		entry := e2
+		if i%2 == 1 {
+			entry = e1
+		}
+		rep, err := sys.SwapImplementation("Store", entry, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		blackout += rep.Blackout
+	}
+	reconfPer := time.Since(start) / changes
+
+	fmt.Printf("%-36s %14s %16s\n", "mechanism", "per change", "service blocked?")
+	fmt.Printf("%-36s %14v %16s\n", "adaptation (filter swap)", adaptPer, "no")
+	fmt.Printf("%-36s %14v %16s\n", "reconfiguration (hot swap)", reconfPer, "yes (quiesced)")
+	fmt.Printf("mean swap blackout: %v\n", blackout/changes)
+	fmt.Printf("ratio: reconfiguration is %.0fx more expensive per change\n",
+		float64(reconfPer)/float64(adaptPer))
+}
+
+// runE4 verifies the channel-preservation guarantee: messages in transit
+// across a reconfiguration are neither lost nor duplicated, for growing
+// in-flight counts.
+func runE4() {
+	fmt.Printf("%-12s %10s %10s %8s %8s %14s\n",
+		"in-flight", "sent", "received", "lost", "dup", "blackout")
+	for _, inflight := range []int{10, 100, 1000, 10000} {
+		b := bus.New()
+		dst, err := b.Attach("dst", inflight+64)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Park the destination (reconfiguration begins) and pour traffic in.
+		b.Pause("dst")
+		for i := 0; i < inflight; i++ {
+			if err := b.Send(bus.Message{Kind: bus.Event, Payload: i, Src: "s", Dst: "dst"}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		start := time.Now()
+		// Reconfiguration body would run here (swap …); then resume.
+		flushed, err := b.Resume("dst")
+		if err != nil {
+			log.Fatal(err)
+		}
+		blackout := time.Since(start)
+
+		seen := map[int]bool{}
+		dups := 0
+		for {
+			m, ok := dst.TryReceive()
+			if !ok {
+				break
+			}
+			v := m.Payload.(int)
+			if seen[v] {
+				dups++
+			}
+			seen[v] = true
+		}
+		lost := inflight - len(seen)
+		fmt.Printf("%-12d %10d %10d %8d %8d %14v\n",
+			inflight, inflight, flushed, lost, dups, blackout)
+	}
+}
+
+// runE5 measures strong dynamic reconfiguration cost against state size.
+func runE5() {
+	fmt.Printf("%-12s %14s %14s\n", "state", "swap time", "state bytes")
+	for _, keys := range []int{16, 256, 4096, 65536} {
+		sys, reg := startKVSystem()
+		payload := strings.Repeat("x", 48)
+		for i := 0; i < keys; i++ {
+			if _, err := sys.Call("Store", "put", fmt.Sprintf("key-%08d", i), payload); err != nil {
+				log.Fatal(err)
+			}
+		}
+		entry, err := reg.Lookup("StoreV2")
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		rep, err := sys.SwapImplementation("Store", entry, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		fmt.Printf("%-12s %14v %14d\n", fmt.Sprintf("%d keys", keys), elapsed, rep.StateBytes)
+		sys.Stop()
+	}
+	_ = aas.EvSwap
+}

@@ -1,0 +1,270 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/bus"
+	"repro/internal/control"
+	"repro/internal/deploy"
+	"repro/internal/filters"
+	"repro/internal/inject"
+	"repro/internal/metaobj"
+	"repro/internal/netsim"
+)
+
+// runE6 compares deployment planners and demonstrates migration toward
+// shifted demand.
+func runE6() {
+	topo := netsim.New(1, time.Millisecond, 0)
+	regions := []netsim.Region{"eu", "us", "ap"}
+	for _, r := range regions {
+		for i := 0; i < 4; i++ {
+			if _, err := topo.AddNode(netsim.NodeID(fmt.Sprintf("%s-%d", r, i)), r, 16, i == 0); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	for i, a := range regions {
+		for _, b := range regions[i+1:] {
+			topo.SetRegionLatency(a, b, 80*time.Millisecond)
+		}
+	}
+
+	reqs := []deploy.Requirement{
+		{Component: "gw-eu", CPU: 2, Region: "eu"},
+		{Component: "gw-us", CPU: 2, Region: "us"},
+		{Component: "session", CPU: 4},
+		{Component: "store", CPU: 4, Colocate: []string{"session"}},
+		{Component: "auth", CPU: 1, Secure: true},
+		{Component: "backup", CPU: 4, Anti: []string{"store"}},
+	}
+	euDemand := deploy.Objective{Edges: []deploy.Edge{
+		{A: "session", B: "gw-eu", Weight: 100},
+		{A: "session", B: "store", Weight: 50},
+		{A: "session", B: "auth", Weight: 5},
+	}, WRegion: 10}
+
+	fmt.Printf("%-22s %12s\n", "planner", "score (low=good)")
+	var lsPlacement deploy.Placement
+	for _, pl := range []deploy.Planner{
+		deploy.Random{Seed: 7}, deploy.RoundRobin{}, deploy.Greedy{},
+		deploy.LocalSearch{Seed: 7, Budget: 4000},
+	} {
+		p, err := pl.Plan(topo, reqs, euDemand)
+		if err != nil {
+			fmt.Printf("%-22s %12s (%v)\n", pl.Name(), "-", err)
+			continue
+		}
+		score, err := deploy.Score(topo, reqs, euDemand, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %12.1f\n", pl.Name(), score)
+		if pl.Name() == "greedy+local-search" {
+			lsPlacement = p
+		}
+	}
+
+	// Demand shifts to the US; replan and report the migration.
+	usDemand := euDemand
+	usDemand.Edges = []deploy.Edge{
+		{A: "session", B: "gw-us", Weight: 100},
+		{A: "session", B: "store", Weight: 50},
+		{A: "session", B: "auth", Weight: 5},
+	}
+	p2, err := (deploy.LocalSearch{Seed: 7, Budget: 4000}).Plan(topo, reqs, usDemand)
+	if err != nil {
+		log.Fatal(err)
+	}
+	before, err := deploy.Score(topo, reqs, usDemand, lsPlacement)
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, err := deploy.Score(topo, reqs, usDemand, p2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndemand shift eu->us: score %.1f -> %.1f after %d migrations\n",
+		before, after, len(deploy.MigrationPlan(lsPlacement, p2)))
+	for _, m := range deploy.MigrationPlan(lsPlacement, p2) {
+		fmt.Printf("  migrate %-10s %s -> %s\n", m.Component, m.From, m.To)
+	}
+}
+
+// runE7 runs the rush-hour QoS control comparison (the telecom example's
+// scenario) and adds the GA-tuned PID ablation.
+func runE7() {
+	trace := netsim.Sum{
+		netsim.Diurnal{Base: 40, Peak: 120, Period: 24 * time.Hour,
+			PeakAt: 18 * time.Hour, Sharpness: 3},
+		netsim.Spikes{Height: 30, Interval: 6 * time.Hour, Width: 20 * time.Minute},
+	}
+	const (
+		targetLat = 0.050
+		ctrlLat   = 0.035
+		tick      = time.Second
+	)
+	targetHeadroom := 1 / ctrlLat
+
+	controllers := []struct {
+		name string
+		mk   func() control.Controller
+	}{
+		{"none (static)", func() control.Controller { return &control.Static{Value: 90} }},
+		{"threshold", func() control.Controller {
+			return &control.Threshold{Deadband: 2, Step: 5, OutMin: 60, OutMax: 400}
+		}},
+		{"pid (hand-tuned)", func() control.Controller {
+			return &control.PID{Kp: 0.5, Ki: 0.2, IntMax: 2000, OutMin: 60, OutMax: 400}
+		}},
+		{"fuzzy", func() control.Controller {
+			return &control.Fuzzy{ErrScale: 30, DErrScale: 60, OutScale: 25, OutMin: 60, OutMax: 400}
+		}},
+	}
+
+	// GA-tuned PID ablation: tune against the linearized headroom plant
+	// (the same static capacity->headroom relation the live loop sees, at
+	// rush-hour arrival), so the evolved gains transfer.
+	// The 900-step horizon matters: it exposes slowly divergent gain
+	// combinations (|λ| just above 1) that a short horizon would reward.
+	gains, _ := control.Tune(control.TunerConfig{
+		Seed: 5, Population: 24, Generations: 20, Setpoint: targetHeadroom,
+		Steps: 900, Dt: tick, KpMax: 0.9, KiMax: 0.5, KdMax: 0.1, IntMax: 2000,
+		NewPlant: func() control.Plant { return &headroomPlant{arrival: 160} },
+	})
+	controllers = append(controllers, struct {
+		name string
+		mk   func() control.Controller
+	}{"pid (GA-tuned)", func() control.Controller {
+		return &control.PID{Kp: gains.Kp, Ki: gains.Ki, Kd: gains.Kd,
+			IntMax: 2000, OutMin: 60, OutMax: 400}
+	}})
+
+	fmt.Printf("%-18s %12s %14s %12s\n", "controller", "violation%", "mean lat (ms)", "mean cap")
+	steps := int((24 * time.Hour) / tick)
+	for _, c := range controllers {
+		ctrl := c.mk()
+		q := &control.ServiceQueue{Arrival: trace.At(0), MinHeadroom: 2}
+		lat := q.Step(90, tick)
+		violations, latSum, capSum := 0, 0.0, 0.0
+		for i := 0; i < steps; i++ {
+			q.Arrival = trace.At(time.Duration(i) * tick)
+			u := ctrl.Update(targetHeadroom, 1/lat, tick)
+			lat = q.Step(u, tick)
+			if lat > targetLat {
+				violations++
+			}
+			latSum += lat
+			capSum += q.Capacity()
+		}
+		fmt.Printf("%-18s %11.1f%% %14.1f %12.0f\n", c.name,
+			100*float64(violations)/float64(steps),
+			1000*latSum/float64(steps), capSum/float64(steps))
+	}
+}
+
+// runE8 measures interception mechanism scaling: composition filter chain
+// length, scoped injectors, and meta-object chains.
+func runE8() {
+	const msgs = 200000
+
+	fmt.Printf("%-30s %12s\n", "mechanism", "ns/message")
+	// Filter chains.
+	for _, n := range []int{0, 1, 4, 16, 64} {
+		var set filters.Set
+		var sink uint64
+		for i := 0; i < n; i++ {
+			set.Attach(filters.Input, filters.Transform{
+				FilterName: fmt.Sprintf("f%d", i), Fn: func(*bus.Message) { sink++ }})
+		}
+		m := &bus.Message{Op: "op", Kind: bus.Request}
+		start := time.Now()
+		for i := 0; i < msgs; i++ {
+			set.Eval(filters.Input, m)
+		}
+		per := time.Since(start).Nanoseconds() / msgs
+		fmt.Printf("%-30s %12d\n", fmt.Sprintf("filter chain len=%d", n), per)
+	}
+
+	// Injector on the bus path (fresh bus per measurement so mailboxes
+	// start empty).
+	mkBus := func(withInjector bool) *bus.Bus {
+		b := bus.New()
+		if _, err := b.Attach("dst", msgs); err != nil {
+			log.Fatal(err)
+		}
+		if withInjector {
+			inj, err := inject.New("count", inject.Scope{Dst: []bus.Address{"dst"}},
+				inject.Behavior{TransformFn: func(*bus.Message) {}})
+			if err != nil {
+				log.Fatal(err)
+			}
+			inject.Install(b, inj)
+		}
+		return b
+	}
+	_ = timeSends(mkBus(false), msgs/8) // warm-up round
+	base := timeSends(mkBus(false), msgs/4)
+	withInj := timeSends(mkBus(true), msgs/4)
+	fmt.Printf("%-30s %12d (bare bus %d)\n", "bus + scoped injector", withInj, base)
+
+	// Meta-object chain.
+	for _, n := range []int{1, 4, 16} {
+		objs := make([]*metaobj.MetaObject, n)
+		for i := range objs {
+			objs[i] = &metaobj.MetaObject{
+				Name:  fmt.Sprintf("w%d", i),
+				Props: metaobj.Modificatory,
+				Invoke: func(m *bus.Message, next func(*bus.Message) error) error {
+					return next(m)
+				},
+			}
+		}
+		chain, err := metaobj.Compose(objs...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := &bus.Message{Op: "op"}
+		baseFn := func(*bus.Message) error { return nil }
+		start := time.Now()
+		for i := 0; i < msgs/4; i++ {
+			if err := chain.Execute(m, baseFn); err != nil {
+				log.Fatal(err)
+			}
+		}
+		per := time.Since(start).Nanoseconds() / int64(msgs/4)
+		fmt.Printf("%-30s %12d\n", fmt.Sprintf("meta-object chain len=%d", n), per)
+	}
+}
+
+// headroomPlant is the linearized service plant used as the GA fitness
+// scenario: output is the service headroom (capacity − arrival), which is
+// exactly the quantity the live loop regulates.
+type headroomPlant struct {
+	arrival  float64
+	headroom float64
+}
+
+func (p *headroomPlant) Step(capacity float64, _ time.Duration) float64 {
+	if capacity < p.arrival+2 {
+		capacity = p.arrival + 2
+	}
+	p.headroom = capacity - p.arrival
+	return p.headroom
+}
+
+func (p *headroomPlant) Output() float64 { return p.headroom }
+
+// timeSends measures mean ns per bus send+drain.
+func timeSends(b *bus.Bus, n int) int64 {
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := b.Send(bus.Message{Kind: bus.Event, Src: "s", Dst: "dst"}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	return elapsed.Nanoseconds() / int64(n)
+}

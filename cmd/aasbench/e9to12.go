@@ -1,0 +1,349 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/adl"
+	"repro/internal/aspects"
+	"repro/internal/bus"
+	"repro/internal/clock"
+	"repro/internal/connector"
+	"repro/internal/control"
+	"repro/internal/filters"
+	"repro/internal/flo"
+	"repro/internal/inject"
+	"repro/internal/lts"
+	"repro/internal/metaobj"
+	"repro/internal/registry"
+	"repro/internal/strategy"
+)
+
+// chainLTS builds a request/reply chain automaton with 2n states.
+func chainLTS(name string, n int, oneShot bool) *lts.LTS {
+	b := lts.NewBuilder(name).Initial("s0")
+	for i := 0; i < n; i++ {
+		req, rsp := lts.Recv("req"), lts.SendAct("rsp")
+		if name == "client" {
+			req, rsp = lts.SendAct("req"), lts.Recv("rsp")
+		}
+		from := fmt.Sprintf("s%d", 2*i)
+		mid := fmt.Sprintf("s%d", 2*i+1)
+		to := fmt.Sprintf("s%d", (2*i+2)%(2*n))
+		if oneShot && i == n-1 {
+			to = "end"
+		}
+		b.Trans(from, req, mid)
+		b.Trans(mid, rsp, to)
+	}
+	return b.MustBuild()
+}
+
+// runE9 measures LTS composition-correctness analysis cost vs model size
+// and shows deadlock detection on incompatible pairs.
+func runE9() {
+	fmt.Printf("%-10s %14s %14s %12s %12s\n",
+		"states", "product states", "check time", "compatible", "trace len")
+	for _, n := range []int{2, 8, 32, 128, 512} {
+		client := chainLTS("client", n, false)
+		server := chainLTS("server", n, false)
+		start := time.Now()
+		rep := lts.CheckCompat(client, server)
+		elapsed := time.Since(start)
+		fmt.Printf("%-10d %14d %14v %12v %12d\n",
+			client.NumStates(), rep.ProductStates, elapsed, rep.Compatible, len(rep.Trace))
+	}
+	// Incompatible pair: looping client against a one-shot server.
+	client := chainLTS("client", 4, false)
+	oneShot := chainLTS("server", 4, true)
+	rep := lts.CheckCompat(client, oneShot)
+	fmt.Printf("\nincompatible pair detected: compatible=%v deadlock=%s after %d steps\n",
+		rep.Compatible, rep.DeadlockState, len(rep.Trace))
+}
+
+// runE10 measures FLO/C rule enforcement overhead and static cycle
+// analysis cost.
+func runE10() {
+	const events = 200000
+	fmt.Printf("%-12s %14s %16s\n", "rules", "ns/observe", "cycle check")
+	for _, n := range []int{1, 16, 64, 256} {
+		rules := make([]flo.Rule, 0, n)
+		for i := 0; i < n; i++ {
+			rules = append(rules, flo.Rule{
+				Trigger: fmt.Sprintf("op%d", i), Op: flo.ImpliesLater,
+				Target: fmt.Sprintf("ack%d", i)})
+		}
+		startChk := time.Now()
+		if err := flo.CheckRules(rules); err != nil {
+			log.Fatal(err)
+		}
+		chk := time.Since(startChk)
+		eng, err := flo.NewEngine(rules)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		for i := 0; i < events; i++ {
+			eng.Observe("op0")
+			eng.Observe("ack0")
+		}
+		per := time.Since(start).Nanoseconds() / (2 * events)
+		fmt.Printf("%-12d %14d %16v\n", n, per, chk)
+	}
+	// Cycle rejection.
+	cyc, _ := flo.ParseRules("a implies b\nb implies c\nc implies a")
+	err := flo.CheckRules(cyc)
+	fmt.Printf("\ncycle detection: %v\n", err)
+}
+
+// runE11 prints the interface-evolution compliance matrix: which
+// modifications keep "the compliancy with previous versions".
+func runE11() {
+	base := registry.Interface{Name: "svc", Version: registry.Version{Major: 1},
+		Ops: []registry.Signature{
+			{Name: "get", Params: []registry.TypeName{"id"}, Results: []registry.TypeName{"frame"}},
+			{Name: "put", Params: []registry.TypeName{"id", "frame"}},
+		}}
+
+	cases := []struct {
+		name string
+		mod  func() registry.Interface
+	}{
+		{"identical", func() registry.Interface { return base }},
+		{"add operation", func() registry.Interface {
+			n := base
+			n.Ops = append(append([]registry.Signature{}, base.Ops...),
+				registry.Signature{Name: "stat"})
+			return n
+		}},
+		{"extend results (suffix)", func() registry.Interface {
+			n := base
+			n.Ops = []registry.Signature{
+				{Name: "get", Params: []registry.TypeName{"id"},
+					Results: []registry.TypeName{"frame", "meta"}},
+				base.Ops[1]}
+			return n
+		}},
+		{"remove operation", func() registry.Interface {
+			n := base
+			n.Ops = base.Ops[:1]
+			return n
+		}},
+		{"change parameter type", func() registry.Interface {
+			n := base
+			n.Ops = []registry.Signature{
+				{Name: "get", Params: []registry.TypeName{"uuid"},
+					Results: []registry.TypeName{"frame"}},
+				base.Ops[1]}
+			return n
+		}},
+		{"reorder results", func() registry.Interface {
+			n := base
+			n.Ops = []registry.Signature{
+				{Name: "get", Params: []registry.TypeName{"id"},
+					Results: []registry.TypeName{"meta", "frame"}},
+				base.Ops[1]}
+			return n
+		}},
+	}
+	fmt.Printf("%-26s %10s %s\n", "modification", "compliant", "verdicts")
+	for _, c := range cases {
+		rep := registry.CheckCompliance(base, c.mod())
+		fmt.Printf("%-26s %10v %v\n", c.name, rep.Compliant, rep.Verdicts)
+	}
+}
+
+// runE12 exercises each of the ten adaptation approaches of §2 on an
+// equivalent micro-task and reports (a) the cost of applying the
+// adaptation and (b) the steady-state per-operation overhead it adds.
+func runE12() {
+	const ops = 100000
+	fmt.Printf("%-38s %14s %14s\n", "approach (§2)", "apply cost", "ns/op after")
+
+	report := func(name string, apply time.Duration, perOp int64) {
+		fmt.Printf("%-38s %14v %14d\n", name, apply, perOp)
+	}
+
+	// 1. Composition framework: plug a replacement component into a slot
+	// (registry lookup + factory instantiation).
+	var reg registry.Registry
+	if err := reg.Register(registry.Entry{Name: "slot", Version: registry.Version{Major: 1},
+		New: func() any { return newKV("v1") }}); err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	e, err := reg.Lookup("slot")
+	if err != nil {
+		log.Fatal(err)
+	}
+	comp := e.New().(*kv)
+	apply := time.Since(start)
+	start = time.Now()
+	for i := 0; i < ops; i++ {
+		if _, err := comp.Handle("get", []any{"k"}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	report("1 composition framework (plug)", apply, time.Since(start).Nanoseconds()/ops)
+
+	// 2. Strategy pattern: guarded switch on a metric snapshot.
+	sel := strategy.NewSelector[control.Controller](clock.Real{}, 0)
+	if err := sel.Register("a", &control.Static{Value: 1}); err != nil {
+		log.Fatal(err)
+	}
+	if err := sel.Register("b", &control.Static{Value: 2}); err != nil {
+		log.Fatal(err)
+	}
+	if err := sel.AddGuard(strategy.Guard{Name: "g", When: func(m strategy.Metrics) bool {
+		return m["load"] > 0.5
+	}, Use: "b"}); err != nil {
+		log.Fatal(err)
+	}
+	start = time.Now()
+	sel.Evaluate(strategy.Metrics{"load": 0.9})
+	apply = time.Since(start)
+	start = time.Now()
+	for i := 0; i < ops; i++ {
+		_, _ = sel.Current()
+	}
+	report("2 strategy pattern (switch)", apply, time.Since(start).Nanoseconds()/ops)
+
+	// 3. Aspect-oriented programming: attach an aspect, dynamic dispatch.
+	w := aspects.NewWeaver()
+	h := w.Weave(func(inv *aspects.Invocation) (any, error) { return nil, nil })
+	start = time.Now()
+	if err := w.Attach(aspects.Aspect{Name: "log", Advice: []aspects.Advice{{
+		Before: func(*aspects.Invocation) error { return nil }}}}); err != nil {
+		log.Fatal(err)
+	}
+	apply = time.Since(start)
+	inv := &aspects.Invocation{Component: "c", Op: "op"}
+	start = time.Now()
+	for i := 0; i < ops; i++ {
+		if _, err := h(inv); err != nil {
+			log.Fatal(err)
+		}
+	}
+	report("3 aspects (runtime weave)", apply, time.Since(start).Nanoseconds()/ops)
+
+	// 4. Composition filters: attach a transform filter.
+	var set filters.Set
+	start = time.Now()
+	set.Attach(filters.Input, filters.Transform{FilterName: "t", Fn: func(*bus.Message) {}})
+	apply = time.Since(start)
+	m := &bus.Message{Op: "op"}
+	start = time.Now()
+	for i := 0; i < ops; i++ {
+		set.Eval(filters.Input, m)
+	}
+	report("4 composition filters (attach)", apply, time.Since(start).Nanoseconds()/ops)
+
+	// 5. Connectors: rebind to a new target (measured in E3 end to end;
+	// here the SetTargets operation itself).
+	b := bus.New()
+	if _, err := b.Attach("t1", 16); err != nil {
+		log.Fatal(err)
+	}
+	conn, err := connector.New("c", adl.KindRPC, b, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start = time.Now()
+	conn.SetTargets([]bus.Address{"t1"})
+	apply = time.Since(start)
+	start = time.Now()
+	for i := 0; i < ops; i++ {
+		_ = conn.Targets()
+	}
+	report("5 connectors (rebind)", apply, time.Since(start).Nanoseconds()/ops)
+
+	// 6. Composition paths: select a service chain from predefined stages.
+	path := [][]string{{"extract-hq", "extract-lq"}, {"code-h264", "code-mjpeg"}, {"send-tcp", "send-udp"}}
+	start = time.Now()
+	var chosen []string
+	for _, stage := range path {
+		chosen = append(chosen, stage[1]) // pick per current context
+	}
+	apply = time.Since(start)
+	start = time.Now()
+	for i := 0; i < ops; i++ {
+		_ = len(chosen)
+	}
+	report("6 composition paths (select)", apply, time.Since(start).Nanoseconds()/ops)
+
+	// 7. Interaction patterns: insert a wrapper into a meta-object chain.
+	chain, err := metaobj.Compose(&metaobj.MetaObject{Name: "base", Props: metaobj.Modificatory,
+		Invoke: func(mm *bus.Message, next func(*bus.Message) error) error { return next(mm) }})
+	if err != nil {
+		log.Fatal(err)
+	}
+	start = time.Now()
+	if err := chain.Insert(&metaobj.MetaObject{Name: "new", Props: metaobj.Modificatory,
+		Invoke: func(mm *bus.Message, next func(*bus.Message) error) error { return next(mm) }}); err != nil {
+		log.Fatal(err)
+	}
+	apply = time.Since(start)
+	start = time.Now()
+	for i := 0; i < ops; i++ {
+		if err := chain.Execute(m, func(*bus.Message) error { return nil }); err != nil {
+			log.Fatal(err)
+		}
+	}
+	report("7 interaction patterns (insert)", apply, time.Since(start).Nanoseconds()/ops)
+
+	// 8. Adaptive middleware: retune the platform controller.
+	pid := &control.PID{Kp: 1, Ki: 0.1}
+	start = time.Now()
+	pid.Kp, pid.Ki = 2, 0.2 // set-point/gain adaptation
+	apply = time.Since(start)
+	start = time.Now()
+	for i := 0; i < ops; i++ {
+		pid.Update(1, 0.5, time.Millisecond)
+	}
+	report("8 adaptive middleware (retune)", apply, time.Since(start).Nanoseconds()/ops)
+
+	// 9. Injectors: install a scoped communication injector.
+	b2 := bus.New()
+	if _, err := b2.Attach("dst", ops+1); err != nil {
+		log.Fatal(err)
+	}
+	inj, err := inject.New("i", inject.Scope{Dst: []bus.Address{"dst"}},
+		inject.Behavior{TransformFn: func(*bus.Message) {}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	start = time.Now()
+	inject.Install(b2, inj)
+	apply = time.Since(start)
+	start = time.Now()
+	for i := 0; i < ops; i++ {
+		if err := b2.Send(bus.Message{Kind: bus.Event, Src: "s", Dst: "dst"}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	report("9 injectors (install)", apply, time.Since(start).Nanoseconds()/ops)
+
+	// 10. Adaptive component interfaces: meta-level observe+modify of base
+	// executions (weaver enable/disable as the AJ-style meta protocol).
+	w2 := aspects.NewWeaver()
+	if err := w2.Attach(aspects.Aspect{Name: "meta", Advice: []aspects.Advice{{
+		Around: func(inv *aspects.Invocation, next aspects.Handler) (any, error) {
+			return next(inv)
+		}}}}); err != nil {
+		log.Fatal(err)
+	}
+	h2 := w2.Weave(func(*aspects.Invocation) (any, error) { return nil, nil })
+	start = time.Now()
+	if err := w2.SetEnabled("meta", true); err != nil {
+		log.Fatal(err)
+	}
+	apply = time.Since(start)
+	start = time.Now()
+	for i := 0; i < ops; i++ {
+		if _, err := h2(inv); err != nil {
+			log.Fatal(err)
+		}
+	}
+	report("10 adaptive interfaces (metaify)", apply, time.Since(start).Nanoseconds()/ops)
+}

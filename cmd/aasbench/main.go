@@ -1,0 +1,59 @@
+// Command aasbench regenerates every experiment in EXPERIMENTS.md
+// (E1–E12). The paper is a position paper with no tables and one figure;
+// each experiment quantifies one of its claims (see DESIGN.md §3 for the
+// claim-to-experiment mapping).
+//
+// Usage:
+//
+//	aasbench           run all experiments
+//	aasbench -e E4     run one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type experiment struct {
+	id    string
+	title string
+	run   func()
+}
+
+func main() {
+	only := flag.String("e", "", "run a single experiment (E1..E12)")
+	flag.Parse()
+
+	exps := []experiment{
+		{"E1", "Figure 1 live: connector-based reconfiguration and adaptation", runE1},
+		{"E2", "connector overhead (\"induces a low overload\")", runE2},
+		{"E3", "adaptation vs reconfiguration reaction cost", runE3},
+		{"E4", "channel preservation across reconfiguration", runE4},
+		{"E5", "strong reconfiguration: state transfer cost", runE5},
+		{"E6", "deployment planning and migration closer to demand", runE6},
+		{"E7", "feedback control of QoS under rush-hour load", runE7},
+		{"E8", "filter/injector/meta-object interception scaling", runE8},
+		{"E9", "LTS composition-correctness checking cost", runE9},
+		{"E10", "FLO/C rule enforcement and cycle analysis", runE10},
+		{"E11", "interface-modification compliance matrix", runE11},
+		{"E12", "the ten adaptation approaches of §2, compared", runE12},
+	}
+	sort.SliceStable(exps, func(i, j int) bool { return i < j })
+
+	ran := 0
+	for _, e := range exps {
+		if *only != "" && e.id != *only {
+			continue
+		}
+		fmt.Printf("==== %s: %s ====\n", e.id, e.title)
+		e.run()
+		fmt.Println()
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "aasbench: unknown experiment %q\n", *only)
+		os.Exit(2)
+	}
+}

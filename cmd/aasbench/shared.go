@@ -1,0 +1,87 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"sync"
+
+	aas "repro"
+)
+
+// kv is the stateful workhorse component used by several experiments.
+type kv struct {
+	mu   sync.Mutex
+	Data map[string]string
+	Tag  string
+}
+
+func newKV(tag string) *kv { return &kv{Data: map[string]string{}, Tag: tag} }
+
+func (k *kv) Handle(op string, args []any) ([]any, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	switch op {
+	case "put":
+		k.Data[args[0].(string)] = args[1].(string)
+		return []any{"ok"}, nil
+	case "get":
+		return []any{k.Data[args[0].(string)], k.Tag}, nil
+	default:
+		return nil, fmt.Errorf("kv: unknown op %s", op)
+	}
+}
+
+func (k *kv) Snapshot() ([]byte, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return json.Marshal(k.Data)
+}
+
+func (k *kv) Restore(b []byte) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return json.Unmarshal(b, &k.Data)
+}
+
+// front calls through its bound "get" requirement.
+type front struct{ caller aas.Caller }
+
+func (f *front) SetCaller(c aas.Caller) { f.caller = c }
+func (f *front) Handle(op string, args []any) ([]any, error) {
+	return f.caller.Call("get", args...)
+}
+
+const kvADL = `
+system Bench {
+  component Front {
+    provide fetch(key) -> (value)
+    require get(key) -> (value)
+  }
+  component Store {
+    provide get(key) -> (value)
+    provide put(key, value) -> (status)
+    property statefulness = "stateful"
+  }
+  connector Link { kind rpc }
+  bind Front.get -> Store.get via Link
+}
+`
+
+// startKVSystem assembles the two-component fixture and returns the system
+// plus its registry.
+func startKVSystem() (*aas.System, *aas.Registry) {
+	reg := aas.NewRegistry()
+	reg.MustRegister("Store", "1.0", nil, func() any { return newKV("v1") })
+	reg.MustRegister("StoreV2", "2.0", nil, func() any { return newKV("v2") })
+	reg.MustRegister("Front", "1.0", nil, func() any { return &front{} })
+	sys, err := aas.Load(kvADL, aas.Options{Registry: reg.Registry})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Start(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	return sys, reg
+}

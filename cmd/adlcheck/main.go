@@ -1,0 +1,62 @@
+// Command adlcheck parses and semantically validates AAS architecture
+// descriptions: name resolution, binding signature compatibility, LTS
+// behavioural compatibility of bound peers, FLO rule cycle checks and
+// deployment references. With two files it also prints the reconfiguration
+// plan between them (adl.Diff).
+//
+// Usage:
+//
+//	adlcheck file.adl            validate one configuration
+//	adlcheck old.adl new.adl     validate both and print the change plan
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/adl"
+)
+
+func main() {
+	if len(os.Args) < 2 || len(os.Args) > 3 {
+		fmt.Fprintln(os.Stderr, "usage: adlcheck <file.adl> [new.adl]")
+		os.Exit(2)
+	}
+	cfg, ok := load(os.Args[1])
+	if len(os.Args) == 2 {
+		if !ok {
+			os.Exit(1)
+		}
+		fmt.Printf("%s: OK (%s)\n", os.Args[1], cfg)
+		return
+	}
+	newCfg, ok2 := load(os.Args[2])
+	if !ok || !ok2 {
+		os.Exit(1)
+	}
+	fmt.Printf("%s -> %s reconfiguration plan:\n", os.Args[1], os.Args[2])
+	fmt.Println(adl.FormatPlan(adl.Diff(cfg, newCfg)))
+}
+
+// load parses and checks one file, printing diagnostics; ok is false on
+// errors.
+func load(path string) (*adl.Config, bool) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adlcheck: %v\n", err)
+		return nil, false
+	}
+	cfg, err := adl.Parse(string(src))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+		return nil, false
+	}
+	diags, err := adl.Check(cfg)
+	for _, d := range diags {
+		fmt.Printf("%s: %s\n", path, d)
+	}
+	if err != nil {
+		return nil, false
+	}
+	return cfg, true
+}

@@ -1,0 +1,101 @@
+// Command deployplan computes a constrained placement for an ADL
+// configuration on a synthetic topology, comparing the optimizing planner
+// against the baselines — the deployment concern of the paper's
+// introduction (safety, security, liability, load balancing, performance).
+//
+// Usage:
+//
+//	deployplan <file.adl> [-nodes N] [-regions R] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/adl"
+	"repro/internal/deploy"
+	"repro/internal/netsim"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 6, "nodes per region")
+	regions := flag.Int("regions", 2, "number of regions")
+	seed := flag.Int64("seed", 1, "planner seed")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: deployplan [flags] <file.adl>")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "deployplan: %v\n", err)
+		os.Exit(1)
+	}
+	cfg, err := adl.Parse(string(src))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "deployplan: %v\n", err)
+		os.Exit(1)
+	}
+	if _, err := adl.Check(cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "deployplan: %v\n", err)
+		os.Exit(1)
+	}
+
+	topo := netsim.New(*seed, time.Millisecond, 0)
+	regionNames := []netsim.Region{"eu", "us", "ap", "sa", "af", "oc"}
+	for r := 0; r < *regions && r < len(regionNames); r++ {
+		for n := 0; n < *nodes; n++ {
+			id := netsim.NodeID(fmt.Sprintf("%s-%d", regionNames[r], n))
+			if _, err := topo.AddNode(id, regionNames[r], 16, n == 0); err != nil {
+				fmt.Fprintf(os.Stderr, "deployplan: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		for r2 := 0; r2 < r; r2++ {
+			topo.SetRegionLatency(regionNames[r], regionNames[r2], 80*time.Millisecond)
+		}
+	}
+
+	reqs := deploy.FromConfig(cfg)
+	obj := deploy.Objective{}
+	for _, b := range cfg.Bindings {
+		obj.Edges = append(obj.Edges, deploy.Edge{A: b.FromComponent, B: b.ToComponent, Weight: 1})
+	}
+
+	fmt.Printf("placing %d components on %d nodes\n\n", len(reqs), len(topo.Nodes()))
+	fmt.Printf("%-22s %12s\n", "planner", "score")
+	planners := []deploy.Planner{
+		deploy.Random{Seed: *seed},
+		deploy.RoundRobin{},
+		deploy.Greedy{},
+		deploy.LocalSearch{Seed: *seed},
+	}
+	var best deploy.Placement
+	bestScore := 0.0
+	for _, pl := range planners {
+		p, err := pl.Plan(topo, reqs, obj)
+		if err != nil {
+			fmt.Printf("%-22s %12s (%v)\n", pl.Name(), "-", err)
+			continue
+		}
+		score, err := deploy.Score(topo, reqs, obj, p)
+		if err != nil {
+			fmt.Printf("%-22s %12s (%v)\n", pl.Name(), "-", err)
+			continue
+		}
+		fmt.Printf("%-22s %12.2f\n", pl.Name(), score)
+		if best == nil || score < bestScore {
+			best, bestScore = p, score
+		}
+	}
+	if best == nil {
+		fmt.Fprintln(os.Stderr, "deployplan: no feasible placement")
+		os.Exit(1)
+	}
+	fmt.Println("\nbest placement:")
+	for _, comp := range cfg.ComponentNames() {
+		fmt.Printf("  %-20s -> %s\n", comp, best[comp])
+	}
+}

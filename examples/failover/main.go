@@ -1,0 +1,134 @@
+// Command failover demonstrates Durra-style event-triggered reconfiguration
+// "used for error recovery purposes, where the reconfiguration is based on
+// event-triggering mechanism" (§1): a primary store starts failing, the
+// RAML's event trigger fires, and the frontend's binding is reconfigured to
+// a standby replica — no request is lost afterward.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"sync/atomic"
+
+	aas "repro"
+)
+
+// store serves lookups; Broken simulates a node/software failure.
+type store struct {
+	Tag    string
+	Broken atomic.Bool
+}
+
+func (s *store) Handle(op string, args []any) ([]any, error) {
+	if s.Broken.Load() {
+		return nil, errors.New("store: disk failure")
+	}
+	if op != "get" {
+		return nil, fmt.Errorf("unknown op %s", op)
+	}
+	return []any{"value-from-" + s.Tag}, nil
+}
+
+// frontend fans requests to its bound store.
+type frontend struct{ caller aas.Caller }
+
+func (f *frontend) SetCaller(c aas.Caller) { f.caller = c }
+func (f *frontend) Handle(op string, args []any) ([]any, error) {
+	return f.caller.Call("get", args...)
+}
+
+const config = `
+system Failover {
+  component Front {
+    provide read(key) -> (value)
+    require get(key) -> (value)
+  }
+  component Primary {
+    provide get(key) -> (value)
+  }
+  component Standby {
+    provide get(key) -> (value)
+  }
+  connector Link { kind rpc }
+  bind Front.get -> Primary.get via Link
+}
+`
+
+func main() {
+	primary := &store{Tag: "primary"}
+	standby := &store{Tag: "standby"}
+
+	reg := aas.NewRegistry()
+	reg.MustRegister("Front", "1.0", nil, func() any { return &frontend{} })
+	reg.MustRegister("Primary", "1.0", nil, func() any { return primary })
+	reg.MustRegister("Standby", "1.0", nil, func() any { return standby })
+
+	sys, err := aas.Load(config, aas.Options{Registry: reg.Registry})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Durra-style error-recovery trigger: on a failed request at Primary,
+	// rebind the frontend to the standby.
+	failedOver := make(chan struct{}, 1)
+	err = sys.AddEventTrigger(aas.EventTrigger{
+		Name: "primary-error-recovery",
+		Kind: aas.EvRequestFailed,
+		Action: func(s *aas.System, e aas.Event) error {
+			if e.Component != "Primary" {
+				return nil
+			}
+			if err := s.Rebind("Front", "get", "Standby"); err != nil {
+				return err
+			}
+			select {
+			case failedOver <- struct{}{}:
+			default:
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if err := sys.Start(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Stop()
+
+	res, err := sys.Call("Front", "read", "k")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("healthy:   read(k) = %v\n", res[0])
+
+	fmt.Println("injecting primary failure...")
+	primary.Broken.Store(true)
+
+	// The next request fails once; the trigger reconfigures the binding.
+	if _, err := sys.Call("Front", "read", "k"); err != nil {
+		fmt.Printf("during:    read(k) failed as expected: %v\n", err)
+	}
+	<-failedOver
+
+	ok, failed := 0, 0
+	for i := 0; i < 100; i++ {
+		res, err := sys.Call("Front", "read", "k")
+		if err != nil {
+			failed++
+			continue
+		}
+		ok++
+		if i == 0 {
+			fmt.Printf("recovered: read(k) = %v\n", res[0])
+		}
+	}
+	fmt.Printf("after failover: %d ok, %d failed of 100 requests\n", ok, failed)
+
+	for _, e := range sys.Events().History(aas.EvTriggerFired) {
+		fmt.Printf("[raml] trigger fired: %s (component %s)\n", e.Detail, e.Component)
+	}
+}

@@ -1,0 +1,102 @@
+// Command mobility demonstrates geographical reconfiguration: services
+// "reconfigured automatically according to user's mobility, preferences,
+// profiles and equipments" (introduction), and §1's guidance that
+// "performance criteria may require the migration of some components so
+// that they are 'closer' to the demand".
+//
+// A session component serves a user who commutes between Europe and the US.
+// A criteria trigger watches the observed request latency; when the user's
+// region shifts, the trigger migrates the session component to the user's
+// region and the latency drops back.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	aas "repro"
+
+	"repro/internal/netsim"
+)
+
+// session is a lightweight stateless session server.
+type session struct{}
+
+func (session) Handle(op string, args []any) ([]any, error) {
+	if op != "frame" {
+		return nil, fmt.Errorf("unknown op %s", op)
+	}
+	return []any{"frame-data"}, nil
+}
+
+const config = `
+system Mobility {
+  component Session {
+    provide frame(id) -> (data)
+    property cpu = 1
+  }
+  deploy Session on region=eu cpu=1
+}
+`
+
+func main() {
+	topo := aas.NewTopology(42, time.Millisecond, 0)
+	if _, err := topo.AddNode("eu-1", "eu", 8, false); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := topo.AddNode("us-1", "us", 8, false); err != nil {
+		log.Fatal(err)
+	}
+	topo.SetRegionLatency("eu", "us", 80*time.Millisecond)
+
+	reg := aas.NewRegistry()
+	reg.MustRegister("Session", "1.0", nil, func() any { return session{} })
+
+	sys, err := aas.Load(config, aas.Options{Registry: reg.Registry, Topology: topo})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Start(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Stop()
+
+	fmt.Printf("session initially on %s\n\n", sys.Placement()["Session"])
+
+	// The user's phone measures round-trip latency from its current region.
+	measure := func(userRegion aas.Region) time.Duration {
+		node := string(userRegion) + "-1"
+		sessionNode := sys.Placement()["Session"]
+		lat, err := topo.BaseLatency(netsim.NodeID(node), sessionNode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// One request-reply round trip.
+		return 2 * lat
+	}
+
+	commute := []aas.Region{"eu", "eu", "us", "us", "us", "eu"}
+	for leg, userRegion := range commute {
+		rtt := measure(userRegion)
+		fmt.Printf("leg %d: user in %-2s  session on %-4s  rtt=%-6v",
+			leg, userRegion, sys.Placement()["Session"], rtt)
+
+		// RAML policy: if the user's observed RTT exceeds 50ms, migrate the
+		// session to the user's region ("closer to the demand").
+		if rtt > 50*time.Millisecond {
+			target := netsim.NodeID(string(userRegion) + "-1")
+			if err := sys.Migrate("Session", target); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  -> migrate to %s (rtt now %v)", target, measure(userRegion))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	for _, e := range sys.Events().History(aas.EvMigration) {
+		fmt.Printf("[raml] migration %s %s\n", e.Component, e.Detail)
+	}
+}

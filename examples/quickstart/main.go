@@ -1,0 +1,154 @@
+// Command quickstart is the paper's Figure 1 running live: two serving
+// components bound through a connector, a RAML observing the system through
+// introspection streams, and an intercession action (an online hot swap
+// with state transfer) applied while the system keeps serving.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"sync"
+
+	aas "repro"
+)
+
+// wordStore is the serving component: a stateful dictionary.
+type wordStore struct {
+	mu    sync.Mutex
+	Words map[string]string
+	Ver   string
+}
+
+func newWordStore(ver string) *wordStore {
+	return &wordStore{Words: map[string]string{}, Ver: ver}
+}
+
+func (w *wordStore) Handle(op string, args []any) ([]any, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	switch op {
+	case "define":
+		w.Words[args[0].(string)] = args[1].(string)
+		return []any{"ok"}, nil
+	case "lookup":
+		def, ok := w.Words[args[0].(string)]
+		if !ok {
+			return nil, fmt.Errorf("no definition for %q", args[0])
+		}
+		return []any{def, w.Ver}, nil
+	default:
+		return nil, fmt.Errorf("unknown op %s", op)
+	}
+}
+
+func (w *wordStore) Snapshot() ([]byte, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return json.Marshal(w.Words)
+}
+
+func (w *wordStore) Restore(b []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return json.Unmarshal(b, &w.Words)
+}
+
+// client is the other serving component of Figure 1; it consumes the
+// store's lookup service through the connector.
+type client struct{ caller aas.Caller }
+
+func (c *client) SetCaller(k aas.Caller) { c.caller = k }
+
+func (c *client) Handle(op string, args []any) ([]any, error) {
+	if op != "ask" {
+		return nil, fmt.Errorf("unknown op %s", op)
+	}
+	return c.caller.Call("lookup", args...)
+}
+
+const config = `
+system Figure1 {
+  component Client {
+    provide ask(word) -> (definition)
+    require lookup(word) -> (definition)
+  }
+  component Dictionary {
+    provide define(word, text) -> (status)
+    provide lookup(word) -> (definition)
+    property statefulness = "stateful"
+  }
+  connector Glue {
+    kind rpc
+  }
+  bind Client.lookup -> Dictionary.lookup via Glue
+}
+`
+
+func main() {
+	reg := aas.NewRegistry()
+	reg.MustRegister("Dictionary", "1.0", nil, func() any { return newWordStore("v1.0") })
+	reg.MustRegister("Dictionary2", "2.0", nil, func() any { return newWordStore("v2.0") })
+	reg.MustRegister("Client", "1.0", nil, func() any { return &client{} })
+
+	sys, err := aas.Load(config, aas.Options{Registry: reg.Registry})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Start(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Stop()
+
+	// RAML stream: print everything the meta-level observes.
+	events, cancel := sys.Events().Subscribe(256)
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for e := range events {
+			fmt.Printf("  [raml] %-20s %-12s %s\n", e.Kind, e.Component, e.Detail)
+		}
+	}()
+
+	fmt.Println("== populate and query through the connector ==")
+	mustCall(sys, "Dictionary", "define", "aas", "auto-adaptive system")
+	res := mustCall(sys, "Client", "ask", "aas")
+	fmt.Printf("Client.ask(aas) = %q (impl %s)\n", res[0], res[1])
+
+	fmt.Println("== hot swap with strong state transfer (intercession) ==")
+	entry, err := reg.Lookup("Dictionary2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := sys.SwapImplementation("Dictionary", entry, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("swap done: blackout=%v heldMessages=%d stateBytes=%d\n",
+		rep.Blackout, rep.HeldMessages, rep.StateBytes)
+
+	res = mustCall(sys, "Client", "ask", "aas")
+	fmt.Printf("Client.ask(aas) = %q (impl %s) — state preserved, implementation changed\n",
+		res[0], res[1])
+
+	fmt.Println("== introspection snapshot ==")
+	m := sys.Introspect()
+	for _, c := range m.Components {
+		fmt.Printf("component %-12s lifecycle=%-8s calls=%d\n", c.Name, c.Lifecycle, c.Calls)
+	}
+	for _, c := range m.Connectors {
+		fmt.Printf("connector %-20s kind=%-6s mediated=%d\n", c.Name, c.Kind, c.Stats.Mediated)
+	}
+	cancel()
+	<-done
+}
+
+func mustCall(sys *aas.System, comp, op string, args ...any) []any {
+	res, err := sys.Call(comp, op, args...)
+	if err != nil {
+		log.Fatalf("%s.%s: %v", comp, op, err)
+	}
+	return res
+}

@@ -1,0 +1,91 @@
+package aas_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	aas "repro"
+)
+
+// greeter is a minimal public-API component.
+type greeter struct {
+	mu       sync.Mutex
+	Greeting string
+}
+
+func (g *greeter) Handle(op string, args []any) ([]any, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	switch op {
+	case "greet":
+		return []any{g.Greeting + ", " + args[0].(string) + "!"}, nil
+	case "setGreeting":
+		g.Greeting = args[0].(string)
+		return []any{"ok"}, nil
+	default:
+		return nil, fmt.Errorf("greeter: unknown op %s", op)
+	}
+}
+
+const greeterADL = `
+system Hello {
+  component Greeter {
+    provide greet(name) -> (message)
+    provide setGreeting(text) -> (status)
+  }
+}
+`
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	reg := aas.NewRegistry()
+	reg.MustRegister("Greeter", "1.0", nil, func() any { return &greeter{Greeting: "Hello"} })
+	sys, err := aas.Load(greeterADL, aas.Options{Registry: reg.Registry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Stop()
+
+	res, err := sys.Call("Greeter", "greet", "world")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != "Hello, world!" {
+		t.Fatalf("res = %v", res)
+	}
+
+	m := sys.Introspect()
+	if m.System != "Hello" || len(m.Components) != 1 {
+		t.Fatalf("model = %+v", m)
+	}
+}
+
+func TestPublicConfigHelpers(t *testing.T) {
+	cfg, err := aas.ParseConfig(greeterADL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := aas.CheckConfig(cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg2, _ := aas.ParseConfig(greeterADL)
+	cfg2.Components[0].Properties["cpu"] = "4"
+	plan := aas.DiffConfigs(cfg, cfg2)
+	if len(plan) != 1 {
+		t.Fatalf("plan = %v", plan)
+	}
+}
+
+func TestPublicLoadErrors(t *testing.T) {
+	if _, err := aas.Load("not adl at all", aas.Options{}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Valid ADL but empty registry: assembly must fail.
+	if _, err := aas.Load(greeterADL, aas.Options{}); err == nil {
+		t.Fatal("missing implementations accepted")
+	}
+}

@@ -1,0 +1,464 @@
+package adl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/registry"
+)
+
+// videoSystem is the canonical fixture used across the ADL tests: the
+// multimedia pipeline from the paper's motivating scenario.
+const videoSystem = `
+# Multimedia telecom service (paper intro scenario)
+system Video {
+  interface Codec v1.0 {
+    op encode(frame) -> (packet)
+    op stats() -> (report)
+  }
+
+  component Camera {
+    provide capture() -> (frame)
+    property cpu = 1
+  }
+
+  component Encoder {
+    implements Codec v1.0
+    provide encode(frame) -> (packet)
+    provide stats() -> (report)
+    require capture() -> (frame)
+    property cpu = 4
+    property statefulness = "stateful"
+    behavior {
+      init s0
+      s0 ?encode s1
+      s1 !capture s2
+      s2 ?capture s3
+      s3 !encode s0
+      s0 ?stats s0
+    }
+  }
+
+  component Streamer {
+    require encode(frame) -> (packet)
+    property cpu = 2
+  }
+
+  connector Pipe {
+    kind rpc
+    rule "encode impliesLater stats"
+  }
+
+  bind Encoder.capture -> Camera.capture via Pipe
+  bind Streamer.encode -> Encoder.encode via Pipe
+
+  constraint "stats permittedIf monitoring"
+
+  deploy Camera on region=edge cpu=1
+  deploy Encoder on region=eu cpu=4 secure colocate=Camera anti=Streamer
+  deploy Streamer on region=eu cpu=2
+}
+`
+
+func parseFixture(t *testing.T) *Config {
+	t.Helper()
+	cfg, err := Parse(videoSystem)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return cfg
+}
+
+func TestParseFixtureShape(t *testing.T) {
+	cfg := parseFixture(t)
+	if cfg.Name != "Video" {
+		t.Errorf("name = %s", cfg.Name)
+	}
+	if len(cfg.Interfaces) != 1 || len(cfg.Components) != 3 ||
+		len(cfg.Connectors) != 1 || len(cfg.Bindings) != 2 ||
+		len(cfg.Constraints) != 1 || len(cfg.Deployments) != 3 {
+		t.Fatalf("shape = %s", cfg)
+	}
+}
+
+func TestParseInterface(t *testing.T) {
+	cfg := parseFixture(t)
+	iface, ok := cfg.Interface("Codec")
+	if !ok {
+		t.Fatal("Codec missing")
+	}
+	if iface.Version != (registry.Version{Major: 1, Minor: 0}) {
+		t.Errorf("version = %v", iface.Version)
+	}
+	if len(iface.Ops) != 2 || iface.Ops[0].String() != "encode(frame)->(packet)" {
+		t.Errorf("ops = %v", iface.Ops)
+	}
+}
+
+func TestParseComponent(t *testing.T) {
+	cfg := parseFixture(t)
+	enc, ok := cfg.Component("Encoder")
+	if !ok {
+		t.Fatal("Encoder missing")
+	}
+	if enc.Implements != "Codec" {
+		t.Errorf("implements = %s", enc.Implements)
+	}
+	if enc.Properties["cpu"] != "4" || enc.Properties["statefulness"] != "stateful" {
+		t.Errorf("properties = %v", enc.Properties)
+	}
+	if enc.Behavior == nil || enc.Behavior.NumStates() != 4 {
+		t.Fatalf("behavior = %v", enc.Behavior)
+	}
+	if _, ok := enc.Require("capture"); !ok {
+		t.Error("requires missing capture")
+	}
+}
+
+func TestParseConnectorAndRules(t *testing.T) {
+	cfg := parseFixture(t)
+	pipe, ok := cfg.Connector("Pipe")
+	if !ok {
+		t.Fatal("Pipe missing")
+	}
+	if pipe.Kind != KindRPC {
+		t.Errorf("kind = %v", pipe.Kind)
+	}
+	if len(pipe.Rules) != 1 || pipe.Rules[0].String() != "encode impliesLater stats" {
+		t.Errorf("rules = %v", pipe.Rules)
+	}
+}
+
+func TestParseDeployments(t *testing.T) {
+	cfg := parseFixture(t)
+	d, ok := cfg.Deployment("Encoder")
+	if !ok {
+		t.Fatal("Encoder deployment missing")
+	}
+	if d.Region != "eu" || d.CPU != 4 || !d.Secure {
+		t.Errorf("deployment = %+v", d)
+	}
+	if len(d.Colocate) != 1 || d.Colocate[0] != "Camera" {
+		t.Errorf("colocate = %v", d.Colocate)
+	}
+	if len(d.Anti) != 1 || d.Anti[0] != "Streamer" {
+		t.Errorf("anti = %v", d.Anti)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no system":          `component X {}`,
+		"unterminated":       `system S {`,
+		"bad decl":           `system S { frobnicate }`,
+		"bad version":        `system S { interface I vX { } }`,
+		"bad kind":           `system S { connector C { kind telepathy } }`,
+		"bad rule":           `system S { connector C { rule "a frobs b" } }`,
+		"trailing input":     `system S { } extra`,
+		"unterminated str":   `system S { constraint "a implies b }`,
+		"bad behavior block": `system S { component C { behavior { s0 } } }`,
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestCheckFixtureIsValid(t *testing.T) {
+	cfg := parseFixture(t)
+	diags, err := Check(cfg)
+	if err != nil {
+		t.Fatalf("check: %v (diags: %v)", err, diags)
+	}
+	for _, d := range diags {
+		if d.Severity == "error" {
+			t.Errorf("unexpected error diagnostic: %s", d)
+		}
+	}
+}
+
+func TestCheckDetectsUnknownBindingTargets(t *testing.T) {
+	src := `
+system S {
+  component A { require x() }
+  connector C { kind rpc }
+  bind A.x -> Ghost.x via C
+}`
+	cfg, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Check(cfg); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCheckDetectsSignatureMismatch(t *testing.T) {
+	src := `
+system S {
+  component A { require x(int) -> (string) }
+  component B { provide x(float) -> (string) }
+  connector C { kind rpc }
+  bind A.x -> B.x via C
+}`
+	cfg, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Check(cfg)
+	if err == nil {
+		t.Fatalf("mismatched signature accepted: %v", diags)
+	}
+	if !strings.Contains(err.Error(), "signature mismatch") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCheckAcceptsResultExtension(t *testing.T) {
+	src := `
+system S {
+  component A { require x(id) -> (frame) }
+  component B { provide x(id) -> (frame, meta) }
+  connector C { kind rpc }
+  bind A.x -> B.x via C
+}`
+	cfg, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Check(cfg); err != nil {
+		t.Fatalf("result extension should be compatible: %v", err)
+	}
+}
+
+func TestCheckDetectsBehaviouralIncompatibility(t *testing.T) {
+	// Client loops forever; server serves exactly once: deadlock.
+	src := `
+system S {
+  component Client {
+    require q() -> (r)
+    behavior {
+      init c0
+      c0 !q c1
+      c1 ?q c0
+    }
+  }
+  component Server {
+    provide q() -> (r)
+    behavior {
+      init s0
+      s0 ?q s1
+      s1 !q s2
+    }
+  }
+  connector C { kind rpc }
+  bind Client.q -> Server.q via C
+}`
+	cfg, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Check(cfg)
+	if err == nil || !strings.Contains(err.Error(), "behavioural incompatibility") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCheckDetectsRuleCycle(t *testing.T) {
+	src := `
+system S {
+  constraint "a implies b"
+  constraint "b implies a"
+}`
+	cfg, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Check(cfg); err == nil {
+		t.Fatal("cyclic rules accepted")
+	}
+}
+
+func TestCheckDetectsUndeclaredBehaviorOps(t *testing.T) {
+	src := `
+system S {
+  component A {
+    provide x()
+    behavior {
+      init s0
+      s0 ?x s1
+      s1 !phantom s0
+    }
+  }
+}`
+	cfg, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Check(cfg)
+	if err == nil || !strings.Contains(err.Error(), "undeclared service") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCheckWarnsUnboundRequirement(t *testing.T) {
+	src := `
+system S {
+  component A { require lonely() }
+}`
+	cfg, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Check(cfg)
+	if err != nil {
+		t.Fatalf("warning should not be fatal: %v", err)
+	}
+	found := false
+	for _, d := range diags {
+		if d.Severity == "warning" && strings.Contains(d.Message, "unbound") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected unbound warning, got %v", diags)
+	}
+}
+
+func TestCheckDuplicateNames(t *testing.T) {
+	src := `
+system S {
+  component X { provide a() }
+  connector X { kind rpc }
+}`
+	cfg, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Check(cfg); err == nil {
+		t.Fatal("duplicate names accepted")
+	}
+}
+
+func TestCheckImplementsCoverage(t *testing.T) {
+	src := `
+system S {
+  interface I v1.0 {
+    op a()
+    op b()
+  }
+  component C {
+    implements I v1.0
+    provide a()
+  }
+}`
+	cfg, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Check(cfg)
+	if err == nil || !strings.Contains(err.Error(), "does not satisfy") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDiffIdenticalConfigsIsEmpty(t *testing.T) {
+	a := parseFixture(t)
+	b := parseFixture(t)
+	if plan := Diff(a, b); len(plan) != 0 {
+		t.Fatalf("plan = %v, want empty", plan)
+	}
+	if FormatPlan(nil) != "no changes" {
+		t.Error("FormatPlan(nil)")
+	}
+}
+
+func TestDiffDetectsAllChangeKinds(t *testing.T) {
+	oldSrc := `
+system S {
+  component Keep { provide k() }
+  component Gone { provide g() }
+  component Changed { provide c() property cpu = 1 }
+  connector C1 { kind rpc }
+  bind Keep.x -> Gone.g via C1
+  deploy Changed on region=eu cpu=1
+}`
+	newSrc := `
+system S {
+  component Keep { provide k() }
+  component Fresh { provide f() }
+  component Changed { provide c() property cpu = 8 }
+  connector C1 { kind pipe }
+  connector C2 { kind rpc }
+  bind Keep.x -> Fresh.f via C2
+  deploy Changed on region=us cpu=1
+}`
+	oldCfg, err := Parse(oldSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newCfg, err := Parse(newSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := Diff(oldCfg, newCfg)
+	kinds := map[ChangeKind]int{}
+	for _, c := range plan {
+		kinds[c.Kind]++
+	}
+	want := map[ChangeKind]int{
+		AddComponent: 1, RemoveComponent: 1, ModifyComponent: 1,
+		AddConnector: 1, ModifyConnector: 1,
+		AddBinding: 1, RemoveBinding: 1, Redeploy: 1,
+	}
+	for k, n := range want {
+		if kinds[k] != n {
+			t.Errorf("kind %v count = %d, want %d (plan: %s)", k, kinds[k], n, FormatPlan(plan))
+		}
+	}
+	// Safety order: additions strictly before removals.
+	addIdx, removeIdx := -1, -1
+	for i, c := range plan {
+		if c.Kind == AddComponent {
+			addIdx = i
+		}
+		if c.Kind == RemoveComponent {
+			removeIdx = i
+		}
+	}
+	if addIdx > removeIdx {
+		t.Errorf("additions must precede removals: %s", FormatPlan(plan))
+	}
+}
+
+func TestChangeKindStructural(t *testing.T) {
+	if !AddComponent.Structural() || !RemoveBinding.Structural() {
+		t.Error("topology changes should be structural")
+	}
+	if ModifyComponent.Structural() || Redeploy.Structural() {
+		t.Error("modification/redeploy are not structural")
+	}
+	if ChangeKind(0).String() != "unknown" {
+		t.Error("zero kind string")
+	}
+}
+
+func TestBehaviorBlockLineNumbers(t *testing.T) {
+	// An error after a behavior block must report a sane line number.
+	src := `system S {
+  component C {
+    provide x()
+    behavior {
+      init s0
+      s0 ?x s0
+    }
+  }
+  frobnicate
+}`
+	_, err := Parse(src)
+	if err == nil || !strings.Contains(err.Error(), "line 9") {
+		t.Fatalf("err = %v, want line 9 mention", err)
+	}
+}

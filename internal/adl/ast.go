@@ -1,0 +1,205 @@
+// Package adl implements the framework's architecture description
+// language. The paper surveys ADLs (§1: UniCon, Olan, Aster, C2, Rapide,
+// Wright, and Polylith's module interconnection language) and keeps their
+// key capabilities: declaring components with provided/required services
+// ("define input / use output"), specifying behaviour (embedded LTS blocks
+// in the Wright style), attaching interaction rules (FLO/C constraints),
+// describing deployment requirements, and validating whole configurations
+// semantically. Config diffing produces the change plans that drive
+// dynamic reconfiguration.
+package adl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/flo"
+	"repro/internal/lts"
+	"repro/internal/registry"
+)
+
+// Config is a parsed "system" declaration — the complete architectural
+// description of one application.
+type Config struct {
+	Name        string
+	Interfaces  []InterfaceDecl
+	Components  []ComponentDecl
+	Connectors  []ConnectorDecl
+	Bindings    []Binding
+	Constraints []flo.Rule
+	Deployments []DeploymentDecl
+}
+
+// InterfaceDecl declares a named, versioned service interface.
+type InterfaceDecl struct {
+	Name    string
+	Version registry.Version
+	Ops     []registry.Signature
+}
+
+// ToRegistry converts to the registry representation.
+func (i InterfaceDecl) ToRegistry() registry.Interface {
+	return registry.Interface{Name: i.Name, Version: i.Version,
+		Ops: append([]registry.Signature(nil), i.Ops...)}
+}
+
+// ComponentDecl declares a component type.
+type ComponentDecl struct {
+	Name string
+	// Implements optionally names an interface the provides must cover.
+	Implements        string
+	ImplementsVersion registry.Version
+	Provides          []registry.Signature
+	Requires          []registry.Signature
+	Properties        map[string]string
+	// Behavior is the component's optional LTS model.
+	Behavior *lts.LTS
+}
+
+// Provide returns the provided signature with the given name.
+func (c ComponentDecl) Provide(name string) (registry.Signature, bool) {
+	for _, s := range c.Provides {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return registry.Signature{}, false
+}
+
+// Require returns the required signature with the given name.
+func (c ComponentDecl) Require(name string) (registry.Signature, bool) {
+	for _, s := range c.Requires {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return registry.Signature{}, false
+}
+
+// ConnectorKind enumerates the interaction schemas connectors implement.
+type ConnectorKind int
+
+// Connector kinds.
+const (
+	KindRPC ConnectorKind = iota + 1
+	KindPipe
+	KindMulticast
+	KindBalanced
+)
+
+var kindNames = map[ConnectorKind]string{
+	KindRPC: "rpc", KindPipe: "pipe", KindMulticast: "multicast", KindBalanced: "balanced",
+}
+
+// String implements fmt.Stringer.
+func (k ConnectorKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return "unknown"
+}
+
+// ParseConnectorKind resolves a kind keyword.
+func ParseConnectorKind(s string) (ConnectorKind, error) {
+	for k, n := range kindNames {
+		if n == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("adl: unknown connector kind %q", s)
+}
+
+// ConnectorDecl declares a connector type with its interaction rules.
+type ConnectorDecl struct {
+	Name       string
+	Kind       ConnectorKind
+	Rules      []flo.Rule
+	Properties map[string]string
+}
+
+// Binding wires a required service of one component to a provided service
+// of another through a connector.
+type Binding struct {
+	FromComponent string
+	FromService   string
+	ToComponent   string
+	ToService     string
+	Via           string // connector name
+}
+
+// String renders "A.x -> B.y via C".
+func (b Binding) String() string {
+	return fmt.Sprintf("%s.%s -> %s.%s via %s",
+		b.FromComponent, b.FromService, b.ToComponent, b.ToService, b.Via)
+}
+
+// DeploymentDecl captures placement requirements for one component —
+// the paper's first design concern: "safety, security, liability, load
+// balancing and performance" (introduction).
+type DeploymentDecl struct {
+	Component string
+	Region    string  // preferred region ("" = anywhere)
+	CPU       float64 // resource units required
+	Secure    bool    // must land on a secure node
+	Colocate  []string
+	Anti      []string
+}
+
+// Component returns the declared component or false.
+func (c *Config) Component(name string) (ComponentDecl, bool) {
+	for _, d := range c.Components {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return ComponentDecl{}, false
+}
+
+// Connector returns the declared connector or false.
+func (c *Config) Connector(name string) (ConnectorDecl, bool) {
+	for _, d := range c.Connectors {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return ConnectorDecl{}, false
+}
+
+// Interface returns the declared interface or false.
+func (c *Config) Interface(name string) (InterfaceDecl, bool) {
+	for _, d := range c.Interfaces {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return InterfaceDecl{}, false
+}
+
+// Deployment returns the deployment declaration for a component, or false.
+func (c *Config) Deployment(component string) (DeploymentDecl, bool) {
+	for _, d := range c.Deployments {
+		if d.Component == component {
+			return d, true
+		}
+	}
+	return DeploymentDecl{}, false
+}
+
+// ComponentNames returns sorted component names.
+func (c *Config) ComponentNames() []string {
+	names := make([]string, len(c.Components))
+	for i, d := range c.Components {
+		names[i] = d.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders a compact summary.
+func (c *Config) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "system %s: %d components, %d connectors, %d bindings",
+		c.Name, len(c.Components), len(c.Connectors), len(c.Bindings))
+	return sb.String()
+}

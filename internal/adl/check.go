@@ -1,0 +1,208 @@
+package adl
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/flo"
+	"repro/internal/lts"
+	"repro/internal/registry"
+)
+
+// ErrInvalidConfig wraps all semantic-analysis failures.
+var ErrInvalidConfig = errors.New("adl: invalid configuration")
+
+// Diagnostic is one semantic finding.
+type Diagnostic struct {
+	// Severity is "error" or "warning".
+	Severity string
+	Message  string
+}
+
+// String implements fmt.Stringer.
+func (d Diagnostic) String() string { return d.Severity + ": " + d.Message }
+
+// Check performs the semantic analysis the paper expects of elaborated ADLs
+// (§1): name resolution, signature compatibility across bindings,
+// interface-implementation coverage, behavioural (LTS) compatibility of
+// bound peers, FLO rule cycle checks and deployment reference checks.
+// It returns all diagnostics; the error is non-nil iff any has severity
+// "error".
+func Check(cfg *Config) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	errf := func(format string, args ...any) {
+		diags = append(diags, Diagnostic{Severity: "error", Message: fmt.Sprintf(format, args...)})
+	}
+	warnf := func(format string, args ...any) {
+		diags = append(diags, Diagnostic{Severity: "warning", Message: fmt.Sprintf(format, args...)})
+	}
+
+	// Unique names across all declaration kinds.
+	seen := map[string]string{}
+	declare := func(kind, name string) {
+		if prev, dup := seen[name]; dup {
+			errf("%s %q conflicts with %s of the same name", kind, name, prev)
+			return
+		}
+		seen[name] = kind
+	}
+	for _, i := range cfg.Interfaces {
+		declare("interface", i.Name)
+	}
+	for _, c := range cfg.Components {
+		declare("component", c.Name)
+	}
+	for _, c := range cfg.Connectors {
+		declare("connector", c.Name)
+	}
+
+	// Interface implementation coverage.
+	for _, c := range cfg.Components {
+		if c.Implements == "" {
+			continue
+		}
+		iface, ok := cfg.Interface(c.Implements)
+		if !ok {
+			errf("component %s implements unknown interface %s", c.Name, c.Implements)
+			continue
+		}
+		provided := registry.Interface{Name: iface.Name, Version: c.ImplementsVersion,
+			Ops: c.Provides}
+		rep := registry.CheckCompliance(iface.ToRegistry(), provided)
+		if !rep.Compliant {
+			for op, v := range rep.Verdicts {
+				if v == registry.OpRemoved || v == registry.OpChanged {
+					errf("component %s does not satisfy %s.%s (%s)", c.Name, iface.Name, op, v)
+				}
+			}
+		}
+	}
+
+	// Bindings: resolve endpoints, check signature compatibility, check
+	// behavioural compatibility when both peers declare LTS models.
+	for _, b := range cfg.Bindings {
+		from, okF := cfg.Component(b.FromComponent)
+		if !okF {
+			errf("binding %s: unknown component %s", b, b.FromComponent)
+		}
+		to, okT := cfg.Component(b.ToComponent)
+		if !okT {
+			errf("binding %s: unknown component %s", b, b.ToComponent)
+		}
+		if _, ok := cfg.Connector(b.Via); !ok {
+			errf("binding %s: unknown connector %s", b, b.Via)
+		}
+		if !okF || !okT {
+			continue
+		}
+		req, okR := from.Require(b.FromService)
+		if !okR {
+			errf("binding %s: %s does not require %s", b, b.FromComponent, b.FromService)
+		}
+		prov, okP := to.Provide(b.ToService)
+		if !okP {
+			errf("binding %s: %s does not provide %s", b, b.ToComponent, b.ToService)
+		}
+		if okR && okP {
+			if !compatibleSignatures(req, prov) {
+				errf("binding %s: signature mismatch: requires %s, provides %s", b, req, prov)
+			}
+		}
+		if from.Behavior != nil && to.Behavior != nil {
+			rep := lts.CheckCompat(from.Behavior, to.Behavior)
+			if !rep.Compatible {
+				errf("binding %s: behavioural incompatibility: deadlock at %s after %v",
+					b, rep.DeadlockState, rep.Trace)
+			}
+		}
+	}
+
+	// Unbound requirements are warnings (the runtime rejects calls on them).
+	bound := map[string]bool{}
+	for _, b := range cfg.Bindings {
+		bound[b.FromComponent+"."+b.FromService] = true
+	}
+	for _, c := range cfg.Components {
+		for _, r := range c.Requires {
+			if !bound[c.Name+"."+r.Name] {
+				warnf("component %s requirement %s is unbound", c.Name, r.Name)
+			}
+		}
+	}
+
+	// Behaviour models must only use actions naming declared services.
+	for _, c := range cfg.Components {
+		if c.Behavior == nil {
+			continue
+		}
+		known := map[string]bool{}
+		for _, s := range c.Provides {
+			known[s.Name] = true
+		}
+		for _, s := range c.Requires {
+			known[s.Name] = true
+		}
+		for _, a := range c.Behavior.Alphabet() {
+			if !known[a.Base()] {
+				errf("component %s behavior uses undeclared service %q", c.Name, a.Base())
+			}
+		}
+	}
+
+	// FLO rules: global constraints plus per-connector rules must have an
+	// acyclic calling tree.
+	var all []flo.Rule
+	all = append(all, cfg.Constraints...)
+	for _, conn := range cfg.Connectors {
+		all = append(all, conn.Rules...)
+	}
+	if err := flo.CheckRules(all); err != nil {
+		errf("interaction rules: %v", err)
+	}
+
+	// Deployment declarations must reference declared components.
+	for _, d := range cfg.Deployments {
+		if _, ok := cfg.Component(d.Component); !ok {
+			errf("deploy: unknown component %s", d.Component)
+		}
+		for _, co := range d.Colocate {
+			if _, ok := cfg.Component(co); !ok {
+				errf("deploy %s: unknown colocate target %s", d.Component, co)
+			}
+		}
+		for _, an := range d.Anti {
+			if _, ok := cfg.Component(an); !ok {
+				errf("deploy %s: unknown anti-affinity target %s", d.Component, an)
+			}
+		}
+	}
+
+	for _, d := range diags {
+		if d.Severity == "error" {
+			return diags, fmt.Errorf("%w: %s", ErrInvalidConfig, d.Message)
+		}
+	}
+	return diags, nil
+}
+
+// compatibleSignatures reports whether a provided service satisfies a
+// requirement: equal parameters, results may extend the required ones.
+func compatibleSignatures(req, prov registry.Signature) bool {
+	if len(req.Params) != len(prov.Params) {
+		return false
+	}
+	for i := range req.Params {
+		if req.Params[i] != prov.Params[i] {
+			return false
+		}
+	}
+	if len(req.Results) > len(prov.Results) {
+		return false
+	}
+	for i := range req.Results {
+		if req.Results[i] != prov.Results[i] {
+			return false
+		}
+	}
+	return true
+}

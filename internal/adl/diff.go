@@ -1,0 +1,207 @@
+package adl
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+)
+
+// ChangeKind classifies one reconfiguration step, mirroring the paper's
+// taxonomy of dynamic changes (§1): structural changes (add/remove
+// components, modify connections), geographical changes (redeployment),
+// interface modification and implementation modification.
+type ChangeKind int
+
+// Change kinds.
+const (
+	AddComponent ChangeKind = iota + 1
+	RemoveComponent
+	ModifyComponent // implementation or interface modification
+	AddConnector
+	RemoveConnector
+	ModifyConnector
+	AddBinding
+	RemoveBinding
+	Redeploy // geographical change
+)
+
+var changeNames = map[ChangeKind]string{
+	AddComponent: "add-component", RemoveComponent: "remove-component",
+	ModifyComponent: "modify-component", AddConnector: "add-connector",
+	RemoveConnector: "remove-connector", ModifyConnector: "modify-connector",
+	AddBinding: "add-binding", RemoveBinding: "remove-binding", Redeploy: "redeploy",
+}
+
+// String implements fmt.Stringer.
+func (k ChangeKind) String() string {
+	if s, ok := changeNames[k]; ok {
+		return s
+	}
+	return "unknown"
+}
+
+// Structural reports whether the change alters the application topology.
+func (k ChangeKind) Structural() bool {
+	switch k {
+	case AddComponent, RemoveComponent, AddConnector, RemoveConnector, AddBinding, RemoveBinding:
+		return true
+	default:
+		return false
+	}
+}
+
+// Change is one step of a reconfiguration plan.
+type Change struct {
+	Kind   ChangeKind
+	Target string // component/connector name or binding description
+}
+
+// String implements fmt.Stringer.
+func (c Change) String() string { return c.Kind.String() + " " + c.Target }
+
+// Diff computes the ordered reconfiguration plan that turns configuration
+// old into configuration new. Order is chosen for safety: additions first
+// (new capacity comes up), then binding changes, then modifications, then
+// removals (old capacity goes away last).
+func Diff(old, new *Config) []Change {
+	var adds, binds, mods, removes []Change
+
+	oldComps := map[string]ComponentDecl{}
+	for _, c := range old.Components {
+		oldComps[c.Name] = c
+	}
+	newComps := map[string]ComponentDecl{}
+	for _, c := range new.Components {
+		newComps[c.Name] = c
+	}
+	for _, name := range sortedKeys(newComps) {
+		nc := newComps[name]
+		oc, existed := oldComps[name]
+		if !existed {
+			adds = append(adds, Change{Kind: AddComponent, Target: name})
+			continue
+		}
+		if !componentEqual(oc, nc) {
+			mods = append(mods, Change{Kind: ModifyComponent, Target: name})
+		}
+	}
+	for _, name := range sortedKeys(oldComps) {
+		if _, kept := newComps[name]; !kept {
+			removes = append(removes, Change{Kind: RemoveComponent, Target: name})
+		}
+	}
+
+	oldConns := map[string]ConnectorDecl{}
+	for _, c := range old.Connectors {
+		oldConns[c.Name] = c
+	}
+	newConns := map[string]ConnectorDecl{}
+	for _, c := range new.Connectors {
+		newConns[c.Name] = c
+	}
+	for _, name := range sortedKeys(newConns) {
+		nc := newConns[name]
+		oc, existed := oldConns[name]
+		if !existed {
+			adds = append(adds, Change{Kind: AddConnector, Target: name})
+			continue
+		}
+		if !reflect.DeepEqual(oc, nc) {
+			mods = append(mods, Change{Kind: ModifyConnector, Target: name})
+		}
+	}
+	for _, name := range sortedKeys(oldConns) {
+		if _, kept := newConns[name]; !kept {
+			removes = append(removes, Change{Kind: RemoveConnector, Target: name})
+		}
+	}
+
+	oldBinds := map[string]bool{}
+	for _, b := range old.Bindings {
+		oldBinds[b.String()] = true
+	}
+	newBinds := map[string]bool{}
+	for _, b := range new.Bindings {
+		newBinds[b.String()] = true
+	}
+	for _, b := range sortedBoolKeys(newBinds) {
+		if !oldBinds[b] {
+			binds = append(binds, Change{Kind: AddBinding, Target: b})
+		}
+	}
+	for _, b := range sortedBoolKeys(oldBinds) {
+		if !newBinds[b] {
+			binds = append(binds, Change{Kind: RemoveBinding, Target: b})
+		}
+	}
+
+	// Geographical changes: same component, different deployment clause.
+	oldDep := map[string]DeploymentDecl{}
+	for _, d := range old.Deployments {
+		oldDep[d.Component] = d
+	}
+	for _, d := range new.Deployments {
+		if prev, ok := oldDep[d.Component]; ok && !reflect.DeepEqual(prev, d) {
+			// Only meaningful for components that survive the diff.
+			if _, kept := newComps[d.Component]; kept {
+				if _, existed := oldComps[d.Component]; existed {
+					mods = append(mods, Change{Kind: Redeploy, Target: d.Component})
+				}
+			}
+		}
+	}
+
+	plan := make([]Change, 0, len(adds)+len(binds)+len(mods)+len(removes))
+	plan = append(plan, adds...)
+	plan = append(plan, binds...)
+	plan = append(plan, mods...)
+	plan = append(plan, removes...)
+	return plan
+}
+
+// componentEqual compares declarations, treating behaviours as equal when
+// both are nil or bisimilar in the trivial sense of identical text.
+func componentEqual(a, b ComponentDecl) bool {
+	ab, bb := a.Behavior, b.Behavior
+	a.Behavior, b.Behavior = nil, nil
+	defer func() { a.Behavior, b.Behavior = ab, bb }()
+	if !reflect.DeepEqual(a, b) {
+		return false
+	}
+	switch {
+	case ab == nil && bb == nil:
+		return true
+	case ab == nil || bb == nil:
+		return false
+	default:
+		return ab.String() == bb.String()
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedBoolKeys(m map[string]bool) []string {
+	return sortedKeys(m)
+}
+
+// FormatPlan renders a plan for logs and the adlcheck tool.
+func FormatPlan(plan []Change) string {
+	if len(plan) == 0 {
+		return "no changes"
+	}
+	out := ""
+	for i, c := range plan {
+		if i > 0 {
+			out += "\n"
+		}
+		out += fmt.Sprintf("%2d. %s", i+1, c)
+	}
+	return out
+}

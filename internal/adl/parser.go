@@ -1,0 +1,576 @@
+package adl
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/flo"
+	"repro/internal/lts"
+	"repro/internal/registry"
+)
+
+// Parse reads one "system <name> { ... }" declaration. The grammar:
+//
+//	system     := "system" IDENT "{" decl* "}"
+//	decl       := interface | component | connector | bind | constraint | deploy
+//	interface  := "interface" IDENT version "{" op* "}"
+//	op         := "op" signature
+//	signature  := IDENT "(" params? ")" [ "->" "(" params? ")" ]
+//	component  := "component" IDENT "{" compItem* "}"
+//	compItem   := "implements" IDENT version
+//	            | "provide" signature | "require" signature
+//	            | "property" IDENT "=" value
+//	            | "behavior" "{" <raw lts text> "}"
+//	connector  := "connector" IDENT "{" connItem* "}"
+//	connItem   := "kind" IDENT | "rule" STRING | "property" IDENT "=" value
+//	bind       := "bind" IDENT "." IDENT "->" IDENT "." IDENT "via" IDENT
+//	constraint := "constraint" STRING
+//	deploy     := "deploy" IDENT "on" deployItem*
+//	deployItem := "region" "=" IDENT | "cpu" "=" NUMBER | "secure"
+//	            | "colocate" "=" IDENT | "anti" "=" IDENT
+//	version    := "v" NUMBER "." NUMBER
+func Parse(src string) (*Config, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	cfg, err := p.parseSystem()
+	if err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+type parser struct {
+	lex *lexer
+	cur token
+}
+
+func (p *parser) next() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.cur = t
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("adl: line %d: %s", p.cur.line, fmt.Sprintf(format, args...))
+}
+
+// expectIdent consumes and returns an identifier token value.
+func (p *parser) expectIdent(what string) (string, error) {
+	if p.cur.kind != tokIdent {
+		return "", p.errf("expected %s, got %s", what, p.cur)
+	}
+	v := p.cur.val
+	if err := p.next(); err != nil {
+		return "", err
+	}
+	return v, nil
+}
+
+// expectKeyword consumes a specific identifier.
+func (p *parser) expectKeyword(kw string) error {
+	if p.cur.kind != tokIdent || p.cur.val != kw {
+		return p.errf("expected %q, got %s", kw, p.cur)
+	}
+	return p.next()
+}
+
+// expectPunct consumes a specific punctuation token.
+func (p *parser) expectPunct(v string) error {
+	if p.cur.kind != tokPunct || p.cur.val != v {
+		return p.errf("expected %q, got %s", v, p.cur)
+	}
+	return p.next()
+}
+
+func (p *parser) isPunct(v string) bool { return p.cur.kind == tokPunct && p.cur.val == v }
+func (p *parser) isIdent(v string) bool { return p.cur.kind == tokIdent && p.cur.val == v }
+
+func (p *parser) parseSystem() (*Config, error) {
+	if err := p.expectKeyword("system"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent("system name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	cfg := &Config{Name: name}
+	for !p.isPunct("}") {
+		if p.cur.kind == tokEOF {
+			return nil, p.errf("unexpected end of input inside system %s", name)
+		}
+		switch {
+		case p.isIdent("interface"):
+			if err := p.parseInterface(cfg); err != nil {
+				return nil, err
+			}
+		case p.isIdent("component"):
+			if err := p.parseComponent(cfg); err != nil {
+				return nil, err
+			}
+		case p.isIdent("connector"):
+			if err := p.parseConnector(cfg); err != nil {
+				return nil, err
+			}
+		case p.isIdent("bind"):
+			if err := p.parseBind(cfg); err != nil {
+				return nil, err
+			}
+		case p.isIdent("constraint"):
+			if err := p.parseConstraint(cfg); err != nil {
+				return nil, err
+			}
+		case p.isIdent("deploy"):
+			if err := p.parseDeploy(cfg); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf("unexpected %s at system level", p.cur)
+		}
+	}
+	if err := p.next(); err != nil { // consume '}'
+		return nil, err
+	}
+	if p.cur.kind != tokEOF {
+		return nil, p.errf("trailing input after system block: %s", p.cur)
+	}
+	return cfg, nil
+}
+
+// parseVersion reads "v1" "." "0" style version tokens.
+func (p *parser) parseVersion() (registry.Version, error) {
+	if p.cur.kind != tokIdent || len(p.cur.val) < 2 || p.cur.val[0] != 'v' {
+		return registry.Version{}, p.errf("expected version like v1, got %s", p.cur)
+	}
+	major, err := strconv.Atoi(p.cur.val[1:])
+	if err != nil {
+		return registry.Version{}, p.errf("bad major version %q", p.cur.val)
+	}
+	if err := p.next(); err != nil {
+		return registry.Version{}, err
+	}
+	minor := 0
+	if p.isPunct(".") {
+		if err := p.next(); err != nil {
+			return registry.Version{}, err
+		}
+		m, err := p.expectIdent("minor version")
+		if err != nil {
+			return registry.Version{}, err
+		}
+		minor, err = strconv.Atoi(m)
+		if err != nil {
+			return registry.Version{}, p.errf("bad minor version %q", m)
+		}
+	}
+	return registry.Version{Major: major, Minor: minor}, nil
+}
+
+// parseSignature reads name "(" params ")" ["->" "(" results ")"].
+func (p *parser) parseSignature() (registry.Signature, error) {
+	name, err := p.expectIdent("operation name")
+	if err != nil {
+		return registry.Signature{}, err
+	}
+	sig := registry.Signature{Name: name}
+	if err := p.expectPunct("("); err != nil {
+		return sig, err
+	}
+	for !p.isPunct(")") {
+		t, err := p.expectIdent("parameter type")
+		if err != nil {
+			return sig, err
+		}
+		sig.Params = append(sig.Params, registry.TypeName(t))
+		if p.isPunct(",") {
+			if err := p.next(); err != nil {
+				return sig, err
+			}
+		}
+	}
+	if err := p.next(); err != nil { // consume ')'
+		return sig, err
+	}
+	if p.isPunct("->") {
+		if err := p.next(); err != nil {
+			return sig, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return sig, err
+		}
+		for !p.isPunct(")") {
+			t, err := p.expectIdent("result type")
+			if err != nil {
+				return sig, err
+			}
+			sig.Results = append(sig.Results, registry.TypeName(t))
+			if p.isPunct(",") {
+				if err := p.next(); err != nil {
+					return sig, err
+				}
+			}
+		}
+		if err := p.next(); err != nil {
+			return sig, err
+		}
+	}
+	return sig, nil
+}
+
+func (p *parser) parseInterface(cfg *Config) error {
+	if err := p.next(); err != nil { // consume "interface"
+		return err
+	}
+	name, err := p.expectIdent("interface name")
+	if err != nil {
+		return err
+	}
+	ver, err := p.parseVersion()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	decl := InterfaceDecl{Name: name, Version: ver}
+	for !p.isPunct("}") {
+		if err := p.expectKeyword("op"); err != nil {
+			return err
+		}
+		sig, err := p.parseSignature()
+		if err != nil {
+			return err
+		}
+		decl.Ops = append(decl.Ops, sig)
+	}
+	if err := p.next(); err != nil {
+		return err
+	}
+	cfg.Interfaces = append(cfg.Interfaces, decl)
+	return nil
+}
+
+func (p *parser) parseComponent(cfg *Config) error {
+	if err := p.next(); err != nil {
+		return err
+	}
+	name, err := p.expectIdent("component name")
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	decl := ComponentDecl{Name: name, Properties: map[string]string{}}
+	for !p.isPunct("}") {
+		switch {
+		case p.isIdent("implements"):
+			if err := p.next(); err != nil {
+				return err
+			}
+			iface, err := p.expectIdent("interface name")
+			if err != nil {
+				return err
+			}
+			ver, err := p.parseVersion()
+			if err != nil {
+				return err
+			}
+			decl.Implements, decl.ImplementsVersion = iface, ver
+		case p.isIdent("provide"):
+			if err := p.next(); err != nil {
+				return err
+			}
+			sig, err := p.parseSignature()
+			if err != nil {
+				return err
+			}
+			decl.Provides = append(decl.Provides, sig)
+		case p.isIdent("require"):
+			if err := p.next(); err != nil {
+				return err
+			}
+			sig, err := p.parseSignature()
+			if err != nil {
+				return err
+			}
+			decl.Requires = append(decl.Requires, sig)
+		case p.isIdent("property"):
+			k, v, err := p.parseProperty()
+			if err != nil {
+				return err
+			}
+			decl.Properties[k] = v
+		case p.isIdent("behavior"):
+			if err := p.next(); err != nil {
+				return err
+			}
+			if !p.isPunct("{") {
+				return p.errf("expected '{' after behavior, got %s", p.cur)
+			}
+			// The current token is '{' and the lexer sits just past it:
+			// capture the raw block and reprime the lookahead.
+			raw, err := p.lex.captureBalancedBlock()
+			if err != nil {
+				return err
+			}
+			model, err := lts.Parse(name, raw)
+			if err != nil {
+				return p.errf("behavior of %s: %v", name, err)
+			}
+			decl.Behavior = model
+			if err := p.next(); err != nil {
+				return err
+			}
+		default:
+			return p.errf("unexpected %s in component %s", p.cur, name)
+		}
+	}
+	if err := p.next(); err != nil {
+		return err
+	}
+	cfg.Components = append(cfg.Components, decl)
+	return nil
+}
+
+// parseProperty reads: property key = value, where value is an identifier,
+// a dotted number ("0.5") or a string.
+func (p *parser) parseProperty() (string, string, error) {
+	if err := p.next(); err != nil { // consume "property"
+		return "", "", err
+	}
+	k, err := p.expectIdent("property name")
+	if err != nil {
+		return "", "", err
+	}
+	if err := p.expectPunct("="); err != nil {
+		return "", "", err
+	}
+	switch p.cur.kind {
+	case tokString:
+		v := p.cur.val
+		return k, v, p.next()
+	case tokIdent:
+		v := p.cur.val
+		if err := p.next(); err != nil {
+			return "", "", err
+		}
+		if p.isPunct(".") {
+			if err := p.next(); err != nil {
+				return "", "", err
+			}
+			frac, err := p.expectIdent("fractional part")
+			if err != nil {
+				return "", "", err
+			}
+			v = v + "." + frac
+		}
+		return k, v, nil
+	default:
+		return "", "", p.errf("expected property value, got %s", p.cur)
+	}
+}
+
+func (p *parser) parseConnector(cfg *Config) error {
+	if err := p.next(); err != nil {
+		return err
+	}
+	name, err := p.expectIdent("connector name")
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	decl := ConnectorDecl{Name: name, Kind: KindRPC, Properties: map[string]string{}}
+	for !p.isPunct("}") {
+		switch {
+		case p.isIdent("kind"):
+			if err := p.next(); err != nil {
+				return err
+			}
+			kindName, err := p.expectIdent("connector kind")
+			if err != nil {
+				return err
+			}
+			kind, err := ParseConnectorKind(kindName)
+			if err != nil {
+				return p.errf("%v", err)
+			}
+			decl.Kind = kind
+		case p.isIdent("rule"):
+			if err := p.next(); err != nil {
+				return err
+			}
+			if p.cur.kind != tokString {
+				return p.errf("expected rule string, got %s", p.cur)
+			}
+			rule, err := flo.ParseRule(p.cur.val)
+			if err != nil {
+				return p.errf("%v", err)
+			}
+			decl.Rules = append(decl.Rules, rule)
+			if err := p.next(); err != nil {
+				return err
+			}
+		case p.isIdent("property"):
+			k, v, err := p.parseProperty()
+			if err != nil {
+				return err
+			}
+			decl.Properties[k] = v
+		default:
+			return p.errf("unexpected %s in connector %s", p.cur, name)
+		}
+	}
+	if err := p.next(); err != nil {
+		return err
+	}
+	cfg.Connectors = append(cfg.Connectors, decl)
+	return nil
+}
+
+func (p *parser) parseBind(cfg *Config) error {
+	if err := p.next(); err != nil {
+		return err
+	}
+	b := Binding{}
+	var err error
+	if b.FromComponent, err = p.expectIdent("component"); err != nil {
+		return err
+	}
+	if err = p.expectPunct("."); err != nil {
+		return err
+	}
+	if b.FromService, err = p.expectIdent("service"); err != nil {
+		return err
+	}
+	if err = p.expectPunct("->"); err != nil {
+		return err
+	}
+	if b.ToComponent, err = p.expectIdent("component"); err != nil {
+		return err
+	}
+	if err = p.expectPunct("."); err != nil {
+		return err
+	}
+	if b.ToService, err = p.expectIdent("service"); err != nil {
+		return err
+	}
+	if err = p.expectKeyword("via"); err != nil {
+		return err
+	}
+	if b.Via, err = p.expectIdent("connector"); err != nil {
+		return err
+	}
+	cfg.Bindings = append(cfg.Bindings, b)
+	return nil
+}
+
+func (p *parser) parseConstraint(cfg *Config) error {
+	if err := p.next(); err != nil {
+		return err
+	}
+	if p.cur.kind != tokString {
+		return p.errf("expected constraint string, got %s", p.cur)
+	}
+	rule, err := flo.ParseRule(p.cur.val)
+	if err != nil {
+		return p.errf("%v", err)
+	}
+	cfg.Constraints = append(cfg.Constraints, rule)
+	return p.next()
+}
+
+func (p *parser) parseDeploy(cfg *Config) error {
+	if err := p.next(); err != nil {
+		return err
+	}
+	comp, err := p.expectIdent("component")
+	if err != nil {
+		return err
+	}
+	if err := p.expectKeyword("on"); err != nil {
+		return err
+	}
+	d := DeploymentDecl{Component: comp}
+	for {
+		switch {
+		case p.isIdent("region"):
+			if err := p.next(); err != nil {
+				return err
+			}
+			if err := p.expectPunct("="); err != nil {
+				return err
+			}
+			if d.Region, err = p.expectIdent("region"); err != nil {
+				return err
+			}
+		case p.isIdent("cpu"):
+			if err := p.next(); err != nil {
+				return err
+			}
+			if err := p.expectPunct("="); err != nil {
+				return err
+			}
+			v, err := p.expectIdent("cpu value")
+			if err != nil {
+				return err
+			}
+			if p.isPunct(".") {
+				if err := p.next(); err != nil {
+					return err
+				}
+				frac, err := p.expectIdent("cpu fraction")
+				if err != nil {
+					return err
+				}
+				v = v + "." + frac
+			}
+			cpu, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return p.errf("bad cpu value %q", v)
+			}
+			d.CPU = cpu
+		case p.isIdent("secure"):
+			d.Secure = true
+			if err := p.next(); err != nil {
+				return err
+			}
+		case p.isIdent("colocate"):
+			if err := p.next(); err != nil {
+				return err
+			}
+			if err := p.expectPunct("="); err != nil {
+				return err
+			}
+			c, err := p.expectIdent("colocate target")
+			if err != nil {
+				return err
+			}
+			d.Colocate = append(d.Colocate, c)
+		case p.isIdent("anti"):
+			if err := p.next(); err != nil {
+				return err
+			}
+			if err := p.expectPunct("="); err != nil {
+				return err
+			}
+			a, err := p.expectIdent("anti-affinity target")
+			if err != nil {
+				return err
+			}
+			d.Anti = append(d.Anti, a)
+		default:
+			cfg.Deployments = append(cfg.Deployments, d)
+			return nil
+		}
+	}
+}

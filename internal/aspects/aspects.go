@@ -1,0 +1,200 @@
+// Package aspects implements aspect-oriented adaptation (§2): crosscutting
+// concerns whose "implementation … is scattered to multiple components",
+// expressed explicitly as aspects. Mirroring the AspectJ discussion in the
+// paper, aspects are woven into component handlers at assembly time, while
+// the advice chain itself is resolved through dynamic dispatch at each
+// invocation — which is exactly what lets aspects "be interchanged at
+// run-time".
+package aspects
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"sync"
+)
+
+// Invocation is a join point: one operation call on one component.
+type Invocation struct {
+	Component string
+	Op        string
+	Args      any
+}
+
+// Handler computes an operation result at the base level.
+type Handler func(*Invocation) (any, error)
+
+// Pointcut selects join points with path.Match globs; empty fields match
+// everything.
+type Pointcut struct {
+	Component string
+	Op        string
+}
+
+// Matches reports whether the invocation is selected.
+func (p Pointcut) Matches(inv *Invocation) bool {
+	if p.Component != "" && !glob(p.Component, inv.Component) {
+		return false
+	}
+	if p.Op != "" && !glob(p.Op, inv.Op) {
+		return false
+	}
+	return true
+}
+
+func glob(pattern, s string) bool {
+	ok, err := path.Match(pattern, s)
+	return err == nil && ok
+}
+
+// Advice is the behaviour attached at a pointcut. Any subset of the three
+// hooks may be set; execution order is Before, Around (wrapping the rest of
+// the chain), then After.
+type Advice struct {
+	Pointcut Pointcut
+	// Before runs first and may veto the call by returning an error.
+	Before func(*Invocation) error
+	// Around fully wraps the remaining chain; it decides whether and how
+	// to proceed.
+	Around func(*Invocation, Handler) (any, error)
+	// After observes (and may replace) the result.
+	After func(*Invocation, any, error) (any, error)
+}
+
+// Aspect is a named collection of advice implementing one concern.
+type Aspect struct {
+	Name   string
+	Advice []Advice
+}
+
+// Weaver errors.
+var (
+	ErrDuplicateAspect = errors.New("aspects: duplicate aspect")
+	ErrUnknownAspect   = errors.New("aspects: unknown aspect")
+)
+
+// Weaver owns the aspect set and produces woven handlers. Attaching,
+// removing, enabling and disabling aspects takes effect immediately on all
+// previously woven handlers (dynamic dispatch).
+type Weaver struct {
+	mu      sync.RWMutex
+	order   []string
+	aspects map[string]*Aspect
+	enabled map[string]bool
+}
+
+// NewWeaver returns an empty weaver.
+func NewWeaver() *Weaver {
+	return &Weaver{aspects: map[string]*Aspect{}, enabled: map[string]bool{}}
+}
+
+// Attach adds an aspect (enabled). Aspects apply in attachment order.
+func (w *Weaver) Attach(a Aspect) error {
+	if a.Name == "" {
+		return errors.New("aspects: aspect needs a name")
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, dup := w.aspects[a.Name]; dup {
+		return fmt.Errorf("%w: %s", ErrDuplicateAspect, a.Name)
+	}
+	cp := a
+	cp.Advice = append([]Advice(nil), a.Advice...)
+	w.aspects[a.Name] = &cp
+	w.order = append(w.order, a.Name)
+	w.enabled[a.Name] = true
+	return nil
+}
+
+// Remove detaches the aspect entirely.
+func (w *Weaver) Remove(name string) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, ok := w.aspects[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownAspect, name)
+	}
+	delete(w.aspects, name)
+	delete(w.enabled, name)
+	for i, n := range w.order {
+		if n == name {
+			w.order = append(w.order[:i], w.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// SetEnabled toggles an aspect without detaching it — the run-time
+// interchange mechanism.
+func (w *Weaver) SetEnabled(name string, on bool) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, ok := w.aspects[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownAspect, name)
+	}
+	w.enabled[name] = on
+	return nil
+}
+
+// Names returns attached aspect names in application order.
+func (w *Weaver) Names() []string {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return append([]string(nil), w.order...)
+}
+
+// Weave wraps base so that every invocation passes through the advice
+// matching it at call time. Weave is called once per component at assembly;
+// subsequent aspect changes apply automatically.
+func (w *Weaver) Weave(base Handler) Handler {
+	return func(inv *Invocation) (any, error) {
+		advice := w.matching(inv)
+		return run(advice, inv, base)
+	}
+}
+
+func (w *Weaver) matching(inv *Invocation) []Advice {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	var out []Advice
+	for _, name := range w.order {
+		if !w.enabled[name] {
+			continue
+		}
+		for _, ad := range w.aspects[name].Advice {
+			if ad.Pointcut.Matches(inv) {
+				out = append(out, ad)
+			}
+		}
+	}
+	return out
+}
+
+// run executes the advice chain recursively: each element's Before guards,
+// Around wraps the remainder, After post-processes.
+func run(chain []Advice, inv *Invocation, base Handler) (any, error) {
+	if len(chain) == 0 {
+		return base(inv)
+	}
+	ad := chain[0]
+	rest := func(i *Invocation) (any, error) { return run(chain[1:], i, base) }
+
+	if ad.Before != nil {
+		if err := ad.Before(inv); err != nil {
+			return nil, err
+		}
+	}
+	var (
+		res any
+		err error
+	)
+	if ad.Around != nil {
+		res, err = ad.Around(inv, rest)
+	} else {
+		res, err = rest(inv)
+	}
+	if ad.After != nil {
+		res, err = ad.After(inv, res, err)
+	}
+	return res, err
+}

@@ -1,0 +1,214 @@
+package aspects
+
+import (
+	"errors"
+	"testing"
+)
+
+func baseEcho(inv *Invocation) (any, error) { return inv.Args, nil }
+
+func TestWeaveNoAspectsPassThrough(t *testing.T) {
+	w := NewWeaver()
+	h := w.Weave(baseEcho)
+	res, err := h(&Invocation{Component: "c", Op: "op", Args: 42})
+	if err != nil || res != 42 {
+		t.Fatalf("res=%v err=%v", res, err)
+	}
+}
+
+func TestBeforeAdviceVetoes(t *testing.T) {
+	w := NewWeaver()
+	veto := errors.New("vetoed")
+	err := w.Attach(Aspect{Name: "auth", Advice: []Advice{{
+		Pointcut: Pointcut{Op: "secret*"},
+		Before:   func(*Invocation) error { return veto },
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := w.Weave(baseEcho)
+	if _, err := h(&Invocation{Op: "secretOp"}); !errors.Is(err, veto) {
+		t.Fatalf("err = %v, want veto", err)
+	}
+	if res, err := h(&Invocation{Op: "public", Args: 1}); err != nil || res != 1 {
+		t.Fatalf("unmatched op affected: %v %v", res, err)
+	}
+}
+
+func TestAfterAdviceReplacesResult(t *testing.T) {
+	w := NewWeaver()
+	if err := w.Attach(Aspect{Name: "double", Advice: []Advice{{
+		After: func(_ *Invocation, res any, err error) (any, error) {
+			return res.(int) * 2, err
+		},
+	}}}); err != nil {
+		t.Fatal(err)
+	}
+	h := w.Weave(baseEcho)
+	res, _ := h(&Invocation{Args: 21})
+	if res != 42 {
+		t.Fatalf("res = %v, want 42", res)
+	}
+}
+
+func TestAroundControlsProceeding(t *testing.T) {
+	w := NewWeaver()
+	if err := w.Attach(Aspect{Name: "cache", Advice: []Advice{{
+		Around: func(inv *Invocation, next Handler) (any, error) {
+			if inv.Args == "hit" {
+				return "cached", nil
+			}
+			return next(inv)
+		},
+	}}}); err != nil {
+		t.Fatal(err)
+	}
+	h := w.Weave(baseEcho)
+	if res, _ := h(&Invocation{Args: "hit"}); res != "cached" {
+		t.Fatalf("res = %v", res)
+	}
+	if res, _ := h(&Invocation{Args: "miss"}); res != "miss" {
+		t.Fatalf("res = %v", res)
+	}
+}
+
+func TestAspectOrderIsAttachmentOrder(t *testing.T) {
+	w := NewWeaver()
+	var trace []string
+	mk := func(name string) Aspect {
+		return Aspect{Name: name, Advice: []Advice{{
+			Before: func(*Invocation) error { trace = append(trace, name); return nil },
+		}}}
+	}
+	if err := w.Attach(mk("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Attach(mk("second")); err != nil {
+		t.Fatal(err)
+	}
+	h := w.Weave(baseEcho)
+	if _, err := h(&Invocation{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 2 || trace[0] != "first" || trace[1] != "second" {
+		t.Fatalf("trace = %v", trace)
+	}
+	if names := w.Names(); len(names) != 2 || names[0] != "first" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestRuntimeInterchange(t *testing.T) {
+	// The paper: aspects "can be interchanged at run-time using the dynamic
+	// dispatch mechanisms". Attach after weaving; toggle; remove.
+	w := NewWeaver()
+	h := w.Weave(baseEcho)
+
+	calls := 0
+	if err := w.Attach(Aspect{Name: "count", Advice: []Advice{{
+		Before: func(*Invocation) error { calls++; return nil },
+	}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h(&Invocation{}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatal("aspect attached after weaving not applied")
+	}
+	if err := w.SetEnabled("count", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h(&Invocation{}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatal("disabled aspect still ran")
+	}
+	if err := w.SetEnabled("count", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Remove("count"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h(&Invocation{}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatal("removed aspect still ran")
+	}
+}
+
+func TestWeaverErrors(t *testing.T) {
+	w := NewWeaver()
+	if err := w.Attach(Aspect{}); err == nil {
+		t.Error("nameless aspect should fail")
+	}
+	if err := w.Attach(Aspect{Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Attach(Aspect{Name: "a"}); !errors.Is(err, ErrDuplicateAspect) {
+		t.Errorf("err = %v", err)
+	}
+	if err := w.Remove("ghost"); !errors.Is(err, ErrUnknownAspect) {
+		t.Errorf("err = %v", err)
+	}
+	if err := w.SetEnabled("ghost", true); !errors.Is(err, ErrUnknownAspect) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPointcutComponentGlob(t *testing.T) {
+	w := NewWeaver()
+	hits := 0
+	if err := w.Attach(Aspect{Name: "enc-only", Advice: []Advice{{
+		Pointcut: Pointcut{Component: "encoder*"},
+		Before:   func(*Invocation) error { hits++; return nil },
+	}}}); err != nil {
+		t.Fatal(err)
+	}
+	h := w.Weave(baseEcho)
+	if _, err := h(&Invocation{Component: "encoder-1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h(&Invocation{Component: "decoder-1"}); err != nil {
+		t.Fatal(err)
+	}
+	if hits != 1 {
+		t.Fatalf("hits = %d, want 1", hits)
+	}
+}
+
+func TestNestedAroundComposition(t *testing.T) {
+	w := NewWeaver()
+	var trace []string
+	mkAround := func(name string) Aspect {
+		return Aspect{Name: name, Advice: []Advice{{
+			Around: func(inv *Invocation, next Handler) (any, error) {
+				trace = append(trace, name+">")
+				res, err := next(inv)
+				trace = append(trace, "<"+name)
+				return res, err
+			},
+		}}}
+	}
+	if err := w.Attach(mkAround("outer")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Attach(mkAround("inner")); err != nil {
+		t.Fatal(err)
+	}
+	h := w.Weave(baseEcho)
+	if _, err := h(&Invocation{}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"outer>", "inner>", "<inner", "<outer"}
+	if len(trace) != 4 {
+		t.Fatalf("trace = %v", trace)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}

@@ -1,0 +1,429 @@
+// Package bus implements the software bus underlying all component
+// communication — the analogue of the Polylith software bus the paper builds
+// its reconfiguration sequence on (§1): reaching reconfiguration points,
+// "blocking communication channels (to manage the messages in transit)",
+// redirecting calls to new components, and accounting for loss, duplication
+// and delay so that experiment E4 can verify the channel-preservation
+// guarantees.
+package bus
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// Address identifies an attached endpoint (a component port).
+type Address string
+
+// Kind classifies a message.
+type Kind int
+
+// Message kinds.
+const (
+	Request Kind = iota + 1
+	Reply
+	Event
+	Control
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Request:
+		return "request"
+	case Reply:
+		return "reply"
+	case Event:
+		return "event"
+	case Control:
+		return "control"
+	default:
+		return "unknown"
+	}
+}
+
+// Message is the unit of communication. Payload stays untyped; typed
+// contracts are enforced above the bus by connectors and the registry.
+type Message struct {
+	ID      uint64 // bus-unique, assigned on Send
+	Kind    Kind
+	Op      string // operation name, e.g. "encode"
+	Payload any
+	Src     Address
+	Dst     Address
+	Seq     uint64 // per (Src,Dst) FIFO sequence, assigned on Send
+	Corr    uint64 // request/reply correlation
+	SentAt  time.Time
+}
+
+// Verdict is an interceptor's decision about a message.
+type Verdict int
+
+// Interceptor verdicts.
+const (
+	Pass Verdict = iota + 1
+	Drop
+	Redirected // interceptor rewrote m.Dst
+)
+
+// Interceptor sees every message on the bus before routing. Injectors and
+// bus-level filters are installed through this hook. Intercept may modify
+// the message in place (transform), rewrite its destination (returning
+// Redirected) or discard it (Drop).
+type Interceptor interface {
+	Name() string
+	Intercept(m *Message) Verdict
+}
+
+// DelayFunc returns the transmission delay from src to dst; the network
+// simulator plugs in here. A zero or negative delay delivers synchronously.
+type DelayFunc func(src, dst Address) time.Duration
+
+// Bus errors.
+var (
+	ErrAddressTaken  = errors.New("bus: address already attached")
+	ErrUnknownDst    = errors.New("bus: unknown destination")
+	ErrClosed        = errors.New("bus: endpoint closed")
+	ErrMailboxFull   = errors.New("bus: mailbox full")
+	ErrRedirectCycle = errors.New("bus: redirect cycle")
+)
+
+// Stats are cumulative bus counters. Conservation invariant when idle:
+// Sent == Delivered + Dropped + Held.
+type Stats struct {
+	Sent      uint64
+	Delivered uint64
+	Dropped   uint64 // discarded by interceptors
+	Held      uint64 // currently parked on paused channels
+	InFlight  uint64 // currently delayed in the "network"
+	Redirects uint64
+}
+
+// Bus routes messages between attached endpoints.
+type Bus struct {
+	clk clock.Clock
+
+	mu           sync.Mutex
+	endpoints    map[Address]*Endpoint
+	paused       map[Address]bool
+	held         map[Address][]Message
+	redirects    map[Address]Address
+	interceptors []Interceptor
+	delayFn      DelayFunc
+	nextID       uint64
+	pairSeq      map[pairKey]uint64
+	stats        Stats
+	idleWaiters  []chan struct{}
+}
+
+type pairKey struct{ src, dst Address }
+
+// Option configures a Bus.
+type Option func(*Bus)
+
+// WithClock sets the clock used for delayed delivery timestamps.
+func WithClock(c clock.Clock) Option { return func(b *Bus) { b.clk = c } }
+
+// WithDelay installs the transmission-delay model.
+func WithDelay(f DelayFunc) Option { return func(b *Bus) { b.delayFn = f } }
+
+// New creates an empty bus. Without options it uses the real clock and zero
+// transmission delay.
+func New(opts ...Option) *Bus {
+	b := &Bus{
+		clk:       clock.Real{},
+		endpoints: map[Address]*Endpoint{},
+		paused:    map[Address]bool{},
+		held:      map[Address][]Message{},
+		redirects: map[Address]Address{},
+		pairSeq:   map[pairKey]uint64{},
+	}
+	for _, o := range opts {
+		o(b)
+	}
+	return b
+}
+
+// Attach registers addr and returns its endpoint. mailbox is the bounded
+// queue capacity; values < 1 get the default of 4096.
+func (b *Bus) Attach(addr Address, mailbox int) (*Endpoint, error) {
+	if mailbox < 1 {
+		mailbox = 4096
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.endpoints[addr]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrAddressTaken, addr)
+	}
+	e := newEndpoint(addr, mailbox)
+	b.endpoints[addr] = e
+	return e, nil
+}
+
+// Detach closes and removes the endpoint at addr. Held and in-flight
+// messages toward addr are kept until redirected or transferred.
+func (b *Bus) Detach(addr Address) {
+	b.mu.Lock()
+	e := b.endpoints[addr]
+	delete(b.endpoints, addr)
+	b.mu.Unlock()
+	if e != nil {
+		e.close()
+	}
+}
+
+// AddInterceptor appends an interceptor to the chain (applied in order).
+func (b *Bus) AddInterceptor(i Interceptor) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.interceptors = append(b.interceptors, i)
+}
+
+// RemoveInterceptor removes the named interceptor; it reports success.
+func (b *Bus) RemoveInterceptor(name string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, ic := range b.interceptors {
+		if ic.Name() == name {
+			b.interceptors = append(b.interceptors[:i], b.interceptors[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Send routes m toward m.Dst, applying redirects, interceptors and the
+// delay model. It never blocks on the receiver: a full mailbox returns
+// ErrMailboxFull (backpressure), a paused destination parks the message.
+func (b *Bus) Send(m Message) error {
+	b.mu.Lock()
+	dst, err := b.resolveLocked(m.Dst)
+	if err != nil {
+		b.mu.Unlock()
+		return err
+	}
+	if dst != m.Dst {
+		b.stats.Redirects++
+		m.Dst = dst
+	}
+
+	verdict := Pass
+	for _, ic := range b.interceptors {
+		verdict = ic.Intercept(&m)
+		if verdict == Drop {
+			b.stats.Dropped++
+			b.stats.Sent++
+			b.notifyIfIdleLocked()
+			b.mu.Unlock()
+			return nil
+		}
+		if verdict == Redirected {
+			if m.Dst, err = b.resolveLocked(m.Dst); err != nil {
+				b.mu.Unlock()
+				return err
+			}
+			b.stats.Redirects++
+		}
+	}
+
+	if _, ok := b.endpoints[m.Dst]; !ok && !b.paused[m.Dst] {
+		b.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownDst, m.Dst)
+	}
+
+	b.nextID++
+	m.ID = b.nextID
+	pk := pairKey{m.Src, m.Dst}
+	b.pairSeq[pk]++
+	m.Seq = b.pairSeq[pk]
+	m.SentAt = b.clk.Now()
+	b.stats.Sent++
+
+	delay := time.Duration(0)
+	if b.delayFn != nil {
+		delay = b.delayFn(m.Src, m.Dst)
+	}
+	if delay > 0 {
+		b.stats.InFlight++
+		b.mu.Unlock()
+		b.clk.AfterFunc(delay, func() {
+			b.mu.Lock()
+			b.stats.InFlight--
+			err := b.deliverLocked(m)
+			b.notifyIfIdleLocked()
+			b.mu.Unlock()
+			_ = err // late delivery failures are counted, not returned
+		})
+		return nil
+	}
+	err = b.deliverLocked(m)
+	b.notifyIfIdleLocked()
+	b.mu.Unlock()
+	return err
+}
+
+// resolveLocked follows the redirect chain with cycle protection.
+func (b *Bus) resolveLocked(dst Address) (Address, error) {
+	seen := 0
+	for {
+		next, ok := b.redirects[dst]
+		if !ok {
+			return dst, nil
+		}
+		dst = next
+		seen++
+		if seen > len(b.redirects) {
+			return dst, ErrRedirectCycle
+		}
+	}
+}
+
+func (b *Bus) deliverLocked(m Message) error {
+	if b.paused[m.Dst] {
+		b.held[m.Dst] = append(b.held[m.Dst], m)
+		b.stats.Held++
+		return nil
+	}
+	e, ok := b.endpoints[m.Dst]
+	if !ok {
+		// Destination vanished while the message was in flight: park it so
+		// it can be transferred to a replacement (no silent loss).
+		b.held[m.Dst] = append(b.held[m.Dst], m)
+		b.stats.Held++
+		return nil
+	}
+	if !e.enqueue(m) {
+		return fmt.Errorf("%w: %s", ErrMailboxFull, m.Dst)
+	}
+	b.stats.Delivered++
+	return nil
+}
+
+// Pause blocks the communication channel toward addr: subsequent and
+// in-flight deliveries are parked in arrival order ("blocking communication
+// channels to manage the messages in transit", §1).
+func (b *Bus) Pause(addr Address) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.paused[addr] = true
+}
+
+// Resume unblocks addr and flushes parked messages in order. It returns the
+// number flushed. Messages that no longer fit the mailbox stay parked and
+// an ErrMailboxFull is returned alongside the flushed count.
+func (b *Bus) Resume(addr Address) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.paused, addr)
+	queue := b.held[addr]
+	e, ok := b.endpoints[addr]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownDst, addr)
+	}
+	flushed := 0
+	for i, m := range queue {
+		if !e.enqueue(m) {
+			b.held[addr] = append([]Message(nil), queue[i:]...)
+			b.stats.Held -= uint64(flushed)
+			b.stats.Delivered += uint64(flushed)
+			return flushed, fmt.Errorf("%w: %s", ErrMailboxFull, addr)
+		}
+		flushed++
+	}
+	delete(b.held, addr)
+	b.stats.Held -= uint64(flushed)
+	b.stats.Delivered += uint64(flushed)
+	b.notifyIfIdleLocked()
+	return flushed, nil
+}
+
+// Redirect routes future traffic addressed to old toward new ("redirecting
+// the calls to new components", §1). Passing new == "" removes the rule.
+func (b *Bus) Redirect(old, new Address) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if new == "" {
+		delete(b.redirects, old)
+		return nil
+	}
+	b.redirects[old] = new
+	if _, err := b.resolveLocked(old); err != nil {
+		delete(b.redirects, old)
+		return err
+	}
+	return nil
+}
+
+// TransferHeld moves messages parked for old onto new (rewriting their
+// destination), preserving order. Used when a replacement component takes
+// over mid-reconfiguration. Returns the number of messages moved.
+func (b *Bus) TransferHeld(old, new Address) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	queue := b.held[old]
+	if len(queue) == 0 {
+		return 0
+	}
+	for _, m := range queue {
+		m.Dst = new
+		b.held[new] = append(b.held[new], m)
+	}
+	delete(b.held, old)
+	return len(queue)
+}
+
+// HeldCount reports how many messages are parked for addr.
+func (b *Bus) HeldCount(addr Address) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.held[addr])
+}
+
+// Stats returns a snapshot of the counters.
+func (b *Bus) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// InFlight reports messages currently delayed in the network.
+func (b *Bus) InFlight() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return int(b.stats.InFlight)
+}
+
+// WaitIdle blocks until no message is in flight in the network (parked
+// messages do not count: they are safely captured) or ctx is done.
+func (b *Bus) WaitIdle(ctx context.Context) error {
+	for {
+		b.mu.Lock()
+		if b.stats.InFlight == 0 {
+			b.mu.Unlock()
+			return nil
+		}
+		ch := make(chan struct{})
+		b.idleWaiters = append(b.idleWaiters, ch)
+		b.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+func (b *Bus) notifyIfIdleLocked() {
+	if b.stats.InFlight != 0 {
+		return
+	}
+	for _, ch := range b.idleWaiters {
+		close(ch)
+	}
+	b.idleWaiters = nil
+}

@@ -1,0 +1,438 @@
+package bus
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/clock"
+)
+
+var origin = time.Date(2003, 5, 19, 0, 0, 0, 0, time.UTC)
+
+func attach(t *testing.T, b *Bus, addr Address) *Endpoint {
+	t.Helper()
+	e, err := b.Attach(addr, 0)
+	if err != nil {
+		t.Fatalf("attach %s: %v", addr, err)
+	}
+	return e
+}
+
+func TestSendDeliver(t *testing.T) {
+	b := New()
+	dst := attach(t, b, "dst")
+	if err := b.Send(Message{Kind: Event, Op: "ping", Src: "src", Dst: "dst"}); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	m, err := dst.Receive(context.Background())
+	if err != nil {
+		t.Fatalf("receive: %v", err)
+	}
+	if m.Op != "ping" || m.ID == 0 || m.Seq != 1 {
+		t.Fatalf("got %+v", m)
+	}
+}
+
+func TestUnknownDestination(t *testing.T) {
+	b := New()
+	err := b.Send(Message{Dst: "nowhere"})
+	if !errors.Is(err, ErrUnknownDst) {
+		t.Fatalf("err = %v, want ErrUnknownDst", err)
+	}
+}
+
+func TestDuplicateAttach(t *testing.T) {
+	b := New()
+	attach(t, b, "a")
+	if _, err := b.Attach("a", 0); !errors.Is(err, ErrAddressTaken) {
+		t.Fatalf("err = %v, want ErrAddressTaken", err)
+	}
+}
+
+func TestFIFOPerPair(t *testing.T) {
+	b := New()
+	dst := attach(t, b, "dst")
+	for i := 0; i < 100; i++ {
+		if err := b.Send(Message{Kind: Event, Op: "e", Payload: i, Src: "s", Dst: "dst"}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		m, _ := dst.Receive(context.Background())
+		if m.Payload.(int) != i {
+			t.Fatalf("out of order: got %v at %d", m.Payload, i)
+		}
+	}
+	dups, reorders := dst.Anomalies()
+	if dups != 0 || reorders != 0 {
+		t.Fatalf("anomalies dups=%d reorders=%d", dups, reorders)
+	}
+}
+
+func TestPauseHoldsAndResumeFlushesInOrder(t *testing.T) {
+	b := New()
+	dst := attach(t, b, "dst")
+	b.Pause("dst")
+	for i := 0; i < 10; i++ {
+		if err := b.Send(Message{Kind: Event, Payload: i, Src: "s", Dst: "dst"}); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	if dst.Len() != 0 {
+		t.Fatalf("paused endpoint received %d messages", dst.Len())
+	}
+	if got := b.HeldCount("dst"); got != 10 {
+		t.Fatalf("held = %d, want 10", got)
+	}
+	n, err := b.Resume("dst")
+	if err != nil || n != 10 {
+		t.Fatalf("resume = %d, %v", n, err)
+	}
+	for i := 0; i < 10; i++ {
+		m, _ := dst.Receive(context.Background())
+		if m.Payload.(int) != i {
+			t.Fatalf("flush out of order at %d: %v", i, m.Payload)
+		}
+	}
+}
+
+func TestRedirect(t *testing.T) {
+	b := New()
+	attach(t, b, "old")
+	newEp := attach(t, b, "new")
+	if err := b.Redirect("old", "new"); err != nil {
+		t.Fatalf("redirect: %v", err)
+	}
+	if err := b.Send(Message{Kind: Request, Op: "q", Src: "c", Dst: "old"}); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	m, _ := newEp.Receive(context.Background())
+	if m.Dst != "new" {
+		t.Fatalf("dst = %s, want new", m.Dst)
+	}
+	if b.Stats().Redirects != 1 {
+		t.Fatalf("redirects = %d, want 1", b.Stats().Redirects)
+	}
+	// Removing the rule restores direct routing.
+	if err := b.Redirect("old", ""); err != nil {
+		t.Fatalf("clear redirect: %v", err)
+	}
+	if err := b.Send(Message{Dst: "old", Src: "c"}); err != nil {
+		t.Fatalf("send to old after clear: %v", err)
+	}
+}
+
+func TestRedirectCycleRejected(t *testing.T) {
+	b := New()
+	attach(t, b, "a")
+	attach(t, b, "b")
+	if err := b.Redirect("a", "b"); err != nil {
+		t.Fatalf("redirect a->b: %v", err)
+	}
+	if err := b.Redirect("b", "a"); !errors.Is(err, ErrRedirectCycle) {
+		t.Fatalf("err = %v, want ErrRedirectCycle", err)
+	}
+}
+
+func TestTransferHeld(t *testing.T) {
+	b := New()
+	attach(t, b, "old")
+	newEp := attach(t, b, "new")
+	b.Pause("old")
+	for i := 0; i < 5; i++ {
+		_ = b.Send(Message{Kind: Event, Payload: i, Src: "s", Dst: "old"})
+	}
+	if n := b.TransferHeld("old", "new"); n != 5 {
+		t.Fatalf("transferred = %d, want 5", n)
+	}
+	if _, err := b.Resume("new"); err != nil {
+		t.Fatalf("resume new: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		m, _ := newEp.Receive(context.Background())
+		if m.Payload.(int) != i || m.Dst != "new" {
+			t.Fatalf("transfer order/dst wrong: %+v", m)
+		}
+	}
+}
+
+func TestDetachParksInsteadOfLosing(t *testing.T) {
+	b := New()
+	attach(t, b, "gone")
+	b.Pause("gone") // simulate reconfiguration: block, then detach
+	b.Detach("gone")
+	if err := b.Send(Message{Kind: Event, Src: "s", Dst: "gone"}); err != nil {
+		t.Fatalf("send to paused+detached: %v", err)
+	}
+	if got := b.HeldCount("gone"); got != 1 {
+		t.Fatalf("held = %d, want 1 (no silent loss)", got)
+	}
+}
+
+type dropEven struct{ n int }
+
+func (d *dropEven) Name() string { return "dropEven" }
+func (d *dropEven) Intercept(m *Message) Verdict {
+	d.n++
+	if d.n%2 == 0 {
+		return Drop
+	}
+	return Pass
+}
+
+func TestInterceptorDrop(t *testing.T) {
+	b := New()
+	dst := attach(t, b, "dst")
+	b.AddInterceptor(&dropEven{})
+	for i := 0; i < 10; i++ {
+		_ = b.Send(Message{Kind: Event, Src: "s", Dst: "dst"})
+	}
+	st := b.Stats()
+	if st.Dropped != 5 || dst.Received() != 5 {
+		t.Fatalf("dropped=%d received=%d, want 5/5", st.Dropped, dst.Received())
+	}
+	if !b.RemoveInterceptor("dropEven") {
+		t.Fatal("remove failed")
+	}
+	if b.RemoveInterceptor("dropEven") {
+		t.Fatal("double remove succeeded")
+	}
+}
+
+type rerouter struct{ to Address }
+
+func (r rerouter) Name() string { return "reroute" }
+func (r rerouter) Intercept(m *Message) Verdict {
+	m.Dst = r.to
+	return Redirected
+}
+
+func TestInterceptorRedirect(t *testing.T) {
+	b := New()
+	attach(t, b, "a")
+	bEp := attach(t, b, "b")
+	b.AddInterceptor(rerouter{to: "b"})
+	_ = b.Send(Message{Kind: Event, Src: "s", Dst: "a"})
+	if bEp.Received() != 1 {
+		t.Fatalf("b received %d, want 1", bEp.Received())
+	}
+}
+
+func TestDelayedDeliveryWithSimClock(t *testing.T) {
+	sim := clock.NewSim(origin)
+	b := New(WithClock(sim), WithDelay(func(src, dst Address) time.Duration {
+		return 10 * time.Millisecond
+	}))
+	dst := attach(t, b, "dst")
+	_ = b.Send(Message{Kind: Event, Src: "s", Dst: "dst"})
+	if b.InFlight() != 1 {
+		t.Fatalf("in flight = %d, want 1", b.InFlight())
+	}
+	if dst.Len() != 0 {
+		t.Fatal("delivered before delay elapsed")
+	}
+	sim.Advance(10 * time.Millisecond)
+	if dst.Len() != 1 || b.InFlight() != 0 {
+		t.Fatalf("len=%d inflight=%d, want 1/0", dst.Len(), b.InFlight())
+	}
+}
+
+func TestWaitIdle(t *testing.T) {
+	sim := clock.NewSim(origin)
+	b := New(WithClock(sim), WithDelay(func(_, _ Address) time.Duration { return time.Second }))
+	attach(t, b, "dst")
+	for i := 0; i < 50; i++ {
+		_ = b.Send(Message{Kind: Event, Src: "s", Dst: "dst"})
+	}
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		done <- b.WaitIdle(ctx)
+	}()
+	// Give the waiter a moment to park, then advance simulated time.
+	time.Sleep(10 * time.Millisecond)
+	sim.Advance(time.Second)
+	if err := <-done; err != nil {
+		t.Fatalf("WaitIdle: %v", err)
+	}
+}
+
+func TestWaitIdleContextCancel(t *testing.T) {
+	sim := clock.NewSim(origin)
+	b := New(WithClock(sim), WithDelay(func(_, _ Address) time.Duration { return time.Hour }))
+	attach(t, b, "dst")
+	_ = b.Send(Message{Kind: Event, Src: "s", Dst: "dst"})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := b.WaitIdle(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+}
+
+func TestMailboxFull(t *testing.T) {
+	b := New()
+	if _, err := b.Attach("tiny", 2); err != nil {
+		t.Fatal(err)
+	}
+	_ = b.Send(Message{Kind: Event, Src: "s", Dst: "tiny"})
+	_ = b.Send(Message{Kind: Event, Src: "s", Dst: "tiny"})
+	err := b.Send(Message{Kind: Event, Src: "s", Dst: "tiny"})
+	if !errors.Is(err, ErrMailboxFull) {
+		t.Fatalf("err = %v, want ErrMailboxFull", err)
+	}
+}
+
+func TestReceiveContextCancel(t *testing.T) {
+	b := New()
+	dst := attach(t, b, "dst")
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := dst.Receive(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+}
+
+func TestDetachWakesReceivers(t *testing.T) {
+	b := New()
+	dst := attach(t, b, "dst")
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = dst.Receive(context.Background())
+		}(i)
+	}
+	time.Sleep(5 * time.Millisecond)
+	b.Detach("dst")
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("receiver %d err = %v, want ErrClosed", i, err)
+		}
+	}
+}
+
+func TestConservationInvariant(t *testing.T) {
+	// Property: when the bus is idle, Sent == Delivered + Dropped + Held.
+	f := func(ops []uint8) bool {
+		b := New()
+		ep, _ := b.Attach("a", 1<<16)
+		_ = ep
+		if _, err := b.Attach("b", 1<<16); err != nil {
+			return false
+		}
+		b.AddInterceptor(&dropEven{})
+		paused := false
+		for _, op := range ops {
+			switch op % 4 {
+			case 0:
+				_ = b.Send(Message{Kind: Event, Src: "x", Dst: "a"})
+			case 1:
+				_ = b.Send(Message{Kind: Event, Src: "x", Dst: "b"})
+			case 2:
+				if !paused {
+					b.Pause("a")
+					paused = true
+				}
+			case 3:
+				if paused {
+					_, _ = b.Resume("a")
+					paused = false
+				}
+			}
+		}
+		st := b.Stats()
+		return st.Sent == st.Delivered+st.Dropped+st.Held
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNoLossNoDupAcrossPauseResumeCycles(t *testing.T) {
+	// E4 core invariant at the bus level: unique payloads sent across many
+	// pause/resume cycles are all received exactly once, in order.
+	b := New()
+	dst, _ := b.Attach("dst", 1<<15)
+	const total = 5000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; i++ {
+			if i%97 == 0 {
+				b.Pause("dst")
+			}
+			if err := b.Send(Message{Kind: Event, Payload: i, Src: "s", Dst: "dst"}); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+			if i%97 == 53 {
+				_, _ = b.Resume("dst")
+			}
+		}
+		_, _ = b.Resume("dst")
+	}()
+	wg.Wait()
+	seen := make(map[int]bool, total)
+	for len(seen) < total {
+		m, ok := dst.TryReceive()
+		if !ok {
+			t.Fatalf("ran dry after %d messages", len(seen))
+		}
+		v := m.Payload.(int)
+		if seen[v] {
+			t.Fatalf("duplicate payload %d", v)
+		}
+		seen[v] = true
+	}
+	dups, reorders := dst.Anomalies()
+	if dups != 0 || reorders != 0 {
+		t.Fatalf("anomalies dups=%d reorders=%d", dups, reorders)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{Request: "request", Reply: "reply", Event: "event", Control: "control", Kind(99): "unknown"} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestConcurrentSendersManyReceivers(t *testing.T) {
+	b := New()
+	dst, _ := b.Attach("dst", 1<<15)
+	const senders, per = 8, 500
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := b.Send(Message{Kind: Event, Src: Address(fmt.Sprintf("s%d", s)), Dst: "dst", Payload: i}); err != nil {
+					t.Errorf("send: %v", err)
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	if got := dst.Received(); got != senders*per {
+		t.Fatalf("received %d, want %d", got, senders*per)
+	}
+	dups, reorders := dst.Anomalies()
+	if dups != 0 || reorders != 0 {
+		t.Fatalf("anomalies under concurrency: dups=%d reorders=%d", dups, reorders)
+	}
+}

@@ -1,0 +1,193 @@
+// Package clock abstracts time so that every time-dependent subsystem
+// (bus delays, QoS monitors, controllers, the network simulator) can run
+// either against the wall clock or against a deterministic simulated clock.
+// Determinism is what makes the scenario experiments in EXPERIMENTS.md
+// reproducible run-to-run.
+package clock
+
+import (
+	"container/heap"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Clock supplies the current time and timer scheduling.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// AfterFunc schedules f to run once d has elapsed on this clock and
+	// returns a handle that can cancel it.
+	AfterFunc(d time.Duration, f func()) Timer
+}
+
+// Timer is a cancellable pending callback.
+type Timer interface {
+	// Stop cancels the timer; it reports whether the callback was
+	// prevented from running.
+	Stop() bool
+}
+
+// Real is a Clock backed by the system wall clock.
+type Real struct{}
+
+var _ Clock = Real{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// AfterFunc implements Clock.
+func (Real) AfterFunc(d time.Duration, f func()) Timer { return realTimer{time.AfterFunc(d, f)} }
+
+type realTimer struct{ t *time.Timer }
+
+func (r realTimer) Stop() bool { return r.t.Stop() }
+
+// Sim is a deterministic simulated clock. Time only moves when Advance (or
+// Run) is called; scheduled callbacks fire synchronously, in timestamp
+// order, from inside the advancing goroutine. The zero value is not usable;
+// construct with NewSim.
+type Sim struct {
+	mu    sync.Mutex
+	now   time.Time
+	queue simQueue
+	seq   uint64 // tie-breaker for same-timestamp events: FIFO
+}
+
+var _ Clock = (*Sim)(nil)
+
+// NewSim creates a simulated clock starting at the given origin.
+func NewSim(origin time.Time) *Sim {
+	return &Sim{now: origin}
+}
+
+// Now implements Clock.
+func (s *Sim) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// AfterFunc implements Clock. Scheduling with non-positive d fires the
+// callback on the next Advance step before time moves.
+func (s *Sim) AfterFunc(d time.Duration, f func()) Timer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d < 0 {
+		d = 0
+	}
+	ev := &simEvent{at: s.now.Add(d), fn: f, seq: s.seq}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return ev
+}
+
+// Advance moves simulated time forward by d, firing every callback whose
+// deadline falls within the window, in order. Callbacks may schedule
+// further callbacks; those are honoured if they fall inside the window.
+func (s *Sim) Advance(d time.Duration) {
+	s.mu.Lock()
+	target := s.now.Add(d)
+	for {
+		if s.queue.Len() == 0 {
+			break
+		}
+		next := s.queue[0]
+		if next.at.After(target) {
+			break
+		}
+		heap.Pop(&s.queue)
+		if next.stopped.Load() {
+			continue
+		}
+		if next.at.After(s.now) {
+			s.now = next.at
+		}
+		fn := next.fn
+		// Release the lock while running user code so callbacks can
+		// schedule timers or read Now.
+		s.mu.Unlock()
+		fn()
+		s.mu.Lock()
+	}
+	if target.After(s.now) {
+		s.now = target
+	}
+	s.mu.Unlock()
+}
+
+// RunUntilIdle fires all pending callbacks regardless of distance, stopping
+// when the queue empties. It returns the number of callbacks fired.
+func (s *Sim) RunUntilIdle() int {
+	fired := 0
+	for {
+		s.mu.Lock()
+		if s.queue.Len() == 0 {
+			s.mu.Unlock()
+			return fired
+		}
+		next := heap.Pop(&s.queue).(*simEvent)
+		if next.stopped.Load() {
+			s.mu.Unlock()
+			continue
+		}
+		if next.at.After(s.now) {
+			s.now = next.at
+		}
+		fn := next.fn
+		s.mu.Unlock()
+		fn()
+		fired++
+	}
+}
+
+// Pending returns the number of scheduled, unfired, uncancelled callbacks.
+func (s *Sim) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, ev := range s.queue {
+		if !ev.stopped.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+type simEvent struct {
+	at      time.Time
+	fn      func()
+	seq     uint64
+	idx     int
+	stopped atomic.Bool
+}
+
+// Stop implements Timer. It is safe to call concurrently with Advance.
+func (e *simEvent) Stop() bool { return e.stopped.CompareAndSwap(false, true) }
+
+type simQueue []*simEvent
+
+func (q simQueue) Len() int { return len(q) }
+func (q simQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q simQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx, q[j].idx = i, j
+}
+func (q *simQueue) Push(x any) {
+	ev := x.(*simEvent)
+	ev.idx = len(*q)
+	*q = append(*q, ev)
+}
+func (q *simQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

@@ -1,0 +1,176 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var origin = time.Date(2003, 5, 19, 0, 0, 0, 0, time.UTC) // ICDCS'03 week
+
+func TestSimNowAdvances(t *testing.T) {
+	s := NewSim(origin)
+	if !s.Now().Equal(origin) {
+		t.Fatalf("Now = %v, want origin", s.Now())
+	}
+	s.Advance(3 * time.Second)
+	if got := s.Now().Sub(origin); got != 3*time.Second {
+		t.Fatalf("advanced %v, want 3s", got)
+	}
+}
+
+func TestSimFiresInOrder(t *testing.T) {
+	s := NewSim(origin)
+	var got []int
+	s.AfterFunc(30*time.Millisecond, func() { got = append(got, 3) })
+	s.AfterFunc(10*time.Millisecond, func() { got = append(got, 1) })
+	s.AfterFunc(20*time.Millisecond, func() { got = append(got, 2) })
+	s.Advance(time.Second)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("fire order = %v, want [1 2 3]", got)
+	}
+}
+
+func TestSimSameDeadlineFIFO(t *testing.T) {
+	s := NewSim(origin)
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.AfterFunc(time.Millisecond, func() { got = append(got, i) })
+	}
+	s.Advance(time.Millisecond)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-deadline order = %v, want FIFO", got)
+		}
+	}
+}
+
+func TestSimPartialAdvance(t *testing.T) {
+	s := NewSim(origin)
+	fired := 0
+	s.AfterFunc(10*time.Millisecond, func() { fired++ })
+	s.AfterFunc(50*time.Millisecond, func() { fired++ })
+	s.Advance(20 * time.Millisecond)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", s.Pending())
+	}
+	s.Advance(40 * time.Millisecond)
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+}
+
+func TestSimStop(t *testing.T) {
+	s := NewSim(origin)
+	fired := false
+	tm := s.AfterFunc(time.Millisecond, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("first Stop should return true")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should return false")
+	}
+	s.Advance(time.Second)
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestSimCallbackSchedulesCallback(t *testing.T) {
+	s := NewSim(origin)
+	var seq []string
+	s.AfterFunc(10*time.Millisecond, func() {
+		seq = append(seq, "outer")
+		s.AfterFunc(10*time.Millisecond, func() { seq = append(seq, "inner") })
+	})
+	s.Advance(100 * time.Millisecond)
+	if len(seq) != 2 || seq[0] != "outer" || seq[1] != "inner" {
+		t.Fatalf("seq = %v, want [outer inner]", seq)
+	}
+	// The inner callback must observe the right firing time.
+	if s.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0", s.Pending())
+	}
+}
+
+func TestSimNowInsideCallback(t *testing.T) {
+	s := NewSim(origin)
+	var at time.Time
+	s.AfterFunc(25*time.Millisecond, func() { at = s.Now() })
+	s.Advance(time.Second)
+	if got := at.Sub(origin); got != 25*time.Millisecond {
+		t.Fatalf("callback saw t=%v, want 25ms", got)
+	}
+}
+
+func TestRunUntilIdle(t *testing.T) {
+	s := NewSim(origin)
+	n := 0
+	s.AfterFunc(time.Hour, func() { n++ })
+	s.AfterFunc(2*time.Hour, func() { n++ })
+	if fired := s.RunUntilIdle(); fired != 2 || n != 2 {
+		t.Fatalf("fired=%d n=%d, want 2 2", fired, n)
+	}
+	if got := s.Now().Sub(origin); got != 2*time.Hour {
+		t.Fatalf("Now advanced %v, want 2h", got)
+	}
+}
+
+func TestRealClockMonotone(t *testing.T) {
+	var c Real
+	a := c.Now()
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatal("real clock went backwards")
+	}
+	done := make(chan struct{})
+	c.AfterFunc(time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("real AfterFunc never fired")
+	}
+}
+
+func TestSimConcurrentScheduling(t *testing.T) {
+	s := NewSim(origin)
+	var mu sync.Mutex
+	count := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s.AfterFunc(time.Duration(i)*time.Millisecond, func() {
+				mu.Lock()
+				count++
+				mu.Unlock()
+			})
+		}(i)
+	}
+	wg.Wait()
+	s.Advance(time.Second)
+	if count != 32 {
+		t.Fatalf("count = %d, want 32", count)
+	}
+}
+
+func TestPropAdvanceNeverLosesEvents(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := NewSim(origin)
+		fired := 0
+		for _, d := range delays {
+			s.AfterFunc(time.Duration(d)*time.Microsecond, func() { fired++ })
+		}
+		s.Advance(time.Duration(1<<16) * time.Microsecond)
+		return fired == len(delays) && s.Pending() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

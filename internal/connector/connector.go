@@ -1,0 +1,425 @@
+// Package connector implements first-class connectors — the centerpiece of
+// the paper's vision (§3): "Connectors are abstractions for component
+// interactions. … a connector is a light-weight component which functions
+// as a glue of components and induces a low overload." Connectors mediate
+// every interaction of a binding: they run the caller's messages through
+// composition filters, enforce FLO/C interaction rules, track the glue
+// protocol as a first-order automaton (LTS), and route to their targets
+// according to their interaction schema (rpc, pipe, multicast, balanced).
+// Targets, filters and rules are all exchangeable at run time —
+// "connectors may be interchanged if necessary".
+//
+// A ConnectorFactory "may be used to generate connectors according to the
+// description of elementary services and aspects that are selected for a
+// specific collaboration" — see Factory.
+package connector
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/adl"
+	"repro/internal/bus"
+	"repro/internal/filters"
+	"repro/internal/flo"
+	"repro/internal/lts"
+)
+
+// CallPayload is the request payload convention used across the framework.
+type CallPayload struct {
+	Principal string
+	Args      []any
+}
+
+// ReplyPayload is the reply payload convention; Err is non-empty on
+// failure.
+type ReplyPayload struct {
+	Results []any
+	Err     string
+}
+
+// Stats counts connector activity.
+type Stats struct {
+	Mediated       uint64 // requests forwarded
+	Replies        uint64 // replies routed back
+	RuleDenials    uint64
+	FilterRejects  uint64
+	GlueViolations uint64
+	Deferred       uint64
+}
+
+// Connector mediates one binding (or a set of bindings sharing the glue).
+type Connector struct {
+	name string
+	kind adl.ConnectorKind
+	b    *bus.Bus
+	ep   *bus.Endpoint
+
+	mu      sync.Mutex
+	targets []bus.Address
+	rr      int
+	glue    *glueTracker
+	rules   *flo.Engine
+	pending map[uint64]pendingCall
+	corr    uint64
+	stats   Stats
+
+	filters *filters.Set
+
+	wg      sync.WaitGroup
+	cancel  context.CancelFunc
+	started atomic.Bool
+}
+
+type pendingCall struct {
+	caller bus.Address
+	corr   uint64
+	op     string
+	// awaiting counts outstanding replies (multicast gathers all).
+	awaiting int
+	gathered []any
+}
+
+// Option configures a connector.
+type Option func(*Connector)
+
+// WithRules installs a FLO rule engine.
+func WithRules(e *flo.Engine) Option { return func(c *Connector) { c.rules = e } }
+
+// WithGlue installs the protocol automaton; ops are matched against the
+// action base names of the model's transitions.
+func WithGlue(model *lts.LTS) Option {
+	return func(c *Connector) { c.glue = newGlueTracker(model) }
+}
+
+// WithFilters installs a pre-populated filter set.
+func WithFilters(s *filters.Set) Option { return func(c *Connector) { c.filters = s } }
+
+// Address returns the bus address of a named connector.
+func Address(name string) bus.Address { return bus.Address("conn:" + name) }
+
+// New attaches a connector to the bus. Targets are the callee addresses the
+// connector routes to (one for rpc/pipe, several for multicast/balanced).
+func New(name string, kind adl.ConnectorKind, b *bus.Bus, targets []bus.Address, opts ...Option) (*Connector, error) {
+	if name == "" {
+		return nil, errors.New("connector: needs a name")
+	}
+	ep, err := b.Attach(Address(name), 8192)
+	if err != nil {
+		return nil, fmt.Errorf("connector %s: %w", name, err)
+	}
+	c := &Connector{
+		name:    name,
+		kind:    kind,
+		b:       b,
+		ep:      ep,
+		targets: append([]bus.Address(nil), targets...),
+		pending: map[uint64]pendingCall{},
+		filters: &filters.Set{},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// Name returns the connector name.
+func (c *Connector) Name() string { return c.name }
+
+// Kind returns the interaction schema.
+func (c *Connector) Kind() adl.ConnectorKind { return c.kind }
+
+// Filters exposes the connector's filter set for run-time attachment.
+func (c *Connector) Filters() *filters.Set { return c.filters }
+
+// SetTargets rebinds the connector — "modifying the connections between
+// the components of the targeted application" (§3).
+func (c *Connector) SetTargets(targets []bus.Address) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.targets = append([]bus.Address(nil), targets...)
+	c.rr = 0
+}
+
+// Targets returns the current targets.
+func (c *Connector) Targets() []bus.Address {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]bus.Address(nil), c.targets...)
+}
+
+// SetRules swaps the rule engine at run time.
+func (c *Connector) SetRules(e *flo.Engine) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rules = e
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Connector) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Start launches the mediation loop; it runs until ctx is cancelled or the
+// connector is detached. Start may be called once.
+func (c *Connector) Start(ctx context.Context) {
+	if !c.started.CompareAndSwap(false, true) {
+		return
+	}
+	ctx, c.cancel = context.WithCancel(ctx)
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		for {
+			m, err := c.ep.Receive(ctx)
+			if err != nil {
+				return
+			}
+			c.handle(m)
+		}
+	}()
+}
+
+// Stop terminates the mediation loop and waits for it to exit.
+func (c *Connector) Stop() {
+	if c.cancel != nil {
+		c.cancel()
+	}
+	c.wg.Wait()
+}
+
+func (c *Connector) handle(m bus.Message) {
+	switch m.Kind {
+	case bus.Request:
+		c.handleRequest(m)
+	case bus.Reply:
+		c.handleReply(m)
+	default:
+		// Events pass through to all targets (pipe semantics).
+		c.mu.Lock()
+		targets := append([]bus.Address(nil), c.targets...)
+		c.mu.Unlock()
+		for _, tgt := range targets {
+			fwd := m
+			fwd.Src = c.ep.Addr()
+			fwd.Dst = tgt
+			_ = c.b.Send(fwd)
+		}
+	}
+}
+
+func (c *Connector) handleRequest(m bus.Message) {
+	// 1. Composition filters on the input side.
+	res := c.filters.Eval(filters.Input, &m)
+	switch res.Outcome {
+	case filters.Rejected:
+		c.mu.Lock()
+		c.stats.FilterRejects++
+		c.mu.Unlock()
+		c.replyError(m, res.Err.Error())
+		return
+	case filters.DeferredMsg:
+		c.mu.Lock()
+		c.stats.Deferred++
+		c.mu.Unlock()
+		// Requeue at the back of the mailbox: the wait filter's condition
+		// is re-evaluated on the next pass.
+		requeued := m
+		_ = c.b.Send(redirectToSelf(requeued, c.ep.Addr()))
+		return
+	}
+
+	// 2. FLO interaction rules.
+	c.mu.Lock()
+	rules := c.rules
+	c.mu.Unlock()
+	if rules != nil {
+		dec := rules.Observe(m.Op)
+		switch dec.Verdict {
+		case flo.Deny:
+			c.mu.Lock()
+			c.stats.RuleDenials++
+			c.mu.Unlock()
+			c.replyError(m, "interaction rule: "+dec.Reason)
+			return
+		case flo.Deferred:
+			c.mu.Lock()
+			c.stats.Deferred++
+			c.mu.Unlock()
+			_ = c.b.Send(redirectToSelf(m, c.ep.Addr()))
+			return
+		}
+	}
+
+	// 3. Glue protocol automaton.
+	c.mu.Lock()
+	if c.glue != nil {
+		if err := c.glue.step(m.Op); err != nil {
+			c.stats.GlueViolations++
+			c.mu.Unlock()
+			c.replyError(m, err.Error())
+			return
+		}
+	}
+
+	// 4. Route according to the interaction schema.
+	targets := c.routeLocked()
+	if len(targets) == 0 {
+		c.mu.Unlock()
+		c.replyError(m, "connector "+c.name+": no targets bound")
+		return
+	}
+	c.corr++
+	corr := c.corr
+	c.pending[corr] = pendingCall{
+		caller: m.Src, corr: m.Corr, op: m.Op, awaiting: len(targets),
+	}
+	c.stats.Mediated++
+	c.mu.Unlock()
+
+	for _, tgt := range targets {
+		fwd := m
+		fwd.Src = c.ep.Addr()
+		fwd.Dst = tgt
+		fwd.Corr = corr
+		if err := c.b.Send(fwd); err != nil {
+			c.settle(corr, ReplyPayload{Err: err.Error()})
+		}
+	}
+}
+
+// routeLocked picks targets per kind; callers hold c.mu.
+func (c *Connector) routeLocked() []bus.Address {
+	switch c.kind {
+	case adl.KindMulticast:
+		return append([]bus.Address(nil), c.targets...)
+	case adl.KindBalanced:
+		if len(c.targets) == 0 {
+			return nil
+		}
+		t := c.targets[c.rr%len(c.targets)]
+		c.rr++
+		return []bus.Address{t}
+	default: // rpc, pipe
+		if len(c.targets) == 0 {
+			return nil
+		}
+		return []bus.Address{c.targets[0]}
+	}
+}
+
+func (c *Connector) handleReply(m bus.Message) {
+	payload, _ := m.Payload.(ReplyPayload)
+	c.settle(m.Corr, payload)
+}
+
+// settle resolves one awaited reply for the correlation id; for multicast
+// the last reply releases the gathered results.
+func (c *Connector) settle(corr uint64, payload ReplyPayload) {
+	c.mu.Lock()
+	pc, ok := c.pending[corr]
+	if !ok {
+		c.mu.Unlock()
+		return
+	}
+	pc.awaiting--
+	if payload.Err == "" {
+		pc.gathered = append(pc.gathered, payload.Results)
+	}
+	if pc.awaiting > 0 && payload.Err == "" {
+		c.pending[corr] = pc
+		c.mu.Unlock()
+		return
+	}
+	delete(c.pending, corr)
+	c.stats.Replies++
+	caller := pc.caller
+	callerCorr := pc.corr
+	op := pc.op
+	c.mu.Unlock()
+
+	out := payload
+	if payload.Err == "" && c.kind == adl.KindMulticast {
+		out = ReplyPayload{Results: []any{pc.gathered}}
+	}
+	reply := bus.Message{
+		Kind: bus.Reply, Op: op, Payload: out,
+		Src: c.ep.Addr(), Dst: caller, Corr: callerCorr,
+	}
+	// Output-side filters see the reply before it leaves the connector.
+	if res := c.filters.Eval(filters.Output, &reply); res.Outcome == filters.Rejected {
+		reply.Payload = ReplyPayload{Err: res.Err.Error()}
+	}
+	_ = c.b.Send(reply)
+}
+
+func (c *Connector) replyError(m bus.Message, reason string) {
+	reply := bus.Message{
+		Kind: bus.Reply, Op: m.Op,
+		Payload: ReplyPayload{Err: reason},
+		Src:     c.ep.Addr(), Dst: m.Src, Corr: m.Corr,
+	}
+	_ = c.b.Send(reply)
+}
+
+func redirectToSelf(m bus.Message, self bus.Address) bus.Message {
+	m.Dst = self
+	return m
+}
+
+// glueTracker walks the protocol automaton, matching operations against
+// transition action base names from the current state.
+type glueTracker struct {
+	model *lts.LTS
+	state int
+}
+
+func newGlueTracker(model *lts.LTS) *glueTracker {
+	return &glueTracker{model: model, state: model.Initial()}
+}
+
+// step advances on op or reports a protocol violation.
+func (g *glueTracker) step(op string) error {
+	for _, tr := range g.model.Out(g.state) {
+		if tr.Action.Base() == op {
+			g.state = tr.To
+			return nil
+		}
+	}
+	return fmt.Errorf("connector glue: operation %q not allowed in state %s",
+		op, g.model.StateName(g.state))
+}
+
+// Factory generates connectors from an ADL connector declaration plus the
+// selected aspects — the paper's connector-factory (§3). The declaration's
+// rules become the connector's FLO engine; aspect filter specifications are
+// superimposed onto the connector's filter set.
+type Factory struct {
+	Bus *bus.Bus
+}
+
+// Build instantiates decl, binding it to the given targets and
+// superimposing the provided aspect filter specifications.
+func (f Factory) Build(decl adl.ConnectorDecl, targets []bus.Address, aspects ...filters.Superimposition) (*Connector, error) {
+	var opts []Option
+	if len(decl.Rules) > 0 {
+		eng, err := flo.NewEngine(decl.Rules)
+		if err != nil {
+			return nil, fmt.Errorf("connector %s: %w", decl.Name, err)
+		}
+		opts = append(opts, WithRules(eng))
+	}
+	c, err := New(decl.Name, decl.Kind, f.Bus, targets, opts...)
+	if err != nil {
+		return nil, err
+	}
+	for _, sp := range aspects {
+		filters.Superimpose(sp, c.filters)
+	}
+	return c, nil
+}

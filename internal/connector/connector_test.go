@@ -1,0 +1,400 @@
+package connector
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/adl"
+	"repro/internal/bus"
+	"repro/internal/filters"
+	"repro/internal/flo"
+	"repro/internal/lts"
+)
+
+// echoServer runs a component goroutine that serves requests at addr,
+// replying with op-tagged results. Returns a stop function.
+func echoServer(t *testing.T, b *bus.Bus, addr bus.Address, tag string) (stop func(), calls *int) {
+	t.Helper()
+	ep, err := b.Attach(addr, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	n := new(int)
+	var mu sync.Mutex
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			m, err := ep.Receive(ctx)
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			*n++
+			mu.Unlock()
+			_ = b.Send(bus.Message{
+				Kind: bus.Reply, Op: m.Op,
+				Payload: ReplyPayload{Results: []any{tag + ":" + m.Op}},
+				Src:     addr, Dst: m.Src, Corr: m.Corr,
+			})
+		}
+	}()
+	return func() { cancel(); wg.Wait() }, n
+}
+
+// call sends a request through the connector and awaits the correlated
+// reply on the client endpoint.
+func call(t *testing.T, b *bus.Bus, client *bus.Endpoint, conn *Connector, op string, corr uint64) ReplyPayload {
+	t.Helper()
+	err := b.Send(bus.Message{
+		Kind: bus.Request, Op: op,
+		Payload: CallPayload{Args: []any{1}},
+		Src:     client.Addr(), Dst: Address(conn.Name()), Corr: corr,
+	})
+	if err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for {
+		m, err := client.Receive(ctx)
+		if err != nil {
+			t.Fatalf("receive: %v", err)
+		}
+		if m.Kind == bus.Reply && m.Corr == corr {
+			return m.Payload.(ReplyPayload)
+		}
+	}
+}
+
+func TestRPCMediation(t *testing.T) {
+	b := bus.New()
+	stop, calls := echoServer(t, b, "comp:server", "srv")
+	defer stop()
+	client, _ := b.Attach("comp:client", 64)
+
+	c, err := New("pipe", adl.KindRPC, b, []bus.Address{"comp:server"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start(context.Background())
+	defer c.Stop()
+
+	rep := call(t, b, client, c, "encode", 1)
+	if rep.Err != "" || rep.Results[0] != "srv:encode" {
+		t.Fatalf("reply = %+v", rep)
+	}
+	if *calls != 1 {
+		t.Fatalf("server calls = %d", *calls)
+	}
+	st := c.Stats()
+	if st.Mediated != 1 || st.Replies != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBalancedRoundRobin(t *testing.T) {
+	b := bus.New()
+	stop1, calls1 := echoServer(t, b, "comp:s1", "s1")
+	defer stop1()
+	stop2, calls2 := echoServer(t, b, "comp:s2", "s2")
+	defer stop2()
+	client, _ := b.Attach("comp:client", 64)
+
+	c, err := New("lb", adl.KindBalanced, b, []bus.Address{"comp:s1", "comp:s2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start(context.Background())
+	defer c.Stop()
+
+	for i := uint64(1); i <= 10; i++ {
+		if rep := call(t, b, client, c, "op", i); rep.Err != "" {
+			t.Fatalf("call %d: %v", i, rep.Err)
+		}
+	}
+	if *calls1 != 5 || *calls2 != 5 {
+		t.Fatalf("distribution = %d/%d, want 5/5", *calls1, *calls2)
+	}
+}
+
+func TestMulticastGathersAllReplies(t *testing.T) {
+	b := bus.New()
+	stop1, _ := echoServer(t, b, "comp:s1", "s1")
+	defer stop1()
+	stop2, _ := echoServer(t, b, "comp:s2", "s2")
+	defer stop2()
+	client, _ := b.Attach("comp:client", 64)
+
+	c, err := New("mc", adl.KindMulticast, b, []bus.Address{"comp:s1", "comp:s2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start(context.Background())
+	defer c.Stop()
+
+	rep := call(t, b, client, c, "notify", 1)
+	if rep.Err != "" {
+		t.Fatal(rep.Err)
+	}
+	gathered := rep.Results[0].([]any)
+	if len(gathered) != 2 {
+		t.Fatalf("gathered = %v", gathered)
+	}
+}
+
+func TestRebindSwitchesTarget(t *testing.T) {
+	b := bus.New()
+	stop1, calls1 := echoServer(t, b, "comp:old", "old")
+	defer stop1()
+	stop2, calls2 := echoServer(t, b, "comp:new", "new")
+	defer stop2()
+	client, _ := b.Attach("comp:client", 64)
+
+	c, err := New("r", adl.KindRPC, b, []bus.Address{"comp:old"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start(context.Background())
+	defer c.Stop()
+
+	_ = call(t, b, client, c, "op", 1)
+	c.SetTargets([]bus.Address{"comp:new"})
+	rep := call(t, b, client, c, "op", 2)
+	if rep.Results[0] != "new:op" {
+		t.Fatalf("reply after rebind = %+v", rep)
+	}
+	if *calls1 != 1 || *calls2 != 1 {
+		t.Fatalf("calls = %d/%d", *calls1, *calls2)
+	}
+	if got := c.Targets(); len(got) != 1 || got[0] != "comp:new" {
+		t.Fatalf("targets = %v", got)
+	}
+}
+
+func TestNoTargetsError(t *testing.T) {
+	b := bus.New()
+	client, _ := b.Attach("comp:client", 64)
+	c, err := New("empty", adl.KindRPC, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start(context.Background())
+	defer c.Stop()
+	rep := call(t, b, client, c, "op", 1)
+	if rep.Err == "" || !strings.Contains(rep.Err, "no targets") {
+		t.Fatalf("reply = %+v", rep)
+	}
+}
+
+func TestRuleDenialReflectedToCaller(t *testing.T) {
+	b := bus.New()
+	stop, calls := echoServer(t, b, "comp:s", "s")
+	defer stop()
+	client, _ := b.Attach("comp:client", 64)
+
+	rules, err := flo.NewEngine([]flo.Rule{
+		{Trigger: "commit", Op: flo.ImpliesBefore, Target: "prepare"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New("ruled", adl.KindRPC, b, []bus.Address{"comp:s"}, WithRules(rules))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start(context.Background())
+	defer c.Stop()
+
+	rep := call(t, b, client, c, "commit", 1)
+	if rep.Err == "" || !strings.Contains(rep.Err, "prior prepare") {
+		t.Fatalf("reply = %+v", rep)
+	}
+	if *calls != 0 {
+		t.Fatal("denied call reached the target")
+	}
+	if rep := call(t, b, client, c, "prepare", 2); rep.Err != "" {
+		t.Fatal(rep.Err)
+	}
+	if rep := call(t, b, client, c, "commit", 3); rep.Err != "" {
+		t.Fatalf("commit after prepare should pass: %v", rep.Err)
+	}
+	if c.Stats().RuleDenials != 1 {
+		t.Fatalf("stats = %+v", c.Stats())
+	}
+}
+
+func TestFilterRejectionAndRuntimeDetach(t *testing.T) {
+	b := bus.New()
+	stop, _ := echoServer(t, b, "comp:s", "s")
+	defer stop()
+	client, _ := b.Attach("comp:client", 64)
+
+	c, err := New("filtered", adl.KindRPC, b, []bus.Address{"comp:s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Filters().Attach(filters.Input, filters.Error{
+		FilterName: "guard", Match: filters.Matcher{Op: "secret*"}, Reason: "forbidden",
+	})
+	c.Start(context.Background())
+	defer c.Stop()
+
+	rep := call(t, b, client, c, "secretOp", 1)
+	if rep.Err == "" || !strings.Contains(rep.Err, "forbidden") {
+		t.Fatalf("reply = %+v", rep)
+	}
+	if c.Stats().FilterRejects != 1 {
+		t.Fatalf("stats = %+v", c.Stats())
+	}
+	// Dynamically detach the filter: the next call passes.
+	c.Filters().Detach(filters.Input, "guard")
+	if rep := call(t, b, client, c, "secretOp", 2); rep.Err != "" {
+		t.Fatalf("after detach: %v", rep.Err)
+	}
+}
+
+func TestGlueProtocolEnforcement(t *testing.T) {
+	b := bus.New()
+	stop, _ := echoServer(t, b, "comp:s", "s")
+	defer stop()
+	client, _ := b.Attach("comp:client", 64)
+
+	glue, err := lts.Parse("glue", `
+init g0
+g0 ?open g1
+g1 ?use g1
+g1 ?close g0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New("glued", adl.KindRPC, b, []bus.Address{"comp:s"}, WithGlue(glue))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start(context.Background())
+	defer c.Stop()
+
+	// "use" before "open" violates the protocol.
+	rep := call(t, b, client, c, "use", 1)
+	if rep.Err == "" || !strings.Contains(rep.Err, "not allowed") {
+		t.Fatalf("reply = %+v", rep)
+	}
+	if rep := call(t, b, client, c, "open", 2); rep.Err != "" {
+		t.Fatal(rep.Err)
+	}
+	if rep := call(t, b, client, c, "use", 3); rep.Err != "" {
+		t.Fatal(rep.Err)
+	}
+	if rep := call(t, b, client, c, "close", 4); rep.Err != "" {
+		t.Fatal(rep.Err)
+	}
+	if c.Stats().GlueViolations != 1 {
+		t.Fatalf("stats = %+v", c.Stats())
+	}
+}
+
+func TestWaitUntilDeferralEventuallyPasses(t *testing.T) {
+	b := bus.New()
+	stop, _ := echoServer(t, b, "comp:s", "s")
+	defer stop()
+	client, _ := b.Attach("comp:client", 64)
+
+	rules, err := flo.NewEngine([]flo.Rule{
+		{Trigger: "play", Op: flo.WaitUntil, Target: "buffered"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	ready := false
+	rules.DefinePredicate("buffered", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return ready
+	})
+	c, err := New("wait", adl.KindRPC, b, []bus.Address{"comp:s"}, WithRules(rules))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start(context.Background())
+	defer c.Stop()
+
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		mu.Lock()
+		ready = true
+		mu.Unlock()
+	}()
+	rep := call(t, b, client, c, "play", 1)
+	if rep.Err != "" {
+		t.Fatalf("deferred call failed: %v", rep.Err)
+	}
+	if c.Stats().Deferred == 0 {
+		t.Fatal("expected at least one deferral")
+	}
+}
+
+func TestFactoryBuildsFromDecl(t *testing.T) {
+	b := bus.New()
+	stop, _ := echoServer(t, b, "comp:s", "s")
+	defer stop()
+	client, _ := b.Attach("comp:client", 64)
+
+	decl := adl.ConnectorDecl{
+		Name: "fab", Kind: adl.KindRPC,
+		Rules: []flo.Rule{{Trigger: "write", Op: flo.ImpliesBefore, Target: "auth"}},
+	}
+	seen := 0
+	logging := filters.Superimposition{
+		Name: "log", Direction: filters.Input,
+		Filters: []filters.Filter{filters.Meta{FilterName: "log.meta",
+			Observer: func(bus.Message) { seen++ }}},
+	}
+	c, err := Factory{Bus: b}.Build(decl, []bus.Address{"comp:s"}, logging)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start(context.Background())
+	defer c.Stop()
+
+	if rep := call(t, b, client, c, "write", 1); rep.Err == "" {
+		t.Fatal("rule from declaration not enforced")
+	}
+	if seen == 0 {
+		t.Fatal("superimposed aspect not applied")
+	}
+}
+
+func TestFactoryRejectsCyclicRules(t *testing.T) {
+	b := bus.New()
+	decl := adl.ConnectorDecl{
+		Name: "bad", Kind: adl.KindRPC,
+		Rules: []flo.Rule{
+			{Trigger: "a", Op: flo.Implies, Target: "b"},
+			{Trigger: "b", Op: flo.Implies, Target: "a"},
+		},
+	}
+	if _, err := (Factory{Bus: b}).Build(decl, nil); err == nil {
+		t.Fatal("cyclic rules accepted")
+	}
+}
+
+func TestConnectorValidation(t *testing.T) {
+	b := bus.New()
+	if _, err := New("", adl.KindRPC, b, nil); err == nil {
+		t.Fatal("nameless connector accepted")
+	}
+	if _, err := New("dup", adl.KindRPC, b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New("dup", adl.KindRPC, b, nil); err == nil {
+		t.Fatal("duplicate address accepted")
+	}
+}

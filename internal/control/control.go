@@ -1,0 +1,133 @@
+// Package control implements the feedback-control substrate of the paper's
+// vision (§3): "feedback control systems present advantages to control
+// dynamic adaptive and reconfigurable systems … based on the assumption
+// that it is easier to correct the errors of a system during its
+// operational phase rather than designing the system to be ideal at the
+// creation time."
+//
+// It provides a classical PID controller [Dutt97, Kuo95], an "intelligent"
+// fuzzy-logic controller in the soft-computing sense of [Gupt96, Gupt00], a
+// bang-bang threshold baseline, a genetic-algorithm gain tuner, and
+// reference plant models used by tests and by experiment E7.
+package control
+
+import (
+	"time"
+)
+
+// Controller maps (setpoint, measurement) to a control output each period.
+type Controller interface {
+	// Update advances the controller by dt and returns the new output.
+	Update(setpoint, measured float64, dt time.Duration) float64
+	// Reset clears accumulated state.
+	Reset()
+}
+
+// PID is a proportional-integral-derivative controller with anti-windup
+// (integral clamping) and output saturation.
+type PID struct {
+	Kp, Ki, Kd float64
+	// OutMin/OutMax saturate the output; both zero disables saturation.
+	OutMin, OutMax float64
+	// IntMax clamps the integral term magnitude; zero disables clamping.
+	IntMax float64
+
+	integral float64
+	prevErr  float64
+	primed   bool
+}
+
+var _ Controller = (*PID)(nil)
+
+// Update implements Controller.
+func (p *PID) Update(setpoint, measured float64, dt time.Duration) float64 {
+	sec := dt.Seconds()
+	if sec <= 0 {
+		sec = 1e-9
+	}
+	err := setpoint - measured
+
+	p.integral += err * sec
+	if p.IntMax > 0 {
+		if p.integral > p.IntMax {
+			p.integral = p.IntMax
+		} else if p.integral < -p.IntMax {
+			p.integral = -p.IntMax
+		}
+	}
+
+	deriv := 0.0
+	if p.primed {
+		deriv = (err - p.prevErr) / sec
+	}
+	p.prevErr = err
+	p.primed = true
+
+	out := p.Kp*err + p.Ki*p.integral + p.Kd*deriv
+	return p.saturate(out)
+}
+
+func (p *PID) saturate(out float64) float64 {
+	if p.OutMin == 0 && p.OutMax == 0 {
+		return out
+	}
+	if out < p.OutMin {
+		return p.OutMin
+	}
+	if out > p.OutMax {
+		return p.OutMax
+	}
+	return out
+}
+
+// Reset implements Controller.
+func (p *PID) Reset() {
+	p.integral = 0
+	p.prevErr = 0
+	p.primed = false
+}
+
+// Threshold is the naive baseline the paper's rush-hour example warns
+// about: a bang-bang controller with a deadband, reacting with a fixed step.
+type Threshold struct {
+	Deadband float64
+	Step     float64
+	// OutMin/OutMax saturate the accumulated output.
+	OutMin, OutMax float64
+
+	out float64
+}
+
+var _ Controller = (*Threshold)(nil)
+
+// Update implements Controller.
+func (t *Threshold) Update(setpoint, measured float64, _ time.Duration) float64 {
+	err := setpoint - measured
+	switch {
+	case err > t.Deadband:
+		t.out += t.Step
+	case err < -t.Deadband:
+		t.out -= t.Step
+	}
+	if t.out < t.OutMin {
+		t.out = t.OutMin
+	}
+	if t.OutMax != 0 && t.out > t.OutMax {
+		t.out = t.OutMax
+	}
+	return t.out
+}
+
+// Reset implements Controller.
+func (t *Threshold) Reset() { t.out = 0 }
+
+// Static is the no-control baseline: a constant output.
+type Static struct{ Value float64 }
+
+var _ Controller = (*Static)(nil)
+
+// Update implements Controller.
+func (s *Static) Update(_, _ float64, _ time.Duration) float64 { return s.Value }
+
+// Reset implements Controller.
+func (s *Static) Reset() {}

@@ -1,0 +1,258 @@
+package control
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+const dt = 100 * time.Millisecond
+
+func TestPIDConvergesOnFirstOrderPlant(t *testing.T) {
+	ctrl := &PID{Kp: 2, Ki: 1.5, Kd: 0.1, IntMax: 50}
+	plant := &FirstOrder{Gain: 1, Tau: time.Second}
+	traj := StepResponse(ctrl, plant, 5.0, 300, dt)
+	final := traj[len(traj)-1]
+	if math.Abs(final-5.0) > 0.05 {
+		t.Fatalf("PID failed to converge: final = %.3f, want ≈5", final)
+	}
+	if idx := SettlingIndex(traj, 5.0, 0.02); idx < 0 {
+		t.Fatal("PID never settled within 2%")
+	}
+}
+
+func TestPIDIntegralEliminatesSteadyStateError(t *testing.T) {
+	pOnly := &PID{Kp: 2}
+	plant1 := &FirstOrder{Gain: 1, Tau: time.Second}
+	trajP := StepResponse(pOnly, plant1, 5.0, 300, dt)
+
+	pi := &PID{Kp: 2, Ki: 1}
+	plant2 := &FirstOrder{Gain: 1, Tau: time.Second}
+	trajPI := StepResponse(pi, plant2, 5.0, 300, dt)
+
+	errP := math.Abs(trajP[len(trajP)-1] - 5.0)
+	errPI := math.Abs(trajPI[len(trajPI)-1] - 5.0)
+	if errPI >= errP {
+		t.Fatalf("integral action should reduce steady-state error: P=%.3f PI=%.3f", errP, errPI)
+	}
+	if errP < 0.5 {
+		t.Fatalf("P-only controller on gain-1 plant should show offset, got %.3f", errP)
+	}
+}
+
+func TestPIDSaturation(t *testing.T) {
+	ctrl := &PID{Kp: 100, OutMin: -1, OutMax: 1}
+	if out := ctrl.Update(1000, 0, dt); out != 1 {
+		t.Fatalf("out = %v, want saturated 1", out)
+	}
+	if out := ctrl.Update(-1000, 0, dt); out != -1 {
+		t.Fatalf("out = %v, want saturated -1", out)
+	}
+}
+
+func TestPIDAntiWindup(t *testing.T) {
+	wound := &PID{Kp: 0, Ki: 1}
+	clamped := &PID{Kp: 0, Ki: 1, IntMax: 1}
+	// Drive both with a large error for a long time.
+	for i := 0; i < 1000; i++ {
+		wound.Update(100, 0, dt)
+		clamped.Update(100, 0, dt)
+	}
+	// Now reverse the error; the clamped controller must recover faster.
+	outW := wound.Update(0, 100, dt)
+	outC := clamped.Update(0, 100, dt)
+	if outC >= outW {
+		t.Fatalf("anti-windup had no effect: clamped=%v wound=%v", outC, outW)
+	}
+}
+
+func TestPIDReset(t *testing.T) {
+	ctrl := &PID{Kp: 1, Ki: 1, Kd: 1}
+	ctrl.Update(10, 0, dt)
+	ctrl.Update(10, 5, dt)
+	ctrl.Reset()
+	// After reset, the first update has no derivative kick and no integral.
+	out := ctrl.Update(1, 0, dt)
+	want := 1*1.0 + 1*(1.0*dt.Seconds()) // Kp*e + Ki*∫e
+	if math.Abs(out-want) > 1e-9 {
+		t.Fatalf("post-reset out = %v, want %v", out, want)
+	}
+}
+
+func TestFuzzyConvergesOnFirstOrderPlant(t *testing.T) {
+	ctrl := &Fuzzy{ErrScale: 5, DErrScale: 10, OutScale: 8, OutMax: 50}
+	plant := &FirstOrder{Gain: 1, Tau: time.Second}
+	traj := StepResponse(ctrl, plant, 5.0, 600, dt)
+	final := traj[len(traj)-1]
+	if math.Abs(final-5.0) > 0.25 {
+		t.Fatalf("fuzzy failed to converge: final = %.3f, want ≈5", final)
+	}
+}
+
+func TestFuzzyMembershipPartitionOfUnity(t *testing.T) {
+	for x := -1.2; x <= 1.2; x += 0.01 {
+		mu := membership(x)
+		sum := 0.0
+		for _, m := range mu {
+			if m < 0 || m > 1 {
+				t.Fatalf("membership out of range at %v: %v", x, mu)
+			}
+			sum += m
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("membership at %v sums to %v, want 1", x, sum)
+		}
+	}
+}
+
+func TestFuzzyRuleTableSymmetry(t *testing.T) {
+	// The standard table is anti-symmetric: rule(e,de) = -rule(-e,-de).
+	for i := 0; i < nTerms; i++ {
+		for j := 0; j < nTerms; j++ {
+			a := termCenters[ruleTable[i][j]]
+			b := termCenters[ruleTable[nTerms-1-i][nTerms-1-j]]
+			if math.Abs(a+b) > 1e-9 {
+				t.Fatalf("rule table not anti-symmetric at (%d,%d): %v vs %v", i, j, a, b)
+			}
+		}
+	}
+}
+
+func TestThresholdOscillates(t *testing.T) {
+	ctrl := &Threshold{Deadband: 0.1, Step: 2, OutMax: 100}
+	plant := &FirstOrder{Gain: 1, Tau: 200 * time.Millisecond}
+	traj := StepResponse(ctrl, plant, 5.0, 400, dt)
+	// Bang-bang control with a large step must overshoot at least once.
+	overshoots := 0
+	for _, y := range traj {
+		if y > 5.0*1.02 {
+			overshoots++
+		}
+	}
+	if overshoots == 0 {
+		t.Fatal("expected the threshold baseline to overshoot")
+	}
+}
+
+func TestStaticController(t *testing.T) {
+	s := &Static{Value: 7}
+	if s.Update(100, -100, dt) != 7 {
+		t.Fatal("static controller must ignore inputs")
+	}
+	s.Reset()
+	if s.Update(0, 0, dt) != 7 {
+		t.Fatal("reset must not clear the static value")
+	}
+}
+
+func TestServiceQueuePlant(t *testing.T) {
+	q := &ServiceQueue{Arrival: 50, MinHeadroom: 1}
+	lat := q.Step(100, dt)
+	if math.Abs(lat-1.0/50.0) > 1e-9 {
+		t.Fatalf("latency = %v, want 0.02", lat)
+	}
+	// Capacity below arrival is clamped to keep the queue stable.
+	lat = q.Step(10, dt)
+	if lat <= 0 || math.IsInf(lat, 0) {
+		t.Fatalf("clamping failed: latency = %v", lat)
+	}
+	if q.Capacity() < q.Arrival {
+		t.Fatal("capacity not clamped above arrival")
+	}
+}
+
+func TestPIDControlsServiceQueueUnderLoadSwing(t *testing.T) {
+	// Regulate latency to 20ms while arrival rate doubles mid-run. The
+	// loop is linearized by controlling in the inverse-latency domain:
+	// a latency target of 1/h* corresponds to a service-headroom target
+	// of h* = capacity − arrival, and headroom responds linearly to the
+	// capacity actuator.
+	const target = 0.020
+	targetHeadroom := 1 / target
+	ctrl := &PID{Kp: 0.5, Ki: 5, IntMax: 100, OutMin: 1, OutMax: 10000}
+	q := &ServiceQueue{Arrival: 50, MinHeadroom: 1}
+	lat := q.Step(100, dt)
+	for i := 0; i < 600; i++ {
+		if i == 300 {
+			q.Arrival = 100 // rush hour begins
+		}
+		// Measured headroom is 1/latency; the controller outputs total
+		// capacity, with the unknown arrival-rate offset absorbed by the
+		// integral term.
+		u := ctrl.Update(targetHeadroom, 1/lat, dt)
+		lat = q.Step(u, dt)
+	}
+	if math.Abs(lat-target) > target*0.1 {
+		t.Fatalf("latency after disturbance = %v, want ≈%v", lat, target)
+	}
+}
+
+func TestISEAndSettling(t *testing.T) {
+	flat := []float64{5, 5, 5}
+	if ISE(flat, 5) != 0 {
+		t.Fatal("ISE of perfect trajectory should be 0")
+	}
+	if got := ISE([]float64{4, 6}, 5); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("ISE = %v, want 2", got)
+	}
+	traj := []float64{0, 3, 4.95, 5.01, 5.0}
+	if idx := SettlingIndex(traj, 5, 0.02); idx != 2 {
+		t.Fatalf("settling index = %d, want 2", idx)
+	}
+	if idx := SettlingIndex([]float64{0, 10, 0, 10}, 5, 0.02); idx != -1 {
+		t.Fatalf("oscillating trajectory should not settle, got %d", idx)
+	}
+}
+
+func TestTunerImprovesOverRandomGains(t *testing.T) {
+	cfg := TunerConfig{
+		Seed:        7,
+		Population:  16,
+		Generations: 12,
+		Setpoint:    5,
+		Steps:       80,
+		NewPlant:    func() Plant { return &FirstOrder{Gain: 1, Tau: time.Second} },
+	}
+	best, bestISE := Tune(cfg)
+	// Compare with a deliberately poor controller.
+	bad := &PID{Kp: 0.01}
+	badISE := ISE(StepResponse(bad, cfg.NewPlant(), 5, 80, 100*time.Millisecond), 5)
+	if bestISE >= badISE {
+		t.Fatalf("tuner (%v, ISE=%.2f) did not beat a bad controller (ISE=%.2f)",
+			best, bestISE, badISE)
+	}
+	// Determinism: same seed, same result.
+	best2, ise2 := Tune(cfg)
+	if best2 != best || ise2 != bestISE {
+		t.Fatalf("tuner not deterministic: %v/%v vs %v/%v", best, bestISE, best2, ise2)
+	}
+}
+
+func TestTunedGainsTrackSetpoint(t *testing.T) {
+	cfg := TunerConfig{
+		Seed:        11,
+		Population:  20,
+		Generations: 15,
+		Setpoint:    5,
+		Steps:       120,
+		NewPlant:    func() Plant { return &FirstOrder{Gain: 2, Tau: 2 * time.Second} },
+	}
+	g, _ := Tune(cfg)
+	ctrl := &PID{Kp: g.Kp, Ki: g.Ki, Kd: g.Kd, IntMax: 100}
+	traj := StepResponse(ctrl, cfg.NewPlant(), 5, 200, 100*time.Millisecond)
+	if math.Abs(traj[len(traj)-1]-5) > 0.5 {
+		t.Fatalf("tuned controller final = %.3f, want ≈5", traj[len(traj)-1])
+	}
+}
+
+func TestZeroDtDoesNotPanic(t *testing.T) {
+	ctrl := &PID{Kp: 1, Ki: 1, Kd: 1}
+	out := ctrl.Update(1, 0, 0)
+	if math.IsNaN(out) || math.IsInf(out, 0) {
+		t.Fatalf("out = %v", out)
+	}
+	fz := &Fuzzy{}
+	if out := fz.Update(1, 0, 0); math.IsNaN(out) {
+		t.Fatalf("fuzzy out = %v", out)
+	}
+}

@@ -1,0 +1,159 @@
+package control
+
+import (
+	"time"
+)
+
+// Fuzzy is a Mamdani fuzzy-logic controller over two inputs — error and
+// error derivative — with five triangular membership sets each (NL, NS, ZE,
+// PS, PL), a 5×5 rule table, and centroid defuzzification. This is the
+// "intelligent controller" of the paper's vision: a soft-computing control
+// law for systems "which cannot be expressed using mathematical models such
+// as differential equations" [Gupt96, Gupt00].
+//
+// ErrScale and DErrScale normalize raw inputs into [-1, 1]; OutScale maps
+// the normalized output back to actuator units. The controller integrates
+// its output (incremental form) so it has PI-like steady-state behaviour.
+type Fuzzy struct {
+	ErrScale  float64 // raw error that maps to 1.0
+	DErrScale float64 // raw error-derivative that maps to 1.0
+	OutScale  float64 // output units per unit of normalized action per second
+	// OutMin/OutMax saturate the accumulated output; both zero disables.
+	OutMin, OutMax float64
+
+	out     float64
+	prevErr float64
+	primed  bool
+}
+
+var _ Controller = (*Fuzzy)(nil)
+
+// Linguistic terms, indexed NL..PL.
+const (
+	nl = iota
+	ns
+	ze
+	ps
+	pl
+	nTerms
+)
+
+// termCenters are the centers of the five triangular sets on [-1, 1].
+var termCenters = [nTerms]float64{-1, -0.5, 0, 0.5, 1}
+
+// ruleTable[e][de] gives the output term for error term e and derivative
+// term de. It is the standard anti-diagonal PI-like table: large positive
+// error (below setpoint) with falling trend → strong positive action.
+var ruleTable = [nTerms][nTerms]int{
+	//                de: NL  NS  ZE  PS  PL
+	/* e = NL */ {nl, nl, nl, ns, ze},
+	/* e = NS */ {nl, ns, ns, ze, ps},
+	/* e = ZE */ {nl, ns, ze, ps, pl},
+	/* e = PS */ {ns, ze, ps, ps, pl},
+	/* e = PL */ {ze, ps, pl, pl, pl},
+}
+
+// membership returns the degree of x in each of the five sets. Triangles
+// with centers at termCenters and half-width 0.5, shouldered at the ends.
+func membership(x float64) [nTerms]float64 {
+	var mu [nTerms]float64
+	if x <= termCenters[0] {
+		mu[0] = 1
+		return mu
+	}
+	if x >= termCenters[nTerms-1] {
+		mu[nTerms-1] = 1
+		return mu
+	}
+	for i := 0; i < nTerms-1; i++ {
+		lo, hi := termCenters[i], termCenters[i+1]
+		if x >= lo && x <= hi {
+			t := (x - lo) / (hi - lo)
+			mu[i] = 1 - t
+			mu[i+1] = t
+			break
+		}
+	}
+	return mu
+}
+
+func clamp1(x float64) float64 {
+	if x > 1 {
+		return 1
+	}
+	if x < -1 {
+		return -1
+	}
+	return x
+}
+
+// Update implements Controller.
+func (f *Fuzzy) Update(setpoint, measured float64, dt time.Duration) float64 {
+	sec := dt.Seconds()
+	if sec <= 0 {
+		sec = 1e-9
+	}
+	err := setpoint - measured
+	derr := 0.0
+	if f.primed {
+		derr = (err - f.prevErr) / sec
+	}
+	f.prevErr = err
+	f.primed = true
+
+	eScale, dScale := f.ErrScale, f.DErrScale
+	if eScale == 0 {
+		eScale = 1
+	}
+	if dScale == 0 {
+		dScale = 1
+	}
+	e := clamp1(err / eScale)
+	de := clamp1(derr / dScale)
+
+	muE := membership(e)
+	muDE := membership(de)
+
+	// Mamdani inference with product t-norm, then centroid over the
+	// weighted singleton output centers.
+	var num, den float64
+	for i := 0; i < nTerms; i++ {
+		if muE[i] == 0 {
+			continue
+		}
+		for j := 0; j < nTerms; j++ {
+			w := muE[i] * muDE[j]
+			if w == 0 {
+				continue
+			}
+			num += w * termCenters[ruleTable[i][j]]
+			den += w
+		}
+	}
+	action := 0.0
+	if den > 0 {
+		action = num / den
+	}
+
+	outScale := f.OutScale
+	if outScale == 0 {
+		outScale = 1
+	}
+	f.out += action * outScale * sec
+	if !(f.OutMin == 0 && f.OutMax == 0) {
+		if f.out < f.OutMin {
+			f.out = f.OutMin
+		}
+		if f.out > f.OutMax {
+			f.out = f.OutMax
+		}
+	}
+	return f.out
+}
+
+// Reset implements Controller.
+func (f *Fuzzy) Reset() {
+	f.out = 0
+	f.prevErr = 0
+	f.primed = false
+}

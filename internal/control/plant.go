@@ -1,0 +1,122 @@
+package control
+
+import (
+	"math"
+	"time"
+)
+
+// Plant is a controllable process: Step applies a control input over dt and
+// returns the new measured output.
+type Plant interface {
+	Step(input float64, dt time.Duration) float64
+	Output() float64
+}
+
+// FirstOrder is the classic first-order lag plant dy/dt = (Gain·u − y)/Tau.
+// It approximates resource pools whose utilization follows allocation with
+// inertia.
+type FirstOrder struct {
+	Gain float64
+	Tau  time.Duration
+	Y    float64
+}
+
+var _ Plant = (*FirstOrder)(nil)
+
+// Step implements Plant (exact discretization of the linear ODE).
+func (p *FirstOrder) Step(u float64, dt time.Duration) float64 {
+	tau := p.Tau.Seconds()
+	if tau <= 0 {
+		p.Y = p.Gain * u
+		return p.Y
+	}
+	a := math.Exp(-dt.Seconds() / tau)
+	p.Y = a*p.Y + (1-a)*p.Gain*u
+	return p.Y
+}
+
+// Output implements Plant.
+func (p *FirstOrder) Output() float64 { return p.Y }
+
+// ServiceQueue models a service station with controllable capacity: the
+// measured output is the mean response time of an M/M/1-like queue,
+// latency = 1/(capacity − arrival), with arrival rate set externally
+// (the fluctuating environment) and capacity set by the controller. This is
+// the plant used in the telecom rush-hour experiment (E7).
+type ServiceQueue struct {
+	// Arrival is the current offered load (requests/second); vary it to
+	// simulate environment fluctuation.
+	Arrival float64
+	// MinCapacity guards the 1/(c−a) pole; capacities are clamped to at
+	// least Arrival+MinHeadroom.
+	MinHeadroom float64
+
+	capacity float64
+	latency  float64
+}
+
+var _ Plant = (*ServiceQueue)(nil)
+
+// Step implements Plant: input is the allocated capacity.
+func (q *ServiceQueue) Step(capacity float64, _ time.Duration) float64 {
+	head := q.MinHeadroom
+	if head <= 0 {
+		head = 0.1
+	}
+	if capacity < q.Arrival+head {
+		capacity = q.Arrival + head
+	}
+	q.capacity = capacity
+	q.latency = 1.0 / (capacity - q.Arrival)
+	return q.latency
+}
+
+// Output implements Plant.
+func (q *ServiceQueue) Output() float64 { return q.latency }
+
+// Capacity returns the last applied capacity.
+func (q *ServiceQueue) Capacity() float64 { return q.capacity }
+
+// StepResponse runs ctrl against plant for n steps of dt toward setpoint
+// and returns the output trajectory. Used by tests, the GA tuner's fitness
+// function, and E7.
+func StepResponse(ctrl Controller, plant Plant, setpoint float64, n int, dt time.Duration) []float64 {
+	out := make([]float64, n)
+	y := plant.Output()
+	for i := 0; i < n; i++ {
+		u := ctrl.Update(setpoint, y, dt)
+		y = plant.Step(u, dt)
+		out[i] = y
+	}
+	return out
+}
+
+// ISE computes the integral of squared error of a trajectory against a
+// setpoint — the fitness criterion used by the tuner (lower is better).
+func ISE(traj []float64, setpoint float64) float64 {
+	sum := 0.0
+	for _, y := range traj {
+		e := setpoint - y
+		sum += e * e
+	}
+	return sum
+}
+
+// SettlingIndex returns the first index after which the trajectory stays
+// within tol·setpoint of the setpoint, or -1 if it never settles.
+func SettlingIndex(traj []float64, setpoint, tol float64) int {
+	band := math.Abs(setpoint * tol)
+	for i := range traj {
+		settled := true
+		for j := i; j < len(traj); j++ {
+			if math.Abs(traj[j]-setpoint) > band {
+				settled = false
+				break
+			}
+		}
+		if settled {
+			return i
+		}
+	}
+	return -1
+}

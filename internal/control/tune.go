@@ -1,0 +1,141 @@
+package control
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Gains is a PID gain triple evolved by the tuner.
+type Gains struct {
+	Kp, Ki, Kd float64
+}
+
+// TunerConfig parameterizes the genetic-algorithm tuner — the third soft
+// computing technique the paper names ("fuzzy-logic, neural-networks and
+// genetic algorithms"). All stochastic choices come from the seeded source,
+// so tuning is reproducible.
+type TunerConfig struct {
+	Seed        int64
+	Population  int
+	Generations int
+	// MutationStd is the standard deviation of Gaussian gain mutation.
+	MutationStd float64
+	// Bounds clamp evolved gains to [0, Bound] per dimension.
+	KpMax, KiMax, KdMax float64
+	// IntMax is the anti-windup clamp of the evaluated controllers; it
+	// must exceed offset/Ki when the plant needs a large steady actuator
+	// offset (default 100).
+	IntMax float64
+	// Fitness scenario: a step to Setpoint over Steps ticks of Dt against
+	// a fresh plant built by NewPlant.
+	Setpoint float64
+	Steps    int
+	Dt       time.Duration
+	NewPlant func() Plant
+}
+
+func (c *TunerConfig) defaults() {
+	if c.Population <= 0 {
+		c.Population = 24
+	}
+	if c.Generations <= 0 {
+		c.Generations = 30
+	}
+	if c.MutationStd <= 0 {
+		c.MutationStd = 0.15
+	}
+	if c.KpMax <= 0 {
+		c.KpMax = 10
+	}
+	if c.KiMax <= 0 {
+		c.KiMax = 10
+	}
+	if c.KdMax <= 0 {
+		c.KdMax = 2
+	}
+	if c.IntMax <= 0 {
+		c.IntMax = 100
+	}
+	if c.Steps <= 0 {
+		c.Steps = 100
+	}
+	if c.Dt <= 0 {
+		c.Dt = 100 * time.Millisecond
+	}
+}
+
+// Tune evolves PID gains minimizing ISE on the configured step scenario.
+// It returns the best gains and their fitness (lower is better).
+func Tune(cfg TunerConfig) (Gains, float64) {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	type indiv struct {
+		g   Gains
+		ise float64
+	}
+	fitness := func(g Gains) float64 {
+		ctrl := &PID{Kp: g.Kp, Ki: g.Ki, Kd: g.Kd, IntMax: cfg.IntMax}
+		traj := StepResponse(ctrl, cfg.NewPlant(), cfg.Setpoint, cfg.Steps, cfg.Dt)
+		return ISE(traj, cfg.Setpoint)
+	}
+	randomGains := func() Gains {
+		return Gains{
+			Kp: rng.Float64() * cfg.KpMax,
+			Ki: rng.Float64() * cfg.KiMax,
+			Kd: rng.Float64() * cfg.KdMax,
+		}
+	}
+	clamp := func(v, max float64) float64 {
+		if v < 0 {
+			return 0
+		}
+		if v > max {
+			return max
+		}
+		return v
+	}
+
+	pop := make([]indiv, cfg.Population)
+	for i := range pop {
+		g := randomGains()
+		pop[i] = indiv{g: g, ise: fitness(g)}
+	}
+	sortPop := func() {
+		sort.Slice(pop, func(i, j int) bool { return pop[i].ise < pop[j].ise })
+	}
+	sortPop()
+
+	tournament := func() Gains {
+		a, b := pop[rng.Intn(len(pop))], pop[rng.Intn(len(pop))]
+		if a.ise <= b.ise {
+			return a.g
+		}
+		return b.g
+	}
+
+	for gen := 0; gen < cfg.Generations; gen++ {
+		next := make([]indiv, 0, cfg.Population)
+		// Elitism: keep the best two unchanged.
+		next = append(next, pop[0], pop[1])
+		for len(next) < cfg.Population {
+			p1, p2 := tournament(), tournament()
+			// Blend crossover.
+			alpha := rng.Float64()
+			child := Gains{
+				Kp: alpha*p1.Kp + (1-alpha)*p2.Kp,
+				Ki: alpha*p1.Ki + (1-alpha)*p2.Ki,
+				Kd: alpha*p1.Kd + (1-alpha)*p2.Kd,
+			}
+			// Gaussian mutation.
+			child.Kp = clamp(child.Kp+rng.NormFloat64()*cfg.MutationStd*cfg.KpMax, cfg.KpMax)
+			child.Ki = clamp(child.Ki+rng.NormFloat64()*cfg.MutationStd*cfg.KiMax, cfg.KiMax)
+			child.Kd = clamp(child.Kd+rng.NormFloat64()*cfg.MutationStd*cfg.KdMax, cfg.KdMax)
+			next = append(next, indiv{g: child, ise: fitness(child)})
+		}
+		pop = next
+		sortPop()
+	}
+	return pop[0].g, pop[0].ise
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/adl"
+	"repro/internal/aspects"
+	"repro/internal/bus"
+	"repro/internal/connector"
+	"repro/internal/container"
+	"repro/internal/netsim"
+	"repro/internal/qos"
+	"repro/internal/registry"
+)
+
+// Caller lets a hosted component invoke its required services; calls are
+// routed through the connector bound to each requirement.
+type Caller interface {
+	// Call invokes the named required service and returns its results.
+	Call(service string, args ...any) ([]any, error)
+}
+
+// CallerAware components receive their Caller during assembly (dependency
+// injection of the "use output" side).
+type CallerAware interface {
+	SetCaller(c Caller)
+}
+
+// ComponentAddress returns the bus address of a named component.
+func ComponentAddress(name string) bus.Address { return bus.Address("comp:" + name) }
+
+// runtimeComponent is one running component: a container, a bus endpoint,
+// a serve loop, and a routing table from required services to connectors.
+type runtimeComponent struct {
+	sys   *System
+	name  string
+	decl  adl.ComponentDecl
+	cont  *container.Container
+	ep    *bus.Endpoint
+	node  netsim.NodeID
+	entry registry.Entry // the implementation currently hosted
+
+	mu      sync.Mutex
+	routes  map[string]bus.Address // required service -> connector address
+	waiters map[uint64]chan connector.ReplyPayload
+	corr    uint64
+	woven   aspects.Handler
+
+	wg     sync.WaitGroup
+	cancel context.CancelFunc
+}
+
+var _ Caller = (*runtimeComponent)(nil)
+
+func newRuntimeComponent(sys *System, decl adl.ComponentDecl, cont *container.Container, node netsim.NodeID) (*runtimeComponent, error) {
+	ep, err := sys.bus.Attach(ComponentAddress(decl.Name), sys.mailbox)
+	if err != nil {
+		return nil, err
+	}
+	rc := &runtimeComponent{
+		sys:     sys,
+		name:    decl.Name,
+		decl:    decl,
+		cont:    cont,
+		ep:      ep,
+		node:    node,
+		routes:  map[string]bus.Address{},
+		waiters: map[uint64]chan connector.ReplyPayload{},
+	}
+	// Weave the system's aspects around the container invocation. The
+	// woven handler resolves advice dynamically, so aspects attached later
+	// apply to this component immediately.
+	base := func(inv *aspects.Invocation) (any, error) {
+		call, _ := inv.Args.(connector.CallPayload)
+		res, err := cont.Invoke(call.Principal, inv.Op, call.Args)
+		return res, err
+	}
+	rc.woven = sys.weaver.Weave(base)
+	return rc, nil
+}
+
+// setRoute binds a required service to a connector address.
+func (rc *runtimeComponent) setRoute(service string, conn bus.Address) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.routes[service] = conn
+}
+
+// start launches the serve loop.
+func (rc *runtimeComponent) start(ctx context.Context) {
+	ctx, rc.cancel = context.WithCancel(ctx)
+	rc.cont.Activate()
+	rc.wg.Add(1)
+	go func() {
+		defer rc.wg.Done()
+		for {
+			m, err := rc.ep.Receive(ctx)
+			if err != nil {
+				return
+			}
+			switch m.Kind {
+			case bus.Request:
+				// Serve concurrently so that outcalls from the handler can
+				// be correlated by this same loop.
+				rc.wg.Add(1)
+				go func(m bus.Message) {
+					defer rc.wg.Done()
+					rc.serve(m)
+				}(m)
+			case bus.Reply:
+				rc.mu.Lock()
+				w, ok := rc.waiters[m.Corr]
+				if ok {
+					delete(rc.waiters, m.Corr)
+				}
+				rc.mu.Unlock()
+				if ok {
+					payload, _ := m.Payload.(connector.ReplyPayload)
+					w <- payload
+				}
+			}
+		}
+	}()
+	rc.sys.events.Emit(Event{Kind: EvComponentStarted, At: rc.sys.clk.Now(), Component: rc.name})
+}
+
+// stop cancels the serve loop and waits for in-flight work.
+func (rc *runtimeComponent) stop() {
+	if rc.cancel != nil {
+		rc.cancel()
+	}
+	rc.wg.Wait()
+	rc.sys.events.Emit(Event{Kind: EvComponentStopped, At: rc.sys.clk.Now(), Component: rc.name})
+}
+
+// serve handles one request end-to-end and replies to the caller.
+func (rc *runtimeComponent) serve(m bus.Message) {
+	started := rc.sys.clk.Now()
+	call, _ := m.Payload.(connector.CallPayload)
+	inv := &aspects.Invocation{Component: rc.name, Op: m.Op, Args: call}
+	res, err := rc.woven(inv)
+
+	if errors.Is(err, container.ErrNotActive) {
+		// The request raced a reconfiguration point: it was delivered to
+		// the mailbox before the channel was blocked but reached the
+		// container after quiescence. Requeue it — the bus parks it on
+		// the paused channel and flushes it to the new implementation on
+		// resume, preserving the no-loss guarantee. (The RAML always
+		// pauses the channel before quiescing, so this cannot spin.)
+		_ = rc.sys.bus.Send(m)
+		return
+	}
+
+	elapsed := rc.sys.clk.Now().Sub(started)
+	rc.sys.monitor.Record(qos.Latency, elapsed.Seconds())
+	rc.sys.monitor.Record(qos.Throughput, 1)
+
+	reply := bus.Message{
+		Kind: bus.Reply, Op: m.Op,
+		Src: rc.ep.Addr(), Dst: m.Src, Corr: m.Corr,
+	}
+	if err != nil {
+		reply.Payload = connector.ReplyPayload{Err: err.Error()}
+		rc.sys.events.Emit(Event{Kind: EvRequestFailed, At: rc.sys.clk.Now(),
+			Component: rc.name, Detail: m.Op + ": " + err.Error()})
+	} else {
+		results, _ := res.([]any)
+		reply.Payload = connector.ReplyPayload{Results: results}
+		rc.sys.events.Emit(Event{Kind: EvRequestServed, At: rc.sys.clk.Now(),
+			Component: rc.name, Detail: m.Op})
+	}
+	_ = rc.sys.bus.Send(reply)
+}
+
+// Call implements Caller: route the outcall through the bound connector and
+// wait for the correlated reply.
+func (rc *runtimeComponent) Call(service string, args ...any) ([]any, error) {
+	rc.mu.Lock()
+	dst, ok := rc.routes[service]
+	if !ok {
+		rc.mu.Unlock()
+		return nil, fmt.Errorf("core: component %s: required service %q is unbound", rc.name, service)
+	}
+	rc.corr++
+	corr := rc.corr
+	w := make(chan connector.ReplyPayload, 1)
+	rc.waiters[corr] = w
+	rc.mu.Unlock()
+
+	err := rc.sys.bus.Send(bus.Message{
+		Kind: bus.Request, Op: service,
+		Payload: connector.CallPayload{Args: args},
+		Src:     rc.ep.Addr(), Dst: dst, Corr: corr,
+	})
+	if err != nil {
+		rc.mu.Lock()
+		delete(rc.waiters, corr)
+		rc.mu.Unlock()
+		return nil, err
+	}
+	select {
+	case payload := <-w:
+		if payload.Err != "" {
+			return nil, errors.New(payload.Err)
+		}
+		return payload.Results, nil
+	case <-time.After(rc.sys.callTimeout):
+		rc.mu.Lock()
+		delete(rc.waiters, corr)
+		rc.mu.Unlock()
+		return nil, fmt.Errorf("core: call %s.%s timed out", rc.name, service)
+	}
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// EventKind classifies RAML stream events — the introspection feed of
+// Figure 1 ("RAML streams").
+type EventKind int
+
+// RAML stream event kinds.
+const (
+	EvComponentStarted EventKind = iota + 1
+	EvComponentStopped
+	EvRequestServed
+	EvRequestFailed
+	EvQoSViolation
+	EvReconfigStarted
+	EvReconfigStep
+	EvReconfigCommitted
+	EvReconfigRolledBack
+	EvAdaptation
+	EvMigration
+	EvSwap
+	EvTriggerFired
+	EvGuardFailed
+)
+
+var eventNames = map[EventKind]string{
+	EvComponentStarted: "component-started", EvComponentStopped: "component-stopped",
+	EvRequestServed: "request-served", EvRequestFailed: "request-failed",
+	EvQoSViolation: "qos-violation", EvReconfigStarted: "reconfig-started",
+	EvReconfigStep: "reconfig-step", EvReconfigCommitted: "reconfig-committed",
+	EvReconfigRolledBack: "reconfig-rolled-back", EvAdaptation: "adaptation",
+	EvMigration: "migration", EvSwap: "swap", EvTriggerFired: "trigger-fired",
+	EvGuardFailed: "guard-failed",
+}
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	if s, ok := eventNames[k]; ok {
+		return s
+	}
+	return "unknown"
+}
+
+// Event is one observation on the RAML stream.
+type Event struct {
+	Kind      EventKind
+	At        time.Time
+	Component string // component or connector involved, may be empty
+	Detail    string
+}
+
+// EventHub fans events out to subscribers. Subscribers receive on buffered
+// channels; events that would block are counted as dropped rather than
+// stalling the meta-level.
+type EventHub struct {
+	mu      sync.Mutex
+	subs    map[int]chan Event
+	nextID  int
+	dropped uint64
+	history []Event
+	keep    int
+}
+
+// NewEventHub builds a hub retaining the last keep events for
+// introspection queries (default 1024).
+func NewEventHub(keep int) *EventHub {
+	if keep <= 0 {
+		keep = 1024
+	}
+	return &EventHub{subs: map[int]chan Event{}, keep: keep}
+}
+
+// Subscribe returns a buffered event channel and an unsubscribe function.
+func (h *EventHub) Subscribe(buffer int) (<-chan Event, func()) {
+	if buffer <= 0 {
+		buffer = 256
+	}
+	ch := make(chan Event, buffer)
+	h.mu.Lock()
+	id := h.nextID
+	h.nextID++
+	h.subs[id] = ch
+	h.mu.Unlock()
+	return ch, func() {
+		h.mu.Lock()
+		if c, ok := h.subs[id]; ok {
+			delete(h.subs, id)
+			close(c)
+		}
+		h.mu.Unlock()
+	}
+}
+
+// Emit publishes an event.
+func (h *EventHub) Emit(e Event) {
+	h.mu.Lock()
+	h.history = append(h.history, e)
+	if len(h.history) > h.keep {
+		h.history = h.history[len(h.history)-h.keep:]
+	}
+	for _, ch := range h.subs {
+		select {
+		case ch <- e:
+		default:
+			h.dropped++
+		}
+	}
+	h.mu.Unlock()
+}
+
+// History returns a copy of retained events, optionally filtered by kind
+// (zero means all).
+func (h *EventHub) History(kind EventKind) []Event {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []Event
+	for _, e := range h.history {
+		if kind == 0 || e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dropped reports events lost to slow subscribers.
+func (h *EventHub) Dropped() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.dropped
+}

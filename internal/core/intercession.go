@@ -1,0 +1,191 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/bus"
+	"repro/internal/connector"
+	"repro/internal/deploy"
+	"repro/internal/netsim"
+	"repro/internal/registry"
+)
+
+// SwapReport quantifies one hot-swap: experiment E4/E5 evidence.
+type SwapReport struct {
+	Component string
+	// Blackout is how long the component's channel was blocked.
+	Blackout time.Duration
+	// HeldMessages is how many in-transit messages were parked and then
+	// flushed — "the messages in transit" of the Polylith sequence.
+	HeldMessages int
+	// StateBytes is the size of the transferred state (strong swap only).
+	StateBytes int
+}
+
+// SwapImplementation replaces a component's implementation online,
+// following the paper's reconfiguration sequence (§1): wait for a
+// reconfiguration point (container quiescence), block the communication
+// channel (bus pause), encode the module context (state snapshot), create
+// the new module (factory), restore, unblock. transferState selects strong
+// dynamic reconfiguration.
+func (s *System) SwapImplementation(component string, entry registry.Entry, transferState bool) (SwapReport, error) {
+	s.mu.Lock()
+	rc, ok := s.comps[component]
+	s.mu.Unlock()
+	rep := SwapReport{Component: component}
+	if !ok {
+		return rep, fmt.Errorf("%w: %s", ErrUnknownComp, component)
+	}
+
+	// Compliance gate: the replacement must keep the compliancy with the
+	// interface the component declares (interface modification rules).
+	if rc.decl.Implements != "" {
+		if iface, ok := s.cfg.Interface(rc.decl.Implements); ok {
+			if !registry.CheckCompliance(iface.ToRegistry(), entry.Provides).Compliant {
+				return rep, fmt.Errorf("core: swap %s: replacement %s does not keep compliancy with %s",
+					component, entry.Name, iface.Name)
+			}
+		}
+	}
+
+	addr := rc.ep.Addr()
+	started := s.clk.Now()
+
+	// 1. Block the communication channel; new messages are parked.
+	s.bus.Pause(addr)
+
+	// 2. Reach the reconfiguration point: in-flight requests complete.
+	ctx, cancel := context.WithTimeout(context.Background(), s.callTimeout)
+	defer cancel()
+	if err := rc.cont.Quiesce(ctx); err != nil {
+		_, _ = s.bus.Resume(addr)
+		return rep, fmt.Errorf("core: swap %s: %w", component, err)
+	}
+
+	// 3. Encode the module context and initialize the new module.
+	raw := entry.New()
+	comp, okC := raw.(interface {
+		Handle(op string, args []any) ([]any, error)
+	})
+	if !okC {
+		rc.cont.Activate()
+		_, _ = s.bus.Resume(addr)
+		return rep, fmt.Errorf("%w: %s produced %T", ErrBadComponent, entry.Name, raw)
+	}
+	if transferState {
+		snap, err := rc.cont.Snapshot()
+		if err == nil {
+			rep.StateBytes = len(snap)
+		}
+	}
+	if err := rc.cont.ReplaceComponent(comp, transferState); err != nil {
+		rc.cont.Activate()
+		_, _ = s.bus.Resume(addr)
+		return rep, fmt.Errorf("core: swap %s: %w", component, err)
+	}
+	if aware, ok := comp.(CallerAware); ok {
+		aware.SetCaller(rc)
+	}
+
+	// 4. Reactivate and flush the parked messages in order.
+	rc.entry = entry
+	rc.cont.Activate()
+	rep.HeldMessages = s.bus.HeldCount(addr)
+	if _, err := s.bus.Resume(addr); err != nil {
+		return rep, fmt.Errorf("core: swap %s: resume: %w", component, err)
+	}
+	rep.Blackout = s.clk.Now().Sub(started)
+	s.events.Emit(Event{Kind: EvSwap, At: s.clk.Now(), Component: component,
+		Detail: fmt.Sprintf("-> %s %s (strong=%v, held=%d)", entry.Name, entry.Version, transferState, rep.HeldMessages)})
+	return rep, nil
+}
+
+// Rebind points a binding's connector at a different provider component —
+// "modifying the connections between the components" (§3).
+func (s *System) Rebind(fromComponent, service, newProvider string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.comps[newProvider]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownComp, newProvider)
+	}
+	for name, c := range s.conns {
+		for _, b := range s.cfg.Bindings {
+			if connectorInstanceName(b) == name && b.FromComponent == fromComponent && b.FromService == service {
+				c.SetTargets([]bus.Address{ComponentAddress(newProvider)})
+				// Track the change in the architectural model.
+				for i := range s.cfg.Bindings {
+					bb := &s.cfg.Bindings[i]
+					if bb.FromComponent == fromComponent && bb.FromService == service {
+						bb.ToComponent = newProvider
+					}
+				}
+				s.events.Emit(Event{Kind: EvReconfigStep, At: s.clk.Now(),
+					Component: fromComponent,
+					Detail:    fmt.Sprintf("rebind %s.%s -> %s", fromComponent, service, newProvider)})
+				return nil
+			}
+		}
+	}
+	return fmt.Errorf("%w: binding %s.%s", ErrUnknownConn, fromComponent, service)
+}
+
+// Migrate moves a component to another topology node — the geographical
+// change of §1, "so that they are 'closer' to the demand". The component
+// keeps its bus address; only the latency model observes the move.
+func (s *System) Migrate(component string, to netsim.NodeID) error {
+	s.mu.Lock()
+	rc, ok := s.comps[component]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownComp, component)
+	}
+	if s.topo == nil {
+		return fmt.Errorf("core: migrate %s: no topology configured", component)
+	}
+	if _, err := s.topo.Node(to); err != nil {
+		return err
+	}
+	cpu := 1.0
+	for _, r := range deploy.FromConfig(s.Config()) {
+		if r.Component == component {
+			cpu = r.CPU
+		}
+	}
+	if err := s.topo.Allocate(to, cpu); err != nil {
+		return fmt.Errorf("core: migrate %s: %w", component, err)
+	}
+	s.mu.Lock()
+	from := rc.node
+	rc.node = to
+	s.placement[component] = to
+	s.mu.Unlock()
+	if from != "" {
+		_ = s.topo.Release(from, cpu)
+	}
+	s.events.Emit(Event{Kind: EvMigration, At: s.clk.Now(), Component: component,
+		Detail: fmt.Sprintf("%s -> %s", from, to)})
+	return nil
+}
+
+// Connector returns the live connector mediating a binding.
+func (s *System) Connector(fromComponent, service string) (*connector.Connector, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, b := range s.cfg.Bindings {
+		if b.FromComponent == fromComponent && b.FromService == service {
+			if c, ok := s.conns[connectorInstanceName(b)]; ok {
+				return c, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("%w: %s.%s", ErrUnknownConn, fromComponent, service)
+}
+
+// Placement returns a copy of the current component placement.
+func (s *System) Placement() deploy.Placement {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.placement.Clone()
+}

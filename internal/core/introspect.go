@@ -1,0 +1,77 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/connector"
+	"repro/internal/netsim"
+)
+
+// ComponentInfo is one component's introspection view.
+type ComponentInfo struct {
+	Name      string
+	Lifecycle string
+	Node      netsim.NodeID
+	Calls     uint64
+	Failures  uint64
+	Routes    map[string]string // required service -> connector instance
+}
+
+// ConnectorInfo is one connector's introspection view.
+type ConnectorInfo struct {
+	Name    string
+	Kind    string
+	Targets []string
+	Stats   connector.Stats
+}
+
+// Model is the live architectural reflection returned by Introspect —
+// the "introspection (observing behavior)" half of the meta-level.
+type Model struct {
+	System     string
+	Components []ComponentInfo
+	Connectors []ConnectorInfo
+	Metrics    map[string]float64
+	BusSent    uint64
+	BusHeld    uint64
+}
+
+// Introspect snapshots the running system.
+func (s *System) Introspect() Model {
+	s.mu.Lock()
+	m := Model{System: s.name}
+	for _, rc := range s.comps {
+		calls, failures := rc.cont.Stats()
+		info := ComponentInfo{
+			Name:      rc.name,
+			Lifecycle: rc.cont.State().String(),
+			Node:      rc.node,
+			Calls:     calls,
+			Failures:  failures,
+			Routes:    map[string]string{},
+		}
+		rc.mu.Lock()
+		for svc, addr := range rc.routes {
+			info.Routes[svc] = string(addr)
+		}
+		rc.mu.Unlock()
+		m.Components = append(m.Components, info)
+	}
+	for _, c := range s.conns {
+		var tgts []string
+		for _, t := range c.Targets() {
+			tgts = append(tgts, string(t))
+		}
+		m.Connectors = append(m.Connectors, ConnectorInfo{
+			Name: c.Name(), Kind: c.Kind().String(), Targets: tgts, Stats: c.Stats(),
+		})
+	}
+	s.mu.Unlock()
+
+	sort.Slice(m.Components, func(i, j int) bool { return m.Components[i].Name < m.Components[j].Name })
+	sort.Slice(m.Connectors, func(i, j int) bool { return m.Connectors[i].Name < m.Connectors[j].Name })
+	m.Metrics = s.monitor.Snapshot()
+	st := s.bus.Stats()
+	m.BusSent, m.BusHeld = st.Sent, st.Held
+	return m
+}

@@ -1,0 +1,422 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/adl"
+	"repro/internal/bus"
+	"repro/internal/connector"
+	"repro/internal/deploy"
+	"repro/internal/flo"
+	"repro/internal/netsim"
+)
+
+// Guard is a non-regression invariant evaluated after every applied
+// reconfiguration plan; a failing guard rolls the plan back. This realizes
+// the paper's "overall concern … to guarantee non-regression and safety
+// when the system changes its configuration".
+type Guard func(s *System) error
+
+// AddGuard registers a non-regression invariant.
+func (s *System) AddGuard(g Guard) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.guards = append(s.guards, g)
+}
+
+// ReconfigReport summarizes one reconfiguration transaction.
+type ReconfigReport struct {
+	Steps      int
+	Duration   time.Duration
+	RolledBack bool
+	Plan       []adl.Change
+}
+
+// ErrReconfigFailed wraps reconfiguration failures (the system has been
+// rolled back to the previous configuration).
+var ErrReconfigFailed = errors.New("core: reconfiguration failed")
+
+// Reconfigure transitions the running system to newCfg transactionally:
+// the plan is computed with adl.Diff, validated (global consistency of the
+// new configuration), applied step by step, checked against all guards,
+// and rolled back entirely if any step or guard fails.
+func (s *System) Reconfigure(newCfg *adl.Config) (ReconfigReport, error) {
+	started := s.clk.Now()
+	rep := ReconfigReport{}
+	if _, err := adl.Check(newCfg); err != nil {
+		return rep, fmt.Errorf("%w: %v", ErrReconfigFailed, err)
+	}
+	s.mu.Lock()
+	oldCfg := s.cfg
+	s.mu.Unlock()
+	plan := adl.Diff(oldCfg, newCfg)
+	rep.Plan = plan
+	s.events.Emit(Event{Kind: EvReconfigStarted, At: started,
+		Detail: fmt.Sprintf("%d steps toward %s", len(plan), newCfg.Name)})
+
+	var undo []func() error
+	fail := func(step adl.Change, err error) (ReconfigReport, error) {
+		// Roll back the applied prefix in reverse order.
+		for i := len(undo) - 1; i >= 0; i-- {
+			if uerr := undo[i](); uerr != nil {
+				s.events.Emit(Event{Kind: EvGuardFailed, At: s.clk.Now(),
+					Detail: "rollback: " + uerr.Error()})
+			}
+		}
+		rep.RolledBack = true
+		rep.Duration = s.clk.Now().Sub(started)
+		s.events.Emit(Event{Kind: EvReconfigRolledBack, At: s.clk.Now(),
+			Detail: step.String() + ": " + err.Error()})
+		return rep, fmt.Errorf("%w: step %q: %v", ErrReconfigFailed, step, err)
+	}
+
+	for _, step := range plan {
+		s.events.Emit(Event{Kind: EvReconfigStep, At: s.clk.Now(), Detail: step.String()})
+		u, err := s.applyStep(step, oldCfg, newCfg)
+		if err != nil {
+			return fail(step, err)
+		}
+		if u != nil {
+			undo = append(undo, u)
+		}
+		rep.Steps++
+	}
+
+	// Non-regression guards.
+	s.mu.Lock()
+	guards := append([]Guard(nil), s.guards...)
+	s.mu.Unlock()
+	for _, g := range guards {
+		if err := g(s); err != nil {
+			return fail(adl.Change{Kind: adl.ChangeKind(0), Target: "guard"}, err)
+		}
+	}
+
+	s.mu.Lock()
+	s.cfg = newCfg
+	s.mu.Unlock()
+	rep.Duration = s.clk.Now().Sub(started)
+	s.events.Emit(Event{Kind: EvReconfigCommitted, At: s.clk.Now(),
+		Detail: fmt.Sprintf("%d steps in %v", rep.Steps, rep.Duration)})
+	return rep, nil
+}
+
+// applyStep executes one plan step and returns its compensation.
+func (s *System) applyStep(step adl.Change, oldCfg, newCfg *adl.Config) (func() error, error) {
+	switch step.Kind {
+	case adl.AddComponent:
+		decl, ok := newCfg.Component(step.Target)
+		if !ok {
+			return nil, fmt.Errorf("declaration missing for %s", step.Target)
+		}
+		if err := s.addComponentLive(decl, newCfg); err != nil {
+			return nil, err
+		}
+		return func() error { return s.removeComponentLive(step.Target) }, nil
+
+	case adl.RemoveComponent:
+		decl, _ := oldCfg.Component(step.Target)
+		if err := s.removeComponentLive(step.Target); err != nil {
+			return nil, err
+		}
+		return func() error { return s.addComponentLive(decl, oldCfg) }, nil
+
+	case adl.ModifyComponent:
+		// Implementation modification: swap to the latest registry entry.
+		entry, err := s.reg.Lookup(step.Target)
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		rc, ok := s.comps[step.Target]
+		s.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrUnknownComp, step.Target)
+		}
+		prevEntry := rc.entry
+		newDecl, _ := newCfg.Component(step.Target)
+		strong := newDecl.Properties["statefulness"] == "stateful"
+		if _, err := s.SwapImplementation(step.Target, entry, strong); err != nil {
+			return nil, err
+		}
+		rc.decl = newDecl
+		return func() error {
+			if prevEntry.New == nil {
+				return nil
+			}
+			_, err := s.SwapImplementation(step.Target, prevEntry, strong)
+			return err
+		}, nil
+
+	case adl.AddBinding:
+		b, ok := findBinding(newCfg, step.Target)
+		if !ok {
+			return nil, fmt.Errorf("binding %q missing from new config", step.Target)
+		}
+		if err := s.addBindingLive(b, newCfg); err != nil {
+			return nil, err
+		}
+		return func() error { return s.removeBindingLive(b) }, nil
+
+	case adl.RemoveBinding:
+		b, ok := findBinding(oldCfg, step.Target)
+		if !ok {
+			return nil, fmt.Errorf("binding %q missing from old config", step.Target)
+		}
+		if err := s.removeBindingLive(b); err != nil {
+			return nil, err
+		}
+		return func() error { return s.addBindingLive(b, oldCfg) }, nil
+
+	case adl.ModifyConnector:
+		decl, ok := newCfg.Connector(step.Target)
+		if !ok {
+			return nil, fmt.Errorf("connector %s missing from new config", step.Target)
+		}
+		oldDecl, _ := oldCfg.Connector(step.Target)
+		if err := s.retargetConnectorRules(step.Target, decl); err != nil {
+			return nil, err
+		}
+		return func() error { return s.retargetConnectorRules(step.Target, oldDecl) }, nil
+
+	case adl.AddConnector, adl.RemoveConnector:
+		// Connector declarations are instantiated per binding; the
+		// declaration change itself carries no runtime action.
+		return nil, nil
+
+	case adl.Redeploy:
+		if s.topo == nil {
+			return nil, nil
+		}
+		node, err := s.pickNode(step.Target, newCfg)
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		rc, ok := s.comps[step.Target]
+		s.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrUnknownComp, step.Target)
+		}
+		from := rc.node
+		if from == node {
+			return nil, nil
+		}
+		if err := s.Migrate(step.Target, node); err != nil {
+			return nil, err
+		}
+		return func() error { return s.Migrate(step.Target, from) }, nil
+
+	default:
+		return nil, fmt.Errorf("unsupported change kind %v", step.Kind)
+	}
+}
+
+// findBinding resolves a binding by its String() form.
+func findBinding(cfg *adl.Config, repr string) (adl.Binding, bool) {
+	for _, b := range cfg.Bindings {
+		if b.String() == repr {
+			return b, true
+		}
+	}
+	return adl.Binding{}, false
+}
+
+// addComponentLive instantiates, places and starts a component at run time.
+func (s *System) addComponentLive(decl adl.ComponentDecl, cfg *adl.Config) error {
+	node := netsim.NodeID("")
+	if s.topo != nil {
+		n, err := s.pickNode(decl.Name, cfg)
+		if err != nil {
+			return err
+		}
+		node = n
+		s.mu.Lock()
+		s.placement[decl.Name] = node
+		s.mu.Unlock()
+	}
+	entry, err := s.reg.Lookup(decl.Name)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if _, dup := s.comps[decl.Name]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("core: component %s already running", decl.Name)
+	}
+	err = s.buildComponentFromEntryLocked(decl, entry)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	rc := s.comps[decl.Name]
+	running := s.running
+	ctx := s.ctx
+	s.mu.Unlock()
+	if running {
+		rc.start(ctx)
+	}
+	return nil
+}
+
+// removeComponentLive stops and detaches a component, releasing its node.
+func (s *System) removeComponentLive(name string) error {
+	s.mu.Lock()
+	rc, ok := s.comps[name]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownComp, name)
+	}
+	delete(s.comps, name)
+	delete(s.placement, name)
+	s.mu.Unlock()
+
+	rc.stop()
+	s.bus.Detach(rc.ep.Addr())
+	if s.topo != nil && rc.node != "" {
+		_ = s.topo.Release(rc.node, componentCPU(rc.decl))
+	}
+	return nil
+}
+
+// addBindingLive creates and starts the binding's connector instance and
+// routes the caller side to it.
+func (s *System) addBindingLive(b adl.Binding, cfg *adl.Config) error {
+	decl, ok := cfg.Connector(b.Via)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownConn, b.Via)
+	}
+	inst := decl
+	inst.Name = connectorInstanceName(b)
+	conn, err := (connector.Factory{Bus: s.bus}).Build(inst, []bus.Address{ComponentAddress(b.ToComponent)})
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.conns[inst.Name] = conn
+	rc, okC := s.comps[b.FromComponent]
+	running := s.running
+	ctx := s.ctx
+	// Keep the architectural model in sync for connectorInstanceName
+	// lookups (Rebind, Connector).
+	s.cfg.Bindings = append(s.cfg.Bindings, b)
+	s.mu.Unlock()
+	if okC {
+		rc.setRoute(b.FromService, connector.Address(inst.Name))
+	}
+	if running {
+		conn.Start(ctx)
+	}
+	return nil
+}
+
+// removeBindingLive stops the binding's connector and unroutes the caller.
+func (s *System) removeBindingLive(b adl.Binding) error {
+	inst := connectorInstanceName(b)
+	s.mu.Lock()
+	conn, ok := s.conns[inst]
+	if ok {
+		delete(s.conns, inst)
+	}
+	rc, okC := s.comps[b.FromComponent]
+	for i, bb := range s.cfg.Bindings {
+		if bb.String() == b.String() {
+			s.cfg.Bindings = append(s.cfg.Bindings[:i], s.cfg.Bindings[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownConn, inst)
+	}
+	conn.Stop()
+	s.bus.Detach(connector.Address(inst))
+	if okC {
+		rc.mu.Lock()
+		delete(rc.routes, b.FromService)
+		rc.mu.Unlock()
+	}
+	return nil
+}
+
+// componentCPU extracts the declared cpu requirement (default 1).
+func componentCPU(decl adl.ComponentDecl) float64 {
+	if v, ok := decl.Properties["cpu"]; ok {
+		if f, err := strconv.ParseFloat(v, 64); err == nil {
+			return f
+		}
+	}
+	return 1
+}
+
+// pickNode chooses a node for a component per its deployment clause:
+// preferred region and secure flag honoured, least-utilized feasible node
+// wins.
+func (s *System) pickNode(component string, cfg *adl.Config) (netsim.NodeID, error) {
+	var req deploy.Requirement
+	for _, r := range deploy.FromConfig(cfg) {
+		if r.Component == component {
+			req = r
+		}
+	}
+	var best *netsim.Node
+	for _, n := range s.topo.Nodes() {
+		if n.Failed() {
+			continue
+		}
+		if req.Secure && !n.Secure {
+			continue
+		}
+		if req.Region != "" && n.Region != req.Region {
+			continue
+		}
+		if n.Load()+req.CPU > n.Capacity {
+			continue
+		}
+		if best == nil || n.Utilization() < best.Utilization() {
+			best = n
+		}
+	}
+	if best == nil {
+		// Relax the region preference before giving up.
+		for _, n := range s.topo.Nodes() {
+			if n.Failed() || (req.Secure && !n.Secure) || n.Load()+req.CPU > n.Capacity {
+				continue
+			}
+			if best == nil || n.Utilization() < best.Utilization() {
+				best = n
+			}
+		}
+	}
+	if best == nil {
+		return "", fmt.Errorf("core: no feasible node for %s", component)
+	}
+	return best.ID, nil
+}
+
+// retargetConnectorRules swaps the FLO rule engines of all live instances
+// of a connector declaration.
+func (s *System) retargetConnectorRules(connName string, decl adl.ConnectorDecl) error {
+	var eng *flo.Engine
+	if len(decl.Rules) > 0 {
+		e, err := flo.NewEngine(decl.Rules)
+		if err != nil {
+			return err
+		}
+		eng = e
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, b := range s.cfg.Bindings {
+		if b.Via != connName {
+			continue
+		}
+		if c, ok := s.conns[connectorInstanceName(b)]; ok {
+			c.SetRules(eng)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,434 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/adl"
+	"repro/internal/aspects"
+	"repro/internal/bus"
+	"repro/internal/clock"
+	"repro/internal/connector"
+	"repro/internal/container"
+	"repro/internal/deploy"
+	"repro/internal/netsim"
+	"repro/internal/qos"
+	"repro/internal/registry"
+)
+
+// Options configures a System. Zero values select working defaults: real
+// clock, fresh bus, no topology (zero network latency), 10s call timeout.
+type Options struct {
+	Clock       clock.Clock
+	Bus         *bus.Bus
+	Topology    *netsim.Topology
+	Registry    *registry.Registry
+	Mailbox     int
+	CallTimeout time.Duration
+	// Placement maps components to topology nodes; computed with
+	// deploy.LocalSearch when nil and a topology is present.
+	Placement deploy.Placement
+	// QoSWindow is the monitor window (default 10s).
+	QoSWindow time.Duration
+}
+
+// System is the running auto-adaptive system: the base-level application
+// (components, containers, connectors over the bus) plus the RAML — the
+// Reconfiguration and Adaptation Meta-Level of the paper's §3 vision —
+// "in charge of observing the system, checking the compliancy of each
+// application with its behavioral constraints and properties, and
+// undertaking adaptation or reconfiguration actions".
+type System struct {
+	name        string
+	clk         clock.Clock
+	bus         *bus.Bus
+	topo        *netsim.Topology
+	reg         *registry.Registry
+	mailbox     int
+	callTimeout time.Duration
+
+	events  *EventHub
+	monitor *qos.Monitor
+	weaver  *aspects.Weaver
+
+	mu        sync.Mutex
+	cfg       *adl.Config
+	comps     map[string]*runtimeComponent
+	conns     map[string]*connector.Connector
+	placement deploy.Placement
+	guards    []Guard
+	running   bool
+	ctx       context.Context
+	cancel    context.CancelFunc
+
+	triggers *triggerHub
+
+	clientMu   sync.Mutex
+	client     *bus.Endpoint
+	clientCorr uint64
+	clientWait map[uint64]chan connector.ReplyPayload
+	clientWG   sync.WaitGroup
+	clientStop context.CancelFunc
+}
+
+// Assembly errors.
+var (
+	ErrNotRunning     = errors.New("core: system not running")
+	ErrAlreadyRunning = errors.New("core: system already running")
+	ErrUnknownComp    = errors.New("core: unknown component")
+	ErrUnknownConn    = errors.New("core: unknown connector")
+	ErrBadComponent   = errors.New("core: factory did not produce a container.Component")
+)
+
+// NewSystem validates cfg and assembles (but does not start) the system.
+// Every component must have a registered implementation under its own name
+// in opts.Registry.
+func NewSystem(cfg *adl.Config, opts Options) (*System, error) {
+	if _, err := adl.Check(cfg); err != nil {
+		return nil, err
+	}
+	if opts.Registry == nil {
+		return nil, errors.New("core: options need a Registry")
+	}
+	s := &System{
+		name:        cfg.Name,
+		clk:         opts.Clock,
+		bus:         opts.Bus,
+		topo:        opts.Topology,
+		reg:         opts.Registry,
+		mailbox:     opts.Mailbox,
+		callTimeout: opts.CallTimeout,
+		cfg:         cfg,
+		comps:       map[string]*runtimeComponent{},
+		conns:       map[string]*connector.Connector{},
+		events:      NewEventHub(0),
+		weaver:      aspects.NewWeaver(),
+		clientWait:  map[uint64]chan connector.ReplyPayload{},
+	}
+	if s.clk == nil {
+		s.clk = clock.Real{}
+	}
+	if s.callTimeout <= 0 {
+		s.callTimeout = 10 * time.Second
+	}
+	window := opts.QoSWindow
+	if window <= 0 {
+		window = 10 * time.Second
+	}
+	s.monitor = qos.NewMonitor(s.clk, window, 1<<14)
+	if s.bus == nil {
+		s.bus = bus.New(bus.WithClock(s.clk), bus.WithDelay(s.delayFor))
+	}
+	s.triggers = newTriggerHub(s)
+
+	// Placement: provided, computed, or none.
+	if opts.Placement != nil {
+		s.placement = opts.Placement.Clone()
+	} else if s.topo != nil {
+		reqs := deploy.FromConfig(cfg)
+		pl, err := (deploy.LocalSearch{Seed: 1}).Plan(s.topo, reqs, deploy.Objective{Edges: edgesFromBindings(cfg)})
+		if err != nil {
+			return nil, fmt.Errorf("core: initial placement: %w", err)
+		}
+		s.placement = pl
+	} else {
+		s.placement = deploy.Placement{}
+	}
+
+	// Instantiate components.
+	for _, decl := range cfg.Components {
+		if err := s.buildComponentLocked(decl); err != nil {
+			return nil, err
+		}
+	}
+	// Instantiate one connector per binding and route the caller side.
+	for _, b := range cfg.Bindings {
+		if err := s.buildBindingLocked(b); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// edgesFromBindings derives communication edges for the placement
+// objective from the configuration's bindings.
+func edgesFromBindings(cfg *adl.Config) []deploy.Edge {
+	var out []deploy.Edge
+	for _, b := range cfg.Bindings {
+		out = append(out, deploy.Edge{A: b.FromComponent, B: b.ToComponent, Weight: 1})
+	}
+	return out
+}
+
+// buildComponentLocked instantiates a component from the registry entry of
+// the same name (latest version).
+func (s *System) buildComponentLocked(decl adl.ComponentDecl) error {
+	entry, err := s.reg.Lookup(decl.Name)
+	if err != nil {
+		return fmt.Errorf("core: component %s: %w", decl.Name, err)
+	}
+	return s.buildComponentFromEntryLocked(decl, entry)
+}
+
+func (s *System) buildComponentFromEntryLocked(decl adl.ComponentDecl, entry registry.Entry) error {
+	raw := entry.New()
+	comp, ok := raw.(container.Component)
+	if !ok {
+		return fmt.Errorf("%w: %s produced %T", ErrBadComponent, entry.Name, raw)
+	}
+	desc := container.Descriptor{
+		Name:          decl.Name,
+		RequireAuth:   decl.Properties["auth"] == "required",
+		Audit:         decl.Properties["audit"] == "true",
+		Transactional: decl.Properties["transactional"] == "true",
+	}
+	cont, err := container.New(desc, comp)
+	if err != nil {
+		return err
+	}
+	node := s.placement[decl.Name]
+	if s.topo != nil && node != "" {
+		if err := s.topo.Allocate(node, componentCPU(decl)); err != nil {
+			return fmt.Errorf("core: placing %s: %w", decl.Name, err)
+		}
+	}
+	rc, err := newRuntimeComponent(s, decl, cont, node)
+	if err != nil {
+		return err
+	}
+	rc.entry = entry
+	if aware, ok := comp.(CallerAware); ok {
+		aware.SetCaller(rc)
+	}
+	s.comps[decl.Name] = rc
+	return nil
+}
+
+// connectorInstanceName derives the per-binding connector instance name.
+func connectorInstanceName(b adl.Binding) string {
+	return b.Via + ":" + b.FromComponent + "." + b.FromService
+}
+
+func (s *System) buildBindingLocked(b adl.Binding) error {
+	decl, ok := s.cfg.Connector(b.Via)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownConn, b.Via)
+	}
+	inst := decl
+	inst.Name = connectorInstanceName(b)
+	target := ComponentAddress(b.ToComponent)
+	conn, err := (connector.Factory{Bus: s.bus}).Build(inst, []bus.Address{target})
+	if err != nil {
+		return err
+	}
+	s.conns[inst.Name] = conn
+	if rc, ok := s.comps[b.FromComponent]; ok {
+		rc.setRoute(b.FromService, connector.Address(inst.Name))
+	}
+	return nil
+}
+
+// delayFor is the bus delay model: the topology latency between the nodes
+// hosting the source and destination addresses. Connector hops count as
+// local to their first target, so one mediated call is charged one
+// network traversal.
+func (s *System) delayFor(src, dst bus.Address) time.Duration {
+	if s.topo == nil {
+		return 0
+	}
+	a := s.addrNode(src)
+	b := s.addrNode(dst)
+	if a == "" || b == "" || a == b {
+		return 0
+	}
+	d, err := s.topo.Latency(a, b)
+	if err != nil {
+		return 0
+	}
+	return d
+}
+
+// addrNode resolves a bus address to the topology node hosting it.
+func (s *System) addrNode(addr bus.Address) netsim.NodeID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, rc := range s.comps {
+		if rc.ep.Addr() == addr {
+			return rc.node
+		}
+	}
+	for _, c := range s.conns {
+		if connector.Address(c.Name()) == addr {
+			tgts := c.Targets()
+			if len(tgts) > 0 {
+				for _, rc := range s.comps {
+					if rc.ep.Addr() == tgts[0] {
+						return rc.node
+					}
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// Start launches all connectors and components plus the client endpoint.
+func (s *System) Start(ctx context.Context) error {
+	s.mu.Lock()
+	if s.running {
+		s.mu.Unlock()
+		return ErrAlreadyRunning
+	}
+	s.ctx, s.cancel = context.WithCancel(ctx)
+	for _, c := range s.conns {
+		c.Start(s.ctx)
+	}
+	for _, rc := range s.comps {
+		rc.start(s.ctx)
+	}
+	s.running = true
+	s.mu.Unlock()
+
+	return s.startClient()
+}
+
+// startClient attaches the external-caller endpoint used by Call.
+func (s *System) startClient() error {
+	ep, err := s.bus.Attach(bus.Address("client:"+s.name), s.mailbox)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(s.ctx)
+	s.clientMu.Lock()
+	s.client = ep
+	s.clientStop = cancel
+	s.clientMu.Unlock()
+	s.clientWG.Add(1)
+	go func() {
+		defer s.clientWG.Done()
+		for {
+			m, err := ep.Receive(ctx)
+			if err != nil {
+				return
+			}
+			if m.Kind != bus.Reply {
+				continue
+			}
+			s.clientMu.Lock()
+			w, ok := s.clientWait[m.Corr]
+			if ok {
+				delete(s.clientWait, m.Corr)
+			}
+			s.clientMu.Unlock()
+			if ok {
+				payload, _ := m.Payload.(connector.ReplyPayload)
+				w <- payload
+			}
+		}
+	}()
+	return nil
+}
+
+// Stop shuts everything down and waits for goroutines to exit.
+func (s *System) Stop() {
+	s.mu.Lock()
+	if !s.running {
+		s.mu.Unlock()
+		return
+	}
+	s.running = false
+	comps := make([]*runtimeComponent, 0, len(s.comps))
+	for _, rc := range s.comps {
+		comps = append(comps, rc)
+	}
+	conns := make([]*connector.Connector, 0, len(s.conns))
+	for _, c := range s.conns {
+		conns = append(conns, c)
+	}
+	cancel := s.cancel
+	s.mu.Unlock()
+
+	s.triggers.stop()
+	if s.clientStop != nil {
+		s.clientStop()
+	}
+	s.clientWG.Wait()
+	for _, rc := range comps {
+		rc.stop()
+	}
+	for _, c := range conns {
+		c.Stop()
+	}
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// Call invokes op on a named component from outside the system (a user
+// request entering through the platform edge).
+func (s *System) Call(component, op string, args ...any) ([]any, error) {
+	s.mu.Lock()
+	rc, ok := s.comps[component]
+	running := s.running
+	s.mu.Unlock()
+	if !running {
+		return nil, ErrNotRunning
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownComp, component)
+	}
+
+	s.clientMu.Lock()
+	client := s.client
+	s.clientCorr++
+	corr := s.clientCorr
+	w := make(chan connector.ReplyPayload, 1)
+	s.clientWait[corr] = w
+	s.clientMu.Unlock()
+
+	err := s.bus.Send(bus.Message{
+		Kind: bus.Request, Op: op,
+		Payload: connector.CallPayload{Args: args},
+		Src:     client.Addr(), Dst: rc.ep.Addr(), Corr: corr,
+	})
+	if err != nil {
+		s.clientMu.Lock()
+		delete(s.clientWait, corr)
+		s.clientMu.Unlock()
+		return nil, err
+	}
+	select {
+	case payload := <-w:
+		if payload.Err != "" {
+			return nil, errors.New(payload.Err)
+		}
+		return payload.Results, nil
+	case <-time.After(s.callTimeout):
+		s.clientMu.Lock()
+		delete(s.clientWait, corr)
+		s.clientMu.Unlock()
+		return nil, fmt.Errorf("core: call %s.%s timed out", component, op)
+	}
+}
+
+// Events exposes the RAML stream hub.
+func (s *System) Events() *EventHub { return s.events }
+
+// Monitor exposes the QoS monitor.
+func (s *System) Monitor() *qos.Monitor { return s.monitor }
+
+// Bus exposes the underlying software bus (for injectors and tests).
+func (s *System) Bus() *bus.Bus { return s.bus }
+
+// Weaver exposes the aspect weaver for run-time aspect interchange.
+func (s *System) Weaver() *aspects.Weaver { return s.weaver }
+
+// Config returns the current architectural configuration.
+func (s *System) Config() *adl.Config {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cfg
+}

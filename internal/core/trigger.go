@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/qos"
+)
+
+// TriggerRule is a criteria-based reconfiguration/adaptation trigger:
+// "Triggering and realizing reconfigurations should be based on (a)
+// specified criteria and (b) periodical measurements on the evolving
+// infrastructure" (§1). When fires against each periodic metric snapshot;
+// Action performs the adaptation through the system's intercession API.
+type TriggerRule struct {
+	Name string
+	// When is the specified criterion, evaluated over the QoS snapshot.
+	When func(metrics map[string]float64) bool
+	// Action runs when the criterion holds.
+	Action func(s *System) error
+	// Cooldown suppresses refiring for the given duration (hysteresis).
+	Cooldown time.Duration
+}
+
+// EventTrigger reacts to a RAML stream event — the Durra-style
+// event-triggered reconfiguration used "for error recovery purposes" (§1).
+type EventTrigger struct {
+	Name   string
+	Kind   EventKind
+	Action func(s *System, e Event) error
+}
+
+// triggerHub owns periodic measurement and rule evaluation.
+type triggerHub struct {
+	sys *System
+
+	mu        sync.Mutex
+	rules     []TriggerRule
+	lastFired map[string]time.Time
+	evTrigs   []EventTrigger
+	timer     clock.Timer
+	interval  time.Duration
+	stopped   bool
+
+	evCh     <-chan Event
+	evCancel func()
+	wg       sync.WaitGroup
+}
+
+func newTriggerHub(s *System) *triggerHub {
+	return &triggerHub{sys: s, lastFired: map[string]time.Time{}}
+}
+
+// AddTrigger installs a criteria trigger.
+func (s *System) AddTrigger(r TriggerRule) error {
+	if r.Name == "" || r.When == nil || r.Action == nil {
+		return fmt.Errorf("core: trigger needs name, criterion and action")
+	}
+	s.triggers.mu.Lock()
+	defer s.triggers.mu.Unlock()
+	s.triggers.rules = append(s.triggers.rules, r)
+	return nil
+}
+
+// AddEventTrigger installs an event-based trigger.
+func (s *System) AddEventTrigger(t EventTrigger) error {
+	if t.Name == "" || t.Kind == 0 || t.Action == nil {
+		return fmt.Errorf("core: event trigger needs name, kind and action")
+	}
+	h := s.triggers
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.evTrigs = append(h.evTrigs, t)
+	if h.evCh == nil {
+		ch, cancel := s.events.Subscribe(1024)
+		h.evCh, h.evCancel = ch, cancel
+		h.wg.Add(1)
+		go func() {
+			defer h.wg.Done()
+			for e := range ch {
+				h.dispatch(e)
+			}
+		}()
+	}
+	return nil
+}
+
+func (h *triggerHub) dispatch(e Event) {
+	h.mu.Lock()
+	trigs := append([]EventTrigger(nil), h.evTrigs...)
+	h.mu.Unlock()
+	for _, t := range trigs {
+		if t.Kind != e.Kind {
+			continue
+		}
+		h.sys.events.Emit(Event{Kind: EvTriggerFired, At: h.sys.clk.Now(),
+			Component: e.Component, Detail: t.Name})
+		if err := t.Action(h.sys, e); err != nil {
+			h.sys.events.Emit(Event{Kind: EvGuardFailed, At: h.sys.clk.Now(),
+				Component: e.Component, Detail: t.Name + ": " + err.Error()})
+		}
+	}
+}
+
+// StartTriggers begins periodical measurement: every interval the QoS
+// snapshot is evaluated against all criteria triggers.
+func (s *System) StartTriggers(interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	h := s.triggers
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.timer != nil {
+		return
+	}
+	h.interval = interval
+	h.stopped = false
+	h.schedule()
+}
+
+// schedule arms the next tick; callers hold h.mu.
+func (h *triggerHub) schedule() {
+	h.timer = h.sys.clk.AfterFunc(h.interval, func() {
+		h.tick()
+		h.mu.Lock()
+		if !h.stopped {
+			h.schedule()
+		}
+		h.mu.Unlock()
+	})
+}
+
+// tick performs one periodic measurement round.
+func (h *triggerHub) tick() {
+	metrics := h.sys.monitor.Snapshot()
+	now := h.sys.clk.Now()
+
+	h.mu.Lock()
+	rules := append([]TriggerRule(nil), h.rules...)
+	h.mu.Unlock()
+
+	for _, r := range rules {
+		h.mu.Lock()
+		last, ok := h.lastFired[r.Name]
+		h.mu.Unlock()
+		if ok && r.Cooldown > 0 && now.Sub(last) < r.Cooldown {
+			continue
+		}
+		if !r.When(metrics) {
+			continue
+		}
+		h.mu.Lock()
+		h.lastFired[r.Name] = now
+		h.mu.Unlock()
+		h.sys.events.Emit(Event{Kind: EvTriggerFired, At: now, Detail: r.Name})
+		if err := r.Action(h.sys); err != nil {
+			h.sys.events.Emit(Event{Kind: EvGuardFailed, At: h.sys.clk.Now(), Detail: r.Name + ": " + err.Error()})
+		}
+	}
+}
+
+// stop halts periodic measurement and the event pump.
+func (h *triggerHub) stop() {
+	h.mu.Lock()
+	h.stopped = true
+	if h.timer != nil {
+		h.timer.Stop()
+		h.timer = nil
+	}
+	cancel := h.evCancel
+	h.evCancel = nil
+	h.evCh = nil
+	h.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	h.wg.Wait()
+}
+
+// WatchContract evaluates a QoS contract on every trigger tick and emits
+// EvQoSViolation events — "checking the compliancy of each application
+// with its behavioral constraints and properties" (§3).
+func (s *System) WatchContract(c qos.Contract) error {
+	return s.AddTrigger(TriggerRule{
+		Name: "contract:" + c.Name,
+		When: func(map[string]float64) bool {
+			return !s.monitor.Evaluate(c).Compliant
+		},
+		Action: func(sys *System) error {
+			rep := sys.monitor.Evaluate(c)
+			for _, v := range rep.Violations {
+				sys.events.Emit(Event{Kind: EvQoSViolation, At: sys.clk.Now(), Detail: v.String()})
+			}
+			return nil
+		},
+	})
+}

@@ -1,0 +1,243 @@
+// Package deploy implements constraint-based deployment planning — the
+// paper's first AAS design concern: "the deployment of the software on
+// hardware platforms … considering various constraints such as safety,
+// security, liability, load balancing and performance" (introduction), and
+// its reconfiguration guidance that "performance criteria may require the
+// migration of some components so that they are 'closer' to the demand"
+// and that components may be hosted "on a less loaded hardware" (§1).
+//
+// Hard constraints: node capacity, node health, secure placement,
+// colocation (liability/safety groupings) and anti-affinity. Soft
+// objective: weighted communication latency + load balance + region
+// preference. Planners: random and round-robin baselines, a greedy
+// first-fit-decreasing planner, and greedy+local-search (the default).
+package deploy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+
+	"repro/internal/adl"
+	"repro/internal/netsim"
+)
+
+// Requirement is one component's placement needs.
+type Requirement struct {
+	Component string
+	CPU       float64
+	Region    netsim.Region // preferred region; "" = anywhere
+	Secure    bool
+	Colocate  []string
+	Anti      []string
+}
+
+// FromConfig extracts requirements from an ADL configuration, falling back
+// to the component "cpu" property when no deploy clause exists.
+func FromConfig(cfg *adl.Config) []Requirement {
+	var out []Requirement
+	for _, c := range cfg.Components {
+		req := Requirement{Component: c.Name, CPU: 1}
+		if v, ok := c.Properties["cpu"]; ok {
+			if f, err := strconv.ParseFloat(v, 64); err == nil {
+				req.CPU = f
+			}
+		}
+		if d, ok := cfg.Deployment(c.Name); ok {
+			if d.CPU > 0 {
+				req.CPU = d.CPU
+			}
+			req.Region = netsim.Region(d.Region)
+			req.Secure = d.Secure
+			req.Colocate = append([]string(nil), d.Colocate...)
+			req.Anti = append([]string(nil), d.Anti...)
+		}
+		out = append(out, req)
+	}
+	return out
+}
+
+// Edge declares communication intensity between two components; the
+// latency objective weighs inter-node latency by these weights.
+type Edge struct {
+	A, B   string
+	Weight float64
+}
+
+// Objective weighs the soft goals. Zero values get defaults (1, 1, 0.2).
+type Objective struct {
+	Edges    []Edge
+	WLatency float64 // per weighted millisecond of communication latency
+	WBalance float64 // per unit of load-utilization standard deviation
+	WRegion  float64 // per component placed outside its preferred region
+}
+
+func (o Objective) withDefaults() Objective {
+	if o.WLatency == 0 {
+		o.WLatency = 1
+	}
+	if o.WBalance == 0 {
+		o.WBalance = 1
+	}
+	if o.WRegion == 0 {
+		o.WRegion = 0.2
+	}
+	return o
+}
+
+// Placement maps components to nodes.
+type Placement map[string]netsim.NodeID
+
+// Clone copies the placement.
+func (p Placement) Clone() Placement {
+	cp := make(Placement, len(p))
+	for k, v := range p {
+		cp[k] = v
+	}
+	return cp
+}
+
+// Planning errors.
+var (
+	ErrInfeasible = errors.New("deploy: no feasible placement")
+	ErrUnplaced   = errors.New("deploy: component not placed")
+)
+
+// Feasible verifies all hard constraints of the placement. A nil error
+// means every requirement is placed on a live node with enough capacity,
+// secure where demanded, colocated with its group and away from its
+// anti-group.
+func Feasible(topo *netsim.Topology, reqs []Requirement, p Placement) error {
+	load := map[netsim.NodeID]float64{}
+	byName := map[string]Requirement{}
+	for _, r := range reqs {
+		byName[r.Component] = r
+		id, ok := p[r.Component]
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrUnplaced, r.Component)
+		}
+		n, err := topo.Node(id)
+		if err != nil {
+			return err
+		}
+		if n.Failed() {
+			return fmt.Errorf("deploy: %s placed on failed node %s", r.Component, id)
+		}
+		if r.Secure && !n.Secure {
+			return fmt.Errorf("deploy: %s requires a secure node, %s is not", r.Component, id)
+		}
+		load[id] += r.CPU
+		if load[id] > n.Capacity {
+			return fmt.Errorf("deploy: node %s over capacity (%.1f > %.1f)", id, load[id], n.Capacity)
+		}
+	}
+	for _, r := range reqs {
+		for _, buddy := range r.Colocate {
+			if other, ok := p[buddy]; ok && other != p[r.Component] {
+				return fmt.Errorf("deploy: %s must colocate with %s (on %s vs %s)",
+					r.Component, buddy, p[r.Component], other)
+			}
+		}
+		for _, foe := range r.Anti {
+			if other, ok := p[foe]; ok && other == p[r.Component] {
+				return fmt.Errorf("deploy: %s must not share a node with %s (%s)",
+					r.Component, foe, p[r.Component])
+			}
+		}
+	}
+	return nil
+}
+
+// Score computes the soft objective (lower is better) for a feasible
+// placement.
+func Score(topo *netsim.Topology, reqs []Requirement, obj Objective, p Placement) (float64, error) {
+	obj = obj.withDefaults()
+	if err := Feasible(topo, reqs, p); err != nil {
+		return math.Inf(1), err
+	}
+	cost := 0.0
+	for _, e := range obj.Edges {
+		na, okA := p[e.A]
+		nb, okB := p[e.B]
+		if !okA || !okB {
+			continue
+		}
+		lat, err := topo.BaseLatency(na, nb)
+		if err != nil {
+			return math.Inf(1), err
+		}
+		w := e.Weight
+		if w == 0 {
+			w = 1
+		}
+		cost += obj.WLatency * w * float64(lat.Milliseconds())
+	}
+	// Load balance over hypothetical utilizations.
+	load := map[netsim.NodeID]float64{}
+	for _, r := range reqs {
+		load[p[r.Component]] += r.CPU
+	}
+	var utils []float64
+	for _, n := range topo.Nodes() {
+		if n.Capacity <= 0 {
+			continue
+		}
+		utils = append(utils, (load[n.ID]+n.Load())/n.Capacity)
+	}
+	cost += obj.WBalance * stddev(utils) * 100
+	// Region preference.
+	for _, r := range reqs {
+		if r.Region == "" {
+			continue
+		}
+		n, err := topo.Node(p[r.Component])
+		if err != nil {
+			return math.Inf(1), err
+		}
+		if n.Region != r.Region {
+			cost += obj.WRegion * 100
+		}
+	}
+	return cost, nil
+}
+
+func stddev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	ss := 0.0
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// Move is one migration step between placements.
+type Move struct {
+	Component string
+	From, To  netsim.NodeID
+}
+
+// MigrationPlan lists the moves turning placement a into b, sorted by
+// component name for determinism.
+func MigrationPlan(a, b Placement) []Move {
+	var moves []Move
+	names := make([]string, 0, len(b))
+	for c := range b {
+		names = append(names, c)
+	}
+	sort.Strings(names)
+	for _, c := range names {
+		if from, ok := a[c]; ok && from != b[c] {
+			moves = append(moves, Move{Component: c, From: from, To: b[c]})
+		}
+	}
+	return moves
+}

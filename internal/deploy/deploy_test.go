@@ -1,0 +1,262 @@
+package deploy
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/adl"
+	"repro/internal/netsim"
+)
+
+func testTopo(t *testing.T) *netsim.Topology {
+	t.Helper()
+	tp := netsim.New(1, time.Millisecond, 0)
+	add := func(id netsim.NodeID, r netsim.Region, cap float64, sec bool) {
+		if _, err := tp.AddNode(id, r, cap, sec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("eu-1", "eu", 8, true)
+	add("eu-2", "eu", 8, false)
+	add("us-1", "us", 8, false)
+	add("us-2", "us", 8, true)
+	tp.SetRegionLatency("eu", "us", 80*time.Millisecond)
+	return tp
+}
+
+func reqs() []Requirement {
+	return []Requirement{
+		{Component: "A", CPU: 2, Region: "eu"},
+		{Component: "B", CPU: 2, Region: "eu", Colocate: []string{"A"}},
+		{Component: "C", CPU: 2, Anti: []string{"A"}},
+		{Component: "D", CPU: 2, Secure: true},
+	}
+}
+
+func edges() []Edge {
+	return []Edge{{A: "A", B: "B", Weight: 10}, {A: "A", B: "C", Weight: 1}}
+}
+
+func TestFeasibleDetectsViolations(t *testing.T) {
+	tp := testTopo(t)
+	rs := reqs()
+
+	ok := Placement{"A": "eu-1", "B": "eu-1", "C": "eu-2", "D": "us-2"}
+	if err := Feasible(tp, rs, ok); err != nil {
+		t.Fatalf("valid placement rejected: %v", err)
+	}
+
+	cases := map[string]Placement{
+		"unplaced":     {"A": "eu-1", "B": "eu-1", "C": "eu-2"},
+		"colocate":     {"A": "eu-1", "B": "eu-2", "C": "us-1", "D": "us-2"},
+		"anti":         {"A": "eu-1", "B": "eu-1", "C": "eu-1", "D": "us-2"},
+		"secure":       {"A": "eu-1", "B": "eu-1", "C": "eu-2", "D": "us-1"},
+		"unknown node": {"A": "ghost", "B": "eu-1", "C": "eu-2", "D": "us-2"},
+	}
+	for name, p := range cases {
+		if err := Feasible(tp, rs, p); err == nil {
+			t.Errorf("%s: violation not detected", name)
+		}
+	}
+}
+
+func TestFeasibleCapacity(t *testing.T) {
+	tp := testTopo(t)
+	rs := []Requirement{
+		{Component: "big1", CPU: 5},
+		{Component: "big2", CPU: 5},
+	}
+	p := Placement{"big1": "eu-1", "big2": "eu-1"} // 10 > 8
+	if err := Feasible(tp, rs, p); err == nil || !strings.Contains(err.Error(), "capacity") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFeasibleFailedNode(t *testing.T) {
+	tp := testTopo(t)
+	if err := tp.Fail("eu-1"); err != nil {
+		t.Fatal(err)
+	}
+	rs := []Requirement{{Component: "A", CPU: 1}}
+	if err := Feasible(tp, rs, Placement{"A": "eu-1"}); err == nil {
+		t.Fatal("placement on failed node accepted")
+	}
+}
+
+func TestScorePrefersColocationOfChattyComponents(t *testing.T) {
+	tp := testTopo(t)
+	rs := []Requirement{{Component: "A", CPU: 1}, {Component: "B", CPU: 1}}
+	obj := Objective{Edges: []Edge{{A: "A", B: "B", Weight: 10}}, WBalance: 0.001}
+	near, err := Score(tp, rs, obj, Placement{"A": "eu-1", "B": "eu-2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	far, err := Score(tp, rs, obj, Placement{"A": "eu-1", "B": "us-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if near >= far {
+		t.Fatalf("near=%v far=%v: colocated placement should score lower", near, far)
+	}
+}
+
+func TestScoreRegionPreference(t *testing.T) {
+	tp := testTopo(t)
+	rs := []Requirement{{Component: "A", CPU: 1, Region: "eu"}}
+	home, _ := Score(tp, rs, Objective{}, Placement{"A": "eu-1"})
+	away, _ := Score(tp, rs, Objective{}, Placement{"A": "us-1"})
+	if home >= away {
+		t.Fatalf("home=%v away=%v", home, away)
+	}
+}
+
+func TestPlannersProduceFeasiblePlacements(t *testing.T) {
+	tp := testTopo(t)
+	rs := reqs()
+	obj := Objective{Edges: edges()}
+	planners := []Planner{
+		Random{Seed: 42},
+		RoundRobin{},
+		Greedy{},
+		LocalSearch{Seed: 42, Budget: 500},
+	}
+	for _, pl := range planners {
+		p, err := pl.Plan(tp, rs, obj)
+		if err != nil {
+			t.Errorf("%s: %v", pl.Name(), err)
+			continue
+		}
+		if err := Feasible(tp, rs, p); err != nil {
+			t.Errorf("%s produced infeasible placement: %v", pl.Name(), err)
+		}
+	}
+}
+
+func TestLocalSearchBeatsRandomBaseline(t *testing.T) {
+	// E6 shape: the optimizing planner must beat the baselines.
+	tp := testTopo(t)
+	rs := reqs()
+	obj := Objective{Edges: edges()}
+	randP, err := Random{Seed: 7}.Plan(tp, rs, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsP, err := LocalSearch{Seed: 7, Budget: 2000}.Plan(tp, rs, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	randScore, err := Score(tp, rs, obj, randP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsScore, err := Score(tp, rs, obj, lsP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsScore > randScore {
+		t.Fatalf("local search (%.2f) should not lose to random (%.2f)", lsScore, randScore)
+	}
+}
+
+func TestPlannersRespectSecureConstraint(t *testing.T) {
+	tp := testTopo(t)
+	rs := []Requirement{{Component: "S", CPU: 1, Secure: true}}
+	for _, pl := range []Planner{Random{Seed: 1}, RoundRobin{}, Greedy{}, LocalSearch{Seed: 1}} {
+		p, err := pl.Plan(tp, rs, Objective{})
+		if err != nil {
+			t.Fatalf("%s: %v", pl.Name(), err)
+		}
+		n, _ := tp.Node(p["S"])
+		if !n.Secure {
+			t.Errorf("%s placed secure component on insecure node %s", pl.Name(), p["S"])
+		}
+	}
+}
+
+func TestInfeasibleRequirementsFail(t *testing.T) {
+	tp := testTopo(t)
+	// More CPU than the entire cluster.
+	rs := []Requirement{{Component: "huge", CPU: 100}}
+	for _, pl := range []Planner{Random{Seed: 1, Retries: 50}, RoundRobin{}, Greedy{}} {
+		if _, err := pl.Plan(tp, rs, Objective{}); !errors.Is(err, ErrInfeasible) {
+			t.Errorf("%s: err = %v, want ErrInfeasible", pl.Name(), err)
+		}
+	}
+}
+
+func TestMigrationPlan(t *testing.T) {
+	a := Placement{"A": "eu-1", "B": "eu-2", "C": "us-1"}
+	b := Placement{"A": "eu-1", "B": "us-1", "C": "us-2"}
+	moves := MigrationPlan(a, b)
+	if len(moves) != 2 {
+		t.Fatalf("moves = %v", moves)
+	}
+	if moves[0].Component != "B" || moves[0].To != "us-1" {
+		t.Errorf("move[0] = %+v", moves[0])
+	}
+	if moves[1].Component != "C" || moves[1].From != "us-1" {
+		t.Errorf("move[1] = %+v", moves[1])
+	}
+}
+
+func TestFromConfig(t *testing.T) {
+	src := `
+system S {
+  component A { provide a() property cpu = 3 }
+  component B { provide b() }
+  deploy A on region=eu cpu=4 secure colocate=B
+}`
+	cfg, err := adl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := FromConfig(cfg)
+	if len(rs) != 2 {
+		t.Fatalf("reqs = %v", rs)
+	}
+	a := rs[0]
+	if a.Component != "A" || a.CPU != 4 || a.Region != "eu" || !a.Secure ||
+		len(a.Colocate) != 1 || a.Colocate[0] != "B" {
+		t.Errorf("A = %+v (deploy clause should override cpu property)", a)
+	}
+	b := rs[1]
+	if b.CPU != 1 || b.Region != "" {
+		t.Errorf("B = %+v (defaults)", b)
+	}
+}
+
+func TestMigrationTowardDemandReducesLatency(t *testing.T) {
+	// The paper's migration scenario: demand moves from eu to us; replanning
+	// with demand-weighted edges should move the session component and cut
+	// the demand-to-service latency.
+	tp := testTopo(t)
+	rs := []Requirement{
+		{Component: "session", CPU: 1},
+		{Component: "gateway-eu", CPU: 1, Region: "eu", Colocate: []string{}},
+		{Component: "gateway-us", CPU: 1, Region: "us"},
+	}
+	// Pin the gateways by region preference weight and express demand as an
+	// edge to the active gateway.
+	euDemand := Objective{Edges: []Edge{{A: "session", B: "gateway-eu", Weight: 100}}, WRegion: 10}
+	usDemand := Objective{Edges: []Edge{{A: "session", B: "gateway-us", Weight: 100}}, WRegion: 10}
+
+	pEU, err := LocalSearch{Seed: 3, Budget: 3000}.Plan(tp, rs, euDemand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pUS, err := LocalSearch{Seed: 3, Budget: 3000}.Plan(tp, rs, usDemand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeEU, _ := tp.Node(pEU["session"])
+	nodeUS, _ := tp.Node(pUS["session"])
+	if nodeEU.Region != "eu" || nodeUS.Region != "us" {
+		t.Fatalf("session did not follow demand: eu-phase=%s us-phase=%s",
+			nodeEU.Region, nodeUS.Region)
+	}
+	if len(MigrationPlan(pEU, pUS)) == 0 {
+		t.Fatal("expected at least one migration move")
+	}
+}

@@ -1,0 +1,286 @@
+package deploy
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/netsim"
+)
+
+// Planner computes placements.
+type Planner interface {
+	Name() string
+	Plan(topo *netsim.Topology, reqs []Requirement, obj Objective) (Placement, error)
+}
+
+// Random places components uniformly at random (retrying until feasible) —
+// the weakest baseline for E6.
+type Random struct {
+	Seed    int64
+	Retries int // default 1000
+}
+
+var _ Planner = Random{}
+
+// Name implements Planner.
+func (Random) Name() string { return "random" }
+
+// Plan implements Planner.
+func (r Random) Plan(topo *netsim.Topology, reqs []Requirement, obj Objective) (Placement, error) {
+	retries := r.Retries
+	if retries <= 0 {
+		retries = 1000
+	}
+	rng := rand.New(rand.NewSource(r.Seed))
+	nodes := topo.Nodes()
+	if len(nodes) == 0 {
+		return nil, ErrInfeasible
+	}
+	for attempt := 0; attempt < retries; attempt++ {
+		p := Placement{}
+		for _, req := range reqs {
+			p[req.Component] = nodes[rng.Intn(len(nodes))].ID
+		}
+		if Feasible(topo, reqs, p) == nil {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: random planner gave up after %d attempts", ErrInfeasible, retries)
+}
+
+// RoundRobin spreads components across nodes in ID order, skipping nodes
+// that would break a hard constraint.
+type RoundRobin struct{}
+
+var _ Planner = RoundRobin{}
+
+// Name implements Planner.
+func (RoundRobin) Name() string { return "round-robin" }
+
+// Plan implements Planner.
+func (RoundRobin) Plan(topo *netsim.Topology, reqs []Requirement, obj Objective) (Placement, error) {
+	nodes := topo.Nodes()
+	if len(nodes) == 0 {
+		return nil, ErrInfeasible
+	}
+	p := Placement{}
+	next := 0
+	for _, req := range reqs {
+		placed := false
+		for probe := 0; probe < len(nodes); probe++ {
+			cand := nodes[(next+probe)%len(nodes)]
+			p[req.Component] = cand.ID
+			if feasibleSoFar(topo, reqs, p) {
+				next = (next + probe + 1) % len(nodes)
+				placed = true
+				break
+			}
+			delete(p, req.Component)
+		}
+		if !placed {
+			return nil, fmt.Errorf("%w: round-robin could not place %s", ErrInfeasible, req.Component)
+		}
+	}
+	return p, nil
+}
+
+// Greedy is first-fit-decreasing: biggest components first, each placed on
+// the feasible node that minimizes the incremental objective.
+type Greedy struct{}
+
+var _ Planner = Greedy{}
+
+// Name implements Planner.
+func (Greedy) Name() string { return "greedy" }
+
+// Plan implements Planner.
+func (Greedy) Plan(topo *netsim.Topology, reqs []Requirement, obj Objective) (Placement, error) {
+	order := append([]Requirement(nil), reqs...)
+	// Most-constrained first (region/secure/affinity), then biggest first:
+	// constrained components anchor the placement so that unconstrained,
+	// chatty components can follow them.
+	sort.SliceStable(order, func(i, j int) bool {
+		ci, cj := constrainedness(order[i]), constrainedness(order[j])
+		if ci != cj {
+			return ci > cj
+		}
+		return order[i].CPU > order[j].CPU
+	})
+
+	p := Placement{}
+	for _, req := range order {
+		best := netsim.NodeID("")
+		bestCost := 0.0
+		for _, n := range topo.Nodes() {
+			p[req.Component] = n.ID
+			if !feasibleSoFar(topo, reqs, p) {
+				delete(p, req.Component)
+				continue
+			}
+			cost := partialScore(topo, reqs, obj, p)
+			if best == "" || cost < bestCost {
+				best, bestCost = n.ID, cost
+			}
+			delete(p, req.Component)
+		}
+		if best == "" {
+			return nil, fmt.Errorf("%w: greedy could not place %s", ErrInfeasible, req.Component)
+		}
+		p[req.Component] = best
+	}
+	return p, nil
+}
+
+// constrainedness counts the hard/soft placement constraints of a
+// requirement; greedy places the most constrained components first.
+func constrainedness(r Requirement) int {
+	n := 0
+	if r.Region != "" {
+		n++
+	}
+	if r.Secure {
+		n++
+	}
+	n += len(r.Colocate) + len(r.Anti)
+	return n
+}
+
+// LocalSearch refines the greedy solution with seeded simulated annealing
+// over single-component moves: improving moves are always taken, worsening
+// moves with probability exp(-Δ/T) under geometric cooling, which lets the
+// search escape the coordinated-move local optima plain hill climbing gets
+// stuck in. Budget is the number of candidate moves examined (default
+// 2000).
+type LocalSearch struct {
+	Seed   int64
+	Budget int
+}
+
+var _ Planner = LocalSearch{}
+
+// Name implements Planner.
+func (LocalSearch) Name() string { return "greedy+local-search" }
+
+// Plan implements Planner.
+func (l LocalSearch) Plan(topo *netsim.Topology, reqs []Requirement, obj Objective) (Placement, error) {
+	p, err := Greedy{}.Plan(topo, reqs, obj)
+	if err != nil {
+		return nil, err
+	}
+	budget := l.Budget
+	if budget <= 0 {
+		budget = 2000
+	}
+	rng := rand.New(rand.NewSource(l.Seed))
+	nodes := topo.Nodes()
+	if len(nodes) < 2 || len(reqs) == 0 {
+		return p, nil
+	}
+	cur, err := Score(topo, reqs, obj, p)
+	if err != nil {
+		return nil, err
+	}
+	groups := colocationGroups(reqs)
+	best, bestCost := p.Clone(), cur
+	temp := cur * 0.1
+	if temp <= 0 {
+		temp = 1
+	}
+	cooling := math.Pow(0.001, 1/float64(budget)) // reach ~0.1% of T0 at the end
+	for i := 0; i < budget; i++ {
+		req := reqs[rng.Intn(len(reqs))]
+		cand := nodes[rng.Intn(len(nodes))].ID
+		if p[req.Component] == cand {
+			temp *= cooling
+			continue
+		}
+		trial := p.Clone()
+		// Colocated components move as a group — single-component moves
+		// out of a colocation group are always infeasible, so they would
+		// freeze the group in place.
+		for _, member := range groups[req.Component] {
+			trial[member] = cand
+		}
+		cost, err := Score(topo, reqs, obj, trial)
+		if err == nil {
+			delta := cost - cur
+			if delta < 0 || rng.Float64() < math.Exp(-delta/temp) {
+				p, cur = trial, cost
+				if cur < bestCost {
+					best, bestCost = p.Clone(), cur
+				}
+			}
+		}
+		temp *= cooling
+	}
+	return best, nil
+}
+
+// colocationGroups returns, per component, the transitive closure of its
+// colocation partners (including itself).
+func colocationGroups(reqs []Requirement) map[string][]string {
+	parent := map[string]string{}
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] == x {
+			return x
+		}
+		parent[x] = find(parent[x])
+		return parent[x]
+	}
+	for _, r := range reqs {
+		parent[r.Component] = r.Component
+	}
+	union := func(a, b string) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, r := range reqs {
+		for _, buddy := range r.Colocate {
+			if _, ok := parent[buddy]; ok {
+				union(r.Component, buddy)
+			}
+		}
+	}
+	members := map[string][]string{}
+	for _, r := range reqs {
+		root := find(r.Component)
+		members[root] = append(members[root], r.Component)
+	}
+	out := map[string][]string{}
+	for _, r := range reqs {
+		out[r.Component] = members[find(r.Component)]
+	}
+	return out
+}
+
+// feasibleSoFar checks hard constraints considering only the components
+// already present in the partial placement.
+func feasibleSoFar(topo *netsim.Topology, reqs []Requirement, p Placement) bool {
+	var placed []Requirement
+	for _, r := range reqs {
+		if _, ok := p[r.Component]; ok {
+			placed = append(placed, r)
+		}
+	}
+	return Feasible(topo, placed, p) == nil
+}
+
+// partialScore scores only the placed subset (used during greedy growth).
+func partialScore(topo *netsim.Topology, reqs []Requirement, obj Objective, p Placement) float64 {
+	var placed []Requirement
+	for _, r := range reqs {
+		if _, ok := p[r.Component]; ok {
+			placed = append(placed, r)
+		}
+	}
+	cost, err := Score(topo, placed, obj, p)
+	if err != nil {
+		return cost // +Inf
+	}
+	return cost
+}

@@ -1,0 +1,310 @@
+// Package filters implements the composition-filters approach (§2,
+// [Berg01]): declarative message manipulators that "intercept messages that
+// are sent and received by components", applied to all input and output
+// messages or selecting particular ones, order-sensitive when they modify
+// content, dynamically attachable and removable, and — combined with
+// superimposition — able to express crosscutting aspects.
+package filters
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"sync"
+
+	"repro/internal/bus"
+)
+
+// Direction distinguishes the two filter sets of a component.
+type Direction int
+
+// Filter set directions.
+const (
+	Input Direction = iota + 1
+	Output
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	switch d {
+	case Input:
+		return "input"
+	case Output:
+		return "output"
+	default:
+		return "unknown"
+	}
+}
+
+// Matcher declaratively selects messages. Empty fields match anything; Op
+// and Src accept path.Match globs ("enc*", "*").
+type Matcher struct {
+	Op   string
+	Kind bus.Kind // zero means any kind
+	Src  string
+}
+
+// Matches reports whether m is selected.
+func (mt Matcher) Matches(m *bus.Message) bool {
+	if mt.Kind != 0 && m.Kind != mt.Kind {
+		return false
+	}
+	if mt.Op != "" && !glob(mt.Op, m.Op) {
+		return false
+	}
+	if mt.Src != "" && !glob(mt.Src, string(m.Src)) {
+		return false
+	}
+	return true
+}
+
+func glob(pattern, s string) bool {
+	ok, err := path.Match(pattern, s)
+	return err == nil && ok
+}
+
+// Outcome is the terminal result of evaluating a filter chain.
+type Outcome int
+
+// Chain outcomes.
+const (
+	Delivered Outcome = iota + 1
+	Rejected
+	DeferredMsg
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case Delivered:
+		return "delivered"
+	case Rejected:
+		return "rejected"
+	case DeferredMsg:
+		return "deferred"
+	default:
+		return "unknown"
+	}
+}
+
+// Result carries the outcome and, for rejections, the cause.
+type Result struct {
+	Outcome Outcome
+	Err     error
+}
+
+// step is a single filter's contribution to chain evaluation.
+type step int
+
+const (
+	stepContinue step = iota + 1
+	stepAccept
+	stepReject
+	stepDefer
+)
+
+// Filter is one declarative message manipulator.
+type Filter interface {
+	// Name identifies the filter for detachment.
+	Name() string
+	// apply may modify m in place and returns how evaluation proceeds.
+	apply(m *bus.Message) (step, error)
+}
+
+// Dispatch delegates matching messages to another operation: on match the
+// message's Op is rewritten to Target and the chain accepts it.
+type Dispatch struct {
+	FilterName string
+	Match      Matcher
+	Target     string
+}
+
+// Name implements Filter.
+func (d Dispatch) Name() string { return d.FilterName }
+
+func (d Dispatch) apply(m *bus.Message) (step, error) {
+	if !d.Match.Matches(m) {
+		return stepContinue, nil
+	}
+	m.Op = d.Target
+	return stepAccept, nil
+}
+
+// ErrFiltered is wrapped by Error filter rejections.
+var ErrFiltered = errors.New("filters: message rejected")
+
+// Error rejects matching messages with a descriptive error.
+type Error struct {
+	FilterName string
+	Match      Matcher
+	Reason     string
+}
+
+// Name implements Filter.
+func (e Error) Name() string { return e.FilterName }
+
+func (e Error) apply(m *bus.Message) (step, error) {
+	if !e.Match.Matches(m) {
+		return stepContinue, nil
+	}
+	return stepReject, fmt.Errorf("%w: %s (op=%s)", ErrFiltered, e.Reason, m.Op)
+}
+
+// Wait defers matching messages while Cond is false — the buffering variant
+// of composition filters.
+type Wait struct {
+	FilterName string
+	Match      Matcher
+	Cond       func() bool
+}
+
+// Name implements Filter.
+func (w Wait) Name() string { return w.FilterName }
+
+func (w Wait) apply(m *bus.Message) (step, error) {
+	if !w.Match.Matches(m) || (w.Cond != nil && w.Cond()) {
+		return stepContinue, nil
+	}
+	return stepDefer, nil
+}
+
+// Transform modifies matching messages in place and passes them on —
+// the content-changing filter whose position in the sequence matters.
+type Transform struct {
+	FilterName string
+	Match      Matcher
+	Fn         func(*bus.Message)
+}
+
+// Name implements Filter.
+func (t Transform) Name() string { return t.FilterName }
+
+func (t Transform) apply(m *bus.Message) (step, error) {
+	if t.Match.Matches(m) && t.Fn != nil {
+		t.Fn(m)
+	}
+	return stepContinue, nil
+}
+
+// Meta reifies matching messages to a meta-level observer without
+// consuming them (introspection hook).
+type Meta struct {
+	FilterName string
+	Match      Matcher
+	Observer   func(bus.Message)
+}
+
+// Name implements Filter.
+func (mf Meta) Name() string { return mf.FilterName }
+
+func (mf Meta) apply(m *bus.Message) (step, error) {
+	if mf.Match.Matches(m) && mf.Observer != nil {
+		mf.Observer(*m)
+	}
+	return stepContinue, nil
+}
+
+// Set is a component's pair of ordered filter chains. The zero value is
+// ready to use; filters can be attached and detached at run time.
+type Set struct {
+	mu     sync.RWMutex
+	input  []Filter
+	output []Filter
+}
+
+// Attach appends f to the chain for dir.
+func (s *Set) Attach(dir Direction, f Filter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if dir == Input {
+		s.input = append(s.input, f)
+	} else {
+		s.output = append(s.output, f)
+	}
+}
+
+// Detach removes the named filter from dir; it reports success.
+func (s *Set) Detach(dir Direction, name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	chain := &s.input
+	if dir == Output {
+		chain = &s.output
+	}
+	for i, f := range *chain {
+		if f.Name() == name {
+			*chain = append(append([]Filter{}, (*chain)[:i]...), (*chain)[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Len reports the chain length for dir.
+func (s *Set) Len(dir Direction) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if dir == Input {
+		return len(s.input)
+	}
+	return len(s.output)
+}
+
+// Eval runs m through the chain for dir. Filters run in attachment order;
+// the first Accept/Reject/Defer terminates the chain, and a chain that runs
+// to the end delivers the message.
+func (s *Set) Eval(dir Direction, m *bus.Message) Result {
+	s.mu.RLock()
+	chain := s.input
+	if dir == Output {
+		chain = s.output
+	}
+	// Copy the slice header so detach during eval can't race the loop.
+	chain = chain[:len(chain):len(chain)]
+	s.mu.RUnlock()
+
+	for _, f := range chain {
+		st, err := f.apply(m)
+		switch st {
+		case stepAccept:
+			return Result{Outcome: Delivered}
+		case stepReject:
+			return Result{Outcome: Rejected, Err: err}
+		case stepDefer:
+			return Result{Outcome: DeferredMsg}
+		}
+	}
+	return Result{Outcome: Delivered}
+}
+
+// Superimposition applies one filter specification across several
+// components at once — the mechanism by which filters express aspects whose
+// "implementation … is scattered to multiple components" (§2).
+type Superimposition struct {
+	Name      string
+	Direction Direction
+	Filters   []Filter
+}
+
+// Superimpose attaches the specification to every given set.
+func Superimpose(sp Superimposition, sets ...*Set) {
+	for _, s := range sets {
+		for _, f := range sp.Filters {
+			s.Attach(sp.Direction, f)
+		}
+	}
+}
+
+// RemoveSuperimposition detaches all of the specification's filters from
+// every given set; it returns the number of filters removed.
+func RemoveSuperimposition(sp Superimposition, sets ...*Set) int {
+	removed := 0
+	for _, s := range sets {
+		for _, f := range sp.Filters {
+			if s.Detach(sp.Direction, f.Name()) {
+				removed++
+			}
+		}
+	}
+	return removed
+}

@@ -1,0 +1,233 @@
+package filters
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bus"
+)
+
+func msg(op string, kind bus.Kind, src string) *bus.Message {
+	return &bus.Message{Op: op, Kind: kind, Src: bus.Address(src)}
+}
+
+func TestMatcherFields(t *testing.T) {
+	m := Matcher{Op: "enc*", Kind: bus.Request, Src: "cam?"}
+	if !m.Matches(msg("encode", bus.Request, "cam1")) {
+		t.Error("should match")
+	}
+	if m.Matches(msg("decode", bus.Request, "cam1")) {
+		t.Error("op mismatch should fail")
+	}
+	if m.Matches(msg("encode", bus.Reply, "cam1")) {
+		t.Error("kind mismatch should fail")
+	}
+	if m.Matches(msg("encode", bus.Request, "mic1")) {
+		t.Error("src mismatch should fail")
+	}
+	if !(Matcher{}).Matches(msg("anything", bus.Event, "anyone")) {
+		t.Error("empty matcher should match everything")
+	}
+}
+
+func TestDispatchRewritesOp(t *testing.T) {
+	var s Set
+	s.Attach(Input, Dispatch{FilterName: "d", Match: Matcher{Op: "old"}, Target: "new"})
+	m := msg("old", bus.Request, "c")
+	res := s.Eval(Input, m)
+	if res.Outcome != Delivered || m.Op != "new" {
+		t.Fatalf("res=%+v op=%s", res, m.Op)
+	}
+	// Non-matching messages flow through unchanged.
+	m2 := msg("other", bus.Request, "c")
+	s.Eval(Input, m2)
+	if m2.Op != "other" {
+		t.Error("non-matching op rewritten")
+	}
+}
+
+func TestDispatchShortCircuits(t *testing.T) {
+	var s Set
+	hits := 0
+	s.Attach(Input, Dispatch{FilterName: "d", Match: Matcher{Op: "x"}, Target: "y"})
+	s.Attach(Input, Transform{FilterName: "t", Fn: func(*bus.Message) { hits++ }})
+	s.Eval(Input, msg("x", bus.Request, "c"))
+	if hits != 0 {
+		t.Error("accept must terminate the chain before later filters")
+	}
+}
+
+func TestErrorFilterRejects(t *testing.T) {
+	var s Set
+	s.Attach(Input, Error{FilterName: "guard", Match: Matcher{Op: "secret*"}, Reason: "forbidden"})
+	res := s.Eval(Input, msg("secretOp", bus.Request, "c"))
+	if res.Outcome != Rejected || !errors.Is(res.Err, ErrFiltered) {
+		t.Fatalf("res = %+v", res)
+	}
+	if r := s.Eval(Input, msg("public", bus.Request, "c")); r.Outcome != Delivered {
+		t.Fatalf("non-matching should deliver, got %+v", r)
+	}
+}
+
+func TestWaitDefersUntilCondition(t *testing.T) {
+	ready := false
+	var s Set
+	s.Attach(Input, Wait{FilterName: "w", Match: Matcher{Op: "play"}, Cond: func() bool { return ready }})
+	if r := s.Eval(Input, msg("play", bus.Request, "c")); r.Outcome != DeferredMsg {
+		t.Fatalf("want deferred, got %+v", r)
+	}
+	ready = true
+	if r := s.Eval(Input, msg("play", bus.Request, "c")); r.Outcome != Delivered {
+		t.Fatalf("want delivered, got %+v", r)
+	}
+}
+
+func TestTransformOrderMatters(t *testing.T) {
+	// "Sequencing filters may require specific order in case filters change
+	// the content of the messages."
+	mkSet := func(order []Filter) string {
+		var s Set
+		for _, f := range order {
+			s.Attach(Input, f)
+		}
+		m := msg("op", bus.Request, "c")
+		m.Payload = ""
+		s.Eval(Input, m)
+		return m.Payload.(string)
+	}
+	fA := Transform{FilterName: "a", Fn: func(m *bus.Message) { m.Payload = m.Payload.(string) + "A" }}
+	fB := Transform{FilterName: "b", Fn: func(m *bus.Message) { m.Payload = m.Payload.(string) + "B" }}
+	if ab, ba := mkSet([]Filter{fA, fB}), mkSet([]Filter{fB, fA}); ab == ba {
+		t.Fatalf("order should matter: %q vs %q", ab, ba)
+	} else if ab != "AB" || ba != "BA" {
+		t.Fatalf("ab=%q ba=%q", ab, ba)
+	}
+}
+
+func TestMetaObservesWithoutConsuming(t *testing.T) {
+	var seen []string
+	var s Set
+	s.Attach(Output, Meta{FilterName: "m", Observer: func(m bus.Message) { seen = append(seen, m.Op) }})
+	s.Attach(Output, Transform{FilterName: "t", Fn: func(m *bus.Message) { m.Op = "rewritten" }})
+	m := msg("orig", bus.Event, "c")
+	if r := s.Eval(Output, m); r.Outcome != Delivered {
+		t.Fatalf("res = %+v", r)
+	}
+	if len(seen) != 1 || seen[0] != "orig" {
+		t.Fatalf("meta saw %v, want [orig] (pre-transform)", seen)
+	}
+	if m.Op != "rewritten" {
+		t.Error("transform after meta did not apply")
+	}
+}
+
+func TestDetach(t *testing.T) {
+	var s Set
+	s.Attach(Input, Error{FilterName: "guard", Match: Matcher{Op: "*"}, Reason: "no"})
+	if r := s.Eval(Input, msg("x", bus.Request, "c")); r.Outcome != Rejected {
+		t.Fatal("filter not active")
+	}
+	if !s.Detach(Input, "guard") {
+		t.Fatal("detach failed")
+	}
+	if s.Detach(Input, "guard") {
+		t.Fatal("double detach succeeded")
+	}
+	if r := s.Eval(Input, msg("x", bus.Request, "c")); r.Outcome != Delivered {
+		t.Fatal("detached filter still active")
+	}
+}
+
+func TestInputOutputIndependent(t *testing.T) {
+	var s Set
+	s.Attach(Input, Error{FilterName: "in", Match: Matcher{}, Reason: "no"})
+	if r := s.Eval(Output, msg("x", bus.Event, "c")); r.Outcome != Delivered {
+		t.Error("input filter leaked into output chain")
+	}
+	if s.Len(Input) != 1 || s.Len(Output) != 0 {
+		t.Errorf("lens = %d/%d", s.Len(Input), s.Len(Output))
+	}
+}
+
+func TestSuperimposition(t *testing.T) {
+	// One logging aspect scattered across three components.
+	var count int
+	var mu sync.Mutex
+	sp := Superimposition{
+		Name:      "logging",
+		Direction: Input,
+		Filters: []Filter{Meta{FilterName: "logging.meta", Observer: func(bus.Message) {
+			mu.Lock()
+			count++
+			mu.Unlock()
+		}}},
+	}
+	sets := []*Set{{}, {}, {}}
+	Superimpose(sp, sets...)
+	for _, s := range sets {
+		s.Eval(Input, msg("op", bus.Request, "c"))
+	}
+	if count != 3 {
+		t.Fatalf("aspect saw %d messages, want 3", count)
+	}
+	if removed := RemoveSuperimposition(sp, sets...); removed != 3 {
+		t.Fatalf("removed = %d, want 3", removed)
+	}
+	for _, s := range sets {
+		if s.Len(Input) != 0 {
+			t.Fatal("superimposed filter left behind")
+		}
+	}
+}
+
+func TestConcurrentAttachDetachEval(t *testing.T) {
+	var s Set
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			name := "f" + string(rune('a'+i%8))
+			s.Attach(Input, Transform{FilterName: name, Fn: func(*bus.Message) {}})
+			s.Detach(Input, name)
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		s.Eval(Input, msg("x", bus.Request, "c"))
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestPropTransformChainsAlwaysDeliver(t *testing.T) {
+	f := func(n uint8) bool {
+		var s Set
+		for i := 0; i < int(n%32); i++ {
+			s.Attach(Input, Transform{FilterName: "t", Fn: func(m *bus.Message) { m.Corr++ }})
+		}
+		m := msg("x", bus.Request, "c")
+		r := s.Eval(Input, m)
+		return r.Outcome == Delivered && m.Corr == uint64(n%32)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if Input.String() != "input" || Output.String() != "output" || Direction(0).String() != "unknown" {
+		t.Error("direction strings")
+	}
+	if Delivered.String() != "delivered" || Rejected.String() != "rejected" ||
+		DeferredMsg.String() != "deferred" || Outcome(0).String() != "unknown" {
+		t.Error("outcome strings")
+	}
+}

@@ -1,0 +1,334 @@
+// Package flo implements FLO/C-style interaction rules (§1, [Gunt98]):
+// "rules that should govern the interaction between components or
+// activities, and preserve the integrity of the system". The grammar
+// provides exactly the paper's five operators — implies, impliesLater,
+// impliesBefore, permittedIf and waitUntil — plus the semantic check that
+// "there is no occurrence of a cycle in the calling tree".
+//
+// Rules are enforced at run time by an Engine that observes operation
+// occurrences (typically wired into a connector) and returns a verdict plus
+// any synchronously required follow-up operations.
+package flo
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Operator is one of the five FLO/C rule operators.
+type Operator int
+
+// The five operators from the paper, in its own order.
+const (
+	ImpliesLater Operator = iota + 1
+	Implies
+	ImpliesBefore
+	PermittedIf
+	WaitUntil
+)
+
+var opNames = map[Operator]string{
+	ImpliesLater:  "impliesLater",
+	Implies:       "implies",
+	ImpliesBefore: "impliesBefore",
+	PermittedIf:   "permittedIf",
+	WaitUntil:     "waitUntil",
+}
+
+// String implements fmt.Stringer.
+func (o Operator) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return "unknown"
+}
+
+// Rule relates a triggering operation to a target operation or predicate:
+//
+//	a implies b        — observing a requires b to be performed immediately
+//	a impliesLater b   — observing a obliges b to occur eventually
+//	a impliesBefore b  — a is only permitted once b has already occurred
+//	a permittedIf p    — a is only permitted while predicate p holds
+//	a waitUntil p      — a is deferred until predicate p holds
+type Rule struct {
+	Trigger string
+	Op      Operator
+	Target  string
+}
+
+// String renders the rule in its source syntax.
+func (r Rule) String() string { return r.Trigger + " " + r.Op.String() + " " + r.Target }
+
+// ParseRule parses a single "trigger operator target" rule.
+func ParseRule(src string) (Rule, error) {
+	fields := strings.Fields(src)
+	if len(fields) != 3 {
+		return Rule{}, fmt.Errorf("flo: rule %q: want \"trigger operator target\"", src)
+	}
+	for op, name := range opNames {
+		if fields[1] == name {
+			return Rule{Trigger: fields[0], Op: op, Target: fields[2]}, nil
+		}
+	}
+	return Rule{}, fmt.Errorf("flo: rule %q: unknown operator %q", src, fields[1])
+}
+
+// ParseRules parses newline-separated rules; '#' comments and blank lines
+// are skipped.
+func ParseRules(src string) ([]Rule, error) {
+	var rules []Rule
+	for ln, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		r, err := ParseRule(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+// ErrCycle reports a cycle in the implication ("calling tree") graph.
+var ErrCycle = errors.New("flo: cycle in calling tree")
+
+// CheckRules performs the paper's semantic check: the graph of implication
+// edges (implies, impliesLater: trigger calls target) must be acyclic, and
+// the precedence relation induced by impliesBefore must be satisfiable
+// (also acyclic).
+func CheckRules(rules []Rule) error {
+	calling := map[string][]string{}
+	precedence := map[string][]string{}
+	for _, r := range rules {
+		switch r.Op {
+		case Implies, ImpliesLater:
+			calling[r.Trigger] = append(calling[r.Trigger], r.Target)
+		case ImpliesBefore:
+			// target must precede trigger: edge target -> trigger
+			precedence[r.Target] = append(precedence[r.Target], r.Trigger)
+		}
+	}
+	if path := findCycle(calling); path != nil {
+		return fmt.Errorf("%w: %s", ErrCycle, strings.Join(path, " -> "))
+	}
+	if path := findCycle(precedence); path != nil {
+		return fmt.Errorf("%w (impliesBefore precedence): %s", ErrCycle, strings.Join(path, " -> "))
+	}
+	return nil
+}
+
+// findCycle returns a cycle path in the directed graph, or nil.
+func findCycle(g map[string][]string) []string {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var stack []string
+	var cyc []string
+	var visit func(n string) bool
+	visit = func(n string) bool {
+		color[n] = grey
+		stack = append(stack, n)
+		for _, m := range g[n] {
+			if color[m] == grey {
+				// Found: slice the stack from m's position.
+				for i, s := range stack {
+					if s == m {
+						cyc = append(append([]string{}, stack[i:]...), m)
+						return true
+					}
+				}
+			}
+			if color[m] == white && visit(m) {
+				return true
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[n] = black
+		return false
+	}
+	nodes := make([]string, 0, len(g))
+	for n := range g {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes) // deterministic traversal
+	for _, n := range nodes {
+		if color[n] == white && visit(n) {
+			return cyc
+		}
+	}
+	return nil
+}
+
+// Verdict is the engine's decision for an observed operation.
+type Verdict int
+
+// Engine verdicts.
+const (
+	Allow Verdict = iota + 1
+	Deny
+	Deferred
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case Allow:
+		return "allow"
+	case Deny:
+		return "deny"
+	case Deferred:
+		return "defer"
+	default:
+		return "unknown"
+	}
+}
+
+// Decision is the full outcome of observing one operation.
+type Decision struct {
+	Verdict Verdict
+	// Required lists operations that must be performed immediately as a
+	// consequence (implies targets), in rule order.
+	Required []string
+	// Reason explains a Deny or Deferred verdict.
+	Reason string
+}
+
+// Predicate guards permittedIf / waitUntil rules.
+type Predicate func() bool
+
+// Engine enforces a rule set over a stream of operation occurrences. It is
+// safe for concurrent use.
+type Engine struct {
+	mu          sync.Mutex
+	rules       []Rule
+	preds       map[string]Predicate
+	history     map[string]int // op -> occurrence count
+	obligations map[string]int // op -> outstanding impliesLater obligations
+}
+
+// NewEngine validates the rule set (CheckRules) and builds an engine.
+func NewEngine(rules []Rule) (*Engine, error) {
+	if err := CheckRules(rules); err != nil {
+		return nil, err
+	}
+	return &Engine{
+		rules:       append([]Rule(nil), rules...),
+		preds:       map[string]Predicate{},
+		history:     map[string]int{},
+		obligations: map[string]int{},
+	}, nil
+}
+
+// DefinePredicate registers the predicate named in permittedIf/waitUntil
+// rules. Undefined predicates evaluate to false (fail closed).
+func (e *Engine) DefinePredicate(name string, p Predicate) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.preds[name] = p
+}
+
+// Observe records that op is about to be performed and returns the
+// decision. Allowed operations are added to history and discharge any
+// outstanding impliesLater obligations on them.
+func (e *Engine) Observe(op string) Decision {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	// Guards first: an op denied or deferred is not recorded.
+	for _, r := range e.rules {
+		if r.Trigger != op {
+			continue
+		}
+		switch r.Op {
+		case ImpliesBefore:
+			if e.history[r.Target] == 0 {
+				return Decision{Verdict: Deny,
+					Reason: fmt.Sprintf("%s requires prior %s", op, r.Target)}
+			}
+		case PermittedIf:
+			if !e.evalLocked(r.Target) {
+				return Decision{Verdict: Deny,
+					Reason: fmt.Sprintf("%s not permitted: %s is false", op, r.Target)}
+			}
+		case WaitUntil:
+			if !e.evalLocked(r.Target) {
+				return Decision{Verdict: Deferred,
+					Reason: fmt.Sprintf("%s deferred until %s", op, r.Target)}
+			}
+		}
+	}
+
+	dec := Decision{Verdict: Allow}
+	e.recordLocked(op)
+	for _, r := range e.rules {
+		if r.Trigger != op {
+			continue
+		}
+		switch r.Op {
+		case Implies:
+			dec.Required = append(dec.Required, r.Target)
+			e.recordLocked(r.Target) // performed synchronously by the caller
+		case ImpliesLater:
+			e.obligations[r.Target]++
+		}
+	}
+	return dec
+}
+
+func (e *Engine) evalLocked(pred string) bool {
+	p, ok := e.preds[pred]
+	if !ok {
+		return false
+	}
+	return p()
+}
+
+func (e *Engine) recordLocked(op string) {
+	e.history[op]++
+	if e.obligations[op] > 0 {
+		e.obligations[op]--
+		if e.obligations[op] == 0 {
+			delete(e.obligations, op)
+		}
+	}
+}
+
+// Pending returns outstanding impliesLater obligations, sorted by name.
+func (e *Engine) Pending() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []string
+	for op, n := range e.obligations {
+		for i := 0; i < n; i++ {
+			out = append(out, op)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ErrUnmetObligations reports impliesLater targets never performed.
+var ErrUnmetObligations = errors.New("flo: unmet impliesLater obligations")
+
+// Close verifies that every impliesLater obligation was discharged.
+func (e *Engine) Close() error {
+	if pending := e.Pending(); len(pending) > 0 {
+		return fmt.Errorf("%w: %s", ErrUnmetObligations, strings.Join(pending, ", "))
+	}
+	return nil
+}
+
+// History returns how many times op was (allowed and) performed.
+func (e *Engine) History(op string) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.history[op]
+}

@@ -1,0 +1,244 @@
+package flo
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustEngine(t *testing.T, src string) *Engine {
+	t.Helper()
+	rules, err := ParseRules(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	e, err := NewEngine(rules)
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	return e
+}
+
+func TestParseAllOperators(t *testing.T) {
+	src := `
+# billing rules
+open implies audit
+send impliesLater ack
+commit impliesBefore prepare
+debit permittedIf solvent
+play waitUntil buffered
+`
+	rules, err := ParseRules(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(rules) != 5 {
+		t.Fatalf("got %d rules", len(rules))
+	}
+	want := []Operator{Implies, ImpliesLater, ImpliesBefore, PermittedIf, WaitUntil}
+	for i, r := range rules {
+		if r.Op != want[i] {
+			t.Errorf("rule %d op = %v, want %v", i, r.Op, want[i])
+		}
+	}
+	// Round-trip through String.
+	for _, r := range rules {
+		r2, err := ParseRule(r.String())
+		if err != nil || r2 != r {
+			t.Errorf("round trip %q -> %+v, %v", r.String(), r2, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := ParseRule("a b"); err == nil {
+		t.Error("two fields should fail")
+	}
+	if _, err := ParseRule("a frobs b"); err == nil {
+		t.Error("unknown operator should fail")
+	}
+	if _, err := ParseRules("x implies y\nbroken line here boom"); err == nil {
+		t.Error("bad line should fail with line number")
+	}
+}
+
+func TestCycleDetectionInCallingTree(t *testing.T) {
+	rules, _ := ParseRules("a implies b\nb impliesLater c\nc implies a")
+	err := CheckRules(rules)
+	if !errors.Is(err, ErrCycle) {
+		t.Fatalf("err = %v, want ErrCycle", err)
+	}
+	if !strings.Contains(err.Error(), "->") {
+		t.Errorf("cycle path missing from error: %v", err)
+	}
+}
+
+func TestSelfImplicationIsCycle(t *testing.T) {
+	rules := []Rule{{Trigger: "a", Op: Implies, Target: "a"}}
+	if err := CheckRules(rules); !errors.Is(err, ErrCycle) {
+		t.Fatalf("self implication should cycle, got %v", err)
+	}
+}
+
+func TestImpliesBeforeCycleUnsatisfiable(t *testing.T) {
+	// a requires prior b, b requires prior a: unsatisfiable.
+	rules, _ := ParseRules("a impliesBefore b\nb impliesBefore a")
+	if err := CheckRules(rules); !errors.Is(err, ErrCycle) {
+		t.Fatalf("err = %v, want ErrCycle", err)
+	}
+}
+
+func TestAcyclicRulesPass(t *testing.T) {
+	rules, _ := ParseRules("a implies b\nb implies c\na impliesLater c")
+	if err := CheckRules(rules); err != nil {
+		t.Fatalf("acyclic rules rejected: %v", err)
+	}
+}
+
+func TestImpliesRequiresImmediate(t *testing.T) {
+	e := mustEngine(t, "open implies audit")
+	dec := e.Observe("open")
+	if dec.Verdict != Allow || len(dec.Required) != 1 || dec.Required[0] != "audit" {
+		t.Fatalf("decision = %+v", dec)
+	}
+	if e.History("audit") != 1 {
+		t.Error("implied op should be recorded as performed")
+	}
+}
+
+func TestImpliesLaterObligation(t *testing.T) {
+	e := mustEngine(t, "send impliesLater ack")
+	e.Observe("send")
+	e.Observe("send")
+	if p := e.Pending(); len(p) != 2 {
+		t.Fatalf("pending = %v, want 2 acks", p)
+	}
+	if err := e.Close(); !errors.Is(err, ErrUnmetObligations) {
+		t.Fatalf("close err = %v", err)
+	}
+	e.Observe("ack")
+	e.Observe("ack")
+	if err := e.Close(); err != nil {
+		t.Fatalf("obligations discharged but close failed: %v", err)
+	}
+}
+
+func TestImpliesBeforeDeniesUntilSeen(t *testing.T) {
+	e := mustEngine(t, "commit impliesBefore prepare")
+	if dec := e.Observe("commit"); dec.Verdict != Deny {
+		t.Fatalf("commit before prepare should be denied, got %+v", dec)
+	}
+	if e.History("commit") != 0 {
+		t.Error("denied op must not enter history")
+	}
+	e.Observe("prepare")
+	if dec := e.Observe("commit"); dec.Verdict != Allow {
+		t.Fatalf("commit after prepare should pass, got %+v", dec)
+	}
+}
+
+func TestPermittedIfGuard(t *testing.T) {
+	e := mustEngine(t, "debit permittedIf solvent")
+	// Undefined predicate fails closed.
+	if dec := e.Observe("debit"); dec.Verdict != Deny {
+		t.Fatalf("undefined predicate should deny, got %+v", dec)
+	}
+	solvent := false
+	e.DefinePredicate("solvent", func() bool { return solvent })
+	if dec := e.Observe("debit"); dec.Verdict != Deny {
+		t.Fatalf("false predicate should deny, got %+v", dec)
+	}
+	solvent = true
+	if dec := e.Observe("debit"); dec.Verdict != Allow {
+		t.Fatalf("true predicate should allow, got %+v", dec)
+	}
+}
+
+func TestWaitUntilDefers(t *testing.T) {
+	e := mustEngine(t, "play waitUntil buffered")
+	ready := false
+	e.DefinePredicate("buffered", func() bool { return ready })
+	if dec := e.Observe("play"); dec.Verdict != Deferred {
+		t.Fatalf("want Deferred, got %+v", dec)
+	}
+	ready = true
+	if dec := e.Observe("play"); dec.Verdict != Allow {
+		t.Fatalf("want Allow after condition, got %+v", dec)
+	}
+}
+
+func TestChainedImplications(t *testing.T) {
+	e := mustEngine(t, "a implies b\na implies c")
+	dec := e.Observe("a")
+	if len(dec.Required) != 2 || dec.Required[0] != "b" || dec.Required[1] != "c" {
+		t.Fatalf("required = %v, want [b c] in rule order", dec.Required)
+	}
+}
+
+func TestImpliedOpDischargesObligation(t *testing.T) {
+	// send obliges ack later; flush implies ack — performing flush
+	// discharges the obligation through the implied ack.
+	e := mustEngine(t, "send impliesLater ack\nflush implies ack")
+	e.Observe("send")
+	e.Observe("flush")
+	if err := e.Close(); err != nil {
+		t.Fatalf("implied ack should discharge obligation: %v", err)
+	}
+}
+
+func TestVerdictAndOperatorStrings(t *testing.T) {
+	if Allow.String() != "allow" || Deny.String() != "deny" || Deferred.String() != "defer" {
+		t.Error("verdict strings wrong")
+	}
+	if Verdict(0).String() != "unknown" || Operator(0).String() != "unknown" {
+		t.Error("zero values should stringify to unknown")
+	}
+}
+
+func TestPropAcyclicChainsAlwaysAccepted(t *testing.T) {
+	// Rules forming a forward chain op0->op1->...->opN can never cycle.
+	f := func(n uint8) bool {
+		var rules []Rule
+		for i := 0; i < int(n%16); i++ {
+			rules = append(rules, Rule{
+				Trigger: "op" + itoa(i),
+				Op:      Implies,
+				Target:  "op" + itoa(i+1),
+			})
+		}
+		return CheckRules(rules) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropObligationsConserved(t *testing.T) {
+	// After k sends and k acks, no pending obligations remain; after k sends
+	// and j<k acks, exactly k-j remain.
+	f := func(k, j uint8) bool {
+		sends, acks := int(k%32), int(j%32)
+		if acks > sends {
+			sends, acks = acks, sends
+		}
+		e, err := NewEngine([]Rule{{Trigger: "send", Op: ImpliesLater, Target: "ack"}})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < sends; i++ {
+			e.Observe("send")
+		}
+		for i := 0; i < acks; i++ {
+			e.Observe("ack")
+		}
+		return len(e.Pending()) == sends-acks
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(i int) string {
+	return string(rune('0'+i/10%10)) + string(rune('0'+i%10))
+}

@@ -1,0 +1,142 @@
+// Package inject implements injectors (§2, [Film01]): interceptors on
+// component communications "so that new behavior can be inserted, for
+// example for changing routing, or for transforming and filtering
+// messages". Following the paper, "each injection should affect a limited
+// set of specific components" — every injector carries an explicit scope.
+package inject
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"repro/internal/bus"
+)
+
+// Scope limits an injection to specific components. Empty slices mean "any"
+// on that side, but at least one side must be limited — an unscoped
+// injection is rejected at construction, mirroring the paper's requirement.
+type Scope struct {
+	Src []bus.Address
+	Dst []bus.Address
+}
+
+// covers reports whether m falls inside the scope.
+func (s Scope) covers(m *bus.Message) bool {
+	return memberOrAny(s.Src, m.Src) && memberOrAny(s.Dst, m.Dst)
+}
+
+func memberOrAny(set []bus.Address, a bus.Address) bool {
+	if len(set) == 0 {
+		return true
+	}
+	for _, x := range set {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// Behavior is the inserted behaviour. Exactly one of the fields is used,
+// checked at construction:
+//
+//   - RerouteTo changes the routing of scoped messages;
+//   - TransformFn rewrites scoped messages in place;
+//   - KeepIf drops scoped messages for which it returns false.
+type Behavior struct {
+	RerouteTo   bus.Address
+	TransformFn func(*bus.Message)
+	KeepIf      func(*bus.Message) bool
+}
+
+// Injector construction errors.
+var (
+	ErrUnscoped    = errors.New("inject: injector must be scoped to specific components")
+	ErrNoBehavior  = errors.New("inject: exactly one behavior must be set")
+	ErrNeedsName   = errors.New("inject: injector needs a name")
+	ErrAmbiguous   = errors.New("inject: more than one behavior set")
+	errNotAttached = errors.New("inject: not attached")
+)
+
+// Injector is a scoped bus interceptor.
+type Injector struct {
+	name     string
+	scope    Scope
+	behavior Behavior
+	hits     atomic.Uint64
+}
+
+var _ bus.Interceptor = (*Injector)(nil)
+
+// New validates and builds an injector.
+func New(name string, scope Scope, b Behavior) (*Injector, error) {
+	if name == "" {
+		return nil, ErrNeedsName
+	}
+	if len(scope.Src) == 0 && len(scope.Dst) == 0 {
+		return nil, ErrUnscoped
+	}
+	n := 0
+	if b.RerouteTo != "" {
+		n++
+	}
+	if b.TransformFn != nil {
+		n++
+	}
+	if b.KeepIf != nil {
+		n++
+	}
+	switch n {
+	case 0:
+		return nil, ErrNoBehavior
+	case 1:
+	default:
+		return nil, ErrAmbiguous
+	}
+	return &Injector{name: name, scope: scope, behavior: b}, nil
+}
+
+// Name implements bus.Interceptor.
+func (i *Injector) Name() string { return i.name }
+
+// Hits reports how many messages the injection has affected.
+func (i *Injector) Hits() uint64 { return i.hits.Load() }
+
+// Intercept implements bus.Interceptor.
+func (i *Injector) Intercept(m *bus.Message) bus.Verdict {
+	if !i.scope.covers(m) {
+		return bus.Pass
+	}
+	switch {
+	case i.behavior.RerouteTo != "":
+		if m.Dst == i.behavior.RerouteTo {
+			return bus.Pass // already there; avoid self-redirect loops
+		}
+		i.hits.Add(1)
+		m.Dst = i.behavior.RerouteTo
+		return bus.Redirected
+	case i.behavior.TransformFn != nil:
+		i.hits.Add(1)
+		i.behavior.TransformFn(m)
+		return bus.Pass
+	default:
+		if i.behavior.KeepIf(m) {
+			return bus.Pass
+		}
+		i.hits.Add(1)
+		return bus.Drop
+	}
+}
+
+// Install adds the injector to the bus interceptor chain.
+func Install(b *bus.Bus, i *Injector) {
+	b.AddInterceptor(i)
+}
+
+// Uninstall removes the injector by name.
+func Uninstall(b *bus.Bus, name string) error {
+	if !b.RemoveInterceptor(name) {
+		return errNotAttached
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+package inject
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/bus"
+)
+
+func TestConstructionValidation(t *testing.T) {
+	scope := Scope{Dst: []bus.Address{"a"}}
+	if _, err := New("", scope, Behavior{RerouteTo: "b"}); !errors.Is(err, ErrNeedsName) {
+		t.Errorf("err = %v, want ErrNeedsName", err)
+	}
+	if _, err := New("i", Scope{}, Behavior{RerouteTo: "b"}); !errors.Is(err, ErrUnscoped) {
+		t.Errorf("err = %v, want ErrUnscoped", err)
+	}
+	if _, err := New("i", scope, Behavior{}); !errors.Is(err, ErrNoBehavior) {
+		t.Errorf("err = %v, want ErrNoBehavior", err)
+	}
+	both := Behavior{RerouteTo: "b", TransformFn: func(*bus.Message) {}}
+	if _, err := New("i", scope, both); !errors.Is(err, ErrAmbiguous) {
+		t.Errorf("err = %v, want ErrAmbiguous", err)
+	}
+	if _, err := New("i", scope, Behavior{RerouteTo: "b"}); err != nil {
+		t.Errorf("valid injector rejected: %v", err)
+	}
+}
+
+func TestRerouteInjection(t *testing.T) {
+	b := bus.New()
+	if _, err := b.Attach("primary", 0); err != nil {
+		t.Fatal(err)
+	}
+	backup, err := b.Attach("backup", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := New("failover", Scope{Dst: []bus.Address{"primary"}}, Behavior{RerouteTo: "backup"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Install(b, inj)
+	if err := b.Send(bus.Message{Kind: bus.Request, Op: "q", Src: "c", Dst: "primary"}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := backup.Receive(context.Background())
+	if err != nil || m.Dst != "backup" {
+		t.Fatalf("m=%+v err=%v", m, err)
+	}
+	if inj.Hits() != 1 {
+		t.Errorf("hits = %d, want 1", inj.Hits())
+	}
+}
+
+func TestTransformInjection(t *testing.T) {
+	b := bus.New()
+	dst, _ := b.Attach("dst", 0)
+	inj, _ := New("upcase", Scope{Dst: []bus.Address{"dst"}}, Behavior{
+		TransformFn: func(m *bus.Message) { m.Op = "X" + m.Op },
+	})
+	Install(b, inj)
+	_ = b.Send(bus.Message{Kind: bus.Event, Op: "op", Src: "s", Dst: "dst"})
+	m, _ := dst.Receive(context.Background())
+	if m.Op != "Xop" {
+		t.Fatalf("op = %s", m.Op)
+	}
+}
+
+func TestFilterInjectionDrops(t *testing.T) {
+	b := bus.New()
+	dst, _ := b.Attach("dst", 0)
+	inj, _ := New("oddsOnly", Scope{Dst: []bus.Address{"dst"}}, Behavior{
+		KeepIf: func(m *bus.Message) bool { return m.Payload.(int)%2 == 1 },
+	})
+	Install(b, inj)
+	for i := 0; i < 10; i++ {
+		_ = b.Send(bus.Message{Kind: bus.Event, Payload: i, Src: "s", Dst: "dst"})
+	}
+	if got := dst.Received(); got != 5 {
+		t.Fatalf("received %d, want 5", got)
+	}
+	if inj.Hits() != 5 {
+		t.Fatalf("hits = %d, want 5 drops", inj.Hits())
+	}
+}
+
+func TestScopeLimitsEffect(t *testing.T) {
+	// The paper: "Each injection should affect a limited set of specific
+	// components." Unrelated traffic must be untouched.
+	b := bus.New()
+	scoped, _ := b.Attach("scoped", 0)
+	other, _ := b.Attach("other", 0)
+	inj, _ := New("scopedDrop", Scope{Dst: []bus.Address{"scoped"}}, Behavior{
+		KeepIf: func(*bus.Message) bool { return false },
+	})
+	Install(b, inj)
+	_ = b.Send(bus.Message{Kind: bus.Event, Src: "s", Dst: "scoped"})
+	_ = b.Send(bus.Message{Kind: bus.Event, Src: "s", Dst: "other"})
+	if scoped.Received() != 0 {
+		t.Error("scoped message not dropped")
+	}
+	if other.Received() != 1 {
+		t.Error("unscoped message affected by injection")
+	}
+}
+
+func TestSrcScope(t *testing.T) {
+	b := bus.New()
+	dst, _ := b.Attach("dst", 0)
+	inj, _ := New("bySrc", Scope{Src: []bus.Address{"noisy"}}, Behavior{
+		KeepIf: func(*bus.Message) bool { return false },
+	})
+	Install(b, inj)
+	_ = b.Send(bus.Message{Kind: bus.Event, Src: "noisy", Dst: "dst"})
+	_ = b.Send(bus.Message{Kind: bus.Event, Src: "quiet", Dst: "dst"})
+	if dst.Received() != 1 {
+		t.Fatalf("received %d, want only the quiet sender's message", dst.Received())
+	}
+}
+
+func TestRerouteToSelfPasses(t *testing.T) {
+	b := bus.New()
+	dst, _ := b.Attach("dst", 0)
+	inj, _ := New("loop", Scope{Dst: []bus.Address{"dst"}}, Behavior{RerouteTo: "dst"})
+	Install(b, inj)
+	_ = b.Send(bus.Message{Kind: bus.Event, Src: "s", Dst: "dst"})
+	if dst.Received() != 1 || inj.Hits() != 0 {
+		t.Fatalf("received=%d hits=%d", dst.Received(), inj.Hits())
+	}
+}
+
+func TestUninstall(t *testing.T) {
+	b := bus.New()
+	dst, _ := b.Attach("dst", 0)
+	inj, _ := New("drop", Scope{Dst: []bus.Address{"dst"}}, Behavior{
+		KeepIf: func(*bus.Message) bool { return false },
+	})
+	Install(b, inj)
+	if err := Uninstall(b, "drop"); err != nil {
+		t.Fatalf("uninstall: %v", err)
+	}
+	if err := Uninstall(b, "drop"); err == nil {
+		t.Fatal("double uninstall should fail")
+	}
+	_ = b.Send(bus.Message{Kind: bus.Event, Src: "s", Dst: "dst"})
+	if dst.Received() != 1 {
+		t.Fatal("uninstalled injector still dropping")
+	}
+}

@@ -1,0 +1,196 @@
+package lts
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Bisimilar reports whether the initial states of a and b are strongly
+// bisimilar. It runs partition refinement on the disjoint union of the two
+// systems.
+func Bisimilar(a, b *LTS) bool {
+	u := disjointUnion(a, b)
+	classes := u.bisimClasses()
+	return classes[a.initial] == classes[len(a.states)+b.initial]
+}
+
+// Simulates reports whether b simulates a: every behaviour of a can be
+// matched by b (a ≤ b in the simulation preorder). Computed as a greatest
+// fixed point over the state-pair relation.
+func Simulates(a, b *LTS) bool {
+	// rel[sa][sb] = sb simulates sa (candidate). Start with everything and
+	// strike out pairs that fail, until stable.
+	n, m := len(a.states), len(b.states)
+	rel := make([][]bool, n)
+	for i := range rel {
+		rel[i] = make([]bool, m)
+		for j := range rel[i] {
+			rel[i][j] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for sa := 0; sa < n; sa++ {
+			for sb := 0; sb < m; sb++ {
+				if !rel[sa][sb] {
+					continue
+				}
+				if !simStep(a, b, sa, sb, rel) {
+					rel[sa][sb] = false
+					changed = true
+				}
+			}
+		}
+	}
+	return rel[a.initial][b.initial]
+}
+
+// simStep checks that every move of sa can be matched from sb into a
+// related pair.
+func simStep(a, b *LTS, sa, sb int, rel [][]bool) bool {
+	for _, ta := range a.adj[sa] {
+		matched := false
+		for _, tb := range b.adj[sb] {
+			if tb.Action == ta.Action && rel[ta.To][tb.To] {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return false
+		}
+	}
+	return true
+}
+
+// Minimize returns the quotient of l under strong bisimulation, restricted
+// to reachable states. The result is bisimilar to l and has the minimum
+// number of states among strongly bisimilar deterministic presentations.
+func (l *LTS) Minimize() *LTS {
+	classes := l.bisimClasses()
+	reach := l.Reachable()
+
+	// Map class id -> new state index, initial class first for stability.
+	newIndex := map[int]int{}
+	var names []string
+	order := append([]int(nil), reach...)
+	sort.Ints(order)
+	// Ensure the initial state's class is index 0.
+	addClass := func(s int) int {
+		c := classes[s]
+		if i, ok := newIndex[c]; ok {
+			return i
+		}
+		i := len(names)
+		newIndex[c] = i
+		names = append(names, fmt.Sprintf("c%d", i))
+		return i
+	}
+	init := addClass(l.initial)
+	for _, s := range order {
+		addClass(s)
+	}
+
+	adj := make([][]Transition, len(names))
+	seen := make([]map[Transition]bool, len(names))
+	for i := range seen {
+		seen[i] = map[Transition]bool{}
+	}
+	for _, s := range reach {
+		from := newIndex[classes[s]]
+		for _, t := range l.adj[s] {
+			nt := Transition{Action: t.Action, To: newIndex[classes[t.To]]}
+			if !seen[from][nt] {
+				seen[from][nt] = true
+				adj[from] = append(adj[from], nt)
+			}
+		}
+	}
+	return &LTS{name: l.name + ".min", states: names, initial: init, adj: adj}
+}
+
+// bisimClasses computes strong-bisimulation equivalence classes by naive
+// partition refinement: states are repeatedly split by the multiset of
+// (action, target-class) signatures until stable. Returns class id per
+// state.
+func (l *LTS) bisimClasses() []int {
+	n := len(l.states)
+	class := make([]int, n) // all states start in class 0
+	for {
+		sig := make([]string, n)
+		for s := 0; s < n; s++ {
+			moves := make([]string, 0, len(l.adj[s]))
+			for _, t := range l.adj[s] {
+				moves = append(moves, string(t.Action)+"→"+itoa(class[t.To]))
+			}
+			sort.Strings(moves)
+			moves = dedupe(moves)
+			sig[s] = itoa(class[s]) + "|" + strings.Join(moves, ",")
+		}
+		next := make([]int, n)
+		index := map[string]int{}
+		for s := 0; s < n; s++ {
+			id, ok := index[sig[s]]
+			if !ok {
+				id = len(index)
+				index[sig[s]] = id
+			}
+			next[s] = id
+		}
+		if equalInts(class, next) {
+			return class
+		}
+		class = next
+	}
+}
+
+// disjointUnion places b's states after a's; the initial state is a's
+// (irrelevant for class computation, which covers all states).
+func disjointUnion(a, b *LTS) *LTS {
+	states := make([]string, 0, len(a.states)+len(b.states))
+	for _, s := range a.states {
+		states = append(states, "a."+s)
+	}
+	for _, s := range b.states {
+		states = append(states, "b."+s)
+	}
+	adj := make([][]Transition, len(states))
+	for s, ts := range a.adj {
+		for _, t := range ts {
+			adj[s] = append(adj[s], t)
+		}
+	}
+	off := len(a.states)
+	for s, ts := range b.adj {
+		for _, t := range ts {
+			adj[off+s] = append(adj[off+s], Transition{Action: t.Action, To: off + t.To})
+		}
+	}
+	return &LTS{name: a.name + "+" + b.name, states: states, initial: a.initial, adj: adj}
+}
+
+func itoa(i int) string { return strconv.Itoa(i) }
+
+func dedupe(sorted []string) []string {
+	out := sorted[:0]
+	for i, s := range sorted {
+		if i == 0 || sorted[i-1] != s {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

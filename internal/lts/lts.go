@@ -1,0 +1,338 @@
+// Package lts implements labelled transition systems (LTS), the behavioural
+// model the paper assigns to every participating component: "Each
+// participating component can be represented by a label transition system
+// (LTS) model" (§3). It provides construction, reachability, deadlock
+// detection, Wright-style synchronous composition and interconnection
+// compatibility checking, plus simulation and bisimulation equivalence used
+// by the RAML composition-correctness analysis.
+package lts
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Direction classifies an action label.
+type Direction int
+
+// Action directions. Receive/Send pairs on the same base name synchronize in
+// a product; Internal actions never synchronize.
+const (
+	Receive Direction = iota + 1
+	Send
+	Internal
+)
+
+// Tau is the internal (invisible) action.
+const Tau = Action("tau")
+
+// Action is a transition label. By convention "?name" is a receive, "!name"
+// a send, and "tau" (or any undecorated label) is internal.
+type Action string
+
+// Recv builds a receive action for base name.
+func Recv(name string) Action { return Action("?" + name) }
+
+// SendAct builds a send action for base name.
+func SendAct(name string) Action { return Action("!" + name) }
+
+// Direction reports whether a is a send, receive or internal action.
+func (a Action) Direction() Direction {
+	switch {
+	case strings.HasPrefix(string(a), "?"):
+		return Receive
+	case strings.HasPrefix(string(a), "!"):
+		return Send
+	default:
+		return Internal
+	}
+}
+
+// Base returns the action name without its direction decoration.
+func (a Action) Base() string {
+	s := string(a)
+	if strings.HasPrefix(s, "?") || strings.HasPrefix(s, "!") {
+		return s[1:]
+	}
+	return s
+}
+
+// Complement returns the dual action (!x for ?x and vice versa). Internal
+// actions are their own complement.
+func (a Action) Complement() Action {
+	switch a.Direction() {
+	case Receive:
+		return Action("!" + a.Base())
+	case Send:
+		return Action("?" + a.Base())
+	default:
+		return a
+	}
+}
+
+// Transition is one labelled edge of an LTS.
+type Transition struct {
+	Action Action
+	To     int // target state index
+}
+
+// LTS is an immutable labelled transition system. States are indexed
+// 0..NumStates-1 and carry display names. State 0 is not necessarily
+// initial; Initial holds the index of the start state.
+type LTS struct {
+	name    string
+	states  []string
+	initial int
+	// adjacency: adj[s] is the ordered list of outgoing transitions of s.
+	adj [][]Transition
+}
+
+// Name returns the model's name.
+func (l *LTS) Name() string { return l.name }
+
+// NumStates returns the number of states.
+func (l *LTS) NumStates() int { return len(l.states) }
+
+// NumTransitions returns the total number of transitions.
+func (l *LTS) NumTransitions() int {
+	n := 0
+	for _, ts := range l.adj {
+		n += len(ts)
+	}
+	return n
+}
+
+// Initial returns the index of the initial state.
+func (l *LTS) Initial() int { return l.initial }
+
+// StateName returns the display name of state s.
+func (l *LTS) StateName(s int) string { return l.states[s] }
+
+// Out returns the outgoing transitions of state s. The returned slice must
+// not be modified.
+func (l *LTS) Out(s int) []Transition { return l.adj[s] }
+
+// Alphabet returns the sorted set of observable (non-internal) actions.
+func (l *LTS) Alphabet() []Action {
+	set := map[Action]struct{}{}
+	for _, ts := range l.adj {
+		for _, t := range ts {
+			if t.Action.Direction() != Internal {
+				set[t.Action] = struct{}{}
+			}
+		}
+	}
+	out := make([]Action, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Builder incrementally constructs an LTS.
+type Builder struct {
+	name    string
+	index   map[string]int
+	states  []string
+	initial string
+	edges   []edge
+	errs    []error
+}
+
+type edge struct {
+	from, to string
+	act      Action
+}
+
+// NewBuilder creates a builder for a model called name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, index: map[string]int{}}
+}
+
+// State declares a state (idempotent) and returns the builder.
+func (b *Builder) State(name string) *Builder {
+	b.state(name)
+	return b
+}
+
+func (b *Builder) state(name string) int {
+	if i, ok := b.index[name]; ok {
+		return i
+	}
+	i := len(b.states)
+	b.index[name] = i
+	b.states = append(b.states, name)
+	return i
+}
+
+// Initial marks the initial state, declaring it if needed.
+func (b *Builder) Initial(name string) *Builder {
+	b.state(name)
+	b.initial = name
+	return b
+}
+
+// Trans adds a transition from -> to labelled act, declaring states as
+// needed. The first state ever mentioned becomes the default initial state.
+func (b *Builder) Trans(from string, act Action, to string) *Builder {
+	if b.initial == "" && len(b.states) == 0 {
+		b.initial = from
+	}
+	b.state(from)
+	b.state(to)
+	if act == "" {
+		b.errs = append(b.errs, fmt.Errorf("transition %s -> %s: empty action", from, to))
+	}
+	b.edges = append(b.edges, edge{from: from, to: to, act: act})
+	return b
+}
+
+// Errors reported by Build.
+var (
+	ErrNoStates  = errors.New("lts: model has no states")
+	ErrNoInitial = errors.New("lts: no initial state")
+)
+
+// Build validates and returns the LTS.
+func (b *Builder) Build() (*LTS, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	if len(b.states) == 0 {
+		return nil, fmt.Errorf("%w: %q", ErrNoStates, b.name)
+	}
+	if b.initial == "" {
+		return nil, fmt.Errorf("%w: %q", ErrNoInitial, b.name)
+	}
+	l := &LTS{
+		name:    b.name,
+		states:  append([]string(nil), b.states...),
+		initial: b.index[b.initial],
+		adj:     make([][]Transition, len(b.states)),
+	}
+	for _, e := range b.edges {
+		f, t := b.index[e.from], b.index[e.to]
+		l.adj[f] = append(l.adj[f], Transition{Action: e.act, To: t})
+	}
+	return l, nil
+}
+
+// MustBuild is Build that panics on error; intended for tests and
+// package-internal fixed models only.
+func (b *Builder) MustBuild() *LTS {
+	l, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Reachable returns the set of states reachable from the initial state, in
+// BFS order.
+func (l *LTS) Reachable() []int {
+	seen := make([]bool, len(l.states))
+	order := []int{l.initial}
+	seen[l.initial] = true
+	for i := 0; i < len(order); i++ {
+		for _, t := range l.adj[order[i]] {
+			if !seen[t.To] {
+				seen[t.To] = true
+				order = append(order, t.To)
+			}
+		}
+	}
+	return order
+}
+
+// Deadlocks returns the reachable states with no outgoing transitions.
+func (l *LTS) Deadlocks() []int {
+	var out []int
+	for _, s := range l.Reachable() {
+		if len(l.adj[s]) == 0 {
+			out = append(out, s)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// IsDeterministic reports whether no reachable state has two outgoing
+// transitions with the same action.
+func (l *LTS) IsDeterministic() bool {
+	for _, s := range l.Reachable() {
+		seen := map[Action]struct{}{}
+		for _, t := range l.adj[s] {
+			if _, dup := seen[t.Action]; dup {
+				return false
+			}
+			seen[t.Action] = struct{}{}
+		}
+	}
+	return true
+}
+
+// HasCycle reports whether the reachable part of the graph contains a cycle.
+func (l *LTS) HasCycle() bool {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]int, len(l.states))
+	var visit func(s int) bool
+	visit = func(s int) bool {
+		color[s] = grey
+		for _, t := range l.adj[s] {
+			switch color[t.To] {
+			case grey:
+				return true
+			case white:
+				if visit(t.To) {
+					return true
+				}
+			}
+		}
+		color[s] = black
+		return false
+	}
+	return visit(l.initial)
+}
+
+// String renders the LTS in the textual notation accepted by Parse.
+func (l *LTS) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "init %s\n", l.states[l.initial])
+	for s, ts := range l.adj {
+		for _, t := range ts {
+			fmt.Fprintf(&sb, "%s %s %s\n", l.states[s], t.Action, l.states[t.To])
+		}
+	}
+	return sb.String()
+}
+
+// Parse reads the textual LTS notation: one "from action to" triple per
+// line, an optional "init <state>" directive (default: first mentioned
+// state), '#' comments and blank lines.
+func Parse(name, src string) (*LTS, error) {
+	b := NewBuilder(name)
+	for ln, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch {
+		case len(fields) == 2 && fields[0] == "init":
+			b.Initial(fields[1])
+		case len(fields) == 3:
+			b.Trans(fields[0], Action(fields[1]), fields[2])
+		default:
+			return nil, fmt.Errorf("lts: %s: line %d: want %q or %q, got %q",
+				name, ln+1, "from action to", "init state", line)
+		}
+	}
+	return b.Build()
+}

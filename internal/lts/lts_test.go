@@ -1,0 +1,375 @@
+package lts
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// clientServer returns a compatible request/reply pair.
+func clientServer(t *testing.T) (*LTS, *LTS) {
+	t.Helper()
+	client, err := NewBuilder("client").
+		Initial("c0").
+		Trans("c0", SendAct("req"), "c1").
+		Trans("c1", Recv("rsp"), "c0").
+		Build()
+	if err != nil {
+		t.Fatalf("client: %v", err)
+	}
+	server, err := NewBuilder("server").
+		Initial("s0").
+		Trans("s0", Recv("req"), "s1").
+		Trans("s1", SendAct("rsp"), "s0").
+		Build()
+	if err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	return client, server
+}
+
+func TestActionDirections(t *testing.T) {
+	cases := []struct {
+		act  Action
+		dir  Direction
+		base string
+	}{
+		{Recv("x"), Receive, "x"},
+		{SendAct("x"), Send, "x"},
+		{Tau, Internal, "tau"},
+		{Action("work"), Internal, "work"},
+	}
+	for _, c := range cases {
+		if got := c.act.Direction(); got != c.dir {
+			t.Errorf("%q direction = %v, want %v", c.act, got, c.dir)
+		}
+		if got := c.act.Base(); got != c.base {
+			t.Errorf("%q base = %q, want %q", c.act, got, c.base)
+		}
+	}
+}
+
+func TestComplementInvolution(t *testing.T) {
+	for _, a := range []Action{Recv("a"), SendAct("b"), Tau} {
+		if a.Complement().Complement() != a {
+			t.Errorf("complement not involutive for %q", a)
+		}
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	if _, err := NewBuilder("empty").Build(); err == nil {
+		t.Error("empty model should fail to build")
+	}
+	if _, err := NewBuilder("noinit").State("a").Build(); err == nil {
+		t.Error("model without initial state should fail")
+	}
+	if _, err := NewBuilder("badact").Trans("a", "", "b").Build(); err == nil {
+		t.Error("empty action should fail")
+	}
+}
+
+func TestFirstStateIsDefaultInitial(t *testing.T) {
+	l := NewBuilder("m").Trans("x", Tau, "y").MustBuild()
+	if got := l.StateName(l.Initial()); got != "x" {
+		t.Errorf("initial = %q, want x", got)
+	}
+}
+
+func TestReachableAndDeadlocks(t *testing.T) {
+	l := NewBuilder("m").
+		Initial("a").
+		Trans("a", Tau, "b").
+		Trans("b", Tau, "dead").
+		State("island"). // unreachable
+		MustBuild()
+	if n := len(l.Reachable()); n != 3 {
+		t.Errorf("reachable = %d, want 3", n)
+	}
+	dl := l.Deadlocks()
+	if len(dl) != 1 || l.StateName(dl[0]) != "dead" {
+		t.Errorf("deadlocks = %v, want [dead]", dl)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	det := NewBuilder("d").Initial("a").
+		Trans("a", Recv("x"), "b").
+		Trans("a", Recv("y"), "b").
+		MustBuild()
+	if !det.IsDeterministic() {
+		t.Error("distinct actions should be deterministic")
+	}
+	nondet := NewBuilder("n").Initial("a").
+		Trans("a", Recv("x"), "b").
+		Trans("a", Recv("x"), "c").
+		MustBuild()
+	if nondet.IsDeterministic() {
+		t.Error("same action to two states should be nondeterministic")
+	}
+}
+
+func TestHasCycle(t *testing.T) {
+	cyc := NewBuilder("c").Initial("a").
+		Trans("a", Tau, "b").
+		Trans("b", Tau, "a").
+		MustBuild()
+	if !cyc.HasCycle() {
+		t.Error("cycle not detected")
+	}
+	acyc := NewBuilder("a").Initial("a").
+		Trans("a", Tau, "b").
+		Trans("a", Tau, "c").
+		Trans("b", Tau, "c").
+		MustBuild()
+	if acyc.HasCycle() {
+		t.Error("false cycle detected in DAG")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	src := `
+# request/reply client
+init c0
+c0 !req c1
+c1 ?rsp c0
+`
+	l, err := Parse("client", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if l.NumStates() != 2 || l.NumTransitions() != 2 {
+		t.Fatalf("got %d states %d transitions", l.NumStates(), l.NumTransitions())
+	}
+	l2, err := Parse("client", l.String())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if !Bisimilar(l, l2) {
+		t.Error("round-tripped model is not bisimilar to the original")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse("bad", "a b"); err == nil {
+		t.Error("two-field non-init line should fail")
+	}
+	if _, err := Parse("bad", "a ?x b extra"); err == nil {
+		t.Error("four-field line should fail")
+	}
+	if _, err := Parse("empty", "# nothing"); err == nil {
+		t.Error("model with no states should fail")
+	}
+}
+
+func TestProductCompatiblePair(t *testing.T) {
+	client, server := clientServer(t)
+	rep := CheckCompat(client, server)
+	if !rep.Compatible {
+		t.Fatalf("client/server should be compatible, got deadlock at %s trace %v",
+			rep.DeadlockState, rep.Trace)
+	}
+	if rep.ProductStates != 2 {
+		t.Errorf("product states = %d, want 2", rep.ProductStates)
+	}
+}
+
+func TestProductIncompatiblePair(t *testing.T) {
+	client, _ := clientServer(t)
+	// A server that replies once and then stops: protocol mismatch.
+	oneShot := NewBuilder("oneshot").
+		Initial("s0").
+		Trans("s0", Recv("req"), "s1").
+		Trans("s1", SendAct("rsp"), "s2").
+		MustBuild()
+	rep := CheckCompat(client, oneShot)
+	if rep.Compatible {
+		t.Fatal("client/one-shot server should deadlock on second request")
+	}
+	if len(rep.Trace) == 0 {
+		t.Error("expected a non-empty counterexample trace")
+	}
+}
+
+func TestProductNaturalTermination(t *testing.T) {
+	// Both sides do one exchange and stop: joint termination, compatible.
+	c := NewBuilder("c").Initial("c0").
+		Trans("c0", SendAct("req"), "c1").
+		Trans("c1", Recv("rsp"), "c2").
+		MustBuild()
+	s := NewBuilder("s").Initial("s0").
+		Trans("s0", Recv("req"), "s1").
+		Trans("s1", SendAct("rsp"), "s2").
+		MustBuild()
+	if rep := CheckCompat(c, s); !rep.Compatible {
+		t.Errorf("joint termination flagged as deadlock: %+v", rep)
+	}
+}
+
+func TestProductInterleavesNonShared(t *testing.T) {
+	a := NewBuilder("a").Initial("a0").Trans("a0", SendAct("x"), "a1").MustBuild()
+	b := NewBuilder("b").Initial("b0").Trans("b0", SendAct("y"), "b1").MustBuild()
+	p := Product(a, b)
+	// Non-shared actions interleave: 4 reachable states.
+	if n := len(p.Reachable()); n != 4 {
+		t.Errorf("interleaving product has %d states, want 4", n)
+	}
+}
+
+func TestProductSynchronizesShared(t *testing.T) {
+	client, server := clientServer(t)
+	p := Product(client, server)
+	for _, s := range p.Reachable() {
+		for _, tr := range p.Out(s) {
+			if tr.Action.Direction() != Internal {
+				t.Errorf("fully shared product should only have internal labels, got %q", tr.Action)
+			}
+		}
+	}
+}
+
+func TestBisimilarBasics(t *testing.T) {
+	client, server := clientServer(t)
+	if !Bisimilar(client, client) {
+		t.Error("bisimilarity should be reflexive")
+	}
+	if Bisimilar(client, server) {
+		t.Error("client and server should not be bisimilar")
+	}
+	// Unfolded client (two-step loop duplicated) is bisimilar to client.
+	unfolded := NewBuilder("client2").
+		Initial("u0").
+		Trans("u0", SendAct("req"), "u1").
+		Trans("u1", Recv("rsp"), "u2").
+		Trans("u2", SendAct("req"), "u3").
+		Trans("u3", Recv("rsp"), "u0").
+		MustBuild()
+	if !Bisimilar(client, unfolded) {
+		t.Error("unfolded loop should be bisimilar to the original")
+	}
+}
+
+func TestSimulatesPreorder(t *testing.T) {
+	// spec allows a or b; impl only does a. spec simulates impl, not vice versa.
+	spec := NewBuilder("spec").Initial("s").
+		Trans("s", Recv("a"), "s").
+		Trans("s", Recv("b"), "s").
+		MustBuild()
+	impl := NewBuilder("impl").Initial("i").
+		Trans("i", Recv("a"), "i").
+		MustBuild()
+	if !Simulates(impl, spec) {
+		t.Error("spec should simulate impl")
+	}
+	if Simulates(spec, impl) {
+		t.Error("impl should not simulate spec")
+	}
+}
+
+func TestMinimize(t *testing.T) {
+	// Two redundant states collapse to one.
+	l := NewBuilder("m").Initial("a").
+		Trans("a", Recv("x"), "b1").
+		Trans("a", Recv("x"), "b2").
+		Trans("b1", SendAct("y"), "a").
+		Trans("b2", SendAct("y"), "a").
+		MustBuild()
+	m := l.Minimize()
+	if m.NumStates() != 2 {
+		t.Errorf("minimized to %d states, want 2", m.NumStates())
+	}
+	if !Bisimilar(l, m) {
+		t.Error("minimized model must stay bisimilar")
+	}
+}
+
+// randomLTS builds a pseudo-random LTS with n states for property tests.
+func randomLTS(r *rand.Rand, name string, n int) *LTS {
+	if n < 1 {
+		n = 1
+	}
+	b := NewBuilder(name).Initial("s0")
+	actions := []Action{Recv("a"), SendAct("b"), Tau, Recv("c"), SendAct("d")}
+	for i := 0; i < n; i++ {
+		from := "s" + itoa(r.Intn(n))
+		to := "s" + itoa(r.Intn(n))
+		b.Trans(from, actions[r.Intn(len(actions))], to)
+	}
+	return b.MustBuild()
+}
+
+func TestPropMinimizeBisimilar(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := randomLTS(r, "rand", int(size%32)+1)
+		return Bisimilar(l, l.Minimize())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropMinimizeIdempotent(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := randomLTS(r, "rand", int(size%32)+1)
+		m := l.Minimize()
+		return m.NumStates() == m.Minimize().NumStates()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropProductCommutesOnStateCount(t *testing.T) {
+	f := func(seed int64, na, nb uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomLTS(r, "a", int(na%16)+1)
+		b := randomLTS(r, "b", int(nb%16)+1)
+		ab := Product(a, b)
+		ba := Product(b, a)
+		if len(ab.Reachable()) != len(ba.Reachable()) {
+			return false
+		}
+		return CheckCompat(a, b).Compatible == CheckCompat(b, a).Compatible
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropBisimilarityReflexiveOnRandom(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := randomLTS(r, "rand", int(size%24)+1)
+		return Bisimilar(l, l) && Simulates(l, l)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlphabetSortedAndObservable(t *testing.T) {
+	l := NewBuilder("m").Initial("a").
+		Trans("a", SendAct("z"), "a").
+		Trans("a", Recv("m"), "a").
+		Trans("a", Tau, "a").
+		MustBuild()
+	al := l.Alphabet()
+	if len(al) != 2 {
+		t.Fatalf("alphabet size = %d, want 2 (tau excluded)", len(al))
+	}
+	for i := 1; i < len(al); i++ {
+		if al[i-1] >= al[i] {
+			t.Error("alphabet not sorted")
+		}
+	}
+}
+
+func TestStringContainsInit(t *testing.T) {
+	client, _ := clientServer(t)
+	if !strings.HasPrefix(client.String(), "init c0\n") {
+		t.Errorf("String() should start with init line, got %q", client.String())
+	}
+}

@@ -1,0 +1,263 @@
+// Package metaobj implements the interaction-patterns adaptation approach
+// (§2, [Pawl99], [Blay02]): meta-objects chained into composed
+// meta-controllers. Composition "needs detailed knowledge of all the
+// meta-objects that have been already chained, and of the important
+// properties of the wrappers (conditional, mandatory, exclusive,
+// modificatory)", and requires "specification of the partially ordered
+// relations among meta-objects (priority, order of the declaration)".
+//
+// Compose validates exclusivity conflicts and orders the chain by the
+// declared partial order (explicit before/after constraints broken by
+// priority, then declaration order); cycles in the partial order are
+// rejected. At execution time, conditional wrappers are skipped when their
+// condition fails and non-modificatory wrappers operate on a copy of the
+// message so their changes cannot leak downstream.
+package metaobj
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/bus"
+)
+
+// Props is the wrapper property set (bit flags).
+type Props uint8
+
+// The four wrapper properties from the paper.
+const (
+	Conditional Props = 1 << iota
+	Mandatory
+	Exclusive
+	Modificatory
+)
+
+// Has reports whether all bits in p2 are set.
+func (p Props) Has(p2 Props) bool { return p&p2 == p2 }
+
+// MetaObject is one wrapper in a meta-controller chain.
+type MetaObject struct {
+	Name     string
+	Props    Props
+	Priority int // higher runs earlier, subject to Before/After constraints
+	// Before and After declare the partial order: this object must run
+	// before (resp. after) the named objects when they are present.
+	Before []string
+	After  []string
+	// Cond gates execution for Conditional wrappers.
+	Cond func(*bus.Message) bool
+	// Invoke wraps the rest of the chain. Implementations call next to
+	// continue; not calling it aborts the interaction.
+	Invoke func(m *bus.Message, next func(*bus.Message) error) error
+}
+
+// Composition errors.
+var (
+	ErrExclusiveConflict = errors.New("metaobj: multiple exclusive wrappers")
+	ErrOrderCycle        = errors.New("metaobj: cyclic ordering constraints")
+	ErrMandatory         = errors.New("metaobj: cannot remove mandatory wrapper")
+	ErrUnknown           = errors.New("metaobj: unknown wrapper")
+	ErrDuplicate         = errors.New("metaobj: duplicate wrapper")
+)
+
+// Chain is a validated, ordered meta-controller. It is safe for concurrent
+// execution; structural changes recompose the order under a lock.
+type Chain struct {
+	mu      sync.RWMutex
+	objects []*MetaObject // in declaration order
+	ordered []*MetaObject // in execution order
+}
+
+// Compose validates the wrapper set and builds the chain.
+func Compose(objects ...*MetaObject) (*Chain, error) {
+	c := &Chain{}
+	for _, o := range objects {
+		c.objects = append(c.objects, o)
+	}
+	if err := c.recompose(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// recompose revalidates and reorders; callers hold no lock (construction)
+// or the write lock (mutation).
+func (c *Chain) recompose() error {
+	seen := map[string]*MetaObject{}
+	exclusive := 0
+	for _, o := range c.objects {
+		if o.Name == "" {
+			return errors.New("metaobj: wrapper needs a name")
+		}
+		if o.Invoke == nil {
+			return fmt.Errorf("metaobj: wrapper %s needs an Invoke", o.Name)
+		}
+		if _, dup := seen[o.Name]; dup {
+			return fmt.Errorf("%w: %s", ErrDuplicate, o.Name)
+		}
+		seen[o.Name] = o
+		if o.Props.Has(Exclusive) {
+			exclusive++
+		}
+		if o.Props.Has(Conditional) && o.Cond == nil {
+			return fmt.Errorf("metaobj: conditional wrapper %s needs a Cond", o.Name)
+		}
+	}
+	if exclusive > 1 {
+		return fmt.Errorf("%w: %d declared", ErrExclusiveConflict, exclusive)
+	}
+
+	ordered, err := topoOrder(c.objects, seen)
+	if err != nil {
+		return err
+	}
+	c.ordered = ordered
+	return nil
+}
+
+// topoOrder sorts by the declared partial order; among unconstrained peers
+// higher priority first, then declaration order (stable).
+func topoOrder(objs []*MetaObject, byName map[string]*MetaObject) ([]*MetaObject, error) {
+	// Build edges: a -> b means a runs before b.
+	succ := map[string][]string{}
+	indeg := map[string]int{}
+	for _, o := range objs {
+		if _, ok := indeg[o.Name]; !ok {
+			indeg[o.Name] = 0
+		}
+	}
+	addEdge := func(a, b string) {
+		succ[a] = append(succ[a], b)
+		indeg[b]++
+	}
+	for _, o := range objs {
+		for _, b := range o.Before {
+			if _, ok := byName[b]; ok {
+				addEdge(o.Name, b)
+			}
+		}
+		for _, a := range o.After {
+			if _, ok := byName[a]; ok {
+				addEdge(a, o.Name)
+			}
+		}
+	}
+
+	// Kahn's algorithm with a deterministic ready queue: priority desc,
+	// then declaration order.
+	declIndex := map[string]int{}
+	for i, o := range objs {
+		declIndex[o.Name] = i
+	}
+	less := func(a, b string) bool {
+		oa, ob := byName[a], byName[b]
+		if oa.Priority != ob.Priority {
+			return oa.Priority > ob.Priority
+		}
+		return declIndex[a] < declIndex[b]
+	}
+	var ready []string
+	for n, d := range indeg {
+		if d == 0 {
+			ready = append(ready, n)
+		}
+	}
+	sort.Slice(ready, func(i, j int) bool { return less(ready[i], ready[j]) })
+
+	var out []*MetaObject
+	for len(ready) > 0 {
+		n := ready[0]
+		ready = ready[1:]
+		out = append(out, byName[n])
+		changed := false
+		for _, m := range succ[n] {
+			indeg[m]--
+			if indeg[m] == 0 {
+				ready = append(ready, m)
+				changed = true
+			}
+		}
+		if changed {
+			sort.Slice(ready, func(i, j int) bool { return less(ready[i], ready[j]) })
+		}
+	}
+	if len(out) != len(objs) {
+		return nil, ErrOrderCycle
+	}
+	return out, nil
+}
+
+// Order returns the execution order of wrapper names.
+func (c *Chain) Order() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, len(c.ordered))
+	for i, o := range c.ordered {
+		names[i] = o.Name
+	}
+	return names
+}
+
+// Insert adds a wrapper and recomposes; on validation failure the chain is
+// unchanged.
+func (c *Chain) Insert(o *MetaObject) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.objects = append(c.objects, o)
+	if err := c.recompose(); err != nil {
+		c.objects = c.objects[:len(c.objects)-1]
+		// Restore previous order (recompose of the old set cannot fail).
+		_ = c.recompose()
+		return err
+	}
+	return nil
+}
+
+// Remove detaches a wrapper; mandatory wrappers are refused.
+func (c *Chain) Remove(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, o := range c.objects {
+		if o.Name != name {
+			continue
+		}
+		if o.Props.Has(Mandatory) {
+			return fmt.Errorf("%w: %s", ErrMandatory, name)
+		}
+		c.objects = append(c.objects[:i], c.objects[i+1:]...)
+		return c.recompose()
+	}
+	return fmt.Errorf("%w: %s", ErrUnknown, name)
+}
+
+// Execute runs m through the chain, ending at base. Conditional wrappers
+// whose condition fails are skipped; wrappers without the Modificatory
+// property receive a copy of the message, so only modificatory wrappers can
+// affect what downstream sees.
+func (c *Chain) Execute(m *bus.Message, base func(*bus.Message) error) error {
+	c.mu.RLock()
+	chain := append([]*MetaObject(nil), c.ordered...)
+	c.mu.RUnlock()
+	return execute(chain, m, base)
+}
+
+func execute(chain []*MetaObject, m *bus.Message, base func(*bus.Message) error) error {
+	if len(chain) == 0 {
+		return base(m)
+	}
+	o := chain[0]
+	next := func(mm *bus.Message) error { return execute(chain[1:], mm, base) }
+
+	if o.Props.Has(Conditional) && !o.Cond(m) {
+		return next(m)
+	}
+	if !o.Props.Has(Modificatory) {
+		// Non-modificatory wrappers see a private copy; downstream
+		// continues with the original.
+		cp := *m
+		return o.Invoke(&cp, func(*bus.Message) error { return next(m) })
+	}
+	return o.Invoke(m, next)
+}

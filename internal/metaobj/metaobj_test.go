@@ -1,0 +1,272 @@
+package metaobj
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/bus"
+)
+
+func passThrough(name string, trace *[]string) *MetaObject {
+	return &MetaObject{
+		Name:  name,
+		Props: Modificatory,
+		Invoke: func(m *bus.Message, next func(*bus.Message) error) error {
+			*trace = append(*trace, name)
+			return next(m)
+		},
+	}
+}
+
+func TestComposeAndExecuteInOrder(t *testing.T) {
+	var trace []string
+	c, err := Compose(passThrough("a", &trace), passThrough("b", &trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := func(*bus.Message) error { trace = append(trace, "base"); return nil }
+	if err := c.Execute(&bus.Message{}, base); err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 3 || trace[0] != "a" || trace[1] != "b" || trace[2] != "base" {
+		t.Fatalf("trace = %v", trace)
+	}
+}
+
+func TestPriorityOrdersUnconstrained(t *testing.T) {
+	var trace []string
+	lo := passThrough("lo", &trace)
+	hi := passThrough("hi", &trace)
+	hi.Priority = 10
+	c, err := Compose(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order := c.Order(); order[0] != "hi" || order[1] != "lo" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestBeforeAfterConstraints(t *testing.T) {
+	var trace []string
+	a := passThrough("a", &trace)
+	b := passThrough("b", &trace)
+	z := passThrough("z", &trace)
+	// Despite lower priority, z demands to run before a.
+	z.Before = []string{"a"}
+	a.Priority = 100
+	c, err := Compose(a, b, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := c.Order()
+	posA, posZ := index(order, "a"), index(order, "z")
+	if posZ > posA {
+		t.Fatalf("order = %v: z must precede a", order)
+	}
+	// After constraint.
+	var trace2 []string
+	x := passThrough("x", &trace2)
+	y := passThrough("y", &trace2)
+	x.After = []string{"y"}
+	x.Priority = 100
+	c2, err := Compose(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order := c2.Order(); order[0] != "y" {
+		t.Fatalf("order = %v: y must precede x", order)
+	}
+}
+
+func index(ss []string, s string) int {
+	for i, v := range ss {
+		if v == s {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestOrderCycleRejected(t *testing.T) {
+	var trace []string
+	a := passThrough("a", &trace)
+	b := passThrough("b", &trace)
+	a.Before = []string{"b"}
+	b.Before = []string{"a"}
+	if _, err := Compose(a, b); !errors.Is(err, ErrOrderCycle) {
+		t.Fatalf("err = %v, want ErrOrderCycle", err)
+	}
+}
+
+func TestExclusiveConflict(t *testing.T) {
+	var trace []string
+	a := passThrough("a", &trace)
+	b := passThrough("b", &trace)
+	a.Props |= Exclusive
+	b.Props |= Exclusive
+	if _, err := Compose(a, b); !errors.Is(err, ErrExclusiveConflict) {
+		t.Fatalf("err = %v, want ErrExclusiveConflict", err)
+	}
+	// A single exclusive wrapper is fine.
+	if _, err := Compose(a); err != nil {
+		t.Fatalf("single exclusive rejected: %v", err)
+	}
+}
+
+func TestMandatoryCannotBeRemoved(t *testing.T) {
+	var trace []string
+	m := passThrough("m", &trace)
+	m.Props |= Mandatory
+	c, err := Compose(m, passThrough("opt", &trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Remove("m"); !errors.Is(err, ErrMandatory) {
+		t.Fatalf("err = %v, want ErrMandatory", err)
+	}
+	if err := c.Remove("opt"); err != nil {
+		t.Fatalf("optional removal failed: %v", err)
+	}
+	if err := c.Remove("ghost"); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("err = %v, want ErrUnknown", err)
+	}
+}
+
+func TestConditionalSkipped(t *testing.T) {
+	ran := false
+	cond := &MetaObject{
+		Name:  "cond",
+		Props: Conditional | Modificatory,
+		Cond:  func(m *bus.Message) bool { return m.Op == "yes" },
+		Invoke: func(m *bus.Message, next func(*bus.Message) error) error {
+			ran = true
+			return next(m)
+		},
+	}
+	c, err := Compose(cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := func(*bus.Message) error { return nil }
+	if err := c.Execute(&bus.Message{Op: "no"}, base); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("conditional wrapper ran despite false condition")
+	}
+	if err := c.Execute(&bus.Message{Op: "yes"}, base); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("conditional wrapper skipped despite true condition")
+	}
+}
+
+func TestConditionalRequiresCond(t *testing.T) {
+	bad := &MetaObject{
+		Name:   "bad",
+		Props:  Conditional,
+		Invoke: func(m *bus.Message, next func(*bus.Message) error) error { return next(m) },
+	}
+	if _, err := Compose(bad); err == nil {
+		t.Fatal("conditional without Cond should fail")
+	}
+}
+
+func TestNonModificatoryChangesDoNotLeak(t *testing.T) {
+	observer := &MetaObject{
+		Name: "observer", // not Modificatory
+		Invoke: func(m *bus.Message, next func(*bus.Message) error) error {
+			m.Op = "tampered"
+			return next(m)
+		},
+	}
+	var seenOp string
+	c, err := Compose(observer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.Execute(&bus.Message{Op: "orig"}, func(m *bus.Message) error {
+		seenOp = m.Op
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seenOp != "orig" {
+		t.Fatalf("non-modificatory change leaked: base saw %q", seenOp)
+	}
+}
+
+func TestModificatoryChangesPropagate(t *testing.T) {
+	mod := &MetaObject{
+		Name:  "mod",
+		Props: Modificatory,
+		Invoke: func(m *bus.Message, next func(*bus.Message) error) error {
+			m.Op = "rewritten"
+			return next(m)
+		},
+	}
+	var seenOp string
+	c, _ := Compose(mod)
+	_ = c.Execute(&bus.Message{Op: "orig"}, func(m *bus.Message) error {
+		seenOp = m.Op
+		return nil
+	})
+	if seenOp != "rewritten" {
+		t.Fatalf("modificatory change lost: base saw %q", seenOp)
+	}
+}
+
+func TestWrapperCanAbort(t *testing.T) {
+	abort := errors.New("aborted")
+	guard := &MetaObject{
+		Name:  "guard",
+		Props: Modificatory,
+		Invoke: func(m *bus.Message, next func(*bus.Message) error) error {
+			return abort // never calls next
+		},
+	}
+	reached := false
+	c, _ := Compose(guard)
+	err := c.Execute(&bus.Message{}, func(*bus.Message) error { reached = true; return nil })
+	if !errors.Is(err, abort) || reached {
+		t.Fatalf("err=%v reached=%v", err, reached)
+	}
+}
+
+func TestInsertRevalidates(t *testing.T) {
+	var trace []string
+	c, err := Compose(passThrough("a", &trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inserting a second exclusive-less wrapper works.
+	if err := c.Insert(passThrough("b", &trace)); err != nil {
+		t.Fatal(err)
+	}
+	// Inserting a duplicate fails and leaves the chain intact.
+	if err := c.Insert(passThrough("b", &trace)); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := len(c.Order()); got != 2 {
+		t.Fatalf("chain length after failed insert = %d, want 2", got)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	if _, err := Compose(&MetaObject{Name: "x"}); err == nil {
+		t.Error("missing Invoke should fail")
+	}
+	if _, err := Compose(&MetaObject{Invoke: func(m *bus.Message, n func(*bus.Message) error) error { return n(m) }}); err == nil {
+		t.Error("missing name should fail")
+	}
+}
+
+func TestPropsHas(t *testing.T) {
+	p := Conditional | Mandatory
+	if !p.Has(Conditional) || !p.Has(Mandatory) || p.Has(Exclusive) {
+		t.Error("Props.Has broken")
+	}
+}

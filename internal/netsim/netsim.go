@@ -1,0 +1,277 @@
+// Package netsim simulates the distributed infrastructure the paper's
+// motivating scenario runs on: "the new multimedia telecom services …
+// deployed optimally on network equipments, … adapted to the available
+// resources and … reconfigured automatically according to user's mobility"
+// (introduction). It provides regions, nodes with capacity/load/failure
+// state, an inter-region latency model with seeded jitter, and workload
+// traces (diurnal rush hour, spikes, random walks) — all deterministic
+// under a fixed seed, which is what makes the scenario experiments
+// reproducible. This simulator is the documented substitution for the
+// physical testbed the paper does not describe (DESIGN.md §1).
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Region names a geographic area.
+type Region string
+
+// NodeID identifies a node ("network equipment").
+type NodeID string
+
+// Node is one hardware host.
+type Node struct {
+	ID       NodeID
+	Region   Region
+	Capacity float64 // resource units available
+	Secure   bool    // satisfies security-constrained placements
+
+	mu     sync.Mutex
+	load   float64
+	failed bool
+}
+
+// Load returns the current committed load.
+func (n *Node) Load() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.load
+}
+
+// Utilization returns load/capacity (0 when capacity is 0).
+func (n *Node) Utilization() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.Capacity == 0 {
+		return 0
+	}
+	return n.load / n.Capacity
+}
+
+// Failed reports whether the node is down.
+func (n *Node) Failed() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.failed
+}
+
+// Topology errors.
+var (
+	ErrNodeExists   = errors.New("netsim: node already exists")
+	ErrUnknownNode  = errors.New("netsim: unknown node")
+	ErrOverCapacity = errors.New("netsim: allocation exceeds capacity")
+	ErrNodeDown     = errors.New("netsim: node is down")
+)
+
+// Topology is the simulated network. All randomness (jitter) flows from the
+// seed given to New.
+type Topology struct {
+	mu            sync.Mutex
+	nodes         map[NodeID]*Node
+	regionLatency map[regionPair]time.Duration
+	intraLatency  time.Duration
+	jitterFrac    float64
+	rng           *rand.Rand
+}
+
+type regionPair struct{ a, b Region }
+
+func normPair(a, b Region) regionPair {
+	if b < a {
+		a, b = b, a
+	}
+	return regionPair{a, b}
+}
+
+// New creates a topology. intraLatency is the node-to-node latency within a
+// region; jitterFrac (e.g. 0.1) adds ±10% seeded jitter to every latency
+// query.
+func New(seed int64, intraLatency time.Duration, jitterFrac float64) *Topology {
+	return &Topology{
+		nodes:         map[NodeID]*Node{},
+		regionLatency: map[regionPair]time.Duration{},
+		intraLatency:  intraLatency,
+		jitterFrac:    jitterFrac,
+		rng:           rand.New(rand.NewSource(seed)),
+	}
+}
+
+// AddNode registers a node.
+func (t *Topology) AddNode(id NodeID, region Region, capacity float64, secure bool) (*Node, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.nodes[id]; dup {
+		return nil, fmt.Errorf("%w: %s", ErrNodeExists, id)
+	}
+	n := &Node{ID: id, Region: region, Capacity: capacity, Secure: secure}
+	t.nodes[id] = n
+	return n, nil
+}
+
+// SetRegionLatency declares the symmetric base latency between two regions.
+func (t *Topology) SetRegionLatency(a, b Region, d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.regionLatency[normPair(a, b)] = d
+}
+
+// Node returns the node or ErrUnknownNode.
+func (t *Topology) Node(id NodeID) (*Node, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n, ok := t.nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownNode, id)
+	}
+	return n, nil
+}
+
+// Nodes returns all nodes sorted by ID.
+func (t *Topology) Nodes() []*Node {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Node, 0, len(t.nodes))
+	for _, n := range t.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// NodesInRegion returns the region's nodes sorted by ID.
+func (t *Topology) NodesInRegion(r Region) []*Node {
+	var out []*Node
+	for _, n := range t.Nodes() {
+		if n.Region == r {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// BaseLatency returns the latency between two nodes without jitter: the
+// intra-region latency when colocated, otherwise the declared region pair
+// latency (or 10× intra if undeclared).
+func (t *Topology) BaseLatency(a, b NodeID) (time.Duration, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	na, ok := t.nodes[a]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownNode, a)
+	}
+	nb, ok := t.nodes[b]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownNode, b)
+	}
+	if na.Region == nb.Region {
+		if a == b {
+			return 0, nil
+		}
+		return t.intraLatency, nil
+	}
+	if d, ok := t.regionLatency[normPair(na.Region, nb.Region)]; ok {
+		return d, nil
+	}
+	return 10 * t.intraLatency, nil
+}
+
+// Latency returns BaseLatency plus seeded jitter.
+func (t *Topology) Latency(a, b NodeID) (time.Duration, error) {
+	base, err := t.BaseLatency(a, b)
+	if err != nil {
+		return 0, err
+	}
+	if t.jitterFrac <= 0 || base == 0 {
+		return base, nil
+	}
+	t.mu.Lock()
+	j := (t.rng.Float64()*2 - 1) * t.jitterFrac
+	t.mu.Unlock()
+	return time.Duration(float64(base) * (1 + j)), nil
+}
+
+// Allocate commits load units on a node; it fails on capacity overflow or a
+// down node.
+func (t *Topology) Allocate(id NodeID, units float64) error {
+	n, err := t.Node(id)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.failed {
+		return fmt.Errorf("%w: %s", ErrNodeDown, id)
+	}
+	if n.load+units > n.Capacity {
+		return fmt.Errorf("%w: %s (%.1f+%.1f > %.1f)", ErrOverCapacity, id, n.load, units, n.Capacity)
+	}
+	n.load += units
+	return nil
+}
+
+// Release frees load units on a node (floored at zero).
+func (t *Topology) Release(id NodeID, units float64) error {
+	n, err := t.Node(id)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.load -= units
+	if n.load < 0 {
+		n.load = 0
+	}
+	return nil
+}
+
+// Fail marks a node down.
+func (t *Topology) Fail(id NodeID) error {
+	n, err := t.Node(id)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.failed = true
+	return nil
+}
+
+// Recover marks a node up.
+func (t *Topology) Recover(id NodeID) error {
+	n, err := t.Node(id)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.failed = false
+	return nil
+}
+
+// LoadStdDev returns the standard deviation of node utilizations — the
+// load-balance score used by the deployment experiments (lower is better).
+func (t *Topology) LoadStdDev() float64 {
+	nodes := t.Nodes()
+	if len(nodes) == 0 {
+		return 0
+	}
+	var sum float64
+	utils := make([]float64, len(nodes))
+	for i, n := range nodes {
+		utils[i] = n.Utilization()
+		sum += utils[i]
+	}
+	mean := sum / float64(len(utils))
+	var ss float64
+	for _, u := range utils {
+		ss += (u - mean) * (u - mean)
+	}
+	return math.Sqrt(ss / float64(len(utils)))
+}

@@ -1,0 +1,221 @@
+package netsim
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+func topo(t *testing.T) *Topology {
+	t.Helper()
+	tp := New(42, time.Millisecond, 0)
+	mustAdd := func(id NodeID, r Region, cap float64, secure bool) {
+		if _, err := tp.AddNode(id, r, cap, secure); err != nil {
+			t.Fatalf("add %s: %v", id, err)
+		}
+	}
+	mustAdd("eu-1", "eu", 100, true)
+	mustAdd("eu-2", "eu", 100, false)
+	mustAdd("us-1", "us", 200, false)
+	tp.SetRegionLatency("eu", "us", 80*time.Millisecond)
+	return tp
+}
+
+func TestAddNodeDuplicate(t *testing.T) {
+	tp := topo(t)
+	if _, err := tp.AddNode("eu-1", "eu", 1, false); !errors.Is(err, ErrNodeExists) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLatencyModel(t *testing.T) {
+	tp := topo(t)
+	if d, err := tp.BaseLatency("eu-1", "eu-1"); err != nil || d != 0 {
+		t.Fatalf("self latency = %v %v", d, err)
+	}
+	if d, _ := tp.BaseLatency("eu-1", "eu-2"); d != time.Millisecond {
+		t.Fatalf("intra = %v", d)
+	}
+	if d, _ := tp.BaseLatency("eu-1", "us-1"); d != 80*time.Millisecond {
+		t.Fatalf("inter = %v", d)
+	}
+	if d, _ := tp.BaseLatency("us-1", "eu-1"); d != 80*time.Millisecond {
+		t.Fatalf("latency not symmetric: %v", d)
+	}
+	if _, err := tp.BaseLatency("eu-1", "ghost"); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUndeclaredRegionPairDefaults(t *testing.T) {
+	tp := New(1, time.Millisecond, 0)
+	_, _ = tp.AddNode("a", "r1", 1, false)
+	_, _ = tp.AddNode("b", "r2", 1, false)
+	if d, _ := tp.BaseLatency("a", "b"); d != 10*time.Millisecond {
+		t.Fatalf("default inter-region = %v, want 10ms", d)
+	}
+}
+
+func TestJitterBoundedAndDeterministic(t *testing.T) {
+	mk := func() []time.Duration {
+		tp := New(7, time.Millisecond, 0.1)
+		_, _ = tp.AddNode("a", "eu", 1, false)
+		_, _ = tp.AddNode("b", "us", 1, false)
+		tp.SetRegionLatency("eu", "us", 100*time.Millisecond)
+		var out []time.Duration
+		for i := 0; i < 50; i++ {
+			d, err := tp.Latency("a", "b")
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, d)
+		}
+		return out
+	}
+	run1, run2 := mk(), mk()
+	for i := range run1 {
+		if run1[i] != run2[i] {
+			t.Fatal("jitter not deterministic under same seed")
+		}
+		lo, hi := 90*time.Millisecond, 110*time.Millisecond
+		if run1[i] < lo || run1[i] > hi {
+			t.Fatalf("jittered latency %v outside ±10%%", run1[i])
+		}
+	}
+}
+
+func TestAllocateReleaseCapacity(t *testing.T) {
+	tp := topo(t)
+	if err := tp.Allocate("eu-1", 60); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Allocate("eu-1", 60); !errors.Is(err, ErrOverCapacity) {
+		t.Fatalf("err = %v", err)
+	}
+	n, _ := tp.Node("eu-1")
+	if n.Load() != 60 || math.Abs(n.Utilization()-0.6) > 1e-9 {
+		t.Fatalf("load=%v util=%v", n.Load(), n.Utilization())
+	}
+	if err := tp.Release("eu-1", 100); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 0 {
+		t.Fatalf("release floor failed: %v", n.Load())
+	}
+}
+
+func TestFailRecover(t *testing.T) {
+	tp := topo(t)
+	if err := tp.Fail("eu-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Allocate("eu-1", 1); !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("err = %v", err)
+	}
+	n, _ := tp.Node("eu-1")
+	if !n.Failed() {
+		t.Fatal("node should be failed")
+	}
+	if err := tp.Recover("eu-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Allocate("eu-1", 1); err != nil {
+		t.Fatalf("recovered node rejects allocation: %v", err)
+	}
+}
+
+func TestNodesSortedAndRegionFilter(t *testing.T) {
+	tp := topo(t)
+	nodes := tp.Nodes()
+	if len(nodes) != 3 || nodes[0].ID != "eu-1" || nodes[2].ID != "us-1" {
+		t.Fatalf("nodes = %v", nodes)
+	}
+	eu := tp.NodesInRegion("eu")
+	if len(eu) != 2 {
+		t.Fatalf("eu nodes = %d", len(eu))
+	}
+}
+
+func TestLoadStdDev(t *testing.T) {
+	tp := topo(t)
+	if sd := tp.LoadStdDev(); sd != 0 {
+		t.Fatalf("idle stddev = %v", sd)
+	}
+	_ = tp.Allocate("eu-1", 100) // util 1.0, others 0
+	if sd := tp.LoadStdDev(); sd < 0.4 {
+		t.Fatalf("imbalanced stddev = %v, want high", sd)
+	}
+}
+
+func TestDiurnalTrace(t *testing.T) {
+	d := Diurnal{Base: 10, Peak: 100, Period: 24 * time.Hour, PeakAt: 18 * time.Hour, Sharpness: 4}
+	peak := d.At(18 * time.Hour)
+	if math.Abs(peak-110) > 1e-9 {
+		t.Fatalf("peak = %v, want 110", peak)
+	}
+	trough := d.At(6 * time.Hour) // opposite phase: clipped to base
+	if math.Abs(trough-10) > 1e-9 {
+		t.Fatalf("trough = %v, want 10", trough)
+	}
+	if d.At(17*time.Hour) <= d.At(12*time.Hour) {
+		t.Fatal("intensity should rise toward the peak")
+	}
+	// Periodicity.
+	if math.Abs(d.At(18*time.Hour)-d.At(42*time.Hour)) > 1e-9 {
+		t.Fatal("trace not periodic")
+	}
+}
+
+func TestSpikesTrace(t *testing.T) {
+	s := Spikes{Base: 5, Height: 50, Interval: time.Minute, Width: time.Second}
+	if s.At(0) != 55 {
+		t.Fatalf("spike start = %v", s.At(0))
+	}
+	if s.At(30*time.Second) != 5 {
+		t.Fatalf("off-spike = %v", s.At(30*time.Second))
+	}
+	if s.At(time.Minute) != 55 {
+		t.Fatalf("next spike = %v", s.At(time.Minute))
+	}
+}
+
+func TestStepTrace(t *testing.T) {
+	s := Step{Levels: []float64{1, 2, 3}, Every: time.Second}
+	cases := map[time.Duration]float64{
+		0: 1, 999 * time.Millisecond: 1, time.Second: 2, 2500 * time.Millisecond: 3,
+		time.Hour: 3, // last level persists
+	}
+	for at, want := range cases {
+		if got := s.At(at); got != want {
+			t.Errorf("At(%v) = %v, want %v", at, got, want)
+		}
+	}
+	if (Step{}).At(0) != 0 {
+		t.Error("empty step trace should be 0")
+	}
+}
+
+func TestRandomWalkDeterministicAndBounded(t *testing.T) {
+	w := RandomWalk{Seed: 3, Start: 50, StepStd: 10, Min: 0, Max: 100, Tick: time.Second}
+	for i := 0; i < 200; i++ {
+		at := time.Duration(i) * time.Second
+		v := w.At(at)
+		if v < 0 || v > 100 {
+			t.Fatalf("walk escaped bounds: %v", v)
+		}
+		if v2 := w.At(at); v2 != v {
+			t.Fatal("At is not pure")
+		}
+	}
+}
+
+func TestSumAndScaled(t *testing.T) {
+	tr := Sum{
+		Step{Levels: []float64{10}},
+		Scaled{Trace: Step{Levels: []float64{4}}, Factor: 2.5},
+	}
+	if got := tr.At(0); got != 20 {
+		t.Fatalf("sum = %v, want 20", got)
+	}
+}

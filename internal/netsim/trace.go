@@ -1,0 +1,155 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Trace is a deterministic workload intensity function of simulated time —
+// the "fluctuation of available resources" and "rush hours" the paper's
+// adaptation scenarios react to.
+type Trace interface {
+	// At returns the workload intensity at offset t from the start.
+	At(t time.Duration) float64
+}
+
+// Diurnal is a day-cycle trace with a rush-hour bulge: intensity is Base
+// plus Peak scaled by a clipped, sharpened sinusoid centered on PeakAt
+// within each Period.
+type Diurnal struct {
+	Base   float64
+	Peak   float64
+	Period time.Duration // e.g. 24h (or compressed for simulation)
+	PeakAt time.Duration // offset of the rush hour within the period
+	// Sharpness >= 1 narrows the bulge; 1 gives a plain half-sine.
+	Sharpness float64
+}
+
+var _ Trace = Diurnal{}
+
+// At implements Trace.
+func (d Diurnal) At(t time.Duration) float64 {
+	if d.Period <= 0 {
+		return d.Base
+	}
+	phase := 2 * math.Pi * float64(t-d.PeakAt) / float64(d.Period)
+	s := math.Cos(phase) // 1 at the peak
+	if s < 0 {
+		s = 0
+	}
+	sharp := d.Sharpness
+	if sharp < 1 {
+		sharp = 1
+	}
+	return d.Base + d.Peak*math.Pow(s, sharp)
+}
+
+// Spikes adds rectangular bursts of the given Height and Width every
+// Interval on top of Base.
+type Spikes struct {
+	Base     float64
+	Height   float64
+	Interval time.Duration
+	Width    time.Duration
+}
+
+var _ Trace = Spikes{}
+
+// At implements Trace.
+func (s Spikes) At(t time.Duration) float64 {
+	if s.Interval <= 0 {
+		return s.Base
+	}
+	into := t % s.Interval
+	if into < s.Width {
+		return s.Base + s.Height
+	}
+	return s.Base
+}
+
+// Step changes level at fixed boundaries: Levels[i] holds from
+// i*Every to (i+1)*Every; the last level persists.
+type Step struct {
+	Levels []float64
+	Every  time.Duration
+}
+
+var _ Trace = Step{}
+
+// At implements Trace.
+func (s Step) At(t time.Duration) float64 {
+	if len(s.Levels) == 0 {
+		return 0
+	}
+	if s.Every <= 0 {
+		return s.Levels[0]
+	}
+	i := int(t / s.Every)
+	if i >= len(s.Levels) {
+		i = len(s.Levels) - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	return s.Levels[i]
+}
+
+// RandomWalk is a seeded bounded random walk sampled at Tick granularity;
+// the same seed always yields the same trajectory, and At is pure (it
+// replays the walk deterministically).
+type RandomWalk struct {
+	Seed     int64
+	Start    float64
+	StepStd  float64
+	Min, Max float64
+	Tick     time.Duration
+}
+
+var _ Trace = RandomWalk{}
+
+// At implements Trace.
+func (w RandomWalk) At(t time.Duration) float64 {
+	tick := w.Tick
+	if tick <= 0 {
+		tick = time.Second
+	}
+	n := int(t / tick)
+	rng := rand.New(rand.NewSource(w.Seed))
+	v := w.Start
+	for i := 0; i < n; i++ {
+		v += rng.NormFloat64() * w.StepStd
+		if v < w.Min {
+			v = w.Min
+		}
+		if w.Max > w.Min && v > w.Max {
+			v = w.Max
+		}
+	}
+	return v
+}
+
+// Sum superimposes traces.
+type Sum []Trace
+
+var _ Trace = Sum{}
+
+// At implements Trace.
+func (ts Sum) At(t time.Duration) float64 {
+	total := 0.0
+	for _, tr := range ts {
+		total += tr.At(t)
+	}
+	return total
+}
+
+// Scaled multiplies a trace by a factor.
+type Scaled struct {
+	Trace  Trace
+	Factor float64
+}
+
+var _ Trace = Scaled{}
+
+// At implements Trace.
+func (s Scaled) At(t time.Duration) float64 { return s.Factor * s.Trace.At(t) }

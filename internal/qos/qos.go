@@ -1,0 +1,297 @@
+// Package qos models quality-of-service contracts and run-time monitors —
+// the substrate behind the paper's requirement that "systems should also
+// keep compliant with the contracted quality of service" and behind the
+// quality-aware middleware it cites ([Blair00], [Berg00]).
+//
+// A Contract bounds statistics over QoS dimensions; a Monitor ingests
+// timestamped samples into sliding windows and evaluates contracts,
+// producing violation reports that the RAML uses as adaptation triggers.
+package qos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// Dimension is a QoS dimension.
+type Dimension int
+
+// The QoS dimensions used across the framework.
+const (
+	Latency Dimension = iota + 1
+	Throughput
+	Availability
+	Jitter
+	Loss
+)
+
+var dimNames = map[Dimension]string{
+	Latency:      "latency",
+	Throughput:   "throughput",
+	Availability: "availability",
+	Jitter:       "jitter",
+	Loss:         "loss",
+}
+
+// String implements fmt.Stringer.
+func (d Dimension) String() string {
+	if s, ok := dimNames[d]; ok {
+		return s
+	}
+	return "unknown"
+}
+
+// Stat selects the statistic a bound constrains.
+type Stat int
+
+// Statistics computable over a window.
+const (
+	Mean Stat = iota + 1
+	P50
+	P95
+	P99
+	Max
+	Min
+	Rate // samples per second over the window span
+)
+
+var statNames = map[Stat]string{
+	Mean: "mean", P50: "p50", P95: "p95", P99: "p99", Max: "max", Min: "min", Rate: "rate",
+}
+
+// String implements fmt.Stringer.
+func (s Stat) String() string {
+	if n, ok := statNames[s]; ok {
+		return n
+	}
+	return "unknown"
+}
+
+// Bound is one clause of a contract: the statistic of a dimension must stay
+// below (Upper) or above (lower) the limit.
+type Bound struct {
+	Dimension Dimension
+	Stat      Stat
+	Limit     float64
+	Upper     bool // true: observed must be <= Limit; false: >= Limit
+}
+
+// String renders e.g. "latency.p95 <= 0.050".
+func (b Bound) String() string {
+	op := ">="
+	if b.Upper {
+		op = "<="
+	}
+	return fmt.Sprintf("%s.%s %s %g", b.Dimension, b.Stat, op, b.Limit)
+}
+
+// Contract is a named set of bounds ("the contracted quality of service").
+type Contract struct {
+	Name   string
+	Bounds []Bound
+}
+
+// Violation reports one bound whose observed statistic breaks the limit.
+type Violation struct {
+	Bound    Bound
+	Observed float64
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s (observed %g)", v.Bound, v.Observed)
+}
+
+// Report is the result of evaluating a contract against a monitor.
+type Report struct {
+	Contract   string
+	At         time.Time
+	Compliant  bool
+	Violations []Violation
+}
+
+// String implements fmt.Stringer.
+func (r Report) String() string {
+	if r.Compliant {
+		return r.Contract + ": compliant"
+	}
+	parts := make([]string, len(r.Violations))
+	for i, v := range r.Violations {
+		parts[i] = v.String()
+	}
+	return r.Contract + ": VIOLATED [" + strings.Join(parts, "; ") + "]"
+}
+
+type sample struct {
+	at time.Time
+	v  float64
+}
+
+// Monitor keeps sliding windows of samples per dimension. It is safe for
+// concurrent use.
+type Monitor struct {
+	clk    clock.Clock
+	window time.Duration
+	maxN   int
+
+	mu      sync.Mutex
+	samples map[Dimension][]sample
+}
+
+// NewMonitor builds a monitor keeping at most maxN samples per dimension
+// within the trailing window. Zero values get sane defaults (10s window,
+// 4096 samples).
+func NewMonitor(clk clock.Clock, window time.Duration, maxN int) *Monitor {
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	if window <= 0 {
+		window = 10 * time.Second
+	}
+	if maxN <= 0 {
+		maxN = 4096
+	}
+	return &Monitor{clk: clk, window: window, maxN: maxN, samples: map[Dimension][]sample{}}
+}
+
+// Record ingests one sample for d.
+func (m *Monitor) Record(d Dimension, v float64) {
+	now := m.clk.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := append(m.samples[d], sample{at: now, v: v})
+	s = m.trimLocked(s, now)
+	m.samples[d] = s
+}
+
+func (m *Monitor) trimLocked(s []sample, now time.Time) []sample {
+	cutoff := now.Add(-m.window)
+	i := 0
+	for i < len(s) && s[i].at.Before(cutoff) {
+		i++
+	}
+	s = s[i:]
+	if len(s) > m.maxN {
+		s = s[len(s)-m.maxN:]
+	}
+	return s
+}
+
+// Count returns the number of live samples for d.
+func (m *Monitor) Count(d Dimension) int {
+	now := m.clk.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.samples[d] = m.trimLocked(m.samples[d], now)
+	return len(m.samples[d])
+}
+
+// Stat computes the statistic for d over the live window. ok is false when
+// the window is empty.
+func (m *Monitor) Stat(d Dimension, st Stat) (float64, bool) {
+	now := m.clk.Now()
+	m.mu.Lock()
+	s := m.trimLocked(m.samples[d], now)
+	m.samples[d] = s
+	vals := make([]float64, len(s))
+	for i, smp := range s {
+		vals[i] = smp.v
+	}
+	var span time.Duration
+	if len(s) > 1 {
+		span = s[len(s)-1].at.Sub(s[0].at)
+	}
+	m.mu.Unlock()
+
+	if len(vals) == 0 {
+		return 0, false
+	}
+	switch st {
+	case Mean:
+		sum := 0.0
+		for _, v := range vals {
+			sum += v
+		}
+		return sum / float64(len(vals)), true
+	case P50:
+		return percentile(vals, 0.50), true
+	case P95:
+		return percentile(vals, 0.95), true
+	case P99:
+		return percentile(vals, 0.99), true
+	case Max:
+		max := vals[0]
+		for _, v := range vals {
+			if v > max {
+				max = v
+			}
+		}
+		return max, true
+	case Min:
+		min := vals[0]
+		for _, v := range vals {
+			if v < min {
+				min = v
+			}
+		}
+		return min, true
+	case Rate:
+		if span <= 0 {
+			return 0, false
+		}
+		return float64(len(vals)-1) / span.Seconds(), true
+	default:
+		return 0, false
+	}
+}
+
+// percentile computes the nearest-rank percentile of vals (copied, sorted).
+func percentile(vals []float64, p float64) float64 {
+	cp := append([]float64(nil), vals...)
+	sort.Float64s(cp)
+	if p <= 0 {
+		return cp[0]
+	}
+	if p >= 1 {
+		return cp[len(cp)-1]
+	}
+	rank := int(p*float64(len(cp)-1) + 0.5)
+	return cp[rank]
+}
+
+// Snapshot exports every dimension's mean/p95/max as a flat metric map
+// ("latency.p95" etc.) for the strategy and trigger layers.
+func (m *Monitor) Snapshot() map[string]float64 {
+	out := map[string]float64{}
+	for d := range dimNames {
+		for _, st := range []Stat{Mean, P95, Max} {
+			if v, ok := m.Stat(d, st); ok {
+				out[d.String()+"."+st.String()] = v
+			}
+		}
+	}
+	return out
+}
+
+// Evaluate checks every bound of c against the live windows. Bounds over
+// empty windows are skipped (no data is not a violation).
+func (m *Monitor) Evaluate(c Contract) Report {
+	rep := Report{Contract: c.Name, At: m.clk.Now(), Compliant: true}
+	for _, b := range c.Bounds {
+		obs, ok := m.Stat(b.Dimension, b.Stat)
+		if !ok {
+			continue
+		}
+		broken := (b.Upper && obs > b.Limit) || (!b.Upper && obs < b.Limit)
+		if broken {
+			rep.Compliant = false
+			rep.Violations = append(rep.Violations, Violation{Bound: b, Observed: obs})
+		}
+	}
+	return rep
+}

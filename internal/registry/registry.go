@@ -1,0 +1,299 @@
+// Package registry implements the versioned component/interface registry.
+// It encodes the paper's "Interface modification" change class (§1): "The
+// signatures of the provided services are modified and extended while
+// keeping the compliancy with previous versions." Compliance between
+// interface versions is checked structurally, and component implementations
+// are registered per interface so the RAML can look up compatible
+// replacements at run time (experiment E11).
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// TypeName is a nominal payload type used in service signatures.
+type TypeName string
+
+// Signature describes one provided operation.
+type Signature struct {
+	Name    string
+	Params  []TypeName
+	Results []TypeName
+}
+
+// String renders "name(p1,p2)->(r1)".
+func (s Signature) String() string {
+	return fmt.Sprintf("%s(%s)->(%s)", s.Name, joinTypes(s.Params), joinTypes(s.Results))
+}
+
+func joinTypes(ts []TypeName) string {
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = string(t)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Version is a two-component interface version.
+type Version struct {
+	Major int
+	Minor int
+}
+
+// String renders "major.minor".
+func (v Version) String() string { return strconv.Itoa(v.Major) + "." + strconv.Itoa(v.Minor) }
+
+// Less orders versions lexicographically.
+func (v Version) Less(o Version) bool {
+	if v.Major != o.Major {
+		return v.Major < o.Major
+	}
+	return v.Minor < o.Minor
+}
+
+// ParseVersion parses "1.2".
+func ParseVersion(s string) (Version, error) {
+	major, minor, ok := strings.Cut(s, ".")
+	if !ok {
+		return Version{}, fmt.Errorf("registry: version %q: want major.minor", s)
+	}
+	ma, err := strconv.Atoi(major)
+	if err != nil {
+		return Version{}, fmt.Errorf("registry: version %q: %w", s, err)
+	}
+	mi, err := strconv.Atoi(minor)
+	if err != nil {
+		return Version{}, fmt.Errorf("registry: version %q: %w", s, err)
+	}
+	return Version{Major: ma, Minor: mi}, nil
+}
+
+// Interface is a named, versioned set of provided operations.
+type Interface struct {
+	Name    string
+	Version Version
+	Ops     []Signature
+}
+
+// Op returns the signature with the given name.
+func (i Interface) Op(name string) (Signature, bool) {
+	for _, s := range i.Ops {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Signature{}, false
+}
+
+// OpVerdict classifies one operation in a compliance comparison.
+type OpVerdict int
+
+// Per-operation verdicts when comparing an old interface to a new one.
+const (
+	OpKept     OpVerdict = iota + 1 // identical signature
+	OpExtended                      // same params, results extended by suffix
+	OpChanged                       // incompatible signature change
+	OpRemoved                       // present in old, missing in new
+	OpAdded                         // new operation (always compliant)
+)
+
+// String implements fmt.Stringer.
+func (v OpVerdict) String() string {
+	switch v {
+	case OpKept:
+		return "kept"
+	case OpExtended:
+		return "extended"
+	case OpChanged:
+		return "changed"
+	case OpRemoved:
+		return "removed"
+	case OpAdded:
+		return "added"
+	default:
+		return "unknown"
+	}
+}
+
+// ComplianceReport details whether a new interface version keeps the
+// compliancy contract toward callers of the old version.
+type ComplianceReport struct {
+	Old, New  Version
+	Compliant bool
+	Verdicts  map[string]OpVerdict
+}
+
+// CheckCompliance reports whether callers written against old continue to
+// work against new. Rules:
+//
+//   - every old operation must exist in new with identical parameters
+//     (callers construct the arguments);
+//   - results may be extended with additional trailing values (callers read
+//     the prefix they know) but existing result positions must not change;
+//   - new operations may be added freely.
+func CheckCompliance(old, new Interface) ComplianceReport {
+	rep := ComplianceReport{Old: old.Version, New: new.Version, Compliant: true,
+		Verdicts: map[string]OpVerdict{}}
+	for _, o := range old.Ops {
+		n, ok := new.Op(o.Name)
+		if !ok {
+			rep.Verdicts[o.Name] = OpRemoved
+			rep.Compliant = false
+			continue
+		}
+		switch {
+		case !equalTypes(o.Params, n.Params):
+			rep.Verdicts[o.Name] = OpChanged
+			rep.Compliant = false
+		case equalTypes(o.Results, n.Results):
+			rep.Verdicts[o.Name] = OpKept
+		case isPrefix(o.Results, n.Results):
+			rep.Verdicts[o.Name] = OpExtended
+		default:
+			rep.Verdicts[o.Name] = OpChanged
+			rep.Compliant = false
+		}
+	}
+	for _, n := range new.Ops {
+		if _, ok := old.Op(n.Name); !ok {
+			rep.Verdicts[n.Name] = OpAdded
+		}
+	}
+	return rep
+}
+
+func equalTypes(a, b []TypeName) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func isPrefix(short, long []TypeName) bool {
+	if len(short) > len(long) {
+		return false
+	}
+	return equalTypes(short, long[:len(short)])
+}
+
+// Entry is a registered component implementation.
+type Entry struct {
+	// Name identifies the implementation (e.g. "encoder-fast").
+	Name string
+	// Version of this implementation.
+	Version Version
+	// Provides is the interface this implementation serves.
+	Provides Interface
+	// New constructs a fresh instance. The concrete type is interpreted by
+	// the runtime layer (it expects a component handler).
+	New func() any
+}
+
+// Registry errors.
+var (
+	ErrDuplicate = errors.New("registry: duplicate entry")
+	ErrNotFound  = errors.New("registry: not found")
+)
+
+// Registry stores implementations keyed by name and version. The zero value
+// is ready to use.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string][]Entry // name -> versions, sorted ascending
+}
+
+// Register adds an entry; the (Name, Version) pair must be unique.
+func (r *Registry) Register(e Entry) error {
+	if e.Name == "" {
+		return errors.New("registry: entry needs a name")
+	}
+	if e.New == nil {
+		return fmt.Errorf("registry: entry %s needs a factory", e.Name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.entries == nil {
+		r.entries = map[string][]Entry{}
+	}
+	list := r.entries[e.Name]
+	for _, ex := range list {
+		if ex.Version == e.Version {
+			return fmt.Errorf("%w: %s %s", ErrDuplicate, e.Name, e.Version)
+		}
+	}
+	list = append(list, e)
+	sort.Slice(list, func(i, j int) bool { return list[i].Version.Less(list[j].Version) })
+	r.entries[e.Name] = list
+	return nil
+}
+
+// Lookup returns the highest registered version of name.
+func (r *Registry) Lookup(name string) (Entry, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	list := r.entries[name]
+	if len(list) == 0 {
+		return Entry{}, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return list[len(list)-1], nil
+}
+
+// LookupVersion returns an exact version of name.
+func (r *Registry) LookupVersion(name string, v Version) (Entry, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, e := range r.entries[name] {
+		if e.Version == v {
+			return e, nil
+		}
+	}
+	return Entry{}, fmt.Errorf("%w: %s %s", ErrNotFound, name, v)
+}
+
+// Implementations returns every registered implementation (any name) whose
+// provided interface is caller-compatible with want — candidates the RAML
+// may swap in for a component currently serving want.
+func (r *Registry) Implementations(want Interface) []Entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []Entry
+	for _, list := range r.entries {
+		for _, e := range list {
+			if e.Provides.Name != want.Name {
+				continue
+			}
+			if CheckCompliance(want, e.Provides).Compliant {
+				out = append(out, e)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Version.Less(out[j].Version)
+	})
+	return out
+}
+
+// Names returns the sorted registered implementation names.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.entries))
+	for n := range r.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,213 @@
+package registry
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func ifaceV(v Version, ops ...Signature) Interface {
+	return Interface{Name: "svc", Version: v, Ops: ops}
+}
+
+var (
+	opGet  = Signature{Name: "get", Params: []TypeName{"id"}, Results: []TypeName{"frame"}}
+	opPut  = Signature{Name: "put", Params: []TypeName{"id", "frame"}, Results: nil}
+	opStat = Signature{Name: "stat", Params: nil, Results: []TypeName{"info"}}
+)
+
+func TestVersionParseAndOrder(t *testing.T) {
+	v, err := ParseVersion("2.10")
+	if err != nil || v != (Version{2, 10}) {
+		t.Fatalf("parse = %v, %v", v, err)
+	}
+	if !(Version{1, 9}).Less(Version{2, 0}) {
+		t.Error("1.9 should be < 2.0")
+	}
+	if !(Version{2, 0}).Less(Version{2, 1}) {
+		t.Error("2.0 should be < 2.1")
+	}
+	if (Version{2, 1}).Less(Version{2, 1}) {
+		t.Error("version not less than itself")
+	}
+	for _, bad := range []string{"", "1", "a.b", "1.x"} {
+		if _, err := ParseVersion(bad); err == nil {
+			t.Errorf("ParseVersion(%q) should fail", bad)
+		}
+	}
+}
+
+func TestComplianceKept(t *testing.T) {
+	old := ifaceV(Version{1, 0}, opGet)
+	rep := CheckCompliance(old, ifaceV(Version{1, 1}, opGet))
+	if !rep.Compliant || rep.Verdicts["get"] != OpKept {
+		t.Fatalf("identical op should be kept-compliant: %+v", rep)
+	}
+}
+
+func TestComplianceAddOp(t *testing.T) {
+	old := ifaceV(Version{1, 0}, opGet)
+	rep := CheckCompliance(old, ifaceV(Version{1, 1}, opGet, opStat))
+	if !rep.Compliant || rep.Verdicts["stat"] != OpAdded {
+		t.Fatalf("adding an op must stay compliant: %+v", rep)
+	}
+}
+
+func TestComplianceExtendResults(t *testing.T) {
+	extended := Signature{Name: "get", Params: []TypeName{"id"},
+		Results: []TypeName{"frame", "meta"}}
+	rep := CheckCompliance(ifaceV(Version{1, 0}, opGet), ifaceV(Version{1, 1}, extended))
+	if !rep.Compliant || rep.Verdicts["get"] != OpExtended {
+		t.Fatalf("extending results by suffix must stay compliant: %+v", rep)
+	}
+}
+
+func TestComplianceRemoveOpBreaks(t *testing.T) {
+	old := ifaceV(Version{1, 0}, opGet, opPut)
+	rep := CheckCompliance(old, ifaceV(Version{2, 0}, opGet))
+	if rep.Compliant || rep.Verdicts["put"] != OpRemoved {
+		t.Fatalf("removing an op must break compliance: %+v", rep)
+	}
+}
+
+func TestComplianceParamChangeBreaks(t *testing.T) {
+	changed := Signature{Name: "get", Params: []TypeName{"uuid"}, Results: []TypeName{"frame"}}
+	rep := CheckCompliance(ifaceV(Version{1, 0}, opGet), ifaceV(Version{2, 0}, changed))
+	if rep.Compliant || rep.Verdicts["get"] != OpChanged {
+		t.Fatalf("param change must break compliance: %+v", rep)
+	}
+}
+
+func TestComplianceResultReorderBreaks(t *testing.T) {
+	orig := Signature{Name: "get", Params: nil, Results: []TypeName{"a", "b"}}
+	swapped := Signature{Name: "get", Params: nil, Results: []TypeName{"b", "a"}}
+	rep := CheckCompliance(ifaceV(Version{1, 0}, orig), ifaceV(Version{1, 1}, swapped))
+	if rep.Compliant {
+		t.Fatalf("result reorder must break compliance: %+v", rep)
+	}
+}
+
+func TestComplianceResultTruncationBreaks(t *testing.T) {
+	two := Signature{Name: "get", Params: nil, Results: []TypeName{"a", "b"}}
+	one := Signature{Name: "get", Params: nil, Results: []TypeName{"a"}}
+	rep := CheckCompliance(ifaceV(Version{1, 0}, two), ifaceV(Version{1, 1}, one))
+	if rep.Compliant {
+		t.Fatalf("result truncation must break compliance: %+v", rep)
+	}
+}
+
+func TestPropComplianceReflexive(t *testing.T) {
+	f := func(nOps uint8) bool {
+		ops := make([]Signature, 0, nOps%8)
+		for i := 0; i < int(nOps%8); i++ {
+			ops = append(ops, Signature{
+				Name:    "op" + string(rune('a'+i)),
+				Params:  []TypeName{"p"},
+				Results: []TypeName{"r"},
+			})
+		}
+		i := ifaceV(Version{1, 0}, ops...)
+		return CheckCompliance(i, i).Compliant
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropComplianceTransitiveOnExtensions(t *testing.T) {
+	// Extending results then adding an op keeps transitive compliance.
+	f := func(extra uint8) bool {
+		v1 := ifaceV(Version{1, 0}, opGet)
+		v2 := ifaceV(Version{1, 1}, Signature{Name: "get", Params: []TypeName{"id"},
+			Results: append([]TypeName{"frame"}, "x")}, opStat)
+		v3ops := append([]Signature{}, v2.Ops...)
+		for i := 0; i < int(extra%4); i++ {
+			v3ops = append(v3ops, Signature{Name: "extra" + string(rune('a'+i))})
+		}
+		v3 := ifaceV(Version{1, 2}, v3ops...)
+		c12 := CheckCompliance(v1, v2).Compliant
+		c23 := CheckCompliance(v2, v3).Compliant
+		c13 := CheckCompliance(v1, v3).Compliant
+		// transitivity: c12 && c23 => c13
+		return !(c12 && c23) || c13
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegistryRegisterLookup(t *testing.T) {
+	var r Registry
+	mk := func(name string, v Version) Entry {
+		return Entry{Name: name, Version: v, Provides: ifaceV(v, opGet), New: func() any { return nil }}
+	}
+	if err := r.Register(mk("enc", Version{1, 0})); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(mk("enc", Version{1, 2})); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(mk("enc", Version{1, 1})); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(mk("enc", Version{1, 1})); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("dup err = %v", err)
+	}
+	e, err := r.Lookup("enc")
+	if err != nil || e.Version != (Version{1, 2}) {
+		t.Fatalf("lookup latest = %v, %v", e.Version, err)
+	}
+	e, err = r.LookupVersion("enc", Version{1, 1})
+	if err != nil || e.Version != (Version{1, 1}) {
+		t.Fatalf("lookup 1.1 = %v, %v", e.Version, err)
+	}
+	if _, err := r.Lookup("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing err = %v", err)
+	}
+	if _, err := r.LookupVersion("enc", Version{9, 9}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing version err = %v", err)
+	}
+}
+
+func TestRegistryValidation(t *testing.T) {
+	var r Registry
+	if err := r.Register(Entry{}); err == nil {
+		t.Error("nameless entry should fail")
+	}
+	if err := r.Register(Entry{Name: "x"}); err == nil {
+		t.Error("factory-less entry should fail")
+	}
+}
+
+func TestImplementationsFiltersByCompliance(t *testing.T) {
+	var r Registry
+	want := ifaceV(Version{1, 0}, opGet)
+	compliant := Entry{Name: "good", Version: Version{1, 0},
+		Provides: ifaceV(Version{1, 0}, opGet, opStat), New: func() any { return nil }}
+	broken := Entry{Name: "bad", Version: Version{2, 0},
+		Provides: ifaceV(Version{2, 0}, opPut), New: func() any { return nil }}
+	otherIface := Entry{Name: "other", Version: Version{1, 0},
+		Provides: Interface{Name: "unrelated", Version: Version{1, 0}, Ops: []Signature{opGet}},
+		New:      func() any { return nil }}
+	for _, e := range []Entry{compliant, broken, otherIface} {
+		if err := r.Register(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	impls := r.Implementations(want)
+	if len(impls) != 1 || impls[0].Name != "good" {
+		t.Fatalf("impls = %+v, want just 'good'", impls)
+	}
+	if names := r.Names(); len(names) != 3 {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestSignatureString(t *testing.T) {
+	if got := opGet.String(); got != "get(id)->(frame)" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (OpExtended).String(); got != "extended" {
+		t.Errorf("verdict = %q", got)
+	}
+}

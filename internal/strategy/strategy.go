@@ -1,0 +1,171 @@
+// Package strategy implements the Strategy-pattern adaptation mechanism
+// (§2): "This pattern separates alternative algorithms that are to be
+// changed from the adaptation mechanism that implements the change.
+// Introspection mechanisms may capture state changes and set up the
+// expected adaptation, if necessary."
+//
+// A Selector holds named alternative algorithms plus guard rules evaluated
+// against metric snapshots coming from introspection; switching carries
+// hysteresis (a minimum dwell time) so that fluctuating metrics do not
+// cause thrashing.
+package strategy
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// Metrics is an introspection snapshot: metric name to value.
+type Metrics map[string]float64
+
+// Guard is one adaptation rule: when When holds on the snapshot, the
+// selector should be using strategy Use. Guards are evaluated in priority
+// order (highest first); the first matching guard wins.
+type Guard struct {
+	Name     string
+	Priority int
+	When     func(Metrics) bool
+	Use      string
+}
+
+// Switch records one strategy change.
+type Switch struct {
+	At       time.Time
+	From, To string
+	Guard    string // empty for manual switches
+}
+
+// Selector errors.
+var (
+	ErrUnknownStrategy = errors.New("strategy: unknown strategy")
+	ErrNoStrategies    = errors.New("strategy: selector has no strategies")
+)
+
+// Selector manages the alternatives for one algorithm slot. The type
+// parameter T is the algorithm interface the component consumes.
+type Selector[T any] struct {
+	mu         sync.RWMutex
+	clk        clock.Clock
+	strategies map[string]T
+	order      []string
+	current    string
+	guards     []Guard
+	minDwell   time.Duration
+	lastSwitch time.Time
+	history    []Switch
+}
+
+// NewSelector builds a selector; the first registered strategy becomes
+// current. minDwell is the hysteresis interval during which guard-driven
+// switches are suppressed (manual Use is always honoured).
+func NewSelector[T any](clk clock.Clock, minDwell time.Duration) *Selector[T] {
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	return &Selector[T]{
+		clk:        clk,
+		strategies: map[string]T{},
+		minDwell:   minDwell,
+	}
+}
+
+// Register adds a named strategy. The first one becomes current.
+func (s *Selector[T]) Register(name string, impl T) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.strategies[name]; dup {
+		return fmt.Errorf("strategy: duplicate %q", name)
+	}
+	s.strategies[name] = impl
+	s.order = append(s.order, name)
+	if s.current == "" {
+		s.current = name
+		s.lastSwitch = s.clk.Now()
+	}
+	return nil
+}
+
+// AddGuard installs an adaptation rule.
+func (s *Selector[T]) AddGuard(g Guard) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.strategies[g.Use]; !ok {
+		return fmt.Errorf("%w: guard %q uses %q", ErrUnknownStrategy, g.Name, g.Use)
+	}
+	s.guards = append(s.guards, g)
+	// Keep guards sorted by priority, stable for equal priorities.
+	for i := len(s.guards) - 1; i > 0 && s.guards[i].Priority > s.guards[i-1].Priority; i-- {
+		s.guards[i], s.guards[i-1] = s.guards[i-1], s.guards[i]
+	}
+	return nil
+}
+
+// Current returns the active strategy.
+func (s *Selector[T]) Current() (string, T) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.current, s.strategies[s.current]
+}
+
+// Use switches manually to the named strategy (no dwell restriction).
+func (s *Selector[T]) Use(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.strategies[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownStrategy, name)
+	}
+	if name != s.current {
+		s.recordLocked(s.current, name, "")
+		s.current = name
+	}
+	return nil
+}
+
+// Evaluate feeds an introspection snapshot through the guards and performs
+// at most one switch. It reports whether a switch happened and to what.
+func (s *Selector[T]) Evaluate(m Metrics) (switched bool, to string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.current == "" {
+		return false, ""
+	}
+	now := s.clk.Now()
+	if now.Sub(s.lastSwitch) < s.minDwell {
+		return false, s.current
+	}
+	for _, g := range s.guards {
+		if !g.When(m) {
+			continue
+		}
+		if g.Use == s.current {
+			return false, s.current // already satisfied
+		}
+		s.recordLocked(s.current, g.Use, g.Name)
+		s.current = g.Use
+		s.lastSwitch = now
+		return true, g.Use
+	}
+	return false, s.current
+}
+
+func (s *Selector[T]) recordLocked(from, to, guard string) {
+	s.history = append(s.history, Switch{At: s.clk.Now(), From: from, To: to, Guard: guard})
+}
+
+// History returns a copy of all recorded switches.
+func (s *Selector[T]) History() []Switch {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]Switch(nil), s.history...)
+}
+
+// Names returns the registered strategy names in registration order.
+func (s *Selector[T]) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.order...)
+}

@@ -1,0 +1,175 @@
+package strategy
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+type codec interface{ Rate() int }
+
+type fixedCodec int
+
+func (c fixedCodec) Rate() int { return int(c) }
+
+var origin = time.Date(2003, 5, 19, 0, 0, 0, 0, time.UTC)
+
+func newSel(t *testing.T, sim *clock.Sim, dwell time.Duration) *Selector[codec] {
+	t.Helper()
+	s := NewSelector[codec](sim, dwell)
+	if err := s.Register("hq", fixedCodec(8000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register("lq", fixedCodec(800)); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFirstRegisteredIsCurrent(t *testing.T) {
+	s := newSel(t, clock.NewSim(origin), 0)
+	name, impl := s.Current()
+	if name != "hq" || impl.Rate() != 8000 {
+		t.Fatalf("current = %s/%d", name, impl.Rate())
+	}
+	if got := s.Names(); len(got) != 2 || got[0] != "hq" || got[1] != "lq" {
+		t.Fatalf("names = %v", got)
+	}
+}
+
+func TestDuplicateRegister(t *testing.T) {
+	s := newSel(t, clock.NewSim(origin), 0)
+	if err := s.Register("hq", fixedCodec(1)); err == nil {
+		t.Fatal("duplicate register should fail")
+	}
+}
+
+func TestManualUse(t *testing.T) {
+	s := newSel(t, clock.NewSim(origin), time.Hour) // dwell must not block manual use
+	if err := s.Use("lq"); err != nil {
+		t.Fatal(err)
+	}
+	if name, _ := s.Current(); name != "lq" {
+		t.Fatalf("current = %s", name)
+	}
+	if err := s.Use("nope"); !errors.Is(err, ErrUnknownStrategy) {
+		t.Fatalf("err = %v", err)
+	}
+	h := s.History()
+	if len(h) != 1 || h[0].From != "hq" || h[0].To != "lq" || h[0].Guard != "" {
+		t.Fatalf("history = %+v", h)
+	}
+}
+
+func TestGuardSwitching(t *testing.T) {
+	sim := clock.NewSim(origin)
+	s := newSel(t, sim, 0)
+	err := s.AddGuard(Guard{
+		Name: "overload", Priority: 10,
+		When: func(m Metrics) bool { return m["load"] > 0.8 },
+		Use:  "lq",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.AddGuard(Guard{
+		Name: "calm", Priority: 5,
+		When: func(m Metrics) bool { return m["load"] < 0.3 },
+		Use:  "hq",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if switched, to := s.Evaluate(Metrics{"load": 0.9}); !switched || to != "lq" {
+		t.Fatalf("switched=%v to=%s", switched, to)
+	}
+	// Already on lq: no switch on continued overload.
+	if switched, _ := s.Evaluate(Metrics{"load": 0.95}); switched {
+		t.Fatal("should not re-switch to same strategy")
+	}
+	if switched, to := s.Evaluate(Metrics{"load": 0.1}); !switched || to != "hq" {
+		t.Fatalf("switched=%v to=%s", switched, to)
+	}
+	h := s.History()
+	if len(h) != 2 || h[0].Guard != "overload" || h[1].Guard != "calm" {
+		t.Fatalf("history = %+v", h)
+	}
+}
+
+func TestGuardPriorityOrder(t *testing.T) {
+	s := newSel(t, clock.NewSim(origin), 0)
+	always := func(Metrics) bool { return true }
+	if err := s.AddGuard(Guard{Name: "low", Priority: 1, When: always, Use: "hq"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddGuard(Guard{Name: "high", Priority: 9, When: always, Use: "lq"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, to := s.Evaluate(Metrics{}); to != "lq" {
+		t.Fatalf("highest priority guard should win, got %s", to)
+	}
+}
+
+func TestGuardUnknownStrategy(t *testing.T) {
+	s := newSel(t, clock.NewSim(origin), 0)
+	err := s.AddGuard(Guard{Name: "bad", When: func(Metrics) bool { return true }, Use: "ghost"})
+	if !errors.Is(err, ErrUnknownStrategy) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHysteresisSuppressesThrashing(t *testing.T) {
+	sim := clock.NewSim(origin)
+	s := newSel(t, sim, 10*time.Second)
+	up := Guard{Name: "up", Priority: 2, When: func(m Metrics) bool { return m["load"] > 0.8 }, Use: "lq"}
+	down := Guard{Name: "down", Priority: 1, When: func(m Metrics) bool { return m["load"] <= 0.8 }, Use: "hq"}
+	if err := s.AddGuard(up); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddGuard(down); err != nil {
+		t.Fatal(err)
+	}
+
+	sim.Advance(11 * time.Second) // past initial dwell
+	if switched, _ := s.Evaluate(Metrics{"load": 0.9}); !switched {
+		t.Fatal("first switch should pass")
+	}
+	// Oscillating load inside the dwell window: no switches.
+	for i := 0; i < 5; i++ {
+		sim.Advance(time.Second)
+		load := 0.1
+		if i%2 == 0 {
+			load = 0.9
+		}
+		if switched, _ := s.Evaluate(Metrics{"load": load}); switched {
+			t.Fatal("switch inside dwell window")
+		}
+	}
+	sim.Advance(10 * time.Second)
+	if switched, to := s.Evaluate(Metrics{"load": 0.1}); !switched || to != "hq" {
+		t.Fatalf("post-dwell switch failed: %v %s", switched, to)
+	}
+}
+
+func TestEmptySelector(t *testing.T) {
+	s := NewSelector[codec](clock.NewSim(origin), 0)
+	if switched, _ := s.Evaluate(Metrics{}); switched {
+		t.Fatal("empty selector cannot switch")
+	}
+	if err := s.Use("x"); !errors.Is(err, ErrUnknownStrategy) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNilClockDefaultsToReal(t *testing.T) {
+	s := NewSelector[codec](nil, 0)
+	if err := s.Register("only", fixedCodec(1)); err != nil {
+		t.Fatal(err)
+	}
+	if name, _ := s.Current(); name != "only" {
+		t.Fatal("registration with real clock failed")
+	}
+}
