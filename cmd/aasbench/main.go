@@ -6,7 +6,7 @@
 // Usage:
 //
 //	aasbench           run all experiments
-//	aasbench -e E4     run one experiment
+//	aasbench -e E4     run one experiment (E1..E13)
 package main
 
 import (
@@ -39,6 +39,7 @@ func main() {
 		{"E10", "FLO/C rule enforcement and cycle analysis", runE10},
 		{"E11", "interface-modification compliance matrix", runE11},
 		{"E12", "the ten adaptation approaches of §2, compared", runE12},
+		{"E13", "sharded data-plane throughput under reconfiguration", runE13},
 	}
 	sort.SliceStable(exps, func(i, j int) bool { return i < j })
 

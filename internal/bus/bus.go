@@ -5,6 +5,23 @@
 // redirecting calls to new components, and accounting for loss, duplication
 // and delay so that experiment E4 can verify the channel-preservation
 // guarantees.
+//
+// The bus is split into two planes (DESIGN.md §2):
+//
+//   - The data plane — Send and delivery — is sharded and lock-free where
+//     possible: the routing table is a fixed array of shards, redirect rules
+//     and the interceptor chain are atomically-swapped immutable snapshots,
+//     counters are atomics, and per-(src,dst) sequence numbers live with the
+//     destination's route so FIFO assignment and enqueueing stay atomic.
+//     Two sends toward different destinations share no locks.
+//   - The control plane — Attach, Detach, Pause, Resume, Redirect,
+//     TransferHeld, interceptor (de)installation — serializes on one mutex.
+//     Reconfiguration is rare; steady-state traffic must not pay for it.
+//
+// Pause/hold semantics stay exact because the paused flag and the held
+// queue live inside the destination's route and every delivery decision is
+// taken under that route's lock: a send either completes before Pause
+// acquires the route or parks after it, never in between.
 package bus
 
 import (
@@ -12,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/clock"
@@ -75,6 +93,10 @@ const (
 // bus-level filters are installed through this hook. Intercept may modify
 // the message in place (transform), rewrite its destination (returning
 // Redirected) or discard it (Drop).
+//
+// Interceptors run on the data plane: Intercept is called concurrently from
+// every sending goroutine, so implementations must be safe for concurrent
+// use (inject.Injector keeps its hit counter atomic, for example).
 type Interceptor interface {
 	Name() string
 	Intercept(m *Message) Verdict
@@ -82,6 +104,7 @@ type Interceptor interface {
 
 // DelayFunc returns the transmission delay from src to dst; the network
 // simulator plugs in here. A zero or negative delay delivers synchronously.
+// The function is called concurrently from sending goroutines.
 type DelayFunc func(src, dst Address) time.Duration
 
 // Bus errors.
@@ -104,24 +127,76 @@ type Stats struct {
 	Redirects uint64
 }
 
-// Bus routes messages between attached endpoints.
-type Bus struct {
-	clk clock.Clock
-
-	mu           sync.Mutex
-	endpoints    map[Address]*Endpoint
-	paused       map[Address]bool
-	held         map[Address][]Message
-	redirects    map[Address]Address
-	interceptors []Interceptor
-	delayFn      DelayFunc
-	nextID       uint64
-	pairSeq      map[pairKey]uint64
-	stats        Stats
-	idleWaiters  []chan struct{}
+// busStats is the atomic backing store for Stats.
+type busStats struct {
+	sent      atomic.Uint64
+	delivered atomic.Uint64
+	dropped   atomic.Uint64
+	held      atomic.Int64
+	inFlight  atomic.Int64
+	redirects atomic.Uint64
 }
 
-type pairKey struct{ src, dst Address }
+// route is the per-address routing entry. Its lock orders everything that
+// must be atomic per destination: sequence assignment, the paused check,
+// parking on the held queue, and mailbox enqueueing. Routes are created on
+// first Attach/Pause and never removed — Detach only clears ep, so messages
+// still in flight toward a vanished address park instead of getting lost.
+type route struct {
+	mu     sync.Mutex
+	ep     *Endpoint // nil while detached; shares mu
+	paused bool
+	held   []Message
+	seq    seqTable // per-source FIFO counters; the dst is fixed
+}
+
+// seqTable is a per-source counter table with a hot-pair cache: most
+// destinations see a dominant source, so the common case pays one string
+// compare instead of a map round trip. Guarded by the owner's lock.
+type seqTable struct {
+	m       map[Address]*uint64
+	lastSrc Address
+	lastRef *uint64
+}
+
+func newSeqTable() seqTable { return seqTable{m: map[Address]*uint64{}} }
+
+// cell returns the counter cell for src; callers hold the owner's lock.
+func (t *seqTable) cell(src Address) *uint64 {
+	if src == t.lastSrc && t.lastRef != nil {
+		return t.lastRef
+	}
+	p := t.m[src]
+	if p == nil {
+		p = new(uint64)
+		t.m[src] = p
+	}
+	t.lastSrc, t.lastRef = src, p
+	return p
+}
+
+// Bus routes messages between attached endpoints.
+type Bus struct {
+	clk     clock.Clock
+	delayFn DelayFunc // immutable after New
+
+	// Data plane: copy-on-write snapshots read with a single atomic load.
+	// Sending to one destination contends only on that destination's route.
+	routes       atomic.Pointer[map[Address]*route]
+	redirects    atomic.Pointer[map[Address]Address]
+	interceptors atomic.Pointer[[]Interceptor]
+	nextID       atomic.Uint64
+	stats        busStats
+
+	// tblMu serializes route-table writers (Attach and the first Pause of a
+	// fresh address). Separate from ctl so control-plane operations that
+	// already hold ctl can still materialize routes.
+	tblMu sync.Mutex
+
+	// Control plane: serializes reconfiguration operations and idle waits.
+	ctl         sync.Mutex
+	idleWaiters []chan struct{}
+}
 
 // Option configures a Bus.
 type Option func(*Bus)
@@ -135,18 +210,43 @@ func WithDelay(f DelayFunc) Option { return func(b *Bus) { b.delayFn = f } }
 // New creates an empty bus. Without options it uses the real clock and zero
 // transmission delay.
 func New(opts ...Option) *Bus {
-	b := &Bus{
-		clk:       clock.Real{},
-		endpoints: map[Address]*Endpoint{},
-		paused:    map[Address]bool{},
-		held:      map[Address][]Message{},
-		redirects: map[Address]Address{},
-		pairSeq:   map[pairKey]uint64{},
-	}
+	b := &Bus{clk: clock.Real{}}
+	emptyRoutes := map[Address]*route{}
+	b.routes.Store(&emptyRoutes)
+	emptyRedirects := map[Address]Address{}
+	b.redirects.Store(&emptyRedirects)
 	for _, o := range opts {
 		o(b)
 	}
 	return b
+}
+
+// route returns the routing entry for addr, or nil if none exists yet.
+// Lock-free: one atomic load of the table snapshot.
+func (b *Bus) route(addr Address) *route {
+	return (*b.routes.Load())[addr]
+}
+
+// routeOrCreate returns the routing entry for addr, creating it (via a
+// copy-on-write swap of the table) if needed.
+func (b *Bus) routeOrCreate(addr Address) *route {
+	if r := b.route(addr); r != nil {
+		return r
+	}
+	b.tblMu.Lock()
+	defer b.tblMu.Unlock()
+	cur := *b.routes.Load()
+	if r := cur[addr]; r != nil {
+		return r
+	}
+	next := make(map[Address]*route, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	r := &route{seq: newSeqTable()}
+	next[addr] = r
+	b.routes.Store(&next)
+	return r
 }
 
 // Attach registers addr and returns its endpoint. mailbox is the bounded
@@ -155,23 +255,28 @@ func (b *Bus) Attach(addr Address, mailbox int) (*Endpoint, error) {
 	if mailbox < 1 {
 		mailbox = 4096
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if _, ok := b.endpoints[addr]; ok {
+	r := b.routeOrCreate(addr)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ep != nil {
 		return nil, fmt.Errorf("%w: %s", ErrAddressTaken, addr)
 	}
-	e := newEndpoint(addr, mailbox)
-	b.endpoints[addr] = e
+	e := newEndpoint(addr, mailbox, &r.mu)
+	r.ep = e
 	return e, nil
 }
 
 // Detach closes and removes the endpoint at addr. Held and in-flight
 // messages toward addr are kept until redirected or transferred.
 func (b *Bus) Detach(addr Address) {
-	b.mu.Lock()
-	e := b.endpoints[addr]
-	delete(b.endpoints, addr)
-	b.mu.Unlock()
+	r := b.route(addr)
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	e := r.ep
+	r.ep = nil
+	r.mu.Unlock()
 	if e != nil {
 		e.close()
 	}
@@ -179,18 +284,33 @@ func (b *Bus) Detach(addr Address) {
 
 // AddInterceptor appends an interceptor to the chain (applied in order).
 func (b *Bus) AddInterceptor(i Interceptor) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.interceptors = append(b.interceptors, i)
+	b.ctl.Lock()
+	defer b.ctl.Unlock()
+	var cur []Interceptor
+	if p := b.interceptors.Load(); p != nil {
+		cur = *p
+	}
+	next := make([]Interceptor, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = i
+	b.interceptors.Store(&next)
 }
 
 // RemoveInterceptor removes the named interceptor; it reports success.
 func (b *Bus) RemoveInterceptor(name string) bool {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	for i, ic := range b.interceptors {
+	b.ctl.Lock()
+	defer b.ctl.Unlock()
+	p := b.interceptors.Load()
+	if p == nil {
+		return false
+	}
+	cur := *p
+	for i, ic := range cur {
 		if ic.Name() == name {
-			b.interceptors = append(b.interceptors[:i], b.interceptors[i+1:]...)
+			next := make([]Interceptor, 0, len(cur)-1)
+			next = append(next, cur[:i]...)
+			next = append(next, cur[i+1:]...)
+			b.interceptors.Store(&next)
 			return true
 		}
 	}
@@ -200,107 +320,135 @@ func (b *Bus) RemoveInterceptor(name string) bool {
 // Send routes m toward m.Dst, applying redirects, interceptors and the
 // delay model. It never blocks on the receiver: a full mailbox returns
 // ErrMailboxFull (backpressure), a paused destination parks the message.
+// Send takes no global lock: it reads immutable snapshots of the redirect
+// and interceptor tables and serializes only on the destination's route.
 func (b *Bus) Send(m Message) error {
-	b.mu.Lock()
-	dst, err := b.resolveLocked(m.Dst)
+	redirects := *b.redirects.Load()
+	dst, err := resolveIn(redirects, m.Dst)
 	if err != nil {
-		b.mu.Unlock()
 		return err
 	}
 	if dst != m.Dst {
-		b.stats.Redirects++
+		b.stats.redirects.Add(1)
 		m.Dst = dst
 	}
 
-	verdict := Pass
-	for _, ic := range b.interceptors {
-		verdict = ic.Intercept(&m)
-		if verdict == Drop {
-			b.stats.Dropped++
-			b.stats.Sent++
-			b.notifyIfIdleLocked()
-			b.mu.Unlock()
+	if p := b.interceptors.Load(); p != nil && len(*p) > 0 {
+		// Separate function: Intercept takes &m, which would otherwise force
+		// every Send to heap-allocate the message, interceptors or not.
+		return b.sendIntercepted(*p, redirects, m)
+	}
+	return b.deliver(m)
+}
+
+// sendIntercepted runs the interceptor chain, then delivers.
+func (b *Bus) sendIntercepted(ics []Interceptor, redirects map[Address]Address, m Message) error {
+	var err error
+	for _, ic := range ics {
+		switch ic.Intercept(&m) {
+		case Drop:
+			b.stats.dropped.Add(1)
+			b.stats.sent.Add(1)
 			return nil
-		}
-		if verdict == Redirected {
-			if m.Dst, err = b.resolveLocked(m.Dst); err != nil {
-				b.mu.Unlock()
+		case Redirected:
+			if m.Dst, err = resolveIn(redirects, m.Dst); err != nil {
 				return err
 			}
-			b.stats.Redirects++
+			b.stats.redirects.Add(1)
 		}
 	}
+	return b.deliver(m)
+}
 
-	if _, ok := b.endpoints[m.Dst]; !ok && !b.paused[m.Dst] {
-		b.mu.Unlock()
+// deliver stamps identity and sequence under the destination's route lock
+// and either enqueues, parks, or schedules delayed delivery.
+func (b *Bus) deliver(m Message) error {
+	r := b.route(m.Dst)
+	if r == nil {
 		return fmt.Errorf("%w: %s", ErrUnknownDst, m.Dst)
 	}
 
-	b.nextID++
-	m.ID = b.nextID
-	pk := pairKey{m.Src, m.Dst}
-	b.pairSeq[pk]++
-	m.Seq = b.pairSeq[pk]
+	r.mu.Lock()
+	if r.ep == nil && !r.paused {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownDst, m.Dst)
+	}
+	m.ID = b.nextID.Add(1)
+	sp := r.seq.cell(m.Src)
+	*sp++
+	m.Seq = *sp
 	m.SentAt = b.clk.Now()
-	b.stats.Sent++
+	b.stats.sent.Add(1)
 
 	delay := time.Duration(0)
 	if b.delayFn != nil {
 		delay = b.delayFn(m.Src, m.Dst)
 	}
 	if delay > 0 {
-		b.stats.InFlight++
-		b.mu.Unlock()
-		b.clk.AfterFunc(delay, func() {
-			b.mu.Lock()
-			b.stats.InFlight--
-			err := b.deliverLocked(m)
-			b.notifyIfIdleLocked()
-			b.mu.Unlock()
-			_ = err // late delivery failures are counted, not returned
-		})
+		b.stats.inFlight.Add(1)
+		r.mu.Unlock()
+		b.sendDelayed(r, m, delay)
 		return nil
 	}
-	err = b.deliverLocked(m)
-	b.notifyIfIdleLocked()
-	b.mu.Unlock()
+	err := b.deliverRouteLocked(r, &m)
+	r.mu.Unlock()
 	return err
 }
 
-// resolveLocked follows the redirect chain with cycle protection.
-func (b *Bus) resolveLocked(dst Address) (Address, error) {
+// sendDelayed schedules delivery after the transmission delay. It lives in
+// its own function (and must not be inlined) so the closure capture of m
+// does not force the zero-delay fast path to heap-allocate the message.
+//
+//go:noinline
+func (b *Bus) sendDelayed(r *route, m Message, delay time.Duration) {
+	b.clk.AfterFunc(delay, func() {
+		r.mu.Lock()
+		err := b.deliverRouteLocked(r, &m)
+		r.mu.Unlock()
+		if b.stats.inFlight.Add(-1) == 0 {
+			b.notifyIdle()
+		}
+		_ = err // late delivery failures are counted, not returned
+	})
+}
+
+// resolveIn follows the redirect chain of one snapshot with cycle
+// protection. Cycles cannot normally be installed (Redirect validates), so
+// the bound only guards against future bugs.
+func resolveIn(redirects map[Address]Address, dst Address) (Address, error) {
+	if len(redirects) == 0 {
+		return dst, nil
+	}
 	seen := 0
 	for {
-		next, ok := b.redirects[dst]
+		next, ok := redirects[dst]
 		if !ok {
 			return dst, nil
 		}
 		dst = next
 		seen++
-		if seen > len(b.redirects) {
+		if seen > len(redirects) {
 			return dst, ErrRedirectCycle
 		}
 	}
 }
 
-func (b *Bus) deliverLocked(m Message) error {
-	if b.paused[m.Dst] {
-		b.held[m.Dst] = append(b.held[m.Dst], m)
-		b.stats.Held++
+// deliverRouteLocked parks or enqueues m; callers hold r.mu. The pointer
+// only avoids copying the message across the internal calls — the message
+// is copied into the held queue or the mailbox ring, never retained.
+func (b *Bus) deliverRouteLocked(r *route, m *Message) error {
+	if r.paused || r.ep == nil {
+		// Paused channel, or the destination vanished while the message was
+		// in flight: park it so it can be transferred to a replacement (no
+		// silent loss).
+		r.held = append(r.held, *m)
+		b.stats.held.Add(1)
 		return nil
 	}
-	e, ok := b.endpoints[m.Dst]
-	if !ok {
-		// Destination vanished while the message was in flight: park it so
-		// it can be transferred to a replacement (no silent loss).
-		b.held[m.Dst] = append(b.held[m.Dst], m)
-		b.stats.Held++
-		return nil
-	}
-	if !e.enqueue(m) {
+	if !r.ep.enqueueLocked(m) {
 		return fmt.Errorf("%w: %s", ErrMailboxFull, m.Dst)
 	}
-	b.stats.Delivered++
+	b.stats.delivered.Add(1)
 	return nil
 }
 
@@ -308,54 +456,64 @@ func (b *Bus) deliverLocked(m Message) error {
 // in-flight deliveries are parked in arrival order ("blocking communication
 // channels to manage the messages in transit", §1).
 func (b *Bus) Pause(addr Address) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.paused[addr] = true
+	b.ctl.Lock()
+	defer b.ctl.Unlock()
+	r := b.routeOrCreate(addr)
+	r.mu.Lock()
+	r.paused = true
+	r.mu.Unlock()
 }
 
 // Resume unblocks addr and flushes parked messages in order. It returns the
 // number flushed. Messages that no longer fit the mailbox stay parked and
 // an ErrMailboxFull is returned alongside the flushed count.
 func (b *Bus) Resume(addr Address) (int, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	delete(b.paused, addr)
-	queue := b.held[addr]
-	e, ok := b.endpoints[addr]
-	if !ok {
+	b.ctl.Lock()
+	defer b.ctl.Unlock()
+	r := b.routeOrCreate(addr)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.paused = false
+	if r.ep == nil {
 		return 0, fmt.Errorf("%w: %s", ErrUnknownDst, addr)
 	}
 	flushed := 0
-	for i, m := range queue {
-		if !e.enqueue(m) {
-			b.held[addr] = append([]Message(nil), queue[i:]...)
-			b.stats.Held -= uint64(flushed)
-			b.stats.Delivered += uint64(flushed)
+	for i := range r.held {
+		if !r.ep.enqueueLocked(&r.held[i]) {
+			r.held = append([]Message(nil), r.held[i:]...)
+			b.stats.held.Add(-int64(flushed))
+			b.stats.delivered.Add(uint64(flushed))
 			return flushed, fmt.Errorf("%w: %s", ErrMailboxFull, addr)
 		}
 		flushed++
 	}
-	delete(b.held, addr)
-	b.stats.Held -= uint64(flushed)
-	b.stats.Delivered += uint64(flushed)
-	b.notifyIfIdleLocked()
+	r.held = nil
+	b.stats.held.Add(-int64(flushed))
+	b.stats.delivered.Add(uint64(flushed))
 	return flushed, nil
 }
 
 // Redirect routes future traffic addressed to old toward new ("redirecting
 // the calls to new components", §1). Passing new == "" removes the rule.
+// The rule table is copy-on-write: in-progress sends finish against the
+// snapshot they started with; later sends see the new rule.
 func (b *Bus) Redirect(old, new Address) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.ctl.Lock()
+	defer b.ctl.Unlock()
+	cur := *b.redirects.Load()
+	next := make(map[Address]Address, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
 	if new == "" {
-		delete(b.redirects, old)
-		return nil
+		delete(next, old)
+	} else {
+		next[old] = new
+		if _, err := resolveIn(next, old); err != nil {
+			return err
+		}
 	}
-	b.redirects[old] = new
-	if _, err := b.resolveLocked(old); err != nil {
-		delete(b.redirects, old)
-		return err
-	}
+	b.redirects.Store(&next)
 	return nil
 }
 
@@ -363,53 +521,73 @@ func (b *Bus) Redirect(old, new Address) error {
 // destination), preserving order. Used when a replacement component takes
 // over mid-reconfiguration. Returns the number of messages moved.
 func (b *Bus) TransferHeld(old, new Address) int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	queue := b.held[old]
+	b.ctl.Lock()
+	defer b.ctl.Unlock()
+	ro := b.route(old)
+	if ro == nil {
+		return 0
+	}
+	ro.mu.Lock()
+	queue := ro.held
+	ro.held = nil
+	ro.mu.Unlock()
 	if len(queue) == 0 {
 		return 0
 	}
-	for _, m := range queue {
-		m.Dst = new
-		b.held[new] = append(b.held[new], m)
+	for i := range queue {
+		queue[i].Dst = new
 	}
-	delete(b.held, old)
+	rn := b.routeOrCreate(new)
+	rn.mu.Lock()
+	rn.held = append(rn.held, queue...)
+	rn.mu.Unlock()
 	return len(queue)
 }
 
 // HeldCount reports how many messages are parked for addr.
 func (b *Bus) HeldCount(addr Address) int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return len(b.held[addr])
+	r := b.route(addr)
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.held)
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters. Each counter is individually
+// atomic but the snapshot is not taken under a lock, so the conservation
+// invariant Sent == Delivered + Dropped + Held is only guaranteed when the
+// bus is quiescent; a concurrent reader can observe a send that has been
+// counted but not yet delivered.
 func (b *Bus) Stats() Stats {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.stats
+	return Stats{
+		Sent:      b.stats.sent.Load(),
+		Delivered: b.stats.delivered.Load(),
+		Dropped:   b.stats.dropped.Load(),
+		Held:      uint64(b.stats.held.Load()),
+		InFlight:  uint64(b.stats.inFlight.Load()),
+		Redirects: b.stats.redirects.Load(),
+	}
 }
 
 // InFlight reports messages currently delayed in the network.
 func (b *Bus) InFlight() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return int(b.stats.InFlight)
+	return int(b.stats.inFlight.Load())
 }
 
 // WaitIdle blocks until no message is in flight in the network (parked
 // messages do not count: they are safely captured) or ctx is done.
 func (b *Bus) WaitIdle(ctx context.Context) error {
 	for {
-		b.mu.Lock()
-		if b.stats.InFlight == 0 {
-			b.mu.Unlock()
+		b.ctl.Lock()
+		if b.stats.inFlight.Load() == 0 {
+			b.ctl.Unlock()
 			return nil
 		}
 		ch := make(chan struct{})
 		b.idleWaiters = append(b.idleWaiters, ch)
-		b.mu.Unlock()
+		b.ctl.Unlock()
 		select {
 		case <-ch:
 		case <-ctx.Done():
@@ -418,12 +596,13 @@ func (b *Bus) WaitIdle(ctx context.Context) error {
 	}
 }
 
-func (b *Bus) notifyIfIdleLocked() {
-	if b.stats.InFlight != 0 {
-		return
-	}
-	for _, ch := range b.idleWaiters {
+// notifyIdle wakes WaitIdle callers after the in-flight count hits zero.
+func (b *Bus) notifyIdle() {
+	b.ctl.Lock()
+	waiters := b.idleWaiters
+	b.idleWaiters = nil
+	b.ctl.Unlock()
+	for _, ch := range waiters {
 		close(ch)
 	}
-	b.idleWaiters = nil
 }

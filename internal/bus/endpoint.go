@@ -9,58 +9,105 @@ import (
 // in delivery order; the endpoint also keeps per-source sequence accounting
 // so tests and the RAML guard can verify FIFO preservation across
 // reconfigurations.
+//
+// The mailbox is a growable ring buffer: it starts small, doubles up to the
+// configured capacity, and reuses slots afterwards, so steady-state
+// enqueue/dequeue allocates nothing. The endpoint shares its mutex with the
+// bus route that owns it: sequence assignment, the paused check and the
+// enqueue are one critical section, and a delivery pays for one lock, not
+// two.
 type Endpoint struct {
 	addr Address
 
-	mu     sync.Mutex
-	queue  []Message
-	cap    int
-	closed bool
-	notify chan struct{} // capacity 1: wake one waiting receiver
-	done   chan struct{} // closed on close(): broadcast to all receivers
+	mu      *sync.Mutex // shared with the owning route
+	buf     []Message   // ring storage; len(buf) is the current allocation
+	head    int         // index of the oldest message
+	count   int         // messages currently queued
+	cap     int         // hard mailbox capacity
+	closed  bool
+	waiting int           // receivers parked in select, guarded by mu
+	notify  chan struct{} // capacity 1: wake one waiting receiver
+	done    chan struct{} // closed on close(): broadcast to all receivers
 
 	received  uint64
-	lastSeq   map[pairKey]uint64
+	arrivals  seqTable // last seen per-source sequence; the dst is fixed
 	reordered uint64
 	duplicate uint64
 }
 
-func newEndpoint(addr Address, capacity int) *Endpoint {
+const initialRing = 16
+
+func newEndpoint(addr Address, capacity int, mu *sync.Mutex) *Endpoint {
+	ring := initialRing
+	if capacity < ring {
+		ring = capacity
+	}
 	return &Endpoint{
-		addr:    addr,
-		cap:     capacity,
-		notify:  make(chan struct{}, 1),
-		done:    make(chan struct{}),
-		lastSeq: map[pairKey]uint64{},
+		addr:     addr,
+		mu:       mu,
+		buf:      make([]Message, ring),
+		cap:      capacity,
+		notify:   make(chan struct{}, 1),
+		done:     make(chan struct{}),
+		arrivals: newSeqTable(),
 	}
 }
 
 // Addr returns the endpoint's bus address.
 func (e *Endpoint) Addr() Address { return e.addr }
 
-// enqueue appends m; it reports false when the mailbox is full or closed.
-func (e *Endpoint) enqueue(m Message) bool {
-	e.mu.Lock()
-	if e.closed || len(e.queue) >= e.cap {
-		e.mu.Unlock()
+// pushLocked appends m to the ring, growing it if allowed; callers hold
+// e.mu and have checked count < cap.
+func (e *Endpoint) pushLocked(m *Message) {
+	if e.count == len(e.buf) {
+		grown := len(e.buf) * 2
+		if grown > e.cap {
+			grown = e.cap
+		}
+		next := make([]Message, grown)
+		n := copy(next, e.buf[e.head:])
+		copy(next[n:], e.buf[:e.head])
+		e.buf = next
+		e.head = 0
+	}
+	e.buf[(e.head+e.count)%len(e.buf)] = *m
+	e.count++
+}
+
+// popLocked removes and returns the oldest message; callers hold e.mu and
+// have checked count > 0. The slot is zeroed so the ring does not retain
+// payload references.
+func (e *Endpoint) popLocked() Message {
+	m := e.buf[e.head]
+	e.buf[e.head] = Message{}
+	e.head = (e.head + 1) % len(e.buf)
+	e.count--
+	return m
+}
+
+// enqueueLocked appends m and wakes a parked receiver if one is waiting; it
+// reports false when the mailbox is full or closed. Callers hold e.mu (the
+// route lock).
+func (e *Endpoint) enqueueLocked(m *Message) bool {
+	if e.closed || e.count >= e.cap {
 		return false
 	}
-	e.queue = append(e.queue, m)
+	e.pushLocked(m)
 	e.received++
-	pk := pairKey{m.Src, m.Dst}
-	last := e.lastSeq[pk]
-	switch {
+	cell := e.arrivals.cell(m.Src)
+	switch last := *cell; {
 	case m.Seq == last && m.Seq != 0:
 		e.duplicate++
 	case m.Seq < last:
 		e.reordered++
 	default:
-		e.lastSeq[pk] = m.Seq
+		*cell = m.Seq
 	}
-	e.mu.Unlock()
-	select {
-	case e.notify <- struct{}{}:
-	default:
+	if e.waiting > 0 {
+		select {
+		case e.notify <- struct{}{}:
+		default:
+		}
 	}
 	return true
 }
@@ -68,31 +115,41 @@ func (e *Endpoint) enqueue(m Message) bool {
 // Receive blocks until a message arrives, the endpoint closes, or ctx is
 // done.
 func (e *Endpoint) Receive(ctx context.Context) (Message, error) {
+	registered := false
 	for {
 		e.mu.Lock()
-		if len(e.queue) > 0 {
-			m := e.queue[0]
-			e.queue = e.queue[1:]
-			more := len(e.queue) > 0
-			e.mu.Unlock()
-			if more {
+		if registered {
+			e.waiting--
+			registered = false
+		}
+		if e.count > 0 {
+			m := e.popLocked()
+			if e.count > 0 && e.waiting > 0 {
 				// Rearm the wakeup for other receivers.
 				select {
 				case e.notify <- struct{}{}:
 				default:
 				}
 			}
+			e.mu.Unlock()
 			return m, nil
 		}
 		if e.closed {
 			e.mu.Unlock()
 			return Message{}, ErrClosed
 		}
+		// Register before releasing the lock: enqueueLocked only notifies
+		// when it observes a waiter, and it observes under the same lock.
+		e.waiting++
+		registered = true
 		e.mu.Unlock()
 		select {
 		case <-e.notify:
 		case <-e.done:
 		case <-ctx.Done():
+			e.mu.Lock()
+			e.waiting--
+			e.mu.Unlock()
 			return Message{}, ctx.Err()
 		}
 	}
@@ -102,19 +159,17 @@ func (e *Endpoint) Receive(ctx context.Context) (Message, error) {
 func (e *Endpoint) TryReceive() (Message, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if len(e.queue) == 0 {
+	if e.count == 0 {
 		return Message{}, false
 	}
-	m := e.queue[0]
-	e.queue = e.queue[1:]
-	return m, true
+	return e.popLocked(), true
 }
 
 // Len reports queued messages.
 func (e *Endpoint) Len() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return len(e.queue)
+	return e.count
 }
 
 // Received reports the total number of messages ever enqueued.

@@ -51,22 +51,42 @@ type Stats struct {
 	Deferred       uint64
 }
 
+// connStats is the atomic backing store for Stats, so monitors can snapshot
+// counters without stalling the mediation loop.
+type connStats struct {
+	mediated       atomic.Uint64
+	replies        atomic.Uint64
+	ruleDenials    atomic.Uint64
+	filterRejects  atomic.Uint64
+	glueViolations atomic.Uint64
+	deferred       atomic.Uint64
+}
+
 // Connector mediates one binding (or a set of bindings sharing the glue).
+//
+// The mediated hot path takes no locks and allocates nothing per call:
+// run-time exchangeable state (targets, rules) is swapped atomically by the
+// control plane and read with one atomic load per message, while the
+// correlation state (pending, corr, rr, glue) is owned exclusively by the
+// single mediation goroutine.
 type Connector struct {
 	name string
 	kind adl.ConnectorKind
 	b    *bus.Bus
 	ep   *bus.Endpoint
 
-	mu      sync.Mutex
-	targets []bus.Address
+	// Atomically swapped by SetTargets/SetRules ("connectors may be
+	// interchanged if necessary"); the stored slice is immutable.
+	targets atomic.Pointer[[]bus.Address]
+	rules   atomic.Pointer[flo.Engine]
+
+	// Owned by the mediation goroutine (handle); no locking.
 	rr      int
 	glue    *glueTracker
-	rules   *flo.Engine
 	pending map[uint64]pendingCall
 	corr    uint64
-	stats   Stats
 
+	stats   connStats
 	filters *filters.Set
 
 	wg      sync.WaitGroup
@@ -87,7 +107,7 @@ type pendingCall struct {
 type Option func(*Connector)
 
 // WithRules installs a FLO rule engine.
-func WithRules(e *flo.Engine) Option { return func(c *Connector) { c.rules = e } }
+func WithRules(e *flo.Engine) Option { return func(c *Connector) { c.rules.Store(e) } }
 
 // WithGlue installs the protocol automaton; ops are matched against the
 // action base names of the model's transitions.
@@ -116,10 +136,11 @@ func New(name string, kind adl.ConnectorKind, b *bus.Bus, targets []bus.Address,
 		kind:    kind,
 		b:       b,
 		ep:      ep,
-		targets: append([]bus.Address(nil), targets...),
 		pending: map[uint64]pendingCall{},
 		filters: &filters.Set{},
 	}
+	tgts := append([]bus.Address(nil), targets...)
+	c.targets.Store(&tgts)
 	for _, o := range opts {
 		o(c)
 	}
@@ -136,33 +157,34 @@ func (c *Connector) Kind() adl.ConnectorKind { return c.kind }
 func (c *Connector) Filters() *filters.Set { return c.filters }
 
 // SetTargets rebinds the connector — "modifying the connections between
-// the components of the targeted application" (§3).
+// the components of the targeted application" (§3). The new target list is
+// published atomically; in-progress mediations finish against the list they
+// started with.
 func (c *Connector) SetTargets(targets []bus.Address) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.targets = append([]bus.Address(nil), targets...)
-	c.rr = 0
+	tgts := append([]bus.Address(nil), targets...)
+	c.targets.Store(&tgts)
 }
 
 // Targets returns the current targets.
 func (c *Connector) Targets() []bus.Address {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return append([]bus.Address(nil), c.targets...)
+	return append([]bus.Address(nil), *c.targets.Load()...)
 }
 
 // SetRules swaps the rule engine at run time.
 func (c *Connector) SetRules(e *flo.Engine) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.rules = e
+	c.rules.Store(e)
 }
 
 // Stats returns a snapshot of the counters.
 func (c *Connector) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	return Stats{
+		Mediated:       c.stats.mediated.Load(),
+		Replies:        c.stats.replies.Load(),
+		RuleDenials:    c.stats.ruleDenials.Load(),
+		FilterRejects:  c.stats.filterRejects.Load(),
+		GlueViolations: c.stats.glueViolations.Load(),
+		Deferred:       c.stats.deferred.Load(),
+	}
 }
 
 // Start launches the mediation loop; it runs until ctx is cancelled or the
@@ -201,10 +223,7 @@ func (c *Connector) handle(m bus.Message) {
 		c.handleReply(m)
 	default:
 		// Events pass through to all targets (pipe semantics).
-		c.mu.Lock()
-		targets := append([]bus.Address(nil), c.targets...)
-		c.mu.Unlock()
-		for _, tgt := range targets {
+		for _, tgt := range *c.targets.Load() {
 			fwd := m
 			fwd.Src = c.ep.Addr()
 			fwd.Dst = tgt
@@ -218,15 +237,11 @@ func (c *Connector) handleRequest(m bus.Message) {
 	res := c.filters.Eval(filters.Input, &m)
 	switch res.Outcome {
 	case filters.Rejected:
-		c.mu.Lock()
-		c.stats.FilterRejects++
-		c.mu.Unlock()
+		c.stats.filterRejects.Add(1)
 		c.replyError(m, res.Err.Error())
 		return
 	case filters.DeferredMsg:
-		c.mu.Lock()
-		c.stats.Deferred++
-		c.mu.Unlock()
+		c.stats.deferred.Add(1)
 		// Requeue at the back of the mailbox: the wait filter's condition
 		// is re-evaluated on the next pass.
 		requeued := m
@@ -235,42 +250,33 @@ func (c *Connector) handleRequest(m bus.Message) {
 	}
 
 	// 2. FLO interaction rules.
-	c.mu.Lock()
-	rules := c.rules
-	c.mu.Unlock()
-	if rules != nil {
+	if rules := c.rules.Load(); rules != nil {
 		dec := rules.Observe(m.Op)
 		switch dec.Verdict {
 		case flo.Deny:
-			c.mu.Lock()
-			c.stats.RuleDenials++
-			c.mu.Unlock()
+			c.stats.ruleDenials.Add(1)
 			c.replyError(m, "interaction rule: "+dec.Reason)
 			return
 		case flo.Deferred:
-			c.mu.Lock()
-			c.stats.Deferred++
-			c.mu.Unlock()
+			c.stats.deferred.Add(1)
 			_ = c.b.Send(redirectToSelf(m, c.ep.Addr()))
 			return
 		}
 	}
 
-	// 3. Glue protocol automaton.
-	c.mu.Lock()
+	// 3. Glue protocol automaton (mediation-goroutine state).
 	if c.glue != nil {
 		if err := c.glue.step(m.Op); err != nil {
-			c.stats.GlueViolations++
-			c.mu.Unlock()
+			c.stats.glueViolations.Add(1)
 			c.replyError(m, err.Error())
 			return
 		}
 	}
 
-	// 4. Route according to the interaction schema.
-	targets := c.routeLocked()
+	// 4. Route according to the interaction schema. The snapshot is
+	// immutable, so multicast fans out over it without copying.
+	targets := c.route()
 	if len(targets) == 0 {
-		c.mu.Unlock()
 		c.replyError(m, "connector "+c.name+": no targets bound")
 		return
 	}
@@ -279,8 +285,7 @@ func (c *Connector) handleRequest(m bus.Message) {
 	c.pending[corr] = pendingCall{
 		caller: m.Src, corr: m.Corr, op: m.Op, awaiting: len(targets),
 	}
-	c.stats.Mediated++
-	c.mu.Unlock()
+	c.stats.mediated.Add(1)
 
 	for _, tgt := range targets {
 		fwd := m
@@ -293,23 +298,24 @@ func (c *Connector) handleRequest(m bus.Message) {
 	}
 }
 
-// routeLocked picks targets per kind; callers hold c.mu.
-func (c *Connector) routeLocked() []bus.Address {
+// route picks targets per kind; called from the mediation goroutine only.
+func (c *Connector) route() []bus.Address {
+	targets := *c.targets.Load()
 	switch c.kind {
 	case adl.KindMulticast:
-		return append([]bus.Address(nil), c.targets...)
+		return targets
 	case adl.KindBalanced:
-		if len(c.targets) == 0 {
+		if len(targets) == 0 {
 			return nil
 		}
-		t := c.targets[c.rr%len(c.targets)]
+		i := c.rr % len(targets)
 		c.rr++
-		return []bus.Address{t}
+		return targets[i : i+1]
 	default: // rpc, pipe
-		if len(c.targets) == 0 {
+		if len(targets) == 0 {
 			return nil
 		}
-		return []bus.Address{c.targets[0]}
+		return targets[:1]
 	}
 }
 
@@ -319,29 +325,28 @@ func (c *Connector) handleReply(m bus.Message) {
 }
 
 // settle resolves one awaited reply for the correlation id; for multicast
-// the last reply releases the gathered results.
+// the last reply releases the gathered results. Runs on the mediation
+// goroutine, so the pending table needs no lock.
 func (c *Connector) settle(corr uint64, payload ReplyPayload) {
-	c.mu.Lock()
 	pc, ok := c.pending[corr]
 	if !ok {
-		c.mu.Unlock()
 		return
 	}
 	pc.awaiting--
-	if payload.Err == "" {
+	if payload.Err == "" && c.kind == adl.KindMulticast {
+		// Only multicast gathers; the rpc/pipe/balanced path must not
+		// allocate a gather slice per call.
 		pc.gathered = append(pc.gathered, payload.Results)
 	}
 	if pc.awaiting > 0 && payload.Err == "" {
 		c.pending[corr] = pc
-		c.mu.Unlock()
 		return
 	}
 	delete(c.pending, corr)
-	c.stats.Replies++
+	c.stats.replies.Add(1)
 	caller := pc.caller
 	callerCorr := pc.corr
 	op := pc.op
-	c.mu.Unlock()
 
 	out := payload
 	if payload.Err == "" && c.kind == adl.KindMulticast {

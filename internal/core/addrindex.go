@@ -1,0 +1,75 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/bus"
+	"repro/internal/netsim"
+)
+
+// addrIndex is the address→node routing table consulted by the bus delay
+// model on every delayed delivery. It replaces the former O(#components)
+// scan over the component table: assembly, migration and rebinding keep the
+// index up to date (control plane), and delayFor resolves an address with
+// two lock-free-ish lookups under a leaf read-lock (data plane). The index
+// never calls back into System or Bus, so it introduces no lock ordering
+// with s.mu or the bus internals.
+type addrIndex struct {
+	mu sync.RWMutex
+	// node maps a component endpoint address to the topology node hosting
+	// the component.
+	node map[bus.Address]netsim.NodeID
+	// via maps a connector address to the component address of its first
+	// target: a connector hop counts as local to that target, so one
+	// mediated call is charged one network traversal.
+	via map[bus.Address]bus.Address
+}
+
+func newAddrIndex() *addrIndex {
+	return &addrIndex{
+		node: map[bus.Address]netsim.NodeID{},
+		via:  map[bus.Address]bus.Address{},
+	}
+}
+
+// setNode records (or moves) the node hosting a component address.
+func (ix *addrIndex) setNode(addr bus.Address, node netsim.NodeID) {
+	ix.mu.Lock()
+	ix.node[addr] = node
+	ix.mu.Unlock()
+}
+
+// dropNode forgets a component address.
+func (ix *addrIndex) dropNode(addr bus.Address) {
+	ix.mu.Lock()
+	delete(ix.node, addr)
+	ix.mu.Unlock()
+}
+
+// setVia records the component address a connector is charged to.
+func (ix *addrIndex) setVia(conn, target bus.Address) {
+	ix.mu.Lock()
+	ix.via[conn] = target
+	ix.mu.Unlock()
+}
+
+// dropVia forgets a connector address.
+func (ix *addrIndex) dropVia(conn bus.Address) {
+	ix.mu.Lock()
+	delete(ix.via, conn)
+	ix.mu.Unlock()
+}
+
+// nodeOf resolves addr to its hosting node, following one connector
+// indirection; it returns "" for unknown addresses (e.g. the client edge).
+func (ix *addrIndex) nodeOf(addr bus.Address) netsim.NodeID {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if n, ok := ix.node[addr]; ok {
+		return n
+	}
+	if target, ok := ix.via[addr]; ok {
+		return ix.node[target]
+	}
+	return ""
+}

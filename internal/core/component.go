@@ -202,13 +202,17 @@ func (rc *runtimeComponent) Call(service string, args ...any) ([]any, error) {
 		rc.mu.Unlock()
 		return nil, err
 	}
+	// Stoppable timer: component outcalls are the inner hot path of every
+	// fan-out, so a leaked timer per call would pile up under load.
+	timer := time.NewTimer(rc.sys.callTimeout)
+	defer timer.Stop()
 	select {
 	case payload := <-w:
 		if payload.Err != "" {
 			return nil, errors.New(payload.Err)
 		}
 		return payload.Results, nil
-	case <-time.After(rc.sys.callTimeout):
+	case <-timer.C:
 		rc.mu.Lock()
 		delete(rc.waiters, corr)
 		rc.mu.Unlock()

@@ -114,6 +114,7 @@ func (s *System) Rebind(fromComponent, service, newProvider string) error {
 		for _, b := range s.cfg.Bindings {
 			if connectorInstanceName(b) == name && b.FromComponent == fromComponent && b.FromService == service {
 				c.SetTargets([]bus.Address{ComponentAddress(newProvider)})
+				s.addrs.setVia(connector.Address(name), ComponentAddress(newProvider))
 				// Track the change in the architectural model.
 				for i := range s.cfg.Bindings {
 					bb := &s.cfg.Bindings[i]
@@ -160,6 +161,10 @@ func (s *System) Migrate(component string, to netsim.NodeID) error {
 	from := rc.node
 	rc.node = to
 	s.placement[component] = to
+	// Inside the critical section so concurrent migrations cannot reorder
+	// the index updates against the rc.node writes (addrIndex is a leaf
+	// lock, so nesting it here is safe).
+	s.addrs.setNode(rc.ep.Addr(), to)
 	s.mu.Unlock()
 	if from != "" {
 		_ = s.topo.Release(from, cpu)

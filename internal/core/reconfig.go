@@ -276,6 +276,7 @@ func (s *System) removeComponentLive(name string) error {
 
 	rc.stop()
 	s.bus.Detach(rc.ep.Addr())
+	s.addrs.dropNode(rc.ep.Addr())
 	if s.topo != nil && rc.node != "" {
 		_ = s.topo.Release(rc.node, componentCPU(rc.decl))
 	}
@@ -301,8 +302,10 @@ func (s *System) addBindingLive(b adl.Binding, cfg *adl.Config) error {
 	running := s.running
 	ctx := s.ctx
 	// Keep the architectural model in sync for connectorInstanceName
-	// lookups (Rebind, Connector).
+	// lookups (Rebind, Connector). The addrIndex update stays inside the
+	// critical section so it cannot reorder against a concurrent Rebind.
 	s.cfg.Bindings = append(s.cfg.Bindings, b)
+	s.addrs.setVia(connector.Address(inst.Name), ComponentAddress(b.ToComponent))
 	s.mu.Unlock()
 	if okC {
 		rc.setRoute(b.FromService, connector.Address(inst.Name))
@@ -334,6 +337,7 @@ func (s *System) removeBindingLive(b adl.Binding) error {
 	}
 	conn.Stop()
 	s.bus.Detach(connector.Address(inst))
+	s.addrs.dropVia(connector.Address(inst))
 	if okC {
 		rc.mu.Lock()
 		delete(rc.routes, b.FromService)

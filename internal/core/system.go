@@ -54,6 +54,11 @@ type System struct {
 	monitor *qos.Monitor
 	weaver  *aspects.Weaver
 
+	// addrs is the bus-address routing table read by delayFor on the send
+	// path; it is maintained by assembly/reconfiguration and never guarded
+	// by s.mu, eliminating the former bus→core lock-ordering hazard.
+	addrs *addrIndex
+
 	mu        sync.Mutex
 	cfg       *adl.Config
 	comps     map[string]*runtimeComponent
@@ -104,6 +109,7 @@ func NewSystem(cfg *adl.Config, opts Options) (*System, error) {
 		cfg:         cfg,
 		comps:       map[string]*runtimeComponent{},
 		conns:       map[string]*connector.Connector{},
+		addrs:       newAddrIndex(),
 		events:      NewEventHub(0),
 		weaver:      aspects.NewWeaver(),
 		clientWait:  map[uint64]chan connector.ReplyPayload{},
@@ -204,6 +210,7 @@ func (s *System) buildComponentFromEntryLocked(decl adl.ComponentDecl, entry reg
 		aware.SetCaller(rc)
 	}
 	s.comps[decl.Name] = rc
+	s.addrs.setNode(rc.ep.Addr(), node)
 	return nil
 }
 
@@ -225,6 +232,7 @@ func (s *System) buildBindingLocked(b adl.Binding) error {
 		return err
 	}
 	s.conns[inst.Name] = conn
+	s.addrs.setVia(connector.Address(inst.Name), target)
 	if rc, ok := s.comps[b.FromComponent]; ok {
 		rc.setRoute(b.FromService, connector.Address(inst.Name))
 	}
@@ -251,28 +259,10 @@ func (s *System) delayFor(src, dst bus.Address) time.Duration {
 	return d
 }
 
-// addrNode resolves a bus address to the topology node hosting it.
+// addrNode resolves a bus address to the topology node hosting it — an O(1)
+// routing-table lookup (see addrIndex), safe to call from the bus send path.
 func (s *System) addrNode(addr bus.Address) netsim.NodeID {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, rc := range s.comps {
-		if rc.ep.Addr() == addr {
-			return rc.node
-		}
-	}
-	for _, c := range s.conns {
-		if connector.Address(c.Name()) == addr {
-			tgts := c.Targets()
-			if len(tgts) > 0 {
-				for _, rc := range s.comps {
-					if rc.ep.Addr() == tgts[0] {
-						return rc.node
-					}
-				}
-			}
-		}
-	}
-	return ""
+	return s.addrs.nodeOf(addr)
 }
 
 // Start launches all connectors and components plus the client endpoint.
@@ -400,13 +390,17 @@ func (s *System) Call(component, op string, args ...any) ([]any, error) {
 		s.clientMu.Unlock()
 		return nil, err
 	}
+	// A stoppable timer, not time.After: high-QPS callers must not leak a
+	// pending timer per request until it fires.
+	timer := time.NewTimer(s.callTimeout)
+	defer timer.Stop()
 	select {
 	case payload := <-w:
 		if payload.Err != "" {
 			return nil, errors.New(payload.Err)
 		}
 		return payload.Results, nil
-	case <-time.After(s.callTimeout):
+	case <-timer.C:
 		s.clientMu.Lock()
 		delete(s.clientWait, corr)
 		s.clientMu.Unlock()
