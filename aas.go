@@ -56,15 +56,17 @@ type (
 
 // Re-exported event kinds (subset most callers react to).
 const (
-	EvRequestServed      = core.EvRequestServed
-	EvRequestFailed      = core.EvRequestFailed
-	EvQoSViolation       = core.EvQoSViolation
-	EvReconfigCommitted  = core.EvReconfigCommitted
-	EvReconfigRolledBack = core.EvReconfigRolledBack
-	EvAdaptation         = core.EvAdaptation
-	EvMigration          = core.EvMigration
-	EvSwap               = core.EvSwap
-	EvTriggerFired       = core.EvTriggerFired
+	EvRequestServed       = core.EvRequestServed
+	EvRequestFailed       = core.EvRequestFailed
+	EvQoSViolation        = core.EvQoSViolation
+	EvReconfigCommitted   = core.EvReconfigCommitted
+	EvReconfigRolledBack  = core.EvReconfigRolledBack
+	EvAdaptation          = core.EvAdaptation
+	EvMigration           = core.EvMigration
+	EvSwap                = core.EvSwap
+	EvTriggerFired        = core.EvTriggerFired
+	EvGuardFailed         = core.EvGuardFailed
+	EvTriggerActionFailed = core.EvTriggerActionFailed
 )
 
 // Component-side contracts.

@@ -1,18 +1,28 @@
-// Parallel benchmarks for the sharded software-bus data plane (E13): raw
-// Send throughput across GOMAXPROCS, connector-mediated calls, System.Call
-// fan-out, and a mixed workload that keeps reconfiguring (pause / redirect /
-// resume) while traffic flows. Run with -cpu=1,2,4 to see scaling.
+// Parallel benchmarks for the sharded software-bus data plane (E13) and the
+// sharded observation plane / region-scoped reconfiguration (E14): raw Send
+// throughput across GOMAXPROCS, connector-mediated calls, System.Call
+// fan-out, QoS recording and event emission from parallel workers, a mixed
+// workload that keeps reconfiguring (pause / redirect / resume) while
+// traffic flows, and traffic through an untouched region while a disjoint
+// region reconfigures. Run with -cpu=1,2,4 to see scaling.
 package aas_test
 
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
+
+	aas "repro"
 
 	"repro/internal/adl"
 	"repro/internal/bus"
+	"repro/internal/clock"
 	"repro/internal/connector"
+	"repro/internal/core"
+	"repro/internal/qos"
 )
 
 // BenchmarkBusParallelSend measures the raw data plane: every worker owns a
@@ -153,6 +163,189 @@ func BenchmarkSystemCallParallel(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkSystemCallParallelDistinctComps is the call-path analogue of
+// BenchmarkBusParallelSend: every worker owns its own target component, so
+// any remaining contention is shared call-path state — System.mu and the
+// client correlation mutex before the refactor, atomic snapshots and a
+// sharded waiter table after. A single shared component (see
+// BenchmarkSystemCallParallel) is bounded by its one mailbox and serve
+// loop; distinct components must scale with GOMAXPROCS.
+func BenchmarkSystemCallParallelDistinctComps(b *testing.B) {
+	const comps = 8
+	reg := aas.NewRegistry()
+	src := "system Many {\n"
+	for i := 0; i < comps; i++ {
+		name := fmt.Sprintf("Store%d", i)
+		reg.MustRegister(name, "1.0", nil, func() any { return newBenchKV(64) })
+		src += "  component " + name + " {\n    provide get(key) -> (value)\n    provide put(key, value) -> (status)\n  }\n"
+	}
+	src += "}\n"
+	sys, err := aas.Load(src, aas.Options{Registry: reg.Registry})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.Start(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(sys.Stop)
+	for i := 0; i < comps; i++ {
+		if _, err := sys.Call(fmt.Sprintf("Store%d", i), "put", "k", "v"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var id atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		target := fmt.Sprintf("Store%d", id.Add(1)%comps)
+		for pb.Next() {
+			if _, err := sys.Call(target, "get", "k"); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkMonitorRecordParallel measures the observation data plane: every
+// served request records latency and throughput samples, so Record must be
+// lock-free and allocation-free. Before the sharded-ring refactor this was
+// a global mutex plus a slice append/trim per sample.
+func BenchmarkMonitorRecordParallel(b *testing.B) {
+	m := qos.NewMonitor(clock.Real{}, 10*time.Second, 1<<14)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			m.Record(qos.Latency, 0.001)
+		}
+	})
+}
+
+// BenchmarkEventHubEmitParallel measures RAML stream emission from parallel
+// serve loops with one (fast) subscriber attached — copy-on-write
+// subscriber snapshot plus striped history vs the former global mutex.
+func BenchmarkEventHubEmitParallel(b *testing.B) {
+	h := core.NewEventHub(1024)
+	ch, cancel := h.Subscribe(1 << 16)
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range ch {
+		}
+	}()
+	e := core.Event{Kind: core.EvRequestServed, Component: "c", Detail: "op"}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Emit(e)
+		}
+	})
+	cancel()
+	<-done
+}
+
+// benchFront forwards every fetch through its required get service.
+type benchFront struct{ caller aas.Caller }
+
+func (f *benchFront) SetCaller(c aas.Caller) { f.caller = c }
+
+func (f *benchFront) Handle(op string, args []any) ([]any, error) {
+	if op != "fetch" {
+		return nil, fmt.Errorf("benchFront: unknown op %s", op)
+	}
+	return f.caller.Call("get", args...)
+}
+
+// dualADL is two disjoint chains; the reconfiguration benchmark hammers
+// chain A while chain B is repeatedly reconfigured.
+const dualADL = `
+system Dual {
+  component FrontA {
+    provide fetch(key) -> (value)
+    require get(key) -> (value)
+  }
+  component StoreA {
+    provide get(key) -> (value)
+    provide put(key, value) -> (status)
+  }
+  component StoreB {
+    provide get(key) -> (value)
+    provide put(key, value) -> (status)
+  }
+  connector LinkA { kind rpc }
+  bind FrontA.get -> StoreA.get via LinkA
+}
+`
+
+// BenchmarkRegionReconfigDisjointTraffic measures E14 at micro scale: the
+// per-call latency of traffic through an untouched region (FrontA->StoreA)
+// while a disjoint region (StoreB) is continuously mid-Reconfigure. Compare
+// with BenchmarkSystemCallParallel for the undisturbed baseline.
+func BenchmarkRegionReconfigDisjointTraffic(b *testing.B) {
+	reg := aas.NewRegistry()
+	reg.MustRegister("FrontA", "1.0", nil, func() any { return &benchFront{} })
+	reg.MustRegister("StoreA", "1.0", nil, func() any { return newBenchKV(64) })
+	reg.MustRegister("StoreB", "1.0", nil, func() any { return newBenchKV(64) })
+	sys, err := aas.Load(dualADL, aas.Options{Registry: reg.Registry})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.Start(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(sys.Stop)
+	if _, err := sys.Call("StoreA", "put", "k", "v"); err != nil {
+		b.Fatal(err)
+	}
+
+	cfgB, err := adl.Parse(strings.Replace(dualADL, "component StoreB {",
+		"component StoreB {\n    property tier = \"v2\"", 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfgA, err := adl.Parse(dualADL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stop := make(chan struct{})
+	churnDone := make(chan struct{})
+	var reconfigs atomic.Uint64
+	go func() {
+		defer close(churnDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			cfg := cfgB
+			if i%2 == 1 {
+				cfg = cfgA
+			}
+			if _, err := sys.Reconfigure(cfg); err != nil {
+				b.Error(err)
+				return
+			}
+			reconfigs.Add(1)
+		}
+	}()
+
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := sys.Call("FrontA", "fetch", "k"); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	<-churnDone
+	b.ReportMetric(float64(reconfigs.Load()), "reconfigs")
 }
 
 // BenchmarkBusMixedReconfigUnderLoad keeps the control plane busy while the

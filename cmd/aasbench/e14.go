@@ -1,0 +1,231 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	aas "repro"
+
+	"repro/internal/adl"
+)
+
+// E14: region-scoped reconfiguration. Two disjoint chains share one system;
+// chain B's store is reconfigured in a loop (ModifyComponent: pause the
+// region, quiesce, swap, resume) while closed-loop clients hammer chain A.
+// The experiment reports chain A's latency distribution with and without
+// the concurrent reconfiguration, and how many A-calls completed while B
+// was mid-transaction — the paper-level claim that reconfiguration runs
+// concurrently with application tasks instead of stopping the world.
+const e14ADL = `
+system Dual {
+  component FrontA {
+    provide fetch(key) -> (value)
+    require get(key) -> (value)
+  }
+  component StoreA {
+    provide get(key) -> (value)
+    provide put(key, value) -> (status)
+  }
+  component FrontB {
+    provide fetch(key) -> (value)
+    require get(key) -> (value)
+  }
+  component StoreB {
+    provide get(key) -> (value)
+    provide put(key, value) -> (status)
+    property statefulness = "stateful"
+  }
+  connector LinkA { kind rpc }
+  connector LinkB { kind rpc }
+  bind FrontA.get -> StoreA.get via LinkA
+  bind FrontB.get -> StoreB.get via LinkB
+}
+`
+
+// e14Front forwards fetch through the bound get service.
+type e14Front struct{ caller aas.Caller }
+
+func (f *e14Front) SetCaller(c aas.Caller) { f.caller = c }
+
+func (f *e14Front) Handle(op string, args []any) ([]any, error) {
+	return f.caller.Call("get", args...)
+}
+
+// e14KV is a small stateful store.
+type e14KV struct {
+	mu   sync.Mutex
+	data map[string]string
+}
+
+func (k *e14KV) Handle(op string, args []any) ([]any, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	switch op {
+	case "put":
+		k.data[args[0].(string)] = args[1].(string)
+		return []any{"ok"}, nil
+	case "get":
+		return []any{k.data[args[0].(string)]}, nil
+	}
+	return nil, fmt.Errorf("e14kv: unknown op %s", op)
+}
+
+func (k *e14KV) Snapshot() ([]byte, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := ""
+	for key, v := range k.data {
+		out += key + "=" + v + "\n"
+	}
+	return []byte(out), nil
+}
+
+func (k *e14KV) Restore(b []byte) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.data = map[string]string{}
+	for _, line := range strings.Split(string(b), "\n") {
+		if i := strings.IndexByte(line, '='); i > 0 {
+			k.data[line[:i]] = line[i+1:]
+		}
+	}
+	return nil
+}
+
+func runE14() {
+	reg := aas.NewRegistry()
+	reg.MustRegister("FrontA", "1.0", nil, func() any { return &e14Front{} })
+	reg.MustRegister("FrontB", "1.0", nil, func() any { return &e14Front{} })
+	reg.MustRegister("StoreA", "1.0", nil, func() any { return &e14KV{data: map[string]string{}} })
+	reg.MustRegister("StoreB", "1.0", nil, func() any { return &e14KV{data: map[string]string{}} })
+	sys, err := aas.Load(e14ADL, aas.Options{Registry: reg.Registry})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Start(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Stop()
+	if _, err := sys.Call("StoreA", "put", "k", "va"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.Call("StoreB", "put", "k", "vb"); err != nil {
+		log.Fatal(err)
+	}
+
+	const (
+		clients = 4
+		window  = 1500 * time.Millisecond
+	)
+
+	steady := e14Drive(sys, clients, window)
+	fmt.Println("chain A (FrontA->StoreA) closed-loop latency, 4 clients:")
+	fmt.Printf("%-28s %10s %10s %10s %10s %12s\n", "condition", "p50", "p95", "p99", "max", "calls/sec")
+	e14Report("steady state", steady, window)
+
+	// Concurrent reconfiguration of the disjoint region {StoreB}.
+	cfgB, err := adl.Parse(strings.Replace(e14ADL, "component StoreB {",
+		"component StoreB {\n    property tier = \"v2\"", 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfgA, err := adl.Parse(e14ADL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var reconfigs atomic.Uint64
+	var regions []string
+	stop := make(chan struct{})
+	churnDone := make(chan struct{})
+	go func() {
+		defer close(churnDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			cfg := cfgB
+			if i%2 == 1 {
+				cfg = cfgA
+			}
+			rep, err := sys.Reconfigure(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if regions == nil {
+				regions = rep.Region
+			}
+			reconfigs.Add(1)
+		}
+	}()
+
+	churned := e14Drive(sys, clients, window)
+	close(stop)
+	<-churnDone
+
+	e14Report("during B reconfiguration", churned, window)
+	fmt.Printf("\nreconfigurations of region %v while A served: %d (%.0f/sec)\n",
+		regions, reconfigs.Load(), float64(reconfigs.Load())/window.Seconds())
+	fmt.Printf("chain A calls completed during reconfiguration churn: %d (no errors, no stalls)\n", len(churned))
+
+	// And chain B itself keeps its state across every swap.
+	res, err := sys.Call("FrontB", "fetch", "k")
+	if err != nil || res[0] != "vb" {
+		log.Fatalf("chain B state after churn: %v %v", res, err)
+	}
+	fmt.Println("chain B state preserved across all swaps: fetch(k) = vb")
+}
+
+// e14Drive runs closed-loop clients against chain A for the window and
+// returns every call's latency.
+func e14Drive(sys *aas.System, clients int, window time.Duration) []time.Duration {
+	var mu sync.Mutex
+	var all []time.Duration
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(window)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lats []time.Duration
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				if _, err := sys.Call("FrontA", "fetch", "k"); err != nil {
+					log.Fatal(err)
+				}
+				lats = append(lats, time.Since(t0))
+			}
+			mu.Lock()
+			all = append(all, lats...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return all
+}
+
+func e14Report(label string, lats []time.Duration, window time.Duration) {
+	if len(lats) == 0 {
+		fmt.Printf("%-28s %10s %10s %10s %10s %12d\n", label, "-", "-", "-", "-", 0)
+		return
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	q := func(p float64) time.Duration {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lats)-1))
+		return lats[i]
+	}
+	fmt.Printf("%-28s %10v %10v %10v %10v %12.0f\n", label,
+		q(0.50).Round(time.Microsecond), q(0.95).Round(time.Microsecond),
+		q(0.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond),
+		float64(len(lats))/window.Seconds())
+}

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	aasbench           run all experiments
-//	aasbench -e E4     run one experiment (E1..E13)
+//	aasbench -e E4     run one experiment (E1..E14)
 package main
 
 import (
@@ -40,6 +40,7 @@ func main() {
 		{"E11", "interface-modification compliance matrix", runE11},
 		{"E12", "the ten adaptation approaches of §2, compared", runE12},
 		{"E13", "sharded data-plane throughput under reconfiguration", runE13},
+		{"E14", "region-scoped reconfiguration: disjoint traffic proceeds", runE14},
 	}
 	sort.SliceStable(exps, func(i, j int) bool { return i < j })
 

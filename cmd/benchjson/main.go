@@ -1,0 +1,103 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// array on stdout, one record per benchmark result line. CI pipes the bench
+// smoke run through it and uploads the result as a BENCH_*.json artifact,
+// so the performance trajectory (ns/op, allocs/op) is tracked per commit.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson > BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string             `json:"name"`
+	Package     string             `json:"package,omitempty"`
+	Cpus        int                `json:"cpus"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark[^\s]+)\s+(\d+)\s+(.+)$`)
+
+func main() {
+	var results []Result
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = rest
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name, cpus := splitCpus(m[1])
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		r := Result{Name: name, Package: pkg, Cpus: cpus, Iterations: iters}
+		// The tail is unit pairs: "123 ns/op", "0 B/op", "7 allocs/op",
+		// plus any ReportMetric extras ("3874 reconfigs").
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				b := v
+				r.BytesPerOp = &b
+			case "allocs/op":
+				a := v
+				r.AllocsPerOp = &a
+			default:
+				if r.Extra == nil {
+					r.Extra = map[string]float64{}
+				}
+				r.Extra[unit] = v
+			}
+		}
+		results = append(results, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// splitCpus separates "BenchmarkFoo-8" into ("BenchmarkFoo", 8); without a
+// suffix the run used one CPU.
+func splitCpus(name string) (string, int) {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name, 1
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil || n <= 0 {
+		return name, 1
+	}
+	return name[:i], n
+}

@@ -137,6 +137,21 @@ type busStats struct {
 	redirects atomic.Uint64
 }
 
+// pauseMode selects which message kinds a paused route parks.
+type pauseMode uint8
+
+// Pause modes.
+const (
+	pauseNone pauseMode = iota
+	// pauseAll parks every message (the classic blocked channel of §1).
+	pauseAll
+	// pauseRequests parks only Request messages and lets Reply, Event and
+	// Control traffic through. Region-scoped quiescence needs this: a
+	// component can only reach its reconfiguration point if the replies its
+	// in-flight work is waiting on still arrive while new work is barred.
+	pauseRequests
+)
+
 // route is the per-address routing entry. Its lock orders everything that
 // must be atomic per destination: sequence assignment, the paused check,
 // parking on the held queue, and mailbox enqueueing. Routes are created on
@@ -145,9 +160,22 @@ type busStats struct {
 type route struct {
 	mu     sync.Mutex
 	ep     *Endpoint // nil while detached; shares mu
-	paused bool
+	paused pauseMode
 	held   []Message
 	seq    seqTable // per-source FIFO counters; the dst is fixed
+}
+
+// parksLocked reports whether a message of kind k parks on this route;
+// callers hold r.mu.
+func (r *route) parksLocked(k Kind) bool {
+	switch r.paused {
+	case pauseAll:
+		return true
+	case pauseRequests:
+		return k == Request
+	default:
+		return false
+	}
 }
 
 // seqTable is a per-source counter table with a hot-pair cache: most
@@ -369,7 +397,7 @@ func (b *Bus) deliver(m Message) error {
 	}
 
 	r.mu.Lock()
-	if r.ep == nil && !r.paused {
+	if r.ep == nil && r.paused == pauseNone {
 		r.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrUnknownDst, m.Dst)
 	}
@@ -437,7 +465,7 @@ func resolveIn(redirects map[Address]Address, dst Address) (Address, error) {
 // only avoids copying the message across the internal calls — the message
 // is copied into the held queue or the mailbox ring, never retained.
 func (b *Bus) deliverRouteLocked(r *route, m *Message) error {
-	if r.paused || r.ep == nil {
+	if r.parksLocked(m.Kind) || r.ep == nil {
 		// Paused channel, or the destination vanished while the message was
 		// in flight: park it so it can be transferred to a replacement (no
 		// silent loss).
@@ -456,11 +484,23 @@ func (b *Bus) deliverRouteLocked(r *route, m *Message) error {
 // in-flight deliveries are parked in arrival order ("blocking communication
 // channels to manage the messages in transit", §1).
 func (b *Bus) Pause(addr Address) {
+	b.pauseMode(addr, pauseAll)
+}
+
+// PauseRequests blocks only Request traffic toward addr; replies, events and
+// control messages keep flowing. This is the admission barrier used by
+// region-scoped reconfiguration: new work toward the region parks while the
+// region's in-flight work drains through its pending replies.
+func (b *Bus) PauseRequests(addr Address) {
+	b.pauseMode(addr, pauseRequests)
+}
+
+func (b *Bus) pauseMode(addr Address, mode pauseMode) {
 	b.ctl.Lock()
 	defer b.ctl.Unlock()
 	r := b.routeOrCreate(addr)
 	r.mu.Lock()
-	r.paused = true
+	r.paused = mode
 	r.mu.Unlock()
 }
 
@@ -473,7 +513,7 @@ func (b *Bus) Resume(addr Address) (int, error) {
 	r := b.routeOrCreate(addr)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.paused = false
+	r.paused = pauseNone
 	if r.ep == nil {
 		return 0, fmt.Errorf("%w: %s", ErrUnknownDst, addr)
 	}

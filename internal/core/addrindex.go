@@ -1,7 +1,9 @@
 package core
 
 import (
+	"maps"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bus"
 	"repro/internal/netsim"
@@ -9,67 +11,79 @@ import (
 
 // addrIndex is the address→node routing table consulted by the bus delay
 // model on every delayed delivery. It replaces the former O(#components)
-// scan over the component table: assembly, migration and rebinding keep the
-// index up to date (control plane), and delayFor resolves an address with
-// two lock-free-ish lookups under a leaf read-lock (data plane). The index
-// never calls back into System or Bus, so it introduces no lock ordering
-// with s.mu or the bus internals.
+// scan over the component table and, since the observation-plane refactor,
+// mirrors the bus's own routing discipline: both tables are immutable
+// copy-on-write snapshots behind atomic pointers. Assembly, migration and
+// rebinding swap fresh snapshots under a writer mutex (control plane);
+// delayFor resolves an address with two atomic loads and no lock at all
+// (data plane). The index never calls back into System or Bus, so it
+// introduces no lock ordering with s.mu or the bus internals.
 type addrIndex struct {
-	mu sync.RWMutex
+	mu sync.Mutex // serializes writers only
 	// node maps a component endpoint address to the topology node hosting
 	// the component.
-	node map[bus.Address]netsim.NodeID
+	node atomic.Pointer[map[bus.Address]netsim.NodeID]
 	// via maps a connector address to the component address of its first
 	// target: a connector hop counts as local to that target, so one
 	// mediated call is charged one network traversal.
-	via map[bus.Address]bus.Address
+	via atomic.Pointer[map[bus.Address]bus.Address]
 }
 
 func newAddrIndex() *addrIndex {
-	return &addrIndex{
-		node: map[bus.Address]netsim.NodeID{},
-		via:  map[bus.Address]bus.Address{},
-	}
+	ix := &addrIndex{}
+	node := map[bus.Address]netsim.NodeID{}
+	ix.node.Store(&node)
+	via := map[bus.Address]bus.Address{}
+	ix.via.Store(&via)
+	return ix
 }
 
 // setNode records (or moves) the node hosting a component address.
 func (ix *addrIndex) setNode(addr bus.Address, node netsim.NodeID) {
 	ix.mu.Lock()
-	ix.node[addr] = node
+	next := maps.Clone(*ix.node.Load())
+	next[addr] = node
+	ix.node.Store(&next)
 	ix.mu.Unlock()
 }
 
 // dropNode forgets a component address.
 func (ix *addrIndex) dropNode(addr bus.Address) {
 	ix.mu.Lock()
-	delete(ix.node, addr)
+	next := maps.Clone(*ix.node.Load())
+	delete(next, addr)
+	ix.node.Store(&next)
 	ix.mu.Unlock()
 }
 
 // setVia records the component address a connector is charged to.
 func (ix *addrIndex) setVia(conn, target bus.Address) {
 	ix.mu.Lock()
-	ix.via[conn] = target
+	next := maps.Clone(*ix.via.Load())
+	next[conn] = target
+	ix.via.Store(&next)
 	ix.mu.Unlock()
 }
 
 // dropVia forgets a connector address.
 func (ix *addrIndex) dropVia(conn bus.Address) {
 	ix.mu.Lock()
-	delete(ix.via, conn)
+	next := maps.Clone(*ix.via.Load())
+	delete(next, conn)
+	ix.via.Store(&next)
 	ix.mu.Unlock()
 }
 
 // nodeOf resolves addr to its hosting node, following one connector
 // indirection; it returns "" for unknown addresses (e.g. the client edge).
+// Lock-free: at most two atomic snapshot loads.
 func (ix *addrIndex) nodeOf(addr bus.Address) netsim.NodeID {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	if n, ok := ix.node[addr]; ok {
+	node := *ix.node.Load()
+	if n, ok := node[addr]; ok {
 		return n
 	}
-	if target, ok := ix.via[addr]; ok {
-		return ix.node[target]
+	if target, ok := (*ix.via.Load())[addr]; ok {
+		return node[target]
 	}
 	return ""
 }

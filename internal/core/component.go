@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"maps"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/adl"
@@ -44,10 +46,15 @@ type runtimeComponent struct {
 	node  netsim.NodeID
 	entry registry.Entry // the implementation currently hosted
 
-	mu      sync.Mutex
-	routes  map[string]bus.Address // required service -> connector address
-	waiters map[uint64]chan connector.ReplyPayload
-	corr    uint64
+	// routes maps required services to connector addresses. It is a
+	// copy-on-write snapshot (the component-side mirror of the bus routing
+	// table): Call loads it atomically, assembly and rebinding republish it
+	// under mu.
+	mu     sync.Mutex // serializes route writers (control plane)
+	routes atomic.Pointer[map[string]bus.Address]
+
+	waiters replyWaiters
+	corr    atomic.Uint64
 	woven   aspects.Handler
 
 	wg     sync.WaitGroup
@@ -62,15 +69,15 @@ func newRuntimeComponent(sys *System, decl adl.ComponentDecl, cont *container.Co
 		return nil, err
 	}
 	rc := &runtimeComponent{
-		sys:     sys,
-		name:    decl.Name,
-		decl:    decl,
-		cont:    cont,
-		ep:      ep,
-		node:    node,
-		routes:  map[string]bus.Address{},
-		waiters: map[uint64]chan connector.ReplyPayload{},
+		sys:  sys,
+		name: decl.Name,
+		decl: decl,
+		cont: cont,
+		ep:   ep,
+		node: node,
 	}
+	empty := map[string]bus.Address{}
+	rc.routes.Store(&empty)
 	// Weave the system's aspects around the container invocation. The
 	// woven handler resolves advice dynamically, so aspects attached later
 	// apply to this component immediately.
@@ -87,7 +94,18 @@ func newRuntimeComponent(sys *System, decl adl.ComponentDecl, cont *container.Co
 func (rc *runtimeComponent) setRoute(service string, conn bus.Address) {
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
-	rc.routes[service] = conn
+	next := maps.Clone(*rc.routes.Load())
+	next[service] = conn
+	rc.routes.Store(&next)
+}
+
+// dropRoute unbinds a required service.
+func (rc *runtimeComponent) dropRoute(service string) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	next := maps.Clone(*rc.routes.Load())
+	delete(next, service)
+	rc.routes.Store(&next)
 }
 
 // start launches the serve loop.
@@ -112,13 +130,7 @@ func (rc *runtimeComponent) start(ctx context.Context) {
 					rc.serve(m)
 				}(m)
 			case bus.Reply:
-				rc.mu.Lock()
-				w, ok := rc.waiters[m.Corr]
-				if ok {
-					delete(rc.waiters, m.Corr)
-				}
-				rc.mu.Unlock()
-				if ok {
+				if w, ok := rc.waiters.take(m.Corr); ok {
 					payload, _ := m.Payload.(connector.ReplyPayload)
 					w <- payload
 				}
@@ -177,19 +189,17 @@ func (rc *runtimeComponent) serve(m bus.Message) {
 }
 
 // Call implements Caller: route the outcall through the bound connector and
-// wait for the correlated reply.
+// wait for the correlated reply. Like System.Call, the steady-state path is
+// mutex-free: the route table is an atomic snapshot and the reply waiter
+// table is sharded by correlation id.
 func (rc *runtimeComponent) Call(service string, args ...any) ([]any, error) {
-	rc.mu.Lock()
-	dst, ok := rc.routes[service]
+	dst, ok := (*rc.routes.Load())[service]
 	if !ok {
-		rc.mu.Unlock()
 		return nil, fmt.Errorf("core: component %s: required service %q is unbound", rc.name, service)
 	}
-	rc.corr++
-	corr := rc.corr
+	corr := rc.corr.Add(1)
 	w := make(chan connector.ReplyPayload, 1)
-	rc.waiters[corr] = w
-	rc.mu.Unlock()
+	rc.waiters.add(corr, w)
 
 	err := rc.sys.bus.Send(bus.Message{
 		Kind: bus.Request, Op: service,
@@ -197,9 +207,7 @@ func (rc *runtimeComponent) Call(service string, args ...any) ([]any, error) {
 		Src:     rc.ep.Addr(), Dst: dst, Corr: corr,
 	})
 	if err != nil {
-		rc.mu.Lock()
-		delete(rc.waiters, corr)
-		rc.mu.Unlock()
+		rc.waiters.take(corr)
 		return nil, err
 	}
 	// Stoppable timer: component outcalls are the inner hot path of every
@@ -213,9 +221,7 @@ func (rc *runtimeComponent) Call(service string, args ...any) ([]any, error) {
 		}
 		return payload.Results, nil
 	case <-timer.C:
-		rc.mu.Lock()
-		delete(rc.waiters, corr)
-		rc.mu.Unlock()
+		rc.waiters.take(corr)
 		return nil, fmt.Errorf("core: call %s.%s timed out", rc.name, service)
 	}
 }

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -25,6 +27,10 @@ const (
 	EvSwap
 	EvTriggerFired
 	EvGuardFailed
+	// EvTriggerActionFailed reports a trigger or event-trigger action that
+	// returned an error — distinct from EvGuardFailed, which is reserved for
+	// real non-regression guard failures during reconfiguration.
+	EvTriggerActionFailed
 )
 
 var eventNames = map[EventKind]string{
@@ -34,7 +40,7 @@ var eventNames = map[EventKind]string{
 	EvReconfigStep: "reconfig-step", EvReconfigCommitted: "reconfig-committed",
 	EvReconfigRolledBack: "reconfig-rolled-back", EvAdaptation: "adaptation",
 	EvMigration: "migration", EvSwap: "swap", EvTriggerFired: "trigger-fired",
-	EvGuardFailed: "guard-failed",
+	EvGuardFailed: "guard-failed", EvTriggerActionFailed: "trigger-action-failed",
 }
 
 // String implements fmt.Stringer.
@@ -53,16 +59,53 @@ type Event struct {
 	Detail    string
 }
 
+// subscriber is one fan-out target. Its mutex only orders the non-blocking
+// send in Emit against channel close in the unsubscribe function; it is
+// never held across user code and two subscribers never share one.
+type subscriber struct {
+	mu     sync.Mutex
+	ch     chan Event
+	closed bool
+	// lossy subscribers (internal coalescing consumers that only need one
+	// notification per burst) drop by design; their losses are not real
+	// subscriber loss and stay out of the hub's Dropped counter.
+	lossy bool
+}
+
+// histEntry is one retained event with its emission sequence.
+type histEntry struct {
+	seq uint64
+	e   Event
+}
+
+// histStripe is one shard of the retained-history ring. Slots are indexed
+// by claim sequence (like qos.dimRing), not by arrival order, so a stalled
+// emitter that claimed an older sequence cannot overwrite a newer retained
+// event — it lands in the slot its own sequence owns.
+type histStripe struct {
+	mu    sync.Mutex
+	slots []histEntry
+}
+
+const historyStripes = 8 // power of two
+
 // EventHub fans events out to subscribers. Subscribers receive on buffered
 // channels; events that would block are counted as dropped rather than
 // stalling the meta-level.
+//
+// The hub follows the control-plane/data-plane split of DESIGN.md: Emit (the
+// data plane — every served request emits) reads an immutable copy-on-write
+// subscriber snapshot and round-robins retained events across lock-striped
+// history rings, so emitting never contends with Subscribe/unsubscribe and
+// two concurrent emits contend only 1-in-historyStripes times on retention.
 type EventHub struct {
-	mu      sync.Mutex
-	subs    map[int]chan Event
-	nextID  int
-	dropped uint64
-	history []Event
+	seq     atomic.Uint64
+	subs    atomic.Pointer[[]*subscriber]
+	dropped atomic.Uint64
+	stripes [historyStripes]histStripe
 	keep    int
+
+	ctl sync.Mutex // serializes Subscribe/unsubscribe (control plane)
 }
 
 // NewEventHub builds a hub retaining the last keep events for
@@ -71,64 +114,114 @@ func NewEventHub(keep int) *EventHub {
 	if keep <= 0 {
 		keep = 1024
 	}
-	return &EventHub{subs: map[int]chan Event{}, keep: keep}
+	h := &EventHub{keep: keep}
+	per := (keep + historyStripes - 1) / historyStripes
+	if per < 1 {
+		per = 1
+	}
+	for i := range h.stripes {
+		h.stripes[i].slots = make([]histEntry, per)
+	}
+	empty := []*subscriber{}
+	h.subs.Store(&empty)
+	return h
 }
 
 // Subscribe returns a buffered event channel and an unsubscribe function.
 func (h *EventHub) Subscribe(buffer int) (<-chan Event, func()) {
+	return h.subscribe(buffer, false)
+}
+
+// subscribeLossy is Subscribe for internal coalescing consumers whose
+// intentional drops must not pollute the Dropped metric.
+func (h *EventHub) subscribeLossy(buffer int) (<-chan Event, func()) {
+	return h.subscribe(buffer, true)
+}
+
+func (h *EventHub) subscribe(buffer int, lossy bool) (<-chan Event, func()) {
 	if buffer <= 0 {
 		buffer = 256
 	}
-	ch := make(chan Event, buffer)
-	h.mu.Lock()
-	id := h.nextID
-	h.nextID++
-	h.subs[id] = ch
-	h.mu.Unlock()
-	return ch, func() {
-		h.mu.Lock()
-		if c, ok := h.subs[id]; ok {
-			delete(h.subs, id)
-			close(c)
+	sub := &subscriber{ch: make(chan Event, buffer), lossy: lossy}
+	h.ctl.Lock()
+	cur := *h.subs.Load()
+	next := make([]*subscriber, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = sub
+	h.subs.Store(&next)
+	h.ctl.Unlock()
+	return sub.ch, func() {
+		h.ctl.Lock()
+		cur := *h.subs.Load()
+		next := make([]*subscriber, 0, len(cur))
+		for _, s := range cur {
+			if s != sub {
+				next = append(next, s)
+			}
 		}
-		h.mu.Unlock()
+		h.subs.Store(&next)
+		h.ctl.Unlock()
+		sub.mu.Lock()
+		if !sub.closed {
+			sub.closed = true
+			close(sub.ch)
+		}
+		sub.mu.Unlock()
 	}
 }
 
-// Emit publishes an event.
+// Emit publishes an event. It never blocks and takes no hub-wide lock.
 func (h *EventHub) Emit(e Event) {
-	h.mu.Lock()
-	h.history = append(h.history, e)
-	if len(h.history) > h.keep {
-		h.history = h.history[len(h.history)-h.keep:]
-	}
-	for _, ch := range h.subs {
-		select {
-		case ch <- e:
-		default:
-			h.dropped++
+	seq := h.seq.Add(1)
+	st := &h.stripes[(seq-1)&(historyStripes-1)]
+	idx := ((seq - 1) / historyStripes) % uint64(len(st.slots))
+	st.mu.Lock()
+	st.slots[idx] = histEntry{seq: seq, e: e}
+	st.mu.Unlock()
+
+	for _, sub := range *h.subs.Load() {
+		sub.mu.Lock()
+		if !sub.closed {
+			select {
+			case sub.ch <- e:
+			default:
+				if !sub.lossy {
+					h.dropped.Add(1)
+				}
+			}
 		}
+		sub.mu.Unlock()
 	}
-	h.mu.Unlock()
 }
 
-// History returns a copy of retained events, optionally filtered by kind
-// (zero means all).
+// History returns a copy of retained events in emission order, optionally
+// filtered by kind (zero means all).
 func (h *EventHub) History(kind EventKind) []Event {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	entries := make([]histEntry, 0, h.keep+historyStripes)
+	for i := range h.stripes {
+		st := &h.stripes[i]
+		st.mu.Lock()
+		for _, en := range st.slots {
+			if en.seq != 0 {
+				entries = append(entries, en)
+			}
+		}
+		st.mu.Unlock()
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].seq < entries[j].seq })
+	if len(entries) > h.keep {
+		entries = entries[len(entries)-h.keep:]
+	}
 	var out []Event
-	for _, e := range h.history {
-		if kind == 0 || e.Kind == kind {
-			out = append(out, e)
+	for _, en := range entries {
+		if kind == 0 || en.e.Kind == kind {
+			out = append(out, en.e)
 		}
 	}
 	return out
 }
 
-// Dropped reports events lost to slow subscribers.
+// Dropped reports events lost to slow subscribers, across all subscribers.
 func (h *EventHub) Dropped() uint64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.dropped
+	return h.dropped.Load()
 }

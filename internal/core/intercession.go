@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/adl"
 	"repro/internal/bus"
 	"repro/internal/connector"
+	"repro/internal/container"
 	"repro/internal/deploy"
 	"repro/internal/netsim"
 	"repro/internal/registry"
@@ -25,36 +27,36 @@ type SwapReport struct {
 }
 
 // SwapImplementation replaces a component's implementation online,
-// following the paper's reconfiguration sequence (§1): wait for a
-// reconfiguration point (container quiescence), block the communication
-// channel (bus pause), encode the module context (state snapshot), create
-// the new module (factory), restore, unblock. transferState selects strong
-// dynamic reconfiguration.
+// following the paper's reconfiguration sequence (§1): block the
+// communication channel (bus pause), wait for a reconfiguration point
+// (container quiescence), encode the module context (state snapshot),
+// create the new module (factory), restore, unblock. transferState selects
+// strong dynamic reconfiguration.
+//
+// The pause is request-only: replies keep flowing so that a component with
+// in-flight outcalls of its own can still reach its reconfiguration point —
+// the swap's region is exactly this one component, and the rest of the
+// system serves traffic throughout.
 func (s *System) SwapImplementation(component string, entry registry.Entry, transferState bool) (SwapReport, error) {
-	s.mu.Lock()
-	rc, ok := s.comps[component]
-	s.mu.Unlock()
+	// A standalone swap is a one-component reconfiguration transaction; it
+	// must not interleave with a region-scoped Reconfigure, whose paused
+	// region this swap's Resume would otherwise reopen mid-transaction.
+	s.reconfigMu.Lock()
+	defer s.reconfigMu.Unlock()
+	rc, ok := (*s.compView.Load())[component]
 	rep := SwapReport{Component: component}
 	if !ok {
 		return rep, fmt.Errorf("%w: %s", ErrUnknownComp, component)
 	}
-
-	// Compliance gate: the replacement must keep the compliancy with the
-	// interface the component declares (interface modification rules).
-	if rc.decl.Implements != "" {
-		if iface, ok := s.cfg.Interface(rc.decl.Implements); ok {
-			if !registry.CheckCompliance(iface.ToRegistry(), entry.Provides).Compliant {
-				return rep, fmt.Errorf("core: swap %s: replacement %s does not keep compliancy with %s",
-					component, entry.Name, iface.Name)
-			}
-		}
+	if err := s.checkSwapCompliance(rc, entry); err != nil {
+		return rep, err
 	}
 
 	addr := rc.ep.Addr()
 	started := s.clk.Now()
 
-	// 1. Block the communication channel; new messages are parked.
-	s.bus.Pause(addr)
+	// 1. Block the communication channel; new requests are parked.
+	s.bus.PauseRequests(addr)
 
 	// 2. Reach the reconfiguration point: in-flight requests complete.
 	ctx, cancel := context.WithTimeout(context.Background(), s.callTimeout)
@@ -65,32 +67,15 @@ func (s *System) SwapImplementation(component string, entry registry.Entry, tran
 	}
 
 	// 3. Encode the module context and initialize the new module.
-	raw := entry.New()
-	comp, okC := raw.(interface {
-		Handle(op string, args []any) ([]any, error)
-	})
-	if !okC {
+	stateBytes, err := s.replaceQuiesced(rc, entry, transferState)
+	rep.StateBytes = stateBytes
+	if err != nil {
 		rc.cont.Activate()
 		_, _ = s.bus.Resume(addr)
-		return rep, fmt.Errorf("%w: %s produced %T", ErrBadComponent, entry.Name, raw)
-	}
-	if transferState {
-		snap, err := rc.cont.Snapshot()
-		if err == nil {
-			rep.StateBytes = len(snap)
-		}
-	}
-	if err := rc.cont.ReplaceComponent(comp, transferState); err != nil {
-		rc.cont.Activate()
-		_, _ = s.bus.Resume(addr)
-		return rep, fmt.Errorf("core: swap %s: %w", component, err)
-	}
-	if aware, ok := comp.(CallerAware); ok {
-		aware.SetCaller(rc)
+		return rep, err
 	}
 
 	// 4. Reactivate and flush the parked messages in order.
-	rc.entry = entry
 	rc.cont.Activate()
 	rep.HeldMessages = s.bus.HeldCount(addr)
 	if _, err := s.bus.Resume(addr); err != nil {
@@ -102,9 +87,85 @@ func (s *System) SwapImplementation(component string, entry registry.Entry, tran
 	return rep, nil
 }
 
+// checkSwapCompliance gates a replacement implementation on the interface
+// the component declares (interface modification rules).
+func (s *System) checkSwapCompliance(rc *runtimeComponent, entry registry.Entry) error {
+	if rc.decl.Implements == "" {
+		return nil
+	}
+	if iface, ok := s.Config().Interface(rc.decl.Implements); ok {
+		if !registry.CheckCompliance(iface.ToRegistry(), entry.Provides).Compliant {
+			return fmt.Errorf("core: swap %s: replacement %s does not keep compliancy with %s",
+				rc.name, entry.Name, iface.Name)
+		}
+	}
+	return nil
+}
+
+// replaceQuiesced swaps the hosted implementation of an already-quiesced
+// component (container Passive, channel blocked) and records the new entry.
+// Activation and channel resume are the caller's responsibility — the
+// standalone swap does both immediately, a region-scoped transaction defers
+// them to the region resume.
+func (s *System) replaceQuiesced(rc *runtimeComponent, entry registry.Entry, transferState bool) (stateBytes int, err error) {
+	raw := entry.New()
+	comp, ok := raw.(container.Component)
+	if !ok {
+		return 0, fmt.Errorf("%w: %s produced %T", ErrBadComponent, entry.Name, raw)
+	}
+	if transferState {
+		if snap, serr := rc.cont.Snapshot(); serr == nil {
+			stateBytes = len(snap)
+		}
+	}
+	if err := rc.cont.ReplaceComponent(comp, transferState); err != nil {
+		return stateBytes, fmt.Errorf("core: swap %s: %w", rc.name, err)
+	}
+	if aware, ok := comp.(CallerAware); ok {
+		aware.SetCaller(rc)
+	}
+	rc.entry = entry
+	return stateBytes, nil
+}
+
+// swapWithin performs an implementation swap as one step of a region-scoped
+// transaction: the component's channel is already paused and its container
+// already quiesced, so the swap replaces the implementation in place;
+// activation and flush happen when the whole region resumes. The caller
+// holds reconfigMu, so the component must be covered by the region —
+// computeRegion always includes ModifyComponent targets; falling back to
+// the standalone SwapImplementation here would self-deadlock on that mutex.
+func (s *System) swapWithin(region *reconfigRegion, component string, entry registry.Entry, transferState bool) (SwapReport, error) {
+	if !region.covers(component) {
+		return SwapReport{Component: component}, fmt.Errorf(
+			"core: swap %s: component outside the transaction's region %v", component, region.comps)
+	}
+	rc, ok := (*s.compView.Load())[component]
+	rep := SwapReport{Component: component}
+	if !ok {
+		return rep, fmt.Errorf("%w: %s", ErrUnknownComp, component)
+	}
+	if err := s.checkSwapCompliance(rc, entry); err != nil {
+		return rep, err
+	}
+	stateBytes, err := s.replaceQuiesced(rc, entry, transferState)
+	rep.StateBytes = stateBytes
+	if err != nil {
+		return rep, err
+	}
+	rep.HeldMessages = s.bus.HeldCount(rc.ep.Addr())
+	s.events.Emit(Event{Kind: EvSwap, At: s.clk.Now(), Component: component,
+		Detail: fmt.Sprintf("-> %s %s (strong=%v, held=%d, in-region)", entry.Name, entry.Version, transferState, rep.HeldMessages)})
+	return rep, nil
+}
+
 // Rebind points a binding's connector at a different provider component —
-// "modifying the connections between the components" (§3).
+// "modifying the connections between the components" (§3). It serializes
+// with Reconfigure so its architectural-model update cannot be erased by a
+// concurrently committing transaction.
 func (s *System) Rebind(fromComponent, service, newProvider string) error {
+	s.reconfigMu.Lock()
+	defer s.reconfigMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.comps[newProvider]; !ok {
@@ -113,15 +174,27 @@ func (s *System) Rebind(fromComponent, service, newProvider string) error {
 	for name, c := range s.conns {
 		for _, b := range s.cfg.Bindings {
 			if connectorInstanceName(b) == name && b.FromComponent == fromComponent && b.FromService == service {
+				// The cutover region is this one connector, and its swap is
+				// already atomic: the target set and the routing index are
+				// copy-on-write snapshots, so no pause or quiescence is
+				// needed — requests mediated before the swap reach the old
+				// provider, requests after it the new one, and the rest of
+				// the system is untouched.
 				c.SetTargets([]bus.Address{ComponentAddress(newProvider)})
 				s.addrs.setVia(connector.Address(name), ComponentAddress(newProvider))
-				// Track the change in the architectural model.
-				for i := range s.cfg.Bindings {
-					bb := &s.cfg.Bindings[i]
+				// Track the change in the architectural model — on a fresh
+				// bindings slice, not in place: Reconfigure diffs its
+				// configuration snapshot outside s.mu, so a snapshot once
+				// published must never mutate.
+				next := *s.cfg
+				next.Bindings = append([]adl.Binding(nil), s.cfg.Bindings...)
+				for i := range next.Bindings {
+					bb := &next.Bindings[i]
 					if bb.FromComponent == fromComponent && bb.FromService == service {
 						bb.ToComponent = newProvider
 					}
 				}
+				s.cfg = &next
 				s.events.Emit(Event{Kind: EvReconfigStep, At: s.clk.Now(),
 					Component: fromComponent,
 					Detail:    fmt.Sprintf("rebind %s.%s -> %s", fromComponent, service, newProvider)})

@@ -50,11 +50,9 @@ func (s *System) Introspect() Model {
 			Failures:  failures,
 			Routes:    map[string]string{},
 		}
-		rc.mu.Lock()
-		for svc, addr := range rc.routes {
+		for svc, addr := range *rc.routes.Load() {
 			info.Routes[svc] = string(addr)
 		}
-		rc.mu.Unlock()
 		m.Components = append(m.Components, info)
 	}
 	for _, c := range s.conns {

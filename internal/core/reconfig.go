@@ -20,7 +20,15 @@ import (
 // when the system changes its configuration".
 type Guard func(s *System) error
 
-// AddGuard registers a non-regression invariant.
+// AddGuard registers a non-regression invariant. Guards run after a
+// reconfiguration plan has been applied but before the affected region
+// reopens, so a failing guard rolls back a configuration that never served
+// traffic; consequently a guard must observe the system through
+// introspection, the QoS monitor and the event stream — a synchronous Call
+// into a component of the paused region parks until the call timeout, and
+// invoking another intercession operation (Reconfigure, SwapImplementation,
+// Rebind) from a guard deadlocks on the transaction lock the guard already
+// runs under.
 func (s *System) AddGuard(g Guard) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -33,39 +41,58 @@ type ReconfigReport struct {
 	Duration   time.Duration
 	RolledBack bool
 	Plan       []adl.Change
+	// Region lists the components the transaction paused and quiesced, in
+	// quiesce (caller-first) order; every component not listed kept serving
+	// throughout.
+	Region []string
 }
 
 // ErrReconfigFailed wraps reconfiguration failures (the system has been
 // rolled back to the previous configuration).
 var ErrReconfigFailed = errors.New("core: reconfiguration failed")
 
-// Reconfigure transitions the running system to newCfg transactionally:
-// the plan is computed with adl.Diff, validated (global consistency of the
-// new configuration), applied step by step, checked against all guards,
-// and rolled back entirely if any step or guard fails.
+// Reconfigure transitions the running system to newCfg transactionally and
+// region-scoped: the plan is computed with adl.Diff, validated (global
+// consistency of the new configuration), and the affected region — the
+// components and bindings the plan names — is paused and quiesced while
+// every component outside it keeps serving traffic. The plan is then
+// applied step by step, checked against all guards, rolled back entirely if
+// any step or guard fails, and the region is resumed (flushing the requests
+// that parked at its edges) either way.
 func (s *System) Reconfigure(newCfg *adl.Config) (ReconfigReport, error) {
 	started := s.clk.Now()
 	rep := ReconfigReport{}
 	if _, err := adl.Check(newCfg); err != nil {
 		return rep, fmt.Errorf("%w: %v", ErrReconfigFailed, err)
 	}
+	// One transaction at a time: the plan must diff against a configuration
+	// no other transaction is concurrently replacing.
+	s.reconfigMu.Lock()
+	defer s.reconfigMu.Unlock()
 	s.mu.Lock()
 	oldCfg := s.cfg
 	s.mu.Unlock()
 	plan := adl.Diff(oldCfg, newCfg)
 	rep.Plan = plan
+	region := computeRegion(oldCfg, newCfg, plan)
+	rep.Region = region.Components()
 	s.events.Emit(Event{Kind: EvReconfigStarted, At: started,
-		Detail: fmt.Sprintf("%d steps toward %s", len(plan), newCfg.Name)})
+		Detail: fmt.Sprintf("%d steps toward %s (region: %v)", len(plan), newCfg.Name, rep.Region)})
 
 	var undo []func() error
 	fail := func(step adl.Change, err error) (ReconfigReport, error) {
-		// Roll back the applied prefix in reverse order.
+		// Roll back the applied prefix in reverse order, still inside the
+		// paused region, then resume: the region reopens either fully
+		// committed or fully restored, never half-way.
 		for i := len(undo) - 1; i >= 0; i-- {
 			if uerr := undo[i](); uerr != nil {
-				s.events.Emit(Event{Kind: EvGuardFailed, At: s.clk.Now(),
-					Detail: "rollback: " + uerr.Error()})
+				// A failing compensation is a reconfiguration-step error,
+				// not a guard failure.
+				s.events.Emit(Event{Kind: EvReconfigStep, At: s.clk.Now(),
+					Detail: "rollback failed: " + uerr.Error()})
 			}
 		}
+		s.resumeRegion(region)
 		rep.RolledBack = true
 		rep.Duration = s.clk.Now().Sub(started)
 		s.events.Emit(Event{Kind: EvReconfigRolledBack, At: s.clk.Now(),
@@ -73,9 +100,18 @@ func (s *System) Reconfigure(newCfg *adl.Config) (ReconfigReport, error) {
 		return rep, fmt.Errorf("%w: step %q: %v", ErrReconfigFailed, step, err)
 	}
 
+	if err := s.pauseRegion(region); err != nil {
+		// Quiescence never reached; nothing was applied.
+		s.resumeRegion(region)
+		rep.RolledBack = true
+		rep.Duration = s.clk.Now().Sub(started)
+		s.events.Emit(Event{Kind: EvReconfigRolledBack, At: s.clk.Now(), Detail: err.Error()})
+		return rep, fmt.Errorf("%w: %v", ErrReconfigFailed, err)
+	}
+
 	for _, step := range plan {
 		s.events.Emit(Event{Kind: EvReconfigStep, At: s.clk.Now(), Detail: step.String()})
-		u, err := s.applyStep(step, oldCfg, newCfg)
+		u, err := s.applyStep(step, oldCfg, newCfg, region)
 		if err != nil {
 			return fail(step, err)
 		}
@@ -85,12 +121,16 @@ func (s *System) Reconfigure(newCfg *adl.Config) (ReconfigReport, error) {
 		rep.Steps++
 	}
 
-	// Non-regression guards.
+	// Non-regression guards, evaluated before the region reopens so a
+	// failing guard rolls back a configuration that never served traffic.
+	// Guards therefore must not call synchronously into the region itself;
+	// they observe through introspection, the QoS monitor and the stream.
 	s.mu.Lock()
 	guards := append([]Guard(nil), s.guards...)
 	s.mu.Unlock()
 	for _, g := range guards {
 		if err := g(s); err != nil {
+			s.events.Emit(Event{Kind: EvGuardFailed, At: s.clk.Now(), Detail: err.Error()})
 			return fail(adl.Change{Kind: adl.ChangeKind(0), Target: "guard"}, err)
 		}
 	}
@@ -98,14 +138,17 @@ func (s *System) Reconfigure(newCfg *adl.Config) (ReconfigReport, error) {
 	s.mu.Lock()
 	s.cfg = newCfg
 	s.mu.Unlock()
+	s.resumeRegion(region)
 	rep.Duration = s.clk.Now().Sub(started)
 	s.events.Emit(Event{Kind: EvReconfigCommitted, At: s.clk.Now(),
-		Detail: fmt.Sprintf("%d steps in %v", rep.Steps, rep.Duration)})
+		Detail: fmt.Sprintf("%d steps in %v (region: %v)", rep.Steps, rep.Duration, rep.Region)})
 	return rep, nil
 }
 
-// applyStep executes one plan step and returns its compensation.
-func (s *System) applyStep(step adl.Change, oldCfg, newCfg *adl.Config) (func() error, error) {
+// applyStep executes one plan step inside the paused region and returns its
+// compensation. The compensation runs with the region still paused, so it
+// uses the same region-aware primitives.
+func (s *System) applyStep(step adl.Change, oldCfg, newCfg *adl.Config, region *reconfigRegion) (func() error, error) {
 	switch step.Kind {
 	case adl.AddComponent:
 		decl, ok := newCfg.Component(step.Target)
@@ -137,9 +180,10 @@ func (s *System) applyStep(step adl.Change, oldCfg, newCfg *adl.Config) (func() 
 			return nil, fmt.Errorf("%w: %s", ErrUnknownComp, step.Target)
 		}
 		prevEntry := rc.entry
+		prevDecl := rc.decl
 		newDecl, _ := newCfg.Component(step.Target)
 		strong := newDecl.Properties["statefulness"] == "stateful"
-		if _, err := s.SwapImplementation(step.Target, entry, strong); err != nil {
+		if _, err := s.swapWithin(region, step.Target, entry, strong); err != nil {
 			return nil, err
 		}
 		rc.decl = newDecl
@@ -147,7 +191,10 @@ func (s *System) applyStep(step adl.Change, oldCfg, newCfg *adl.Config) (func() 
 			if prevEntry.New == nil {
 				return nil
 			}
-			_, err := s.SwapImplementation(step.Target, prevEntry, strong)
+			_, err := s.swapWithin(region, step.Target, prevEntry, strong)
+			if err == nil {
+				rc.decl = prevDecl
+			}
 			return err
 		}, nil
 
@@ -255,6 +302,7 @@ func (s *System) addComponentLive(decl adl.ComponentDecl, cfg *adl.Config) error
 	rc := s.comps[decl.Name]
 	running := s.running
 	ctx := s.ctx
+	s.publishCompsLocked()
 	s.mu.Unlock()
 	if running {
 		rc.start(ctx)
@@ -272,6 +320,7 @@ func (s *System) removeComponentLive(name string) error {
 	}
 	delete(s.comps, name)
 	delete(s.placement, name)
+	s.publishCompsLocked()
 	s.mu.Unlock()
 
 	rc.stop()
@@ -302,9 +351,14 @@ func (s *System) addBindingLive(b adl.Binding, cfg *adl.Config) error {
 	running := s.running
 	ctx := s.ctx
 	// Keep the architectural model in sync for connectorInstanceName
-	// lookups (Rebind, Connector). The addrIndex update stays inside the
-	// critical section so it cannot reorder against a concurrent Rebind.
-	s.cfg.Bindings = append(s.cfg.Bindings, b)
+	// lookups (Rebind, Connector) — on a fresh bindings slice, never in
+	// place: configuration snapshots handed out by Config() are read
+	// outside s.mu (Migrate, adl.Diff). The addrIndex update stays
+	// inside the critical section so it cannot reorder against a
+	// concurrent Rebind.
+	next := *s.cfg
+	next.Bindings = append(append([]adl.Binding(nil), s.cfg.Bindings...), b)
+	s.cfg = &next
 	s.addrs.setVia(connector.Address(inst.Name), ComponentAddress(b.ToComponent))
 	s.mu.Unlock()
 	if okC {
@@ -325,12 +379,19 @@ func (s *System) removeBindingLive(b adl.Binding) error {
 		delete(s.conns, inst)
 	}
 	rc, okC := s.comps[b.FromComponent]
-	for i, bb := range s.cfg.Bindings {
-		if bb.String() == b.String() {
-			s.cfg.Bindings = append(s.cfg.Bindings[:i], s.cfg.Bindings[i+1:]...)
-			break
+	// Copy-on-write for the same reason as addBindingLive: snapshots out in
+	// the wild must never see in-place slice surgery.
+	next := *s.cfg
+	next.Bindings = make([]adl.Binding, 0, len(s.cfg.Bindings))
+	removed := false
+	for _, bb := range s.cfg.Bindings {
+		if !removed && bb.String() == b.String() {
+			removed = true
+			continue
 		}
+		next.Bindings = append(next.Bindings, bb)
 	}
+	s.cfg = &next
 	s.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownConn, inst)
@@ -339,9 +400,7 @@ func (s *System) removeBindingLive(b adl.Binding) error {
 	s.bus.Detach(connector.Address(inst))
 	s.addrs.dropVia(connector.Address(inst))
 	if okC {
-		rc.mu.Lock()
-		delete(rc.routes, b.FromService)
-		rc.mu.Unlock()
+		rc.dropRoute(b.FromService)
 	}
 	return nil
 }

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/adl"
+	"repro/internal/bus"
+	"repro/internal/connector"
+)
+
+// reconfigRegion is the part of the running system a reconfiguration plan
+// actually touches: the components named by the plan's steps (including
+// both endpoints of every named binding), ordered caller-first, plus the
+// connectors through which traffic from *outside* the region enters it.
+// Everything else keeps serving throughout the transaction — the DReAM
+// discipline of scoping a reconfiguration to the interacting region instead
+// of stopping the world.
+type reconfigRegion struct {
+	comps   []string // caller-first quiesce order
+	compSet map[string]bool
+	conns   []bus.Address // inbound boundary connectors (source outside the region)
+}
+
+// covers reports whether the component is inside the region.
+func (r *reconfigRegion) covers(component string) bool {
+	return r != nil && r.compSet[component]
+}
+
+// computeRegion derives the affected region of a plan from the old and new
+// configurations.
+func computeRegion(oldCfg, newCfg *adl.Config, plan []adl.Change) *reconfigRegion {
+	set := map[string]bool{}
+	addBinding := func(b adl.Binding) {
+		set[b.FromComponent] = true
+		set[b.ToComponent] = true
+	}
+	for _, step := range plan {
+		switch step.Kind {
+		case adl.AddComponent, adl.RemoveComponent, adl.ModifyComponent:
+			set[step.Target] = true
+		// Redeploy is deliberately absent: migration keeps the component's
+		// bus address and its cutover is a single atomic addrIndex swap, so
+		// redeployed components need no pause or quiescence (DESIGN.md §4).
+		case adl.AddBinding:
+			if b, ok := findBinding(newCfg, step.Target); ok {
+				addBinding(b)
+			}
+		case adl.RemoveBinding:
+			if b, ok := findBinding(oldCfg, step.Target); ok {
+				addBinding(b)
+			}
+		case adl.ModifyConnector:
+			// A connector declaration change touches every binding mediated
+			// by it, in either configuration.
+			for _, cfg := range []*adl.Config{oldCfg, newCfg} {
+				for _, b := range cfg.Bindings {
+					if b.Via == step.Target {
+						addBinding(b)
+					}
+				}
+			}
+		}
+	}
+
+	r := &reconfigRegion{compSet: set}
+
+	// Caller-first topological order over the region's binding subgraph
+	// (union of both configurations): a caller must reach its
+	// reconfiguration point while its callees still serve, otherwise its
+	// in-flight work could never drain. Cycles fall back to name order.
+	indeg := map[string]int{}
+	succ := map[string][]string{}
+	for name := range set {
+		indeg[name] = 0
+	}
+	seen := map[string]bool{}
+	for _, cfg := range []*adl.Config{oldCfg, newCfg} {
+		for _, b := range cfg.Bindings {
+			if !set[b.FromComponent] || !set[b.ToComponent] || b.FromComponent == b.ToComponent {
+				continue
+			}
+			key := b.FromComponent + "\x00" + b.ToComponent
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			succ[b.FromComponent] = append(succ[b.FromComponent], b.ToComponent)
+			indeg[b.ToComponent]++
+		}
+	}
+	var ready []string
+	for name, d := range indeg {
+		if d == 0 {
+			ready = append(ready, name)
+		}
+	}
+	sort.Strings(ready)
+	for len(ready) > 0 {
+		n := ready[0]
+		ready = ready[1:]
+		r.comps = append(r.comps, n)
+		delete(indeg, n)
+		next := succ[n]
+		sort.Strings(next)
+		for _, m := range next {
+			if _, pending := indeg[m]; !pending {
+				continue
+			}
+			indeg[m]--
+			if indeg[m] == 0 {
+				ready = append(ready, m)
+			}
+		}
+		sort.Strings(ready)
+	}
+	if len(indeg) > 0 { // cycle remainder
+		var rest []string
+		for name := range indeg {
+			rest = append(rest, name)
+		}
+		sort.Strings(rest)
+		r.comps = append(r.comps, rest...)
+	}
+
+	// Inbound boundary connectors: live bindings whose target is inside the
+	// region but whose source is not. Pausing them parks outside traffic at
+	// a clean edge; within-region bindings stay open so in-flight work can
+	// drain during the caller-first quiesce.
+	connSeen := map[bus.Address]bool{}
+	for _, b := range oldCfg.Bindings {
+		if set[b.ToComponent] && !set[b.FromComponent] {
+			addr := connector.Address(connectorInstanceName(b))
+			if !connSeen[addr] {
+				connSeen[addr] = true
+				r.conns = append(r.conns, addr)
+			}
+		}
+	}
+	return r
+}
+
+// Components returns the region's component names (caller-first order).
+func (r *reconfigRegion) Components() []string {
+	return append([]string(nil), r.comps...)
+}
+
+// pauseRegion blocks request admission into the region and brings every
+// live region component to its reconfiguration point. The order matters
+// twice over: boundary connectors pause first so no new outside work slips
+// in, and components quiesce caller-first so each one's in-flight requests
+// can still complete against its not-yet-paused callees. Pauses are
+// request-only — replies keep flowing, which is what lets in-flight work
+// drain at all (Mazzara & Bhattacharyya's requirement that reconfiguration
+// run concurrently with application tasks).
+//
+// On error the caller must resumeRegion; no plan step has run yet.
+func (s *System) pauseRegion(r *reconfigRegion) error {
+	for _, a := range r.conns {
+		s.bus.PauseRequests(a)
+	}
+	view := *s.compView.Load()
+	for _, name := range r.comps {
+		s.bus.PauseRequests(ComponentAddress(name))
+		rc := view[name]
+		if rc == nil || !s.live.Load() {
+			// Component being added by the plan, or the system is not
+			// running yet: nothing can be in flight, nothing to quiesce.
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), s.callTimeout)
+		err := rc.cont.Quiesce(ctx)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("core: region quiesce %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// resumeRegion reactivates the region and flushes everything that parked at
+// its edges, callee-first (the reverse of the pause order) so flushed
+// requests land on already-active providers. Components removed by the plan
+// no longer have an endpoint; their resume errors are expected and their
+// held messages stay parked, exactly as after a Detach.
+func (s *System) resumeRegion(r *reconfigRegion) {
+	view := *s.compView.Load()
+	for i := len(r.comps) - 1; i >= 0; i-- {
+		name := r.comps[i]
+		if rc := view[name]; rc != nil && s.live.Load() {
+			rc.cont.Activate()
+		}
+		_, _ = s.bus.Resume(ComponentAddress(name))
+	}
+	for _, a := range r.conns {
+		_, _ = s.bus.Resume(a)
+	}
+}

@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"maps"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/adl"
@@ -69,15 +71,35 @@ type System struct {
 	ctx       context.Context
 	cancel    context.CancelFunc
 
+	// Data-plane views of the control-plane state above, mirroring the
+	// bus's routing snapshot: Call resolves components and liveness with
+	// atomic loads only; assembly and reconfiguration republish the
+	// snapshot while holding s.mu.
+	live     atomic.Bool
+	compView atomic.Pointer[map[string]*runtimeComponent]
+
 	triggers *triggerHub
 
-	clientMu   sync.Mutex
-	client     *bus.Endpoint
-	clientCorr uint64
-	clientWait map[uint64]chan connector.ReplyPayload
-	clientWG   sync.WaitGroup
-	clientStop context.CancelFunc
+	// reconfigMu serializes whole reconfiguration transactions: two
+	// concurrent Reconfigure calls would otherwise derive plans from the
+	// same old configuration and overwrite each other's commit, and with
+	// overlapping regions one transaction's resume would reopen channels
+	// the other still holds quiesced. Data-plane traffic never touches it.
+	reconfigMu sync.Mutex
+
+	clientMu      sync.Mutex // control plane: client endpoint lifecycle
+	clientEPs     atomic.Pointer[[]*bus.Endpoint]
+	clientCorr    atomic.Uint64
+	clientWaiters replyWaiters
+	clientWG      sync.WaitGroup
+	clientStop    context.CancelFunc
 }
+
+// clientEndpoints is the size of the sharded platform edge: external calls
+// spread across this many bus endpoints (each with its own mailbox, route
+// lock and reply pump) so concurrent callers do not funnel their replies
+// through a single route. Power of two.
+const clientEndpoints = 8
 
 // Assembly errors.
 var (
@@ -112,7 +134,6 @@ func NewSystem(cfg *adl.Config, opts Options) (*System, error) {
 		addrs:       newAddrIndex(),
 		events:      NewEventHub(0),
 		weaver:      aspects.NewWeaver(),
-		clientWait:  map[uint64]chan connector.ReplyPayload{},
 	}
 	if s.clk == nil {
 		s.clk = clock.Real{}
@@ -156,7 +177,16 @@ func NewSystem(cfg *adl.Config, opts Options) (*System, error) {
 			return nil, err
 		}
 	}
+	s.publishCompsLocked()
 	return s, nil
+}
+
+// publishCompsLocked republishes the component-table snapshot read by the
+// call path; callers hold s.mu (or own the system exclusively, as during
+// assembly).
+func (s *System) publishCompsLocked() {
+	view := maps.Clone(s.comps)
+	s.compView.Store(&view)
 }
 
 // edgesFromBindings derives communication edges for the placement
@@ -280,45 +310,48 @@ func (s *System) Start(ctx context.Context) error {
 		rc.start(s.ctx)
 	}
 	s.running = true
+	s.live.Store(true)
 	s.mu.Unlock()
 
 	return s.startClient()
 }
 
-// startClient attaches the external-caller endpoint used by Call.
+// startClient attaches the sharded external-caller endpoints used by Call.
 func (s *System) startClient() error {
-	ep, err := s.bus.Attach(bus.Address("client:"+s.name), s.mailbox)
-	if err != nil {
-		return err
-	}
 	ctx, cancel := context.WithCancel(s.ctx)
+	eps := make([]*bus.Endpoint, clientEndpoints)
+	for i := range eps {
+		ep, err := s.bus.Attach(bus.Address(fmt.Sprintf("client:%s#%d", s.name, i)), s.mailbox)
+		if err != nil {
+			cancel()
+			return err
+		}
+		eps[i] = ep
+	}
 	s.clientMu.Lock()
-	s.client = ep
+	s.clientEPs.Store(&eps)
 	s.clientStop = cancel
 	s.clientMu.Unlock()
-	s.clientWG.Add(1)
-	go func() {
-		defer s.clientWG.Done()
-		for {
-			m, err := ep.Receive(ctx)
-			if err != nil {
-				return
+	for _, ep := range eps {
+		ep := ep
+		s.clientWG.Add(1)
+		go func() {
+			defer s.clientWG.Done()
+			for {
+				m, err := ep.Receive(ctx)
+				if err != nil {
+					return
+				}
+				if m.Kind != bus.Reply {
+					continue
+				}
+				if w, ok := s.clientWaiters.take(m.Corr); ok {
+					payload, _ := m.Payload.(connector.ReplyPayload)
+					w <- payload
+				}
 			}
-			if m.Kind != bus.Reply {
-				continue
-			}
-			s.clientMu.Lock()
-			w, ok := s.clientWait[m.Corr]
-			if ok {
-				delete(s.clientWait, m.Corr)
-			}
-			s.clientMu.Unlock()
-			if ok {
-				payload, _ := m.Payload.(connector.ReplyPayload)
-				w <- payload
-			}
-		}
-	}()
+		}()
+	}
 	return nil
 }
 
@@ -330,6 +363,7 @@ func (s *System) Stop() {
 		return
 	}
 	s.running = false
+	s.live.Store(false)
 	comps := make([]*runtimeComponent, 0, len(s.comps))
 	for _, rc := range s.comps {
 		comps = append(comps, rc)
@@ -358,26 +392,26 @@ func (s *System) Stop() {
 }
 
 // Call invokes op on a named component from outside the system (a user
-// request entering through the platform edge).
+// request entering through the platform edge). The steady-state path takes
+// no global mutex: liveness, the component table and the client endpoint
+// are atomic snapshots, the correlation id is an atomic counter, and the
+// reply waiter table is sharded by correlation id.
 func (s *System) Call(component, op string, args ...any) ([]any, error) {
-	s.mu.Lock()
-	rc, ok := s.comps[component]
-	running := s.running
-	s.mu.Unlock()
-	if !running {
+	if !s.live.Load() {
 		return nil, ErrNotRunning
 	}
+	rc, ok := (*s.compView.Load())[component]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownComp, component)
 	}
-
-	s.clientMu.Lock()
-	client := s.client
-	s.clientCorr++
-	corr := s.clientCorr
+	epsp := s.clientEPs.Load()
+	if epsp == nil {
+		return nil, ErrNotRunning
+	}
+	corr := s.clientCorr.Add(1)
+	client := (*epsp)[corr&(clientEndpoints-1)]
 	w := make(chan connector.ReplyPayload, 1)
-	s.clientWait[corr] = w
-	s.clientMu.Unlock()
+	s.clientWaiters.add(corr, w)
 
 	err := s.bus.Send(bus.Message{
 		Kind: bus.Request, Op: op,
@@ -385,9 +419,7 @@ func (s *System) Call(component, op string, args ...any) ([]any, error) {
 		Src:     client.Addr(), Dst: rc.ep.Addr(), Corr: corr,
 	})
 	if err != nil {
-		s.clientMu.Lock()
-		delete(s.clientWait, corr)
-		s.clientMu.Unlock()
+		s.clientWaiters.take(corr)
 		return nil, err
 	}
 	// A stoppable timer, not time.After: high-QPS callers must not leak a
@@ -401,9 +433,7 @@ func (s *System) Call(component, op string, args ...any) ([]any, error) {
 		}
 		return payload.Results, nil
 	case <-timer.C:
-		s.clientMu.Lock()
-		delete(s.clientWait, corr)
-		s.clientMu.Unlock()
+		s.clientWaiters.take(corr)
 		return nil, fmt.Errorf("core: call %s.%s timed out", component, op)
 	}
 }

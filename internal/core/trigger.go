@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/clock"
@@ -32,7 +33,12 @@ type EventTrigger struct {
 	Action func(s *System, e Event) error
 }
 
-// triggerHub owns periodic measurement and rule evaluation.
+// triggerHub owns rule evaluation. Since the refactor of the observation
+// plane it is event-driven: it subscribes to the RAML stream and evaluates
+// the criteria rules shortly after activity, coalescing event bursts into
+// one evaluation per coalescing window. The periodic tick remains only as a
+// fallback heartbeat so rules still fire on a quiet system (e.g. a rate
+// bound violated by the absence of traffic).
 type triggerHub struct {
 	sys *System
 
@@ -42,11 +48,19 @@ type triggerHub struct {
 	evTrigs   []EventTrigger
 	timer     clock.Timer
 	interval  time.Duration
+	coalesce  time.Duration
 	stopped   bool
 
 	evCh     <-chan Event
 	evCancel func()
-	wg       sync.WaitGroup
+
+	evalCh      <-chan Event
+	evalCancel  func()
+	evalTimer   clock.Timer
+	evalPending atomic.Bool
+	ticking     atomic.Bool
+
+	wg sync.WaitGroup
 }
 
 func newTriggerHub(s *System) *triggerHub {
@@ -87,6 +101,15 @@ func (s *System) AddEventTrigger(t EventTrigger) error {
 	return nil
 }
 
+// applicationTrafficEvent reports whether the kind signals application
+// traffic — the only activity that feeds the QoS monitor the criteria
+// rules evaluate. Everything else on the stream (trigger firings, swaps,
+// migrations, reconfiguration steps) is meta-level output, much of it
+// produced by rule actions themselves.
+func applicationTrafficEvent(k EventKind) bool {
+	return k == EvRequestServed || k == EvRequestFailed
+}
+
 func (h *triggerHub) dispatch(e Event) {
 	h.mu.Lock()
 	trigs := append([]EventTrigger(nil), h.evTrigs...)
@@ -98,14 +121,17 @@ func (h *triggerHub) dispatch(e Event) {
 		h.sys.events.Emit(Event{Kind: EvTriggerFired, At: h.sys.clk.Now(),
 			Component: e.Component, Detail: t.Name})
 		if err := t.Action(h.sys, e); err != nil {
-			h.sys.events.Emit(Event{Kind: EvGuardFailed, At: h.sys.clk.Now(),
+			h.sys.events.Emit(Event{Kind: EvTriggerActionFailed, At: h.sys.clk.Now(),
 				Component: e.Component, Detail: t.Name + ": " + err.Error()})
 		}
 	}
 }
 
-// StartTriggers begins periodical measurement: every interval the QoS
-// snapshot is evaluated against all criteria triggers.
+// StartTriggers begins criteria evaluation. The hub subscribes to the RAML
+// stream and evaluates the QoS snapshot against all criteria triggers
+// shortly after system activity, coalescing event bursts into a single
+// evaluation; a periodic tick every interval is kept as a fallback so a
+// quiet system is still measured.
 func (s *System) StartTriggers(interval time.Duration) {
 	if interval <= 0 {
 		interval = time.Second
@@ -117,8 +143,48 @@ func (s *System) StartTriggers(interval time.Duration) {
 		return
 	}
 	h.interval = interval
+	h.coalesce = interval / 4
+	if h.coalesce < time.Millisecond {
+		h.coalesce = time.Millisecond
+	}
 	h.stopped = false
 	h.schedule()
+
+	// Event-driven path: application-plane stream activity schedules one
+	// coalesced evaluation. The subscription is lossy on purpose — a burst
+	// only needs to land one notification, and its intentional drops must
+	// not count as subscriber loss.
+	ch, cancel := s.events.subscribeLossy(64)
+	h.evalCh, h.evalCancel = ch, cancel
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		for e := range ch {
+			if !applicationTrafficEvent(e.Kind) {
+				// Only served/failed requests change the QoS window the
+				// rules read, and meta-level events (trigger firings,
+				// swaps, reconfig steps emitted by rule actions) must not
+				// schedule another evaluation — a persistently-firing rule
+				// would otherwise sustain a feedback loop at the coalesce
+				// rate even on a quiet system.
+				continue
+			}
+			if h.evalPending.CompareAndSwap(false, true) {
+				t := h.sys.clk.AfterFunc(h.coalesce, func() {
+					h.evalPending.Store(false)
+					h.mu.Lock()
+					stopped := h.stopped
+					h.mu.Unlock()
+					if !stopped {
+						h.tick()
+					}
+				})
+				h.mu.Lock()
+				h.evalTimer = t
+				h.mu.Unlock()
+			}
+		}
+	}()
 }
 
 // schedule arms the next tick; callers hold h.mu.
@@ -133,8 +199,16 @@ func (h *triggerHub) schedule() {
 	})
 }
 
-// tick performs one periodic measurement round.
+// tick performs one measurement round. The periodic fallback and the
+// coalesced event-driven evaluation can both schedule it; only one round
+// runs at a time and an overlapping request is simply skipped (it would
+// evaluate the same snapshot), so a rule's Action never races itself —
+// zero-cooldown rules included.
 func (h *triggerHub) tick() {
+	if !h.ticking.CompareAndSwap(false, true) {
+		return
+	}
+	defer h.ticking.Store(false)
 	metrics := h.sys.monitor.Snapshot()
 	now := h.sys.clk.Now()
 
@@ -152,17 +226,20 @@ func (h *triggerHub) tick() {
 		if !r.When(metrics) {
 			continue
 		}
+		// No re-check needed: the ticking CAS serializes measurement
+		// rounds, so nothing else can have fired this rule since the
+		// cooldown check above.
 		h.mu.Lock()
 		h.lastFired[r.Name] = now
 		h.mu.Unlock()
 		h.sys.events.Emit(Event{Kind: EvTriggerFired, At: now, Detail: r.Name})
 		if err := r.Action(h.sys); err != nil {
-			h.sys.events.Emit(Event{Kind: EvGuardFailed, At: h.sys.clk.Now(), Detail: r.Name + ": " + err.Error()})
+			h.sys.events.Emit(Event{Kind: EvTriggerActionFailed, At: h.sys.clk.Now(), Detail: r.Name + ": " + err.Error()})
 		}
 	}
 }
 
-// stop halts periodic measurement and the event pump.
+// stop halts periodic measurement and the event pumps.
 func (h *triggerHub) stop() {
 	h.mu.Lock()
 	h.stopped = true
@@ -173,11 +250,28 @@ func (h *triggerHub) stop() {
 	cancel := h.evCancel
 	h.evCancel = nil
 	h.evCh = nil
+	evalCancel := h.evalCancel
+	h.evalCancel = nil
+	h.evalCh = nil
 	h.mu.Unlock()
 	if cancel != nil {
 		cancel()
 	}
+	if evalCancel != nil {
+		evalCancel()
+	}
 	h.wg.Wait()
+	// Only after the pump has exited: it may have drained a buffered event
+	// during shutdown and armed one last coalesce timer. Stop it and clear
+	// the pending flag (a stopped timer never runs its callback) so a
+	// restarted hub can schedule evaluations again.
+	h.mu.Lock()
+	if h.evalTimer != nil {
+		h.evalTimer.Stop()
+		h.evalTimer = nil
+	}
+	h.mu.Unlock()
+	h.evalPending.Store(false)
 }
 
 // WatchContract evaluates a QoS contract on every trigger tick and emits

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/connector"
+)
+
+// replyWaiters correlates outstanding requests with their reply channels.
+// Correlation ids are drawn from an atomic counter, so consecutive calls
+// land on consecutive shards and concurrent callers almost never share a
+// lock — the call path pays one short sharded critical section instead of a
+// process-wide mutex.
+const waiterShards = 16 // power of two
+
+type replyWaiters struct {
+	shards [waiterShards]waiterShard
+}
+
+type waiterShard struct {
+	mu sync.Mutex
+	m  map[uint64]chan connector.ReplyPayload
+	_  [6]uint64 // pad to 64 bytes: neighbouring shards' locks must not share a cache line
+}
+
+func (w *replyWaiters) shard(corr uint64) *waiterShard {
+	return &w.shards[corr&(waiterShards-1)]
+}
+
+// add registers the reply channel for corr.
+func (w *replyWaiters) add(corr uint64, ch chan connector.ReplyPayload) {
+	s := w.shard(corr)
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = map[uint64]chan connector.ReplyPayload{}
+	}
+	s.m[corr] = ch
+	s.mu.Unlock()
+}
+
+// take removes and returns the reply channel for corr, if present.
+func (w *replyWaiters) take(corr uint64) (chan connector.ReplyPayload, bool) {
+	s := w.shard(corr)
+	s.mu.Lock()
+	ch, ok := s.m[corr]
+	if ok {
+		delete(s.m, corr)
+	}
+	s.mu.Unlock()
+	return ch, ok
+}

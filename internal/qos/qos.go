@@ -10,9 +10,10 @@ package qos
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/clock"
@@ -127,20 +128,121 @@ func (r Report) String() string {
 	return r.Contract + ": VIOLATED [" + strings.Join(parts, "; ") + "]"
 }
 
-type sample struct {
-	at time.Time
-	v  float64
+// The observation data plane: every served request records samples, so
+// Record must not serialize the traffic it observes. Each dimension owns a
+// ring of sample slots behind one atomic claim cursor. A writer claims a
+// globally-ordered index with one atomic add; consecutive claims are striped
+// across ringShards shard regions so concurrent writers land on distinct
+// cache lines. Slots publish through a per-slot sequence word (a seqlock):
+// the writer zeroes the sequence, stores timestamp and value, then stores
+// the claim index + 1; readers who observe a zero or a changed sequence skip
+// the slot. Record therefore takes no lock and performs no allocation;
+// window trimming and the maxN cap are deferred to read time, where the
+// reader gathers valid slots, drops those older than the window cutoff, and
+// keeps the maxN most recently claimed.
+//
+// A writer suspended for an entire ring revolution (≥ ringShards×perShard
+// claims) can in principle publish a slot whose timestamp and value come
+// from two different Record calls; both halves are genuine window samples,
+// so the window statistics stay sound. The minimum per-shard capacity below
+// makes the revolution at least 512 claims long.
+const (
+	ringShards       = 8 // power of two
+	minShardCapacity = 64
+)
+
+// slot is one published sample. All fields are atomics so the read side
+// never races the lock-free write side.
+type slot struct {
+	seq  atomic.Uint64 // claim index + 1; 0 while empty or being written
+	at   atomic.Int64  // sample time, UnixNano
+	bits atomic.Uint64 // math.Float64bits of the value
+}
+
+// dimRing is one dimension's sharded ring buffer.
+type dimRing struct {
+	cursor   atomic.Uint64
+	_        [7]uint64 // keep neighbouring dimensions' cursors off this line
+	perShard uint64    // power of two
+	slots    []slot    // ringShards × perShard
+}
+
+func newDimRing(maxN int) *dimRing {
+	per := uint64(minShardCapacity)
+	for per*ringShards < uint64(maxN) {
+		per <<= 1
+	}
+	return &dimRing{perShard: per, slots: make([]slot, ringShards*per)}
+}
+
+// record claims the next global index and publishes the sample.
+func (r *dimRing) record(atNanos int64, v float64) {
+	g := r.cursor.Add(1) - 1
+	shard := g & (ringShards - 1)
+	idx := (g / ringShards) & (r.perShard - 1)
+	s := &r.slots[shard*r.perShard+idx]
+	s.seq.Store(0)
+	s.at.Store(atNanos)
+	s.bits.Store(math.Float64bits(v))
+	s.seq.Store(g + 1)
+}
+
+// rsample is a sample gathered by the read side.
+type rsample struct {
+	seq uint64
+	at  int64
+	v   float64
+}
+
+// gather snapshots every published slot not older than cutoff, ordered by
+// claim sequence, capped to the maxN most recent.
+func (r *dimRing) gather(cutoff int64, maxN int) []rsample {
+	// At most cursor claims have ever been published; size the result for
+	// the early window instead of the full ring capacity.
+	n := uint64(len(r.slots))
+	if c := r.cursor.Load(); c < n {
+		n = c
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]rsample, 0, n)
+	for i := range r.slots {
+		s := &r.slots[i]
+		s1 := s.seq.Load()
+		if s1 == 0 {
+			continue
+		}
+		at := s.at.Load()
+		bits := s.bits.Load()
+		if s.seq.Load() != s1 {
+			continue // overwritten mid-read; the newer sample has its own slot pass
+		}
+		if at < cutoff {
+			continue
+		}
+		out = append(out, rsample{seq: s1, at: at, v: math.Float64frombits(bits)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	if len(out) > maxN {
+		out = out[len(out)-maxN:]
+	}
+	return out
 }
 
 // Monitor keeps sliding windows of samples per dimension. It is safe for
-// concurrent use.
+// concurrent use; Record is lock-free and, after a dimension's first
+// sample, allocation-free.
 type Monitor struct {
 	clk    clock.Clock
 	window time.Duration
 	maxN   int
 
-	mu      sync.Mutex
-	samples map[Dimension][]sample
+	// rings are installed lazily on a dimension's first Record (one CAS),
+	// so dimensions that are never recorded cost nothing — at the core
+	// default maxN of 1<<14 an eager ring would be ~400KB per dimension.
+	rings    [Loss + 1]atomic.Pointer[dimRing]
+	rejected atomic.Uint64
 }
 
 // NewMonitor builds a monitor keeping at most maxN samples per dimension
@@ -156,61 +258,87 @@ func NewMonitor(clk clock.Clock, window time.Duration, maxN int) *Monitor {
 	if maxN <= 0 {
 		maxN = 4096
 	}
-	return &Monitor{clk: clk, window: window, maxN: maxN, samples: map[Dimension][]sample{}}
+	return &Monitor{clk: clk, window: window, maxN: maxN}
 }
 
-// Record ingests one sample for d.
+// ring returns d's ring, installing it on first use. Lock-free: losers of
+// the install race simply adopt the winner's ring.
+func (m *Monitor) ring(d Dimension) *dimRing {
+	if r := m.rings[d].Load(); r != nil {
+		return r
+	}
+	fresh := newDimRing(m.maxN)
+	if m.rings[d].CompareAndSwap(nil, fresh) {
+		return fresh
+	}
+	return m.rings[d].Load()
+}
+
+// Record ingests one sample for d. Non-finite samples (NaN, ±Inf) are
+// rejected at ingestion — a single poisoned sample would otherwise wedge
+// every mean/percentile statistic and the trigger predicates reading them —
+// and counted in Rejected. Unknown dimensions are ignored.
 func (m *Monitor) Record(d Dimension, v float64) {
-	now := m.clk.Now()
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	s := append(m.samples[d], sample{at: now, v: v})
-	s = m.trimLocked(s, now)
-	m.samples[d] = s
+	if d < Latency || d > Loss {
+		return
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		m.rejected.Add(1)
+		return
+	}
+	m.ring(d).record(m.clk.Now().UnixNano(), v)
 }
 
-func (m *Monitor) trimLocked(s []sample, now time.Time) []sample {
-	cutoff := now.Add(-m.window)
-	i := 0
-	for i < len(s) && s[i].at.Before(cutoff) {
-		i++
+// Rejected reports how many non-finite samples were refused at ingestion.
+func (m *Monitor) Rejected() uint64 { return m.rejected.Load() }
+
+// live gathers the current window for d (nil for unknown or never-recorded
+// dimensions).
+func (m *Monitor) live(d Dimension) []rsample {
+	if d < Latency || d > Loss {
+		return nil
 	}
-	s = s[i:]
-	if len(s) > m.maxN {
-		s = s[len(s)-m.maxN:]
+	r := m.rings[d].Load()
+	if r == nil {
+		return nil
 	}
-	return s
+	cutoff := m.clk.Now().Add(-m.window).UnixNano()
+	return r.gather(cutoff, m.maxN)
 }
 
 // Count returns the number of live samples for d.
 func (m *Monitor) Count(d Dimension) int {
-	now := m.clk.Now()
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.samples[d] = m.trimLocked(m.samples[d], now)
-	return len(m.samples[d])
+	return len(m.live(d))
 }
 
 // Stat computes the statistic for d over the live window. ok is false when
 // the window is empty.
 func (m *Monitor) Stat(d Dimension, st Stat) (float64, bool) {
-	now := m.clk.Now()
-	m.mu.Lock()
-	s := m.trimLocked(m.samples[d], now)
-	m.samples[d] = s
-	vals := make([]float64, len(s))
-	for i, smp := range s {
-		vals[i] = smp.v
-	}
-	var span time.Duration
-	if len(s) > 1 {
-		span = s[len(s)-1].at.Sub(s[0].at)
-	}
-	m.mu.Unlock()
+	return statFromSamples(m.live(d), st)
+}
 
-	if len(vals) == 0 {
+// statFromSamples computes one statistic over an already-gathered window,
+// so readers needing several statistics (Snapshot) gather once.
+func statFromSamples(s []rsample, st Stat) (float64, bool) {
+	if len(s) == 0 {
 		return 0, false
 	}
+	vals := make([]float64, len(s))
+	minAt, maxAt := s[0].at, s[0].at
+	for i, smp := range s {
+		vals[i] = smp.v
+		if smp.at < minAt {
+			minAt = smp.at
+		}
+		if smp.at > maxAt {
+			maxAt = smp.at
+		}
+	}
+	// Span from timestamp extremes, not first/last-by-sequence: a Record
+	// reads the clock before claiming its ring slot, so a preempted writer
+	// can publish a high sequence with an older timestamp.
+	span := time.Duration(maxAt - minAt)
+
 	switch st {
 	case Mean:
 		sum := 0.0
@@ -265,12 +393,18 @@ func percentile(vals []float64, p float64) float64 {
 }
 
 // Snapshot exports every dimension's mean/p95/max as a flat metric map
-// ("latency.p95" etc.) for the strategy and trigger layers.
+// ("latency.p95" etc.) for the strategy and trigger layers. Each dimension
+// is gathered from its ring once, then all statistics derive from that one
+// window.
 func (m *Monitor) Snapshot() map[string]float64 {
 	out := map[string]float64{}
-	for d := range dimNames {
+	for d := Latency; d <= Loss; d++ {
+		s := m.live(d)
+		if len(s) == 0 {
+			continue
+		}
 		for _, st := range []Stat{Mean, P95, Max} {
-			if v, ok := m.Stat(d, st); ok {
+			if v, ok := statFromSamples(s, st); ok {
 				out[d.String()+"."+st.String()] = v
 			}
 		}
@@ -279,11 +413,18 @@ func (m *Monitor) Snapshot() map[string]float64 {
 }
 
 // Evaluate checks every bound of c against the live windows. Bounds over
-// empty windows are skipped (no data is not a violation).
+// empty windows are skipped (no data is not a violation). Each dimension's
+// window is gathered once, however many bounds constrain it.
 func (m *Monitor) Evaluate(c Contract) Report {
 	rep := Report{Contract: c.Name, At: m.clk.Now(), Compliant: true}
+	windows := map[Dimension][]rsample{}
 	for _, b := range c.Bounds {
-		obs, ok := m.Stat(b.Dimension, b.Stat)
+		s, ok := windows[b.Dimension]
+		if !ok {
+			s = m.live(b.Dimension)
+			windows[b.Dimension] = s
+		}
+		obs, ok := statFromSamples(s, b.Stat)
 		if !ok {
 			continue
 		}

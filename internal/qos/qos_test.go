@@ -197,6 +197,51 @@ func TestConcurrentRecording(t *testing.T) {
 	}
 }
 
+func TestRecordRejectsNonFiniteSamples(t *testing.T) {
+	sim := clock.NewSim(origin)
+	m := newMon(sim)
+	m.Record(Latency, 0.010)
+	m.Record(Latency, math.NaN())
+	m.Record(Latency, math.Inf(1))
+	m.Record(Latency, math.Inf(-1))
+	m.Record(Latency, 0.030)
+
+	if got := m.Count(Latency); got != 2 {
+		t.Fatalf("count = %d, want 2 (non-finite samples must be rejected)", got)
+	}
+	if got := m.Rejected(); got != 3 {
+		t.Fatalf("rejected = %d, want 3", got)
+	}
+	mean, ok := m.Stat(Latency, Mean)
+	if !ok || math.IsNaN(mean) || math.Abs(mean-0.020) > 1e-9 {
+		t.Fatalf("mean = %v %v, want 0.020 (stats must stay finite)", mean, ok)
+	}
+	for _, st := range []Stat{P50, P95, P99, Max, Min} {
+		if v, ok := m.Stat(Latency, st); !ok || math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("stat %v = %v %v, want finite", st, v, ok)
+		}
+	}
+}
+
+func TestRecordUnknownDimensionIgnored(t *testing.T) {
+	m := newMon(clock.NewSim(origin))
+	m.Record(Dimension(0), 1)
+	m.Record(Dimension(99), 1)
+	if got := m.Count(Dimension(99)); got != 0 {
+		t.Fatalf("count = %d, want 0", got)
+	}
+}
+
+func TestRecordAllocationFree(t *testing.T) {
+	m := NewMonitor(clock.Real{}, time.Minute, 1<<12)
+	allocs := testing.AllocsPerRun(1000, func() {
+		m.Record(Latency, 0.001)
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %v times per call, want 0", allocs)
+	}
+}
+
 func TestPercentileEdgeCases(t *testing.T) {
 	if got := percentile([]float64{7}, 0.95); got != 7 {
 		t.Fatalf("single sample p95 = %v", got)
