@@ -34,6 +34,7 @@ import (
 	"repro/internal/flo"
 	"repro/internal/inject"
 	"repro/internal/lts"
+	"repro/internal/metaobj"
 	"repro/internal/netsim"
 	"repro/internal/qos"
 	"repro/internal/registry"
@@ -190,6 +191,28 @@ type (
 	Invocation = aspects.Invocation
 	// FilterSet is a component/connector filter pair.
 	FilterSet = filters.Set
+	// Filter is one declarative message manipulator (System.AttachFilter,
+	// System.ReplaceFilters).
+	Filter = filters.Filter
+	// FilterDirection selects a set's input or output chain.
+	FilterDirection = filters.Direction
+	// FilterMatcher declaratively selects messages (globs compiled and
+	// validated at attach time).
+	FilterMatcher = filters.Matcher
+	// DispatchFilter, ErrorFilter, WaitFilter, TransformFilter and
+	// MetaFilter are the five composition-filter kinds.
+	DispatchFilter  = filters.Dispatch
+	ErrorFilter     = filters.Error
+	WaitFilter      = filters.Wait
+	TransformFilter = filters.Transform
+	MetaFilter      = filters.Meta
+	// Superimposition scatters one filter specification across components.
+	Superimposition = filters.Superimposition
+	// MetaObject is one wrapper of a component's meta-controller chain
+	// (System.InsertMetaObject / RemoveMetaObject).
+	MetaObject = metaobj.MetaObject
+	// MetaProps is the wrapper property set.
+	MetaProps = metaobj.Props
 	// Injector inserts behaviour into communications.
 	Injector = inject.Injector
 	// LTS is a labelled transition system behaviour model.
@@ -220,6 +243,18 @@ const (
 	Max  = qos.Max
 	Min  = qos.Min
 	Rate = qos.Rate
+)
+
+// Filter directions and meta-object wrapper properties, re-exported for
+// the System-level interchange APIs.
+const (
+	FilterInput  = filters.Input
+	FilterOutput = filters.Output
+
+	MetaConditional  = metaobj.Conditional
+	MetaMandatory    = metaobj.Mandatory
+	MetaExclusive    = metaobj.Exclusive
+	MetaModificatory = metaobj.Modificatory
 )
 
 // Metrics is an introspection metric snapshot.

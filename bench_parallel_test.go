@@ -18,10 +18,12 @@ import (
 	aas "repro"
 
 	"repro/internal/adl"
+	"repro/internal/aspects"
 	"repro/internal/bus"
 	"repro/internal/clock"
 	"repro/internal/connector"
 	"repro/internal/core"
+	"repro/internal/filters"
 	"repro/internal/qos"
 )
 
@@ -424,4 +426,243 @@ func BenchmarkBusMixedReconfigUnderLoad(b *testing.B) {
 			b.Errorf("lost traffic during reconfiguration: sent=%d received=%d", sent, recv)
 		}
 	})
+}
+
+// ---- Adaptation-pipeline benchmarks (compiled per-binding pipelines) ----
+//
+// These back the acceptance criterion that a connector-mediated call with
+// >=2 filters and >=2 aspects attached takes no lock and performs zero
+// allocations inside the filter/aspect evaluation stages.
+
+// BenchmarkFilterEvalParallel measures the filter stage alone: a chain of
+// four filters (two glob matchers, two literal) evaluated from parallel
+// workers. Before the compiled-pipeline refactor every Eval took the set's
+// RWMutex and re-parsed each glob with path.Match; after, it is one atomic
+// snapshot load over precompiled matchers.
+func BenchmarkFilterEvalParallel(b *testing.B) {
+	var sink atomic.Uint64
+	var set filters.Set
+	for _, f := range []filters.Filter{
+		filters.Transform{FilterName: "glob1",
+			Match: filters.Matcher{Op: "get*"}, Fn: func(*bus.Message) { sink.Add(1) }},
+		filters.Transform{FilterName: "glob2",
+			Match: filters.Matcher{Op: "g?t*", Src: "cli*"}, Fn: func(*bus.Message) { sink.Add(1) }},
+		filters.Transform{FilterName: "lit",
+			Match: filters.Matcher{Op: "get"}, Fn: func(*bus.Message) { sink.Add(1) }},
+		filters.Transform{FilterName: "any",
+			Fn: func(*bus.Message) { sink.Add(1) }},
+	} {
+		if err := set.Attach(filters.Input, f); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		m := &bus.Message{Kind: bus.Request, Op: "get", Src: "cli-1"}
+		for pb.Next() {
+			if r := set.Eval(filters.Input, m); r.Outcome != filters.Delivered {
+				b.Error("unexpected outcome")
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkAspectWovenInvokeParallel measures the aspect stage alone: a
+// handler woven with two enabled aspects (glob pointcuts) invoked from
+// parallel workers. Before the refactor every invocation resolved matching
+// advice under the weaver's RWMutex and allocated the advice slice plus one
+// closure per chain link; after, the chain is fused at interchange time.
+func BenchmarkAspectWovenInvokeParallel(b *testing.B) {
+	w := aspects.NewWeaver()
+	var sink atomic.Uint64
+	if err := w.Attach(aspects.Aspect{Name: "audit", Advice: []aspects.Advice{{
+		Pointcut: aspects.Pointcut{Component: "Store*", Op: "get*"},
+		Before:   func(*aspects.Invocation) error { sink.Add(1); return nil },
+	}}}); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Attach(aspects.Aspect{Name: "shape", Advice: []aspects.Advice{{
+		Pointcut: aspects.Pointcut{Op: "*"},
+		After: func(_ *aspects.Invocation, res any, err error) (any, error) {
+			sink.Add(1)
+			return res, err
+		},
+	}}}); err != nil {
+		b.Fatal(err)
+	}
+	h := w.Weave(func(inv *aspects.Invocation) (any, error) { return inv.Args, nil })
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		inv := &aspects.Invocation{Component: "Store1", Op: "get", Args: 7}
+		for pb.Next() {
+			if _, err := h(inv); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// pipelineADL is one mediated chain used by the full-path pipeline
+// benchmarks: Front.fetch -> (connector Link) -> Store.get.
+const pipelineADL = `
+system Pipe {
+  component Front {
+    provide fetch(key) -> (value)
+    require get(key) -> (value)
+  }
+  component Store {
+    provide get(key) -> (value)
+    provide put(key, value) -> (status)
+  }
+  connector Link { kind rpc }
+  bind Front.get -> Store.get via Link
+}
+`
+
+func startPipelineSystem(b *testing.B) *aas.System {
+	b.Helper()
+	reg := aas.NewRegistry()
+	reg.MustRegister("Front", "1.0", nil, func() any { return &benchFront{} })
+	reg.MustRegister("Store", "1.0", nil, func() any { return newBenchKV(64) })
+	sys, err := aas.Load(pipelineADL, aas.Options{Registry: reg.Registry})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.Start(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(sys.Stop)
+	if _, err := sys.Call("Store", "put", "k", "v"); err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+// attachPipeline loads the mediated chain with two input filters (one glob,
+// one literal matcher) on the connector and two aspects on the weaver — the
+// acceptance-criterion configuration.
+func attachPipeline(b *testing.B, sys *aas.System) {
+	b.Helper()
+	conn, err := sys.Connector("Front", "get")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sink atomic.Uint64
+	if err := conn.Filters().Attach(filters.Input, filters.Transform{FilterName: "tag",
+		Match: filters.Matcher{Op: "g*"}, Fn: func(*bus.Message) { sink.Add(1) }}); err != nil {
+		b.Fatal(err)
+	}
+	if err := conn.Filters().Attach(filters.Input, filters.Transform{FilterName: "count",
+		Match: filters.Matcher{Op: "get"}, Fn: func(*bus.Message) { sink.Add(1) }}); err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.Weaver().Attach(aspects.Aspect{Name: "audit", Advice: []aspects.Advice{{
+		Pointcut: aspects.Pointcut{Component: "Store*", Op: "get*"},
+		Before:   func(*aspects.Invocation) error { sink.Add(1); return nil },
+	}}}); err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.Weaver().Attach(aspects.Aspect{Name: "shape", Advice: []aspects.Advice{{
+		Pointcut: aspects.Pointcut{Op: "*"},
+		After: func(_ *aspects.Invocation, res any, err error) (any, error) {
+			sink.Add(1)
+			return res, err
+		},
+	}}}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkPipelineCallParallel drives the full adaptation hot path in
+// parallel: external call -> connector (2 filters) -> component woven with 2
+// aspects -> reply. Compare with BenchmarkPipelineCallBare for the overhead
+// of the loaded pipeline.
+func BenchmarkPipelineCallParallel(b *testing.B) {
+	sys := startPipelineSystem(b)
+	attachPipeline(b, sys)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := sys.Call("Front", "fetch", "k"); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkPipelineCallBare is the same mediated chain with no filters and
+// no aspects attached — the empty-pipeline baseline.
+func BenchmarkPipelineCallBare(b *testing.B) {
+	sys := startPipelineSystem(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := sys.Call("Front", "fetch", "k"); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkPipelineInterchangeUnderLoad keeps the adaptation control plane
+// busy while the data plane serves: a churn goroutine toggles one aspect and
+// swaps one connector filter in a loop (each toggle recompiles and atomically
+// republishes the affected pipelines) while parallel callers drive the
+// mediated chain. The reported reconfigs metric counts completed interchange
+// cycles.
+func BenchmarkPipelineInterchangeUnderLoad(b *testing.B) {
+	sys := startPipelineSystem(b)
+	attachPipeline(b, sys)
+	conn, err := sys.Connector("Front", "get")
+	if err != nil {
+		b.Fatal(err)
+	}
+	stop := make(chan struct{})
+	churnDone := make(chan struct{})
+	var cycles atomic.Uint64
+	go func() {
+		defer close(churnDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := sys.Weaver().SetEnabled("audit", false); err != nil {
+				b.Error(err)
+				return
+			}
+			if err := sys.Weaver().SetEnabled("audit", true); err != nil {
+				b.Error(err)
+				return
+			}
+			if err := conn.Filters().Attach(filters.Input, filters.Transform{
+				FilterName: "churn", Match: filters.Matcher{Op: "g*"},
+				Fn: func(*bus.Message) {}}); err != nil {
+				b.Error(err)
+				return
+			}
+			conn.Filters().Detach(filters.Input, "churn")
+			cycles.Add(1)
+		}
+	}()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := sys.Call("Front", "fetch", "k"); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	<-churnDone
+	b.ReportMetric(float64(cycles.Load()), "interchanges")
 }

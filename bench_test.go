@@ -63,8 +63,10 @@ func benchBus(b *testing.B, viaConnector bool, nFilters int) (*bus.Bus, *bus.End
 		}
 		var sink uint64
 		for i := 0; i < nFilters; i++ {
-			conn.Filters().Attach(filters.Input, filters.Transform{
-				FilterName: fmt.Sprintf("f%d", i), Fn: func(*bus.Message) { sink++ }})
+			if err := conn.Filters().Attach(filters.Input, filters.Transform{
+				FilterName: fmt.Sprintf("f%d", i), Fn: func(*bus.Message) { sink++ }}); err != nil {
+				b.Fatal(err)
+			}
 		}
 		conn.Start(ctx)
 		target = connector.Address("c")
@@ -126,7 +128,9 @@ func BenchmarkE3_AdaptationFilterSwap(b *testing.B) {
 	var set filters.Set
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		set.Attach(filters.Input, filters.Transform{FilterName: "a", Fn: func(*bus.Message) {}})
+		if err := set.Attach(filters.Input, filters.Transform{FilterName: "a", Fn: func(*bus.Message) {}}); err != nil {
+			b.Fatal(err)
+		}
 		set.Detach(filters.Input, "a")
 	}
 }
@@ -258,8 +262,10 @@ func BenchmarkE8_FilterChain(b *testing.B) {
 			var set filters.Set
 			var sink uint64
 			for i := 0; i < n; i++ {
-				set.Attach(filters.Input, filters.Transform{
-					FilterName: fmt.Sprintf("f%d", i), Fn: func(*bus.Message) { sink++ }})
+				if err := set.Attach(filters.Input, filters.Transform{
+					FilterName: fmt.Sprintf("f%d", i), Fn: func(*bus.Message) { sink++ }}); err != nil {
+					b.Fatal(err)
+				}
 			}
 			m := &bus.Message{Op: "op", Kind: bus.Request}
 			b.ResetTimer()

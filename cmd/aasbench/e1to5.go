@@ -115,10 +115,12 @@ func measureCalls(calls int, rules *flo.Engine, nFilters int, viaConnector bool)
 		}
 		var filterWork uint64
 		for i := 0; i < nFilters; i++ {
-			conn.Filters().Attach(filters.Input, filters.Transform{
+			if err := conn.Filters().Attach(filters.Input, filters.Transform{
 				FilterName: fmt.Sprintf("f%d", i),
 				Fn:         func(*bus.Message) { filterWork++ },
-			})
+			}); err != nil {
+				log.Fatal(err)
+			}
 		}
 		conn.Start(ctx)
 		defer conn.Stop()
@@ -173,8 +175,10 @@ func runE3() {
 	// connector.
 	start := time.Now()
 	for i := 0; i < changes; i++ {
-		conn.Filters().Attach(filters.Input, filters.Transform{
-			FilterName: "adapt", Fn: func(m *bus.Message) {}})
+		if err := conn.Filters().Attach(filters.Input, filters.Transform{
+			FilterName: "adapt", Fn: func(m *bus.Message) {}}); err != nil {
+			log.Fatal(err)
+		}
 		conn.Filters().Detach(filters.Input, "adapt")
 	}
 	adaptPer := time.Since(start) / (2 * changes)

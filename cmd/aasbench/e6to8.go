@@ -176,8 +176,10 @@ func runE8() {
 		var set filters.Set
 		var sink uint64
 		for i := 0; i < n; i++ {
-			set.Attach(filters.Input, filters.Transform{
-				FilterName: fmt.Sprintf("f%d", i), Fn: func(*bus.Message) { sink++ }})
+			if err := set.Attach(filters.Input, filters.Transform{
+				FilterName: fmt.Sprintf("f%d", i), Fn: func(*bus.Message) { sink++ }}); err != nil {
+				log.Fatal(err)
+			}
 		}
 		m := &bus.Message{Op: "op", Kind: bus.Request}
 		start := time.Now()

@@ -230,7 +230,9 @@ func runE12() {
 	// 4. Composition filters: attach a transform filter.
 	var set filters.Set
 	start = time.Now()
-	set.Attach(filters.Input, filters.Transform{FilterName: "t", Fn: func(*bus.Message) {}})
+	if err := set.Attach(filters.Input, filters.Transform{FilterName: "t", Fn: func(*bus.Message) {}}); err != nil {
+		log.Fatal(err)
+	}
 	apply = time.Since(start)
 	m := &bus.Message{Op: "op"}
 	start = time.Now()

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	aasbench           run all experiments
-//	aasbench -e E4     run one experiment (E1..E14)
+//	aasbench -e E4     run one experiment (E1..E15)
 package main
 
 import (
@@ -41,6 +41,7 @@ func main() {
 		{"E12", "the ten adaptation approaches of §2, compared", runE12},
 		{"E13", "sharded data-plane throughput under reconfiguration", runE13},
 		{"E14", "region-scoped reconfiguration: disjoint traffic proceeds", runE14},
+		{"E15", "compiled-pipeline interchange under load: no errors, no torn chains", runE15},
 	}
 	sort.SliceStable(exps, func(i, j int) bool { return i < j })
 

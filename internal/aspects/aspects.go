@@ -1,17 +1,23 @@
 // Package aspects implements aspect-oriented adaptation (§2): crosscutting
 // concerns whose "implementation … is scattered to multiple components",
 // expressed explicitly as aspects. Mirroring the AspectJ discussion in the
-// paper, aspects are woven into component handlers at assembly time, while
-// the advice chain itself is resolved through dynamic dispatch at each
-// invocation — which is exactly what lets aspects "be interchanged at
-// run-time".
+// paper, aspects still "can be interchanged at run-time" — but interchange
+// is now a compile step, not a per-invocation lookup: the Weaver is a
+// generation-stamped compiler that, on every attach/remove/enable, fuses
+// the matching advice of each woven binding into one immutable handler
+// chain and publishes it behind an atomic pointer. An invocation loads one
+// snapshot and runs it — no lock, no advice resolution, no allocation — and
+// an interchange is atomic per binding: in-flight invocations finish on the
+// chain they loaded, new ones see the new chain, never a half-applied one.
 package aspects
 
 import (
 	"errors"
 	"fmt"
-	"path"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/match"
 )
 
 // Invocation is a join point: one operation call on one component.
@@ -31,20 +37,31 @@ type Pointcut struct {
 	Op        string
 }
 
-// Matches reports whether the invocation is selected.
-func (p Pointcut) Matches(inv *Invocation) bool {
-	if p.Component != "" && !glob(p.Component, inv.Component) {
-		return false
-	}
-	if p.Op != "" && !glob(p.Op, inv.Op) {
-		return false
-	}
-	return true
+// compiledPointcut is the attach-time compiled form of a Pointcut.
+type compiledPointcut struct {
+	component match.Pattern
+	op        match.Pattern
 }
 
-func glob(pattern, s string) bool {
-	ok, err := path.Match(pattern, s)
-	return err == nil && ok
+func (p Pointcut) compile() (compiledPointcut, error) {
+	comp, err := match.Compile(p.Component)
+	if err != nil {
+		return compiledPointcut{}, fmt.Errorf("aspects: component pattern %q: %w", p.Component, err)
+	}
+	op, err := match.Compile(p.Op)
+	if err != nil {
+		return compiledPointcut{}, fmt.Errorf("aspects: op pattern %q: %w", p.Op, err)
+	}
+	return compiledPointcut{component: comp, op: op}, nil
+}
+
+// Matches reports whether the invocation is selected. This convenience
+// entry point compiles the globs per call; woven handlers use the form
+// compiled at attach time. Malformed patterns match nothing here — attach
+// through a Weaver to get the error.
+func (p Pointcut) Matches(inv *Invocation) bool {
+	cp, err := p.compile()
+	return err == nil && cp.component.Match(inv.Component) && cp.op.Match(inv.Op)
 }
 
 // Advice is the behaviour attached at a pointcut. Any subset of the three
@@ -67,42 +84,149 @@ type Aspect struct {
 	Advice []Advice
 }
 
+// Coverage compiles the aspect's component pointcuts once and returns a
+// predicate reporting whether the aspect could select join points on a
+// named component — the region of an aspect interchange. Malformed
+// component patterns cover nothing (they cannot attach anyway).
+func Coverage(a Aspect) func(component string) bool {
+	pats := make([]match.Pattern, 0, len(a.Advice))
+	for _, ad := range a.Advice {
+		if p, err := match.Compile(ad.Pointcut.Component); err == nil {
+			pats = append(pats, p)
+		}
+	}
+	return func(component string) bool {
+		for _, p := range pats {
+			if p.Match(component) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Covers reports whether any advice of the aspect could select join points
+// on the named component. Prefer Coverage when testing many components.
+func Covers(a Aspect, component string) bool {
+	return Coverage(a)(component)
+}
+
 // Weaver errors.
 var (
 	ErrDuplicateAspect = errors.New("aspects: duplicate aspect")
 	ErrUnknownAspect   = errors.New("aspects: unknown aspect")
 )
 
-// Weaver owns the aspect set and produces woven handlers. Attaching,
-// removing, enabling and disabling aspects takes effect immediately on all
-// previously woven handlers (dynamic dispatch).
+// aspectRec is one attached aspect with its pointcuts compiled once.
+type aspectRec struct {
+	a   Aspect
+	pcs []compiledPointcut // parallel to a.Advice
+}
+
+// adviceRef identifies one advice link (aspect name + advice index) of a
+// compiled chain; the ref list is the chain's identity, used to skip
+// recompiling bindings an interchange does not affect.
+type adviceRef struct {
+	aspect string
+	index  int
+}
+
+// compiledChain is the immutable pipeline one binding executes: every
+// enabled advice matching the binding, fused back-to-front into a single
+// handler over the binding's base at compile (interchange) time.
+type compiledChain struct {
+	gen    uint64
+	refs   []adviceRef
+	invoke Handler
+}
+
+// Woven is one woven binding: a base handler plus the compiled advice chain
+// the weaver republishes for it on every interchange.
+type Woven struct {
+	w         *Weaver
+	id        uint64
+	component string // "" means resolve component pointcuts per invocation
+	base      Handler
+	chain     atomic.Pointer[compiledChain]
+}
+
+// Invoke runs the invocation through the compiled chain. It takes no lock
+// and allocates nothing in the aspect stage: one atomic snapshot load, then
+// prebuilt closures with precompiled matchers.
+func (wv *Woven) Invoke(inv *Invocation) (any, error) {
+	return wv.chain.Load().invoke(inv)
+}
+
+// Generation returns the weaver generation this binding's chain was
+// compiled at. Two invocations observing the same generation ran the
+// identical compiled chain.
+func (wv *Woven) Generation() uint64 {
+	return wv.chain.Load().gen
+}
+
+// AdviceCount reports how many advice links the current chain fused in.
+func (wv *Woven) AdviceCount() int {
+	return len(wv.chain.Load().refs)
+}
+
+// Release detaches the binding from the weaver: later interchanges no
+// longer recompile it (its last chain keeps working). Components release
+// their bindings when they stop.
+func (wv *Woven) Release() {
+	wv.w.mu.Lock()
+	defer wv.w.mu.Unlock()
+	delete(wv.w.bindings, wv.id)
+}
+
+// Weaver owns the aspect set and compiles woven bindings. Attaching,
+// removing, enabling and disabling aspects recompiles and atomically
+// republishes the chain of every woven binding, so changes take effect on
+// the next invocation of previously woven handlers.
 type Weaver struct {
-	mu      sync.RWMutex
-	order   []string
-	aspects map[string]*Aspect
-	enabled map[string]bool
+	mu       sync.Mutex
+	order    []string
+	aspects  map[string]*aspectRec
+	enabled  map[string]bool
+	gen      uint64
+	nextID   uint64
+	bindings map[uint64]*Woven
 }
 
 // NewWeaver returns an empty weaver.
 func NewWeaver() *Weaver {
-	return &Weaver{aspects: map[string]*Aspect{}, enabled: map[string]bool{}}
+	return &Weaver{
+		aspects:  map[string]*aspectRec{},
+		enabled:  map[string]bool{},
+		bindings: map[uint64]*Woven{},
+	}
 }
 
-// Attach adds an aspect (enabled). Aspects apply in attachment order.
+// Attach adds an aspect (enabled). Aspects apply in attachment order. Every
+// pointcut is compiled here: a malformed glob rejects the whole aspect —
+// previously it attached and silently matched nothing.
 func (w *Weaver) Attach(a Aspect) error {
 	if a.Name == "" {
 		return errors.New("aspects: aspect needs a name")
+	}
+	rec := &aspectRec{a: a}
+	rec.a.Advice = append([]Advice(nil), a.Advice...)
+	rec.pcs = make([]compiledPointcut, len(rec.a.Advice))
+	for i, ad := range rec.a.Advice {
+		pc, err := ad.Pointcut.compile()
+		if err != nil {
+			return fmt.Errorf("aspects: attach %s: %w", a.Name, err)
+		}
+		rec.pcs[i] = pc
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if _, dup := w.aspects[a.Name]; dup {
 		return fmt.Errorf("%w: %s", ErrDuplicateAspect, a.Name)
 	}
-	cp := a
-	cp.Advice = append([]Advice(nil), a.Advice...)
-	w.aspects[a.Name] = &cp
+	w.aspects[a.Name] = rec
 	w.order = append(w.order, a.Name)
 	w.enabled[a.Name] = true
+	w.recompileLocked()
 	return nil
 }
 
@@ -121,6 +245,7 @@ func (w *Weaver) Remove(name string) error {
 			break
 		}
 	}
+	w.recompileLocked()
 	return nil
 }
 
@@ -132,69 +257,184 @@ func (w *Weaver) SetEnabled(name string, on bool) error {
 	if _, ok := w.aspects[name]; !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownAspect, name)
 	}
+	if w.enabled[name] == on {
+		return nil
+	}
 	w.enabled[name] = on
+	w.recompileLocked()
 	return nil
+}
+
+// IsEnabled reports whether the attached aspect is currently enabled.
+func (w *Weaver) IsEnabled(name string) (bool, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, ok := w.aspects[name]; !ok {
+		return false, fmt.Errorf("%w: %s", ErrUnknownAspect, name)
+	}
+	return w.enabled[name], nil
 }
 
 // Names returns attached aspect names in application order.
 func (w *Weaver) Names() []string {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	return append([]string(nil), w.order...)
 }
 
+// Covers reports whether the attached aspect could advise the component.
+func (w *Weaver) Covers(name, component string) bool {
+	w.mu.Lock()
+	rec, ok := w.aspects[name]
+	w.mu.Unlock()
+	if !ok {
+		return false
+	}
+	for _, pc := range rec.pcs {
+		if pc.component.Match(component) {
+			return true
+		}
+	}
+	return false
+}
+
+// Generation returns the current weaver generation; it advances on every
+// interchange (attach, remove, enable/disable).
+func (w *Weaver) Generation() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.gen
+}
+
+// WeaveFor compiles a woven binding for one named component: advice whose
+// component pointcut cannot match the name is excluded at compile time, so
+// the per-invocation work is op matching only. The binding follows every
+// later interchange until Release.
+func (w *Weaver) WeaveFor(component string, base Handler) *Woven {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	wv := &Woven{w: w, component: component, base: base}
+	w.nextID++
+	wv.id = w.nextID
+	w.bindings[wv.id] = wv
+	wv.chain.Store(w.buildLocked(wv, w.selectLocked(wv)))
+	return wv
+}
+
 // Weave wraps base so that every invocation passes through the advice
-// matching it at call time. Weave is called once per component at assembly;
-// subsequent aspect changes apply automatically.
+// matching it at call time; component pointcuts are resolved per invocation
+// since the binding serves arbitrary components. Weave is called once per
+// component at assembly; subsequent aspect changes apply automatically.
+//
+// The binding Weave registers is retained by the weaver for its lifetime
+// (there is no handle to Release), which is fine for assembly-time weaving
+// against a long-lived weaver. Callers weaving short-lived handlers should
+// use WeaveFor and Release the returned binding instead.
 func (w *Weaver) Weave(base Handler) Handler {
-	return func(inv *Invocation) (any, error) {
-		advice := w.matching(inv)
-		return run(advice, inv, base)
+	wv := w.WeaveFor("", base)
+	return wv.Invoke
+}
+
+// recompileLocked advances the generation and republishes the compiled
+// chain of every binding the interchange affects; callers hold w.mu. Each
+// store is atomic, so a binding's executions move from the complete old
+// chain to the complete new one with nothing in between. A binding whose
+// selected advice set is unchanged (e.g. the interchanged aspect's
+// component pointcuts cannot cover it) keeps its published chain and
+// generation — an interchange costs only the bindings in its region.
+func (w *Weaver) recompileLocked() {
+	w.gen++
+	for _, wv := range w.bindings {
+		links := w.selectLocked(wv)
+		if old := wv.chain.Load(); old != nil && sameLinks(old.refs, links) {
+			continue
+		}
+		wv.chain.Store(w.buildLocked(wv, links))
 	}
 }
 
-func (w *Weaver) matching(inv *Invocation) []Advice {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
-	var out []Advice
+// link is one selected advice with its compiled pointcut and identity.
+type link struct {
+	ref adviceRef
+	pc  compiledPointcut
+	ad  Advice
+}
+
+// selectLocked returns the enabled advice that could match the binding, in
+// application order. Per-binding component pointcuts are decided here,
+// once; op pointcuts (and, for anonymous bindings, component pointcuts)
+// are left to be checked per invocation.
+func (w *Weaver) selectLocked(wv *Woven) []link {
+	var links []link
 	for _, name := range w.order {
 		if !w.enabled[name] {
 			continue
 		}
-		for _, ad := range w.aspects[name].Advice {
-			if ad.Pointcut.Matches(inv) {
-				out = append(out, ad)
+		rec := w.aspects[name]
+		for i, ad := range rec.a.Advice {
+			pc := rec.pcs[i]
+			if wv.component != "" && !pc.component.Match(wv.component) {
+				continue // can never match this binding
 			}
+			links = append(links, link{ref: adviceRef{aspect: name, index: i}, pc: pc, ad: ad})
 		}
 	}
-	return out
+	return links
 }
 
-// run executes the advice chain recursively: each element's Before guards,
-// Around wraps the remainder, After post-processes.
-func run(chain []Advice, inv *Invocation, base Handler) (any, error) {
-	if len(chain) == 0 {
-		return base(inv)
+// sameLinks reports whether the selected links are exactly the chain's
+// current advice refs. Attached aspects are immutable, so equal ref lists
+// imply an identical fused chain.
+func sameLinks(refs []adviceRef, links []link) bool {
+	if len(refs) != len(links) {
+		return false
 	}
-	ad := chain[0]
-	rest := func(i *Invocation) (any, error) { return run(chain[1:], i, base) }
-
-	if ad.Before != nil {
-		if err := ad.Before(inv); err != nil {
-			return nil, err
+	for i, lk := range links {
+		if refs[i] != lk.ref {
+			return false
 		}
 	}
-	var (
-		res any
-		err error
-	)
-	if ad.Around != nil {
-		res, err = ad.Around(inv, rest)
-	} else {
-		res, err = rest(inv)
+	return true
+}
+
+// buildLocked fuses the selected advice into one handler: innermost (last
+// attached) first, so execution order is attachment order.
+func (w *Weaver) buildLocked(wv *Woven, links []link) *compiledChain {
+	refs := make([]adviceRef, len(links))
+	h := wv.base
+	for i := len(links) - 1; i >= 0; i-- {
+		lk := links[i]
+		refs[i] = lk.ref
+		next := h
+		matchComponent := wv.component == "" && !lk.pc.component.IsAny()
+		opPat := lk.pc.op
+		before, around, after := lk.ad.Before, lk.ad.Around, lk.ad.After
+		h = func(inv *Invocation) (any, error) {
+			if matchComponent && !lk.pc.component.Match(inv.Component) {
+				return next(inv)
+			}
+			if !opPat.Match(inv.Op) {
+				return next(inv)
+			}
+			if before != nil {
+				if err := before(inv); err != nil {
+					return nil, err
+				}
+			}
+			var (
+				res any
+				err error
+			)
+			if around != nil {
+				res, err = around(inv, next)
+			} else {
+				res, err = next(inv)
+			}
+			if after != nil {
+				res, err = after(inv, res, err)
+			}
+			return res, err
+		}
 	}
-	if ad.After != nil {
-		res, err = ad.After(inv, res, err)
-	}
-	return res, err
+	return &compiledChain{gen: w.gen, refs: refs, invoke: h}
 }

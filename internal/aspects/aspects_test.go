@@ -2,6 +2,8 @@ package aspects
 
 import (
 	"errors"
+	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -210,5 +212,185 @@ func TestNestedAroundComposition(t *testing.T) {
 		if trace[i] != want[i] {
 			t.Fatalf("trace = %v, want %v", trace, want)
 		}
+	}
+}
+
+// ---- compiled-chain tests (PR 3) ----
+
+func TestAttachRejectsMalformedPointcut(t *testing.T) {
+	w := NewWeaver()
+	err := w.Attach(Aspect{Name: "bad", Advice: []Advice{{
+		Pointcut: Pointcut{Op: "a["},
+		Before:   func(*Invocation) error { return nil },
+	}}})
+	if err == nil {
+		t.Fatal("malformed op pointcut should fail to attach")
+	}
+	if err := w.Attach(Aspect{Name: "bad2", Advice: []Advice{{
+		Pointcut: Pointcut{Component: `c\`},
+	}}}); err == nil {
+		t.Fatal("malformed component pointcut should fail to attach")
+	}
+	if names := w.Names(); len(names) != 0 {
+		t.Fatalf("failed attach left aspects behind: %v", names)
+	}
+}
+
+func TestWeaveForPreResolvesComponent(t *testing.T) {
+	w := NewWeaver()
+	hits := 0
+	if err := w.Attach(Aspect{Name: "enc-only", Advice: []Advice{{
+		Pointcut: Pointcut{Component: "encoder*"},
+		Before:   func(*Invocation) error { hits++; return nil },
+	}}}); err != nil {
+		t.Fatal(err)
+	}
+	enc := w.WeaveFor("encoder-1", baseEcho)
+	dec := w.WeaveFor("decoder-1", baseEcho)
+	if enc.AdviceCount() != 1 || dec.AdviceCount() != 0 {
+		t.Fatalf("advice counts = %d/%d, want 1/0", enc.AdviceCount(), dec.AdviceCount())
+	}
+	if _, err := enc.Invoke(&Invocation{Component: "encoder-1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.Invoke(&Invocation{Component: "decoder-1"}); err != nil {
+		t.Fatal(err)
+	}
+	if hits != 1 {
+		t.Fatalf("hits = %d, want 1", hits)
+	}
+}
+
+func TestGenerationAdvancesAndReleaseStopsUpdates(t *testing.T) {
+	w := NewWeaver()
+	wv := w.WeaveFor("c", baseEcho)
+	g0 := wv.Generation()
+	if err := w.Attach(Aspect{Name: "a", Advice: []Advice{{
+		Before: func(*Invocation) error { return nil },
+	}}}); err != nil {
+		t.Fatal(err)
+	}
+	g1 := wv.Generation()
+	if g1 <= g0 {
+		t.Fatalf("generation did not advance: %d -> %d", g0, g1)
+	}
+	// SetEnabled to the same state is a no-op and must not recompile.
+	if err := w.SetEnabled("a", true); err != nil {
+		t.Fatal(err)
+	}
+	if wv.Generation() != g1 {
+		t.Fatal("no-op enable recompiled the chain")
+	}
+	wv.Release()
+	if err := w.Attach(Aspect{Name: "b", Advice: []Advice{{
+		Before: func(*Invocation) error { return nil },
+	}}}); err != nil {
+		t.Fatal(err)
+	}
+	if wv.Generation() != g1 {
+		t.Fatal("released binding still recompiled")
+	}
+	// The released binding keeps executing its last chain.
+	if res, err := wv.Invoke(&Invocation{Args: 9}); err != nil || res != 9 {
+		t.Fatalf("released binding broken: %v %v", res, err)
+	}
+}
+
+func TestWovenInvokeZeroAllocs(t *testing.T) {
+	w := NewWeaver()
+	if err := w.Attach(Aspect{Name: "audit", Advice: []Advice{{
+		Pointcut: Pointcut{Component: "Store*", Op: "get*"},
+		Before:   func(*Invocation) error { return nil },
+	}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Attach(Aspect{Name: "shape", Advice: []Advice{{
+		Pointcut: Pointcut{Op: "*"},
+		After:    func(_ *Invocation, res any, err error) (any, error) { return res, err },
+	}}}); err != nil {
+		t.Fatal(err)
+	}
+	wv := w.WeaveFor("Store1", baseEcho)
+	inv := &Invocation{Component: "Store1", Op: "get", Args: 7}
+	n := testing.AllocsPerRun(1000, func() {
+		if _, err := wv.Invoke(inv); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n != 0 {
+		t.Errorf("Invoke allocates %v times per run, want 0", n)
+	}
+}
+
+// TestConcurrentInterchangeNoTornChain attaches and removes a paired aspect
+// (Before pushes a token, After must pop the same token) while invocations
+// run. Because the chain is compiled and swapped atomically, an invocation
+// sees either both hooks of a generation or neither — a torn chain would
+// leave a token unbalanced.
+func TestConcurrentInterchangeNoTornChain(t *testing.T) {
+	w := NewWeaver()
+	wv := w.WeaveFor("c", func(inv *Invocation) (any, error) { return inv.Args, nil })
+
+	type state struct{ depth int32 }
+	mkPair := func(name string) Aspect {
+		return Aspect{Name: name, Advice: []Advice{{
+			Before: func(inv *Invocation) error {
+				inv.Args.(*state).depth++
+				return nil
+			},
+			After: func(inv *Invocation, res any, err error) (any, error) {
+				inv.Args.(*state).depth--
+				return res, err
+			},
+		}}}
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var torn atomic.Int64
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st := &state{}
+			inv := &Invocation{Component: "c", Op: "op", Args: st}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st.depth = 0
+				if _, err := wv.Invoke(inv); err != nil {
+					torn.Add(1)
+					return
+				}
+				if st.depth != 0 {
+					// Before without After (or vice versa): a torn chain.
+					torn.Add(1)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 2000; i++ {
+		name := "pair"
+		if err := w.Attach(mkPair(name)); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.SetEnabled(name, false); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.SetEnabled(name, true); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Remove(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if torn.Load() != 0 {
+		t.Fatalf("%d invocations observed a torn advice chain", torn.Load())
 	}
 }

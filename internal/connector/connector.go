@@ -65,10 +65,12 @@ type connStats struct {
 // Connector mediates one binding (or a set of bindings sharing the glue).
 //
 // The mediated hot path takes no locks and allocates nothing per call:
-// run-time exchangeable state (targets, rules) is swapped atomically by the
-// control plane and read with one atomic load per message, while the
-// correlation state (pending, corr, rr, glue) is owned exclusively by the
-// single mediation goroutine.
+// run-time exchangeable state (targets, rules, and the compiled filter
+// pipelines) is swapped atomically by the control plane and read with one
+// atomic load per message, while the correlation state (pending, corr, rr,
+// glue) is owned exclusively by the single mediation goroutine. The filter
+// stage in particular evaluates a precompiled chain — globs are parsed at
+// attach time, not per message.
 type Connector struct {
 	name string
 	kind adl.ConnectorKind
@@ -153,7 +155,10 @@ func (c *Connector) Name() string { return c.name }
 // Kind returns the interaction schema.
 func (c *Connector) Kind() adl.ConnectorKind { return c.kind }
 
-// Filters exposes the connector's filter set for run-time attachment.
+// Filters exposes the connector's filter set for run-time attachment. The
+// set's chains are compiled pipelines swapped atomically on interchange, so
+// attaching, detaching or replacing filters here never stalls mediation and
+// never exposes a half-applied chain to an in-flight message.
 func (c *Connector) Filters() *filters.Set { return c.filters }
 
 // SetTargets rebinds the connector — "modifying the connections between
@@ -424,7 +429,13 @@ func (f Factory) Build(decl adl.ConnectorDecl, targets []bus.Address, aspects ..
 		return nil, err
 	}
 	for _, sp := range aspects {
-		filters.Superimpose(sp, c.filters)
+		// Superimposition compiles each filter's matchers; a malformed glob
+		// fails connector generation instead of silently matching nothing.
+		// Release the bus address on failure so a corrected Build can retry.
+		if err := filters.Superimpose(sp, c.filters); err != nil {
+			f.Bus.Detach(c.ep.Addr())
+			return nil, fmt.Errorf("connector %s: %w", decl.Name, err)
+		}
 	}
 	return c, nil
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/bus"
 	"repro/internal/connector"
 	"repro/internal/container"
+	"repro/internal/metaobj"
 	"repro/internal/netsim"
 	"repro/internal/qos"
 	"repro/internal/registry"
@@ -55,7 +56,14 @@ type runtimeComponent struct {
 
 	waiters replyWaiters
 	corr    atomic.Uint64
-	woven   aspects.Handler
+	// woven is this component's compiled aspect pipeline: advice whose
+	// component pointcut cannot match this component is excluded at weave
+	// (compile) time, and the weaver republishes the chain atomically on
+	// every aspect interchange.
+	woven *aspects.Woven
+	// meta is the component's meta-object chain (interaction patterns, §2);
+	// serve executes its published snapshot around the woven invocation.
+	meta metaobj.Chain
 
 	wg     sync.WaitGroup
 	cancel context.CancelFunc
@@ -79,14 +87,15 @@ func newRuntimeComponent(sys *System, decl adl.ComponentDecl, cont *container.Co
 	empty := map[string]bus.Address{}
 	rc.routes.Store(&empty)
 	// Weave the system's aspects around the container invocation. The
-	// woven handler resolves advice dynamically, so aspects attached later
-	// apply to this component immediately.
+	// binding's advice chain is compiled for this component name and
+	// recompiled (atomically republished) on every aspect interchange, so
+	// aspects attached later apply to this component on their next call.
 	base := func(inv *aspects.Invocation) (any, error) {
 		call, _ := inv.Args.(connector.CallPayload)
 		res, err := cont.Invoke(call.Principal, inv.Op, call.Args)
 		return res, err
 	}
-	rc.woven = sys.weaver.Weave(base)
+	rc.woven = sys.weaver.WeaveFor(decl.Name, base)
 	return rc, nil
 }
 
@@ -146,15 +155,32 @@ func (rc *runtimeComponent) stop() {
 		rc.cancel()
 	}
 	rc.wg.Wait()
+	// Detach from the weaver so later aspect interchanges stop recompiling
+	// this component's chain (removeComponentLive would otherwise leak one
+	// binding per removed component).
+	rc.woven.Release()
 	rc.sys.events.Emit(Event{Kind: EvComponentStopped, At: rc.sys.clk.Now(), Component: rc.name})
 }
 
-// serve handles one request end-to-end and replies to the caller.
+// serve handles one request end-to-end and replies to the caller: the
+// message runs through the component's meta-object chain (if any), then the
+// compiled aspect pipeline, then the container. Both pipelines are read as
+// atomic snapshots, so a concurrent interchange never tears a chain under
+// an in-flight request.
 func (rc *runtimeComponent) serve(m bus.Message) {
 	started := rc.sys.clk.Now()
-	call, _ := m.Payload.(connector.CallPayload)
-	inv := &aspects.Invocation{Component: rc.name, Op: m.Op, Args: call}
-	res, err := rc.woven(inv)
+	var (
+		res any
+		err error
+	)
+	if rc.meta.Len() == 0 {
+		// Fast path: no meta-objects composed; invoke the woven chain
+		// directly. (Kept free of closures so res and err stay off the
+		// heap on the dominant path.)
+		res, err = rc.invokeWoven(&m)
+	} else {
+		res, err = rc.invokeThroughMeta(m)
+	}
 
 	if errors.Is(err, container.ErrNotActive) {
 		// The request raced a reconfiguration point: it was delivered to
@@ -186,6 +212,29 @@ func (rc *runtimeComponent) serve(m bus.Message) {
 			Component: rc.name, Detail: m.Op})
 	}
 	_ = rc.sys.bus.Send(reply)
+}
+
+// invokeWoven runs one message through the component's compiled aspect
+// pipeline into the container.
+func (rc *runtimeComponent) invokeWoven(m *bus.Message) (any, error) {
+	call, _ := m.Payload.(connector.CallPayload)
+	inv := &aspects.Invocation{Component: rc.name, Op: m.Op, Args: call}
+	return rc.woven.Invoke(inv)
+}
+
+// invokeThroughMeta wraps the woven invocation in the component's
+// meta-object chain: wrappers may rewrite the message (modificatory), veto
+// it by not calling next, and — because the base returns the invocation's
+// error into the chain — observe, translate or suppress invocation
+// failures. The chain's final error is authoritative for the reply.
+func (rc *runtimeComponent) invokeThroughMeta(m bus.Message) (any, error) {
+	var res any
+	chainErr := rc.meta.Execute(&m, func(fm *bus.Message) error {
+		r, err := rc.invokeWoven(fm)
+		res = r
+		return err
+	})
+	return res, chainErr
 }
 
 // Call implements Caller: route the outcall through the bound connector and

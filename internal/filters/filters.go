@@ -4,15 +4,25 @@
 // messages or selecting particular ones, order-sensitive when they modify
 // content, dynamically attachable and removable, and — combined with
 // superimposition — able to express crosscutting aspects.
+//
+// The package follows the compile-time/run-time split of the adaptation
+// stack (DESIGN.md §5): a Set's chains are immutable compiled pipelines —
+// matchers glob-parsed once at attach time (internal/match), one slice of
+// precompiled steps per direction — published behind an atomic pointer and
+// rebuilt only on interchange. Eval is therefore lock-free and
+// allocation-free: one atomic load, then precompiled matching. Malformed
+// glob patterns, which previously slipped through and silently matched
+// nothing, are rejected at attach time.
 package filters
 
 import (
 	"errors"
 	"fmt"
-	"path"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bus"
+	"repro/internal/match"
 )
 
 // Direction distinguishes the two filter sets of a component.
@@ -44,23 +54,40 @@ type Matcher struct {
 	Src  string
 }
 
-// Matches reports whether m is selected.
-func (mt Matcher) Matches(m *bus.Message) bool {
-	if mt.Kind != 0 && m.Kind != mt.Kind {
-		return false
-	}
-	if mt.Op != "" && !glob(mt.Op, m.Op) {
-		return false
-	}
-	if mt.Src != "" && !glob(mt.Src, string(m.Src)) {
-		return false
-	}
-	return true
+// compiledMatcher is the attach-time compiled form of a Matcher.
+type compiledMatcher struct {
+	kind bus.Kind
+	op   match.Pattern
+	src  match.Pattern
 }
 
-func glob(pattern, s string) bool {
-	ok, err := path.Match(pattern, s)
-	return err == nil && ok
+// compile validates both glob fields eagerly.
+func (mt Matcher) compile() (compiledMatcher, error) {
+	op, err := match.Compile(mt.Op)
+	if err != nil {
+		return compiledMatcher{}, fmt.Errorf("filters: op pattern %q: %w", mt.Op, err)
+	}
+	src, err := match.Compile(mt.Src)
+	if err != nil {
+		return compiledMatcher{}, fmt.Errorf("filters: src pattern %q: %w", mt.Src, err)
+	}
+	return compiledMatcher{kind: mt.Kind, op: op, src: src}, nil
+}
+
+func (cm compiledMatcher) matches(m *bus.Message) bool {
+	if cm.kind != 0 && m.Kind != cm.kind {
+		return false
+	}
+	return cm.op.Match(m.Op) && cm.src.Match(string(m.Src))
+}
+
+// Matches reports whether m is selected. This convenience entry point
+// compiles the matcher per call; the Set hot path uses the form compiled at
+// attach time instead. A malformed pattern matches nothing here — attach
+// through a Set to get the error.
+func (mt Matcher) Matches(m *bus.Message) bool {
+	cm, err := mt.compile()
+	return err == nil && cm.matches(m)
 }
 
 // Outcome is the terminal result of evaluating a filter chain.
@@ -107,8 +134,17 @@ const (
 type Filter interface {
 	// Name identifies the filter for detachment.
 	Name() string
-	// apply may modify m in place and returns how evaluation proceeds.
-	apply(m *bus.Message) (step, error)
+	// compile validates the filter and returns its precompiled form; it is
+	// called once, at attach time.
+	compile() (compiled, error)
+}
+
+// compiled is one precompiled pipeline step: the match decision and the
+// action to run on matching messages (which may modify them in place).
+type compiled struct {
+	src   Filter // the declarative form, kept for Name and re-superimposition
+	match compiledMatcher
+	act   func(m *bus.Message) (step, error)
 }
 
 // Dispatch delegates matching messages to another operation: on match the
@@ -122,12 +158,15 @@ type Dispatch struct {
 // Name implements Filter.
 func (d Dispatch) Name() string { return d.FilterName }
 
-func (d Dispatch) apply(m *bus.Message) (step, error) {
-	if !d.Match.Matches(m) {
-		return stepContinue, nil
+func (d Dispatch) compile() (compiled, error) {
+	cm, err := d.Match.compile()
+	if err != nil {
+		return compiled{}, err
 	}
-	m.Op = d.Target
-	return stepAccept, nil
+	return compiled{src: d, match: cm, act: func(m *bus.Message) (step, error) {
+		m.Op = d.Target
+		return stepAccept, nil
+	}}, nil
 }
 
 // ErrFiltered is wrapped by Error filter rejections.
@@ -143,11 +182,14 @@ type Error struct {
 // Name implements Filter.
 func (e Error) Name() string { return e.FilterName }
 
-func (e Error) apply(m *bus.Message) (step, error) {
-	if !e.Match.Matches(m) {
-		return stepContinue, nil
+func (e Error) compile() (compiled, error) {
+	cm, err := e.Match.compile()
+	if err != nil {
+		return compiled{}, err
 	}
-	return stepReject, fmt.Errorf("%w: %s (op=%s)", ErrFiltered, e.Reason, m.Op)
+	return compiled{src: e, match: cm, act: func(m *bus.Message) (step, error) {
+		return stepReject, fmt.Errorf("%w: %s (op=%s)", ErrFiltered, e.Reason, m.Op)
+	}}, nil
 }
 
 // Wait defers matching messages while Cond is false — the buffering variant
@@ -161,11 +203,17 @@ type Wait struct {
 // Name implements Filter.
 func (w Wait) Name() string { return w.FilterName }
 
-func (w Wait) apply(m *bus.Message) (step, error) {
-	if !w.Match.Matches(m) || (w.Cond != nil && w.Cond()) {
-		return stepContinue, nil
+func (w Wait) compile() (compiled, error) {
+	cm, err := w.Match.compile()
+	if err != nil {
+		return compiled{}, err
 	}
-	return stepDefer, nil
+	return compiled{src: w, match: cm, act: func(m *bus.Message) (step, error) {
+		if w.Cond != nil && w.Cond() {
+			return stepContinue, nil
+		}
+		return stepDefer, nil
+	}}, nil
 }
 
 // Transform modifies matching messages in place and passes them on —
@@ -179,15 +227,22 @@ type Transform struct {
 // Name implements Filter.
 func (t Transform) Name() string { return t.FilterName }
 
-func (t Transform) apply(m *bus.Message) (step, error) {
-	if t.Match.Matches(m) && t.Fn != nil {
-		t.Fn(m)
+func (t Transform) compile() (compiled, error) {
+	cm, err := t.Match.compile()
+	if err != nil {
+		return compiled{}, err
 	}
-	return stepContinue, nil
+	return compiled{src: t, match: cm, act: func(m *bus.Message) (step, error) {
+		if t.Fn != nil {
+			t.Fn(m)
+		}
+		return stepContinue, nil
+	}}, nil
 }
 
 // Meta reifies matching messages to a meta-level observer without
-// consuming them (introspection hook).
+// consuming them (introspection hook). The observer runs outside any Set
+// lock — it may attach or detach filters on the very set it observes.
 type Meta struct {
 	FilterName string
 	Match      Matcher
@@ -197,74 +252,144 @@ type Meta struct {
 // Name implements Filter.
 func (mf Meta) Name() string { return mf.FilterName }
 
-func (mf Meta) apply(m *bus.Message) (step, error) {
-	if mf.Match.Matches(m) && mf.Observer != nil {
-		mf.Observer(*m)
+func (mf Meta) compile() (compiled, error) {
+	cm, err := mf.Match.compile()
+	if err != nil {
+		return compiled{}, err
 	}
-	return stepContinue, nil
+	return compiled{src: mf, match: cm, act: func(m *bus.Message) (step, error) {
+		if mf.Observer != nil {
+			mf.Observer(*m)
+		}
+		return stepContinue, nil
+	}}, nil
 }
+
+// chain is one direction's immutable compiled pipeline. A new value is
+// published wholesale on every interchange; Eval never observes a
+// half-applied chain.
+type chain struct {
+	gen   uint64
+	steps []compiled
+}
+
+var emptyChain = &chain{}
 
 // Set is a component's pair of ordered filter chains. The zero value is
-// ready to use; filters can be attached and detached at run time.
+// ready to use; filters can be attached and removed at run time. Structural
+// changes (the control plane) serialize on a mutex and republish the
+// affected direction's compiled pipeline atomically; evaluation (the data
+// plane) is lock-free.
 type Set struct {
-	mu     sync.RWMutex
-	input  []Filter
-	output []Filter
+	mu     sync.Mutex // serializes writers; never held during Eval
+	gen    uint64     // generation stamp shared by both directions
+	input  atomic.Pointer[chain]
+	output atomic.Pointer[chain]
 }
 
-// Attach appends f to the chain for dir.
-func (s *Set) Attach(dir Direction, f Filter) {
+func (s *Set) dir(d Direction) *atomic.Pointer[chain] {
+	if d == Input {
+		return &s.input
+	}
+	return &s.output
+}
+
+func (s *Set) load(d Direction) *chain {
+	if c := s.dir(d).Load(); c != nil {
+		return c
+	}
+	return emptyChain
+}
+
+// publishLocked stamps and publishes a new compiled pipeline for d; callers
+// hold s.mu.
+func (s *Set) publishLocked(d Direction, steps []compiled) {
+	s.gen++
+	s.dir(d).Store(&chain{gen: s.gen, steps: steps})
+}
+
+// Attach validates, compiles and appends f to the chain for dir. A filter
+// with a malformed glob pattern is rejected here, at interchange time —
+// previously it would attach and silently match nothing.
+func (s *Set) Attach(dir Direction, f Filter) error {
+	c, err := f.compile()
+	if err != nil {
+		return fmt.Errorf("filters: attach %s: %w", f.Name(), err)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if dir == Input {
-		s.input = append(s.input, f)
-	} else {
-		s.output = append(s.output, f)
-	}
+	old := s.load(dir).steps
+	next := make([]compiled, len(old)+1)
+	copy(next, old)
+	next[len(old)] = c
+	s.publishLocked(dir, next)
+	return nil
 }
 
 // Detach removes the named filter from dir; it reports success.
 func (s *Set) Detach(dir Direction, name string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	chain := &s.input
-	if dir == Output {
-		chain = &s.output
-	}
-	for i, f := range *chain {
-		if f.Name() == name {
-			*chain = append(append([]Filter{}, (*chain)[:i]...), (*chain)[i+1:]...)
+	old := s.load(dir).steps
+	for i, c := range old {
+		if c.src.Name() == name {
+			next := make([]compiled, 0, len(old)-1)
+			next = append(next, old[:i]...)
+			next = append(next, old[i+1:]...)
+			s.publishLocked(dir, next)
 			return true
 		}
 	}
 	return false
 }
 
+// Replace atomically swaps the entire chain for dir with the given filters
+// — the whole-pipeline interchange primitive. Either every filter compiles
+// and the new pipeline is published as one unit, or the set is unchanged;
+// concurrent evaluations see only the complete old or the complete new
+// chain, never a mixture.
+func (s *Set) Replace(dir Direction, fs ...Filter) error {
+	next := make([]compiled, len(fs))
+	for i, f := range fs {
+		c, err := f.compile()
+		if err != nil {
+			return fmt.Errorf("filters: replace %s: %w", f.Name(), err)
+		}
+		next[i] = c
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.publishLocked(dir, next)
+	return nil
+}
+
 // Len reports the chain length for dir.
 func (s *Set) Len(dir Direction) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if dir == Input {
-		return len(s.input)
-	}
-	return len(s.output)
+	return len(s.load(dir).steps)
+}
+
+// Generation returns the compiled pipeline generation for dir: 0 until the
+// first interchange, then strictly increasing across attaches, detaches and
+// replaces of either direction. Two Evals observing the same generation ran
+// the identical compiled chain.
+func (s *Set) Generation(dir Direction) uint64 {
+	return s.load(dir).gen
 }
 
 // Eval runs m through the chain for dir. Filters run in attachment order;
 // the first Accept/Reject/Defer terminates the chain, and a chain that runs
-// to the end delivers the message.
+// to the end delivers the message. Eval takes no lock and performs no
+// allocation: the compiled pipeline is one atomic snapshot, so a concurrent
+// interchange never tears the chain mid-message — and observers (Meta) may
+// safely attach or detach filters on this same set.
 func (s *Set) Eval(dir Direction, m *bus.Message) Result {
-	s.mu.RLock()
-	chain := s.input
-	if dir == Output {
-		chain = s.output
-	}
-	// Copy the slice header so detach during eval can't race the loop.
-	chain = chain[:len(chain):len(chain)]
-	s.mu.RUnlock()
-
-	for _, f := range chain {
-		st, err := f.apply(m)
+	ch := s.load(dir)
+	for i := range ch.steps {
+		c := &ch.steps[i]
+		if !c.match.matches(m) {
+			continue
+		}
+		st, err := c.act(m)
 		switch st {
 		case stepAccept:
 			return Result{Outcome: Delivered}
@@ -286,13 +411,34 @@ type Superimposition struct {
 	Filters   []Filter
 }
 
-// Superimpose attaches the specification to every given set.
-func Superimpose(sp Superimposition, sets ...*Set) {
+// Superimpose attaches the specification to every given set. The whole
+// specification is compiled up front, so a malformed filter fails the
+// operation before any set is touched — the crosscutting policy is applied
+// everywhere or nowhere.
+func Superimpose(sp Superimposition, sets ...*Set) error {
+	if err := sp.Compile(); err != nil {
+		return fmt.Errorf("filters: superimpose: %w", err)
+	}
 	for _, s := range sets {
 		for _, f := range sp.Filters {
-			s.Attach(sp.Direction, f)
+			// Cannot fail: every filter compiled above.
+			if err := s.Attach(sp.Direction, f); err != nil {
+				return fmt.Errorf("filters: superimpose %s: %w", sp.Name, err)
+			}
 		}
 	}
+	return nil
+}
+
+// Compile validates every filter of the specification without attaching it
+// anywhere — declare-time validation for superimpositions.
+func (sp Superimposition) Compile() error {
+	for _, f := range sp.Filters {
+		if _, err := f.compile(); err != nil {
+			return fmt.Errorf("filters: superimposition %s: %w", sp.Name, err)
+		}
+	}
+	return nil
 }
 
 // RemoveSuperimposition detaches all of the specification's filters from

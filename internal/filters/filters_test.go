@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"repro/internal/bus"
 )
@@ -229,5 +230,167 @@ func TestStrings(t *testing.T) {
 	if Delivered.String() != "delivered" || Rejected.String() != "rejected" ||
 		DeferredMsg.String() != "deferred" || Outcome(0).String() != "unknown" {
 		t.Error("outcome strings")
+	}
+}
+
+// ---- compiled-pipeline tests (PR 3) ----
+
+func TestAttachRejectsMalformedGlob(t *testing.T) {
+	var s Set
+	// The bug being fixed: a malformed pattern used to attach fine and then
+	// silently match nothing. Now compilation fails at interchange time.
+	if err := s.Attach(Input, Error{FilterName: "bad", Match: Matcher{Op: "a["}, Reason: "x"}); err == nil {
+		t.Fatal("malformed op glob should fail to attach")
+	}
+	if err := s.Attach(Input, Transform{FilterName: "bad2", Match: Matcher{Src: `c\`}}); err == nil {
+		t.Fatal("malformed src glob should fail to attach")
+	}
+	if s.Len(Input) != 0 {
+		t.Fatal("failed attach left filters behind")
+	}
+	// A valid chain stays valid after a failed attach.
+	if err := s.Attach(Input, Transform{FilterName: "ok", Match: Matcher{Op: "g*"}}); err != nil {
+		t.Fatal(err)
+	}
+	if r := s.Eval(Input, msg("get", bus.Request, "c")); r.Outcome != Delivered {
+		t.Fatalf("res = %+v", r)
+	}
+	// Superimposition validation catches the same class of error.
+	sp := Superimposition{Name: "bad-sp", Direction: Input,
+		Filters: []Filter{Meta{FilterName: "m", Match: Matcher{Op: "["}}}}
+	if err := sp.Compile(); err == nil {
+		t.Fatal("superimposition with malformed glob should not compile")
+	}
+	if err := Superimpose(sp, &s); err == nil {
+		t.Fatal("superimposing a malformed glob should fail")
+	}
+}
+
+// TestMetaObserverReentrantInterchange pins the guarantee that a Meta
+// observer may attach or detach filters on the very set it observes. The
+// old RWMutex Eval only upheld this by releasing its RLock before running
+// the chain — one refactor away from a self-deadlock; with compiled COW
+// pipelines Eval holds no lock at all, making the property structural.
+func TestMetaObserverReentrantInterchange(t *testing.T) {
+	var s Set
+	attached := false
+	if err := s.Attach(Input, Meta{FilterName: "observer", Observer: func(bus.Message) {
+		if !attached {
+			attached = true
+			if err := s.Attach(Input, Transform{FilterName: "late", Fn: func(*bus.Message) {}}); err != nil {
+				t.Error(err)
+			}
+			s.Detach(Input, "late")
+		}
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.Eval(Input, msg("x", bus.Request, "c"))
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Meta observer interchange deadlocked")
+	}
+	if !attached {
+		t.Fatal("observer did not run")
+	}
+}
+
+func TestReplaceSwapsWholeChainAtomically(t *testing.T) {
+	var s Set
+	// Two generations, each a self-consistent pair: a tagger that stamps the
+	// payload and a checker that rejects when it sees a stamp from another
+	// generation. A torn pipeline (tagger of one generation with checker of
+	// the other) would reject.
+	mk := func(tag string) []Filter {
+		return []Filter{
+			Transform{FilterName: "tag", Fn: func(m *bus.Message) { m.Payload = tag }},
+			Transform{FilterName: "verify", Fn: func(m *bus.Message) {
+				if m.Payload != tag {
+					m.Op = "TORN"
+				}
+			}},
+		}
+	}
+	if err := s.Replace(Input, mk("g1")...); err != nil {
+		t.Fatal(err)
+	}
+	g1 := s.Generation(Input)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	torn := make(chan string, 1)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m := msg("x", bus.Request, "c")
+				s.Eval(Input, m)
+				if m.Op == "TORN" {
+					select {
+					case torn <- "torn pipeline observed":
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 3000; i++ {
+		tag := "g1"
+		if i%2 == 1 {
+			tag = "g2"
+		}
+		if err := s.Replace(Input, mk(tag)...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case msg := <-torn:
+		t.Fatal(msg)
+	default:
+	}
+	if g2 := s.Generation(Input); g2 <= g1 {
+		t.Fatalf("generation did not advance: %d -> %d", g1, g2)
+	}
+	// A replace with a malformed filter must leave the old chain intact.
+	before := s.Generation(Input)
+	if err := s.Replace(Input, Error{FilterName: "bad", Match: Matcher{Op: "["}, Reason: "x"}); err == nil {
+		t.Fatal("replace with malformed glob should fail")
+	}
+	if s.Generation(Input) != before || s.Len(Input) != 2 {
+		t.Fatal("failed replace disturbed the published chain")
+	}
+}
+
+func TestEvalZeroAllocs(t *testing.T) {
+	var s Set
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.Attach(Input, Transform{FilterName: "glob", Match: Matcher{Op: "g?t*", Src: "c*"}, Fn: func(*bus.Message) {}}))
+	must(s.Attach(Input, Transform{FilterName: "lit", Match: Matcher{Op: "get"}, Fn: func(*bus.Message) {}}))
+	must(s.Attach(Input, Transform{FilterName: "miss", Match: Matcher{Op: "other*"}, Fn: func(*bus.Message) {}}))
+	m := msg("get", bus.Request, "cli")
+	n := testing.AllocsPerRun(1000, func() {
+		if r := s.Eval(Input, m); r.Outcome != Delivered {
+			t.Fatal("unexpected outcome")
+		}
+	})
+	if n != 0 {
+		t.Errorf("Eval allocates %v times per run, want 0", n)
 	}
 }

@@ -20,21 +20,52 @@ type Scope struct {
 	Dst []bus.Address
 }
 
-// covers reports whether m falls inside the scope.
-func (s Scope) covers(m *bus.Message) bool {
-	return memberOrAny(s.Src, m.Src) && memberOrAny(s.Dst, m.Dst)
+// memberSet is the compiled membership test for one side of a scope,
+// following the compile-at-declare-time discipline of the adaptation stack:
+// small sides stay a linear scan over a private copy, larger ones compile
+// into a hash set, so Intercept pays O(1) per message either way.
+type memberSet struct {
+	small []bus.Address
+	index map[bus.Address]struct{}
 }
 
-func memberOrAny(set []bus.Address, a bus.Address) bool {
-	if len(set) == 0 {
+// memberSetCutoff is the side size above which a hash set beats scanning.
+const memberSetCutoff = 4
+
+func compileMembers(set []bus.Address) memberSet {
+	if len(set) <= memberSetCutoff {
+		return memberSet{small: append([]bus.Address(nil), set...)}
+	}
+	idx := make(map[bus.Address]struct{}, len(set))
+	for _, a := range set {
+		idx[a] = struct{}{}
+	}
+	return memberSet{index: idx}
+}
+
+func (ms memberSet) containsOrAny(a bus.Address) bool {
+	if ms.index != nil {
+		_, ok := ms.index[a]
+		return ok
+	}
+	if len(ms.small) == 0 {
 		return true
 	}
-	for _, x := range set {
+	for _, x := range ms.small {
 		if x == a {
 			return true
 		}
 	}
 	return false
+}
+
+// compiledScope is the construction-time compiled form of a Scope.
+type compiledScope struct {
+	src, dst memberSet
+}
+
+func (s compiledScope) covers(m *bus.Message) bool {
+	return s.src.containsOrAny(m.Src) && s.dst.containsOrAny(m.Dst)
 }
 
 // Behavior is the inserted behaviour. Exactly one of the fields is used,
@@ -58,10 +89,12 @@ var (
 	errNotAttached = errors.New("inject: not attached")
 )
 
-// Injector is a scoped bus interceptor.
+// Injector is a scoped bus interceptor. The scope's membership tests are
+// compiled once at construction; Intercept runs on sending goroutines and
+// takes no lock.
 type Injector struct {
 	name     string
-	scope    Scope
+	scope    compiledScope
 	behavior Behavior
 	hits     atomic.Uint64
 }
@@ -93,7 +126,8 @@ func New(name string, scope Scope, b Behavior) (*Injector, error) {
 	default:
 		return nil, ErrAmbiguous
 	}
-	return &Injector{name: name, scope: scope, behavior: b}, nil
+	cs := compiledScope{src: compileMembers(scope.Src), dst: compileMembers(scope.Dst)}
+	return &Injector{name: name, scope: cs, behavior: b}, nil
 }
 
 // Name implements bus.Interceptor.

@@ -3,6 +3,7 @@ package inject
 import (
 	"context"
 	"errors"
+	"fmt"
 	"testing"
 
 	"repro/internal/bus"
@@ -147,5 +148,31 @@ func TestUninstall(t *testing.T) {
 	_ = b.Send(bus.Message{Kind: bus.Event, Src: "s", Dst: "dst"})
 	if dst.Received() != 1 {
 		t.Fatal("uninstalled injector still dropping")
+	}
+}
+
+// TestLargeScopeCompilesToIndex covers the hash-compiled membership path:
+// scopes wider than the linear-scan cutoff must still cover exactly their
+// members.
+func TestLargeScopeCompilesToIndex(t *testing.T) {
+	var dsts []bus.Address
+	for i := 0; i < 12; i++ {
+		dsts = append(dsts, bus.Address(fmt.Sprintf("comp:target-%d", i)))
+	}
+	inj, err := New("wide", Scope{Dst: dsts}, Behavior{TransformFn: func(*bus.Message) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := &bus.Message{Src: "s", Dst: dsts[7]}
+	if v := inj.Intercept(in); v != bus.Pass {
+		t.Fatalf("verdict = %v", v)
+	}
+	if inj.Hits() != 1 {
+		t.Fatalf("hits = %d, want 1 (indexed member must be covered)", inj.Hits())
+	}
+	out := &bus.Message{Src: "s", Dst: "comp:elsewhere"}
+	inj.Intercept(out)
+	if inj.Hits() != 1 {
+		t.Fatal("non-member hit through indexed scope")
 	}
 }

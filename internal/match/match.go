@@ -1,0 +1,290 @@
+// Package match compiles path.Match-style glob patterns once, at
+// attach/declare time, so the adaptation hot path (filters, aspect
+// pointcuts) never re-parses a pattern per message. Compilation validates
+// the whole pattern eagerly — path.Match reports ErrBadPattern lazily, only
+// when matching reaches the malformed part, which is how malformed patterns
+// used to silently match nothing — and classifies it so the dominant shapes
+// ("", "*", literals, "prefix*", "*suffix") match with a string compare
+// instead of running the glob program.
+//
+// Semantics follow path.Match with one deliberate deviation: the empty
+// pattern matches everything, which is the adaptation packages' convention
+// for an unset selector field. '*' and '?' do not match '/', character
+// classes do.
+package match
+
+import (
+	"path"
+	"strings"
+	"unicode/utf8"
+)
+
+// ErrBadPattern reports a malformed pattern (alias of path.ErrBadPattern so
+// callers can errors.Is against either).
+var ErrBadPattern = path.ErrBadPattern
+
+type kind uint8
+
+const (
+	kindAny     kind = iota // "" or "*"
+	kindLiteral             // no metacharacters
+	kindPrefix              // "lit*"
+	kindSuffix              // "*lit"
+	kindGlob                // anything else: compiled token program
+)
+
+// Pattern is one compiled pattern. The zero value matches everything.
+type Pattern struct {
+	k    kind
+	lit  string // literal, prefix or suffix text
+	toks []token
+	src  string
+}
+
+type tokKind uint8
+
+const (
+	tokLit tokKind = iota
+	tokStar
+	tokQuestion
+	tokClass
+)
+
+type charRange struct{ lo, hi rune }
+
+type token struct {
+	kind   tokKind
+	lit    string // tokLit
+	negate bool   // tokClass
+	ranges []charRange
+}
+
+// Compile validates and compiles pattern. A malformed pattern (unterminated
+// class, trailing backslash, bad range element) returns ErrBadPattern
+// eagerly instead of silently matching nothing at evaluation time.
+func Compile(pattern string) (Pattern, error) {
+	p := Pattern{src: pattern}
+	if pattern == "" {
+		return p, nil
+	}
+	toks, err := tokenize(pattern)
+	if err != nil {
+		return Pattern{}, err
+	}
+	// Classify the common shapes so they match without the glob program.
+	switch {
+	case len(toks) == 1 && toks[0].kind == tokStar:
+		p.k = kindAny
+	case len(toks) == 1 && toks[0].kind == tokLit:
+		p.k = kindLiteral
+		p.lit = toks[0].lit
+	case len(toks) == 2 && toks[0].kind == tokLit && toks[1].kind == tokStar:
+		p.k = kindPrefix
+		p.lit = toks[0].lit
+	case len(toks) == 2 && toks[0].kind == tokStar && toks[1].kind == tokLit:
+		p.k = kindSuffix
+		p.lit = toks[1].lit
+	default:
+		p.k = kindGlob
+		p.toks = toks
+	}
+	return p, nil
+}
+
+// MustCompile is Compile for patterns known to be valid (tests, defaults).
+func MustCompile(pattern string) Pattern {
+	p, err := Compile(pattern)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// String returns the source pattern.
+func (p Pattern) String() string { return p.src }
+
+// IsAny reports whether the pattern matches every string, letting callers
+// skip the match call entirely. Only the empty pattern qualifies: "*" still
+// refuses to match across '/' (path.Match semantics), so it must be run.
+func (p Pattern) IsAny() bool { return p.k == kindAny && p.src == "" }
+
+// Match reports whether s matches the pattern. It performs no allocation.
+func (p Pattern) Match(s string) bool {
+	switch p.k {
+	case kindAny:
+		// "*" must not match across '/' (path.Match semantics); the empty
+		// pattern ("match anything" convention) has no such restriction but
+		// shares this arm via lit == "" below only when src is "*".
+		if p.src == "" {
+			return true
+		}
+		return !strings.ContainsRune(s, '/')
+	case kindLiteral:
+		return s == p.lit
+	case kindPrefix:
+		return len(s) >= len(p.lit) && s[:len(p.lit)] == p.lit &&
+			!strings.ContainsRune(s[len(p.lit):], '/')
+	case kindSuffix:
+		return len(s) >= len(p.lit) && s[len(s)-len(p.lit):] == p.lit &&
+			!strings.ContainsRune(s[:len(s)-len(p.lit)], '/')
+	default:
+		return matchToks(p.toks, s)
+	}
+}
+
+// tokenize parses the pattern into a validated token program: consecutive
+// literal runes merge into one token, runs of '*' collapse to one star.
+func tokenize(pattern string) ([]token, error) {
+	var toks []token
+	var lit []byte
+	flush := func() {
+		if len(lit) > 0 {
+			toks = append(toks, token{kind: tokLit, lit: string(lit)})
+			lit = lit[:0]
+		}
+	}
+	for i := 0; i < len(pattern); {
+		switch c := pattern[i]; c {
+		case '*':
+			flush()
+			if len(toks) == 0 || toks[len(toks)-1].kind != tokStar {
+				toks = append(toks, token{kind: tokStar})
+			}
+			i++
+		case '?':
+			flush()
+			toks = append(toks, token{kind: tokQuestion})
+			i++
+		case '\\':
+			if i+1 >= len(pattern) {
+				return nil, ErrBadPattern
+			}
+			_, size := utf8.DecodeRuneInString(pattern[i+1:])
+			lit = append(lit, pattern[i+1:i+1+size]...)
+			i += 1 + size
+		case '[':
+			flush()
+			t, rest, err := parseClass(pattern[i+1:])
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, t)
+			i = len(pattern) - len(rest)
+		default:
+			_, size := utf8.DecodeRuneInString(pattern[i:])
+			lit = append(lit, pattern[i:i+size]...)
+			i += size
+		}
+	}
+	flush()
+	return toks, nil
+}
+
+// parseClass parses a character class body (after '[') and returns the
+// remainder of the pattern after the closing ']'.
+func parseClass(s string) (token, string, error) {
+	t := token{kind: tokClass}
+	if strings.HasPrefix(s, "^") {
+		t.negate = true
+		s = s[1:]
+	}
+	for n := 0; ; n++ {
+		if strings.HasPrefix(s, "]") && n > 0 {
+			return t, s[1:], nil
+		}
+		lo, rest, err := classRune(s)
+		if err != nil {
+			return token{}, "", err
+		}
+		s = rest
+		hi := lo
+		if strings.HasPrefix(s, "-") {
+			hi, rest, err = classRune(s[1:])
+			if err != nil {
+				return token{}, "", err
+			}
+			s = rest
+		}
+		t.ranges = append(t.ranges, charRange{lo, hi})
+	}
+}
+
+// classRune decodes one class element, mirroring path.Match's getEsc: a
+// bare '-' or ']' cannot start an element, a trailing escape or an exhausted
+// pattern is malformed.
+func classRune(s string) (rune, string, error) {
+	if s == "" || s[0] == '-' || s[0] == ']' {
+		return 0, "", ErrBadPattern
+	}
+	if s[0] == '\\' {
+		s = s[1:]
+		if s == "" {
+			return 0, "", ErrBadPattern
+		}
+	}
+	r, size := utf8.DecodeRuneInString(s)
+	if r == utf8.RuneError && size == 1 {
+		return 0, "", ErrBadPattern
+	}
+	s = s[size:]
+	if s == "" { // the closing ']' can never follow
+		return 0, "", ErrBadPattern
+	}
+	return r, s, nil
+}
+
+func (t token) matchClass(r rune) bool {
+	in := false
+	for _, rg := range t.ranges {
+		if rg.lo <= r && r <= rg.hi {
+			in = true
+			break
+		}
+	}
+	return in != t.negate
+}
+
+// matchToks runs the glob program. Backtracking recurses only at stars, so
+// depth is bounded by the number of '*' in the pattern.
+func matchToks(toks []token, s string) bool {
+	for ti := 0; ti < len(toks); ti++ {
+		switch t := toks[ti]; t.kind {
+		case tokLit:
+			if !strings.HasPrefix(s, t.lit) {
+				return false
+			}
+			s = s[len(t.lit):]
+		case tokQuestion:
+			r, size := utf8.DecodeRuneInString(s)
+			if size == 0 || r == '/' {
+				return false
+			}
+			s = s[size:]
+		case tokClass:
+			r, size := utf8.DecodeRuneInString(s)
+			if size == 0 {
+				return false
+			}
+			if !t.matchClass(r) {
+				return false
+			}
+			s = s[size:]
+		case tokStar:
+			rest := toks[ti+1:]
+			if len(rest) == 0 {
+				return !strings.ContainsRune(s, '/')
+			}
+			for i := 0; ; {
+				if matchToks(rest, s[i:]) {
+					return true
+				}
+				r, size := utf8.DecodeRuneInString(s[i:])
+				if size == 0 || r == '/' {
+					return false
+				}
+				i += size
+			}
+		}
+	}
+	return s == ""
+}

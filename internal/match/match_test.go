@@ -1,0 +1,147 @@
+package match
+
+import (
+	"errors"
+	"path"
+	"testing"
+	"testing/quick"
+)
+
+func TestFastPathShapes(t *testing.T) {
+	cases := []struct {
+		pattern string
+		want    kind
+	}{
+		{"", kindAny},
+		{"*", kindAny},
+		{"**", kindAny},
+		{"get", kindLiteral},
+		{`g\*t`, kindLiteral}, // escaped star is a literal
+		{"get*", kindPrefix},
+		{"*Suffix", kindSuffix},
+		{"g?t", kindGlob},
+		{"a*b", kindGlob},
+		{"[ab]c", kindGlob},
+	}
+	for _, c := range cases {
+		p, err := Compile(c.pattern)
+		if err != nil {
+			t.Fatalf("Compile(%q): %v", c.pattern, err)
+		}
+		if p.k != c.want {
+			t.Errorf("Compile(%q).k = %d, want %d", c.pattern, p.k, c.want)
+		}
+	}
+}
+
+func TestEmptyPatternMatchesEverything(t *testing.T) {
+	p := MustCompile("")
+	for _, s := range []string{"", "anything", "with/slash"} {
+		if !p.Match(s) {
+			t.Errorf("empty pattern should match %q", s)
+		}
+	}
+	if !p.IsAny() {
+		t.Error("empty pattern should report IsAny")
+	}
+	// "*" is NOT IsAny: it must still exclude '/' when run.
+	if MustCompile("*").IsAny() {
+		t.Error("star pattern must not report IsAny (it excludes '/')")
+	}
+}
+
+// TestAgreesWithPathMatch cross-checks every valid pattern shape against the
+// standard library on a corpus of candidate strings.
+func TestAgreesWithPathMatch(t *testing.T) {
+	patterns := []string{
+		"*", "get", "get*", "*get", "g?t", "ge[tm]", "ge[^tm]", "g[a-z]t",
+		"enc*", "cam?", "a*b*c", "*a*", "??", "[ab][cd]", `g\*t`, `a\?c`,
+		"comp:*", "Store*", "*.get", "a[b-d]e", "[^a-c]x", "*[0-9]",
+		"ab[c", // prefix of a class never completes on these candidates... (excluded below)
+	}
+	candidates := []string{
+		"", "g", "get", "gem", "gex", "got", "g*t", "g?c", "a?c", "getter",
+		"target", "ab", "abc", "abcc", "axbyc", "cam1", "cam12", "comp:x",
+		"Store1", "x.get", "abe", "ace", "dx", "ax", "a9", "99", "with/slash",
+		"enc/x", "éé", "é",
+	}
+	for _, pat := range patterns {
+		p, err := Compile(pat)
+		if err != nil {
+			// Malformed patterns are rejected eagerly; path.Match only
+			// reports them lazily, so there is nothing to cross-check.
+			continue
+		}
+		for _, s := range candidates {
+			want, werr := path.Match(pat, s)
+			if werr != nil {
+				continue
+			}
+			if got := p.Match(s); got != want {
+				t.Errorf("Compile(%q).Match(%q) = %v, path.Match = %v", pat, s, got, want)
+			}
+		}
+	}
+}
+
+func TestMalformedPatternsRejectedEagerly(t *testing.T) {
+	for _, pat := range []string{"a[", "[", "[]", "[a-]", "[-a]", `a\`, "[a", `[\`, "ab[c"} {
+		if _, err := Compile(pat); !errors.Is(err, ErrBadPattern) {
+			t.Errorf("Compile(%q) = %v, want ErrBadPattern", pat, err)
+		}
+		// The bug being fixed: path.Match reports these lazily or not at
+		// all, so a malformed pattern used to silently match nothing.
+		if _, err := Compile(pat); !errors.Is(err, path.ErrBadPattern) {
+			t.Errorf("Compile(%q) error should alias path.ErrBadPattern", pat)
+		}
+	}
+}
+
+func TestClassSemantics(t *testing.T) {
+	p := MustCompile("[^a-c]")
+	if p.Match("a") || p.Match("b") || !p.Match("d") {
+		t.Error("negated range broken")
+	}
+	// Classes may match '/', stars and '?' may not — path.Match semantics.
+	if !MustCompile("[/]").Match("/") {
+		t.Error("class should match /")
+	}
+	if MustCompile("*").Match("a/b") || MustCompile("?").Match("/") {
+		t.Error("star/question must not match /")
+	}
+	if !MustCompile("x*").Match("xyz") || MustCompile("x*").Match("x/z") {
+		t.Error("prefix fast path must honour / exclusion")
+	}
+	if !MustCompile("*z").Match("xyz") || MustCompile("*z").Match("x/z") {
+		t.Error("suffix fast path must honour / exclusion")
+	}
+}
+
+func TestPropAgreesWithPathMatchOnRandomLiterals(t *testing.T) {
+	f := func(s string) bool {
+		p, err := Compile("pre*")
+		if err != nil {
+			return false
+		}
+		want, _ := path.Match("pre*", s)
+		return p.Match(s) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatchZeroAllocs(t *testing.T) {
+	globs := []Pattern{
+		MustCompile("get*"), MustCompile("g?t*"), MustCompile("*[0-9]"), MustCompile("Store*"),
+	}
+	n := testing.AllocsPerRun(1000, func() {
+		for _, p := range globs {
+			_ = p.Match("getter-42")
+			_ = p.Match("Store1")
+		}
+	})
+	if n != 0 {
+		t.Errorf("Match allocates %v times per run, want 0", n)
+	}
+}

@@ -12,6 +12,15 @@
 // rejected. At execution time, conditional wrappers are skipped when their
 // condition fails and non-modificatory wrappers operate on a copy of the
 // message so their changes cannot leak downstream.
+//
+// Following the compile-time/run-time split of the adaptation stack
+// (DESIGN.md §5), composition is the compile step: Insert and Remove
+// revalidate and reorder under the chain's writer mutex and publish the new
+// execution order as one immutable, generation-stamped snapshot behind an
+// atomic pointer. Execute loads one snapshot and walks it — no lock, no
+// per-execution copy — so a concurrent recomposition never tears the chain
+// mid-interaction, and a failed recomposition leaves the published chain
+// untouched.
 package metaobj
 
 import (
@@ -19,6 +28,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bus"
 )
@@ -62,12 +72,29 @@ var (
 	ErrDuplicate         = errors.New("metaobj: duplicate wrapper")
 )
 
+// snapshot is one published execution order; it is immutable.
+type snapshot struct {
+	gen     uint64
+	ordered []*MetaObject
+}
+
+var emptySnapshot = &snapshot{}
+
 // Chain is a validated, ordered meta-controller. It is safe for concurrent
-// execution; structural changes recompose the order under a lock.
+// execution: structural changes recompose the order under the writer mutex
+// and atomically publish a new generation-stamped snapshot; Execute reads
+// the snapshot lock-free. The zero value is an empty, usable chain.
 type Chain struct {
-	mu      sync.RWMutex
+	mu      sync.Mutex    // serializes writers; never held during Execute
 	objects []*MetaObject // in declaration order
-	ordered []*MetaObject // in execution order
+	snap    atomic.Pointer[snapshot]
+}
+
+func (c *Chain) loadSnap() *snapshot {
+	if s := c.snap.Load(); s != nil {
+		return s
+	}
+	return emptySnapshot
 }
 
 // Compose validates the wrapper set and builds the chain.
@@ -82,8 +109,9 @@ func Compose(objects ...*MetaObject) (*Chain, error) {
 	return c, nil
 }
 
-// recompose revalidates and reorders; callers hold no lock (construction)
-// or the write lock (mutation).
+// recompose revalidates, reorders and — only on success — publishes the new
+// execution order; callers hold no lock (construction) or c.mu (mutation).
+// On failure the previously published snapshot stays in effect.
 func (c *Chain) recompose() error {
 	seen := map[string]*MetaObject{}
 	exclusive := 0
@@ -113,7 +141,7 @@ func (c *Chain) recompose() error {
 	if err != nil {
 		return err
 	}
-	c.ordered = ordered
+	c.snap.Store(&snapshot{gen: c.loadSnap().gen + 1, ordered: ordered})
 	return nil
 }
 
@@ -191,25 +219,36 @@ func topoOrder(objs []*MetaObject, byName map[string]*MetaObject) ([]*MetaObject
 
 // Order returns the execution order of wrapper names.
 func (c *Chain) Order() []string {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	names := make([]string, len(c.ordered))
-	for i, o := range c.ordered {
+	snap := c.loadSnap()
+	names := make([]string, len(snap.ordered))
+	for i, o := range snap.ordered {
 		names[i] = o.Name
 	}
 	return names
 }
 
+// Len reports the number of wrappers in the published execution order; a
+// zero-length chain executes its base directly.
+func (c *Chain) Len() int {
+	return len(c.loadSnap().ordered)
+}
+
+// Generation returns the published composition generation: 0 for the empty
+// zero-value chain, then strictly increasing across successful Compose,
+// Insert and Remove calls. Two Executes observing the same generation ran
+// the identical composed chain.
+func (c *Chain) Generation() uint64 {
+	return c.loadSnap().gen
+}
+
 // Insert adds a wrapper and recomposes; on validation failure the chain is
-// unchanged.
+// unchanged and the published snapshot untouched.
 func (c *Chain) Insert(o *MetaObject) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.objects = append(c.objects, o)
 	if err := c.recompose(); err != nil {
 		c.objects = c.objects[:len(c.objects)-1]
-		// Restore previous order (recompose of the old set cannot fail).
-		_ = c.recompose()
 		return err
 	}
 	return nil
@@ -235,12 +274,11 @@ func (c *Chain) Remove(name string) error {
 // Execute runs m through the chain, ending at base. Conditional wrappers
 // whose condition fails are skipped; wrappers without the Modificatory
 // property receive a copy of the message, so only modificatory wrappers can
-// affect what downstream sees.
+// affect what downstream sees. Execute takes no lock and copies nothing up
+// front: it walks one immutable snapshot, so every interaction sees exactly
+// one composition generation even while wrappers are inserted or removed.
 func (c *Chain) Execute(m *bus.Message, base func(*bus.Message) error) error {
-	c.mu.RLock()
-	chain := append([]*MetaObject(nil), c.ordered...)
-	c.mu.RUnlock()
-	return execute(chain, m, base)
+	return execute(c.loadSnap().ordered, m, base)
 }
 
 func execute(chain []*MetaObject, m *bus.Message, base func(*bus.Message) error) error {

@@ -2,6 +2,8 @@ package metaobj
 
 import (
 	"errors"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/bus"
@@ -268,5 +270,111 @@ func TestPropsHas(t *testing.T) {
 	p := Conditional | Mandatory
 	if !p.Has(Conditional) || !p.Has(Mandatory) || p.Has(Exclusive) {
 		t.Error("Props.Has broken")
+	}
+}
+
+// ---- snapshot-composition tests (PR 3) ----
+
+func TestZeroValueChainUsable(t *testing.T) {
+	var c Chain
+	ran := false
+	if err := c.Execute(&bus.Message{}, func(*bus.Message) error { ran = true; return nil }); err != nil || !ran {
+		t.Fatalf("empty chain should run base: %v", err)
+	}
+	if c.Len() != 0 || c.Generation() != 0 {
+		t.Fatalf("len=%d gen=%d, want 0/0", c.Len(), c.Generation())
+	}
+	if err := c.Insert(passThrough("a", &[]string{})); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 || c.Generation() != 1 {
+		t.Fatalf("len=%d gen=%d, want 1/1", c.Len(), c.Generation())
+	}
+}
+
+func TestFailedInsertKeepsPublishedSnapshot(t *testing.T) {
+	var trace []string
+	c, err := Compose(passThrough("a", &trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := c.Generation()
+	// Duplicate name: recompose fails; the published chain must be the old
+	// one, same generation, still executable.
+	if err := c.Insert(passThrough("a", &trace)); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("err = %v, want ErrDuplicate", err)
+	}
+	if c.Generation() != gen || c.Len() != 1 {
+		t.Fatalf("failed insert disturbed the snapshot: gen=%d len=%d", c.Generation(), c.Len())
+	}
+	if err := c.Execute(&bus.Message{}, func(*bus.Message) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentRecomposeDuringExecute inserts and removes wrappers from
+// several goroutines while executions run, asserting under -race that every
+// execution sees exactly one composition generation: a paired wrapper
+// increments on entry and decrements after next returns, so a torn chain
+// would unbalance the per-message counter.
+func TestConcurrentRecomposeDuringExecute(t *testing.T) {
+	var c Chain
+	mkPair := func(name string) *MetaObject {
+		return &MetaObject{
+			Name:  name,
+			Props: Modificatory,
+			Invoke: func(m *bus.Message, next func(*bus.Message) error) error {
+				m.Corr++
+				err := next(m)
+				m.Corr--
+				return err
+			},
+		}
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var torn atomic.Int64
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m := &bus.Message{}
+				if err := c.Execute(m, func(mm *bus.Message) error {
+					if mm.Corr != uint64(c.Len()) && mm.Corr > 8 {
+						// Corr can lag Len across generations; only an
+						// impossible depth indicates a torn walk.
+						torn.Add(1)
+					}
+					return nil
+				}); err != nil {
+					torn.Add(1)
+					return
+				}
+				if m.Corr != 0 {
+					torn.Add(1)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 1500; i++ {
+		name := "w" + string(rune('a'+i%4))
+		if err := c.Insert(mkPair(name)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Remove(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if torn.Load() != 0 {
+		t.Fatalf("%d executions observed a torn meta-object chain", torn.Load())
 	}
 }
