@@ -20,12 +20,14 @@
 package aas
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/adl"
 	"repro/internal/aspects"
 	"repro/internal/bus"
 	"repro/internal/clock"
+	"repro/internal/cluster"
 	"repro/internal/connector"
 	"repro/internal/container"
 	"repro/internal/core"
@@ -68,6 +70,8 @@ const (
 	EvTriggerFired        = core.EvTriggerFired
 	EvGuardFailed         = core.EvGuardFailed
 	EvTriggerActionFailed = core.EvTriggerActionFailed
+	EvPeerUp              = core.EvPeerUp
+	EvPeerDown            = core.EvPeerDown
 )
 
 // Component-side contracts.
@@ -259,3 +263,34 @@ const (
 
 // Metrics is an introspection metric snapshot.
 type Metrics = strategy.Metrics
+
+// Distribution plane (DESIGN.md §6): real multi-node clustering with
+// location-transparent remote bindings and live cross-node migration.
+type (
+	// ClusterNode is one cluster member wrapping a running System.
+	ClusterNode = cluster.Node
+	// ClusterOptions configures a cluster node (listen address, heartbeat
+	// interval, failure-detection threshold).
+	ClusterOptions = cluster.Options
+	// ClusterSpec describes an in-process multi-node cluster (tests,
+	// benchmarks, demos).
+	ClusterSpec = cluster.Spec
+	// ClusterHarness is a started in-process cluster.
+	ClusterHarness = cluster.Harness
+	// Handoff is the quiesced image of a component crossing nodes.
+	Handoff = core.Handoff
+	// Migrator is the cross-node migration hook type.
+	Migrator = core.Migrator
+)
+
+// StartClusterNode turns a running system into a cluster node: it listens
+// for peers, serves remote calls, and extends System.Migrate to live peers.
+func StartClusterNode(sys *System, opts ClusterOptions) (*ClusterNode, error) {
+	return cluster.Start(sys, opts)
+}
+
+// StartCluster starts an in-process multi-node cluster over TCP loopback
+// from one shared ADL source and a component placement.
+func StartCluster(ctx context.Context, spec ClusterSpec) (*ClusterHarness, error) {
+	return cluster.StartHarness(ctx, spec)
+}

@@ -1,0 +1,221 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	aas "repro"
+
+	"repro/internal/netsim"
+	"repro/internal/registry"
+)
+
+// E16: the distribution plane under load. Two cluster nodes run in this
+// process over real TCP loopback: Front on n1, a stateful Store on n2, so
+// every Front.get is a remote binding crossing the wire through a gateway
+// endpoint. The experiment reports the closed-loop client latency
+// distribution of the cross-node call, first in steady state and then while
+// Store live-migrates between the nodes continuously (migration churn). It
+// asserts zero call errors and exact state preservation — the Store's get
+// counter must equal the number of completed fetches across every hop.
+const e16ADL = `
+system Dist {
+  component Front {
+    provide fetch(key) -> (value)
+    require get(key) -> (value)
+  }
+  component Store {
+    provide get(key) -> (value)
+    provide count() -> (n)
+  }
+  connector Link { kind rpc }
+  bind Front.get -> Store.get via Link
+}
+`
+
+type e16Front struct{ caller aas.Caller }
+
+func (f *e16Front) SetCaller(c aas.Caller) { f.caller = c }
+
+func (f *e16Front) Handle(op string, args []any) ([]any, error) {
+	return f.caller.Call("get", args...)
+}
+
+type e16Store struct {
+	mu   sync.Mutex
+	gets int64
+}
+
+func (s *e16Store) Handle(op string, args []any) ([]any, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch op {
+	case "get":
+		s.gets++
+		return []any{args[0]}, nil
+	case "count":
+		return []any{int(s.gets)}, nil
+	}
+	return nil, fmt.Errorf("e16store: unknown op %s", op)
+}
+
+func (s *e16Store) Snapshot() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return []byte(strconv.FormatInt(s.gets, 10)), nil
+}
+
+func (s *e16Store) Restore(b []byte) error {
+	n, err := strconv.ParseInt(string(b), 10, 64)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.gets = n
+	s.mu.Unlock()
+	return nil
+}
+
+func runE16() {
+	mkReg := func(string) *registry.Registry {
+		reg := &registry.Registry{}
+		if err := reg.Register(registry.Entry{Name: "Front", Version: registry.Version{Major: 1},
+			New: func() any { return &e16Front{} }}); err != nil {
+			log.Fatal(err)
+		}
+		if err := reg.Register(registry.Entry{Name: "Store", Version: registry.Version{Major: 1},
+			New: func() any { return &e16Store{} }}); err != nil {
+			log.Fatal(err)
+		}
+		return reg
+	}
+	h, err := aas.StartCluster(context.Background(), aas.ClusterSpec{
+		ADL:       e16ADL,
+		Nodes:     []string{"n1", "n2"},
+		Placement: map[string]string{"Front": "n1", "Store": "n2"},
+		Registry:  mkReg,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer h.Close()
+	sys1, sys2 := h.System("n1"), h.System("n2")
+
+	const (
+		clients = 4
+		window  = 1500 * time.Millisecond
+	)
+	var errs atomic.Uint64
+
+	steady := e16Drive(sys1, clients, window, &errs)
+	fmt.Println("cross-node call (n1 Front -> TCP gateway -> n2 Store), closed loop, 4 clients:")
+	fmt.Printf("%-30s %10s %10s %10s %10s %12s\n", "condition", "p50", "p95", "p99", "max", "calls/sec")
+	e16Report("steady state (remote)", steady, window)
+
+	// Migration churn: Store bounces between the nodes for the whole
+	// window; every hop quiesces, snapshots, ships state over the wire,
+	// re-registers on the peer and repoints the origin's address at a
+	// gateway — while the clients keep calling.
+	var migrations atomic.Uint64
+	stop := make(chan struct{})
+	churnDone := make(chan struct{})
+	go func() {
+		defer close(churnDone)
+		owner := "n2"
+		systems := map[string]*aas.System{"n1": sys1, "n2": sys2}
+		for {
+			select {
+			case <-stop:
+				// Leave Store wherever it is; the count query below is
+				// location-transparent anyway.
+				return
+			default:
+			}
+			target := "n1"
+			if owner == "n1" {
+				target = "n2"
+			}
+			if err := systems[owner].Migrate("Store", netsim.NodeID(target)); err != nil {
+				log.Fatalf("E16: migration %s -> %s: %v", owner, target, err)
+			}
+			owner = target
+			migrations.Add(1)
+			time.Sleep(20 * time.Millisecond)
+		}
+	}()
+
+	churned := e16Drive(sys1, clients, window, &errs)
+	close(stop)
+	<-churnDone
+
+	e16Report("during migration churn", churned, window)
+	total := uint64(len(steady) + len(churned))
+	fmt.Printf("\nlive cross-node migrations while serving: %d (%.0f/sec)\n",
+		migrations.Load(), float64(migrations.Load())/window.Seconds())
+
+	out, err := sys1.Call("Store", "count")
+	if err != nil {
+		log.Fatalf("E16: count: %v", err)
+	}
+	served := out[0].(int)
+	fmt.Printf("calls completed: %d, errors: %d, store served: %d\n", total, errs.Load(), served)
+	if errs.Load() != 0 {
+		log.Fatal("E16 FAILED: calls lost during migration churn")
+	}
+	if uint64(served) != total {
+		log.Fatalf("E16 FAILED: state drift across migrations (served %d != completed %d)", served, total)
+	}
+	fmt.Println("zero lost or duplicated calls; state preserved across every hop")
+}
+
+func e16Drive(sys *aas.System, clients int, window time.Duration, errs *atomic.Uint64) []time.Duration {
+	var mu sync.Mutex
+	var all []time.Duration
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(window)
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lats []time.Duration
+			for i := 0; time.Now().Before(deadline); i++ {
+				token := fmt.Sprintf("c%d-%d", c, i)
+				t0 := time.Now()
+				out, err := sys.Call("Front", "fetch", token)
+				if err != nil || len(out) != 1 || out[0] != token {
+					errs.Add(1)
+					continue
+				}
+				lats = append(lats, time.Since(t0))
+			}
+			mu.Lock()
+			all = append(all, lats...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return all
+}
+
+func e16Report(label string, lats []time.Duration, window time.Duration) {
+	if len(lats) == 0 {
+		fmt.Printf("%-30s %10s %10s %10s %10s %12d\n", label, "-", "-", "-", "-", 0)
+		return
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	q := func(p float64) time.Duration {
+		i := int(p * float64(len(lats)-1))
+		return lats[i]
+	}
+	fmt.Printf("%-30s %10v %10v %10v %10v %12.0f\n", label,
+		q(0.50).Round(time.Microsecond), q(0.95).Round(time.Microsecond),
+		q(0.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond),
+		float64(len(lats))/window.Seconds())
+}

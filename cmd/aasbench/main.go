@@ -6,7 +6,7 @@
 // Usage:
 //
 //	aasbench           run all experiments
-//	aasbench -e E4     run one experiment (E1..E15)
+//	aasbench -e E4     run one experiment (E1..E16)
 package main
 
 import (
@@ -42,6 +42,7 @@ func main() {
 		{"E13", "sharded data-plane throughput under reconfiguration", runE13},
 		{"E14", "region-scoped reconfiguration: disjoint traffic proceeds", runE14},
 		{"E15", "compiled-pipeline interchange under load: no errors, no torn chains", runE15},
+		{"E16", "distribution plane: cross-node calls under live migration churn", runE16},
 	}
 	sort.SliceStable(exps, func(i, j int) bool { return i < j })
 

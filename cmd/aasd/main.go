@@ -4,9 +4,21 @@
 // "run an architecture" developer tool; real applications embed the aas
 // package instead and register their own implementations.
 //
+// With the cluster flags the same architecture spans real nodes: each aasd
+// process hosts the components placed on its node and reaches the rest
+// through location-transparent remote bindings over TCP.
+//
 // Usage:
 //
 //	aasd [-duration 5s] [-rps 50] <file.adl>
+//
+//	# distributed: two processes, one architecture
+//	aasd -node n1 -listen 127.0.0.1:7001 -place Store=n2 file.adl
+//	aasd -node n2 -listen 127.0.0.1:7002 -join 127.0.0.1:7001 \
+//	     -place Store=n2 file.adl
+//
+//	# in-process multi-node demo over TCP loopback
+//	aasd -nodes 2 file.adl
 package main
 
 import (
@@ -14,9 +26,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	aas "repro"
+
+	"repro/internal/registry"
 )
 
 // echo is the stub implementation every declared component gets.
@@ -29,6 +44,11 @@ func (e echo) Handle(op string, args []any) ([]any, error) {
 func main() {
 	dur := flag.Duration("duration", 5*time.Second, "how long to run")
 	rps := flag.Int("rps", 50, "synthetic request rate against the first component")
+	nodeID := flag.String("node", "", "cluster node id (enables cluster mode)")
+	listen := flag.String("listen", "127.0.0.1:0", "cluster listen address")
+	join := flag.String("join", "", "comma-separated peer addresses to join")
+	place := flag.String("place", "", "component placement Comp=node,Comp=node (components placed on other nodes are remote)")
+	nodes := flag.Int("nodes", 0, "run an in-process N-node cluster demo instead of a single system")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: aasd [flags] <file.adl>")
@@ -45,12 +65,24 @@ func main() {
 		os.Exit(1)
 	}
 
-	reg := aas.NewRegistry()
-	for _, c := range cfg.Components {
-		name := c.Name
-		reg.MustRegister(name, "1.0", nil, func() any { return echo{name: name} })
+	placement := parsePlacement(*place)
+	if *nodes > 1 {
+		runInProcessCluster(string(src), cfg, *nodes, placement, *dur, *rps)
+		return
 	}
-	sys, err := aas.New(cfg, aas.Options{Registry: reg.Registry})
+
+	reg := stubRegistry(cfg)
+	opts := aas.Options{Registry: reg.Registry}
+	if *nodeID != "" {
+		// Components placed on other nodes are remote here.
+		opts.Remote = map[string]bool{}
+		for comp, node := range placement {
+			if node != *nodeID {
+				opts.Remote[comp] = true
+			}
+		}
+	}
+	sys, err := aas.New(cfg, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "aasd: %v\n", err)
 		os.Exit(1)
@@ -61,6 +93,79 @@ func main() {
 	}
 	defer sys.Stop()
 
+	if *nodeID != "" {
+		node, err := aas.StartClusterNode(sys, aas.ClusterOptions{Node: *nodeID, Listen: *listen})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aasd: %v\n", err)
+			os.Exit(1)
+		}
+		defer node.Close()
+		fmt.Printf("aasd: node %s listening on %s\n", *nodeID, node.Addr())
+		for _, addr := range strings.Split(*join, ",") {
+			if addr = strings.TrimSpace(addr); addr == "" {
+				continue
+			}
+			if err := node.Join(addr); err != nil {
+				fmt.Fprintf(os.Stderr, "aasd: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("aasd: joined %s\n", addr)
+		}
+	}
+
+	drive(sys, cfg, *dur, *rps)
+}
+
+// stubRegistry registers an echo implementation for every component.
+func stubRegistry(cfg *aas.Config) *aas.Registry {
+	reg := aas.NewRegistry()
+	for _, c := range cfg.Components {
+		name := c.Name
+		reg.MustRegister(name, "1.0", nil, func() any { return echo{name: name} })
+	}
+	return reg
+}
+
+// parsePlacement parses "Comp=node,Comp=node".
+func parsePlacement(s string) map[string]string {
+	out := map[string]string{}
+	for _, part := range strings.Split(s, ",") {
+		if comp, node, ok := strings.Cut(strings.TrimSpace(part), "="); ok {
+			out[comp] = node
+		}
+	}
+	return out
+}
+
+// runInProcessCluster starts n nodes over TCP loopback in this process,
+// spreads unplaced components round-robin, and drives the first node.
+func runInProcessCluster(src string, cfg *aas.Config, n int, placement map[string]string, dur time.Duration, rps int) {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("n%d", i+1)
+	}
+	for i, c := range cfg.Components {
+		if placement[c.Name] == "" {
+			placement[c.Name] = ids[i%n]
+		}
+	}
+	h, err := aas.StartCluster(context.Background(), aas.ClusterSpec{
+		ADL: src, Nodes: ids, Placement: placement,
+		Registry: func(string) *registry.Registry { return stubRegistry(cfg).Registry },
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aasd: %v\n", err)
+		os.Exit(1)
+	}
+	defer h.Close()
+	for comp, node := range placement {
+		fmt.Printf("aasd: %s -> %s\n", comp, node)
+	}
+	drive(h.System(ids[0]), cfg, dur, rps)
+}
+
+// drive subscribes to the RAML stream and sends synthetic load.
+func drive(sys *aas.System, cfg *aas.Config, dur time.Duration, rps int) {
 	events, cancel := sys.Events().Subscribe(1024)
 	defer cancel()
 	go func() {
@@ -79,13 +184,13 @@ func main() {
 	}
 	if target == "" {
 		fmt.Println("aasd: no providable operations; idling")
-		time.Sleep(*dur)
+		time.Sleep(dur)
 		return
 	}
 
-	fmt.Printf("aasd: driving %s.%s at %d req/s for %v\n", target, op, *rps, *dur)
-	stop := time.After(*dur)
-	ticker := time.NewTicker(time.Second / time.Duration(*rps))
+	fmt.Printf("aasd: driving %s.%s at %d req/s for %v\n", target, op, rps, dur)
+	stop := time.After(dur)
+	ticker := time.NewTicker(time.Second / time.Duration(rps))
 	defer ticker.Stop()
 	served, failed := 0, 0
 loop:
@@ -106,5 +211,8 @@ loop:
 	for _, c := range m.Components {
 		fmt.Printf("  %-16s %-8s calls=%d failures=%d node=%s\n",
 			c.Name, c.Lifecycle, c.Calls, c.Failures, c.Node)
+	}
+	for _, r := range sys.Remotes() {
+		fmt.Printf("  %-16s remote\n", r)
 	}
 }

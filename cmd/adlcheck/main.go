@@ -12,48 +12,55 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/adl"
 )
 
 func main() {
-	if len(os.Args) < 2 || len(os.Args) > 3 {
-		fmt.Fprintln(os.Stderr, "usage: adlcheck <file.adl> [new.adl]")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 || len(args) > 2 {
+		fmt.Fprintln(stderr, "usage: adlcheck <file.adl> [new.adl]")
+		return 2
 	}
-	cfg, ok := load(os.Args[1])
-	if len(os.Args) == 2 {
+	cfg, ok := load(args[0], stdout, stderr)
+	if len(args) == 1 {
 		if !ok {
-			os.Exit(1)
+			return 1
 		}
-		fmt.Printf("%s: OK (%s)\n", os.Args[1], cfg)
-		return
+		fmt.Fprintf(stdout, "%s: OK (%s)\n", args[0], cfg)
+		return 0
 	}
-	newCfg, ok2 := load(os.Args[2])
+	newCfg, ok2 := load(args[1], stdout, stderr)
 	if !ok || !ok2 {
-		os.Exit(1)
+		return 1
 	}
-	fmt.Printf("%s -> %s reconfiguration plan:\n", os.Args[1], os.Args[2])
-	fmt.Println(adl.FormatPlan(adl.Diff(cfg, newCfg)))
+	fmt.Fprintf(stdout, "%s -> %s reconfiguration plan:\n", args[0], args[1])
+	fmt.Fprintln(stdout, adl.FormatPlan(adl.Diff(cfg, newCfg)))
+	return 0
 }
 
 // load parses and checks one file, printing diagnostics; ok is false on
 // errors.
-func load(path string) (*adl.Config, bool) {
+func load(path string, stdout, stderr io.Writer) (*adl.Config, bool) {
 	src, err := os.ReadFile(path)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "adlcheck: %v\n", err)
+		fmt.Fprintf(stderr, "adlcheck: %v\n", err)
 		return nil, false
 	}
 	cfg, err := adl.Parse(string(src))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+		fmt.Fprintf(stderr, "%s: %v\n", path, err)
 		return nil, false
 	}
 	diags, err := adl.Check(cfg)
 	for _, d := range diags {
-		fmt.Printf("%s: %s\n", path, d)
+		fmt.Fprintf(stdout, "%s: %s\n", path, d)
 	}
 	if err != nil {
 		return nil, false

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const validADL = `
+system Demo {
+  component Greeter {
+    provide greet(name) -> (greeting)
+  }
+}
+`
+
+const validADLv2 = `
+system Demo {
+  component Greeter {
+    provide greet(name) -> (greeting)
+  }
+  component Logger {
+    provide log(line) -> (ok)
+  }
+}
+`
+
+// invalidADL parses but fails semantic checking: the binding names a
+// component that does not exist.
+const invalidADL = `
+system Broken {
+  component Front {
+    provide fetch(key) -> (value)
+    require get(key) -> (value)
+  }
+  connector Link { kind rpc }
+  bind Front.get -> Ghost.get via Link
+}
+`
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestValidFile(t *testing.T) {
+	path := writeFile(t, "demo.adl", validADL)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	want := path + ": OK"
+	if !strings.Contains(stdout.String(), want) {
+		t.Fatalf("stdout %q does not contain %q", stdout.String(), want)
+	}
+}
+
+func TestInvalidFile(t *testing.T) {
+	path := writeFile(t, "broken.adl", invalidADL)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{path}, &stdout, &stderr); code != 1 {
+		t.Fatalf("want exit 1, got %d (stdout %q)", code, stdout.String())
+	}
+	out := stdout.String() + stderr.String()
+	if !strings.Contains(out, "unknown component") {
+		t.Fatalf("diagnostics %q do not name the unknown component", out)
+	}
+	if strings.Contains(stdout.String(), "OK") {
+		t.Fatalf("invalid file reported OK: %q", stdout.String())
+	}
+}
+
+func TestUnparsableFile(t *testing.T) {
+	path := writeFile(t, "garbage.adl", "this is not adl {")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{path}, &stdout, &stderr); code != 1 {
+		t.Fatalf("want exit 1, got %d", code)
+	}
+	if stderr.Len() == 0 {
+		t.Fatal("parse failure printed nothing to stderr")
+	}
+}
+
+func TestReconfigurationPlan(t *testing.T) {
+	oldPath := writeFile(t, "old.adl", validADL)
+	newPath := writeFile(t, "new.adl", validADLv2)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{oldPath, newPath}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "reconfiguration plan") {
+		t.Fatalf("missing plan header: %q", out)
+	}
+	if !strings.Contains(out, "add-component Logger") {
+		t.Fatalf("plan does not name the added component: %q", out)
+	}
+}
+
+func TestUsage(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Fatalf("want exit 2, got %d", code)
+	}
+	if !strings.Contains(stderr.String(), "usage:") {
+		t.Fatalf("missing usage line: %q", stderr.String())
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{filepath.Join(t.TempDir(), "nope.adl")}, &stdout, &stderr); code != 1 {
+		t.Fatalf("want exit 1, got %d", code)
+	}
+}

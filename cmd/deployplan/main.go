@@ -9,8 +9,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -20,27 +22,39 @@ import (
 )
 
 func main() {
-	nodes := flag.Int("nodes", 6, "nodes per region")
-	regions := flag.Int("regions", 2, "number of regions")
-	seed := flag.Int64("seed", 1, "planner seed")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: deployplan [flags] <file.adl>")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("deployplan", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	nodes := fs.Int("nodes", 6, "nodes per region")
+	regions := fs.Int("regions", 2, "number of regions")
+	seed := fs.Int64("seed", 1, "planner seed")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
 	}
-	src, err := os.ReadFile(flag.Arg(0))
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: deployplan [flags] <file.adl>")
+		return 2
+	}
+	src, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "deployplan: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "deployplan: %v\n", err)
+		return 1
 	}
 	cfg, err := adl.Parse(string(src))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "deployplan: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "deployplan: %v\n", err)
+		return 1
 	}
 	if _, err := adl.Check(cfg); err != nil {
-		fmt.Fprintf(os.Stderr, "deployplan: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "deployplan: %v\n", err)
+		return 1
 	}
 
 	topo := netsim.New(*seed, time.Millisecond, 0)
@@ -49,8 +63,8 @@ func main() {
 		for n := 0; n < *nodes; n++ {
 			id := netsim.NodeID(fmt.Sprintf("%s-%d", regionNames[r], n))
 			if _, err := topo.AddNode(id, regionNames[r], 16, n == 0); err != nil {
-				fmt.Fprintf(os.Stderr, "deployplan: %v\n", err)
-				os.Exit(1)
+				fmt.Fprintf(stderr, "deployplan: %v\n", err)
+				return 1
 			}
 		}
 		for r2 := 0; r2 < r; r2++ {
@@ -64,8 +78,8 @@ func main() {
 		obj.Edges = append(obj.Edges, deploy.Edge{A: b.FromComponent, B: b.ToComponent, Weight: 1})
 	}
 
-	fmt.Printf("placing %d components on %d nodes\n\n", len(reqs), len(topo.Nodes()))
-	fmt.Printf("%-22s %12s\n", "planner", "score")
+	fmt.Fprintf(stdout, "placing %d components on %d nodes\n\n", len(reqs), len(topo.Nodes()))
+	fmt.Fprintf(stdout, "%-22s %12s\n", "planner", "score")
 	planners := []deploy.Planner{
 		deploy.Random{Seed: *seed},
 		deploy.RoundRobin{},
@@ -77,25 +91,26 @@ func main() {
 	for _, pl := range planners {
 		p, err := pl.Plan(topo, reqs, obj)
 		if err != nil {
-			fmt.Printf("%-22s %12s (%v)\n", pl.Name(), "-", err)
+			fmt.Fprintf(stdout, "%-22s %12s (%v)\n", pl.Name(), "-", err)
 			continue
 		}
 		score, err := deploy.Score(topo, reqs, obj, p)
 		if err != nil {
-			fmt.Printf("%-22s %12s (%v)\n", pl.Name(), "-", err)
+			fmt.Fprintf(stdout, "%-22s %12s (%v)\n", pl.Name(), "-", err)
 			continue
 		}
-		fmt.Printf("%-22s %12.2f\n", pl.Name(), score)
+		fmt.Fprintf(stdout, "%-22s %12.2f\n", pl.Name(), score)
 		if best == nil || score < bestScore {
 			best, bestScore = p, score
 		}
 	}
 	if best == nil {
-		fmt.Fprintln(os.Stderr, "deployplan: no feasible placement")
-		os.Exit(1)
+		fmt.Fprintln(stderr, "deployplan: no feasible placement")
+		return 1
 	}
-	fmt.Println("\nbest placement:")
+	fmt.Fprintln(stdout, "\nbest placement:")
 	for _, comp := range cfg.ComponentNames() {
-		fmt.Printf("  %-20s -> %s\n", comp, best[comp])
+		fmt.Fprintf(stdout, "  %-20s -> %s\n", comp, best[comp])
 	}
+	return 0
 }

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const planADL = `
+system Shop {
+  component Web {
+    provide page(path) -> (html)
+    require lookup(sku) -> (item)
+  }
+  component Catalog {
+    provide lookup(sku) -> (item)
+  }
+  connector Rpc { kind rpc }
+  bind Web.lookup -> Catalog.lookup via Rpc
+  deploy Web on region=eu cpu=2
+  deploy Catalog on region=eu cpu=1
+}
+`
+
+const brokenADL = `
+system Broken {
+  component Web {
+    provide page(path) -> (html)
+    require lookup(sku) -> (item)
+  }
+  connector Rpc { kind rpc }
+  bind Web.lookup -> Nowhere.lookup via Rpc
+}
+`
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestPlanValidFile(t *testing.T) {
+	path := writeFile(t, "shop.adl", planADL)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"placing 2 components on 12 nodes",
+		"local-search",
+		"best placement:",
+		"Web",
+		"Catalog",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The eu region preference must be honoured: both components land on
+	// eu-* nodes of the synthetic topology.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "->") && strings.Contains(line, "  ") &&
+			(strings.Contains(line, "Web") || strings.Contains(line, "Catalog")) {
+			if !strings.Contains(line, "-> eu-") {
+				t.Fatalf("placement ignored the eu region preference: %q", line)
+			}
+		}
+	}
+}
+
+func TestPlanDeterministicUnderSeed(t *testing.T) {
+	path := writeFile(t, "shop.adl", planADL)
+	runOnce := func() string {
+		var stdout, stderr bytes.Buffer
+		if code := run([]string{"-seed", "7", path}, &stdout, &stderr); code != 0 {
+			t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+		}
+		return stdout.String()
+	}
+	if a, b := runOnce(), runOnce(); a != b {
+		t.Fatalf("same seed produced different plans:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestPlanInvalidFile(t *testing.T) {
+	path := writeFile(t, "broken.adl", brokenADL)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{path}, &stdout, &stderr); code != 1 {
+		t.Fatalf("want exit 1, got %d (stdout %q)", code, stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "deployplan:") {
+		t.Fatalf("semantic failure not reported: %q", stderr.String())
+	}
+	if strings.Contains(stdout.String(), "best placement") {
+		t.Fatal("invalid configuration still produced a placement")
+	}
+}
+
+func TestPlanUsage(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Fatalf("want exit 2, got %d", code)
+	}
+	if !strings.Contains(stderr.String(), "usage:") {
+		t.Fatalf("missing usage line: %q", stderr.String())
+	}
+}

@@ -1,0 +1,660 @@
+// Package cluster is the distribution plane: it turns a single-process
+// core.System into one node of a real multi-process cluster connected over
+// TCP (DESIGN.md §6). The paper's motivating scenario — services "deployed
+// optimally on network equipments … reconfigured automatically according to
+// user's mobility" — needs components in separate failure domains; this
+// package provides the node runtime: a listener, peer links speaking the
+// internal/wire frame protocol, heartbeat failure detection, gateway
+// endpoints that make remote components reachable at their unchanged bus
+// address, and the cross-node half of live migration.
+//
+// Location transparency is the design invariant: a component hosted on a
+// peer keeps its canonical bus address (core.ComponentAddress), behind
+// which a gateway endpoint forwards requests over the peer link. Every
+// adaptation mechanism attached on the caller side — connector filters,
+// woven aspects, FLO rules, interceptors, regions — applies to remote calls
+// unchanged, because nothing between the caller and the gateway knows the
+// provider is elsewhere.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/adl"
+	"repro/internal/bus"
+	"repro/internal/connector"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// Defaults for Options.
+const (
+	DefaultHeartbeat   = 250 * time.Millisecond
+	DefaultFailAfter   = 4 * DefaultHeartbeat
+	defaultDialTimeout = 5 * time.Second
+	writeTimeout       = 10 * time.Second
+	handshakeTimeout   = 5 * time.Second
+	gatewayMailbox     = 4096
+)
+
+// Cluster errors.
+var (
+	ErrClosed        = errors.New("cluster: node closed")
+	ErrUnknownPeer   = errors.New("cluster: unknown peer")
+	ErrDuplicatePeer = errors.New("cluster: peer already linked")
+	ErrSystemName    = errors.New("cluster: peer runs a different architecture")
+)
+
+// Options configures a cluster node.
+type Options struct {
+	// Node is this node's id; peers address it by this name and Migrate
+	// recognizes it as a migration target. Required.
+	Node string
+	// Listen is the TCP listen address (default "127.0.0.1:0").
+	Listen string
+	// Heartbeat is the beacon interval per peer link (default 250ms).
+	Heartbeat time.Duration
+	// FailAfter is the silence threshold after which a peer is declared
+	// down (default 4×Heartbeat). Any received frame counts as liveness.
+	FailAfter time.Duration
+	// MigrateTimeout bounds the wait for a peer's adoption ack (default 30s).
+	MigrateTimeout time.Duration
+	// DialTimeout bounds Join dials (default 5s).
+	DialTimeout time.Duration
+	// Logf, when set, receives diagnostic lines (dropped frames, late
+	// replies); nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Node is one cluster member: a core.System plus its links to peers.
+type Node struct {
+	sys  *core.System
+	id   string
+	opts Options
+	ln   net.Listener
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu       sync.Mutex
+	peers    map[string]*peer
+	owners   map[string]string // component -> hosting peer id
+	gateways map[string]*gateway
+	closed   bool
+}
+
+// gateway is a forwarding endpoint occupying a remote component's canonical
+// bus address.
+type gateway struct {
+	comp   string
+	ep     *bus.Endpoint
+	cancel context.CancelFunc
+}
+
+// Start turns sys into a cluster node: it listens on opts.Listen, registers
+// the cross-node migration hook, and parks requests toward components the
+// system declared Remote until their hosting peer links up. The system
+// should already be running (or be started shortly after).
+func Start(sys *core.System, opts Options) (*Node, error) {
+	if opts.Node == "" {
+		return nil, errors.New("cluster: Options.Node is required")
+	}
+	if opts.Listen == "" {
+		opts.Listen = "127.0.0.1:0"
+	}
+	if opts.Heartbeat <= 0 {
+		opts.Heartbeat = DefaultHeartbeat
+	}
+	if opts.FailAfter <= 0 {
+		opts.FailAfter = 4 * opts.Heartbeat
+	}
+	if opts.MigrateTimeout <= 0 {
+		opts.MigrateTimeout = 30 * time.Second
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = defaultDialTimeout
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	ln, err := net.Listen("tcp", opts.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listen: %w", err)
+	}
+	n := &Node{
+		sys:      sys,
+		id:       opts.Node,
+		opts:     opts,
+		ln:       ln,
+		peers:    map[string]*peer{},
+		owners:   map[string]string{},
+		gateways: map[string]*gateway{},
+	}
+	n.ctx, n.cancel = context.WithCancel(context.Background())
+
+	// Requests toward declared-remote components park at their (otherwise
+	// endpoint-less) address until the hosting peer links and a gateway
+	// attaches — early traffic waits instead of erroring.
+	for _, comp := range sys.Remotes() {
+		sys.Bus().PauseRequests(core.ComponentAddress(comp))
+	}
+	sys.SetMigrator(n.migrateHook)
+
+	n.wg.Add(2)
+	go n.acceptLoop()
+	go n.watchdogLoop()
+	return n, nil
+}
+
+// ID returns this node's id.
+func (n *Node) ID() string { return n.id }
+
+// Addr returns the actual listen address (useful with ":0").
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// System returns the node's underlying system.
+func (n *Node) System() *core.System { return n.sys }
+
+// Peers returns the ids of currently linked peers.
+func (n *Node) Peers() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.peers))
+	for id := range n.peers {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Owner reports which peer hosts a component ("" when unknown or local).
+func (n *Node) Owner(component string) string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.owners[component]
+}
+
+// Join dials a peer, performs the handshake and links it. Joining an
+// already-linked peer is an error; joining a node running a different
+// architecture is refused.
+func (n *Node) Join(addr string) error {
+	conn, err := net.DialTimeout("tcp", addr, n.opts.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("cluster: join %s: %w", addr, err)
+	}
+	enc := wire.NewEncoder(conn)
+	seen := new(atomic.Int64)
+	dec := wire.NewDecoder(&livenessReader{r: conn, seen: seen})
+	_ = conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	if err := enc.EncodeHello(wire.FrameHello, n.hello()); err != nil {
+		conn.Close()
+		return fmt.Errorf("cluster: join %s: %w", addr, err)
+	}
+	t, body, err := dec.Next()
+	if err != nil || t != wire.FrameWelcome {
+		conn.Close()
+		return fmt.Errorf("cluster: join %s: handshake failed (%v, frame %v)", addr, err, t)
+	}
+	h, err := wire.ParseHello(body)
+	if err != nil {
+		conn.Close()
+		return fmt.Errorf("cluster: join %s: %w", addr, err)
+	}
+	_ = conn.SetDeadline(time.Time{})
+	return n.addPeer(conn, enc, dec, h, seen)
+}
+
+// hello builds this node's handshake payload.
+func (n *Node) hello() wire.Hello {
+	return wire.Hello{Node: n.id, System: n.sys.Name(), Components: n.sys.LocalComponents()}
+}
+
+// acceptLoop links inbound peers.
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.handshakeInbound(conn)
+		}()
+	}
+}
+
+// handshakeInbound answers a dialer's hello with a welcome and links it.
+func (n *Node) handshakeInbound(conn net.Conn) {
+	enc := wire.NewEncoder(conn)
+	seen := new(atomic.Int64)
+	dec := wire.NewDecoder(&livenessReader{r: conn, seen: seen})
+	_ = conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	t, body, err := dec.Next()
+	if err != nil || t != wire.FrameHello {
+		conn.Close()
+		return
+	}
+	h, err := wire.ParseHello(body)
+	if err != nil || h.System != n.sys.Name() {
+		conn.Close()
+		return
+	}
+	if err := enc.EncodeHello(wire.FrameWelcome, n.hello()); err != nil {
+		conn.Close()
+		return
+	}
+	_ = conn.SetDeadline(time.Time{})
+	if err := n.addPeer(conn, enc, dec, h, seen); err != nil {
+		n.opts.Logf("cluster %s: inbound link from %s rejected: %v", n.id, h.Node, err)
+	}
+}
+
+// addPeer registers the link and starts its pumps. seen is the liveness
+// cell shared with the decoder's livenessReader.
+func (n *Node) addPeer(conn net.Conn, enc *wire.Encoder, dec *wire.Decoder, h wire.Hello, seen *atomic.Int64) error {
+	if h.System != n.sys.Name() {
+		conn.Close()
+		return fmt.Errorf("%w: %q vs %q", ErrSystemName, h.System, n.sys.Name())
+	}
+	p := newPeer(n, h.Node, conn, enc, dec, seen)
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		conn.Close()
+		return ErrClosed
+	}
+	if _, dup := n.peers[h.Node]; dup {
+		n.mu.Unlock()
+		conn.Close()
+		return fmt.Errorf("%w: %s", ErrDuplicatePeer, h.Node)
+	}
+	n.peers[h.Node] = p
+	n.mu.Unlock()
+
+	for _, comp := range h.Components {
+		n.learnOwner(comp, h.Node)
+	}
+	n.sys.Events().Emit(core.Event{Kind: core.EvPeerUp, At: n.sys.Now(),
+		Component: h.Node, Detail: conn.RemoteAddr().String()})
+	p.start()
+	return nil
+}
+
+// learnOwner records that a peer hosts comp and makes sure a gateway serves
+// its address locally (unless we host it ourselves).
+func (n *Node) learnOwner(comp, peerID string) {
+	if n.sys.HasComponent(comp) {
+		return
+	}
+	n.mu.Lock()
+	n.owners[comp] = peerID
+	n.mu.Unlock()
+	if err := n.attachGateway(comp); err != nil {
+		n.opts.Logf("cluster %s: gateway for %s: %v", n.id, comp, err)
+	}
+}
+
+// attachGateway occupies comp's canonical address with a forwarding
+// endpoint, then flushes any requests that parked there while the address
+// had no endpoint. Idempotent: an existing gateway (or a locally hosted
+// component holding the address) leaves the routing as is.
+func (n *Node) attachGateway(comp string) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	if n.gateways[comp] != nil {
+		n.mu.Unlock()
+		return nil
+	}
+	n.mu.Unlock()
+
+	addr := core.ComponentAddress(comp)
+	ep, err := n.sys.Bus().Attach(addr, gatewayMailbox)
+	if err != nil {
+		// Address taken: the component is local (or a gateway raced us in).
+		if errors.Is(err, bus.ErrAddressTaken) {
+			return nil
+		}
+		return err
+	}
+	ctx, cancel := context.WithCancel(n.ctx)
+	g := &gateway{comp: comp, ep: ep, cancel: cancel}
+	n.mu.Lock()
+	if n.closed || n.gateways[comp] != nil {
+		n.mu.Unlock()
+		cancel()
+		n.sys.Bus().Detach(addr)
+		return nil
+	}
+	n.gateways[comp] = g
+	n.mu.Unlock()
+
+	n.sys.RegisterRemote(comp)
+	n.wg.Add(1)
+	go n.gatewayLoop(g, ctx)
+	_, _ = n.sys.Bus().Resume(addr)
+	return nil
+}
+
+// removeGateway detaches comp's forwarding endpoint; it reports whether one
+// existed. Messages arriving while the address is endpoint-less park on the
+// route and are recovered by the next attach+resume.
+func (n *Node) removeGateway(comp string) bool {
+	n.mu.Lock()
+	g := n.gateways[comp]
+	delete(n.gateways, comp)
+	n.mu.Unlock()
+	if g == nil {
+		return false
+	}
+	n.detachGateway(g)
+	return true
+}
+
+// detachGateway tears one gateway endpoint down without losing a message:
+// the address is paused first (a detached, unpaused address fails sends
+// with ErrUnknownDst, while a paused one parks them), and requests still
+// queued in the gateway's mailbox are re-sent so they park on the paused
+// route alongside the rest — the attach+resume that follows (real endpoint
+// or re-attached gateway) recovers every one.
+func (n *Node) detachGateway(g *gateway) {
+	addr := core.ComponentAddress(g.comp)
+	n.sys.Bus().PauseRequests(addr)
+	g.cancel()
+	n.sys.Bus().Detach(addr)
+	// Drain what the loop never got to. Detach keeps queued messages
+	// readable; a message the loop popped concurrently is forwarded, never
+	// dropped, so this split loses nothing either way.
+	for {
+		m, ok := g.ep.TryReceive()
+		if !ok {
+			return
+		}
+		if m.Kind == bus.Request {
+			_ = n.sys.Bus().Send(m)
+		}
+	}
+}
+
+// gatewayLoop forwards every request arriving at the gateway's address over
+// the owning peer's link.
+func (n *Node) gatewayLoop(g *gateway, ctx context.Context) {
+	defer n.wg.Done()
+	for {
+		m, err := g.ep.Receive(ctx)
+		if err != nil {
+			return
+		}
+		if m.Kind != bus.Request {
+			continue // stray replies/events toward a remote address are meaningless here
+		}
+		n.forward(g.comp, m)
+	}
+}
+
+// forward ships one bus request over the wire and arranges for the peer's
+// reply to be re-emitted as a bus reply toward the original caller — from
+// the caller's perspective the remote component answered from its usual
+// address.
+func (n *Node) forward(comp string, m bus.Message) {
+	p := n.livePeer(n.Owner(comp))
+	if p == nil {
+		n.replyError(comp, m, fmt.Sprintf("cluster: no live peer hosts %s", comp))
+		return
+	}
+	payload, _ := m.Payload.(connector.CallPayload)
+	corr := p.corr.Add(1)
+	src, srcCorr, op := m.Src, m.Corr, m.Op
+	p.addPending(corr, func(rep wire.Reply) {
+		_ = n.sys.Bus().Send(bus.Message{
+			Kind: bus.Reply, Op: op,
+			Payload: connector.ReplyPayload{Results: rep.Results, Err: rep.Err},
+			Src:     core.ComponentAddress(comp), Dst: src, Corr: srcCorr,
+		})
+	})
+	err := p.send(func(e *wire.Encoder) error {
+		return e.EncodeCall(wire.Call{Corr: corr, Component: comp, Op: m.Op,
+			Principal: payload.Principal, Args: payload.Args})
+	})
+	if err != nil {
+		if cb, ok := p.takePending(corr); ok {
+			cb(wire.Reply{Corr: corr, Err: "cluster: " + err.Error()})
+		}
+	}
+}
+
+// replyError answers a request locally with an error payload.
+func (n *Node) replyError(comp string, m bus.Message, reason string) {
+	_ = n.sys.Bus().Send(bus.Message{
+		Kind: bus.Reply, Op: m.Op,
+		Payload: connector.ReplyPayload{Err: reason},
+		Src:     core.ComponentAddress(comp), Dst: m.Src, Corr: m.Corr,
+	})
+}
+
+// livePeer returns the linked, not-down peer with the given id, or nil.
+func (n *Node) livePeer(id string) *peer {
+	if id == "" {
+		return nil
+	}
+	n.mu.Lock()
+	p := n.peers[id]
+	n.mu.Unlock()
+	if p == nil || p.down.Load() {
+		return nil
+	}
+	return p
+}
+
+// migrateHook is the core.Migrator registered on the system: it intercepts
+// Migrate calls whose target names a live peer.
+func (n *Node) migrateHook(component string, to netsim.NodeID) (bool, error) {
+	p := n.livePeer(string(to))
+	if p == nil {
+		return false, nil // not a cluster peer; fall through to the topology path
+	}
+	return true, n.migrateTo(component, p)
+}
+
+// migrateTo runs the origin half of the cross-node migration protocol
+// against a live peer (see core.MigrateOut for the sequence and its
+// rollback guarantees).
+func (n *Node) migrateTo(component string, p *peer) error {
+	ship := func(h core.Handoff) error {
+		corr := p.corr.Add(1)
+		ack := make(chan string, 1)
+		p.addMig(corr, ack)
+		defer p.dropMig(corr)
+		err := p.send(func(e *wire.Encoder) error {
+			return e.EncodeMigrate(wire.Migrate{
+				Corr: corr, Component: h.Component,
+				Implements: h.Decl.Implements, Properties: h.Decl.Properties,
+				CPU: h.CPU, HasState: h.HasState, State: h.State,
+			})
+		})
+		if err != nil {
+			return err
+		}
+		select {
+		case msg := <-ack:
+			if msg != "" {
+				return errors.New(msg)
+			}
+			return nil
+		case <-time.After(n.opts.MigrateTimeout):
+			return fmt.Errorf("cluster: %s: adoption ack timed out", p.id)
+		case <-n.ctx.Done():
+			return ErrClosed
+		}
+	}
+	rebind := func() error {
+		n.mu.Lock()
+		n.owners[component] = p.id
+		n.mu.Unlock()
+		return n.attachGateway(component)
+	}
+	return n.sys.MigrateOut(component, netsim.NodeID(p.id), ship, rebind)
+}
+
+// adopt runs the destination half: it swaps this node's gateway (if any)
+// for a real instance built from the local registry. On failure the gateway
+// is re-attached so forwarding toward the still-running origin resumes.
+func (n *Node) adopt(decl adl.ComponentDecl, state []byte, hasState bool) error {
+	removed := false
+	err := n.sys.AdoptComponent(decl, state, hasState, func() {
+		removed = n.removeGateway(decl.Name)
+	})
+	if err != nil && removed && !n.sys.HasComponent(decl.Name) {
+		if aerr := n.attachGateway(decl.Name); aerr != nil {
+			n.opts.Logf("cluster %s: re-attach gateway for %s: %v", n.id, decl.Name, aerr)
+		}
+	}
+	return err
+}
+
+// AdoptLocal promotes a component currently served through a gateway to a
+// local instance built from this node's registry with no transferred state
+// — the failover path an EvPeerDown trigger uses when the hosting peer
+// died. The declaration comes from this node's configuration.
+func (n *Node) AdoptLocal(component string) error {
+	decl, ok := n.sys.Config().Component(component)
+	if !ok {
+		return fmt.Errorf("cluster: adopt-local %s: not declared here", component)
+	}
+	if err := n.adopt(decl, nil, false); err != nil {
+		// Ownership untouched: if the hosting peer is in fact alive, the
+		// still-attached gateway keeps forwarding to it.
+		return err
+	}
+	n.mu.Lock()
+	delete(n.owners, component)
+	n.mu.Unlock()
+	n.announce(wire.Announce{Add: true, Component: component}, "")
+	return nil
+}
+
+// announce broadcasts an ownership change to every linked peer except the
+// named one.
+func (n *Node) announce(a wire.Announce, except string) {
+	n.mu.Lock()
+	peers := make([]*peer, 0, len(n.peers))
+	for id, p := range n.peers {
+		if id != except {
+			peers = append(peers, p)
+		}
+	}
+	n.mu.Unlock()
+	for _, p := range peers {
+		if err := p.send(func(e *wire.Encoder) error { return e.EncodeAnnounce(a) }); err != nil {
+			n.opts.Logf("cluster %s: announce to %s: %v", n.id, p.id, err)
+		}
+	}
+}
+
+// handleAnnounce updates ownership from a peer's broadcast.
+func (n *Node) handleAnnounce(p *peer, a wire.Announce) {
+	if a.Add {
+		n.learnOwner(a.Component, p.id)
+		return
+	}
+	n.mu.Lock()
+	if n.owners[a.Component] == p.id {
+		delete(n.owners, a.Component)
+	}
+	n.mu.Unlock()
+}
+
+// watchdogLoop declares peers down after FailAfter of silence.
+func (n *Node) watchdogLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.opts.Heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.ctx.Done():
+			return
+		case <-t.C:
+			cutoff := time.Now().Add(-n.opts.FailAfter).UnixNano()
+			n.mu.Lock()
+			stale := make([]*peer, 0, 1)
+			for _, p := range n.peers {
+				if p.lastSeen.Load() < cutoff {
+					stale = append(stale, p)
+				}
+			}
+			n.mu.Unlock()
+			for _, p := range stale {
+				n.peerDown(p, "heartbeat timeout")
+			}
+		}
+	}
+}
+
+// peerDown tears a peer link down exactly once: the connection closes, its
+// pending remote calls fail fast (the caller sees an error, not a hung
+// timeout), waiting migrations abort, and EvPeerDown hits the RAML stream
+// for failover triggers. Gateways toward the dead peer stay attached — new
+// calls get immediate error replies until an announce or adoption repoints
+// or replaces them.
+func (n *Node) peerDown(p *peer, reason string) {
+	if !p.down.CompareAndSwap(false, true) {
+		return
+	}
+	p.conn.Close()
+	n.mu.Lock()
+	if n.peers[p.id] == p {
+		delete(n.peers, p.id)
+	}
+	closed := n.closed
+	n.mu.Unlock()
+	p.failAll("cluster: peer " + p.id + " down: " + reason)
+	if !closed {
+		n.sys.Events().Emit(core.Event{Kind: core.EvPeerDown, At: n.sys.Now(),
+			Component: p.id, Detail: reason})
+	}
+}
+
+// Close stops the node: the migration hook is removed, the listener and all
+// peer links close, gateways detach (their addresses keep parking traffic),
+// and every pump goroutine exits. The underlying system keeps running;
+// stopping it is the caller's job.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	peers := make([]*peer, 0, len(n.peers))
+	for _, p := range n.peers {
+		peers = append(peers, p)
+	}
+	gws := make([]*gateway, 0, len(n.gateways))
+	for _, g := range n.gateways {
+		gws = append(gws, g)
+	}
+	n.gateways = map[string]*gateway{}
+	n.mu.Unlock()
+
+	n.sys.SetMigrator(nil)
+	n.cancel()
+	n.ln.Close()
+	for _, p := range peers {
+		n.peerDown(p, "node closed")
+	}
+	for _, g := range gws {
+		n.detachGateway(g)
+	}
+	n.wg.Wait()
+}

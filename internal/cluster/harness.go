@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/adl"
+	"repro/internal/core"
+	"repro/internal/registry"
+)
+
+// Spec describes an in-process cluster: every node runs the same ADL source
+// over real TCP loopback links, and Placement decides which node
+// instantiates which component — every other node sees that component as
+// remote behind a gateway. Tests, the E16 benchmark and aasd's multi-node
+// demo mode all build their clusters through this harness.
+type Spec struct {
+	// ADL is the shared architecture source.
+	ADL string
+	// Nodes lists the node ids, in start order. Required, at least one.
+	Nodes []string
+	// Placement maps components to node ids; unplaced components land on
+	// the first node.
+	Placement map[string]string
+	// Registry builds each node's implementation registry (simulating each
+	// process running the same binary). Required.
+	Registry func(node string) *registry.Registry
+	// Options, when set, seeds each node's core options (clock, mailbox,
+	// timeouts); the harness fills Registry and Remote itself.
+	Options func(node string) core.Options
+	// Cluster, when set, seeds each node's cluster options; Node and Listen
+	// are managed by the harness.
+	Cluster func(node string) Options
+}
+
+// Harness is a started in-process cluster.
+type Harness struct {
+	ids   []string
+	nodes map[string]*Node
+}
+
+// StartHarness assembles, starts and fully meshes the cluster: every node's
+// system is running and every pair of nodes is linked before it returns. On
+// any error the partially started cluster is torn down.
+func StartHarness(ctx context.Context, spec Spec) (*Harness, error) {
+	if len(spec.Nodes) == 0 {
+		return nil, errors.New("cluster: harness needs at least one node")
+	}
+	if spec.Registry == nil {
+		return nil, errors.New("cluster: harness needs a Registry builder")
+	}
+	h := &Harness{nodes: map[string]*Node{}}
+	fail := func(err error) (*Harness, error) {
+		h.Close()
+		return nil, err
+	}
+	for _, id := range spec.Nodes {
+		cfg, err := adl.Parse(spec.ADL)
+		if err != nil {
+			return fail(fmt.Errorf("cluster: harness: %w", err))
+		}
+		var copts core.Options
+		if spec.Options != nil {
+			copts = spec.Options(id)
+		}
+		copts.Registry = spec.Registry(id)
+		copts.Remote = map[string]bool{}
+		for _, decl := range cfg.Components {
+			home := spec.Placement[decl.Name]
+			if home == "" {
+				home = spec.Nodes[0]
+			}
+			if home != id {
+				copts.Remote[decl.Name] = true
+			}
+		}
+		sys, err := core.NewSystem(cfg, copts)
+		if err != nil {
+			return fail(fmt.Errorf("cluster: harness %s: %w", id, err))
+		}
+		if err := sys.Start(ctx); err != nil {
+			return fail(fmt.Errorf("cluster: harness %s: %w", id, err))
+		}
+		var nopts Options
+		if spec.Cluster != nil {
+			nopts = spec.Cluster(id)
+		}
+		nopts.Node = id
+		nopts.Listen = "127.0.0.1:0"
+		node, err := Start(sys, nopts)
+		if err != nil {
+			sys.Stop()
+			return fail(fmt.Errorf("cluster: harness %s: %w", id, err))
+		}
+		// Full mesh: each new node dials everyone already up.
+		for _, prev := range h.ids {
+			if err := node.Join(h.nodes[prev].Addr()); err != nil {
+				node.Close()
+				sys.Stop()
+				return fail(fmt.Errorf("cluster: harness %s join %s: %w", id, prev, err))
+			}
+		}
+		h.ids = append(h.ids, id)
+		h.nodes[id] = node
+	}
+	return h, nil
+}
+
+// Node returns a member by id (nil when unknown).
+func (h *Harness) Node(id string) *Node { return h.nodes[id] }
+
+// System returns a member's system by id (nil when unknown).
+func (h *Harness) System(id string) *core.System {
+	if n := h.nodes[id]; n != nil {
+		return n.System()
+	}
+	return nil
+}
+
+// Nodes returns the member ids in start order.
+func (h *Harness) Nodes() []string { return append([]string(nil), h.ids...) }
+
+// Close tears the cluster down: links first, then each system.
+func (h *Harness) Close() {
+	for i := len(h.ids) - 1; i >= 0; i-- {
+		n := h.nodes[h.ids[i]]
+		sys := n.System()
+		n.Close()
+		sys.Stop()
+	}
+	h.ids = nil
+	h.nodes = map[string]*Node{}
+}

@@ -1,0 +1,290 @@
+package cluster
+
+import (
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/adl"
+	"repro/internal/wire"
+)
+
+// livenessReader wraps a peer connection and records the time of every
+// successful read into the shared liveness cell. Counting partial reads —
+// not just completed frames — matters: a migration frame can legitimately
+// take longer than FailAfter to transmit (states up to wire.MaxFrame), and
+// the bytes trickling in are proof of life the watchdog must see.
+type livenessReader struct {
+	r    io.Reader
+	seen *atomic.Int64
+}
+
+func (l *livenessReader) Read(p []byte) (int, error) {
+	n, err := l.r.Read(p)
+	if n > 0 {
+		l.seen.Store(time.Now().UnixNano())
+	}
+	return n, err
+}
+
+// peer is one live link to another cluster node. The link carries four
+// traffics multiplexed over the frame protocol: heartbeats, remote calls
+// (and their replies), migration payloads (and their acks), and ownership
+// announcements. One goroutine reads, writers serialize on encMu, and every
+// received frame — not just heartbeats — counts as liveness.
+type peer struct {
+	n    *Node
+	id   string
+	conn net.Conn
+
+	encMu sync.Mutex
+	enc   *wire.Encoder
+	dec   *wire.Decoder
+
+	// lastSeen is shared with the link's livenessReader: unix nanos of the
+	// last received byte.
+	lastSeen *atomic.Int64
+	down     atomic.Bool
+	corr     atomic.Uint64
+
+	pmu     sync.Mutex
+	pending map[uint64]func(wire.Reply) // remote calls awaiting replies
+	migs    map[uint64]chan string      // migrations awaiting acks
+}
+
+func newPeer(n *Node, id string, conn net.Conn, enc *wire.Encoder, dec *wire.Decoder, seen *atomic.Int64) *peer {
+	p := &peer{
+		n: n, id: id, conn: conn, enc: enc, dec: dec, lastSeen: seen,
+		pending: map[uint64]func(wire.Reply){},
+		migs:    map[uint64]chan string{},
+	}
+	p.lastSeen.Store(time.Now().UnixNano())
+	return p
+}
+
+// start launches the read pump and the heartbeat beacon.
+func (p *peer) start() {
+	p.n.wg.Add(2)
+	go p.readLoop()
+	go p.heartbeatLoop()
+}
+
+// send serializes one frame write. Frames are assembled fully before any
+// byte hits the socket (the encoder builds the body first), so a failed
+// encode never desynchronizes the stream.
+func (p *peer) send(encode func(*wire.Encoder) error) error {
+	p.encMu.Lock()
+	defer p.encMu.Unlock()
+	_ = p.conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+	return encode(p.enc)
+}
+
+// addPending registers a reply continuation for a remote call.
+func (p *peer) addPending(corr uint64, cb func(wire.Reply)) {
+	p.pmu.Lock()
+	p.pending[corr] = cb
+	p.pmu.Unlock()
+}
+
+// takePending removes and returns the continuation for corr.
+func (p *peer) takePending(corr uint64) (func(wire.Reply), bool) {
+	p.pmu.Lock()
+	cb, ok := p.pending[corr]
+	if ok {
+		delete(p.pending, corr)
+	}
+	p.pmu.Unlock()
+	return cb, ok
+}
+
+// addMig registers a migration ack channel.
+func (p *peer) addMig(corr uint64, ch chan string) {
+	p.pmu.Lock()
+	p.migs[corr] = ch
+	p.pmu.Unlock()
+}
+
+// dropMig removes a migration ack channel.
+func (p *peer) dropMig(corr uint64) {
+	p.pmu.Lock()
+	delete(p.migs, corr)
+	p.pmu.Unlock()
+}
+
+// failAll resolves every outstanding call and migration with an error —
+// called exactly once, from peerDown.
+func (p *peer) failAll(reason string) {
+	p.pmu.Lock()
+	pending := p.pending
+	migs := p.migs
+	p.pending = map[uint64]func(wire.Reply){}
+	p.migs = map[uint64]chan string{}
+	p.pmu.Unlock()
+	for corr, cb := range pending {
+		cb(wire.Reply{Corr: corr, Err: reason})
+	}
+	for _, ch := range migs {
+		select {
+		case ch <- reason:
+		default:
+		}
+	}
+}
+
+// readLoop dispatches inbound frames until the link dies.
+func (p *peer) readLoop() {
+	defer p.n.wg.Done()
+	for {
+		t, body, err := p.dec.Next()
+		if err != nil {
+			p.n.peerDown(p, "link: "+err.Error())
+			return
+		}
+		// Liveness is recorded by the livenessReader under the decoder, so
+		// even a frame still in transit counts.
+		switch t {
+		case wire.FrameHeartbeat:
+			// Liveness already recorded.
+		case wire.FrameCall:
+			c, perr := wire.ParseCall(body)
+			if perr != nil {
+				p.n.peerDown(p, "protocol: "+perr.Error())
+				return
+			}
+			// Serve concurrently: a call may fan out into further remote
+			// calls over this same link, whose replies this loop dispatches.
+			p.n.wg.Add(1)
+			go func() {
+				defer p.n.wg.Done()
+				p.serveCall(c)
+			}()
+		case wire.FrameReply:
+			r, perr := wire.ParseReply(body)
+			if perr != nil {
+				p.n.peerDown(p, "protocol: "+perr.Error())
+				return
+			}
+			if cb, ok := p.takePending(r.Corr); ok {
+				cb(r)
+			} else {
+				p.n.opts.Logf("cluster %s: late reply corr=%d from %s", p.n.id, r.Corr, p.id)
+			}
+		case wire.FrameMigrate:
+			m, perr := wire.ParseMigrate(body)
+			if perr != nil {
+				p.n.peerDown(p, "protocol: "+perr.Error())
+				return
+			}
+			// Adoption quiesces nothing locally but does take the
+			// reconfiguration lock; run it off the read loop so heartbeats
+			// and replies keep flowing meanwhile.
+			p.n.wg.Add(1)
+			go func() {
+				defer p.n.wg.Done()
+				p.handleMigrate(m)
+			}()
+		case wire.FrameMigrateAck:
+			a, perr := wire.ParseMigrateAck(body)
+			if perr != nil {
+				p.n.peerDown(p, "protocol: "+perr.Error())
+				return
+			}
+			p.pmu.Lock()
+			ch := p.migs[a.Corr]
+			p.pmu.Unlock()
+			if ch != nil {
+				select {
+				case ch <- a.Err:
+				default:
+				}
+			}
+		case wire.FrameAnnounce:
+			a, perr := wire.ParseAnnounce(body)
+			if perr != nil {
+				p.n.peerDown(p, "protocol: "+perr.Error())
+				return
+			}
+			p.n.handleAnnounce(p, a)
+		default:
+			p.n.opts.Logf("cluster %s: unknown frame %v from %s", p.n.id, t, p.id)
+		}
+	}
+}
+
+// serveCall executes one remote invocation against the local system and
+// replies. The call enters through System.CallAs, so the callee-side
+// container services (auth with the shipped principal, audit, transactions),
+// woven aspects and meta-objects all apply exactly as for a local call.
+func (p *peer) serveCall(c wire.Call) {
+	results, err := p.n.sys.CallAs(c.Principal, c.Component, c.Op, c.Args...)
+	rep := wire.Reply{Corr: c.Corr, Results: results}
+	if err != nil {
+		rep.Err = err.Error()
+	}
+	serr := p.send(func(e *wire.Encoder) error { return e.EncodeReply(rep) })
+	if serr != nil && err == nil {
+		// Results the value codec cannot ship become a call error; the
+		// frame was never partially written (bodies build before bytes go
+		// out), so the stream is intact.
+		rep = wire.Reply{Corr: c.Corr, Err: "cluster: " + serr.Error()}
+		_ = p.send(func(e *wire.Encoder) error { return e.EncodeReply(rep) })
+	}
+}
+
+// handleMigrate adopts a shipped component and acks.
+func (p *peer) handleMigrate(m wire.Migrate) {
+	decl := adl.ComponentDecl{Name: m.Component, Implements: m.Implements, Properties: m.Properties}
+	err := p.n.adopt(decl, m.State, m.HasState)
+	ack := wire.MigrateAck{Corr: m.Corr}
+	if err != nil {
+		ack.Err = err.Error()
+	}
+	if serr := p.send(func(e *wire.Encoder) error { return e.EncodeMigrateAck(ack) }); serr != nil {
+		p.n.opts.Logf("cluster %s: migrate ack to %s: %v", p.n.id, p.id, serr)
+		if err == nil {
+			// The origin never sees the ack, so it rolls back and keeps
+			// serving; keeping our adopted copy too would be a permanent
+			// split brain with forked state. Evict it and restore the
+			// gateway toward the origin (the owners entry still points
+			// there — it is only cleared on a delivered adoption via
+			// announce handling).
+			if eerr := p.n.sys.EvictComponent(m.Component); eerr != nil {
+				p.n.opts.Logf("cluster %s: evict %s after failed ack: %v", p.n.id, m.Component, eerr)
+				return
+			}
+			p.n.sys.RegisterRemote(m.Component)
+			if aerr := p.n.attachGateway(m.Component); aerr != nil {
+				p.n.opts.Logf("cluster %s: re-attach gateway for %s: %v", p.n.id, m.Component, aerr)
+			}
+		}
+		return
+	}
+	if err == nil {
+		// Tell everyone else; the origin already repointed its own routing
+		// as part of its rebind step, and tolerates the redundant update.
+		p.n.announce(wire.Announce{Add: true, Component: m.Component}, "")
+	}
+}
+
+// heartbeatLoop beacons liveness until the link dies.
+func (p *peer) heartbeatLoop() {
+	defer p.n.wg.Done()
+	t := time.NewTicker(p.n.opts.Heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.n.ctx.Done():
+			return
+		case <-t.C:
+			if p.down.Load() {
+				return
+			}
+			if err := p.send(func(e *wire.Encoder) error { return e.EncodeHeartbeat() }); err != nil {
+				p.n.peerDown(p, "heartbeat send: "+err.Error())
+				return
+			}
+		}
+	}
+}

@@ -241,6 +241,20 @@ func (c *Container) Snapshot() ([]byte, error) {
 	return sc.Snapshot()
 }
 
+// Restore initializes the hosted component from an encoded state — the
+// receiving half of a cross-node migration. Like Snapshot, the container
+// should be Passive or freshly built, but this is not enforced.
+func (c *Container) Restore(state []byte) error {
+	c.mu.Lock()
+	comp := c.comp
+	c.mu.Unlock()
+	sc, ok := comp.(StateCapturer)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotCapturable, c.desc.Name)
+	}
+	return sc.Restore(state)
+}
+
 // ReplaceComponent swaps the hosted implementation, transferring state when
 // both sides support capture and transfer is requested. The container must
 // be Passive.

@@ -47,6 +47,14 @@ type runtimeComponent struct {
 	node  netsim.NodeID
 	entry registry.Entry // the implementation currently hosted
 
+	// allocCPU is the capacity actually allocated on the hosting node at
+	// placement time. Release paths (migration, removal) must release
+	// exactly this amount: the declared requirement can change between
+	// allocation and release (a ModifyComponent step rewrites decl without
+	// reallocating), and releasing the re-read value drifts the node's
+	// accounting. Guarded by s.mu like node.
+	allocCPU float64
+
 	// routes maps required services to connector addresses. It is a
 	// copy-on-write snapshot (the component-side mirror of the bus routing
 	// table): Call loads it atomically, assembly and rebinding republish it
@@ -56,6 +64,10 @@ type runtimeComponent struct {
 
 	waiters replyWaiters
 	corr    atomic.Uint64
+	// serving counts requests between mailbox pop and serve completion; a
+	// cross-node handoff drains the mailbox and this counter together so no
+	// popped-but-unrequeued message can be lost to the endpoint teardown.
+	serving atomic.Int64
 	// woven is this component's compiled aspect pipeline: advice whose
 	// component pointcut cannot match this component is excluded at weave
 	// (compile) time, and the weaver republishes the chain atomically on
@@ -133,9 +145,11 @@ func (rc *runtimeComponent) start(ctx context.Context) {
 			case bus.Request:
 				// Serve concurrently so that outcalls from the handler can
 				// be correlated by this same loop.
+				rc.serving.Add(1)
 				rc.wg.Add(1)
 				go func(m bus.Message) {
 					defer rc.wg.Done()
+					defer rc.serving.Add(-1)
 					rc.serve(m)
 				}(m)
 			case bus.Reply:

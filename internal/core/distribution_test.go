@@ -1,0 +1,147 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/adl"
+	"repro/internal/netsim"
+	"repro/internal/registry"
+)
+
+// TestMigrateReleasesAllocatedCapacity is the regression test for the
+// capacity-accounting drift: Migrate used to release the CPU requirement
+// re-read from the *current* configuration, which can differ from what was
+// allocated at placement time (a ModifyComponent step rewrites the
+// declaration without reallocating). The node must end up with exactly zero
+// committed load after the component leaves it.
+func TestMigrateReleasesAllocatedCapacity(t *testing.T) {
+	const src = `
+system Cap {
+  component Worker {
+    provide work(x) -> (y)
+    property cpu = "3"
+  }
+}
+`
+	cfg, err := adlParse(t, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := &registry.Registry{}
+	if err := reg.Register(registry.Entry{Name: "Worker", Version: registry.Version{Major: 1},
+		New: func() any { return newKV("v1") }}); err != nil {
+		t.Fatal(err)
+	}
+	topo := netsim.New(1, time.Millisecond, 0)
+	if _, err := topo.AddNode("a", "eu", 10, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := topo.AddNode("b", "eu", 10, false); err != nil {
+		t.Fatal(err)
+	}
+
+	sys, err := NewSystem(cfg, Options{Registry: reg, Topology: topo,
+		Placement: map[string]netsim.NodeID{"Worker": "a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Stop()
+
+	nodeA, _ := topo.Node("a")
+	nodeB, _ := topo.Node("b")
+	if got := nodeA.Load(); got != 3 {
+		t.Fatalf("placement allocated %v on a, want 3", got)
+	}
+
+	// Diverge the declared requirement from the allocation: the new
+	// configuration declares cpu=1, producing a ModifyComponent step that
+	// swaps the implementation without touching the allocation.
+	newCfg, err := adlParse(t, strings.Replace(src, `"3"`, `"1"`, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Reconfigure(newCfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := nodeA.Load(); got != 3 {
+		t.Fatalf("ModifyComponent must not reallocate: node a has %v, want 3", got)
+	}
+
+	// Migrating away must release exactly the 3 units that were allocated,
+	// not the 1 unit the current configuration declares.
+	if err := sys.Migrate("Worker", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if got := nodeA.Load(); got != 0 {
+		t.Fatalf("capacity drift: node a retains %v after migration, want 0", got)
+	}
+	if got := nodeB.Load(); got != 1 {
+		t.Fatalf("node b allocated %v, want the current requirement 1", got)
+	}
+
+	// And a second migration releases what the first one allocated.
+	if err := sys.Migrate("Worker", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := nodeB.Load(); got != 0 {
+		t.Fatalf("node b retains %v after migrating back, want 0", got)
+	}
+}
+
+// TestRemoteComponentsSkipAssembly checks the Options.Remote contract: a
+// component placed on a peer node is not instantiated locally, allocates no
+// capacity, resolves through the remote view, and bindings from it build no
+// local connector.
+func TestRemoteComponentsSkipAssembly(t *testing.T) {
+	const src = `
+system Split {
+  component Front {
+    provide fetch(key) -> (value)
+    require get(key) -> (value)
+  }
+  component Store {
+    provide get(key) -> (value)
+  }
+  connector Link { kind rpc }
+  bind Front.get -> Store.get via Link
+}
+`
+	cfg, err := adlParse(t, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := &registry.Registry{}
+	if err := reg.Register(registry.Entry{Name: "Store", Version: registry.Version{Major: 1},
+		New: func() any { return newKV("v1") }}); err != nil {
+		t.Fatal(err)
+	}
+	// Note: no Front registration — a remote component must not need one.
+	sys, err := NewSystem(cfg, Options{Registry: reg, Remote: map[string]bool{"Front": true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.HasComponent("Front") {
+		t.Fatal("remote component was instantiated locally")
+	}
+	if !sys.HasComponent("Store") {
+		t.Fatal("local component missing")
+	}
+	if got := sys.Remotes(); len(got) != 1 || got[0] != "Front" {
+		t.Fatalf("Remotes() = %v, want [Front]", got)
+	}
+	if _, err := sys.Connector("Front", "get"); err == nil {
+		t.Fatal("binding from a remote caller must not build a local connector")
+	}
+}
+
+// adlParse parses ADL source inline for this file's fixtures.
+func adlParse(t *testing.T, src string) (*adl.Config, error) {
+	t.Helper()
+	return adl.Parse(src)
+}

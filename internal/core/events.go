@@ -31,6 +31,13 @@ const (
 	// returned an error — distinct from EvGuardFailed, which is reserved for
 	// real non-regression guard failures during reconfiguration.
 	EvTriggerActionFailed
+	// EvPeerUp reports a cluster peer link established (Component carries
+	// the peer node id).
+	EvPeerUp
+	// EvPeerDown reports a cluster peer lost to a closed link or heartbeat
+	// timeout (Component carries the peer node id); failover triggers react
+	// to it.
+	EvPeerDown
 )
 
 var eventNames = map[EventKind]string{
@@ -41,6 +48,7 @@ var eventNames = map[EventKind]string{
 	EvReconfigRolledBack: "reconfig-rolled-back", EvAdaptation: "adaptation",
 	EvMigration: "migration", EvSwap: "swap", EvTriggerFired: "trigger-fired",
 	EvGuardFailed: "guard-failed", EvTriggerActionFailed: "trigger-action-failed",
+	EvPeerUp: "peer-up", EvPeerDown: "peer-down",
 }
 
 // String implements fmt.Stringer.

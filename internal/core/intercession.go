@@ -205,10 +205,20 @@ func (s *System) Rebind(fromComponent, service, newProvider string) error {
 	return fmt.Errorf("%w: binding %s.%s", ErrUnknownConn, fromComponent, service)
 }
 
-// Migrate moves a component to another topology node — the geographical
-// change of §1, "so that they are 'closer' to the demand". The component
-// keeps its bus address; only the latency model observes the move.
+// Migrate moves a component to another node. When a Migrator hook is
+// registered (the distribution plane) and recognizes the target as a live
+// cluster peer, the component is handed off across the wire — quiesced,
+// state-captured, shipped, re-registered on the peer, and its local address
+// re-pointed at a gateway. Otherwise the target must be a topology node and
+// the move is the simulated geographical change of §1, "so that they are
+// 'closer' to the demand": the component keeps its bus address; only the
+// latency model observes the move.
 func (s *System) Migrate(component string, to netsim.NodeID) error {
+	if mig := s.migrator.Load(); mig != nil {
+		if handled, err := (*mig)(component, to); handled {
+			return err
+		}
+	}
 	s.mu.Lock()
 	rc, ok := s.comps[component]
 	s.mu.Unlock()
@@ -232,7 +242,13 @@ func (s *System) Migrate(component string, to netsim.NodeID) error {
 	}
 	s.mu.Lock()
 	from := rc.node
+	// Release exactly what was allocated at placement time, not the
+	// requirement re-read from the current configuration: a ModifyComponent
+	// step can change the declared cpu without reallocating, and releasing
+	// the re-read value would leak (or over-credit) capacity on the old node.
+	released := rc.allocCPU
 	rc.node = to
+	rc.allocCPU = cpu
 	s.placement[component] = to
 	// Inside the critical section so concurrent migrations cannot reorder
 	// the index updates against the rc.node writes (addrIndex is a leaf
@@ -240,7 +256,7 @@ func (s *System) Migrate(component string, to netsim.NodeID) error {
 	s.addrs.setNode(rc.ep.Addr(), to)
 	s.mu.Unlock()
 	if from != "" {
-		_ = s.topo.Release(from, cpu)
+		_ = s.topo.Release(from, released)
 	}
 	s.events.Emit(Event{Kind: EvMigration, At: s.clk.Now(), Component: component,
 		Detail: fmt.Sprintf("%s -> %s", from, to)})

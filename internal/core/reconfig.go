@@ -327,7 +327,9 @@ func (s *System) removeComponentLive(name string) error {
 	s.bus.Detach(rc.ep.Addr())
 	s.addrs.dropNode(rc.ep.Addr())
 	if s.topo != nil && rc.node != "" {
-		_ = s.topo.Release(rc.node, componentCPU(rc.decl))
+		// rc.allocCPU, not componentCPU(rc.decl): release what was actually
+		// allocated even if the declaration changed since placement.
+		_ = s.topo.Release(rc.node, rc.allocCPU)
 	}
 	return nil
 }

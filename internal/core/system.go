@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"maps"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,6 +36,11 @@ type Options struct {
 	Placement deploy.Placement
 	// QoSWindow is the monitor window (default 10s).
 	QoSWindow time.Duration
+	// Remote names components declared in the configuration but hosted on
+	// another cluster node: they are not instantiated locally, and calls
+	// toward their (unchanged) bus address are served by a gateway endpoint
+	// the distribution plane attaches once the hosting peer is linked.
+	Remote map[string]bool
 }
 
 // System is the running auto-adaptive system: the base-level application
@@ -77,6 +83,18 @@ type System struct {
 	// snapshot while holding s.mu.
 	live     atomic.Bool
 	compView atomic.Pointer[map[string]*runtimeComponent]
+
+	// remoteView maps components hosted on peer nodes to the local bus
+	// address their traffic is routed to (the gateway address — identical to
+	// the component's canonical address, which is what keeps bus.Address
+	// location-transparent). Same discipline as compView: atomic snapshot on
+	// the call path, republished under s.mu.
+	remoteView atomic.Pointer[map[string]bus.Address]
+
+	// migrator, when set, is consulted by Migrate before the topology path:
+	// the distribution plane registers a hook that recognizes live peer
+	// nodes and runs the cross-node protocol instead.
+	migrator atomic.Pointer[Migrator]
 
 	triggers *triggerHub
 
@@ -165,14 +183,28 @@ func NewSystem(cfg *adl.Config, opts Options) (*System, error) {
 		s.placement = deploy.Placement{}
 	}
 
-	// Instantiate components.
+	emptyRemote := map[string]bus.Address{}
+	s.remoteView.Store(&emptyRemote)
+
+	// Instantiate components. Components placed on a peer node stay
+	// uninstantiated: their address is recorded as remote and the cluster
+	// layer attaches a forwarding gateway there once the peer is linked.
 	for _, decl := range cfg.Components {
+		if opts.Remote[decl.Name] {
+			s.setRemoteLocked(decl.Name)
+			continue
+		}
 		if err := s.buildComponentLocked(decl); err != nil {
 			return nil, err
 		}
 	}
 	// Instantiate one connector per binding and route the caller side.
+	// Bindings whose caller lives on a peer node are mediated by that node's
+	// own connector instance.
 	for _, b := range cfg.Bindings {
+		if opts.Remote[b.FromComponent] {
+			continue
+		}
 		if err := s.buildBindingLocked(b); err != nil {
 			return nil, err
 		}
@@ -226,16 +258,20 @@ func (s *System) buildComponentFromEntryLocked(decl adl.ComponentDecl, entry reg
 		return err
 	}
 	node := s.placement[decl.Name]
+	cpu := componentCPU(decl)
 	if s.topo != nil && node != "" {
-		if err := s.topo.Allocate(node, componentCPU(decl)); err != nil {
+		if err := s.topo.Allocate(node, cpu); err != nil {
 			return fmt.Errorf("core: placing %s: %w", decl.Name, err)
 		}
+	} else {
+		cpu = 0 // nothing allocated, nothing to release later
 	}
 	rc, err := newRuntimeComponent(s, decl, cont, node)
 	if err != nil {
 		return err
 	}
 	rc.entry = entry
+	rc.allocCPU = cpu
 	if aware, ok := comp.(CallerAware); ok {
 		aware.SetCaller(rc)
 	}
@@ -397,11 +433,25 @@ func (s *System) Stop() {
 // are atomic snapshots, the correlation id is an atomic counter, and the
 // reply waiter table is sharded by correlation id.
 func (s *System) Call(component, op string, args ...any) ([]any, error) {
+	return s.CallAs("", component, op, args...)
+}
+
+// CallAs is Call with an explicit principal, preserved end-to-end so that
+// container-level authorization keeps working when the call entered the
+// system on another cluster node.
+func (s *System) CallAs(principal, component, op string, args ...any) ([]any, error) {
 	if !s.live.Load() {
 		return nil, ErrNotRunning
 	}
-	rc, ok := (*s.compView.Load())[component]
-	if !ok {
+	var dst bus.Address
+	if rc, ok := (*s.compView.Load())[component]; ok {
+		dst = rc.ep.Addr()
+	} else if addr, ok := (*s.remoteView.Load())[component]; ok {
+		// Hosted on a peer node: the address is the same, the gateway
+		// endpoint behind it forwards over the peer link. Location
+		// transparency means this branch is the only difference.
+		dst = addr
+	} else {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownComp, component)
 	}
 	epsp := s.clientEPs.Load()
@@ -415,8 +465,8 @@ func (s *System) Call(component, op string, args ...any) ([]any, error) {
 
 	err := s.bus.Send(bus.Message{
 		Kind: bus.Request, Op: op,
-		Payload: connector.CallPayload{Args: args},
-		Src:     client.Addr(), Dst: rc.ep.Addr(), Corr: corr,
+		Payload: connector.CallPayload{Principal: principal, Args: args},
+		Src:     client.Addr(), Dst: dst, Corr: corr,
 	})
 	if err != nil {
 		s.clientWaiters.take(corr)
@@ -436,6 +486,33 @@ func (s *System) Call(component, op string, args ...any) ([]any, error) {
 		s.clientWaiters.take(corr)
 		return nil, fmt.Errorf("core: call %s.%s timed out", component, op)
 	}
+}
+
+// Name returns the architecture name of the running system.
+func (s *System) Name() string { return s.name }
+
+// Now returns the system clock's current time, so layers above core (the
+// distribution plane) stamp their RAML events coherently with core's own
+// emissions under a simulated clock.
+func (s *System) Now() time.Time { return s.clk.Now() }
+
+// HasComponent reports whether the component is hosted locally (one atomic
+// snapshot load; safe on any path).
+func (s *System) HasComponent(name string) bool {
+	_, ok := (*s.compView.Load())[name]
+	return ok
+}
+
+// LocalComponents returns the sorted names of locally hosted components —
+// what a cluster node advertises to its peers.
+func (s *System) LocalComponents() []string {
+	view := *s.compView.Load()
+	out := make([]string, 0, len(view))
+	for name := range view {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Events exposes the RAML stream hub.

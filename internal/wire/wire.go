@@ -1,0 +1,726 @@
+// Package wire implements the versioned binary frame codec of the
+// distribution plane (DESIGN.md §6). Every byte that crosses a peer link —
+// handshakes, heartbeats, remote calls and their replies, migration payloads
+// and ownership announcements — is one length-prefixed frame encoded with
+// the hand-rolled routines in this package. There is deliberately no
+// encoding/gob or reflection on the hot path: a remote call marshals its
+// arguments with a tag-per-value scheme into a reusable buffer and costs a
+// handful of appends.
+//
+// Frame layout (all multi-byte integers big-endian unless uvarint):
+//
+//	offset  size  field
+//	0       1     magic0 (0xA5)
+//	1       1     magic1 (0x57)
+//	2       1     protocol version (currently 1)
+//	3       1     frame type
+//	4       4     body length
+//	8       n     body
+//
+// A decoder rejects frames with a bad magic, an unknown protocol version or
+// a body larger than MaxFrame, so a confused peer fails fast instead of
+// desynchronizing the stream.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// Protocol constants.
+const (
+	magic0  = 0xA5
+	magic1  = 0x57
+	Version = 1
+
+	headerSize = 8
+	// MaxFrame bounds a single frame body (migration states included).
+	MaxFrame = 64 << 20
+	// retainLimit caps the scratch capacity an encoder or decoder keeps
+	// between frames: steady-state traffic (heartbeats, calls) needs a few
+	// hundred bytes, so one near-MaxFrame migration must not pin tens of
+	// megabytes per peer link for the link's lifetime.
+	retainLimit = 1 << 20
+)
+
+// FrameType discriminates the frame kinds of the peer protocol.
+type FrameType uint8
+
+// Frame types.
+const (
+	// FrameHello opens a link (sent by the dialing side).
+	FrameHello FrameType = iota + 1
+	// FrameWelcome acknowledges a hello (sent by the accepting side).
+	FrameWelcome
+	// FrameHeartbeat is the liveness beacon; it has an empty body.
+	FrameHeartbeat
+	// FrameCall is a remote component invocation.
+	FrameCall
+	// FrameReply answers a FrameCall.
+	FrameReply
+	// FrameMigrate ships a quiesced component (declaration + state).
+	FrameMigrate
+	// FrameMigrateAck confirms or refuses an adoption.
+	FrameMigrateAck
+	// FrameAnnounce updates component ownership after a migration.
+	FrameAnnounce
+)
+
+// String implements fmt.Stringer.
+func (t FrameType) String() string {
+	switch t {
+	case FrameHello:
+		return "hello"
+	case FrameWelcome:
+		return "welcome"
+	case FrameHeartbeat:
+		return "heartbeat"
+	case FrameCall:
+		return "call"
+	case FrameReply:
+		return "reply"
+	case FrameMigrate:
+		return "migrate"
+	case FrameMigrateAck:
+		return "migrate-ack"
+	case FrameAnnounce:
+		return "announce"
+	default:
+		return "unknown"
+	}
+}
+
+// Codec errors.
+var (
+	ErrBadMagic    = errors.New("wire: bad frame magic")
+	ErrBadVersion  = errors.New("wire: unsupported protocol version")
+	ErrFrameTooBig = errors.New("wire: frame exceeds MaxFrame")
+	ErrTruncated   = errors.New("wire: truncated body")
+	// ErrUnsupportedType reports a call argument or result the value codec
+	// cannot ship; the caller turns it into a call error, never a panic.
+	ErrUnsupportedType = errors.New("wire: unsupported value type")
+)
+
+// ---------------------------------------------------------------------------
+// Value codec: a tag byte per value, uvarint lengths, recursion for slices.
+
+// Value tags.
+const (
+	tNil = iota + 1
+	tBool
+	tInt      // Go int, the default integer type of call arguments
+	tInt64    // explicitly-typed int64
+	tUint64   // explicitly-typed uint64
+	tFloat64  // float64
+	tString   // uvarint length + bytes
+	tBytes    // uvarint length + bytes
+	tSlice    // uvarint count + values ([]any)
+	tDuration // time.Duration as int64 nanoseconds
+)
+
+// AppendValue appends the encoding of v to dst. Supported types: nil, bool,
+// int, int64, uint64, float64, string, []byte, time.Duration and []any of
+// the same; anything else returns ErrUnsupportedType.
+func AppendValue(dst []byte, v any) ([]byte, error) {
+	switch x := v.(type) {
+	case nil:
+		return append(dst, tNil), nil
+	case bool:
+		if x {
+			return append(dst, tBool, 1), nil
+		}
+		return append(dst, tBool, 0), nil
+	case int:
+		dst = append(dst, tInt)
+		return binary.AppendVarint(dst, int64(x)), nil
+	case int64:
+		dst = append(dst, tInt64)
+		return binary.AppendVarint(dst, x), nil
+	case uint64:
+		dst = append(dst, tUint64)
+		return binary.AppendUvarint(dst, x), nil
+	case float64:
+		dst = append(dst, tFloat64)
+		return binary.BigEndian.AppendUint64(dst, math.Float64bits(x)), nil
+	case string:
+		dst = append(dst, tString)
+		return AppendString(dst, x), nil
+	case []byte:
+		dst = append(dst, tBytes)
+		return AppendBytes(dst, x), nil
+	case time.Duration:
+		dst = append(dst, tDuration)
+		return binary.AppendVarint(dst, int64(x)), nil
+	case []any:
+		dst = append(dst, tSlice)
+		dst = binary.AppendUvarint(dst, uint64(len(x)))
+		var err error
+		for _, el := range x {
+			if dst, err = AppendValue(dst, el); err != nil {
+				return dst, err
+			}
+		}
+		return dst, nil
+	default:
+		return dst, fmt.Errorf("%w: %T", ErrUnsupportedType, v)
+	}
+}
+
+// ReadValue decodes one value from b and returns it with the remaining
+// bytes.
+func ReadValue(b []byte) (any, []byte, error) {
+	if len(b) == 0 {
+		return nil, b, ErrTruncated
+	}
+	tag := b[0]
+	b = b[1:]
+	switch tag {
+	case tNil:
+		return nil, b, nil
+	case tBool:
+		if len(b) < 1 {
+			return nil, b, ErrTruncated
+		}
+		return b[0] != 0, b[1:], nil
+	case tInt:
+		v, n := binary.Varint(b)
+		if n <= 0 {
+			return nil, b, ErrTruncated
+		}
+		return int(v), b[n:], nil
+	case tInt64:
+		v, n := binary.Varint(b)
+		if n <= 0 {
+			return nil, b, ErrTruncated
+		}
+		return v, b[n:], nil
+	case tUint64:
+		v, n := binary.Uvarint(b)
+		if n <= 0 {
+			return nil, b, ErrTruncated
+		}
+		return v, b[n:], nil
+	case tFloat64:
+		if len(b) < 8 {
+			return nil, b, ErrTruncated
+		}
+		return math.Float64frombits(binary.BigEndian.Uint64(b)), b[8:], nil
+	case tString:
+		s, rest, err := ReadString(b)
+		return s, rest, err
+	case tBytes:
+		p, rest, err := ReadBytes(b)
+		return p, rest, err
+	case tDuration:
+		v, n := binary.Varint(b)
+		if n <= 0 {
+			return nil, b, ErrTruncated
+		}
+		return time.Duration(v), b[n:], nil
+	case tSlice:
+		count, n := binary.Uvarint(b)
+		if n <= 0 {
+			return nil, b, ErrTruncated
+		}
+		b = b[n:]
+		if count > uint64(len(b)) { // each element costs at least one byte
+			return nil, b, ErrTruncated
+		}
+		out := make([]any, 0, count)
+		for i := uint64(0); i < count; i++ {
+			var (
+				el  any
+				err error
+			)
+			if el, b, err = ReadValue(b); err != nil {
+				return nil, b, err
+			}
+			out = append(out, el)
+		}
+		return out, b, nil
+	default:
+		return nil, b, fmt.Errorf("%w: tag %d", ErrUnsupportedType, tag)
+	}
+}
+
+// AppendValues appends a counted value list.
+func AppendValues(dst []byte, vs []any) ([]byte, error) {
+	dst = binary.AppendUvarint(dst, uint64(len(vs)))
+	var err error
+	for _, v := range vs {
+		if dst, err = AppendValue(dst, v); err != nil {
+			return dst, err
+		}
+	}
+	return dst, nil
+}
+
+// ReadValues decodes a counted value list. A zero count yields nil, so a
+// round-tripped empty result set stays nil (the framework's convention).
+func ReadValues(b []byte) ([]any, []byte, error) {
+	count, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, b, ErrTruncated
+	}
+	b = b[n:]
+	if count == 0 {
+		return nil, b, nil
+	}
+	if count > uint64(len(b)) {
+		return nil, b, ErrTruncated
+	}
+	out := make([]any, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var (
+			v   any
+			err error
+		)
+		if v, b, err = ReadValue(b); err != nil {
+			return nil, b, err
+		}
+		out = append(out, v)
+	}
+	return out, b, nil
+}
+
+// AppendString appends a uvarint-length-prefixed string.
+func AppendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// ReadString decodes a length-prefixed string.
+func ReadString(b []byte) (string, []byte, error) {
+	l, n := binary.Uvarint(b)
+	if n <= 0 || uint64(len(b)-n) < l {
+		return "", b, ErrTruncated
+	}
+	return string(b[n : n+int(l)]), b[n+int(l):], nil
+}
+
+// AppendBytes appends a uvarint-length-prefixed byte slice.
+func AppendBytes(dst, p []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(p)))
+	return append(dst, p...)
+}
+
+// ReadBytes decodes a length-prefixed byte slice (copied out of b).
+func ReadBytes(b []byte) ([]byte, []byte, error) {
+	l, n := binary.Uvarint(b)
+	if n <= 0 || uint64(len(b)-n) < l {
+		return nil, b, ErrTruncated
+	}
+	out := make([]byte, l)
+	copy(out, b[n:n+int(l)])
+	return out, b[n+int(l):], nil
+}
+
+// ---------------------------------------------------------------------------
+// Frame structs.
+
+// Hello is the handshake payload, sent as FrameHello by the dialer and
+// echoed back as FrameWelcome by the accepter.
+type Hello struct {
+	Node       string   // sender's node id
+	System     string   // architecture name, for sanity checking
+	Components []string // components the sender hosts (exported providers)
+}
+
+// Call is one remote invocation routed through a gateway endpoint.
+type Call struct {
+	Corr      uint64
+	Component string
+	Op        string
+	Principal string
+	Args      []any
+}
+
+// Reply answers a Call; Err is non-empty on failure.
+type Reply struct {
+	Corr    uint64
+	Err     string
+	Results []any
+}
+
+// Migrate ships one quiesced component to a peer.
+type Migrate struct {
+	Corr       uint64 // ack correlation
+	Component  string
+	Implements string
+	Properties map[string]string
+	// CPU is the component's declared requirement, advisory: the
+	// destination places the adopted instance by its own topology and may
+	// use this to pick a node. It is not an allocation transfer — the
+	// origin releases exactly what it allocated, independently.
+	CPU      float64
+	HasState bool
+	State    []byte
+}
+
+// MigrateAck confirms (empty Err) or refuses an adoption.
+type MigrateAck struct {
+	Corr uint64
+	Err  string
+}
+
+// Announce updates component ownership: Add means "I now host Component",
+// !Add means "I no longer host it".
+type Announce struct {
+	Add       bool
+	Component string
+}
+
+// ---------------------------------------------------------------------------
+// Body encoders/decoders.
+
+// AppendHello encodes h.
+func AppendHello(dst []byte, h Hello) []byte {
+	dst = AppendString(dst, h.Node)
+	dst = AppendString(dst, h.System)
+	dst = binary.AppendUvarint(dst, uint64(len(h.Components)))
+	for _, c := range h.Components {
+		dst = AppendString(dst, c)
+	}
+	return dst
+}
+
+// ParseHello decodes a Hello body.
+func ParseHello(b []byte) (Hello, error) {
+	var (
+		h   Hello
+		err error
+	)
+	if h.Node, b, err = ReadString(b); err != nil {
+		return h, err
+	}
+	if h.System, b, err = ReadString(b); err != nil {
+		return h, err
+	}
+	count, n := binary.Uvarint(b)
+	if n <= 0 {
+		return h, ErrTruncated
+	}
+	b = b[n:]
+	if count > uint64(len(b)) {
+		return h, ErrTruncated
+	}
+	for i := uint64(0); i < count; i++ {
+		var c string
+		if c, b, err = ReadString(b); err != nil {
+			return h, err
+		}
+		h.Components = append(h.Components, c)
+	}
+	return h, nil
+}
+
+// AppendCall encodes c.
+func AppendCall(dst []byte, c Call) ([]byte, error) {
+	dst = binary.AppendUvarint(dst, c.Corr)
+	dst = AppendString(dst, c.Component)
+	dst = AppendString(dst, c.Op)
+	dst = AppendString(dst, c.Principal)
+	return AppendValues(dst, c.Args)
+}
+
+// ParseCall decodes a Call body.
+func ParseCall(b []byte) (Call, error) {
+	var (
+		c   Call
+		err error
+	)
+	corr, n := binary.Uvarint(b)
+	if n <= 0 {
+		return c, ErrTruncated
+	}
+	c.Corr = corr
+	b = b[n:]
+	if c.Component, b, err = ReadString(b); err != nil {
+		return c, err
+	}
+	if c.Op, b, err = ReadString(b); err != nil {
+		return c, err
+	}
+	if c.Principal, b, err = ReadString(b); err != nil {
+		return c, err
+	}
+	c.Args, _, err = ReadValues(b)
+	return c, err
+}
+
+// AppendReply encodes r.
+func AppendReply(dst []byte, r Reply) ([]byte, error) {
+	dst = binary.AppendUvarint(dst, r.Corr)
+	dst = AppendString(dst, r.Err)
+	return AppendValues(dst, r.Results)
+}
+
+// ParseReply decodes a Reply body.
+func ParseReply(b []byte) (Reply, error) {
+	var (
+		r   Reply
+		err error
+	)
+	corr, n := binary.Uvarint(b)
+	if n <= 0 {
+		return r, ErrTruncated
+	}
+	r.Corr = corr
+	b = b[n:]
+	if r.Err, b, err = ReadString(b); err != nil {
+		return r, err
+	}
+	r.Results, _, err = ReadValues(b)
+	return r, err
+}
+
+// AppendMigrate encodes m.
+func AppendMigrate(dst []byte, m Migrate) []byte {
+	dst = binary.AppendUvarint(dst, m.Corr)
+	dst = AppendString(dst, m.Component)
+	dst = AppendString(dst, m.Implements)
+	dst = binary.AppendUvarint(dst, uint64(len(m.Properties)))
+	for k, v := range m.Properties {
+		dst = AppendString(dst, k)
+		dst = AppendString(dst, v)
+	}
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(m.CPU))
+	if m.HasState {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	return AppendBytes(dst, m.State)
+}
+
+// ParseMigrate decodes a Migrate body.
+func ParseMigrate(b []byte) (Migrate, error) {
+	var (
+		m   Migrate
+		err error
+	)
+	corr, n := binary.Uvarint(b)
+	if n <= 0 {
+		return m, ErrTruncated
+	}
+	m.Corr = corr
+	b = b[n:]
+	if m.Component, b, err = ReadString(b); err != nil {
+		return m, err
+	}
+	if m.Implements, b, err = ReadString(b); err != nil {
+		return m, err
+	}
+	count, n := binary.Uvarint(b)
+	if n <= 0 {
+		return m, ErrTruncated
+	}
+	b = b[n:]
+	if count > uint64(len(b)) { // each entry costs at least one byte
+		return m, ErrTruncated
+	}
+	if count > 0 {
+		m.Properties = make(map[string]string, count)
+	}
+	for i := uint64(0); i < count; i++ {
+		var k, v string
+		if k, b, err = ReadString(b); err != nil {
+			return m, err
+		}
+		if v, b, err = ReadString(b); err != nil {
+			return m, err
+		}
+		m.Properties[k] = v
+	}
+	if len(b) < 9 {
+		return m, ErrTruncated
+	}
+	m.CPU = math.Float64frombits(binary.BigEndian.Uint64(b))
+	m.HasState = b[8] != 0
+	b = b[9:]
+	m.State, _, err = ReadBytes(b)
+	return m, err
+}
+
+// AppendMigrateAck encodes a.
+func AppendMigrateAck(dst []byte, a MigrateAck) []byte {
+	dst = binary.AppendUvarint(dst, a.Corr)
+	return AppendString(dst, a.Err)
+}
+
+// ParseMigrateAck decodes a MigrateAck body.
+func ParseMigrateAck(b []byte) (MigrateAck, error) {
+	var a MigrateAck
+	corr, n := binary.Uvarint(b)
+	if n <= 0 {
+		return a, ErrTruncated
+	}
+	a.Corr = corr
+	var err error
+	a.Err, _, err = ReadString(b[n:])
+	return a, err
+}
+
+// AppendAnnounce encodes a.
+func AppendAnnounce(dst []byte, a Announce) []byte {
+	if a.Add {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	return AppendString(dst, a.Component)
+}
+
+// ParseAnnounce decodes an Announce body.
+func ParseAnnounce(b []byte) (Announce, error) {
+	var a Announce
+	if len(b) < 1 {
+		return a, ErrTruncated
+	}
+	a.Add = b[0] != 0
+	var err error
+	a.Component, _, err = ReadString(b[1:])
+	return a, err
+}
+
+// ---------------------------------------------------------------------------
+// Framed stream I/O.
+
+// Encoder writes frames to a stream. It is not safe for concurrent use; the
+// peer link serializes writers with its own mutex. The scratch buffer is
+// reused across frames, so steady-state encoding allocates only when a body
+// outgrows every previous one.
+type Encoder struct {
+	w       *bufio.Writer
+	scratch []byte
+}
+
+// NewEncoder wraps w.
+func NewEncoder(w io.Writer) *Encoder {
+	return &Encoder{w: bufio.NewWriter(w)}
+}
+
+// Body returns the reusable body buffer, reset to the frame header's length
+// so the frame can be assembled in one allocation-free pass.
+func (e *Encoder) body() []byte {
+	if e.scratch == nil {
+		e.scratch = make([]byte, headerSize, 256)
+	}
+	return e.scratch[:headerSize]
+}
+
+// flushFrame stamps the header onto buf (whose first headerSize bytes are
+// reserved) and writes the whole frame.
+func (e *Encoder) flushFrame(t FrameType, buf []byte) error {
+	body := len(buf) - headerSize
+	if body > MaxFrame {
+		return ErrFrameTooBig
+	}
+	buf[0] = magic0
+	buf[1] = magic1
+	buf[2] = Version
+	buf[3] = byte(t)
+	binary.BigEndian.PutUint32(buf[4:8], uint32(body))
+	if cap(buf) <= retainLimit {
+		e.scratch = buf // keep the grown buffer for reuse
+	} else {
+		e.scratch = nil // oversized one-off (migration state): let it go
+	}
+	if _, err := e.w.Write(buf); err != nil {
+		return err
+	}
+	return e.w.Flush()
+}
+
+// EncodeHello writes a FrameHello or FrameWelcome.
+func (e *Encoder) EncodeHello(t FrameType, h Hello) error {
+	return e.flushFrame(t, AppendHello(e.body(), h))
+}
+
+// EncodeHeartbeat writes a FrameHeartbeat.
+func (e *Encoder) EncodeHeartbeat() error {
+	return e.flushFrame(FrameHeartbeat, e.body())
+}
+
+// EncodeCall writes a FrameCall.
+func (e *Encoder) EncodeCall(c Call) error {
+	buf, err := AppendCall(e.body(), c)
+	if err != nil {
+		return err
+	}
+	return e.flushFrame(FrameCall, buf)
+}
+
+// EncodeReply writes a FrameReply.
+func (e *Encoder) EncodeReply(r Reply) error {
+	buf, err := AppendReply(e.body(), r)
+	if err != nil {
+		return err
+	}
+	return e.flushFrame(FrameReply, buf)
+}
+
+// EncodeMigrate writes a FrameMigrate.
+func (e *Encoder) EncodeMigrate(m Migrate) error {
+	return e.flushFrame(FrameMigrate, AppendMigrate(e.body(), m))
+}
+
+// EncodeMigrateAck writes a FrameMigrateAck.
+func (e *Encoder) EncodeMigrateAck(a MigrateAck) error {
+	return e.flushFrame(FrameMigrateAck, AppendMigrateAck(e.body(), a))
+}
+
+// EncodeAnnounce writes a FrameAnnounce.
+func (e *Encoder) EncodeAnnounce(a Announce) error {
+	return e.flushFrame(FrameAnnounce, AppendAnnounce(e.body(), a))
+}
+
+// Decoder reads frames from a stream. Not safe for concurrent use; each
+// peer link owns one reader goroutine.
+type Decoder struct {
+	r    *bufio.Reader
+	body []byte
+}
+
+// NewDecoder wraps r.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{r: bufio.NewReader(r)}
+}
+
+// Next reads one frame and returns its type and body. The body slice is
+// valid until the next call to Next (it reuses the decoder's buffer).
+func (d *Decoder) Next() (FrameType, []byte, error) {
+	if cap(d.body) > retainLimit {
+		// The previous frame was an oversized one-off (migration state);
+		// its body has been consumed by now, so release the buffer.
+		d.body = nil
+	}
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(d.r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	if hdr[0] != magic0 || hdr[1] != magic1 {
+		return 0, nil, ErrBadMagic
+	}
+	if hdr[2] != Version {
+		return 0, nil, fmt.Errorf("%w: %d", ErrBadVersion, hdr[2])
+	}
+	t := FrameType(hdr[3])
+	size := binary.BigEndian.Uint32(hdr[4:8])
+	if size > MaxFrame {
+		return 0, nil, ErrFrameTooBig
+	}
+	if cap(d.body) < int(size) {
+		d.body = make([]byte, size)
+	}
+	d.body = d.body[:size]
+	if _, err := io.ReadFull(d.r, d.body); err != nil {
+		return 0, nil, err
+	}
+	return t, d.body, nil
+}

@@ -1,0 +1,223 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestValueRoundTrip(t *testing.T) {
+	cases := []any{
+		nil,
+		true,
+		false,
+		42,
+		-7,
+		int64(1 << 40),
+		uint64(18446744073709551615),
+		3.25,
+		"hello",
+		"",
+		[]byte{1, 2, 3},
+		250 * time.Millisecond,
+		[]any{"a", 1, []any{true, nil}},
+	}
+	for _, want := range cases {
+		buf, err := AppendValue(nil, want)
+		if err != nil {
+			t.Fatalf("AppendValue(%v): %v", want, err)
+		}
+		got, rest, err := ReadValue(buf)
+		if err != nil {
+			t.Fatalf("ReadValue(%v): %v", want, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("ReadValue(%v): %d trailing bytes", want, len(rest))
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip: got %#v want %#v", got, want)
+		}
+	}
+}
+
+func TestValueUnsupported(t *testing.T) {
+	if _, err := AppendValue(nil, struct{ X int }{1}); !errors.Is(err, ErrUnsupportedType) {
+		t.Fatalf("want ErrUnsupportedType, got %v", err)
+	}
+	if _, err := AppendValue(nil, []any{"ok", make(chan int)}); !errors.Is(err, ErrUnsupportedType) {
+		t.Fatalf("nested unsupported: want ErrUnsupportedType, got %v", err)
+	}
+}
+
+func TestEmptyResultsStayNil(t *testing.T) {
+	buf, err := AppendValues(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ReadValues(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != nil {
+		t.Fatalf("want nil results, got %#v", got)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var conn bytes.Buffer
+	enc := NewEncoder(&conn)
+	dec := NewDecoder(&conn)
+
+	hello := Hello{Node: "n1", System: "Cluster", Components: []string{"Store", "Front"}}
+	call := Call{Corr: 7, Component: "Store", Op: "get", Principal: "alice", Args: []any{"k", 2}}
+	reply := Reply{Corr: 7, Results: []any{"v"}}
+	mig := Migrate{Corr: 3, Component: "Store", Implements: "KV",
+		Properties: map[string]string{"statefulness": "stateful", "cpu": "2"},
+		CPU:        2, HasState: true, State: []byte("state-bytes")}
+	ack := MigrateAck{Corr: 3, Err: "nope"}
+	ann := Announce{Add: true, Component: "Store"}
+
+	if err := enc.EncodeHello(FrameHello, hello); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.EncodeHeartbeat(); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.EncodeCall(call); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.EncodeReply(reply); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.EncodeMigrate(mig); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.EncodeMigrateAck(ack); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.EncodeAnnounce(ann); err != nil {
+		t.Fatal(err)
+	}
+
+	typ, body, err := dec.Next()
+	if err != nil || typ != FrameHello {
+		t.Fatalf("frame 1: %v %v", typ, err)
+	}
+	gotHello, err := ParseHello(body)
+	if err != nil || !reflect.DeepEqual(gotHello, hello) {
+		t.Fatalf("hello: %#v %v", gotHello, err)
+	}
+
+	typ, body, err = dec.Next()
+	if err != nil || typ != FrameHeartbeat || len(body) != 0 {
+		t.Fatalf("heartbeat: %v len=%d %v", typ, len(body), err)
+	}
+
+	typ, body, err = dec.Next()
+	if err != nil || typ != FrameCall {
+		t.Fatalf("call frame: %v %v", typ, err)
+	}
+	gotCall, err := ParseCall(body)
+	if err != nil || !reflect.DeepEqual(gotCall, call) {
+		t.Fatalf("call: %#v %v", gotCall, err)
+	}
+
+	typ, body, err = dec.Next()
+	if err != nil || typ != FrameReply {
+		t.Fatalf("reply frame: %v %v", typ, err)
+	}
+	gotReply, err := ParseReply(body)
+	if err != nil || !reflect.DeepEqual(gotReply, reply) {
+		t.Fatalf("reply: %#v %v", gotReply, err)
+	}
+
+	typ, body, err = dec.Next()
+	if err != nil || typ != FrameMigrate {
+		t.Fatalf("migrate frame: %v %v", typ, err)
+	}
+	gotMig, err := ParseMigrate(body)
+	if err != nil || !reflect.DeepEqual(gotMig, mig) {
+		t.Fatalf("migrate: %#v %v", gotMig, err)
+	}
+
+	typ, body, err = dec.Next()
+	if err != nil || typ != FrameMigrateAck {
+		t.Fatalf("ack frame: %v %v", typ, err)
+	}
+	gotAck, err := ParseMigrateAck(body)
+	if err != nil || gotAck != ack {
+		t.Fatalf("ack: %#v %v", gotAck, err)
+	}
+
+	typ, body, err = dec.Next()
+	if err != nil || typ != FrameAnnounce {
+		t.Fatalf("announce frame: %v %v", typ, err)
+	}
+	gotAnn, err := ParseAnnounce(body)
+	if err != nil || gotAnn != ann {
+		t.Fatalf("announce: %#v %v", gotAnn, err)
+	}
+}
+
+func TestDecoderRejectsBadMagic(t *testing.T) {
+	dec := NewDecoder(bytes.NewReader([]byte{0, 0, 1, 1, 0, 0, 0, 0}))
+	if _, _, err := dec.Next(); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("want ErrBadMagic, got %v", err)
+	}
+}
+
+func TestDecoderRejectsBadVersion(t *testing.T) {
+	dec := NewDecoder(bytes.NewReader([]byte{magic0, magic1, 99, 1, 0, 0, 0, 0}))
+	if _, _, err := dec.Next(); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("want ErrBadVersion, got %v", err)
+	}
+}
+
+func TestDecoderRejectsOversizedFrame(t *testing.T) {
+	hdr := []byte{magic0, magic1, Version, 1, 0xFF, 0xFF, 0xFF, 0xFF}
+	dec := NewDecoder(bytes.NewReader(hdr))
+	if _, _, err := dec.Next(); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("want ErrFrameTooBig, got %v", err)
+	}
+}
+
+func TestTruncatedBodies(t *testing.T) {
+	if _, _, err := ReadString([]byte{5, 'a'}); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("string: want ErrTruncated, got %v", err)
+	}
+	if _, err := ParseCall([]byte{}); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("call: want ErrTruncated, got %v", err)
+	}
+	if _, err := ParseMigrate([]byte{1, 0}); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("migrate: want ErrTruncated, got %v", err)
+	}
+	// A migrate body claiming more property entries than bytes remaining
+	// must not pre-size a huge map.
+	if _, err := ParseMigrate([]byte{1, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F}); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("migrate property bomb: want ErrTruncated, got %v", err)
+	}
+	// A slice claiming more elements than bytes remaining must not
+	// over-allocate or loop.
+	if _, _, err := ReadValue([]byte{tSlice, 0xFF, 0xFF, 0x01}); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("slice bomb: want ErrTruncated, got %v", err)
+	}
+}
+
+func BenchmarkEncodeCall(b *testing.B) {
+	enc := NewEncoder(noopWriter{})
+	call := Call{Corr: 1, Component: "Store", Op: "get", Principal: "", Args: []any{"key-0001", 42}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		call.Corr = uint64(i)
+		if err := enc.EncodeCall(call); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type noopWriter struct{}
+
+func (noopWriter) Write(p []byte) (int, error) { return len(p), nil }
