@@ -14,9 +14,15 @@
 //	if err != nil { ... }
 //	if err := sys.Start(ctx); err != nil { ... }
 //	defer sys.Stop()
-//	out, err := sys.Call("Greeter", "greet", "world")
+//	greeter := sys.Client("Greeter") // compiled binding handle; reuse it
+//	out, err := greeter.Call(ctx, "greet", "world")
 //
-// See examples/ for complete programs and DESIGN.md for the architecture.
+// The handle supports deadlines and cancellation end-to-end (the context's
+// deadline travels with the request, across cluster links included),
+// asynchronous fan-out (Async returning a *Future), fire-and-forget
+// (Oneway), and per-call options (With(WithPrincipal, WithDeadline)). See
+// examples/ for complete programs, DESIGN.md §7 for the client-binding
+// model, and DESIGN.md for the architecture.
 package aas
 
 import (
@@ -48,6 +54,27 @@ type System = core.System
 
 // Options configures system assembly.
 type Options = core.Options
+
+// Client-binding invocation surface (DESIGN.md §7): System.Client compiles a
+// handle once; calls through it resolve nothing per call and thread their
+// context end-to-end.
+type (
+	// Client is a compiled, context-aware binding handle to one component.
+	Client = core.Client
+	// Future is one in-flight asynchronous call (Client.Async).
+	Future = core.Future
+	// CallOption derives per-principal/per-deadline handles (Client.With).
+	CallOption = core.CallOption
+)
+
+// WithPrincipal stamps every call of the derived handle with a security
+// principal (replaces the deprecated System.CallAs).
+func WithPrincipal(principal string) CallOption { return core.WithPrincipal(principal) }
+
+// WithDeadline gives every call of the derived handle a deadline budget used
+// when its context carries none; the effective deadline propagates to the
+// callee, across cluster links included.
+func WithDeadline(d time.Duration) CallOption { return core.WithDeadline(d) }
 
 // Event and EventKind form the RAML introspection stream.
 type (
@@ -82,6 +109,10 @@ type (
 	StateCapturer = container.StateCapturer
 	// Caller lets a component invoke its required services.
 	Caller = core.Caller
+	// ContextCaller is the context-aware Caller extension (deadline and
+	// cancellation on component outcalls); every injected Caller implements
+	// it, assert to use.
+	ContextCaller = core.ContextCaller
 	// CallerAware components receive their Caller at assembly.
 	CallerAware = core.CallerAware
 )

@@ -112,10 +112,11 @@ func runE14() {
 		log.Fatal(err)
 	}
 	defer sys.Stop()
-	if _, err := sys.Call("StoreA", "put", "k", "va"); err != nil {
+	ctx := context.Background()
+	if _, err := sys.Client("StoreA").Call(ctx, "put", "k", "va"); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := sys.Call("StoreB", "put", "k", "vb"); err != nil {
+	if _, err := sys.Client("StoreB").Call(ctx, "put", "k", "vb"); err != nil {
 		log.Fatal(err)
 	}
 
@@ -176,7 +177,7 @@ func runE14() {
 	fmt.Printf("chain A calls completed during reconfiguration churn: %d (no errors, no stalls)\n", len(churned))
 
 	// And chain B itself keeps its state across every swap.
-	res, err := sys.Call("FrontB", "fetch", "k")
+	res, err := sys.Client("FrontB").Call(ctx, "fetch", "k")
 	if err != nil || res[0] != "vb" {
 		log.Fatalf("chain B state after churn: %v %v", res, err)
 	}
@@ -189,6 +190,7 @@ func e14Drive(sys *aas.System, clients int, window time.Duration) []time.Duratio
 	var mu sync.Mutex
 	var all []time.Duration
 	var wg sync.WaitGroup
+	frontA := sys.Client("FrontA")
 	deadline := time.Now().Add(window)
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
@@ -197,7 +199,7 @@ func e14Drive(sys *aas.System, clients int, window time.Duration) []time.Duratio
 			var lats []time.Duration
 			for time.Now().Before(deadline) {
 				t0 := time.Now()
-				if _, err := sys.Call("FrontA", "fetch", "k"); err != nil {
+				if _, err := frontA.Call(context.Background(), "fetch", "k"); err != nil {
 					log.Fatal(err)
 				}
 				lats = append(lats, time.Since(t0))

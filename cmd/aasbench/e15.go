@@ -80,7 +80,7 @@ func runE15() {
 		log.Fatal(err)
 	}
 	defer sys.Stop()
-	if _, err := sys.Call("Store", "put", "k", "v"); err != nil {
+	if _, err := sys.Client("Store").Call(context.Background(), "put", "k", "v"); err != nil {
 		log.Fatal(err)
 	}
 
@@ -171,6 +171,7 @@ func e15Drive(sys *aas.System, clients int, window time.Duration, errs *atomic.U
 	var mu sync.Mutex
 	var all []time.Duration
 	var wg sync.WaitGroup
+	front := sys.Client("Front")
 	deadline := time.Now().Add(window)
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
@@ -179,7 +180,7 @@ func e15Drive(sys *aas.System, clients int, window time.Duration, errs *atomic.U
 			var lats []time.Duration
 			for time.Now().Before(deadline) {
 				t0 := time.Now()
-				if _, err := sys.Call("Front", "fetch", "k"); err != nil {
+				if _, err := front.Call(context.Background(), "fetch", "k"); err != nil {
 					errs.Add(1)
 					continue
 				}

@@ -159,7 +159,7 @@ func runE16() {
 	fmt.Printf("\nlive cross-node migrations while serving: %d (%.0f/sec)\n",
 		migrations.Load(), float64(migrations.Load())/window.Seconds())
 
-	out, err := sys1.Call("Store", "count")
+	out, err := sys1.Client("Store").Call(context.Background(), "count")
 	if err != nil {
 		log.Fatalf("E16: count: %v", err)
 	}
@@ -178,6 +178,7 @@ func e16Drive(sys *aas.System, clients int, window time.Duration, errs *atomic.U
 	var mu sync.Mutex
 	var all []time.Duration
 	var wg sync.WaitGroup
+	front := sys.Client("Front")
 	deadline := time.Now().Add(window)
 	for c := 0; c < clients; c++ {
 		c := c
@@ -188,7 +189,7 @@ func e16Drive(sys *aas.System, clients int, window time.Duration, errs *atomic.U
 			for i := 0; time.Now().Before(deadline); i++ {
 				token := fmt.Sprintf("c%d-%d", c, i)
 				t0 := time.Now()
-				out, err := sys.Call("Front", "fetch", token)
+				out, err := front.Call(context.Background(), "fetch", token)
 				if err != nil || len(out) != 1 || out[0] != token {
 					errs.Add(1)
 					continue

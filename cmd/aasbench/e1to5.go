@@ -24,10 +24,12 @@ func runE1() {
 	sys, reg := startKVSystem()
 	defer sys.Stop()
 
-	if _, err := sys.Call("Store", "put", "k", "v"); err != nil {
+	ctx := context.Background()
+	store, front := sys.Client("Store"), sys.Client("Front")
+	if _, err := store.Call(ctx, "put", "k", "v"); err != nil {
 		log.Fatal(err)
 	}
-	res, err := sys.Call("Front", "fetch", "k")
+	res, err := front.Call(ctx, "fetch", "k")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,7 +43,7 @@ func runE1() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err = sys.Call("Front", "fetch", "k")
+	res, err = front.Call(ctx, "fetch", "k")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -162,7 +164,7 @@ func measureCalls(calls int, rules *flo.Engine, nFilters int, viaConnector bool)
 func runE3() {
 	sys, reg := startKVSystem()
 	defer sys.Stop()
-	if _, err := sys.Call("Store", "put", "k", "v"); err != nil {
+	if _, err := sys.Client("Store").Call(context.Background(), "put", "k", "v"); err != nil {
 		log.Fatal(err)
 	}
 	conn, err := sys.Connector("Front", "get")
@@ -266,9 +268,10 @@ func runE5() {
 	fmt.Printf("%-12s %14s %14s\n", "state", "swap time", "state bytes")
 	for _, keys := range []int{16, 256, 4096, 65536} {
 		sys, reg := startKVSystem()
+		store := sys.Client("Store")
 		payload := strings.Repeat("x", 48)
 		for i := 0; i < keys; i++ {
-			if _, err := sys.Call("Store", "put", fmt.Sprintf("key-%08d", i), payload); err != nil {
+			if _, err := store.Call(context.Background(), "put", fmt.Sprintf("key-%08d", i), payload); err != nil {
 				log.Fatal(err)
 			}
 		}

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	aasbench           run all experiments
-//	aasbench -e E4     run one experiment (E1..E16)
+//	aasbench -e E4     run one experiment (E1..E17)
 package main
 
 import (
@@ -43,6 +43,7 @@ func main() {
 		{"E14", "region-scoped reconfiguration: disjoint traffic proceeds", runE14},
 		{"E15", "compiled-pipeline interchange under load: no errors, no torn chains", runE15},
 		{"E16", "distribution plane: cross-node calls under live migration churn", runE16},
+		{"E17", "client bindings: async fan-out + cancellation storm during migration churn", runE17},
 	}
 	sort.SliceStable(exps, func(i, j int) bool { return i < j })
 

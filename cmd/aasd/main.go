@@ -189,6 +189,10 @@ func drive(sys *aas.System, cfg *aas.Config, dur time.Duration, rps int) {
 	}
 
 	fmt.Printf("aasd: driving %s.%s at %d req/s for %v\n", target, op, rps, dur)
+	// One compiled binding handle for the whole run; each request is bounded
+	// by a per-call deadline that propagates to the serving node.
+	client := sys.Client(target).With(aas.WithDeadline(2 * time.Second))
+	ctx := context.Background()
 	stop := time.After(dur)
 	ticker := time.NewTicker(time.Second / time.Duration(rps))
 	defer ticker.Stop()
@@ -199,7 +203,7 @@ loop:
 		case <-stop:
 			break loop
 		case <-ticker.C:
-			if _, err := sys.Call(target, op, "x"); err != nil {
+			if _, err := client.Call(ctx, op, "x"); err != nil {
 				failed++
 			} else {
 				served++

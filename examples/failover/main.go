@@ -99,7 +99,12 @@ func main() {
 	}
 	defer sys.Stop()
 
-	res, err := sys.Call("Front", "read", "k")
+	// One compiled binding handle for the whole session: it stays valid
+	// across the Rebind below — the next call simply routes to the standby.
+	ctx := context.Background()
+	front := sys.Client("Front")
+
+	res, err := front.Call(ctx, "read", "k")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -109,14 +114,14 @@ func main() {
 	primary.Broken.Store(true)
 
 	// The next request fails once; the trigger reconfigures the binding.
-	if _, err := sys.Call("Front", "read", "k"); err != nil {
+	if _, err := front.Call(ctx, "read", "k"); err != nil {
 		fmt.Printf("during:    read(k) failed as expected: %v\n", err)
 	}
 	<-failedOver
 
 	ok, failed := 0, 0
 	for i := 0; i < 100; i++ {
-		res, err := sys.Call("Front", "read", "k")
+		res, err := front.Call(ctx, "read", "k")
 		if err != nil {
 			failed++
 			continue

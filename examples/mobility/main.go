@@ -65,6 +65,11 @@ func main() {
 
 	fmt.Printf("session initially on %s\n\n", sys.Placement()["Session"])
 
+	// One compiled binding handle for the whole commute: migrations repoint
+	// it transparently, and the per-call deadline budget bounds a frame
+	// fetch end-to-end.
+	session := sys.Client("Session").With(aas.WithDeadline(2 * time.Second))
+
 	// The user's phone measures round-trip latency from its current region.
 	measure := func(userRegion aas.Region) time.Duration {
 		node := string(userRegion) + "-1"
@@ -79,6 +84,9 @@ func main() {
 
 	commute := []aas.Region{"eu", "eu", "us", "us", "us", "eu"}
 	for leg, userRegion := range commute {
+		if _, err := session.Call(context.Background(), "frame", leg); err != nil {
+			log.Fatalf("frame fetch on leg %d: %v", leg, err)
+		}
 		rtt := measure(userRegion)
 		fmt.Printf("leg %d: user in %-2s  session on %-4s  rtt=%-6v",
 			leg, userRegion, sys.Placement()["Session"], rtt)

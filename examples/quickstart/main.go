@@ -112,9 +112,14 @@ func main() {
 		}
 	}()
 
+	// Compiled client-binding handles: resolved once, reused for every call,
+	// and kept valid across the hot swap below.
+	dict := sys.Client("Dictionary")
+	client := sys.Client("Client")
+
 	fmt.Println("== populate and query through the connector ==")
-	mustCall(sys, "Dictionary", "define", "aas", "auto-adaptive system")
-	res := mustCall(sys, "Client", "ask", "aas")
+	mustCall(dict, "define", "aas", "auto-adaptive system")
+	res := mustCall(client, "ask", "aas")
 	fmt.Printf("Client.ask(aas) = %q (impl %s)\n", res[0], res[1])
 
 	fmt.Println("== hot swap with strong state transfer (intercession) ==")
@@ -129,7 +134,7 @@ func main() {
 	fmt.Printf("swap done: blackout=%v heldMessages=%d stateBytes=%d\n",
 		rep.Blackout, rep.HeldMessages, rep.StateBytes)
 
-	res = mustCall(sys, "Client", "ask", "aas")
+	res = mustCall(client, "ask", "aas")
 	fmt.Printf("Client.ask(aas) = %q (impl %s) — state preserved, implementation changed\n",
 		res[0], res[1])
 
@@ -145,10 +150,10 @@ func main() {
 	<-done
 }
 
-func mustCall(sys *aas.System, comp, op string, args ...any) []any {
-	res, err := sys.Call(comp, op, args...)
+func mustCall(cl *aas.Client, op string, args ...any) []any {
+	res, err := cl.Call(context.Background(), op, args...)
 	if err != nil {
-		log.Fatalf("%s.%s: %v", comp, op, err)
+		log.Fatalf("%s.%s: %v", cl.Component(), op, err)
 	}
 	return res
 }

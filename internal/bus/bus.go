@@ -77,6 +77,16 @@ type Message struct {
 	Seq     uint64 // per (Src,Dst) FIFO sequence, assigned on Send
 	Corr    uint64 // request/reply correlation
 	SentAt  time.Time
+	// Deadline is the caller's end-to-end deadline in unix nanoseconds (0
+	// when none): stamped at the platform edge from the call context,
+	// forwarded unchanged by connectors, carried across peer links in the
+	// wire call frame, and checked by the serving component so a request
+	// whose caller has already given up is answered with an error instead
+	// of consuming capacity. Wall-clock (context) semantics, deliberately
+	// not the bus clock: deadlines come from contexts and cross process
+	// boundaries. 8 bytes rather than a time.Time keeps the Message within
+	// the allocation size class the serve path's goroutine spawn relied on.
+	Deadline int64
 }
 
 // Verdict is an interceptor's decision about a message.

@@ -413,6 +413,19 @@ func (n *Node) forward(comp string, m bus.Message) {
 		n.replyError(comp, m, fmt.Sprintf("cluster: no live peer hosts %s", comp))
 		return
 	}
+	// Deadline propagation: ship the remaining budget (relative, so peer
+	// clocks need not agree). A request that expired while queued at the
+	// gateway is answered here — crossing the wire to be rejected on the
+	// other side would waste a round trip on a caller that already left.
+	var deadlineNanos int64
+	if m.Deadline != 0 {
+		rem := time.Until(time.Unix(0, m.Deadline))
+		if rem <= 0 {
+			n.replyError(comp, m, fmt.Sprintf("cluster: %s.%s: deadline exceeded at gateway", comp, m.Op))
+			return
+		}
+		deadlineNanos = int64(rem)
+	}
 	payload, _ := m.Payload.(connector.CallPayload)
 	corr := p.corr.Add(1)
 	src, srcCorr, op := m.Src, m.Corr, m.Op
@@ -425,7 +438,7 @@ func (n *Node) forward(comp string, m bus.Message) {
 	})
 	err := p.send(func(e *wire.Encoder) error {
 		return e.EncodeCall(wire.Call{Corr: corr, Component: comp, Op: m.Op,
-			Principal: payload.Principal, Args: payload.Args})
+			Principal: payload.Principal, DeadlineNanos: deadlineNanos, Args: payload.Args})
 	})
 	if err != nil {
 		if cb, ok := p.takePending(corr); ok {

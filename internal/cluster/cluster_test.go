@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"sync"
@@ -400,6 +401,124 @@ func TestClusterThreeNodeAnnounce(t *testing.T) {
 			t.Fatalf("n1 still believes %q hosts Store", h.Node("n1").Owner("Store"))
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// slowComp sleeps per "work" call and counts container invocations; the
+// deadline-propagation test asserts expired requests never reach it.
+type slowComp struct {
+	delay  time.Duration
+	served *atomic.Int64
+}
+
+func (s *slowComp) Handle(op string, args []any) ([]any, error) {
+	if s.delay > 0 {
+		time.Sleep(s.delay)
+	}
+	s.served.Add(1)
+	return []any{"done"}, nil
+}
+
+const slowADL = `
+system SlowDist {
+  component Slow {
+    provide work(x) -> (r)
+  }
+}
+`
+
+// TestClusterDeadlinePropagation: a caller-side context deadline crosses
+// the wire in the call frame and is enforced by the remote callee — the
+// caller returns in deadline-order time (not the 10s fallback), the callee
+// releases its own waiter slot instead of holding it for the fallback, and
+// a request that expires while parked on the callee side is rejected before
+// it reaches the container.
+func TestClusterDeadlinePropagation(t *testing.T) {
+	served := new(atomic.Int64)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	h, err := StartHarness(ctx, Spec{
+		ADL:       slowADL,
+		Nodes:     []string{"n1", "n2"},
+		Placement: map[string]string{"Slow": "n2"},
+		Registry: func(string) *registry.Registry {
+			reg := &registry.Registry{}
+			if err := reg.Register(registry.Entry{Name: "Slow", Version: registry.Version{Major: 1},
+				New: func() any { return &slowComp{delay: 400 * time.Millisecond, served: served} }}); err != nil {
+				panic(err)
+			}
+			return reg
+		},
+		Cluster: fastCluster,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	sys1, sys2 := h.System("n1"), h.System("n2")
+	slow := sys1.Client("Slow")
+
+	// Warm the link (and prove the remote binding serves).
+	if _, err := slow.Call(context.Background(), "work", "warm"); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+
+	// 1. The caller aborts at its deadline, far below the fallback.
+	cctx, ccancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer ccancel()
+	t0 := time.Now()
+	_, err = slow.Call(cctx, "work", "expired")
+	elapsed := time.Since(t0)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancelled cross-node call took %v (fallback burn)", elapsed)
+	}
+
+	// 2. The callee observed the propagated deadline: its own local wait
+	// aborts at ~60ms and releases the waiter slot instead of pinning it
+	// for the 10s fallback while the handler sleeps on.
+	deadline := time.Now().Add(3 * time.Second)
+	for sys2.PendingCalls() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("callee still holds %d waiter slots for an abandoned call", sys2.PendingCalls())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// 3. A request that expires while parked on the callee (paused channel,
+	// as during a migration/reconfiguration) is rejected before the
+	// container runs: capacity is not consumed for a caller that left.
+	// (First let in-flight handlers finish: the "expired" call's handler is
+	// usually already mid-sleep when its caller leaves — that serve is
+	// expected. On a slow box the request may instead be rejected before
+	// service, which is also correct, so wait out the handler window rather
+	// than demanding a fixed count.)
+	handlerDrain := time.Now().Add(3 * time.Second)
+	for served.Load() < 2 && time.Now().Before(handlerDrain) {
+		time.Sleep(25 * time.Millisecond)
+	}
+	base := served.Load()
+	addr := core.ComponentAddress("Slow")
+	sys2.Bus().PauseRequests(addr)
+	pctx, pcancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer pcancel()
+	if _, err := slow.Call(pctx, "work", "parked"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("parked call err = %v", err)
+	}
+	time.Sleep(150 * time.Millisecond) // parked request is now long expired
+	if _, err := sys2.Bus().Resume(addr); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond)
+	if got := served.Load(); got != base {
+		t.Fatalf("expired parked request reached the container (%d extra serves)", got-base)
+	}
+	// Outstanding in-flight work (warmup + the first expired call's handler)
+	// drains; the caller side holds no slots either.
+	if n := sys1.PendingCalls(); n != 0 {
+		t.Fatalf("caller still holds %d waiter slots", n)
 	}
 }
 

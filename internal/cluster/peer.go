@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"io"
 	"net"
 	"sync"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/adl"
+	"repro/internal/core"
 	"repro/internal/wire"
 )
 
@@ -214,11 +216,25 @@ func (p *peer) readLoop() {
 }
 
 // serveCall executes one remote invocation against the local system and
-// replies. The call enters through System.CallAs, so the callee-side
-// container services (auth with the shipped principal, audit, transactions),
-// woven aspects and meta-objects all apply exactly as for a local call.
+// replies. The call enters through the compiled client-binding handle, so
+// the callee-side container services (auth with the shipped principal,
+// audit, transactions), woven aspects and meta-objects all apply exactly as
+// for a local call — and the caller's shipped deadline budget is enforced
+// here: when it runs out, the local wait aborts (releasing its waiter slot)
+// and the serving component rejects the request if it is still queued, so
+// an abandoned cross-node call stops consuming callee capacity.
 func (p *peer) serveCall(c wire.Call) {
-	results, err := p.n.sys.CallAs(c.Principal, c.Component, c.Op, c.Args...)
+	ctx := p.n.ctx
+	if c.DeadlineNanos > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(c.DeadlineNanos))
+		defer cancel()
+	}
+	cl := p.n.sys.Client(c.Component)
+	if c.Principal != "" {
+		cl = cl.With(core.WithPrincipal(c.Principal))
+	}
+	results, err := cl.Call(ctx, c.Op, c.Args...)
 	rep := wire.Reply{Corr: c.Corr, Results: results}
 	if err != nil {
 		rep.Err = err.Error()

@@ -1,0 +1,474 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"maps"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bus"
+	"repro/internal/connector"
+)
+
+// This file is the first-class invocation surface of the platform edge: a
+// compiled client-binding handle replacing the per-call resolution of the
+// deprecated System.Call/CallAs. A Client is obtained once per component
+// (System.Client), carries everything a call needs — destination address,
+// presence, principal, deadline budget — and exposes a context-aware call
+// family: Call (synchronous), Async (a *Future), Oneway (fire-and-forget).
+// Deadlines and cancellation thread end-to-end: the context's deadline is
+// stamped into bus.Message metadata, carried across peer links in the wire
+// call frame, and enforced on the remote callee, so an aborted cross-node
+// call stops consuming callee capacity instead of burning its full fallback
+// timeout.
+
+// clientBinding is the compiled, shared half of a Client handle: the
+// resolution work System.Call used to redo on every invocation (component
+// lookup across the local and remote views) done once and republished by the
+// same copy-on-write machinery that maintains those views. The destination
+// address never changes — location transparency keeps a component's canonical
+// bus address stable across hot swaps, rebinds and live migrations — so the
+// only mutable bit is presence.
+type clientBinding struct {
+	sys  *System
+	name string
+	dst  bus.Address
+	// present is republished under s.mu whenever the component or remote
+	// view changes (assembly, reconfiguration, migration, adoption,
+	// eviction). The call path reads it with one atomic load: zero
+	// re-resolution per call.
+	present atomic.Bool
+}
+
+// Client is a first-class binding handle to one named component. Handles are
+// cheap, safe for concurrent use, and survive every intercession operation:
+// a SwapImplementation, Rebind, Reconfigure or live cross-node migration
+// republishes the handle's compiled state, and the next call routes to the
+// new target. Obtain the canonical handle with System.Client and derive
+// per-principal or per-budget variants with With.
+type Client struct {
+	b         *clientBinding
+	principal string
+	// budget is the fallback deadline applied when the call context carries
+	// none; zero defers to Options.CallTimeout. Unlike the system fallback it
+	// is propagated to the callee (it is an explicit contract of the handle).
+	budget time.Duration
+}
+
+// CallOption configures a derived Client handle (see Client.With).
+type CallOption func(*Client)
+
+// WithPrincipal returns an option stamping every call of the derived handle
+// with the given security principal — the replacement for the deprecated
+// System.CallAs. The principal travels end-to-end, including across peer
+// links, so callee-side container authorization keeps working when the call
+// entered the system on another cluster node.
+func WithPrincipal(principal string) CallOption {
+	return func(c *Client) { c.principal = principal }
+}
+
+// WithDeadline returns an option giving every call of the derived handle a
+// deadline of d from its start when the call context carries none. The
+// effective deadline (from the context or from d) is propagated with the
+// request and enforced on the callee.
+func WithDeadline(d time.Duration) CallOption {
+	return func(c *Client) { c.budget = d }
+}
+
+// With derives a handle sharing this handle's compiled binding with the
+// given options applied. Deriving is allocation-cheap but not free; derive
+// once and reuse when the options are stable.
+func (c *Client) With(opts ...CallOption) *Client {
+	d := &Client{b: c.b, principal: c.principal, budget: c.budget}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+// Component returns the name of the component this handle is bound to.
+func (c *Client) Component() string { return c.b.name }
+
+// Client returns the canonical binding handle for a named component,
+// compiling it on first use. The handle is cached: every later Client call
+// for the same name returns the same handle via one atomic map load.
+//
+// A handle may be obtained before its component exists (calls fail with
+// ErrUnknownComp until a reconfiguration introduces it) and outlives
+// removal the same way — handles are bound to the name, not the instance.
+// Only handles for currently-resolvable components are cached, though:
+// unknown names get an uncached handle that re-resolves per call, so
+// probing arbitrary names (a misbehaving peer, per-request dynamic names
+// through the deprecated shims) cannot grow the handle table or tax the
+// refresh that runs inside reconfiguration critical sections.
+func (s *System) Client(component string) *Client {
+	if cl := (*s.clients.Load())[component]; cl != nil {
+		return cl
+	}
+	return s.compileClient(component)
+}
+
+// compileClient is the slow path of Client: materialize and publish the
+// canonical handle under s.mu (or hand out an uncached one for a name that
+// does not resolve).
+func (s *System) compileClient(component string) *Client {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cl := (*s.clients.Load())[component]; cl != nil {
+		return cl
+	}
+	cl := &Client{b: &clientBinding{sys: s, name: component, dst: ComponentAddress(component)}}
+	if !s.resolvableLocked(component) {
+		// Unresolvable now: present stays false and the call path falls
+		// back to resolveNow against the live views, so this handle turns
+		// valid the moment a reconfiguration introduces the component —
+		// without ever occupying a slot in the refreshed table.
+		return cl
+	}
+	cl.b.present.Store(true)
+	next := maps.Clone(*s.clients.Load())
+	next[component] = cl
+	s.clients.Store(&next)
+	return cl
+}
+
+// resolveNow is the uncached-handle fallback: one lookup per view. For
+// cached handles it is only consulted when present is false, where it
+// agrees with the refresh invariant by construction.
+func (b *clientBinding) resolveNow() bool {
+	if _, ok := (*b.sys.compView.Load())[b.name]; ok {
+		return true
+	}
+	_, ok := (*b.sys.remoteView.Load())[b.name]
+	return ok
+}
+
+// resolvableLocked reports whether a component is reachable, locally or
+// through a peer gateway; callers hold s.mu (or own the system exclusively).
+func (s *System) resolvableLocked(component string) bool {
+	if _, ok := s.comps[component]; ok {
+		return true
+	}
+	_, ok := (*s.remoteView.Load())[component]
+	return ok
+}
+
+// refreshClientsLocked republishes the presence bit of every compiled
+// binding; called wherever the component or remote view changes, under the
+// same critical section, so a handle is never stale relative to the views.
+func (s *System) refreshClientsLocked() {
+	for _, cl := range *s.clients.Load() {
+		cl.b.present.Store(s.resolvableLocked(cl.b.name))
+	}
+}
+
+// PendingCalls reports how many platform-edge calls are awaiting replies —
+// the size of the correlation-sharded reply-waiter table. A cancelled or
+// timed-out call releases its slot immediately, so under a cancellation
+// storm this returns to zero as soon as the storm ends; a leak here is a
+// bug (see the regression test in client_test.go).
+func (s *System) PendingCalls() int {
+	return s.clientWaiters.outstanding()
+}
+
+// Call invokes op synchronously and returns the callee's results. The
+// context governs the call end-to-end: its deadline is stamped into the
+// request, carried across peer links, and enforced on the callee;
+// cancellation returns immediately and releases the reply-waiter slot. A
+// context without a deadline falls back to the handle's WithDeadline budget,
+// then to Options.CallTimeout.
+func (c *Client) Call(ctx context.Context, op string, args ...any) ([]any, error) {
+	b := c.b
+	s := b.sys
+	w, corr, err := c.send(ctx, op, args)
+	if err != nil {
+		return nil, err
+	}
+	// When the context carries a deadline it covers the wait entirely;
+	// otherwise arm a stoppable fallback timer (never time.After — high-QPS
+	// callers must not leak a pending timer per request until it fires).
+	var timerC <-chan time.Time
+	if _, ok := ctx.Deadline(); !ok {
+		timer := time.NewTimer(c.fallback())
+		defer timer.Stop()
+		timerC = timer.C
+	}
+	select {
+	case payload := <-w:
+		if payload.Err != "" {
+			return nil, replyError(payload.Err)
+		}
+		return payload.Results, nil
+	case <-ctx.Done():
+		s.clientWaiters.take(corr)
+		return nil, fmt.Errorf("core: call %s.%s: %w", b.name, op, ctx.Err())
+	case <-timerC:
+		s.clientWaiters.take(corr)
+		return nil, c.timeoutError(op)
+	}
+}
+
+// timeoutError is the caller-side timer error. A WithDeadline budget is an
+// explicit deadline contract (it was stamped into the request), so its
+// expiry carries context.DeadlineExceeded identity exactly like a context
+// deadline — whichever side notices first, errors.Is agrees. The plain
+// system fallback is a local liveness bound, not a deadline the callee
+// ever saw, and stays a plain error.
+func (c *Client) timeoutError(op string) error {
+	if c.budget > 0 {
+		return fmt.Errorf("core: call %s.%s: %w", c.b.name, op, context.DeadlineExceeded)
+	}
+	return fmt.Errorf("core: call %s.%s timed out", c.b.name, op)
+}
+
+// Async invokes op without waiting: the returned Future resolves on Wait.
+// The reply-waiter slot is bounded even if Wait is never called — the
+// effective deadline (context, budget or fallback) releases it — and
+// context cancellation releases it immediately, awaited or not.
+func (c *Client) Async(ctx context.Context, op string, args ...any) *Future {
+	f := &Future{component: c.b.name, op: op, done: make(chan struct{})}
+	w, corr, err := c.send(ctx, op, args)
+	if err != nil {
+		f.settle(nil, err)
+		return f
+	}
+	s := c.b.sys
+	f.w = w
+	f.take = func() bool { _, ok := s.clientWaiters.take(corr); return ok }
+	// Bound the slot: whoever owns the take wins — the reply pump (normal
+	// completion), the fallback timer (timeout), or the context hook
+	// (cancellation and deadline). Mirroring Call, the timer is armed only
+	// when the context carries no deadline, so deadline expiry always
+	// resolves through the hook and keeps context.DeadlineExceeded
+	// identity.
+	// Either callback that loses the take race still runs cleanup: the
+	// reply arrived (pump owns the slot) but nobody Waited, and without the
+	// cleanup an un-awaited future would pin its context.AfterFunc
+	// registration — and through it the future — for the context's whole
+	// lifetime.
+	var timer *time.Timer
+	if _, hasDeadline := ctx.Deadline(); !hasDeadline {
+		timer = time.AfterFunc(c.fallback(), func() {
+			if f.take() {
+				f.settle(nil, c.timeoutError(f.op))
+			} else {
+				f.cleanup()
+			}
+		})
+	}
+	var hook func() bool
+	if ctx.Done() != nil {
+		hook = context.AfterFunc(ctx, func() {
+			if f.take() {
+				f.settle(nil, fmt.Errorf("core: call %s.%s: %w", f.component, f.op, ctx.Err()))
+			} else {
+				f.cleanup()
+			}
+		})
+	}
+	f.arm(timer, hook)
+	return f
+}
+
+// Oneway sends op without expecting a result: no reply-waiter slot is
+// registered, and the eventual reply is discarded at the platform edge. The
+// context's deadline still propagates, so a queued one-way request expires
+// instead of being served pointlessly. The returned error covers local
+// admission only (unknown component, stopped system, done context, full
+// mailbox).
+func (c *Client) Oneway(ctx context.Context, op string, args ...any) error {
+	ep, corr, err := c.admit(ctx, op)
+	if err != nil {
+		return err
+	}
+	return c.b.sys.bus.Send(c.request(ctx, ep, corr, op, args))
+}
+
+// admit is the shared admission prologue of every call shape: liveness,
+// compiled-binding presence (with the uncached fallback), endpoint shard
+// pick and the done-context check. Kept in one place so the call shapes
+// cannot drift.
+func (c *Client) admit(ctx context.Context, op string) (*bus.Endpoint, uint64, error) {
+	b := c.b
+	s := b.sys
+	if !s.live.Load() {
+		return nil, 0, ErrNotRunning
+	}
+	if !b.present.Load() && !b.resolveNow() {
+		return nil, 0, fmt.Errorf("%w: %s", ErrUnknownComp, b.name)
+	}
+	epsp := s.clientEPs.Load()
+	if epsp == nil {
+		return nil, 0, ErrNotRunning
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, 0, fmt.Errorf("core: call %s.%s: %w", b.name, op, err)
+	}
+	corr := s.clientCorr.Add(1)
+	return (*epsp)[corr&(clientEndpoints-1)], corr, nil
+}
+
+// request assembles the admitted request message, deadline stamped.
+func (c *Client) request(ctx context.Context, ep *bus.Endpoint, corr uint64, op string, args []any) bus.Message {
+	return bus.Message{
+		Kind: bus.Request, Op: op,
+		Payload:  connector.CallPayload{Principal: c.principal, Args: args},
+		Src:      ep.Addr(), Dst: c.b.dst, Corr: corr,
+		Deadline: c.effectiveDeadline(ctx),
+	}
+}
+
+// send admits the call, registers the reply waiter and puts the request on
+// the bus. On error the waiter slot is already released.
+func (c *Client) send(ctx context.Context, op string, args []any) (chan connector.ReplyPayload, uint64, error) {
+	ep, corr, err := c.admit(ctx, op)
+	if err != nil {
+		return nil, 0, err
+	}
+	s := c.b.sys
+	w := make(chan connector.ReplyPayload, 1)
+	s.clientWaiters.add(corr, w)
+	if err := s.bus.Send(c.request(ctx, ep, corr, op, args)); err != nil {
+		s.clientWaiters.take(corr)
+		return nil, 0, err
+	}
+	return w, corr, nil
+}
+
+// effectiveDeadline is the deadline stamped into the request (unix nanos, 0
+// when none): the context's when present, else now+budget when the handle
+// carries one, else zero (the system fallback bounds the caller's wait but
+// is not an explicit contract, so it is not imposed on the callee).
+func (c *Client) effectiveDeadline(ctx context.Context) int64 {
+	if d, ok := ctx.Deadline(); ok {
+		return d.UnixNano()
+	}
+	if c.budget > 0 {
+		return time.Now().Add(c.budget).UnixNano()
+	}
+	return 0
+}
+
+// fallback is the wait bound applied when the context has no deadline.
+func (c *Client) fallback() time.Duration {
+	if c.budget > 0 {
+		return c.budget
+	}
+	return c.b.sys.callTimeout
+}
+
+// replyError converts a reply payload's error string into the caller-facing
+// error, restoring deadline identity lost at the wire/payload string
+// boundary: when the callee aborted on the propagated deadline (locally or
+// on another cluster node), the error satisfies
+// errors.Is(err, context.DeadlineExceeded) exactly as if the deadline had
+// tripped on the caller's side. Every reply-producing deadline path phrases
+// its error with "deadline exceeded" (the context package's own wording),
+// which is the convention this relies on.
+func replyError(msg string) error {
+	// Scoped to platform-generated errors (every deadline path in core and
+	// cluster prefixes its package) so an application error that merely
+	// mentions a deadline — a wrapped net/http client timeout, say — does
+	// not acquire a deadline identity the caller's own clock never earned.
+	if (strings.HasPrefix(msg, "core: ") || strings.HasPrefix(msg, "cluster: ")) &&
+		strings.Contains(msg, "deadline exceeded") {
+		return &remoteDeadlineError{msg: msg}
+	}
+	return errors.New(msg)
+}
+
+// remoteDeadlineError is a reply error carrying deadline identity.
+type remoteDeadlineError struct{ msg string }
+
+func (e *remoteDeadlineError) Error() string { return e.msg }
+
+func (e *remoteDeadlineError) Is(target error) bool { return target == context.DeadlineExceeded }
+
+// Future is one in-flight asynchronous call. A Future resolves exactly once
+// — to the reply, a timeout, or the context's cancellation error — and every
+// Wait after resolution returns the same outcome. Futures are safe for
+// concurrent Wait.
+type Future struct {
+	component, op string
+	w             chan connector.ReplyPayload
+	take          func() bool
+
+	// cleanupMu guards the timer/hook handoff: Async arms them after the
+	// send, but the very callbacks they run (or the reply pump via Wait)
+	// can settle the future first — a near-expired deadline makes that
+	// race real, not theoretical. settle and arm therefore exchange the
+	// pair under the lock with a nil-swap, each prepared to run second.
+	cleanupMu sync.Mutex
+	timer     *time.Timer
+	stopHook  func() bool
+
+	settleOnce sync.Once
+	done       chan struct{}
+	results    []any
+	err        error
+}
+
+// settle resolves the future exactly once. done closes before cleanup so a
+// concurrent arm that misses the swap still observes the resolution and
+// cleans up itself.
+func (f *Future) settle(results []any, err error) {
+	f.settleOnce.Do(func() {
+		f.results, f.err = results, err
+		close(f.done)
+		f.cleanup()
+	})
+}
+
+// arm installs the bounding timer and context hook. If the future settled
+// before (or while) they were installed, they are released immediately.
+func (f *Future) arm(timer *time.Timer, hook func() bool) {
+	f.cleanupMu.Lock()
+	f.timer, f.stopHook = timer, hook
+	f.cleanupMu.Unlock()
+	select {
+	case <-f.done:
+		f.cleanup()
+	default:
+	}
+}
+
+// cleanup releases the timer and context hook at most once (nil-swap under
+// the lock makes it idempotent and race-free against arm).
+func (f *Future) cleanup() {
+	f.cleanupMu.Lock()
+	timer, hook := f.timer, f.stopHook
+	f.timer, f.stopHook = nil, nil
+	f.cleanupMu.Unlock()
+	if timer != nil {
+		timer.Stop()
+	}
+	if hook != nil {
+		hook()
+	}
+}
+
+// Wait blocks until the call resolves and returns its outcome. The deadline
+// and cancellation paths release the reply-waiter slot immediately; a reply
+// that raced a cancellation and arrived first is still returned.
+func (f *Future) Wait() ([]any, error) {
+	select {
+	case <-f.done:
+	case payload := <-f.w:
+		if payload.Err != "" {
+			f.settle(nil, replyError(payload.Err))
+		} else {
+			f.settle(payload.Results, nil)
+		}
+	}
+	<-f.done
+	return f.results, f.err
+}
+
+// Done returns a channel closed when the future has resolved through Wait,
+// a timeout or a cancellation. A reply that arrives while nobody waits does
+// not close it — call Wait to collect.
+func (f *Future) Done() <-chan struct{} { return f.done }

@@ -27,6 +27,20 @@ type Caller interface {
 	Call(service string, args ...any) ([]any, error)
 }
 
+// ContextCaller is the context-aware extension of Caller: outcalls made
+// through it honour the context's deadline and cancellation, and the
+// deadline propagates with the request exactly as at the platform edge. The
+// Caller every CallerAware component receives implements it; assert to use:
+//
+//	if cc, ok := caller.(core.ContextCaller); ok {
+//		res, err = cc.CallContext(ctx, "get", key)
+//	}
+type ContextCaller interface {
+	Caller
+	// CallContext invokes the named required service under ctx.
+	CallContext(ctx context.Context, service string, args ...any) ([]any, error)
+}
+
 // CallerAware components receive their Caller during assembly (dependency
 // injection of the "use output" side).
 type CallerAware interface {
@@ -81,7 +95,7 @@ type runtimeComponent struct {
 	cancel context.CancelFunc
 }
 
-var _ Caller = (*runtimeComponent)(nil)
+var _ ContextCaller = (*runtimeComponent)(nil)
 
 func newRuntimeComponent(sys *System, decl adl.ComponentDecl, cont *container.Container, node netsim.NodeID) (*runtimeComponent, error) {
 	ep, err := sys.bus.Attach(ComponentAddress(decl.Name), sys.mailbox)
@@ -182,6 +196,25 @@ func (rc *runtimeComponent) stop() {
 // atomic snapshots, so a concurrent interchange never tears a chain under
 // an in-flight request.
 func (rc *runtimeComponent) serve(m bus.Message) {
+	// A request whose caller's deadline already passed is answered with an
+	// error instead of being served: the caller has returned and released
+	// its waiter slot, so invoking the container would burn capacity on a
+	// reply nobody reads. (The reply itself is still required — a mediating
+	// connector correlates it to clean up its pending entry.) This check is
+	// what makes a deadline propagated from another cluster node effective
+	// on the callee. Deadlines carry wall-clock context semantics, hence
+	// time.Now rather than the (possibly simulated) system clock.
+	if m.Deadline != 0 && time.Now().UnixNano() > m.Deadline {
+		rc.sys.events.Emit(Event{Kind: EvRequestFailed, At: rc.sys.clk.Now(),
+			Component: rc.name, Detail: m.Op + ": deadline exceeded before service"})
+		_ = rc.sys.bus.Send(bus.Message{
+			Kind: bus.Reply, Op: m.Op,
+			Payload: connector.ReplyPayload{Err: fmt.Sprintf("core: %s.%s: deadline exceeded before service", rc.name, m.Op)},
+			Src:     rc.ep.Addr(), Dst: m.Src, Corr: m.Corr,
+		})
+		return
+	}
+
 	started := rc.sys.clk.Now()
 	var (
 		res any
@@ -252,10 +285,18 @@ func (rc *runtimeComponent) invokeThroughMeta(m bus.Message) (any, error) {
 }
 
 // Call implements Caller: route the outcall through the bound connector and
-// wait for the correlated reply. Like System.Call, the steady-state path is
-// mutex-free: the route table is an atomic snapshot and the reply waiter
-// table is sharded by correlation id.
+// wait for the correlated reply. Like the platform-edge Client, the
+// steady-state path is mutex-free: the route table is an atomic snapshot and
+// the reply waiter table is sharded by correlation id.
 func (rc *runtimeComponent) Call(service string, args ...any) ([]any, error) {
+	return rc.CallContext(context.Background(), service, args...)
+}
+
+// CallContext implements ContextCaller: Call governed by a context whose
+// deadline is stamped into the outgoing request (propagating down the call
+// chain, across peer links included) and whose cancellation releases the
+// reply-waiter slot immediately.
+func (rc *runtimeComponent) CallContext(ctx context.Context, service string, args ...any) ([]any, error) {
 	dst, ok := (*rc.routes.Load())[service]
 	if !ok {
 		return nil, fmt.Errorf("core: component %s: required service %q is unbound", rc.name, service)
@@ -264,26 +305,38 @@ func (rc *runtimeComponent) Call(service string, args ...any) ([]any, error) {
 	w := make(chan connector.ReplyPayload, 1)
 	rc.waiters.add(corr, w)
 
-	err := rc.sys.bus.Send(bus.Message{
+	m := bus.Message{
 		Kind: bus.Request, Op: service,
 		Payload: connector.CallPayload{Args: args},
 		Src:     rc.ep.Addr(), Dst: dst, Corr: corr,
-	})
-	if err != nil {
+	}
+	deadline, hasDeadline := ctx.Deadline()
+	if hasDeadline {
+		m.Deadline = deadline.UnixNano()
+	}
+	if err := rc.sys.bus.Send(m); err != nil {
 		rc.waiters.take(corr)
 		return nil, err
 	}
-	// Stoppable timer: component outcalls are the inner hot path of every
-	// fan-out, so a leaked timer per call would pile up under load.
-	timer := time.NewTimer(rc.sys.callTimeout)
-	defer timer.Stop()
+	// Stoppable timer (component outcalls are the inner hot path of every
+	// fan-out, so a leaked timer per call would pile up under load), armed
+	// only when the context does not already bound the wait.
+	var timerC <-chan time.Time
+	if !hasDeadline {
+		timer := time.NewTimer(rc.sys.callTimeout)
+		defer timer.Stop()
+		timerC = timer.C
+	}
 	select {
 	case payload := <-w:
 		if payload.Err != "" {
-			return nil, errors.New(payload.Err)
+			return nil, replyError(payload.Err)
 		}
 		return payload.Results, nil
-	case <-timer.C:
+	case <-ctx.Done():
+		rc.waiters.take(corr)
+		return nil, fmt.Errorf("core: call %s.%s: %w", rc.name, service, ctx.Err())
+	case <-timerC:
 		rc.waiters.take(corr)
 		return nil, fmt.Errorf("core: call %s.%s timed out", rc.name, service)
 	}

@@ -43,6 +43,7 @@ func (s *System) setRemoteLocked(name string) {
 	next := maps.Clone(*s.remoteView.Load())
 	next[name] = ComponentAddress(name)
 	s.remoteView.Store(&next)
+	s.refreshClientsLocked()
 }
 
 // dropRemoteLocked forgets a remote component; callers hold s.mu.
@@ -50,6 +51,7 @@ func (s *System) dropRemoteLocked(name string) {
 	next := maps.Clone(*s.remoteView.Load())
 	delete(next, name)
 	s.remoteView.Store(&next)
+	s.refreshClientsLocked()
 }
 
 // RegisterRemote marks a component as hosted on a peer node so that Call

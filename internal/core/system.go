@@ -111,6 +111,12 @@ type System struct {
 	clientWaiters replyWaiters
 	clientWG      sync.WaitGroup
 	clientStop    context.CancelFunc
+
+	// clients is the compiled client-binding table (see client.go): one
+	// canonical *Client per component name, created on first System.Client
+	// and kept resolved by the same copy-on-write republishing that
+	// maintains compView/remoteView. Written under s.mu, read atomically.
+	clients atomic.Pointer[map[string]*Client]
 }
 
 // clientEndpoints is the size of the sharded platform edge: external calls
@@ -185,6 +191,8 @@ func NewSystem(cfg *adl.Config, opts Options) (*System, error) {
 
 	emptyRemote := map[string]bus.Address{}
 	s.remoteView.Store(&emptyRemote)
+	emptyClients := map[string]*Client{}
+	s.clients.Store(&emptyClients)
 
 	// Instantiate components. Components placed on a peer node stay
 	// uninstantiated: their address is recorded as remote and the cluster
@@ -219,6 +227,7 @@ func NewSystem(cfg *adl.Config, opts Options) (*System, error) {
 func (s *System) publishCompsLocked() {
 	view := maps.Clone(s.comps)
 	s.compView.Store(&view)
+	s.refreshClientsLocked()
 }
 
 // edgesFromBindings derives communication edges for the placement
@@ -427,65 +436,27 @@ func (s *System) Stop() {
 	}
 }
 
-// Call invokes op on a named component from outside the system (a user
-// request entering through the platform edge). The steady-state path takes
-// no global mutex: liveness, the component table and the client endpoint
-// are atomic snapshots, the correlation id is an atomic counter, and the
-// reply waiter table is sharded by correlation id.
+// Call invokes op on a named component from outside the system.
+//
+// Deprecated: obtain a compiled binding handle with Client and use
+// Client.Call with a context — it skips per-call name resolution and
+// supports cancellation, deadlines and async invocation. This shim is kept
+// for source compatibility and simply routes through the handle.
 func (s *System) Call(component, op string, args ...any) ([]any, error) {
-	return s.CallAs("", component, op, args...)
+	return s.Client(component).Call(context.Background(), op, args...)
 }
 
-// CallAs is Call with an explicit principal, preserved end-to-end so that
-// container-level authorization keeps working when the call entered the
-// system on another cluster node.
+// CallAs is Call with an explicit principal.
+//
+// Deprecated: use Client(component).With(WithPrincipal(principal)).Call —
+// the derived handle carries the principal end-to-end, including across
+// cluster links.
 func (s *System) CallAs(principal, component, op string, args ...any) ([]any, error) {
-	if !s.live.Load() {
-		return nil, ErrNotRunning
+	cl := s.Client(component)
+	if principal != "" {
+		cl = cl.With(WithPrincipal(principal))
 	}
-	var dst bus.Address
-	if rc, ok := (*s.compView.Load())[component]; ok {
-		dst = rc.ep.Addr()
-	} else if addr, ok := (*s.remoteView.Load())[component]; ok {
-		// Hosted on a peer node: the address is the same, the gateway
-		// endpoint behind it forwards over the peer link. Location
-		// transparency means this branch is the only difference.
-		dst = addr
-	} else {
-		return nil, fmt.Errorf("%w: %s", ErrUnknownComp, component)
-	}
-	epsp := s.clientEPs.Load()
-	if epsp == nil {
-		return nil, ErrNotRunning
-	}
-	corr := s.clientCorr.Add(1)
-	client := (*epsp)[corr&(clientEndpoints-1)]
-	w := make(chan connector.ReplyPayload, 1)
-	s.clientWaiters.add(corr, w)
-
-	err := s.bus.Send(bus.Message{
-		Kind: bus.Request, Op: op,
-		Payload: connector.CallPayload{Principal: principal, Args: args},
-		Src:     client.Addr(), Dst: dst, Corr: corr,
-	})
-	if err != nil {
-		s.clientWaiters.take(corr)
-		return nil, err
-	}
-	// A stoppable timer, not time.After: high-QPS callers must not leak a
-	// pending timer per request until it fires.
-	timer := time.NewTimer(s.callTimeout)
-	defer timer.Stop()
-	select {
-	case payload := <-w:
-		if payload.Err != "" {
-			return nil, errors.New(payload.Err)
-		}
-		return payload.Results, nil
-	case <-timer.C:
-		s.clientWaiters.take(corr)
-		return nil, fmt.Errorf("core: call %s.%s timed out", component, op)
-	}
+	return cl.Call(context.Background(), op, args...)
 }
 
 // Name returns the architecture name of the running system.

@@ -38,6 +38,21 @@ func (w *replyWaiters) add(corr uint64, ch chan connector.ReplyPayload) {
 	s.mu.Unlock()
 }
 
+// outstanding counts registered waiters across all shards — the number of
+// in-flight calls still awaiting replies. Diagnostic only (PendingCalls and
+// the cancellation-storm leak regression); the shards are locked one at a
+// time, so the count is a consistent-per-shard snapshot, exact when idle.
+func (w *replyWaiters) outstanding() int {
+	n := 0
+	for i := range w.shards {
+		s := &w.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
 // take removes and returns the reply channel for corr, if present.
 func (w *replyWaiters) take(corr uint64) (chan connector.ReplyPayload, bool) {
 	s := w.shard(corr)

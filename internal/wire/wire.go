@@ -34,9 +34,13 @@ import (
 
 // Protocol constants.
 const (
-	magic0  = 0xA5
-	magic1  = 0x57
-	Version = 1
+	magic0 = 0xA5
+	magic1 = 0x57
+	// Version 2 extended the call frame with the caller's remaining deadline
+	// budget (see Call.DeadlineNanos); decoders reject other versions, so a
+	// mixed-version cluster fails fast at the handshake instead of silently
+	// dropping deadlines.
+	Version = 2
 
 	headerSize = 8
 	// MaxFrame bounds a single frame body (migration states included).
@@ -337,7 +341,14 @@ type Call struct {
 	Component string
 	Op        string
 	Principal string
-	Args      []any
+	// DeadlineNanos is the caller's remaining deadline budget at encode
+	// time, in nanoseconds (0 = no deadline). A relative duration rather
+	// than an absolute timestamp: peer clocks are not assumed synchronized,
+	// and the receiver reconstructs its local deadline as now+budget. The
+	// one-way link latency is therefore granted to the callee for free —
+	// acceptable slack at heartbeat-scale RTTs.
+	DeadlineNanos int64
+	Args          []any
 }
 
 // Reply answers a Call; Err is non-empty on failure.
@@ -425,6 +436,7 @@ func AppendCall(dst []byte, c Call) ([]byte, error) {
 	dst = AppendString(dst, c.Component)
 	dst = AppendString(dst, c.Op)
 	dst = AppendString(dst, c.Principal)
+	dst = binary.AppendVarint(dst, c.DeadlineNanos)
 	return AppendValues(dst, c.Args)
 }
 
@@ -449,6 +461,12 @@ func ParseCall(b []byte) (Call, error) {
 	if c.Principal, b, err = ReadString(b); err != nil {
 		return c, err
 	}
+	dl, n := binary.Varint(b)
+	if n <= 0 {
+		return c, ErrTruncated
+	}
+	c.DeadlineNanos = dl
+	b = b[n:]
 	c.Args, _, err = ReadValues(b)
 	return c, err
 }

@@ -71,7 +71,8 @@ func TestFrameRoundTrip(t *testing.T) {
 	dec := NewDecoder(&conn)
 
 	hello := Hello{Node: "n1", System: "Cluster", Components: []string{"Store", "Front"}}
-	call := Call{Corr: 7, Component: "Store", Op: "get", Principal: "alice", Args: []any{"k", 2}}
+	call := Call{Corr: 7, Component: "Store", Op: "get", Principal: "alice",
+		DeadlineNanos: int64(1500 * time.Millisecond), Args: []any{"k", 2}}
 	reply := Reply{Corr: 7, Results: []any{"v"}}
 	mig := Migrate{Corr: 3, Component: "Store", Implements: "KV",
 		Properties: map[string]string{"statefulness": "stateful", "cpu": "2"},
