@@ -67,6 +67,46 @@ type (
 	CallOption = core.CallOption
 )
 
+// Typed invocation surface (DESIGN.md §8): ClientOf compiles a
+// reflection-free codec for concrete request/response types once at handle
+// creation; calls through the typed handle skip []any boxing entirely and
+// run near-zero-alloc while every filter and aspect still applies.
+type (
+	// TypedClient is a generics-typed binding handle (core.ClientOf).
+	TypedClient[Req, Resp any] = core.TypedClient[Req, Resp]
+	// TypedFuture is one in-flight asynchronous typed call.
+	TypedFuture[Req, Resp any] = core.TypedFuture[Req, Resp]
+	// TypedCodec is a pluggable request/response codec for ClientOfCodec.
+	TypedCodec[Req, Resp any] = core.Codec[Req, Resp]
+	// TypedRequest lets a request type supply its own wire encoding.
+	TypedRequest = core.TypedRequest
+	// TypedResponse lets a response type decode itself from reply results.
+	TypedResponse = core.TypedResponse
+	// TypedComponent serves typed calls in place, without boxing.
+	TypedComponent = container.TypedComponent
+)
+
+// ClientOf compiles a typed handle to component with a derived codec. It
+// panics when Req or Resp is not a supported scalar, struct{}, or a
+// TypedRequest/TypedResponse implementor — use ClientOfCodec then.
+func ClientOf[Req, Resp any](s *System, component string) *TypedClient[Req, Resp] {
+	return core.ClientOf[Req, Resp](s, component)
+}
+
+// ClientOfCodec compiles a typed handle with an explicit codec.
+func ClientOfCodec[Req, Resp any](s *System, component string, codec TypedCodec[Req, Resp]) *TypedClient[Req, Resp] {
+	return core.ClientOfCodec(s, component, codec)
+}
+
+// Sentinel errors surfaced by client handles.
+var (
+	// ErrUntypedOp is returned by a TypedComponent to fall back to Handle.
+	ErrUntypedOp = container.ErrUntypedOp
+	// ErrNoSuchComponent reports a call or Oneway to a name no component
+	// serves (matches errors.Is on replies from remote peers too).
+	ErrNoSuchComponent = core.ErrNoSuchComponent
+)
+
 // WithPrincipal stamps every call of the derived handle with a security
 // principal (replaces the deprecated System.CallAs).
 func WithPrincipal(principal string) CallOption { return core.WithPrincipal(principal) }

@@ -1,0 +1,114 @@
+// Allocation-regression tests (DESIGN.md §8): the typed call surface and
+// the QoS hot counters have hard per-call allocation ceilings, enforced with
+// testing.AllocsPerRun so a regression fails in CI rather than surfacing as
+// a slow drift in benchmark numbers. AllocsPerRun counts allocations across
+// all goroutines, so the serving side of a call is included in the budget —
+// and so stray background work from earlier tests in the package can inflate
+// a single batch. minAllocsPerRun takes the best of several batches: the
+// floor is the path's own cost, the outliers are the interference.
+package aas_test
+
+import (
+	"context"
+	"testing"
+
+	aas "repro"
+
+	"repro/internal/qos"
+)
+
+func minAllocsPerRun(batches, runs int, f func()) float64 {
+	best := testing.AllocsPerRun(runs, f)
+	for i := 1; i < batches; i++ {
+		if a := testing.AllocsPerRun(runs, f); a < best {
+			best = a
+		}
+	}
+	return best
+}
+
+// TestTypedCallAllocs pins the synchronous typed local call at ≤2
+// allocations per call (measured: 1 — the aspect-invocation frame; the
+// envelope, reply channel, waiter slot and timer are all pooled or reused).
+func TestTypedCallAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	reg := aas.NewRegistry()
+	reg.MustRegister("Greeter", "1.0", nil, func() any { return &typedGreeter{Greeting: "Hello"} })
+	sys, err := aas.Load(greeterADL, aas.Options{Registry: reg.Registry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Stop()
+	ctx := context.Background()
+	g := aas.ClientOf[string, string](sys, "Greeter")
+	// Warm the envelope pool and the serve workers before measuring.
+	for i := 0; i < 64; i++ {
+		if _, err := g.Call(ctx, "greet", "world"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := minAllocsPerRun(5, 200, func() {
+		if _, err := g.Call(ctx, "greet", "world"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("typed call allocates %.1f/op, budget 2", allocs)
+	}
+}
+
+// TestTypedAsyncAllocs pins the asynchronous typed call. Async envelopes
+// are deliberately never pooled (concurrent Waits race a recycled channel)
+// and each future carries its own channel and fallback timer, so the
+// ceiling is higher — but still bounded.
+func TestTypedAsyncAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	reg := aas.NewRegistry()
+	reg.MustRegister("Greeter", "1.0", nil, func() any { return &typedGreeter{Greeting: "Hello"} })
+	sys, err := aas.Load(greeterADL, aas.Options{Registry: reg.Registry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Stop()
+	ctx := context.Background()
+	g := aas.ClientOf[string, string](sys, "Greeter")
+	for i := 0; i < 64; i++ {
+		if _, err := g.Async(ctx, "greet", "world").Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := minAllocsPerRun(5, 200, func() {
+		if _, err := g.Async(ctx, "greet", "world").Wait(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 12 {
+		t.Fatalf("typed async call allocates %.1f/op, budget 12", allocs)
+	}
+}
+
+// TestMonitorRecordAllocs pins the QoS hot counter at zero allocations.
+func TestMonitorRecordAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	m := qos.NewMonitor(nil, 0, 64)
+	m.Record(qos.Latency, 0.001)
+	allocs := minAllocsPerRun(3, 1000, func() {
+		m.Record(qos.Latency, 0.001)
+		m.Record(qos.Throughput, 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("Monitor.Record allocates %.1f/op, budget 0", allocs)
+	}
+}

@@ -75,6 +75,73 @@ func BenchmarkClientCallParallel(b *testing.B) {
 	})
 }
 
+// BenchmarkTypedClientCall is the typed zero-alloc hot path (DESIGN.md §8):
+// one compiled ClientOf handle, sequential synchronous calls served in place
+// by HandleTyped. Compare with BenchmarkClientCall — the typed surface must
+// eliminate the []any boxing allocations of the untyped handle.
+func BenchmarkTypedClientCall(b *testing.B) {
+	sys, _ := startBenchSystem(b)
+	store := aas.ClientOf[string, string](sys, "Store")
+	ctx := context.Background()
+	if _, err := store.Untyped().Call(ctx, "put", "k", "v"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := store.Call(ctx, "get", "k"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTypedClientCallParallel is the typed platform edge under
+// concurrent callers sharing one handle (and its envelope pool).
+func BenchmarkTypedClientCallParallel(b *testing.B) {
+	sys, _ := startBenchSystem(b)
+	store := aas.ClientOf[string, string](sys, "Store")
+	ctx := context.Background()
+	if _, err := store.Untyped().Call(ctx, "put", "k", "v"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := store.Call(ctx, "get", "k"); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkTypedClientAsync is the asynchronous typed shape; futures are
+// freshly allocated per call (never pooled), so compare allocations against
+// BenchmarkClientAsyncFanout, not the synchronous typed path.
+func BenchmarkTypedClientAsync(b *testing.B) {
+	const fanout = 16
+	sys, _ := startBenchSystem(b)
+	store := aas.ClientOf[string, string](sys, "Store")
+	ctx := context.Background()
+	if _, err := store.Untyped().Call(ctx, "put", "k", "v"); err != nil {
+		b.Fatal(err)
+	}
+	futures := make([]*aas.TypedFuture[string, string], fanout)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += fanout {
+		for j := range futures {
+			futures[j] = store.Async(ctx, "get", "k")
+		}
+		for _, f := range futures {
+			if _, err := f.Wait(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // BenchmarkClientAsyncFanout issues fan-out batches through one handle and
 // gathers them with Future.Wait; per-op cost is one call of the batch, so
 // compare against BenchmarkClientCall for the win of overlapping the waits.

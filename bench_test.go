@@ -442,6 +442,25 @@ func (k *benchKV) Handle(op string, args []any) ([]any, error) {
 	return nil, fmt.Errorf("unknown op %s", op)
 }
 
+// HandleTyped serves typed-handle calls in place: request and response
+// travel as pointers, no []any boxing on either side (DESIGN.md §8).
+func (k *benchKV) HandleTyped(op string, req, resp any) error {
+	switch op {
+	case "get":
+		if r, ok := req.(*string); ok {
+			*resp.(*string) = k.Data[*r]
+			return nil
+		}
+	case "put":
+		if r, ok := req.(*kvPut); ok {
+			k.Data[r.Key] = r.Val
+			*resp.(*string) = "ok"
+			return nil
+		}
+	}
+	return aas.ErrUntypedOp
+}
+
 func (k *benchKV) Snapshot() ([]byte, error) {
 	out := make([]byte, 0, len(k.Data)*48)
 	for key, v := range k.Data {

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	aasbench           run all experiments
-//	aasbench -e E4     run one experiment (E1..E17)
+//	aasbench -e E4     run one experiment (E1..E18)
 package main
 
 import (
@@ -44,6 +44,7 @@ func main() {
 		{"E15", "compiled-pipeline interchange under load: no errors, no torn chains", runE15},
 		{"E16", "distribution plane: cross-node calls under live migration churn", runE16},
 		{"E17", "client bindings: async fan-out + cancellation storm during migration churn", runE17},
+		{"E18", "typed handles: zero-alloc calls driven through live migration churn", runE18},
 	}
 	sort.SliceStable(exps, func(i, j int) bool { return i < j })
 

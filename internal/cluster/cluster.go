@@ -71,6 +71,16 @@ type Options struct {
 	// Logf, when set, receives diagnostic lines (dropped frames, late
 	// replies); nil discards them.
 	Logf func(format string, args ...any)
+	// MaxWireVersion caps the protocol version this node offers in its
+	// handshake (default wire.MaxVersion). Each link runs at the min of
+	// both sides' offers, so setting wire.Version (2) forces legacy
+	// one-frame-per-write behaviour — for staged rollouts and for testing
+	// mixed-version clusters.
+	MaxWireVersion uint8
+	// BatchLinger optionally delays each egress flush on v3 links to pack
+	// more frames per write (default 0: no artificial delay; batching
+	// arises from backpressure while the previous write is in flight).
+	BatchLinger time.Duration
 }
 
 // Node is one cluster member: a core.System plus its links to peers.
@@ -89,6 +99,10 @@ type Node struct {
 	owners   map[string]string // component -> hosting peer id
 	gateways map[string]*gateway
 	closed   bool
+
+	// Egress coalescing counters across all v3 links (see BatchStats).
+	batchWrites atomic.Uint64
+	batchFrames atomic.Uint64
 }
 
 // gateway is a forwarding endpoint occupying a remote component's canonical
@@ -124,6 +138,12 @@ func Start(sys *core.System, opts Options) (*Node, error) {
 	}
 	if opts.Logf == nil {
 		opts.Logf = func(string, ...any) {}
+	}
+	if opts.MaxWireVersion == 0 || opts.MaxWireVersion > wire.MaxVersion {
+		opts.MaxWireVersion = wire.MaxVersion
+	}
+	if opts.MaxWireVersion < wire.MinVersion {
+		opts.MaxWireVersion = wire.MinVersion
 	}
 	ln, err := net.Listen("tcp", opts.Listen)
 	if err != nil {
@@ -213,7 +233,16 @@ func (n *Node) Join(addr string) error {
 
 // hello builds this node's handshake payload.
 func (n *Node) hello() wire.Hello {
-	return wire.Hello{Node: n.id, System: n.sys.Name(), Components: n.sys.LocalComponents()}
+	return wire.Hello{Node: n.id, System: n.sys.Name(), Components: n.sys.LocalComponents(),
+		MaxVersion: n.opts.MaxWireVersion}
+}
+
+// BatchStats reports the egress coalescing counters across all v3 links:
+// writes is the number of socket writes the egress path issued, frames the
+// number of call/reply frames they carried. frames/writes is the achieved
+// batching factor.
+func (n *Node) BatchStats() (writes, frames uint64) {
+	return n.batchWrites.Load(), n.batchFrames.Load()
 }
 
 // acceptLoop links inbound peers.
@@ -266,6 +295,22 @@ func (n *Node) addPeer(conn net.Conn, enc *wire.Encoder, dec *wire.Decoder, h wi
 		return fmt.Errorf("%w: %q vs %q", ErrSystemName, h.System, n.sys.Name())
 	}
 	p := newPeer(n, h.Node, conn, enc, dec, seen)
+	// Version negotiation: both sides independently compute min(offers) —
+	// the hello carried each side's MaxVersion — so encoder and decoder
+	// agree without another round trip. A legacy peer's hello has no
+	// version trailer and parses as 2, keeping the link at v2 framing.
+	v := h.MaxVersion
+	if v > n.opts.MaxWireVersion {
+		v = n.opts.MaxWireVersion
+	}
+	if v < wire.MinVersion {
+		v = wire.MinVersion
+	}
+	p.version = v
+	if v >= wire.VersionBatch {
+		enc.SetVersion(v)
+		p.egress = newEgress(p)
+	}
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
@@ -286,6 +331,10 @@ func (n *Node) addPeer(conn net.Conn, enc *wire.Encoder, dec *wire.Decoder, h wi
 	n.sys.Events().Emit(core.Event{Kind: core.EvPeerUp, At: n.sys.Now(),
 		Component: h.Node, Detail: conn.RemoteAddr().String()})
 	p.start()
+	if p.egress != nil {
+		n.wg.Add(1)
+		go p.egress.flushLoop(n.ctx)
+	}
 	return nil
 }
 
@@ -417,29 +466,53 @@ func (n *Node) forward(comp string, m bus.Message) {
 	// clocks need not agree). A request that expired while queued at the
 	// gateway is answered here — crossing the wire to be rejected on the
 	// other side would waste a round trip on a caller that already left.
+	// On batched links the stamp is re-derived at write time (see egress),
+	// so only the already-expired check happens here.
 	var deadlineNanos int64
 	if m.Deadline != 0 {
 		rem := time.Until(time.Unix(0, m.Deadline))
 		if rem <= 0 {
-			n.replyError(comp, m, fmt.Sprintf("cluster: %s.%s: deadline exceeded at gateway", comp, m.Op))
+			n.replyErrorKind(comp, m, connector.ErrKindDeadline,
+				fmt.Sprintf("cluster: %s.%s: deadline exceeded at gateway", comp, m.Op))
 			return
 		}
 		deadlineNanos = int64(rem)
 	}
-	payload, _ := m.Payload.(connector.CallPayload)
+	c := wire.Call{Component: comp, Op: m.Op}
+	switch pl := m.Payload.(type) {
+	case connector.CallPayload:
+		c.Principal, c.Args = pl.Principal, pl.Args
+	case connector.TypedCall:
+		// Typed fast path: splice the handle's preencoded argument bytes
+		// into the frame verbatim — no []any boxing at the gateway.
+		raw, aerr := pl.AppendArgs(nil)
+		if aerr != nil {
+			n.replyErrorKind(comp, m, connector.ErrKindApp,
+				fmt.Sprintf("cluster: %s.%s: %v", comp, m.Op, aerr))
+			return
+		}
+		c.Principal, c.RawArgs = pl.Principal(), raw
+	}
 	corr := p.corr.Add(1)
+	c.Corr = corr
 	src, srcCorr, op := m.Src, m.Corr, m.Op
 	p.addPending(corr, func(rep wire.Reply) {
-		_ = n.sys.Bus().Send(bus.Message{
+		if serr := n.sys.Bus().Send(bus.Message{
 			Kind: bus.Reply, Op: op,
-			Payload: connector.ReplyPayload{Results: rep.Results, Err: rep.Err},
-			Src:     core.ComponentAddress(comp), Dst: src, Corr: srcCorr,
-		})
+			Payload: connector.ReplyPayload{Results: rep.Results, Err: rep.Err,
+				Kind: connector.ErrKind(rep.Kind)},
+			Src: core.ComponentAddress(comp), Dst: src, Corr: srcCorr,
+		}); serr != nil {
+			n.opts.Logf("cluster %s: dropped reply corr=%d: %v", n.id, srcCorr, serr)
+		}
 	})
-	err := p.send(func(e *wire.Encoder) error {
-		return e.EncodeCall(wire.Call{Corr: corr, Component: comp, Op: m.Op,
-			Principal: payload.Principal, DeadlineNanos: deadlineNanos, Args: payload.Args})
-	})
+	if p.egress != nil {
+		c.DeadlineNanos = 0 // stamped at write time from the absolute deadline
+		p.egress.enqueueCall(c, m.Deadline)
+		return
+	}
+	c.DeadlineNanos = deadlineNanos
+	err := p.send(func(e *wire.Encoder) error { return e.EncodeCall(c) })
 	if err != nil {
 		if cb, ok := p.takePending(corr); ok {
 			cb(wire.Reply{Corr: corr, Err: "cluster: " + err.Error()})
@@ -449,9 +522,15 @@ func (n *Node) forward(comp string, m bus.Message) {
 
 // replyError answers a request locally with an error payload.
 func (n *Node) replyError(comp string, m bus.Message, reason string) {
+	n.replyErrorKind(comp, m, connector.ErrKindApp, reason)
+}
+
+// replyErrorKind answers a request locally with a typed error payload so
+// typed handles map it back to a sentinel without string matching.
+func (n *Node) replyErrorKind(comp string, m bus.Message, kind connector.ErrKind, reason string) {
 	_ = n.sys.Bus().Send(bus.Message{
 		Kind: bus.Reply, Op: m.Op,
-		Payload: connector.ReplyPayload{Err: reason},
+		Payload: connector.ReplyPayload{Err: reason, Kind: kind},
 		Src:     core.ComponentAddress(comp), Dst: m.Src, Corr: m.Corr,
 	})
 }

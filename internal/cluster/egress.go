@@ -1,0 +1,229 @@
+// Per-peer-link frame coalescing: the egress queue gathers outbound call
+// and reply frames while the link's writer is busy and packs them into one
+// wire.FrameBatch write, cutting the syscall count per remote call from one
+// write each way to one write per batch. Batching is group-commit style —
+// no artificial delay by default: a flush starts as soon as the writer is
+// free, and whatever queued during the previous write rides the next batch.
+// Options.BatchLinger can add a bounded µs-scale wait to deepen batches on
+// latency-tolerant links. Only negotiated-v3 links have an egress; v2 links
+// keep the direct one-frame-per-write path.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Batch caps: a flush is forced mid-batch when the assembled frame reaches
+// either bound, keeping worst-case reply latency and peer memory in check.
+const (
+	batchMaxBytes  = 64 << 10
+	batchMaxFrames = 128
+)
+
+// egressItem is one queued outbound frame. Calls carry the caller's
+// absolute deadline so the relative budget on the wire is stamped at write
+// time — a call that sat in the queue ships with its true remaining credit,
+// and one that expired there fails locally without crossing the wire.
+type egressItem struct {
+	isReply     bool
+	call        wire.Call
+	reply       wire.Reply
+	absDeadline int64 // unix nanos, 0 = none; calls only
+}
+
+// egress is the coalescing writer of one v3 peer link.
+type egress struct {
+	p *peer
+
+	mu    sync.Mutex
+	q     []egressItem
+	spare []egressItem // recycled backing array for q
+
+	wake chan struct{} // cap 1: coalesces enqueue signals
+}
+
+func newEgress(p *peer) *egress {
+	return &egress{p: p, wake: make(chan struct{}, 1)}
+}
+
+// enqueueCall queues an outbound remote call.
+func (e *egress) enqueueCall(c wire.Call, absDeadline int64) {
+	e.enqueue(egressItem{call: c, absDeadline: absDeadline})
+}
+
+// enqueueReply queues an outbound reply.
+func (e *egress) enqueueReply(r wire.Reply) {
+	e.enqueue(egressItem{isReply: true, reply: r})
+}
+
+func (e *egress) enqueue(it egressItem) {
+	e.mu.Lock()
+	e.q = append(e.q, it)
+	e.mu.Unlock()
+	select {
+	case e.wake <- struct{}{}:
+	default:
+	}
+}
+
+// flushLoop drains the queue until the node closes or the link dies. Each
+// wake-up swaps the queue against an empty recycled array and writes the
+// whole swath as one batch; anything enqueued during that write is picked
+// up by the next inner iteration without waiting for another wake.
+func (e *egress) flushLoop(ctx context.Context) {
+	defer e.p.n.wg.Done()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-e.wake:
+		}
+		if linger := e.p.n.opts.BatchLinger; linger > 0 {
+			// Group-commit wait — but only while the batch is still shallow.
+			// Once a write's worth of frames has queued, waiting longer adds
+			// latency without saving another syscall.
+			e.mu.Lock()
+			depth := len(e.q)
+			e.mu.Unlock()
+			if depth < batchMaxFrames/4 {
+				time.Sleep(linger)
+			}
+		}
+		for {
+			e.mu.Lock()
+			batch := e.q
+			e.q = e.spare[:0]
+			// Detach spare immediately: the array just handed to e.q now
+			// belongs to producers, and spare must never alias it — on the
+			// next swap it would hand writeBatch and the producers the same
+			// backing array.
+			e.spare = nil
+			e.mu.Unlock()
+			if len(batch) == 0 {
+				e.spare = batch[:0] // recycle the drained array for the next swap
+				break
+			}
+			e.writeBatch(batch)
+			e.spare = batch[:0]
+		}
+		if e.p.down.Load() {
+			return
+		}
+	}
+}
+
+// writeBatch ships one swath of queued frames. A single item goes out as a
+// plain frame (no sub-frame overhead); more become FrameBatch writes,
+// force-flushed at the batch caps. Deadline credit is re-derived per call
+// here, expired calls fail locally, and a reply whose results the value
+// codec cannot ship is downgraded to an error reply in place.
+func (e *egress) writeBatch(items []egressItem) {
+	p := e.p
+	now := time.Now().UnixNano()
+
+	// Pre-scan calls: stamp remaining budgets, collect expired ones.
+	var expired []wire.Call
+	live := items[:0]
+	for i := range items {
+		it := items[i]
+		if !it.isReply && it.absDeadline != 0 {
+			rem := it.absDeadline - now
+			if rem <= 0 {
+				expired = append(expired, it.call)
+				continue
+			}
+			it.call.DeadlineNanos = rem
+		}
+		live = append(live, it)
+	}
+	for _, c := range expired {
+		if cb, ok := p.takePending(c.Corr); ok {
+			cb(wire.Reply{Corr: c.Corr, Kind: wire.KindDeadline,
+				Err: "cluster: " + c.Component + "." + c.Op + ": deadline exceeded in egress queue"})
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	var failed []wire.Call // calls whose arguments failed to encode
+	p.encMu.Lock()
+	_ = p.conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+	enc := p.enc
+	var werr error
+	if len(live) == 1 {
+		it := live[0]
+		if it.isReply {
+			werr = e.encodeReplyLocked(it.reply, func(r wire.Reply) error { return enc.EncodeReply(r) })
+		} else if werr = enc.EncodeCall(it.call); werr != nil && wireDataError(werr) {
+			failed = append(failed, it.call)
+			werr = nil
+		}
+		if werr == nil {
+			p.n.batchWrites.Add(1)
+			p.n.batchFrames.Add(1)
+		}
+	} else {
+		enc.BeginBatch()
+		for _, it := range live {
+			if it.isReply {
+				if werr = e.encodeReplyLocked(it.reply, enc.BatchAddReply); werr != nil {
+					break
+				}
+			} else if aerr := enc.BatchAddCall(it.call); aerr != nil {
+				if !wireDataError(aerr) {
+					werr = aerr
+					break
+				}
+				failed = append(failed, it.call)
+				continue
+			}
+			p.n.batchFrames.Add(1)
+			if enc.BatchLen() >= batchMaxBytes || enc.BatchCount() >= batchMaxFrames {
+				p.n.batchWrites.Add(1)
+				if werr = enc.FlushBatch(); werr != nil {
+					break
+				}
+			}
+		}
+		if werr == nil && enc.BatchCount() > 0 {
+			p.n.batchWrites.Add(1)
+			werr = enc.FlushBatch()
+		}
+	}
+	p.encMu.Unlock()
+
+	for _, c := range failed {
+		if cb, ok := p.takePending(c.Corr); ok {
+			cb(wire.Reply{Corr: c.Corr, Kind: wire.KindAppError,
+				Err: "cluster: " + c.Component + "." + c.Op + ": arguments not wire-encodable"})
+		}
+	}
+	if werr != nil {
+		p.n.peerDown(p, "egress write: "+werr.Error())
+	}
+}
+
+// encodeReplyLocked encodes one reply via add, downgrading a reply whose
+// results the value codec cannot ship into an error reply (mirroring the
+// direct path's second-reply fallback). Returns only transport errors.
+func (e *egress) encodeReplyLocked(r wire.Reply, add func(wire.Reply) error) error {
+	err := add(r)
+	if err != nil && wireDataError(err) {
+		return add(wire.Reply{Corr: r.Corr, Err: "cluster: " + err.Error(), Kind: wire.KindAppError})
+	}
+	return err
+}
+
+// wireDataError reports whether err is a per-frame encoding problem (bad
+// value type, oversized body) rather than a transport failure: the frame is
+// dropped and answered locally, the link stays up.
+func wireDataError(err error) bool {
+	return err != nil &&
+		(errors.Is(err, wire.ErrUnsupportedType) || errors.Is(err, wire.ErrFrameTooBig))
+}

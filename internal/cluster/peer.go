@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"io"
 	"net"
 	"sync"
@@ -40,6 +41,13 @@ type peer struct {
 	n    *Node
 	id   string
 	conn net.Conn
+	// version is the negotiated wire protocol version of this link:
+	// min(both sides' MaxVersion), at least wire.Version. Fixed before the
+	// pumps start, read-only after.
+	version uint8
+	// egress is the frame-coalescing writer (nil on v2 links, which write
+	// one frame per send).
+	egress *egress
 
 	encMu sync.Mutex
 	enc   *wire.Encoder
@@ -155,23 +163,40 @@ func (p *peer) readLoop() {
 				p.n.peerDown(p, "protocol: "+perr.Error())
 				return
 			}
-			// Serve concurrently: a call may fan out into further remote
-			// calls over this same link, whose replies this loop dispatches.
-			p.n.wg.Add(1)
-			go func() {
-				defer p.n.wg.Done()
-				p.serveCall(c)
-			}()
+			p.dispatchCall(c)
 		case wire.FrameReply:
-			r, perr := wire.ParseReply(body)
+			r, perr := wire.ParseReply(body, p.dec.FrameVersion())
 			if perr != nil {
 				p.n.peerDown(p, "protocol: "+perr.Error())
 				return
 			}
-			if cb, ok := p.takePending(r.Corr); ok {
-				cb(r)
-			} else {
-				p.n.opts.Logf("cluster %s: late reply corr=%d from %s", p.n.id, r.Corr, p.id)
+			p.dispatchReply(r)
+		case wire.FrameBatch:
+			for len(body) > 0 {
+				st, sb, rest, perr := wire.ReadBatchFrame(body)
+				if perr != nil {
+					p.n.peerDown(p, "protocol: "+perr.Error())
+					return
+				}
+				switch st {
+				case wire.FrameCall:
+					c, perr := wire.ParseCall(sb)
+					if perr != nil {
+						p.n.peerDown(p, "protocol: "+perr.Error())
+						return
+					}
+					p.dispatchCall(c)
+				case wire.FrameReply:
+					r, perr := wire.ParseReply(sb, p.dec.FrameVersion())
+					if perr != nil {
+						p.n.peerDown(p, "protocol: "+perr.Error())
+						return
+					}
+					p.dispatchReply(r)
+				default:
+					p.n.opts.Logf("cluster %s: unknown batched frame %v from %s", p.n.id, st, p.id)
+				}
+				body = rest
 			}
 		case wire.FrameMigrate:
 			m, perr := wire.ParseMigrate(body)
@@ -215,6 +240,26 @@ func (p *peer) readLoop() {
 	}
 }
 
+// dispatchCall serves one inbound remote call concurrently: a call may fan
+// out into further remote calls over this same link, whose replies the read
+// loop dispatches.
+func (p *peer) dispatchCall(c wire.Call) {
+	p.n.wg.Add(1)
+	go func() {
+		defer p.n.wg.Done()
+		p.serveCall(c)
+	}()
+}
+
+// dispatchReply resolves one inbound reply against the pending table.
+func (p *peer) dispatchReply(r wire.Reply) {
+	if cb, ok := p.takePending(r.Corr); ok {
+		cb(r)
+	} else {
+		p.n.opts.Logf("cluster %s: late reply corr=%d from %s", p.n.id, r.Corr, p.id)
+	}
+}
+
 // serveCall executes one remote invocation against the local system and
 // replies. The call enters through the compiled client-binding handle, so
 // the callee-side container services (auth with the shipped principal,
@@ -238,14 +283,38 @@ func (p *peer) serveCall(c wire.Call) {
 	rep := wire.Reply{Corr: c.Corr, Results: results}
 	if err != nil {
 		rep.Err = err.Error()
+		rep.Kind = replyKindOf(err)
+	}
+	if p.egress != nil {
+		// v3 link: replies coalesce with whatever else is outbound; a
+		// non-encodable result set is downgraded to an error reply inside
+		// the egress writer.
+		p.egress.enqueueReply(rep)
+		return
 	}
 	serr := p.send(func(e *wire.Encoder) error { return e.EncodeReply(rep) })
 	if serr != nil && err == nil {
 		// Results the value codec cannot ship become a call error; the
 		// frame was never partially written (bodies build before bytes go
 		// out), so the stream is intact.
-		rep = wire.Reply{Corr: c.Corr, Err: "cluster: " + serr.Error()}
+		rep = wire.Reply{Corr: c.Corr, Err: "cluster: " + serr.Error(), Kind: wire.KindAppError}
 		_ = p.send(func(e *wire.Encoder) error { return e.EncodeReply(rep) })
+	}
+}
+
+// replyKindOf maps a serve-side error to the structured reply kind carried
+// on v3 links (and dropped by the v2 encoder — those peers keep the string
+// convention).
+func replyKindOf(err error) uint8 {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return wire.KindDeadline
+	case errors.Is(err, context.Canceled):
+		return wire.KindCancelled
+	case errors.Is(err, core.ErrUnknownComp):
+		return wire.KindNoSuchComponent
+	default:
+		return wire.KindAppError
 	}
 }
 

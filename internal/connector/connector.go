@@ -34,11 +34,59 @@ type CallPayload struct {
 	Args      []any
 }
 
+// ErrKind classifies a call failure structurally, so callers can match with
+// errors.Is instead of the legacy string conventions. The numbering matches
+// the wire protocol's reply kind byte (wire.Kind*), so kinds cross peer
+// links unmapped.
+type ErrKind uint8
+
+// Error kinds.
+const (
+	ErrKindNone            ErrKind = 0 // success
+	ErrKindApp             ErrKind = 1 // application error from the component
+	ErrKindDeadline        ErrKind = 2 // deadline exceeded
+	ErrKindCancelled       ErrKind = 3 // caller cancelled
+	ErrKindNoSuchComponent ErrKind = 4 // destination component does not exist
+)
+
 // ReplyPayload is the reply payload convention; Err is non-empty on
 // failure.
 type ReplyPayload struct {
 	Results []any
 	Err     string
+	// Kind classifies Err (ErrKindNone for success or for replies from
+	// legacy sources that only speak the string convention).
+	Kind ErrKind
+}
+
+// TypedCall is the preencoded request payload used by typed client handles
+// (core.ClientOf). The envelope carries the request and response as concrete
+// types, so the single-target mediation path moves a pointer instead of
+// boxing arguments, and the serving side can hand the request straight to a
+// typed component. Mediation stages that need the legacy form (multicast
+// gather, wire forwarding) fall back to Principal/Args.
+type TypedCall interface {
+	// Principal is the caller identity (CallPayload.Principal equivalent).
+	Principal() string
+	// Args materializes the argument list in the []any convention — the
+	// compatibility path for untyped components, filters that inspect
+	// arguments, and multicast fan-out.
+	Args() []any
+	// AppendArgs appends the argument list preencoded in wire.AppendValues
+	// form (uvarint count + tagged values) — the zero-rebox path for
+	// forwarding the call over a peer link.
+	AppendArgs(dst []byte) ([]byte, error)
+	// Req returns a pointer to the typed request value.
+	Req() any
+	// Resp returns a pointer to the typed response value.
+	Resp() any
+	// SetResults decodes an untyped result list into the typed response —
+	// used when the serving side answered through the legacy Handle path or
+	// an aspect replaced the results.
+	SetResults(results []any) error
+	// Finish completes the call in place: empty err means success with the
+	// response already written through Resp.
+	Finish(err string, kind ErrKind)
 }
 
 // Stats counts connector activity.
@@ -292,6 +340,15 @@ func (c *Connector) handleRequest(m bus.Message) {
 	}
 	c.stats.mediated.Add(1)
 
+	if len(targets) > 1 {
+		// Fan-out shares one message across targets; a typed envelope is a
+		// single mutable response slot, so multicast must fall back to the
+		// boxed form — each callee then replies through its own payload
+		// instead of racing on the envelope.
+		if tc, ok := m.Payload.(TypedCall); ok {
+			m.Payload = CallPayload{Principal: tc.Principal(), Args: tc.Args()}
+		}
+	}
 	for _, tgt := range targets {
 		fwd := m
 		fwd.Src = c.ep.Addr()

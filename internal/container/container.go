@@ -21,6 +21,31 @@ type Component interface {
 	Handle(op string, args []any) ([]any, error)
 }
 
+// TypedComponent is optionally implemented by components that service typed
+// calls in place: HandleTyped reads the request and writes the response
+// through the pointers a typed client handle supplied, so the round trip
+// never boxes arguments or results. Return ErrUntypedOp for operations the
+// component only implements through Handle — the container falls back.
+type TypedComponent interface {
+	Component
+	HandleTyped(op string, req, resp any) error
+}
+
+// TypedRequest is the container-level view of a typed call: the pointers the
+// component reads and writes, plus the untyped materialization used when the
+// component (or a given op) only speaks Handle. It is implemented by the
+// typed envelope in core and mirrored by connector.TypedCall.
+type TypedRequest interface {
+	Req() any
+	Resp() any
+	Args() []any
+	SetResults(results []any) error
+}
+
+// ErrUntypedOp is returned by HandleTyped for operations the component
+// serves only through the legacy Handle path.
+var ErrUntypedOp = errors.New("container: op not served typed")
+
 // StateCapturer is implemented by stateful components that support strong
 // dynamic reconfiguration: "New components must be initialized with
 // adequate internal state variables" (§1).
@@ -206,6 +231,57 @@ func (c *Container) Invoke(principal, op string, args []any) ([]any, error) {
 	}
 	c.finish(op, principal, err)
 	return res, err
+}
+
+// InvokeTyped services one typed call through the same interposition chain
+// as Invoke. When the hosted component implements TypedComponent and serves
+// op typed, the response is written in place through call.Resp and typed is
+// true with nil results; otherwise the container falls back to Handle with
+// the materialized argument list and returns its boxed results (typed
+// false). Either way the admission, transaction, audit, and quiescence
+// accounting happen exactly once.
+func (c *Container) InvokeTyped(principal, op string, call TypedRequest) (res []any, typed bool, err error) {
+	c.mu.Lock()
+	if c.state != Active {
+		st := c.state
+		c.mu.Unlock()
+		return nil, false, fmt.Errorf("%w: %s is %s", ErrNotActive, c.desc.Name, st)
+	}
+	if c.desc.RequireAuth && principal == "" {
+		c.mu.Unlock()
+		return nil, false, fmt.Errorf("%w: %s.%s", ErrUnauthorized, c.desc.Name, op)
+	}
+	c.inflight++
+	c.calls++
+	comp := c.comp
+	c.mu.Unlock()
+
+	var pre []byte
+	if c.desc.Transactional {
+		snap, serr := comp.(StateCapturer).Snapshot()
+		if serr != nil {
+			c.finish(op, principal, serr)
+			return nil, false, fmt.Errorf("container %s: pre-call snapshot: %w", c.desc.Name, serr)
+		}
+		pre = snap
+	}
+
+	if tc, ok := comp.(TypedComponent); ok {
+		err = tc.HandleTyped(op, call.Req(), call.Resp())
+		if !errors.Is(err, ErrUntypedOp) {
+			typed = true
+		}
+	}
+	if !typed {
+		res, err = comp.Handle(op, call.Args())
+	}
+	if err != nil && c.desc.Transactional {
+		if rerr := comp.(StateCapturer).Restore(pre); rerr != nil {
+			err = errors.Join(err, fmt.Errorf("rollback failed: %w", rerr))
+		}
+	}
+	c.finish(op, principal, err)
+	return res, typed, err
 }
 
 func (c *Container) finish(op, principal string, err error) {

@@ -200,7 +200,7 @@ func (c *Client) Call(ctx context.Context, op string, args ...any) ([]any, error
 	select {
 	case payload := <-w:
 		if payload.Err != "" {
-			return nil, replyError(payload.Err)
+			return nil, replyErrorKind(payload.Err, payload.Kind)
 		}
 		return payload.Results, nil
 	case <-ctx.Done():
@@ -279,13 +279,30 @@ func (c *Client) Async(ctx context.Context, op string, args ...any) *Future {
 // context's deadline still propagates, so a queued one-way request expires
 // instead of being served pointlessly. The returned error covers local
 // admission only (unknown component, stopped system, done context, full
-// mailbox).
+// mailbox). A component removed mid-flight — after admission resolved the
+// handle but before the request landed — reports ErrNoSuchComponent rather
+// than silently dropping: the send either fails against the detached
+// endpoint or parks on a route whose component is gone, and both shapes are
+// detected here.
 func (c *Client) Oneway(ctx context.Context, op string, args ...any) error {
 	ep, corr, err := c.admit(ctx, op)
 	if err != nil {
 		return err
 	}
-	return c.b.sys.bus.Send(c.request(ctx, ep, corr, op, args))
+	b := c.b
+	if err := b.sys.bus.Send(c.request(ctx, ep, corr, op, args)); err != nil {
+		if errors.Is(err, bus.ErrUnknownDst) {
+			return fmt.Errorf("%w: %s", ErrNoSuchComponent, b.name)
+		}
+		return err
+	}
+	// Re-check presence after the send: a removal that raced the admission
+	// check has already republished the handle table, so a request that was
+	// accepted onto a paused or torn-down route is reported, not dropped.
+	if !b.present.Load() && !b.resolveNow() {
+		return fmt.Errorf("%w: %s", ErrNoSuchComponent, b.name)
+	}
+	return nil
 }
 
 // admit is the shared admission prologue of every call shape: liveness,
@@ -316,8 +333,8 @@ func (c *Client) admit(ctx context.Context, op string) (*bus.Endpoint, uint64, e
 func (c *Client) request(ctx context.Context, ep *bus.Endpoint, corr uint64, op string, args []any) bus.Message {
 	return bus.Message{
 		Kind: bus.Request, Op: op,
-		Payload:  connector.CallPayload{Principal: c.principal, Args: args},
-		Src:      ep.Addr(), Dst: c.b.dst, Corr: corr,
+		Payload: connector.CallPayload{Principal: c.principal, Args: args},
+		Src:     ep.Addr(), Dst: c.b.dst, Corr: corr,
 		Deadline: c.effectiveDeadline(ctx),
 	}
 }
@@ -359,6 +376,62 @@ func (c *Client) fallback() time.Duration {
 		return c.budget
 	}
 	return c.b.sys.callTimeout
+}
+
+// ErrNoSuchComponent is the structured identity of a call addressed to a
+// component that does not exist (anymore). It is the same error value as
+// ErrUnknownComp — the name the platform edge documents — so errors.Is
+// matches under either name, including for kinds carried across peer links.
+var ErrNoSuchComponent = ErrUnknownComp
+
+// errKindOf classifies a serve-side error into the structured kind carried
+// on reply payloads (and, over v3 peer links, on the wire).
+func errKindOf(err error) connector.ErrKind {
+	switch {
+	case err == nil:
+		return connector.ErrKindNone
+	case errors.Is(err, context.DeadlineExceeded):
+		return connector.ErrKindDeadline
+	case errors.Is(err, context.Canceled):
+		return connector.ErrKindCancelled
+	case errors.Is(err, ErrUnknownComp):
+		return connector.ErrKindNoSuchComponent
+	default:
+		return connector.ErrKindApp
+	}
+}
+
+// replyErrorKind converts a reply payload into the caller-facing error.
+// A structured kind (stamped by the serving side, or parsed from a v3 peer
+// reply) restores error identity directly; payloads without one — filter
+// rejects, app errors, replies relayed by v2 peers — fall back to the
+// string convention replyError implements.
+func replyErrorKind(msg string, kind connector.ErrKind) error {
+	switch kind {
+	case connector.ErrKindDeadline, connector.ErrKindCancelled, connector.ErrKindNoSuchComponent:
+		return &kindedError{msg: msg, kind: kind}
+	}
+	return replyError(msg)
+}
+
+// kindedError is a reply error carrying structured identity.
+type kindedError struct {
+	msg  string
+	kind connector.ErrKind
+}
+
+func (e *kindedError) Error() string { return e.msg }
+
+func (e *kindedError) Is(target error) bool {
+	switch e.kind {
+	case connector.ErrKindDeadline:
+		return target == context.DeadlineExceeded
+	case connector.ErrKindCancelled:
+		return target == context.Canceled
+	case connector.ErrKindNoSuchComponent:
+		return target == ErrUnknownComp
+	}
+	return false
 }
 
 // replyError converts a reply payload's error string into the caller-facing
@@ -459,7 +532,7 @@ func (f *Future) Wait() ([]any, error) {
 	case <-f.done:
 	case payload := <-f.w:
 		if payload.Err != "" {
-			f.settle(nil, replyError(payload.Err))
+			f.settle(nil, replyErrorKind(payload.Err, payload.Kind))
 		} else {
 			f.settle(payload.Results, nil)
 		}

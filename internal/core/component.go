@@ -117,13 +117,33 @@ func newRuntimeComponent(sys *System, decl adl.ComponentDecl, cont *container.Co
 	// recompiled (atomically republished) on every aspect interchange, so
 	// aspects attached later apply to this component on their next call.
 	base := func(inv *aspects.Invocation) (any, error) {
-		call, _ := inv.Args.(connector.CallPayload)
-		res, err := cont.Invoke(call.Principal, inv.Op, call.Args)
-		return res, err
+		switch call := inv.Args.(type) {
+		case connector.CallPayload:
+			return cont.Invoke(call.Principal, inv.Op, call.Args)
+		case connector.TypedCall:
+			// Typed fast path: the container hands the request and response
+			// pointers straight to a TypedComponent. When the component (or
+			// this op) only speaks Handle, the container falls back to the
+			// boxed form and the results flow back like an untyped call.
+			res, typed, err := cont.InvokeTyped(call.Principal(), inv.Op, call)
+			if typed && err == nil {
+				return typedServed, nil
+			}
+			return res, err
+		default:
+			res, err := cont.Invoke("", inv.Op, nil)
+			return res, err
+		}
 	}
 	rc.woven = sys.weaver.WeaveFor(decl.Name, base)
 	return rc, nil
 }
+
+// typedServed is the sentinel result of a typed in-place invocation: the
+// response is already written through the envelope, so there is nothing to
+// box into the reply. An aspect that replaces the result with its own []any
+// overrides the sentinel and serve decodes its results into the envelope.
+var typedServed any = &struct{}{}
 
 // setRoute binds a required service to a connector address.
 func (rc *runtimeComponent) setRoute(service string, conn bus.Address) {
@@ -143,13 +163,32 @@ func (rc *runtimeComponent) dropRoute(service string) {
 	rc.routes.Store(&next)
 }
 
+// serveWorkers is the number of persistent serve goroutines per component.
+// Steady-state requests hand off to an idle worker without spawning — the
+// per-request goroutine (and its closure allocation) is reserved for bursts
+// beyond the worker pool and for re-entrant calls that would otherwise wait
+// on themselves.
+const serveWorkers = 4
+
 // start launches the serve loop.
 func (rc *runtimeComponent) start(ctx context.Context) {
 	ctx, rc.cancel = context.WithCancel(ctx)
 	rc.cont.Activate()
+	work := make(chan bus.Message) // unbuffered: a send succeeds only into an idle worker
+	for i := 0; i < serveWorkers; i++ {
+		rc.wg.Add(1)
+		go func() {
+			defer rc.wg.Done()
+			for m := range work {
+				rc.serve(m)
+				rc.serving.Add(-1)
+			}
+		}()
+	}
 	rc.wg.Add(1)
 	go func() {
 		defer rc.wg.Done()
+		defer close(work)
 		for {
 			m, err := rc.ep.Receive(ctx)
 			if err != nil {
@@ -158,14 +197,21 @@ func (rc *runtimeComponent) start(ctx context.Context) {
 			switch m.Kind {
 			case bus.Request:
 				// Serve concurrently so that outcalls from the handler can
-				// be correlated by this same loop.
+				// be correlated by this same loop. Prefer an idle pool
+				// worker; fall through to a transient goroutine when all
+				// are busy so a component calling itself cannot deadlock
+				// on its own pool.
 				rc.serving.Add(1)
-				rc.wg.Add(1)
-				go func(m bus.Message) {
-					defer rc.wg.Done()
-					defer rc.serving.Add(-1)
-					rc.serve(m)
-				}(m)
+				select {
+				case work <- m:
+				default:
+					rc.wg.Add(1)
+					go func(m bus.Message) {
+						defer rc.wg.Done()
+						defer rc.serving.Add(-1)
+						rc.serve(m)
+					}(m)
+				}
 			case bus.Reply:
 				if w, ok := rc.waiters.take(m.Corr); ok {
 					payload, _ := m.Payload.(connector.ReplyPayload)
@@ -207,11 +253,18 @@ func (rc *runtimeComponent) serve(m bus.Message) {
 	if m.Deadline != 0 && time.Now().UnixNano() > m.Deadline {
 		rc.sys.events.Emit(Event{Kind: EvRequestFailed, At: rc.sys.clk.Now(),
 			Component: rc.name, Detail: m.Op + ": deadline exceeded before service"})
-		_ = rc.sys.bus.Send(bus.Message{
+		reject := bus.Message{
 			Kind: bus.Reply, Op: m.Op,
-			Payload: connector.ReplyPayload{Err: fmt.Sprintf("core: %s.%s: deadline exceeded before service", rc.name, m.Op)},
-			Src:     rc.ep.Addr(), Dst: m.Src, Corr: m.Corr,
-		})
+			Src: rc.ep.Addr(), Dst: m.Src, Corr: m.Corr,
+		}
+		msg := fmt.Sprintf("core: %s.%s: deadline exceeded before service", rc.name, m.Op)
+		if tc, ok := m.Payload.(connector.TypedCall); ok {
+			tc.Finish(msg, connector.ErrKindDeadline)
+			reject.Payload = m.Payload
+		} else {
+			reject.Payload = connector.ReplyPayload{Err: msg, Kind: connector.ErrKindDeadline}
+		}
+		_ = rc.sys.bus.Send(reject)
 		return
 	}
 
@@ -248,8 +301,29 @@ func (rc *runtimeComponent) serve(m bus.Message) {
 		Kind: bus.Reply, Op: m.Op,
 		Src: rc.ep.Addr(), Dst: m.Src, Corr: m.Corr,
 	}
-	if err != nil {
-		reply.Payload = connector.ReplyPayload{Err: err.Error()}
+	if tc, ok := m.Payload.(connector.TypedCall); ok {
+		// Typed completion happens in place: the envelope already carries
+		// the response (or receives the aspect-replaced results here), and
+		// the reply message moves the same pointer back as a pure signal —
+		// nothing is boxed on the return path either.
+		if err == nil && res != typedServed {
+			results, _ := res.([]any)
+			if derr := tc.SetResults(results); derr != nil {
+				err = fmt.Errorf("core: %s.%s: %w", rc.name, m.Op, derr)
+			}
+		}
+		if err != nil {
+			tc.Finish(err.Error(), errKindOf(err))
+			rc.sys.events.Emit(Event{Kind: EvRequestFailed, At: rc.sys.clk.Now(),
+				Component: rc.name, Detail: m.Op + ": " + err.Error()})
+		} else {
+			tc.Finish("", connector.ErrKindNone)
+			rc.sys.events.Emit(Event{Kind: EvRequestServed, At: rc.sys.clk.Now(),
+				Component: rc.name, Detail: m.Op})
+		}
+		reply.Payload = m.Payload
+	} else if err != nil {
+		reply.Payload = connector.ReplyPayload{Err: err.Error(), Kind: errKindOf(err)}
 		rc.sys.events.Emit(Event{Kind: EvRequestFailed, At: rc.sys.clk.Now(),
 			Component: rc.name, Detail: m.Op + ": " + err.Error()})
 	} else {
@@ -264,8 +338,9 @@ func (rc *runtimeComponent) serve(m bus.Message) {
 // invokeWoven runs one message through the component's compiled aspect
 // pipeline into the container.
 func (rc *runtimeComponent) invokeWoven(m *bus.Message) (any, error) {
-	call, _ := m.Payload.(connector.CallPayload)
-	inv := &aspects.Invocation{Component: rc.name, Op: m.Op, Args: call}
+	// The payload rides the invocation as-is: a boxed CallPayload or a typed
+	// call envelope — the woven base closure dispatches on the dynamic type.
+	inv := &aspects.Invocation{Component: rc.name, Op: m.Op, Args: m.Payload}
 	return rc.woven.Invoke(inv)
 }
 
@@ -330,7 +405,7 @@ func (rc *runtimeComponent) CallContext(ctx context.Context, service string, arg
 	select {
 	case payload := <-w:
 		if payload.Err != "" {
-			return nil, replyError(payload.Err)
+			return nil, replyErrorKind(payload.Err, payload.Kind)
 		}
 		return payload.Results, nil
 	case <-ctx.Done():

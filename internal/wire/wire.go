@@ -12,7 +12,7 @@
 //	offset  size  field
 //	0       1     magic0 (0xA5)
 //	1       1     magic1 (0x57)
-//	2       1     protocol version (currently 1)
+//	2       1     protocol version (2 for handshakes, negotiated after)
 //	3       1     frame type
 //	4       4     body length
 //	8       n     body
@@ -37,10 +37,19 @@ const (
 	magic0 = 0xA5
 	magic1 = 0x57
 	// Version 2 extended the call frame with the caller's remaining deadline
-	// budget (see Call.DeadlineNanos); decoders reject other versions, so a
-	// mixed-version cluster fails fast at the handshake instead of silently
-	// dropping deadlines.
+	// budget (see Call.DeadlineNanos). It remains the handshake version:
+	// hello/welcome frames are always stamped 2 so a v2 peer can parse them,
+	// and the peers then negotiate min(MaxVersion) for everything after.
 	Version = 2
+	// VersionBatch (3) adds FrameBatch coalescing and the structured
+	// error-kind byte on replies. Negotiated per link via Hello.MaxVersion;
+	// a v3 encoder only emits v3 frames after both sides agreed.
+	VersionBatch = 3
+	// MinVersion and MaxVersion bound the versions this build speaks. A
+	// decoder accepts any frame version in the range; what an encoder emits
+	// is fixed by the link's negotiated version.
+	MinVersion = Version
+	MaxVersion = VersionBatch
 
 	headerSize = 8
 	// MaxFrame bounds a single frame body (migration states included).
@@ -73,6 +82,11 @@ const (
 	FrameMigrateAck
 	// FrameAnnounce updates component ownership after a migration.
 	FrameAnnounce
+	// FrameBatch (v3 links only) packs several call/reply sub-frames into
+	// one write so a busy link pays one syscall per batch instead of one
+	// per frame. Body: repeated sub-frames, each `type byte + u32 length +
+	// body` with bodies in the same format as their standalone frames.
+	FrameBatch
 )
 
 // String implements fmt.Stringer.
@@ -94,6 +108,8 @@ func (t FrameType) String() string {
 		return "migrate-ack"
 	case FrameAnnounce:
 		return "announce"
+	case FrameBatch:
+		return "batch"
 	default:
 		return "unknown"
 	}
@@ -333,6 +349,12 @@ type Hello struct {
 	Node       string   // sender's node id
 	System     string   // architecture name, for sanity checking
 	Components []string // components the sender hosts (exported providers)
+	// MaxVersion is the highest protocol version the sender speaks. It
+	// rides as a trailing uvarint that version-2 parsers ignore (ParseHello
+	// has always tolerated trailing bytes), so the field is backward
+	// compatible: absent on the wire means a legacy v2 peer. Both sides use
+	// min(ours, theirs) for every frame after the handshake.
+	MaxVersion uint8
 }
 
 // Call is one remote invocation routed through a gateway endpoint.
@@ -349,12 +371,33 @@ type Call struct {
 	// acceptable slack at heartbeat-scale RTTs.
 	DeadlineNanos int64
 	Args          []any
+	// RawArgs, when non-nil, is the argument list already encoded in
+	// AppendValues form (uvarint count + tagged values). AppendCall splices
+	// it verbatim instead of re-encoding Args — the preencoded fast path a
+	// typed client handle uses so its arguments are marshalled exactly once.
+	// Encode-side only; ParseCall always decodes into Args.
+	RawArgs []byte
 }
+
+// Reply error kinds (v3 links). The numbering is shared with the
+// connector's ErrKind so a kind byte crosses the stack unmapped.
+const (
+	KindNone            = 0 // success
+	KindAppError        = 1 // component returned an application error
+	KindDeadline        = 2 // deadline exceeded
+	KindCancelled       = 3 // caller cancelled
+	KindNoSuchComponent = 4 // destination component does not exist
+)
 
 // Reply answers a Call; Err is non-empty on failure.
 type Reply struct {
-	Corr    uint64
-	Err     string
+	Corr uint64
+	Err  string
+	// Kind classifies Err structurally (Kind* constants) so callers can
+	// errors.Is against context.DeadlineExceeded and friends without string
+	// matching. Only on the wire for v3 links; replies from v2 peers parse
+	// with KindNone and callers fall back to the string convention.
+	Kind    uint8
 	Results []any
 }
 
@@ -389,7 +432,7 @@ type Announce struct {
 // ---------------------------------------------------------------------------
 // Body encoders/decoders.
 
-// AppendHello encodes h.
+// AppendHello encodes h. A zero MaxVersion is normalized to Version (2).
 func AppendHello(dst []byte, h Hello) []byte {
 	dst = AppendString(dst, h.Node)
 	dst = AppendString(dst, h.System)
@@ -397,7 +440,11 @@ func AppendHello(dst []byte, h Hello) []byte {
 	for _, c := range h.Components {
 		dst = AppendString(dst, c)
 	}
-	return dst
+	max := h.MaxVersion
+	if max < Version {
+		max = Version
+	}
+	return binary.AppendUvarint(dst, uint64(max))
 }
 
 // ParseHello decodes a Hello body.
@@ -427,16 +474,31 @@ func ParseHello(b []byte) (Hello, error) {
 		}
 		h.Components = append(h.Components, c)
 	}
+	h.MaxVersion = Version // absent trailer = legacy v2 peer
+	if len(b) > 0 {
+		max, n := binary.Uvarint(b)
+		if n <= 0 {
+			return h, ErrTruncated
+		}
+		if max > Version && max < 256 {
+			h.MaxVersion = uint8(max)
+		}
+	}
 	return h, nil
 }
 
-// AppendCall encodes c.
+// AppendCall encodes c. When RawArgs is set it is spliced verbatim in place
+// of Args; the output is byte-identical either way, so the fast path is
+// invisible to the receiving peer.
 func AppendCall(dst []byte, c Call) ([]byte, error) {
 	dst = binary.AppendUvarint(dst, c.Corr)
 	dst = AppendString(dst, c.Component)
 	dst = AppendString(dst, c.Op)
 	dst = AppendString(dst, c.Principal)
 	dst = binary.AppendVarint(dst, c.DeadlineNanos)
+	if c.RawArgs != nil {
+		return append(dst, c.RawArgs...), nil
+	}
 	return AppendValues(dst, c.Args)
 }
 
@@ -471,15 +533,21 @@ func ParseCall(b []byte) (Call, error) {
 	return c, err
 }
 
-// AppendReply encodes r.
-func AppendReply(dst []byte, r Reply) ([]byte, error) {
+// AppendReply encodes r for a link speaking the given protocol version:
+// v3 bodies carry the error-kind byte between Err and Results, v2 bodies
+// stay byte-identical to what version-2 builds emit.
+func AppendReply(dst []byte, r Reply, version uint8) ([]byte, error) {
 	dst = binary.AppendUvarint(dst, r.Corr)
 	dst = AppendString(dst, r.Err)
+	if version >= VersionBatch {
+		dst = append(dst, r.Kind)
+	}
 	return AppendValues(dst, r.Results)
 }
 
-// ParseReply decodes a Reply body.
-func ParseReply(b []byte) (Reply, error) {
+// ParseReply decodes a Reply body encoded at the given protocol version.
+// v2 bodies yield Kind == KindNone.
+func ParseReply(b []byte, version uint8) (Reply, error) {
 	var (
 		r   Reply
 		err error
@@ -492,6 +560,13 @@ func ParseReply(b []byte) (Reply, error) {
 	b = b[n:]
 	if r.Err, b, err = ReadString(b); err != nil {
 		return r, err
+	}
+	if version >= VersionBatch {
+		if len(b) < 1 {
+			return r, ErrTruncated
+		}
+		r.Kind = b[0]
+		b = b[1:]
 	}
 	r.Results, _, err = ReadValues(b)
 	return r, err
@@ -616,12 +691,34 @@ func ParseAnnounce(b []byte) (Announce, error) {
 type Encoder struct {
 	w       *bufio.Writer
 	scratch []byte
+	version uint8
+	// batch is assembled independently of scratch so batched sub-frames and
+	// interleaved standalone frames (heartbeats, migrations) never fight
+	// over one buffer.
+	batch      []byte
+	batchCount int
 }
 
-// NewEncoder wraps w.
+// NewEncoder wraps w. The encoder stamps Version (2) on every frame until
+// SetVersion raises it after handshake negotiation.
 func NewEncoder(w io.Writer) *Encoder {
-	return &Encoder{w: bufio.NewWriter(w)}
+	return &Encoder{w: bufio.NewWriter(w), version: Version}
 }
+
+// SetVersion fixes the protocol version stamped on subsequent frames. Called
+// once after the handshake with the negotiated min; must not race Encode*.
+func (e *Encoder) SetVersion(v uint8) {
+	if v < MinVersion {
+		v = MinVersion
+	}
+	if v > MaxVersion {
+		v = MaxVersion
+	}
+	e.version = v
+}
+
+// WireVersion reports the version the encoder currently stamps.
+func (e *Encoder) WireVersion() uint8 { return e.version }
 
 // Body returns the reusable body buffer, reset to the frame header's length
 // so the frame can be assembled in one allocation-free pass.
@@ -641,7 +738,7 @@ func (e *Encoder) flushFrame(t FrameType, buf []byte) error {
 	}
 	buf[0] = magic0
 	buf[1] = magic1
-	buf[2] = Version
+	buf[2] = e.version
 	buf[3] = byte(t)
 	binary.BigEndian.PutUint32(buf[4:8], uint32(body))
 	if cap(buf) <= retainLimit {
@@ -655,9 +752,15 @@ func (e *Encoder) flushFrame(t FrameType, buf []byte) error {
 	return e.w.Flush()
 }
 
-// EncodeHello writes a FrameHello or FrameWelcome.
+// EncodeHello writes a FrameHello or FrameWelcome. Handshake frames are
+// always stamped Version (2) regardless of SetVersion — they are parsed
+// before any negotiation, so they must be readable by the oldest peer.
 func (e *Encoder) EncodeHello(t FrameType, h Hello) error {
-	return e.flushFrame(t, AppendHello(e.body(), h))
+	saved := e.version
+	e.version = Version
+	err := e.flushFrame(t, AppendHello(e.body(), h))
+	e.version = saved
+	return err
 }
 
 // EncodeHeartbeat writes a FrameHeartbeat.
@@ -674,9 +777,9 @@ func (e *Encoder) EncodeCall(c Call) error {
 	return e.flushFrame(FrameCall, buf)
 }
 
-// EncodeReply writes a FrameReply.
+// EncodeReply writes a FrameReply in the encoder's negotiated version.
 func (e *Encoder) EncodeReply(r Reply) error {
-	buf, err := AppendReply(e.body(), r)
+	buf, err := AppendReply(e.body(), r, e.version)
 	if err != nil {
 		return err
 	}
@@ -698,17 +801,115 @@ func (e *Encoder) EncodeAnnounce(a Announce) error {
 	return e.flushFrame(FrameAnnounce, AppendAnnounce(e.body(), a))
 }
 
+// ---------------------------------------------------------------------------
+// Batch assembly (v3). A batch is built incrementally — BeginBatch, then any
+// mix of BatchAddCall/BatchAddReply, then FlushBatch — and goes out as one
+// FrameBatch write. Sub-frame layout inside the body:
+//
+//	offset  size  field
+//	0       1     sub-frame type (FrameCall or FrameReply)
+//	1       4     sub-frame body length (big-endian u32)
+//	5       n     sub-frame body (same encoding as the standalone frame)
+
+// BeginBatch resets the batch buffer for a new batch.
+func (e *Encoder) BeginBatch() {
+	if e.batch == nil {
+		e.batch = make([]byte, headerSize, 4096)
+	}
+	e.batch = e.batch[:headerSize]
+	e.batchCount = 0
+}
+
+// batchAdd appends one sub-frame, patching its length in place.
+func (e *Encoder) batchAdd(t FrameType, encode func([]byte) ([]byte, error)) error {
+	start := len(e.batch)
+	e.batch = append(e.batch, byte(t), 0, 0, 0, 0)
+	buf, err := encode(e.batch)
+	if err != nil {
+		e.batch = e.batch[:start] // drop the partial sub-frame
+		return err
+	}
+	e.batch = buf
+	binary.BigEndian.PutUint32(e.batch[start+1:start+5], uint32(len(e.batch)-start-5))
+	e.batchCount++
+	return nil
+}
+
+// BatchAddCall appends a call sub-frame to the open batch.
+func (e *Encoder) BatchAddCall(c Call) error {
+	return e.batchAdd(FrameCall, func(dst []byte) ([]byte, error) { return AppendCall(dst, c) })
+}
+
+// BatchAddReply appends a reply sub-frame to the open batch.
+func (e *Encoder) BatchAddReply(r Reply) error {
+	return e.batchAdd(FrameReply, func(dst []byte) ([]byte, error) { return AppendReply(dst, r, e.version) })
+}
+
+// BatchLen reports the assembled batch size in bytes (header included).
+func (e *Encoder) BatchLen() int { return len(e.batch) }
+
+// BatchCount reports the number of sub-frames in the open batch.
+func (e *Encoder) BatchCount() int { return e.batchCount }
+
+// FlushBatch writes the assembled batch as one FrameBatch. A batch with no
+// sub-frames is a no-op.
+func (e *Encoder) FlushBatch() error {
+	if e.batchCount == 0 {
+		return nil
+	}
+	buf := e.batch
+	e.batchCount = 0
+	body := len(buf) - headerSize
+	if body > MaxFrame {
+		e.batch = buf[:headerSize]
+		return ErrFrameTooBig
+	}
+	buf[0] = magic0
+	buf[1] = magic1
+	buf[2] = e.version
+	buf[3] = byte(FrameBatch)
+	binary.BigEndian.PutUint32(buf[4:8], uint32(body))
+	if cap(buf) <= retainLimit {
+		e.batch = buf[:headerSize]
+	} else {
+		e.batch = nil
+	}
+	if _, err := e.w.Write(buf); err != nil {
+		return err
+	}
+	return e.w.Flush()
+}
+
+// ReadBatchFrame decodes one sub-frame from a FrameBatch body, returning its
+// type, body, and the remaining bytes. The body aliases b.
+func ReadBatchFrame(b []byte) (FrameType, []byte, []byte, error) {
+	if len(b) < 5 {
+		return 0, nil, b, ErrTruncated
+	}
+	t := FrameType(b[0])
+	size := binary.BigEndian.Uint32(b[1:5])
+	if uint64(size) > uint64(len(b)-5) {
+		return 0, nil, b, ErrTruncated
+	}
+	return t, b[5 : 5+size], b[5+size:], nil
+}
+
 // Decoder reads frames from a stream. Not safe for concurrent use; each
 // peer link owns one reader goroutine.
 type Decoder struct {
-	r    *bufio.Reader
-	body []byte
+	r       *bufio.Reader
+	body    []byte
+	version uint8
 }
 
 // NewDecoder wraps r.
 func NewDecoder(r io.Reader) *Decoder {
 	return &Decoder{r: bufio.NewReader(r)}
 }
+
+// FrameVersion reports the protocol version of the frame most recently
+// returned by Next — version-dependent bodies (replies) parse with it.
+func (d *Decoder) FrameVersion() uint8 { return d.version }
 
 // Next reads one frame and returns its type and body. The body slice is
 // valid until the next call to Next (it reuses the decoder's buffer).
@@ -725,9 +926,10 @@ func (d *Decoder) Next() (FrameType, []byte, error) {
 	if hdr[0] != magic0 || hdr[1] != magic1 {
 		return 0, nil, ErrBadMagic
 	}
-	if hdr[2] != Version {
+	if hdr[2] < MinVersion || hdr[2] > MaxVersion {
 		return 0, nil, fmt.Errorf("%w: %d", ErrBadVersion, hdr[2])
 	}
+	d.version = hdr[2]
 	t := FrameType(hdr[3])
 	size := binary.BigEndian.Uint32(hdr[4:8])
 	if size > MaxFrame {

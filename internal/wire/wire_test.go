@@ -70,7 +70,7 @@ func TestFrameRoundTrip(t *testing.T) {
 	enc := NewEncoder(&conn)
 	dec := NewDecoder(&conn)
 
-	hello := Hello{Node: "n1", System: "Cluster", Components: []string{"Store", "Front"}}
+	hello := Hello{Node: "n1", System: "Cluster", Components: []string{"Store", "Front"}, MaxVersion: Version}
 	call := Call{Corr: 7, Component: "Store", Op: "get", Principal: "alice",
 		DeadlineNanos: int64(1500 * time.Millisecond), Args: []any{"k", 2}}
 	reply := Reply{Corr: 7, Results: []any{"v"}}
@@ -129,7 +129,7 @@ func TestFrameRoundTrip(t *testing.T) {
 	if err != nil || typ != FrameReply {
 		t.Fatalf("reply frame: %v %v", typ, err)
 	}
-	gotReply, err := ParseReply(body)
+	gotReply, err := ParseReply(body, dec.FrameVersion())
 	if err != nil || !reflect.DeepEqual(gotReply, reply) {
 		t.Fatalf("reply: %#v %v", gotReply, err)
 	}
@@ -159,6 +159,133 @@ func TestFrameRoundTrip(t *testing.T) {
 	gotAnn, err := ParseAnnounce(body)
 	if err != nil || gotAnn != ann {
 		t.Fatalf("announce: %#v %v", gotAnn, err)
+	}
+}
+
+func TestHelloVersionNegotiation(t *testing.T) {
+	// A v3 hello carries MaxVersion as a trailing uvarint.
+	buf := AppendHello(nil, Hello{Node: "n1", System: "S", MaxVersion: VersionBatch})
+	h, err := ParseHello(buf)
+	if err != nil || h.MaxVersion != VersionBatch {
+		t.Fatalf("v3 hello: MaxVersion=%d err=%v", h.MaxVersion, err)
+	}
+	// A legacy v2 hello (no trailer) parses as MaxVersion 2. Build one by
+	// hand exactly as the version-2 AppendHello emitted it.
+	legacy := AppendString(nil, "n1")
+	legacy = AppendString(legacy, "S")
+	legacy = append(legacy, 0) // zero components
+	h, err = ParseHello(legacy)
+	if err != nil || h.MaxVersion != Version {
+		t.Fatalf("legacy hello: MaxVersion=%d err=%v", h.MaxVersion, err)
+	}
+}
+
+func TestReplyKindRoundTrip(t *testing.T) {
+	r := Reply{Corr: 9, Err: "core: deadline exceeded", Kind: KindDeadline}
+	// v3 preserves the kind byte.
+	buf, err := AppendReply(nil, r, VersionBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseReply(buf, VersionBatch)
+	if err != nil || !reflect.DeepEqual(got, r) {
+		t.Fatalf("v3 reply: %#v %v", got, err)
+	}
+	// v2 drops it (string fallback for legacy peers).
+	buf, err = AppendReply(nil, r, Version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = ParseReply(buf, Version)
+	if err != nil || got.Kind != KindNone || got.Err != r.Err {
+		t.Fatalf("v2 reply: %#v %v", got, err)
+	}
+}
+
+func TestRawArgsEquivalence(t *testing.T) {
+	args := []any{"key-1", 42, true}
+	raw, err := AppendValues(nil, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boxed, err := AppendCall(nil, Call{Corr: 5, Component: "Store", Op: "get", Args: args})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := AppendCall(nil, Call{Corr: 5, Component: "Store", Op: "get", RawArgs: raw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(boxed, pre) {
+		t.Fatalf("RawArgs encoding diverges:\n boxed %x\n pre   %x", boxed, pre)
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	var conn bytes.Buffer
+	enc := NewEncoder(&conn)
+	enc.SetVersion(VersionBatch)
+	dec := NewDecoder(&conn)
+
+	calls := []Call{
+		{Corr: 1, Component: "Store", Op: "get", Args: []any{"a"}},
+		{Corr: 2, Component: "Store", Op: "put", Args: []any{"b", 7}},
+	}
+	reply := Reply{Corr: 3, Err: "boom", Kind: KindAppError, Results: nil}
+
+	enc.BeginBatch()
+	for _, c := range calls {
+		if err := enc.BatchAddCall(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.BatchAddReply(reply); err != nil {
+		t.Fatal(err)
+	}
+	if enc.BatchCount() != 3 {
+		t.Fatalf("batch count = %d", enc.BatchCount())
+	}
+	if err := enc.FlushBatch(); err != nil {
+		t.Fatal(err)
+	}
+
+	typ, body, err := dec.Next()
+	if err != nil || typ != FrameBatch {
+		t.Fatalf("frame: %v %v", typ, err)
+	}
+	for i, want := range calls {
+		st, sb, rest, err := ReadBatchFrame(body)
+		if err != nil || st != FrameCall {
+			t.Fatalf("sub %d: %v %v", i, st, err)
+		}
+		got, err := ParseCall(sb)
+		if err != nil || !reflect.DeepEqual(got, want) {
+			t.Fatalf("sub %d: %#v %v", i, got, err)
+		}
+		body = rest
+	}
+	st, sb, rest, err := ReadBatchFrame(body)
+	if err != nil || st != FrameReply {
+		t.Fatalf("reply sub: %v %v", st, err)
+	}
+	gotReply, err := ParseReply(sb, dec.FrameVersion())
+	if err != nil || !reflect.DeepEqual(gotReply, reply) {
+		t.Fatalf("reply: %#v %v", gotReply, err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes after batch", len(rest))
+	}
+	// An empty flush writes nothing.
+	enc.BeginBatch()
+	if err := enc.FlushBatch(); err != nil {
+		t.Fatal(err)
+	}
+	if conn.Len() != 0 {
+		t.Fatalf("empty batch wrote %d bytes", conn.Len())
+	}
+	// A truncated sub-frame is rejected, not mis-parsed.
+	if _, _, _, err := ReadBatchFrame([]byte{byte(FrameCall), 0, 0, 0, 9, 1}); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated sub-frame: %v", err)
 	}
 }
 

@@ -1,0 +1,7 @@
+//go:build !race
+
+package aas_test
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; the alloc-budget tests skip under it (instrumentation allocates).
+const raceEnabled = false

@@ -1,0 +1,5 @@
+//go:build race
+
+package aas_test
+
+const raceEnabled = true
