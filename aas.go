@@ -105,6 +105,12 @@ var (
 	// ErrNoSuchComponent reports a call or Oneway to a name no component
 	// serves (matches errors.Is on replies from remote peers too).
 	ErrNoSuchComponent = core.ErrNoSuchComponent
+	// ErrOverloaded reports a deadline-carrying call shed at the platform
+	// edge because the callee's estimated queueing delay already exceeds the
+	// caller's remaining budget (DESIGN.md §9). Retryable: back off and call
+	// again — admission reopens as soon as the backlog drains. Test with
+	// errors.Is(err, aas.ErrOverloaded).
+	ErrOverloaded = core.ErrOverloaded
 )
 
 // WithPrincipal stamps every call of the derived handle with a security

@@ -10,7 +10,9 @@ package aas_test
 
 import (
 	"context"
+	"errors"
 	"testing"
+	"time"
 
 	aas "repro"
 
@@ -94,6 +96,81 @@ func TestTypedAsyncAllocs(t *testing.T) {
 	})
 	if allocs > 12 {
 		t.Fatalf("typed async call allocates %.1f/op, budget 12", allocs)
+	}
+}
+
+// TestAdmissionEstimatorAllocs pins the admission estimator's hot methods —
+// one Observe per served call, one Admit per deadline-budgeted call — at
+// zero allocations.
+func TestAdmissionEstimatorAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	a := qos.NewAdmission(4)
+	a.Observe(int64(2 * time.Millisecond))
+	allocs := minAllocsPerRun(3, 1000, func() {
+		a.Observe(int64(time.Millisecond))
+		if !a.Admit(3, int64(time.Second)) {
+			t.Fatal("healthy admission rejected")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Admission hot path allocates %.1f/op, budget 0", allocs)
+	}
+}
+
+// TestOverloadRejectAllocs pins the end-to-end shed path at zero: a typed
+// call rejected by admission control exits with the bare ErrOverloaded
+// sentinel before the envelope lease, so a caller retry-looping against an
+// overloaded component costs no garbage at all.
+func TestOverloadRejectAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	_, short, cleanup := startSaturated(t)
+	defer cleanup()
+	ctx := context.Background()
+	allocs := minAllocsPerRun(5, 200, func() {
+		if _, err := short.Call(ctx, "work", "x"); !errors.Is(err, aas.ErrOverloaded) {
+			t.Fatalf("err = %v, want ErrOverloaded", err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("rejected call allocates %.1f/op, budget 0", allocs)
+	}
+}
+
+// TestAdmittedDeadlineCallAllocs pins the accept side: the admission check
+// plus the deadline stamp must not lift the synchronous typed call above its
+// existing 2-allocation ceiling.
+func TestAdmittedDeadlineCallAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	reg := aas.NewRegistry()
+	reg.MustRegister("Greeter", "1.0", nil, func() any { return &typedGreeter{Greeting: "Hello"} })
+	sys, err := aas.Load(greeterADL, aas.Options{Registry: reg.Registry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Stop()
+	ctx := context.Background()
+	g := aas.ClientOf[string, string](sys, "Greeter").With(aas.WithDeadline(time.Second))
+	for i := 0; i < 64; i++ {
+		if _, err := g.Call(ctx, "greet", "world"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := minAllocsPerRun(5, 200, func() {
+		if _, err := g.Call(ctx, "greet", "world"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("admitted deadline call allocates %.1f/op, budget 2", allocs)
 	}
 }
 

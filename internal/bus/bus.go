@@ -89,6 +89,13 @@ type Message struct {
 	Deadline int64
 }
 
+// OpCancel is the Op of a Control message asking the destination to abandon
+// the request identified by (Src, Corr): the caller gave up (early cancel or
+// fallback timeout), so queued or in-service work for that correlation can
+// be shed. Control traffic passes pauseRequests barriers and skips the EDF
+// lane, so a cancel overtakes the request it revokes.
+const OpCancel = "cancel"
+
 // Verdict is an interceptor's decision about a message.
 type Verdict int
 
@@ -226,6 +233,11 @@ type Bus struct {
 	nextID       atomic.Uint64
 	stats        busStats
 
+	// fifoOnly disables the per-endpoint EDF deadline lane and the
+	// expired-work shedding that rides on it (immutable after New). E19 uses
+	// it to measure the seed behaviour against overload governance.
+	fifoOnly bool
+
 	// tblMu serializes route-table writers (Attach and the first Pause of a
 	// fresh address). Separate from ctl so control-plane operations that
 	// already hold ctl can still materialize routes.
@@ -244,6 +256,11 @@ func WithClock(c clock.Clock) Option { return func(b *Bus) { b.clk = c } }
 
 // WithDelay installs the transmission-delay model.
 func WithDelay(f DelayFunc) Option { return func(b *Bus) { b.delayFn = f } }
+
+// WithFIFOOnly disables deadline-aware mailbox scheduling: every message
+// queues on the FIFO ring and nothing is shed as expired. This is the
+// pre-governance seed behaviour, kept for comparison runs (E19).
+func WithFIFOOnly() Option { return func(b *Bus) { b.fifoOnly = true } }
 
 // New creates an empty bus. Without options it uses the real clock and zero
 // transmission delay.
@@ -299,7 +316,7 @@ func (b *Bus) Attach(addr Address, mailbox int) (*Endpoint, error) {
 	if r.ep != nil {
 		return nil, fmt.Errorf("%w: %s", ErrAddressTaken, addr)
 	}
-	e := newEndpoint(addr, mailbox, &r.mu)
+	e := newEndpoint(addr, mailbox, &r.mu, &b.stats, b.fifoOnly)
 	r.ep = e
 	return e, nil
 }
@@ -515,8 +532,12 @@ func (b *Bus) pauseMode(addr Address, mode pauseMode) {
 }
 
 // Resume unblocks addr and flushes parked messages in order. It returns the
-// number flushed. Messages that no longer fit the mailbox stay parked and
-// an ErrMailboxFull is returned alongside the flushed count.
+// number flushed. Requests whose deadline lapsed while the channel was
+// paused are discarded instead of re-delivered — the caller already gave up
+// — and move from the held count to the dropped count, preserving
+// Sent == Delivered + Dropped + Held. Messages that no longer fit the
+// mailbox stay parked and an ErrMailboxFull is returned alongside the
+// flushed count.
 func (b *Bus) Resume(addr Address) (int, error) {
 	b.ctl.Lock()
 	defer b.ctl.Unlock()
@@ -527,19 +548,37 @@ func (b *Bus) Resume(addr Address) (int, error) {
 	if r.ep == nil {
 		return 0, fmt.Errorf("%w: %s", ErrUnknownDst, addr)
 	}
-	flushed := 0
+	var now int64
+	if !b.fifoOnly {
+		for i := range r.held {
+			if m := &r.held[i]; m.Kind == Request && m.Deadline != 0 {
+				now = time.Now().UnixNano()
+				break
+			}
+		}
+	}
+	flushed, shed := 0, 0
+	account := func() {
+		b.stats.held.Add(-int64(flushed + shed))
+		b.stats.delivered.Add(uint64(flushed))
+		b.stats.dropped.Add(uint64(shed))
+	}
 	for i := range r.held {
-		if !r.ep.enqueueLocked(&r.held[i]) {
+		m := &r.held[i]
+		if now != 0 && m.Kind == Request && m.Deadline != 0 && m.Deadline <= now {
+			r.ep.noteExpiredLocked(m)
+			shed++
+			continue
+		}
+		if !r.ep.enqueueLocked(m) {
 			r.held = append([]Message(nil), r.held[i:]...)
-			b.stats.held.Add(-int64(flushed))
-			b.stats.delivered.Add(uint64(flushed))
+			account()
 			return flushed, fmt.Errorf("%w: %s", ErrMailboxFull, addr)
 		}
 		flushed++
 	}
 	r.held = nil
-	b.stats.held.Add(-int64(flushed))
-	b.stats.delivered.Add(uint64(flushed))
+	account()
 	return flushed, nil
 }
 

@@ -1,0 +1,67 @@
+package bus
+
+// The EDF lane (DESIGN.md §9): deadline-carrying requests queue on a
+// bounded binary min-heap keyed on Message.Deadline instead of the FIFO
+// ring, so the mailbox serves earliest-deadline-first and can lazily shed
+// work whose deadline already lapsed. Deadline-less traffic (and every
+// Reply/Event/Control message) keeps the ring, so the PR 1 zero-alloc FIFO
+// path is untouched.
+//
+// This file is pure heap mechanics on int64 nanosecond deadlines — it must
+// not import time (CI greps for time.Time construction on the message hot
+// path; the PR 5 size-class lesson).
+
+// edfLess orders the deadline lane: earliest absolute deadline first, with
+// the bus-unique delivery ID as tie-break so equal deadlines keep arrival
+// order.
+func edfLess(a, b *Message) bool {
+	if a.Deadline != b.Deadline {
+		return a.Deadline < b.Deadline
+	}
+	return a.ID < b.ID
+}
+
+// edfPush appends m and sifts it up; it returns the (possibly regrown)
+// heap. The backing array is reused across drain/fill cycles, so a mailbox
+// oscillating around a steady depth allocates nothing.
+func edfPush(h []Message, m *Message) []Message {
+	h = append(h, *m)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !edfLess(&h[i], &h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	return h
+}
+
+// edfPop removes and returns the earliest-deadline message. The vacated
+// slot is zeroed so the heap does not retain payload references. Callers
+// check len(h) > 0.
+func edfPop(h []Message) (Message, []Message) {
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = Message{}
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h) && edfLess(&h[l], &h[smallest]) {
+			smallest = l
+		}
+		if r < len(h) && edfLess(&h[r], &h[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+	return top, h
+}

@@ -1,0 +1,207 @@
+package bus
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestEDFOrderingWithinMailbox: deadlined requests dequeue earliest-deadline
+// first regardless of arrival order, and deadline-less traffic keeps its
+// FIFO ring (served after the deadline lane drains — work nobody is waiting
+// on yields to work on a clock).
+func TestEDFOrderingWithinMailbox(t *testing.T) {
+	b := New()
+	dst := attach(t, b, "dst")
+	base := time.Now().Add(time.Hour).UnixNano()
+	for i := 0; i < 3; i++ {
+		if err := b.Send(Message{Kind: Request, Op: "r", Payload: 100 + i, Src: "s", Dst: "dst"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Deadlines arrive in reverse order.
+	for i := 10; i >= 1; i-- {
+		if err := b.Send(Message{Kind: Request, Op: "r", Payload: i, Src: "s", Dst: "dst",
+			Deadline: base + int64(i)*int64(time.Second)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	for i := 1; i <= 10; i++ {
+		m, err := dst.Receive(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Payload.(int) != i {
+			t.Fatalf("EDF order broken: got %v at position %d", m.Payload, i)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		m, err := dst.Receive(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Payload.(int) != 100+i {
+			t.Fatalf("FIFO tail broken: got %v at position %d", m.Payload, i)
+		}
+	}
+}
+
+// TestEDFRepliesNeverStarve: replies and control messages bypass the
+// deadline lane entirely — a full lane of urgent requests cannot delay the
+// completion of work already done.
+func TestEDFRepliesNeverStarve(t *testing.T) {
+	b := New()
+	dst := attach(t, b, "dst")
+	dl := time.Now().Add(time.Hour).UnixNano()
+	for i := 0; i < 5; i++ {
+		if err := b.Send(Message{Kind: Request, Op: "r", Payload: i, Src: "s", Dst: "dst", Deadline: dl}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Send(Message{Kind: Reply, Op: "r", Payload: "done", Src: "s", Dst: "dst"}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := dst.Receive(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != Reply {
+		t.Fatalf("reply queued behind the deadline lane: got %v first", m.Kind)
+	}
+}
+
+// TestEDFExpiredShedOnDequeue: an expired request is discarded at dequeue —
+// never delivered — and reclassified from delivered to dropped so the
+// conservation invariant holds.
+func TestEDFExpiredShedOnDequeue(t *testing.T) {
+	b := New()
+	dst := attach(t, b, "dst")
+	if err := b.Send(Message{Kind: Request, Op: "r", Payload: "dead", Src: "s", Dst: "dst",
+		Deadline: time.Now().Add(-time.Second).UnixNano()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send(Message{Kind: Request, Op: "r", Payload: "live", Src: "s", Dst: "dst",
+		Deadline: time.Now().Add(time.Hour).UnixNano()}); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := dst.TryReceive()
+	if !ok || m.Payload.(string) != "live" {
+		t.Fatalf("got %v %v, want the live request", m.Payload, ok)
+	}
+	if _, ok := dst.TryReceive(); ok {
+		t.Fatal("expired request was delivered")
+	}
+	if got := dst.Expired(); got != 1 {
+		t.Fatalf("endpoint expired count = %d, want 1", got)
+	}
+	st := b.Stats()
+	if st.Dropped != 1 || st.Sent != st.Delivered+st.Dropped+st.Held {
+		t.Fatalf("accounting after shed: sent=%d delivered=%d dropped=%d held=%d",
+			st.Sent, st.Delivered, st.Dropped, st.Held)
+	}
+}
+
+// TestResumeShedsExpiredHeld: requests whose deadline passed while parked on
+// a paused route are discarded during the flush-after-resume, moved from
+// held to dropped; live and deadline-less traffic still flushes in order.
+func TestResumeShedsExpiredHeld(t *testing.T) {
+	b := New()
+	dst := attach(t, b, "dst")
+	b.Pause("dst")
+	if err := b.Send(Message{Kind: Request, Op: "r", Payload: "doomed", Src: "s", Dst: "dst",
+		Deadline: time.Now().Add(20 * time.Millisecond).UnixNano()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send(Message{Kind: Request, Op: "r", Payload: "live", Src: "s", Dst: "dst",
+		Deadline: time.Now().Add(time.Hour).UnixNano()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send(Message{Kind: Event, Op: "e", Payload: "plain", Src: "s", Dst: "dst"}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // the first request is now expired
+	n, err := b.Resume("dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("flushed %d, want 2 (expired one shed)", n)
+	}
+	if got := dst.Expired(); got != 1 {
+		t.Fatalf("endpoint expired count = %d, want 1", got)
+	}
+	// The event outranks the deadline lane (non-request ring head first),
+	// then the surviving deadlined request drains.
+	for _, want := range []string{"plain", "live"} {
+		m, ok := dst.TryReceive()
+		if !ok || m.Payload.(string) != want {
+			t.Fatalf("got %v %v, want %q", m.Payload, ok, want)
+		}
+	}
+	st := b.Stats()
+	if st.Dropped != 1 || st.Held != 0 || st.Sent != st.Delivered+st.Dropped+st.Held {
+		t.Fatalf("accounting after resume shed: sent=%d delivered=%d dropped=%d held=%d",
+			st.Sent, st.Delivered, st.Dropped, st.Held)
+	}
+}
+
+// TestEDFOrderingUnderPauseResumeRace: concurrent senders race pause/resume
+// churn on one destination; once everything settles the deadline lane must
+// still drain in non-decreasing deadline order with nothing lost. Run with
+// -race: held-queue flushes re-enter the EDF heap under the route lock.
+func TestEDFOrderingUnderPauseResumeRace(t *testing.T) {
+	b := New()
+	dst, err := b.Attach("dst", 1<<14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const senders, per = 4, 500
+	base := time.Now().Add(time.Hour).UnixNano()
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			src := Address(rune('a' + s))
+			for i := 0; i < per; i++ {
+				// Deadlines deliberately interleave across senders.
+				dl := base + int64(i*senders+s)*int64(time.Millisecond)
+				if err := b.Send(Message{Kind: Request, Op: "r", Src: src, Dst: "dst", Deadline: dl}); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			b.PauseRequests("dst")
+			if _, err := b.Resume("dst"); err != nil {
+				t.Errorf("resume: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if _, err := b.Resume("dst"); err != nil {
+		t.Fatal(err)
+	}
+	var last int64
+	for i := 0; i < senders*per; i++ {
+		m, ok := dst.TryReceive()
+		if !ok {
+			t.Fatalf("ran dry after %d of %d", i, senders*per)
+		}
+		if m.Deadline < last {
+			t.Fatalf("EDF order violated at %d: %d after %d", i, m.Deadline, last)
+		}
+		last = m.Deadline
+	}
+	if _, ok := dst.TryReceive(); ok {
+		t.Fatal("extra message delivered")
+	}
+}

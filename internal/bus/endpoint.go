@@ -3,6 +3,8 @@ package bus
 import (
 	"context"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Endpoint is a component's mailbox on the bus. Receivers consume messages
@@ -16,18 +18,32 @@ import (
 // bus route that owns it: sequence assignment, the paused check and the
 // enqueue are one critical section, and a delivery pays for one lock, not
 // two.
+//
+// Deadline-carrying requests take a second lane (DESIGN.md §9): a bounded
+// binary heap keyed on Message.Deadline, served earliest-deadline-first with
+// lazy shedding of already-expired entries. Everything else — deadline-less
+// requests, replies, events, control — keeps the FIFO ring, so the
+// zero-alloc steady-state path is unchanged. Both lanes share the one
+// capacity bound.
 type Endpoint struct {
 	addr Address
 
 	mu      *sync.Mutex // shared with the owning route
 	buf     []Message   // ring storage; len(buf) is the current allocation
 	head    int         // index of the oldest message
-	count   int         // messages currently queued
-	cap     int         // hard mailbox capacity
+	count   int         // messages currently queued in the ring
+	cap     int         // hard mailbox capacity (both lanes combined)
 	closed  bool
 	waiting int           // receivers parked in select, guarded by mu
 	notify  chan struct{} // capacity 1: wake one waiting receiver
 	done    chan struct{} // closed on close(): broadcast to all receivers
+
+	edfq      []Message     // deadline lane: min-heap on (Deadline, ID)
+	fifoOnly  bool          // disable the EDF lane (seed-comparison mode)
+	stats     *busStats     // owning bus counters, for expired-discard accounting
+	depth     atomic.Int64  // lock-free mirror of count+len(edfq) for admission
+	expired   uint64        // messages shed because their deadline lapsed
+	onExpired func(Message) // optional shed hook; runs under mu, must be fast
 
 	received  uint64
 	arrivals  seqTable // last seen per-source sequence; the dst is fixed
@@ -37,7 +53,7 @@ type Endpoint struct {
 
 const initialRing = 16
 
-func newEndpoint(addr Address, capacity int, mu *sync.Mutex) *Endpoint {
+func newEndpoint(addr Address, capacity int, mu *sync.Mutex, stats *busStats, fifoOnly bool) *Endpoint {
 	ring := initialRing
 	if capacity < ring {
 		ring = capacity
@@ -47,6 +63,8 @@ func newEndpoint(addr Address, capacity int, mu *sync.Mutex) *Endpoint {
 		mu:       mu,
 		buf:      make([]Message, ring),
 		cap:      capacity,
+		fifoOnly: fifoOnly,
+		stats:    stats,
 		notify:   make(chan struct{}, 1),
 		done:     make(chan struct{}),
 		arrivals: newSeqTable(),
@@ -85,15 +103,89 @@ func (e *Endpoint) popLocked() Message {
 	return m
 }
 
+// pendingLocked reports queued messages across both lanes; callers hold e.mu.
+func (e *Endpoint) pendingLocked() int { return e.count + len(e.edfq) }
+
+// syncDepthLocked refreshes the lock-free depth mirror; callers hold e.mu.
+func (e *Endpoint) syncDepthLocked() { e.depth.Store(int64(e.pendingLocked())) }
+
+// noteExpiredLocked records one shed message (deadline lapsed before
+// delivery) and fires the hook; callers hold e.mu. Bus-level stat
+// adjustment is the caller's job — the right adjustment differs between a
+// message shed out of the mailbox (already counted delivered) and one shed
+// out of a held queue (still counted held).
+func (e *Endpoint) noteExpiredLocked(m *Message) {
+	e.expired++
+	if e.onExpired != nil {
+		e.onExpired(*m)
+	}
+}
+
+// dequeueLocked pops the next message to serve under the EDF policy,
+// lazily shedding deadline lane entries that expired before now (unix
+// nanoseconds). Priority: ring head when it is not a Request (replies,
+// events and control never starve behind deadlined work), then the
+// earliest future deadline, then the ring. It reports false when every
+// queued message was shed and nothing remains. Callers hold e.mu.
+func (e *Endpoint) dequeueLocked(now int64) (Message, bool) {
+	for {
+		if e.count > 0 && e.buf[e.head].Kind != Request {
+			m := e.popLocked()
+			e.syncDepthLocked()
+			return m, true
+		}
+		if len(e.edfq) > 0 {
+			var m Message
+			m, e.edfq = edfPop(e.edfq)
+			if m.Deadline <= now {
+				// Shed: the caller's budget lapsed while the request queued.
+				// It was counted delivered at enqueue; reclassify as dropped
+				// so Sent == Delivered + Dropped + Held stays exact.
+				e.noteExpiredLocked(&m)
+				if e.stats != nil {
+					e.stats.delivered.Add(^uint64(0))
+					e.stats.dropped.Add(1)
+				}
+				continue
+			}
+			e.syncDepthLocked()
+			return m, true
+		}
+		if e.count > 0 {
+			m := e.popLocked()
+			e.syncDepthLocked()
+			return m, true
+		}
+		e.syncDepthLocked()
+		return Message{}, false
+	}
+}
+
+// nowIfDeadlined returns the wall clock in unix nanoseconds when the
+// deadline lane is non-empty, 0 otherwise — the FIFO-only fast path never
+// touches the clock. Callers hold e.mu.
+func (e *Endpoint) nowIfDeadlined() int64 {
+	if len(e.edfq) == 0 {
+		return 0
+	}
+	return time.Now().UnixNano()
+}
+
 // enqueueLocked appends m and wakes a parked receiver if one is waiting; it
-// reports false when the mailbox is full or closed. Callers hold e.mu (the
-// route lock).
+// reports false when the mailbox is full or closed. Deadline-carrying
+// requests go to the EDF lane, everything else to the FIFO ring; both lanes
+// share the capacity bound. Callers hold e.mu (the route lock).
 func (e *Endpoint) enqueueLocked(m *Message) bool {
-	if e.closed || e.count >= e.cap {
+	if e.closed || e.pendingLocked() >= e.cap {
 		return false
 	}
-	e.pushLocked(m)
+	if m.Kind == Request && m.Deadline != 0 && !e.fifoOnly {
+		e.edfq = edfPush(e.edfq, m)
+	} else {
+		e.pushLocked(m)
+	}
 	e.received++
+	e.syncDepthLocked()
 	cell := e.arrivals.cell(m.Src)
 	switch last := *cell; {
 	case m.Seq == last && m.Seq != 0:
@@ -122,17 +214,20 @@ func (e *Endpoint) Receive(ctx context.Context) (Message, error) {
 			e.waiting--
 			registered = false
 		}
-		if e.count > 0 {
-			m := e.popLocked()
-			if e.count > 0 && e.waiting > 0 {
-				// Rearm the wakeup for other receivers.
-				select {
-				case e.notify <- struct{}{}:
-				default:
+		if e.pendingLocked() > 0 {
+			m, ok := e.dequeueLocked(e.nowIfDeadlined())
+			if ok {
+				if e.pendingLocked() > 0 && e.waiting > 0 {
+					// Rearm the wakeup for other receivers.
+					select {
+					case e.notify <- struct{}{}:
+					default:
+					}
 				}
+				e.mu.Unlock()
+				return m, nil
 			}
-			e.mu.Unlock()
-			return m, nil
+			// Everything queued was shed as expired; fall through and wait.
 		}
 		if e.closed {
 			e.mu.Unlock()
@@ -155,21 +250,44 @@ func (e *Endpoint) Receive(ctx context.Context) (Message, error) {
 	}
 }
 
-// TryReceive pops a message without blocking; ok is false when empty.
+// TryReceive pops a message without blocking; ok is false when empty (or
+// when everything queued was shed as expired).
 func (e *Endpoint) TryReceive() (Message, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.count == 0 {
+	if e.pendingLocked() == 0 {
 		return Message{}, false
 	}
-	return e.popLocked(), true
+	return e.dequeueLocked(e.nowIfDeadlined())
 }
 
-// Len reports queued messages.
+// Len reports queued messages across both lanes.
 func (e *Endpoint) Len() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.count
+	return e.pendingLocked()
+}
+
+// Depth reports queued messages without taking the route lock: one atomic
+// load of a mirror maintained by every enqueue/dequeue. Admission control
+// reads this on every call, so it must never contend with delivery.
+func (e *Endpoint) Depth() int64 { return e.depth.Load() }
+
+// Expired reports messages shed because their deadline lapsed before
+// delivery.
+func (e *Endpoint) Expired() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.expired
+}
+
+// SetExpiredFunc installs a hook invoked for each message shed as expired.
+// The hook runs under the route lock: it must be fast and must not call
+// back into the bus.
+func (e *Endpoint) SetExpiredFunc(f func(Message)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.onExpired = f
 }
 
 // Received reports the total number of messages ever enqueued.

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // atomicDropper is a race-safe interceptor dropping every 16th scoped
@@ -54,6 +55,7 @@ func TestConcurrentReconfigurationStress(t *testing.T) {
 		go func(s int) {
 			defer wg.Done()
 			src := Address(fmt.Sprintf("sender-%d", s))
+			now := time.Now().UnixNano()
 			for i := 0; i < perSender; i++ {
 				dst := addrs[(s+i)%nAddrs]
 				if i%7 == 0 {
@@ -64,7 +66,16 @@ func TestConcurrentReconfigurationStress(t *testing.T) {
 				// ErrUnknownDst (detached or unbound alias) and
 				// ErrMailboxFull are legitimate outcomes mid-reconfiguration;
 				// the invariant only covers accepted sends.
-				_ = b.Send(Message{Kind: Event, Op: "op", Payload: i, Src: src, Dst: dst})
+				m := Message{Kind: Event, Op: "op", Payload: i, Src: src, Dst: dst}
+				if i%3 == 1 {
+					// Deadlined request traffic: some deadlines already
+					// passed, some a few ms out — the Resume churn must shed
+					// the expired ones into drop accounting (held → dropped)
+					// without breaking conservation.
+					m.Kind = Request
+					m.Deadline = now + int64(i%5-2)*int64(time.Millisecond)
+				}
+				_ = b.Send(m)
 			}
 		}(s)
 	}

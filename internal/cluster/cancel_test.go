@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/registry"
+	"repro/internal/wire"
+)
+
+// slowRegistry builds the single-component registry the cancel tests share.
+func slowRegistry(served *atomic.Int64, delay time.Duration) func(string) *registry.Registry {
+	return func(string) *registry.Registry {
+		reg := &registry.Registry{}
+		if err := reg.Register(registry.Entry{Name: "Slow", Version: registry.Version{Major: 1},
+			New: func() any { return &slowComp{delay: delay, served: served} }}); err != nil {
+			panic(err)
+		}
+		return reg
+	}
+}
+
+// waitPendingZero polls both systems' waiter tables down to zero within the
+// window — far below the calls' multi-second budgets, so passing proves the
+// slots were reclaimed by cancellation, not by budget expiry.
+func waitPendingZero(t *testing.T, window time.Duration, syss ...*core.System) {
+	t.Helper()
+	deadline := time.Now().Add(window)
+	for {
+		n := 0
+		for _, s := range syss {
+			n += s.PendingCalls()
+		}
+		if n == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d waiter slots still held after %v", n, window)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestClusterCancelPropagation is the acceptance test of remote call
+// revocation (wire v4): cancelling a long-budget cross-node call frees the
+// caller's and the callee's waiter slots immediately — no waiting out the
+// shipped budget — and a cancelled call still queued at the serving
+// component is rejected before its handler runs.
+func TestClusterCancelPropagation(t *testing.T) {
+	served := new(atomic.Int64)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	h, err := StartHarness(ctx, Spec{
+		ADL:       slowADL,
+		Nodes:     []string{"n1", "n2"},
+		Placement: map[string]string{"Slow": "n2"},
+		Registry:  slowRegistry(served, 200*time.Millisecond),
+		Cluster:   fastCluster,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	sys1, sys2 := h.System("n1"), h.System("n2")
+	slow := sys1.Client("Slow")
+
+	if _, err := slow.Call(context.Background(), "work", "warm"); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+
+	// 1. Cancel an in-flight call carrying a 10s budget. FrameCancel must
+	// release the callee's waiter slot in cancel-order time; without it the
+	// slot would pin until the shipped budget expires.
+	cctx, ccancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer ccancel()
+	done := make(chan error, 1)
+	go func() {
+		_, cerr := slow.Call(cctx, "work", "inflight")
+		done <- cerr
+	}()
+	time.Sleep(80 * time.Millisecond) // handler is mid-sleep on n2
+	ccancel()
+	if cerr := <-done; !errors.Is(cerr, context.Canceled) {
+		t.Fatalf("cancelled call err = %v, want context.Canceled", cerr)
+	}
+	waitPendingZero(t, 2*time.Second, sys1, sys2)
+
+	// Let the abandoned handler finish so its serve count is banked before
+	// the queued-revocation phase measures.
+	drain := time.Now().Add(2 * time.Second)
+	for served.Load() < 2 && time.Now().Before(drain) {
+		time.Sleep(25 * time.Millisecond)
+	}
+	base := served.Load()
+
+	// 2. A cancelled call still queued at the serving component never
+	// reaches its handler: the cancel control overtakes the parked request
+	// (pauses park requests, not control traffic), and the component's
+	// revocation set rejects it at dequeue. The 10s budget rules out
+	// deadline expiry as the explanation.
+	addr := core.ComponentAddress("Slow")
+	sys2.Bus().PauseRequests(addr)
+	qctx, qcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer qcancel()
+	qdone := make(chan error, 1)
+	go func() {
+		_, qerr := slow.Call(qctx, "work", "parked")
+		qdone <- qerr
+	}()
+	time.Sleep(100 * time.Millisecond) // request crossed the wire and parked
+	qcancel()
+	if qerr := <-qdone; !errors.Is(qerr, context.Canceled) {
+		t.Fatalf("parked call err = %v, want context.Canceled", qerr)
+	}
+	time.Sleep(150 * time.Millisecond) // cancel crossed the wire too
+	if _, err := sys2.Bus().Resume(addr); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	if got := served.Load(); got != base {
+		t.Fatalf("revoked parked request reached the container (%d extra serves)", got-base)
+	}
+	waitPendingZero(t, 2*time.Second, sys1, sys2)
+}
+
+// TestClusterCancelV2Degrade pins graceful degradation against a peer that
+// never negotiated FrameCancel: the caller still settles and frees its own
+// state immediately, no unknown frame crosses the wire, and the callee's
+// slot is reclaimed by the shipped deadline budget as before v4.
+func TestClusterCancelV2Degrade(t *testing.T) {
+	served := new(atomic.Int64)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	h, err := StartHarness(ctx, Spec{
+		ADL:       slowADL,
+		Nodes:     []string{"n1", "n2"},
+		Placement: map[string]string{"Slow": "n2"},
+		Registry:  slowRegistry(served, 100*time.Millisecond),
+		Cluster: func(n string) Options {
+			o := fastCluster(n)
+			o.MaxWireVersion = wire.Version // legacy v2 link: no batch, no cancel
+			return o
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	sys1, sys2 := h.System("n1"), h.System("n2")
+	slow := sys1.Client("Slow")
+
+	if _, err := slow.Call(context.Background(), "work", "warm"); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+
+	cctx, ccancel := context.WithTimeout(context.Background(), 800*time.Millisecond)
+	defer ccancel()
+	done := make(chan error, 1)
+	go func() {
+		_, cerr := slow.Call(cctx, "work", "x")
+		done <- cerr
+	}()
+	time.Sleep(50 * time.Millisecond)
+	ccancel()
+	if cerr := <-done; !errors.Is(cerr, context.Canceled) {
+		t.Fatalf("cancelled call err = %v, want context.Canceled", cerr)
+	}
+	// Caller-side state is gone at once (the gateway dropped its pending
+	// continuation even though it could not tell the peer).
+	waitPendingZero(t, 2*time.Second, sys1)
+	// Callee-side reclamation falls back to the shipped 800ms budget.
+	waitPendingZero(t, 3*time.Second, sys2)
+}

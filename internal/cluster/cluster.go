@@ -100,9 +100,32 @@ type Node struct {
 	gateways map[string]*gateway
 	closed   bool
 
+	// inflight maps a caller-side (src, corr) to the wire call it became,
+	// so a bus-level cancel arriving at a gateway can revoke the matching
+	// remote call (see cancelForward).
+	imu      sync.Mutex
+	inflight map[callKey]remoteRef
+
 	// Egress coalescing counters across all v3 links (see BatchStats).
 	batchWrites atomic.Uint64
 	batchFrames atomic.Uint64
+	// shedGateway counts requests shed at this node's gateways before
+	// crossing the wire: expired in a gateway mailbox's EDF lane, expired
+	// at forward time, or expired in the egress queue (see ShedStats).
+	shedGateway atomic.Uint64
+}
+
+// callKey identifies a caller-side in-flight request: the caller's reply
+// address plus its bus correlation id.
+type callKey struct {
+	src  bus.Address
+	corr uint64
+}
+
+// remoteRef locates the wire call a forwarded request became.
+type remoteRef struct {
+	p    *peer
+	corr uint64
 }
 
 // gateway is a forwarding endpoint occupying a remote component's canonical
@@ -157,6 +180,7 @@ func Start(sys *core.System, opts Options) (*Node, error) {
 		peers:    map[string]*peer{},
 		owners:   map[string]string{},
 		gateways: map[string]*gateway{},
+		inflight: map[callKey]remoteRef{},
 	}
 	n.ctx, n.cancel = context.WithCancel(context.Background())
 
@@ -243,6 +267,15 @@ func (n *Node) hello() wire.Hello {
 // batching factor.
 func (n *Node) BatchStats() (writes, frames uint64) {
 	return n.batchWrites.Load(), n.batchFrames.Load()
+}
+
+// ShedStats reports how many requests this node's gateways shed before they
+// crossed the wire: expired in a gateway mailbox's deadline lane, found
+// expired at forward time, or expired while queued in an egress batch. Under
+// overload these sheds are the cluster edge's contribution to goodput — work
+// whose caller already gave up never spends a network round trip.
+func (n *Node) ShedStats() (shed uint64) {
+	return n.shedGateway.Load()
 }
 
 // acceptLoop links inbound peers.
@@ -377,6 +410,10 @@ func (n *Node) attachGateway(comp string) error {
 		}
 		return err
 	}
+	// Deadlined requests queue in the gateway mailbox's EDF lane and are
+	// shed there when they expire before the loop gets to them; count those
+	// sheds into the node's edge accounting.
+	ep.SetExpiredFunc(func(bus.Message) { n.shedGateway.Add(1) })
 	ctx, cancel := context.WithCancel(n.ctx)
 	g := &gateway{comp: comp, ep: ep, cancel: cancel}
 	n.mu.Lock()
@@ -445,6 +482,11 @@ func (n *Node) gatewayLoop(g *gateway, ctx context.Context) {
 		if err != nil {
 			return
 		}
+		if m.Kind == bus.Control && m.Op == bus.OpCancel {
+			// A caller gave up on a forwarded call: revoke it on the peer.
+			n.cancelForward(m)
+			continue
+		}
 		if m.Kind != bus.Request {
 			continue // stray replies/events toward a remote address are meaningless here
 		}
@@ -472,6 +514,7 @@ func (n *Node) forward(comp string, m bus.Message) {
 	if m.Deadline != 0 {
 		rem := time.Until(time.Unix(0, m.Deadline))
 		if rem <= 0 {
+			n.shedGateway.Add(1)
 			n.replyErrorKind(comp, m, connector.ErrKindDeadline,
 				fmt.Sprintf("cluster: %s.%s: deadline exceeded at gateway", comp, m.Op))
 			return
@@ -496,7 +539,17 @@ func (n *Node) forward(comp string, m bus.Message) {
 	corr := p.corr.Add(1)
 	c.Corr = corr
 	src, srcCorr, op := m.Src, m.Corr, m.Op
+	key := callKey{src: src, corr: srcCorr}
+	n.imu.Lock()
+	n.inflight[key] = remoteRef{p: p, corr: corr}
+	n.imu.Unlock()
 	p.addPending(corr, func(rep wire.Reply) {
+		// Untrack first: the callback fires on every completion path (reply,
+		// egress-expiry, link failure), and a cancel arriving after that must
+		// find nothing to revoke.
+		n.imu.Lock()
+		delete(n.inflight, key)
+		n.imu.Unlock()
 		if serr := n.sys.Bus().Send(bus.Message{
 			Kind: bus.Reply, Op: op,
 			Payload: connector.ReplyPayload{Results: rep.Results, Err: rep.Err,
@@ -517,6 +570,39 @@ func (n *Node) forward(comp string, m bus.Message) {
 		if cb, ok := p.takePending(corr); ok {
 			cb(wire.Reply{Corr: corr, Err: "cluster: " + err.Error()})
 		}
+	}
+}
+
+// cancelForward revokes a forwarded call whose caller gave up (context
+// cancel or deadline expiry). The caller-side waiter entry is dropped
+// immediately — that alone makes v2 peers degrade gracefully, the callee
+// just serves work nobody collects until its shipped budget expires — and
+// on v4 links a FrameCancel rides to the callee so its serving slot and
+// waiter table are reclaimed right away too. No reply flows back: by the
+// time a cancel reaches the gateway the caller has already settled.
+func (n *Node) cancelForward(m bus.Message) {
+	key := callKey{src: m.Src, corr: m.Corr}
+	n.imu.Lock()
+	ref, ok := n.inflight[key]
+	if ok {
+		delete(n.inflight, key)
+	}
+	n.imu.Unlock()
+	if !ok {
+		return // already replied, expired in egress, or never forwarded
+	}
+	ref.p.takePending(ref.corr) // drop the continuation, suppress the late reply
+	if ref.p.version < wire.VersionCancel || ref.p.down.Load() {
+		return
+	}
+	if ref.p.egress != nil {
+		ref.p.egress.enqueueCancel(wire.Cancel{Corr: ref.corr})
+		return
+	}
+	if err := ref.p.send(func(e *wire.Encoder) error {
+		return e.EncodeCancel(wire.Cancel{Corr: ref.corr})
+	}); err != nil {
+		n.opts.Logf("cluster %s: cancel corr=%d to %s: %v", n.id, ref.corr, ref.p.id, err)
 	}
 }
 

@@ -30,11 +30,21 @@ const (
 // time — a call that sat in the queue ships with its true remaining credit,
 // and one that expired there fails locally without crossing the wire.
 type egressItem struct {
-	isReply     bool
+	kind        egressKind
 	call        wire.Call
 	reply       wire.Reply
+	cancel      wire.Cancel
 	absDeadline int64 // unix nanos, 0 = none; calls only
 }
+
+// egressKind discriminates the frame an egressItem carries.
+type egressKind uint8
+
+const (
+	egressCall egressKind = iota
+	egressReply
+	egressCancel
+)
 
 // egress is the coalescing writer of one v3 peer link.
 type egress struct {
@@ -53,12 +63,19 @@ func newEgress(p *peer) *egress {
 
 // enqueueCall queues an outbound remote call.
 func (e *egress) enqueueCall(c wire.Call, absDeadline int64) {
-	e.enqueue(egressItem{call: c, absDeadline: absDeadline})
+	e.enqueue(egressItem{kind: egressCall, call: c, absDeadline: absDeadline})
 }
 
 // enqueueReply queues an outbound reply.
 func (e *egress) enqueueReply(r wire.Reply) {
-	e.enqueue(egressItem{isReply: true, reply: r})
+	e.enqueue(egressItem{kind: egressReply, reply: r})
+}
+
+// enqueueCancel queues an outbound call revocation (v4 links only). Cancels
+// coalesce with the rest of the traffic; a cancel overtaking its own call is
+// impossible because the queue preserves enqueue order.
+func (e *egress) enqueueCancel(c wire.Cancel) {
+	e.enqueue(egressItem{kind: egressCancel, cancel: c})
 }
 
 func (e *egress) enqueue(it egressItem) {
@@ -131,7 +148,7 @@ func (e *egress) writeBatch(items []egressItem) {
 	live := items[:0]
 	for i := range items {
 		it := items[i]
-		if !it.isReply && it.absDeadline != 0 {
+		if it.kind == egressCall && it.absDeadline != 0 {
 			rem := it.absDeadline - now
 			if rem <= 0 {
 				expired = append(expired, it.call)
@@ -142,6 +159,7 @@ func (e *egress) writeBatch(items []egressItem) {
 		live = append(live, it)
 	}
 	for _, c := range expired {
+		p.n.shedGateway.Add(1)
 		if cb, ok := p.takePending(c.Corr); ok {
 			cb(wire.Reply{Corr: c.Corr, Kind: wire.KindDeadline,
 				Err: "cluster: " + c.Component + "." + c.Op + ": deadline exceeded in egress queue"})
@@ -158,11 +176,16 @@ func (e *egress) writeBatch(items []egressItem) {
 	var werr error
 	if len(live) == 1 {
 		it := live[0]
-		if it.isReply {
+		switch it.kind {
+		case egressReply:
 			werr = e.encodeReplyLocked(it.reply, func(r wire.Reply) error { return enc.EncodeReply(r) })
-		} else if werr = enc.EncodeCall(it.call); werr != nil && wireDataError(werr) {
-			failed = append(failed, it.call)
-			werr = nil
+		case egressCancel:
+			werr = enc.EncodeCancel(it.cancel)
+		default:
+			if werr = enc.EncodeCall(it.call); werr != nil && wireDataError(werr) {
+				failed = append(failed, it.call)
+				werr = nil
+			}
 		}
 		if werr == nil {
 			p.n.batchWrites.Add(1)
@@ -171,17 +194,27 @@ func (e *egress) writeBatch(items []egressItem) {
 	} else {
 		enc.BeginBatch()
 		for _, it := range live {
-			if it.isReply {
+			switch it.kind {
+			case egressReply:
 				if werr = e.encodeReplyLocked(it.reply, enc.BatchAddReply); werr != nil {
 					break
 				}
-			} else if aerr := enc.BatchAddCall(it.call); aerr != nil {
-				if !wireDataError(aerr) {
-					werr = aerr
+			case egressCancel:
+				if werr = enc.BatchAddCancel(it.cancel); werr != nil {
 					break
 				}
-				failed = append(failed, it.call)
-				continue
+			default:
+				if aerr := enc.BatchAddCall(it.call); aerr != nil {
+					if !wireDataError(aerr) {
+						werr = aerr
+						break
+					}
+					failed = append(failed, it.call)
+					continue
+				}
+			}
+			if werr != nil {
+				break
 			}
 			p.n.batchFrames.Add(1)
 			if enc.BatchLen() >= batchMaxBytes || enc.BatchCount() >= batchMaxFrames {

@@ -62,6 +62,16 @@ type peer struct {
 	pmu     sync.Mutex
 	pending map[uint64]func(wire.Reply) // remote calls awaiting replies
 	migs    map[uint64]chan string      // migrations awaiting acks
+	serves  map[uint64]*serveCtl        // inbound calls being served locally
+}
+
+// serveCtl lets a FrameCancel (or peer death) revoke an inbound call while
+// it is being served: cancel aborts the local client call, revoked tells the
+// serve goroutine to suppress its reply — the caller has already settled and
+// forgotten the correlation.
+type serveCtl struct {
+	cancel  context.CancelFunc
+	revoked atomic.Bool
 }
 
 func newPeer(n *Node, id string, conn net.Conn, enc *wire.Encoder, dec *wire.Decoder, seen *atomic.Int64) *peer {
@@ -69,6 +79,7 @@ func newPeer(n *Node, id string, conn net.Conn, enc *wire.Encoder, dec *wire.Dec
 		n: n, id: id, conn: conn, enc: enc, dec: dec, lastSeen: seen,
 		pending: map[uint64]func(wire.Reply){},
 		migs:    map[uint64]chan string{},
+		serves:  map[uint64]*serveCtl{},
 	}
 	p.lastSeen.Store(time.Now().UnixNano())
 	return p
@@ -109,6 +120,32 @@ func (p *peer) takePending(corr uint64) (func(wire.Reply), bool) {
 	return cb, ok
 }
 
+// addServe registers the control handle of one inbound call being served.
+func (p *peer) addServe(corr uint64, ctl *serveCtl) {
+	p.pmu.Lock()
+	p.serves[corr] = ctl
+	p.pmu.Unlock()
+}
+
+// dropServe removes a serve control handle.
+func (p *peer) dropServe(corr uint64) {
+	p.pmu.Lock()
+	delete(p.serves, corr)
+	p.pmu.Unlock()
+}
+
+// handleCancel revokes one inbound call by correlation id. Best-effort: a
+// call that already replied (or never arrived) is silently ignored.
+func (p *peer) handleCancel(c wire.Cancel) {
+	p.pmu.Lock()
+	ctl := p.serves[c.Corr]
+	p.pmu.Unlock()
+	if ctl != nil {
+		ctl.revoked.Store(true)
+		ctl.cancel()
+	}
+}
+
 // addMig registers a migration ack channel.
 func (p *peer) addMig(corr uint64, ch chan string) {
 	p.pmu.Lock()
@@ -129,8 +166,10 @@ func (p *peer) failAll(reason string) {
 	p.pmu.Lock()
 	pending := p.pending
 	migs := p.migs
+	serves := p.serves
 	p.pending = map[uint64]func(wire.Reply){}
 	p.migs = map[uint64]chan string{}
+	p.serves = map[uint64]*serveCtl{}
 	p.pmu.Unlock()
 	for corr, cb := range pending {
 		cb(wire.Reply{Corr: corr, Err: reason})
@@ -140,6 +179,12 @@ func (p *peer) failAll(reason string) {
 		case ch <- reason:
 		default:
 		}
+	}
+	// Calls we were serving for the dead peer can never deliver their
+	// replies; abort them so they stop consuming local capacity.
+	for _, ctl := range serves {
+		ctl.revoked.Store(true)
+		ctl.cancel()
 	}
 }
 
@@ -193,11 +238,25 @@ func (p *peer) readLoop() {
 						return
 					}
 					p.dispatchReply(r)
+				case wire.FrameCancel:
+					c, perr := wire.ParseCancel(sb)
+					if perr != nil {
+						p.n.peerDown(p, "protocol: "+perr.Error())
+						return
+					}
+					p.handleCancel(c)
 				default:
 					p.n.opts.Logf("cluster %s: unknown batched frame %v from %s", p.n.id, st, p.id)
 				}
 				body = rest
 			}
+		case wire.FrameCancel:
+			c, perr := wire.ParseCancel(body)
+			if perr != nil {
+				p.n.peerDown(p, "protocol: "+perr.Error())
+				return
+			}
+			p.handleCancel(c)
 		case wire.FrameMigrate:
 			m, perr := wire.ParseMigrate(body)
 			if perr != nil {
@@ -270,16 +329,27 @@ func (p *peer) dispatchReply(r wire.Reply) {
 // an abandoned cross-node call stops consuming callee capacity.
 func (p *peer) serveCall(c wire.Call) {
 	ctx := p.n.ctx
+	var cancel context.CancelFunc
 	if c.DeadlineNanos > 0 {
-		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(c.DeadlineNanos))
-		defer cancel()
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
 	}
+	defer cancel()
+	// Register before invoking so a FrameCancel racing the call always finds
+	// the handle; cancelling the context releases the local waiter slot and
+	// revokes the request at the serving component (see core's cancel path).
+	ctl := &serveCtl{cancel: cancel}
+	p.addServe(c.Corr, ctl)
+	defer p.dropServe(c.Corr)
 	cl := p.n.sys.Client(c.Component)
 	if c.Principal != "" {
 		cl = cl.With(core.WithPrincipal(c.Principal))
 	}
 	results, err := cl.Call(ctx, c.Op, c.Args...)
+	if ctl.revoked.Load() {
+		return // caller revoked the call and forgot the corr — no reply
+	}
 	rep := wire.Reply{Corr: c.Corr, Results: results}
 	if err != nil {
 		rep.Err = err.Error()

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/adl"
 	"repro/internal/bus"
@@ -97,6 +98,7 @@ type Stats struct {
 	FilterRejects  uint64
 	GlueViolations uint64
 	Deferred       uint64
+	ExpiredSwept   uint64 // pending entries reclaimed after their deadline lapsed
 }
 
 // connStats is the atomic backing store for Stats, so monitors can snapshot
@@ -108,6 +110,7 @@ type connStats struct {
 	filterRejects  atomic.Uint64
 	glueViolations atomic.Uint64
 	deferred       atomic.Uint64
+	expiredSwept   atomic.Uint64
 }
 
 // Connector mediates one binding (or a set of bindings sharing the glue).
@@ -131,10 +134,11 @@ type Connector struct {
 	rules   atomic.Pointer[flo.Engine]
 
 	// Owned by the mediation goroutine (handle); no locking.
-	rr      int
-	glue    *glueTracker
-	pending map[uint64]pendingCall
-	corr    uint64
+	rr         int
+	glue       *glueTracker
+	pending    map[uint64]pendingCall
+	corr       uint64
+	sinceSweep int // messages handled since the last expired-pending sweep
 
 	stats   connStats
 	filters *filters.Set
@@ -151,6 +155,12 @@ type pendingCall struct {
 	// awaiting counts outstanding replies (multicast gathers all).
 	awaiting int
 	gathered []any
+	// deadline is the mediated request's end-to-end deadline (unix nanos, 0
+	// when none). Overload governance may shed a queued request without a
+	// reply (an expired message discarded out of a mailbox or a flushed held
+	// queue never reaches serve), which would otherwise strand this entry
+	// forever — the sweep reclaims entries well past their deadline.
+	deadline int64
 }
 
 // Option configures a connector.
@@ -237,6 +247,7 @@ func (c *Connector) Stats() Stats {
 		FilterRejects:  c.stats.filterRejects.Load(),
 		GlueViolations: c.stats.glueViolations.Load(),
 		Deferred:       c.stats.deferred.Load(),
+		ExpiredSwept:   c.stats.expiredSwept.Load(),
 	}
 }
 
@@ -268,7 +279,38 @@ func (c *Connector) Stop() {
 	c.wg.Wait()
 }
 
+// sweepEvery paces the expired-pending sweep: one scan per this many
+// handled messages, so sweep cost amortizes to O(1) per mediation.
+const sweepEvery = 256
+
+// pendingGraceNanos is how far past its deadline a pending entry must be
+// before the sweep reclaims it — wide enough that a reply racing the
+// deadline still settles normally.
+const pendingGraceNanos = int64(time.Second)
+
+// sweepExpiredLocked reclaims pending entries whose mediated request's
+// deadline lapsed long ago: governance shed the request without a reply
+// (mailbox expiry, flush-after-resume discard), so nothing will ever settle
+// them. The caller already timed out, so no reply is owed; a late reply to
+// a swept correlation id is harmlessly ignored. Runs on the mediation
+// goroutine.
+func (c *Connector) sweepExpired() {
+	c.sinceSweep++
+	if c.sinceSweep < sweepEvery || len(c.pending) == 0 {
+		return
+	}
+	c.sinceSweep = 0
+	now := time.Now().UnixNano()
+	for corr, pc := range c.pending {
+		if pc.deadline != 0 && now > pc.deadline+pendingGraceNanos {
+			delete(c.pending, corr)
+			c.stats.expiredSwept.Add(1)
+		}
+	}
+}
+
 func (c *Connector) handle(m bus.Message) {
+	c.sweepExpired()
 	switch m.Kind {
 	case bus.Request:
 		c.handleRequest(m)
@@ -337,6 +379,7 @@ func (c *Connector) handleRequest(m bus.Message) {
 	corr := c.corr
 	c.pending[corr] = pendingCall{
 		caller: m.Src, corr: m.Corr, op: m.Op, awaiting: len(targets),
+		deadline: m.Deadline,
 	}
 	c.stats.mediated.Add(1)
 

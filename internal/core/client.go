@@ -42,6 +42,11 @@ type clientBinding struct {
 	// eviction). The call path reads it with one atomic load: zero
 	// re-resolution per call.
 	present atomic.Bool
+	// local points at the locally hosted runtime component, nil when the
+	// component is remote or absent. Republished together with present; the
+	// admission check (DESIGN.md §9) reads it with one atomic load to reach
+	// the component's backlog and service-time estimator without any lookup.
+	local atomic.Pointer[runtimeComponent]
 }
 
 // Client is a first-class binding handle to one named component. Handles are
@@ -130,6 +135,7 @@ func (s *System) compileClient(component string) *Client {
 		return cl
 	}
 	cl.b.present.Store(true)
+	cl.b.local.Store(s.comps[component])
 	next := maps.Clone(*s.clients.Load())
 	next[component] = cl
 	s.clients.Store(&next)
@@ -163,6 +169,7 @@ func (s *System) resolvableLocked(component string) bool {
 func (s *System) refreshClientsLocked() {
 	for _, cl := range *s.clients.Load() {
 		cl.b.present.Store(s.resolvableLocked(cl.b.name))
+		cl.b.local.Store(s.comps[cl.b.name])
 	}
 }
 
@@ -184,7 +191,7 @@ func (s *System) PendingCalls() int {
 func (c *Client) Call(ctx context.Context, op string, args ...any) ([]any, error) {
 	b := c.b
 	s := b.sys
-	w, corr, err := c.send(ctx, op, args)
+	w, corr, dl, err := c.send(ctx, op, args)
 	if err != nil {
 		return nil, err
 	}
@@ -204,10 +211,14 @@ func (c *Client) Call(ctx context.Context, op string, args ...any) ([]any, error
 		}
 		return payload.Results, nil
 	case <-ctx.Done():
-		s.clientWaiters.take(corr)
+		if _, ok := s.clientWaiters.take(corr); ok {
+			c.sendCancel(corr, dl)
+		}
 		return nil, fmt.Errorf("core: call %s.%s: %w", b.name, op, ctx.Err())
 	case <-timerC:
-		s.clientWaiters.take(corr)
+		if _, ok := s.clientWaiters.take(corr); ok {
+			c.sendCancel(corr, dl)
+		}
 		return nil, c.timeoutError(op)
 	}
 }
@@ -231,7 +242,7 @@ func (c *Client) timeoutError(op string) error {
 // context cancellation releases it immediately, awaited or not.
 func (c *Client) Async(ctx context.Context, op string, args ...any) *Future {
 	f := &Future{component: c.b.name, op: op, done: make(chan struct{})}
-	w, corr, err := c.send(ctx, op, args)
+	w, corr, dl, err := c.send(ctx, op, args)
 	if err != nil {
 		f.settle(nil, err)
 		return f
@@ -254,6 +265,7 @@ func (c *Client) Async(ctx context.Context, op string, args ...any) *Future {
 	if _, hasDeadline := ctx.Deadline(); !hasDeadline {
 		timer = time.AfterFunc(c.fallback(), func() {
 			if f.take() {
+				c.sendCancel(corr, dl)
 				f.settle(nil, c.timeoutError(f.op))
 			} else {
 				f.cleanup()
@@ -264,6 +276,7 @@ func (c *Client) Async(ctx context.Context, op string, args ...any) *Future {
 	if ctx.Done() != nil {
 		hook = context.AfterFunc(ctx, func() {
 			if f.take() {
+				c.sendCancel(corr, dl)
 				f.settle(nil, fmt.Errorf("core: call %s.%s: %w", f.component, f.op, ctx.Err()))
 			} else {
 				f.cleanup()
@@ -285,12 +298,12 @@ func (c *Client) Async(ctx context.Context, op string, args ...any) *Future {
 // endpoint or parks on a route whose component is gone, and both shapes are
 // detected here.
 func (c *Client) Oneway(ctx context.Context, op string, args ...any) error {
-	ep, corr, err := c.admit(ctx, op)
+	ep, corr, dl, err := c.admit(ctx, op)
 	if err != nil {
 		return err
 	}
 	b := c.b
-	if err := b.sys.bus.Send(c.request(ctx, ep, corr, op, args)); err != nil {
+	if err := b.sys.bus.Send(c.request(ep, corr, dl, op, args)); err != nil {
 		if errors.Is(err, bus.ErrUnknownDst) {
 			return fmt.Errorf("%w: %s", ErrNoSuchComponent, b.name)
 		}
@@ -306,68 +319,107 @@ func (c *Client) Oneway(ctx context.Context, op string, args ...any) error {
 }
 
 // admit is the shared admission prologue of every call shape: liveness,
-// compiled-binding presence (with the uncached fallback), endpoint shard
-// pick and the done-context check. Kept in one place so the call shapes
-// cannot drift.
-func (c *Client) admit(ctx context.Context, op string) (*bus.Endpoint, uint64, error) {
+// compiled-binding presence (with the uncached fallback), the done-context
+// check, the deadline-aware admission decision and the endpoint shard pick.
+// Kept in one place so the call shapes cannot drift.
+//
+// The returned deadline (unix nanos, 0 when none) is what gets stamped into
+// the request: the context's when present, else now+budget when the handle
+// carries one, else zero (the system fallback bounds the caller's wait but
+// is not an explicit contract, so it is not imposed on the callee).
+//
+// The admission check (DESIGN.md §9) runs only for deadline-carrying calls
+// toward a locally hosted component: when the component's estimated queueing
+// delay — EWMA service time × backlog depth — already exceeds the remaining
+// budget, the call is shed with the bare ErrOverloaded sentinel before any
+// resource is committed: no waiter slot, no message, no goroutine, no
+// allocation.
+func (c *Client) admit(ctx context.Context, op string) (*bus.Endpoint, uint64, int64, error) {
 	b := c.b
 	s := b.sys
 	if !s.live.Load() {
-		return nil, 0, ErrNotRunning
+		return nil, 0, 0, ErrNotRunning
 	}
 	if !b.present.Load() && !b.resolveNow() {
-		return nil, 0, fmt.Errorf("%w: %s", ErrUnknownComp, b.name)
+		return nil, 0, 0, fmt.Errorf("%w: %s", ErrUnknownComp, b.name)
 	}
 	epsp := s.clientEPs.Load()
 	if epsp == nil {
-		return nil, 0, ErrNotRunning
+		return nil, 0, 0, ErrNotRunning
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, 0, fmt.Errorf("core: call %s.%s: %w", b.name, op, err)
+		return nil, 0, 0, fmt.Errorf("core: call %s.%s: %w", b.name, op, err)
+	}
+	var dl, now int64
+	if d, ok := ctx.Deadline(); ok {
+		dl = d.UnixNano()
+	} else if c.budget > 0 {
+		now = time.Now().UnixNano()
+		dl = now + int64(c.budget)
+	}
+	if dl != 0 && !s.noOverload {
+		if local := b.local.Load(); local != nil {
+			if now == 0 {
+				now = time.Now().UnixNano()
+			}
+			if rem := dl - now; rem > 0 && !local.adm.Admit(local.depth(), rem) {
+				return nil, 0, 0, ErrOverloaded
+			}
+		}
 	}
 	corr := s.clientCorr.Add(1)
-	return (*epsp)[corr&(clientEndpoints-1)], corr, nil
+	return (*epsp)[corr&(clientEndpoints-1)], corr, dl, nil
 }
 
 // request assembles the admitted request message, deadline stamped.
-func (c *Client) request(ctx context.Context, ep *bus.Endpoint, corr uint64, op string, args []any) bus.Message {
+func (c *Client) request(ep *bus.Endpoint, corr uint64, dl int64, op string, args []any) bus.Message {
 	return bus.Message{
 		Kind: bus.Request, Op: op,
 		Payload: connector.CallPayload{Principal: c.principal, Args: args},
 		Src:     ep.Addr(), Dst: c.b.dst, Corr: corr,
-		Deadline: c.effectiveDeadline(ctx),
+		Deadline: dl,
 	}
 }
 
 // send admits the call, registers the reply waiter and puts the request on
 // the bus. On error the waiter slot is already released.
-func (c *Client) send(ctx context.Context, op string, args []any) (chan connector.ReplyPayload, uint64, error) {
-	ep, corr, err := c.admit(ctx, op)
+func (c *Client) send(ctx context.Context, op string, args []any) (chan connector.ReplyPayload, uint64, int64, error) {
+	ep, corr, dl, err := c.admit(ctx, op)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	s := c.b.sys
 	w := make(chan connector.ReplyPayload, 1)
 	s.clientWaiters.add(corr, w)
-	if err := s.bus.Send(c.request(ctx, ep, corr, op, args)); err != nil {
+	if err := s.bus.Send(c.request(ep, corr, dl, op, args)); err != nil {
 		s.clientWaiters.take(corr)
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
-	return w, corr, nil
+	return w, corr, dl, nil
 }
 
-// effectiveDeadline is the deadline stamped into the request (unix nanos, 0
-// when none): the context's when present, else now+budget when the handle
-// carries one, else zero (the system fallback bounds the caller's wait but
-// is not an explicit contract, so it is not imposed on the callee).
-func (c *Client) effectiveDeadline(ctx context.Context) int64 {
-	if d, ok := ctx.Deadline(); ok {
-		return d.UnixNano()
+// sendCancel tells the callee — and any mediating gateway on the way, which
+// relays it across the peer link as a wire cancel frame — that the caller
+// abandoned corr, so queued or in-service work for it can be reclaimed
+// immediately. Best-effort: a lost cancel only costs the reclamation, never
+// correctness. Deadline expiry needs no cancel — the lapsed deadline itself
+// revokes the work at every queueing point — so only aborts before the
+// stamped deadline (early context cancellation, fallback timeouts on
+// deadline-less calls) send one.
+func (c *Client) sendCancel(corr uint64, dl int64) {
+	if dl != 0 && time.Now().UnixNano() >= dl {
+		return
 	}
-	if c.budget > 0 {
-		return time.Now().Add(c.budget).UnixNano()
+	s := c.b.sys
+	epsp := s.clientEPs.Load()
+	if epsp == nil {
+		return
 	}
-	return 0
+	ep := (*epsp)[corr&(clientEndpoints-1)]
+	_ = s.bus.Send(bus.Message{
+		Kind: bus.Control, Op: bus.OpCancel,
+		Src: ep.Addr(), Dst: c.b.dst, Corr: corr,
+	})
 }
 
 // fallback is the wait bound applied when the context has no deadline.

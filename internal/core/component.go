@@ -82,6 +82,13 @@ type runtimeComponent struct {
 	// cross-node handoff drains the mailbox and this counter together so no
 	// popped-but-unrequeued message can be lost to the endpoint teardown.
 	serving atomic.Int64
+	// adm estimates this component's queueing delay from observed service
+	// times (DESIGN.md §9); the platform edge consults it to shed calls whose
+	// deadline budget the backlog already exceeds.
+	adm *qos.Admission
+	// cancels records requests revoked by a bus.OpCancel control message so
+	// queued work whose caller gave up is answered without being served.
+	cancels cancelSet
 	// woven is this component's compiled aspect pipeline: advice whose
 	// component pointcut cannot match this component is excluded at weave
 	// (compile) time, and the weaver republishes the chain atomically on
@@ -109,6 +116,7 @@ func newRuntimeComponent(sys *System, decl adl.ComponentDecl, cont *container.Co
 		cont: cont,
 		ep:   ep,
 		node: node,
+		adm:  qos.NewAdmission(serveWorkers),
 	}
 	empty := map[string]bus.Address{}
 	rc.routes.Store(&empty)
@@ -217,6 +225,13 @@ func (rc *runtimeComponent) start(ctx context.Context) {
 					payload, _ := m.Payload.(connector.ReplyPayload)
 					w <- payload
 				}
+			case bus.Control:
+				// A cancel overtakes the request it revokes (Control skips
+				// the EDF lane and passes pauseRequests barriers); record it
+				// so the request is answered unserved when it surfaces.
+				if m.Op == bus.OpCancel {
+					rc.cancels.add(m.Src, m.Corr, time.Now().UnixNano())
+				}
 			}
 		}
 	}()
@@ -251,20 +266,14 @@ func (rc *runtimeComponent) serve(m bus.Message) {
 	// on the callee. Deadlines carry wall-clock context semantics, hence
 	// time.Now rather than the (possibly simulated) system clock.
 	if m.Deadline != 0 && time.Now().UnixNano() > m.Deadline {
-		rc.sys.events.Emit(Event{Kind: EvRequestFailed, At: rc.sys.clk.Now(),
-			Component: rc.name, Detail: m.Op + ": deadline exceeded before service"})
-		reject := bus.Message{
-			Kind: bus.Reply, Op: m.Op,
-			Src: rc.ep.Addr(), Dst: m.Src, Corr: m.Corr,
-		}
-		msg := fmt.Sprintf("core: %s.%s: deadline exceeded before service", rc.name, m.Op)
-		if tc, ok := m.Payload.(connector.TypedCall); ok {
-			tc.Finish(msg, connector.ErrKindDeadline)
-			reject.Payload = m.Payload
-		} else {
-			reject.Payload = connector.ReplyPayload{Err: msg, Kind: connector.ErrKindDeadline}
-		}
-		_ = rc.sys.bus.Send(reject)
+		rc.rejectUnserved(&m, "deadline exceeded before service", connector.ErrKindDeadline)
+		return
+	}
+	// A request whose caller sent a cancel while it queued is likewise
+	// answered without being served — the caller released its waiter slot
+	// when it gave up.
+	if rc.cancels.take(m.Src, m.Corr) {
+		rc.rejectUnserved(&m, "canceled before service", connector.ErrKindCancelled)
 		return
 	}
 
@@ -296,6 +305,7 @@ func (rc *runtimeComponent) serve(m bus.Message) {
 	elapsed := rc.sys.clk.Now().Sub(started)
 	rc.sys.monitor.Record(qos.Latency, elapsed.Seconds())
 	rc.sys.monitor.Record(qos.Throughput, 1)
+	rc.adm.Observe(elapsed.Nanoseconds())
 
 	reply := bus.Message{
 		Kind: bus.Reply, Op: m.Op,
@@ -333,6 +343,36 @@ func (rc *runtimeComponent) serve(m bus.Message) {
 			Component: rc.name, Detail: m.Op})
 	}
 	_ = rc.sys.bus.Send(reply)
+}
+
+// rejectUnserved answers a request without invoking the container: the
+// caller is known to be gone (deadline lapsed or an explicit cancel), so
+// serving would burn capacity on a reply nobody reads. The reply itself is
+// still required — a mediating connector correlates it to clean up its
+// pending entry — and carries the structured kind so identity survives
+// relays.
+func (rc *runtimeComponent) rejectUnserved(m *bus.Message, reason string, kind connector.ErrKind) {
+	rc.sys.events.Emit(Event{Kind: EvRequestFailed, At: rc.sys.clk.Now(),
+		Component: rc.name, Detail: m.Op + ": " + reason})
+	reject := bus.Message{
+		Kind: bus.Reply, Op: m.Op,
+		Src: rc.ep.Addr(), Dst: m.Src, Corr: m.Corr,
+	}
+	msg := fmt.Sprintf("core: %s.%s: %s", rc.name, m.Op, reason)
+	if tc, ok := m.Payload.(connector.TypedCall); ok {
+		tc.Finish(msg, kind)
+		reject.Payload = m.Payload
+	} else {
+		reject.Payload = connector.ReplyPayload{Err: msg, Kind: kind}
+	}
+	_ = rc.sys.bus.Send(reject)
+}
+
+// depth is the admission-control view of this component's backlog: queued
+// mailbox messages (both lanes, one atomic load) plus requests currently
+// being served.
+func (rc *runtimeComponent) depth() int64 {
+	return rc.ep.Depth() + rc.serving.Load()
 }
 
 // invokeWoven runs one message through the component's compiled aspect

@@ -41,6 +41,14 @@ type Options struct {
 	// toward their (unchanged) bus address are served by a gateway endpoint
 	// the distribution plane attaches once the hosting peer is linked.
 	Remote map[string]bool
+	// NoOverloadControl disables overload governance (DESIGN.md §9): no
+	// deadline-aware admission control at the platform edge, no EDF mailbox
+	// lane, no expired-work shedding. Deadline-carrying calls are accepted
+	// unconditionally and served FIFO — the pre-governance behaviour, kept
+	// for comparison runs (E19). Only honoured when the system creates its
+	// own bus; a caller-supplied Bus keeps whatever options it was built
+	// with.
+	NoOverloadControl bool
 }
 
 // System is the running auto-adaptive system: the base-level application
@@ -61,6 +69,10 @@ type System struct {
 	events  *EventHub
 	monitor *qos.Monitor
 	weaver  *aspects.Weaver
+
+	// noOverload disables edge admission control (Options.NoOverloadControl);
+	// immutable after NewSystem.
+	noOverload bool
 
 	// addrs is the bus-address routing table read by delayFor on the send
 	// path; it is maintained by assembly/reconfiguration and never guarded
@@ -132,6 +144,15 @@ var (
 	ErrUnknownComp    = errors.New("core: unknown component")
 	ErrUnknownConn    = errors.New("core: unknown connector")
 	ErrBadComponent   = errors.New("core: factory did not produce a container.Component")
+	// ErrOverloaded is returned by Client.Call/Async/Oneway when the
+	// component's estimated queueing delay already exceeds the caller's
+	// remaining deadline budget: serving the call would only produce a
+	// deadline error after burning queue capacity, so it is shed at the edge
+	// instead (DESIGN.md §9). The error is a bare sentinel — the reject path
+	// is allocation-free by contract — and retryable: back off and retry, the
+	// estimator admits again as soon as the backlog drains. Calls without a
+	// deadline are never shed.
+	ErrOverloaded = errors.New("core: overloaded: estimated wait exceeds deadline budget")
 )
 
 // NewSystem validates cfg and assembles (but does not start) the system.
@@ -170,8 +191,13 @@ func NewSystem(cfg *adl.Config, opts Options) (*System, error) {
 		window = 10 * time.Second
 	}
 	s.monitor = qos.NewMonitor(s.clk, window, 1<<14)
+	s.noOverload = opts.NoOverloadControl
 	if s.bus == nil {
-		s.bus = bus.New(bus.WithClock(s.clk), bus.WithDelay(s.delayFor))
+		busOpts := []bus.Option{bus.WithClock(s.clk), bus.WithDelay(s.delayFor)}
+		if s.noOverload {
+			busOpts = append(busOpts, bus.WithFIFOOnly())
+		}
+		s.bus = bus.New(busOpts...)
 	}
 	s.triggers = newTriggerHub(s)
 

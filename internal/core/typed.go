@@ -263,8 +263,10 @@ func (t *TypedClient[Req, Resp]) Call(ctx context.Context, op string, req Req) (
 	c := t.c
 	b := c.b
 	s := b.sys
-	ep, corr, err := c.admit(ctx, op)
+	ep, corr, dl, err := c.admit(ctx, op)
 	if err != nil {
+		// The overload-shed path exits here, before the envelope lease: a
+		// rejected typed call touches nothing poolable and allocates nothing.
 		return zero, err
 	}
 	e := t.get(&req)
@@ -273,7 +275,7 @@ func (t *TypedClient[Req, Resp]) Call(ctx context.Context, op string, req Req) (
 		Kind: bus.Request, Op: op,
 		Payload: e,
 		Src:     ep.Addr(), Dst: b.dst, Corr: corr,
-		Deadline: c.effectiveDeadline(ctx),
+		Deadline: dl,
 	}
 	if err := s.bus.Send(m); err != nil {
 		s.clientWaiters.take(corr)
@@ -296,14 +298,18 @@ func (t *TypedClient[Req, Resp]) Call(ctx context.Context, op string, req Req) (
 		}
 		return t.collect(e, payload)
 	case <-ctx.Done():
-		s.clientWaiters.take(corr)
+		if _, ok := s.clientWaiters.take(corr); ok {
+			c.sendCancel(corr, dl)
+		}
 		if timerC != nil {
 			e.timer.Stop()
 		}
 		// Abandon the envelope: the serving side may still write it.
 		return zero, fmt.Errorf("core: call %s.%s: %w", b.name, op, ctx.Err())
 	case <-timerC:
-		s.clientWaiters.take(corr)
+		if _, ok := s.clientWaiters.take(corr); ok {
+			c.sendCancel(corr, dl)
+		}
 		return zero, c.timeoutError(op)
 	}
 }
@@ -350,7 +356,7 @@ func (t *TypedClient[Req, Resp]) Async(ctx context.Context, op string, req Req) 
 		principal: c.principal, req: req}
 	f.e = e
 	s := c.b.sys
-	ep, corr, err := c.admit(ctx, op)
+	ep, corr, dl, err := c.admit(ctx, op)
 	if err != nil {
 		f.settle(nil, err)
 		return f
@@ -360,7 +366,7 @@ func (t *TypedClient[Req, Resp]) Async(ctx context.Context, op string, req Req) 
 		Kind: bus.Request, Op: op,
 		Payload: e,
 		Src:     ep.Addr(), Dst: c.b.dst, Corr: corr,
-		Deadline: c.effectiveDeadline(ctx),
+		Deadline: dl,
 	}
 	if err := s.bus.Send(m); err != nil {
 		s.clientWaiters.take(corr)
@@ -372,6 +378,7 @@ func (t *TypedClient[Req, Resp]) Async(ctx context.Context, op string, req Req) 
 	if _, hasDeadline := ctx.Deadline(); !hasDeadline {
 		timer = time.AfterFunc(c.fallback(), func() {
 			if f.take() {
+				c.sendCancel(corr, dl)
 				f.settle(nil, c.timeoutError(f.op))
 			} else {
 				f.cleanup()
@@ -382,6 +389,7 @@ func (t *TypedClient[Req, Resp]) Async(ctx context.Context, op string, req Req) 
 	if ctx.Done() != nil {
 		hook = context.AfterFunc(ctx, func() {
 			if f.take() {
+				c.sendCancel(corr, dl)
 				f.settle(nil, fmt.Errorf("core: call %s.%s: %w", c.b.name, f.op, ctx.Err()))
 			} else {
 				f.cleanup()

@@ -45,11 +45,18 @@ const (
 	// error-kind byte on replies. Negotiated per link via Hello.MaxVersion;
 	// a v3 encoder only emits v3 frames after both sides agreed.
 	VersionBatch = 3
+	// VersionCancel (4) adds FrameCancel: a caller that gives up on an
+	// in-flight call (context cancel, deadline expiry) tells the callee so
+	// the remote serving slot and waiter entry are reclaimed immediately
+	// instead of waiting out the callee-side deadline. Negotiated like v3;
+	// against an older peer the sender simply skips the frame and relies on
+	// deadline-based reclamation.
+	VersionCancel = 4
 	// MinVersion and MaxVersion bound the versions this build speaks. A
 	// decoder accepts any frame version in the range; what an encoder emits
 	// is fixed by the link's negotiated version.
 	MinVersion = Version
-	MaxVersion = VersionBatch
+	MaxVersion = VersionCancel
 
 	headerSize = 8
 	// MaxFrame bounds a single frame body (migration states included).
@@ -87,6 +94,11 @@ const (
 	// per frame. Body: repeated sub-frames, each `type byte + u32 length +
 	// body` with bodies in the same format as their standalone frames.
 	FrameBatch
+	// FrameCancel (v4 links only) revokes an in-flight FrameCall by
+	// correlation id. Best-effort: the callee drops the pending work (or
+	// interrupts it if already serving) and must NOT send a reply for a
+	// cancelled correlation — the caller has already forgotten it.
+	FrameCancel
 )
 
 // String implements fmt.Stringer.
@@ -110,6 +122,8 @@ func (t FrameType) String() string {
 		return "announce"
 	case FrameBatch:
 		return "batch"
+	case FrameCancel:
+		return "cancel"
 	default:
 		return "unknown"
 	}
@@ -572,6 +586,28 @@ func ParseReply(b []byte, version uint8) (Reply, error) {
 	return r, err
 }
 
+// Cancel revokes an in-flight call by correlation id (v4 links only). The
+// sender has already settled the call locally (context cancel or deadline
+// expiry), so the receiver frees the serving slot and pending entry and
+// suppresses the reply.
+type Cancel struct {
+	Corr uint64
+}
+
+// AppendCancel encodes c.
+func AppendCancel(dst []byte, c Cancel) []byte {
+	return binary.AppendUvarint(dst, c.Corr)
+}
+
+// ParseCancel decodes a Cancel body.
+func ParseCancel(b []byte) (Cancel, error) {
+	corr, n := binary.Uvarint(b)
+	if n <= 0 {
+		return Cancel{}, ErrTruncated
+	}
+	return Cancel{Corr: corr}, nil
+}
+
 // AppendMigrate encodes m.
 func AppendMigrate(dst []byte, m Migrate) []byte {
 	dst = binary.AppendUvarint(dst, m.Corr)
@@ -786,6 +822,12 @@ func (e *Encoder) EncodeReply(r Reply) error {
 	return e.flushFrame(FrameReply, buf)
 }
 
+// EncodeCancel writes a FrameCancel. The caller must have negotiated v4 on
+// the link; against older peers, skip the send and let deadlines reclaim.
+func (e *Encoder) EncodeCancel(c Cancel) error {
+	return e.flushFrame(FrameCancel, AppendCancel(e.body(), c))
+}
+
 // EncodeMigrate writes a FrameMigrate.
 func (e *Encoder) EncodeMigrate(m Migrate) error {
 	return e.flushFrame(FrameMigrate, AppendMigrate(e.body(), m))
@@ -807,7 +849,7 @@ func (e *Encoder) EncodeAnnounce(a Announce) error {
 // FrameBatch write. Sub-frame layout inside the body:
 //
 //	offset  size  field
-//	0       1     sub-frame type (FrameCall or FrameReply)
+//	0       1     sub-frame type (FrameCall, FrameReply, or FrameCancel)
 //	1       4     sub-frame body length (big-endian u32)
 //	5       n     sub-frame body (same encoding as the standalone frame)
 
@@ -843,6 +885,11 @@ func (e *Encoder) BatchAddCall(c Call) error {
 // BatchAddReply appends a reply sub-frame to the open batch.
 func (e *Encoder) BatchAddReply(r Reply) error {
 	return e.batchAdd(FrameReply, func(dst []byte) ([]byte, error) { return AppendReply(dst, r, e.version) })
+}
+
+// BatchAddCancel appends a cancel sub-frame to the open batch (v4 links).
+func (e *Encoder) BatchAddCancel(c Cancel) error {
+	return e.batchAdd(FrameCancel, func(dst []byte) ([]byte, error) { return AppendCancel(dst, c), nil })
 }
 
 // BatchLen reports the assembled batch size in bytes (header included).

@@ -289,6 +289,62 @@ func TestBatchRoundTrip(t *testing.T) {
 	}
 }
 
+func TestCancelRoundTrip(t *testing.T) {
+	var conn bytes.Buffer
+	enc := NewEncoder(&conn)
+	enc.SetVersion(VersionCancel)
+	dec := NewDecoder(&conn)
+
+	// Standalone frame.
+	want := Cancel{Corr: 7_000_000_001}
+	if err := enc.EncodeCancel(want); err != nil {
+		t.Fatal(err)
+	}
+	typ, body, err := dec.Next()
+	if err != nil || typ != FrameCancel {
+		t.Fatalf("frame: %v %v", typ, err)
+	}
+	got, err := ParseCancel(body)
+	if err != nil || got != want {
+		t.Fatalf("cancel: %#v %v", got, err)
+	}
+
+	// Batched sub-frame, coalescing with a call.
+	enc.BeginBatch()
+	if err := enc.BatchAddCall(Call{Corr: 1, Component: "C", Op: "op"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.BatchAddCancel(want); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.FlushBatch(); err != nil {
+		t.Fatal(err)
+	}
+	typ, body, err = dec.Next()
+	if err != nil || typ != FrameBatch {
+		t.Fatalf("batch frame: %v %v", typ, err)
+	}
+	st, _, rest, err := ReadBatchFrame(body)
+	if err != nil || st != FrameCall {
+		t.Fatalf("call sub: %v %v", st, err)
+	}
+	st, sb, rest, err := ReadBatchFrame(rest)
+	if err != nil || st != FrameCancel {
+		t.Fatalf("cancel sub: %v %v", st, err)
+	}
+	if got, err := ParseCancel(sb); err != nil || got != want {
+		t.Fatalf("batched cancel: %#v %v", got, err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+
+	// Truncation is rejected.
+	if _, err := ParseCancel(nil); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("empty cancel body: %v", err)
+	}
+}
+
 func TestDecoderRejectsBadMagic(t *testing.T) {
 	dec := NewDecoder(bytes.NewReader([]byte{0, 0, 1, 1, 0, 0, 0, 0}))
 	if _, _, err := dec.Next(); !errors.Is(err, ErrBadMagic) {
