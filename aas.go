@@ -20,7 +20,21 @@
 // The handle supports deadlines and cancellation end-to-end (the context's
 // deadline travels with the request, across cluster links included),
 // asynchronous fan-out (Async returning a *Future), fire-and-forget
-// (Oneway), and per-call options (With(WithPrincipal, WithDeadline)). See
+// (Oneway), per-call options (With(WithPrincipal, WithDeadline,
+// WithStreamWindow)), and server streaming:
+//
+//	st, err := greeter.Stream(ctx, "list", "prefix")
+//	if err != nil { ... }
+//	defer st.Close()
+//	for {
+//		item, err := st.Recv(ctx)
+//		if err == io.EOF { break } // clean end
+//		if err != nil { ... }      // deadline, cancel, app error
+//		use(item)
+//	}
+//
+// One admitted request, any number of credit-flow-controlled server-push
+// items (DESIGN.md §10); the component implements StreamerComponent. See
 // examples/ for complete programs, DESIGN.md §7 for the client-binding
 // model, and DESIGN.md for the architecture.
 package aas
@@ -98,6 +112,40 @@ func ClientOfCodec[Req, Resp any](s *System, component string, codec TypedCodec[
 	return core.ClientOfCodec(s, component, codec)
 }
 
+// Server-streaming surface (DESIGN.md §10): Client.Stream opens one
+// admitted, deadlined request answered by many correlated server-push
+// items, with a credit window as the end-to-end backpressure signal — a
+// slow consumer blocks the producer instead of growing a queue, locally and
+// across cluster links alike.
+type (
+	// Stream is one in-flight server stream (Client.Stream); Recv returns
+	// io.EOF on a clean end.
+	Stream = core.Stream
+	// TypedStream is the typed consumer handle (StreamOf).
+	TypedStream[Item any] = core.TypedStream[Item]
+	// TypedStreamClient is a typed stream-opening handle (StreamOf).
+	TypedStreamClient[Req, Item any] = core.TypedStreamClient[Req, Item]
+	// StreamSink is the push surface handed to a streaming handler; Send
+	// blocks on credit, so handler code never sees queue-full errors.
+	StreamSink = container.StreamSink
+	// StreamerComponent is implemented by components that serve streams.
+	StreamerComponent = container.StreamerComponent
+)
+
+// StreamOf compiles a typed stream handle to component, deriving the codec
+// exactly like ClientOf (and panicking under the same conditions). Each
+// received item decodes through the same reflection-free machinery, keeping
+// the per-item receive path at or below one allocation.
+func StreamOf[Req, Item any](s *System, component string) *TypedStreamClient[Req, Item] {
+	return core.StreamClientOf[Req, Item](s, component)
+}
+
+// StreamOfCodec compiles a typed stream handle with an explicit codec
+// (ReqArgs and DecodeResp are the parts the stream plane uses).
+func StreamOfCodec[Req, Item any](s *System, component string, codec TypedCodec[Req, Item]) *TypedStreamClient[Req, Item] {
+	return core.StreamClientOfCodec(s, component, codec)
+}
+
 // Sentinel errors surfaced by client handles.
 var (
 	// ErrUntypedOp is returned by a TypedComponent to fall back to Handle.
@@ -111,6 +159,16 @@ var (
 	// again — admission reopens as soon as the backlog drains. Test with
 	// errors.Is(err, aas.ErrOverloaded).
 	ErrOverloaded = core.ErrOverloaded
+	// ErrStreamUnsupported reports a stream open refused because the
+	// component lives behind a peer link negotiated below wire v5. Test
+	// with errors.Is — the refusal is typed end-to-end, not a string.
+	ErrStreamUnsupported = core.ErrStreamUnsupported
+	// ErrStreamClosed is returned by Recv after the consumer closed the
+	// stream.
+	ErrStreamClosed = core.ErrStreamClosed
+	// ErrUnstreamableOp is returned when a stream is opened on a component
+	// that does not implement StreamerComponent.
+	ErrUnstreamableOp = container.ErrUnstreamableOp
 )
 
 // WithPrincipal stamps every call of the derived handle with a security
@@ -121,6 +179,11 @@ func WithPrincipal(principal string) CallOption { return core.WithPrincipal(prin
 // when its context carries none; the effective deadline propagates to the
 // callee, across cluster links included.
 func WithDeadline(d time.Duration) CallOption { return core.WithDeadline(d) }
+
+// WithStreamWindow sets the credit window (in items) for streams opened
+// through the derived handle — the bound on un-consumed items in flight
+// from producer to consumer (default core.DefaultStreamWindow, 32).
+func WithStreamWindow(n int) CallOption { return core.WithStreamWindow(n) }
 
 // Event and EventKind form the RAML introspection stream.
 type (

@@ -189,3 +189,47 @@ func TestMonitorRecordAllocs(t *testing.T) {
 		t.Fatalf("Monitor.Record allocates %.1f/op, budget 0", allocs)
 	}
 }
+
+// TestStreamRecvAllocs pins the stream plane's per-item receive cost at ≤1
+// allocation per item, producer side included (the handler sends pre-boxed
+// items, so the measurement is the plane: credit acquire, pooled chunk
+// envelope, bus push, ring insert, Recv, auto-grant). The pooled envelope
+// and the ring make the steady-state path allocation-free; the budget of 1
+// absorbs scheduling jitter attributing a producer-side allocation into a
+// measured run.
+func TestStreamRecvAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	f := newFeed()
+	reg := aas.NewRegistry()
+	reg.MustRegister("Feed", "1.0", nil, func() any { return f })
+	sys, err := aas.Load(feedADL, aas.Options{Registry: reg.Registry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Stop()
+	ctx := context.Background()
+	st, err := sys.Client("Feed").Stream(ctx, "pump")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	// Warm the chunk-envelope pool and fill the ring before measuring.
+	for i := 0; i < 64; i++ {
+		if _, err := st.Recv(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := minAllocsPerRun(5, 200, func() {
+		if _, err := st.Recv(ctx); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("stream receive allocates %.1f/item, budget 1", allocs)
+	}
+}

@@ -1,0 +1,152 @@
+// Benchmarks for the server-streaming plane (DESIGN.md §10): per-item cost
+// of a flowing stream, locally and across a cluster link, against the
+// unary call-per-item floor streaming exists to kill — a unary exchange
+// pays admission, correlation, a reply round trip and (remotely) a wire
+// round trip per item; a stream pays them once per open.
+package aas_test
+
+import (
+	"context"
+	"testing"
+
+	aas "repro"
+
+	"repro/internal/registry"
+)
+
+func startBenchFeed(b *testing.B) *aas.System {
+	b.Helper()
+	reg := aas.NewRegistry()
+	reg.MustRegister("Feed", "1.0", nil, func() any { return newFeed() })
+	sys, err := aas.Load(feedADL, aas.Options{Registry: reg.Registry})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.Start(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(sys.Stop)
+	return sys
+}
+
+// BenchmarkStreamLocalRecv measures the steady-state per-item cost of a
+// local stream: credit acquire, pooled chunk envelope, bus push, ring
+// insert, Recv, quantized auto-grant.
+func BenchmarkStreamLocalRecv(b *testing.B) {
+	sys := startBenchFeed(b)
+	ctx := context.Background()
+	st, err := sys.Client("Feed").Stream(ctx, "pump")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	for i := 0; i < 64; i++ { // fill the window before timing
+		if _, err := st.Recv(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Recv(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamLocalUnaryBaseline is the call-per-item floor the local
+// stream replaces: one full unary exchange per item on the same component.
+func BenchmarkStreamLocalUnaryBaseline(b *testing.B) {
+	sys := startBenchFeed(b)
+	ctx := context.Background()
+	cl := sys.Client("Feed")
+	if _, err := cl.Call(ctx, "greet", "warm"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Call(ctx, "greet", "k"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+const benchStreamADL = `
+system StreamDist {
+  component Feed {
+    provide list(n) -> (item)
+    provide pump() -> (item)
+    provide greet(name) -> (message)
+  }
+}
+`
+
+func startBenchStreamCluster(b *testing.B) *aas.ClusterHarness {
+	b.Helper()
+	h, err := aas.StartCluster(context.Background(), aas.ClusterSpec{
+		ADL:       benchStreamADL,
+		Nodes:     []string{"n1", "n2"},
+		Placement: map[string]string{"Feed": "n2"},
+		Registry: func(string) *registry.Registry {
+			reg := &registry.Registry{}
+			if err := reg.Register(registry.Entry{Name: "Feed", Version: registry.Version{Major: 1},
+				New: func() any { return newFeed() }}); err != nil {
+				panic(err)
+			}
+			return reg
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(h.Close)
+	return h
+}
+
+// BenchmarkStreamClusterRecv measures the steady-state per-item cost of a
+// cross-node stream over TCP loopback: chunks coalesce into FrameBatch
+// writes on the serving link and credit rides back quantized, so the wire
+// cost per item is a fraction of a syscall — compare against
+// BenchmarkStreamClusterUnaryBaseline, which pays a full round trip each.
+func BenchmarkStreamClusterRecv(b *testing.B) {
+	h := startBenchStreamCluster(b)
+	sys := h.System("n1")
+	ctx := context.Background()
+	st, err := sys.Client("Feed").With(aas.WithStreamWindow(256)).Stream(ctx, "pump")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	for i := 0; i < 256; i++ {
+		if _, err := st.Recv(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Recv(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamClusterUnaryBaseline is the remote call-per-item floor:
+// one admitted, correlated, batched wire round trip per item.
+func BenchmarkStreamClusterUnaryBaseline(b *testing.B) {
+	h := startBenchStreamCluster(b)
+	sys := h.System("n1")
+	ctx := context.Background()
+	cl := sys.Client("Feed")
+	if _, err := cl.Call(ctx, "greet", "warm"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Call(ctx, "greet", "k"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -96,6 +96,14 @@ type Message struct {
 // lane, so a cancel overtakes the request it revokes.
 const OpCancel = "cancel"
 
+// OpStreamCredit is the Op of a Control message extending a stream
+// producer's credit window: the consumer identified by (Src, Corr) has
+// consumed Payload.(int) items, so the producer may push that many more.
+// Control traffic passes pauseRequests barriers and skips the EDF lane, so
+// credit keeps flowing to a producer even while its channel is blocked for
+// reconfiguration — a paused stream drains instead of deadlocking.
+const OpStreamCredit = "stream-credit"
+
 // Verdict is an interceptor's decision about a message.
 type Verdict int
 

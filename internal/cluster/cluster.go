@@ -261,17 +261,22 @@ func (n *Node) hello() wire.Hello {
 		MaxVersion: n.opts.MaxWireVersion}
 }
 
-// BatchStats reports the egress coalescing counters across all v3 links:
+// BatchStats reports the egress coalescing counters across all v3+ links:
 // writes is the number of socket writes the egress path issued, frames the
-// number of call/reply frames they carried. frames/writes is the achieved
-// batching factor.
+// number of frames they carried — calls, replies, cancels, and on v5 links
+// the stream plane's opens, chunks, credits and ends. frames/writes is the
+// achieved batching factor; a healthy cross-node stream drives it well
+// above the unary baseline because consecutive chunks pack into single
+// writes.
 func (n *Node) BatchStats() (writes, frames uint64) {
 	return n.batchWrites.Load(), n.batchFrames.Load()
 }
 
 // ShedStats reports how many requests this node's gateways shed before they
 // crossed the wire: expired in a gateway mailbox's deadline lane, found
-// expired at forward time, or expired while queued in an egress batch. Under
+// expired at forward time, or expired while queued in an egress batch.
+// Stream opens count here exactly like unary calls — one shed open is one
+// unit, regardless of how many items the stream would have carried. Under
 // overload these sheds are the cluster edge's contribution to goodput — work
 // whose caller already gave up never spends a network round trip.
 func (n *Node) ShedStats() (shed uint64) {
@@ -483,12 +488,23 @@ func (n *Node) gatewayLoop(g *gateway, ctx context.Context) {
 			return
 		}
 		if m.Kind == bus.Control && m.Op == bus.OpCancel {
-			// A caller gave up on a forwarded call: revoke it on the peer.
+			// A caller gave up on a forwarded call or stream: revoke it on
+			// the peer.
 			n.cancelForward(m)
+			continue
+		}
+		if m.Kind == bus.Control && m.Op == bus.OpStreamCredit {
+			// A consumer replenished its window: relay the grant to the
+			// producer across the link.
+			n.creditForward(m)
 			continue
 		}
 		if m.Kind != bus.Request {
 			continue // stray replies/events toward a remote address are meaningless here
+		}
+		if open, ok := m.Payload.(connector.StreamOpenPayload); ok {
+			n.forwardStreamOpen(g.comp, m, open)
+			continue
 		}
 		n.forward(g.comp, m)
 	}
@@ -591,7 +607,8 @@ func (n *Node) cancelForward(m bus.Message) {
 	if !ok {
 		return // already replied, expired in egress, or never forwarded
 	}
-	ref.p.takePending(ref.corr) // drop the continuation, suppress the late reply
+	ref.p.takePending(ref.corr)  // drop the continuation, suppress the late reply
+	ref.p.takeStreamIn(ref.corr) // and the stream record: late chunks find nothing
 	if ref.p.version < wire.VersionCancel || ref.p.down.Load() {
 		return
 	}

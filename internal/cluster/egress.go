@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/connector"
 	"repro/internal/wire"
 )
 
@@ -30,11 +31,15 @@ const (
 // time — a call that sat in the queue ships with its true remaining credit,
 // and one that expired there fails locally without crossing the wire.
 type egressItem struct {
-	kind        egressKind
-	call        wire.Call
-	reply       wire.Reply
-	cancel      wire.Cancel
-	absDeadline int64 // unix nanos, 0 = none; calls only
+	kind         egressKind
+	call         wire.Call
+	reply        wire.Reply
+	cancel       wire.Cancel
+	streamOpen   wire.StreamOpen
+	streamChunk  wire.StreamChunk
+	streamCredit wire.StreamCredit
+	streamEnd    wire.StreamEnd
+	absDeadline  int64 // unix nanos, 0 = none; calls and stream opens only
 }
 
 // egressKind discriminates the frame an egressItem carries.
@@ -44,6 +49,10 @@ const (
 	egressCall egressKind = iota
 	egressReply
 	egressCancel
+	egressStreamOpen
+	egressStreamChunk
+	egressStreamCredit
+	egressStreamEnd
 )
 
 // egress is the coalescing writer of one v3 peer link.
@@ -76,6 +85,31 @@ func (e *egress) enqueueReply(r wire.Reply) {
 // impossible because the queue preserves enqueue order.
 func (e *egress) enqueueCancel(c wire.Cancel) {
 	e.enqueue(egressItem{kind: egressCancel, cancel: c})
+}
+
+// enqueueStreamOpen queues an outbound stream open (v5 links only). Like a
+// call it carries the caller's absolute deadline, so the relative budget is
+// stamped at write time and an open that expired in the queue fails locally.
+func (e *egress) enqueueStreamOpen(o wire.StreamOpen, absDeadline int64) {
+	e.enqueue(egressItem{kind: egressStreamOpen, streamOpen: o, absDeadline: absDeadline})
+}
+
+// enqueueStreamChunk queues one outbound stream item. Chunks coalesce with
+// calls and replies into the same batch writes — this is what collapses a
+// stream's per-item wire cost to a fraction of a syscall.
+func (e *egress) enqueueStreamChunk(c wire.StreamChunk) {
+	e.enqueue(egressItem{kind: egressStreamChunk, streamChunk: c})
+}
+
+// enqueueStreamCredit queues one outbound credit grant.
+func (e *egress) enqueueStreamCredit(c wire.StreamCredit) {
+	e.enqueue(egressItem{kind: egressStreamCredit, streamCredit: c})
+}
+
+// enqueueStreamEnd queues one outbound terminal end frame. The queue
+// preserves enqueue order, so an end can never overtake its own chunks.
+func (e *egress) enqueueStreamEnd(s wire.StreamEnd) {
+	e.enqueue(egressItem{kind: egressStreamEnd, streamEnd: s})
 }
 
 func (e *egress) enqueue(it egressItem) {
@@ -143,18 +177,30 @@ func (e *egress) writeBatch(items []egressItem) {
 	p := e.p
 	now := time.Now().UnixNano()
 
-	// Pre-scan calls: stamp remaining budgets, collect expired ones.
+	// Pre-scan calls and stream opens: stamp remaining budgets, collect
+	// expired ones.
 	var expired []wire.Call
+	var expiredOpens []wire.StreamOpen
 	live := items[:0]
 	for i := range items {
 		it := items[i]
-		if it.kind == egressCall && it.absDeadline != 0 {
-			rem := it.absDeadline - now
-			if rem <= 0 {
-				expired = append(expired, it.call)
-				continue
+		if it.absDeadline != 0 {
+			switch it.kind {
+			case egressCall:
+				rem := it.absDeadline - now
+				if rem <= 0 {
+					expired = append(expired, it.call)
+					continue
+				}
+				it.call.DeadlineNanos = rem
+			case egressStreamOpen:
+				rem := it.absDeadline - now
+				if rem <= 0 {
+					expiredOpens = append(expiredOpens, it.streamOpen)
+					continue
+				}
+				it.streamOpen.DeadlineNanos = rem
 			}
-			it.call.DeadlineNanos = rem
 		}
 		live = append(live, it)
 	}
@@ -165,11 +211,18 @@ func (e *egress) writeBatch(items []egressItem) {
 				Err: "cluster: " + c.Component + "." + c.Op + ": deadline exceeded in egress queue"})
 		}
 	}
+	for _, o := range expiredOpens {
+		p.n.shedGateway.Add(1)
+		p.n.endStreamIn(p, o.Corr, connector.ErrKindDeadline,
+			"cluster: "+o.Component+"."+o.Op+": deadline exceeded in egress queue")
+	}
 	if len(live) == 0 {
 		return
 	}
 
-	var failed []wire.Call // calls whose arguments failed to encode
+	var failed []wire.Call              // calls whose arguments failed to encode
+	var failedOpens []wire.StreamOpen   // stream opens whose arguments failed to encode
+	var failedChunks []wire.StreamChunk // chunks whose item failed to encode
 	p.encMu.Lock()
 	_ = p.conn.SetWriteDeadline(time.Now().Add(writeTimeout))
 	enc := p.enc
@@ -181,6 +234,20 @@ func (e *egress) writeBatch(items []egressItem) {
 			werr = e.encodeReplyLocked(it.reply, func(r wire.Reply) error { return enc.EncodeReply(r) })
 		case egressCancel:
 			werr = enc.EncodeCancel(it.cancel)
+		case egressStreamOpen:
+			if werr = enc.EncodeStreamOpen(it.streamOpen); werr != nil && wireDataError(werr) {
+				failedOpens = append(failedOpens, it.streamOpen)
+				werr = nil
+			}
+		case egressStreamChunk:
+			if werr = enc.EncodeStreamChunk(it.streamChunk); werr != nil && wireDataError(werr) {
+				failedChunks = append(failedChunks, it.streamChunk)
+				werr = nil
+			}
+		case egressStreamCredit:
+			werr = enc.EncodeStreamCredit(it.streamCredit)
+		case egressStreamEnd:
+			werr = enc.EncodeStreamEnd(it.streamEnd)
 		default:
 			if werr = enc.EncodeCall(it.call); werr != nil && wireDataError(werr) {
 				failed = append(failed, it.call)
@@ -201,6 +268,32 @@ func (e *egress) writeBatch(items []egressItem) {
 				}
 			case egressCancel:
 				if werr = enc.BatchAddCancel(it.cancel); werr != nil {
+					break
+				}
+			case egressStreamOpen:
+				if aerr := enc.BatchAddStreamOpen(it.streamOpen); aerr != nil {
+					if !wireDataError(aerr) {
+						werr = aerr
+						break
+					}
+					failedOpens = append(failedOpens, it.streamOpen)
+					continue
+				}
+			case egressStreamChunk:
+				if aerr := enc.BatchAddStreamChunk(it.streamChunk); aerr != nil {
+					if !wireDataError(aerr) {
+						werr = aerr
+						break
+					}
+					failedChunks = append(failedChunks, it.streamChunk)
+					continue
+				}
+			case egressStreamCredit:
+				if werr = enc.BatchAddStreamCredit(it.streamCredit); werr != nil {
+					break
+				}
+			case egressStreamEnd:
+				if werr = enc.BatchAddStreamEnd(it.streamEnd); werr != nil {
 					break
 				}
 			default:
@@ -236,6 +329,13 @@ func (e *egress) writeBatch(items []egressItem) {
 			cb(wire.Reply{Corr: c.Corr, Kind: wire.KindAppError,
 				Err: "cluster: " + c.Component + "." + c.Op + ": arguments not wire-encodable"})
 		}
+	}
+	for _, o := range failedOpens {
+		p.n.endStreamIn(p, o.Corr, connector.ErrKindApp,
+			"cluster: "+o.Component+"."+o.Op+": arguments not wire-encodable")
+	}
+	for _, c := range failedChunks {
+		p.abortRelayEncode(c.Corr)
 	}
 	if werr != nil {
 		p.n.peerDown(p, "egress write: "+werr.Error())

@@ -59,10 +59,12 @@ type peer struct {
 	down     atomic.Bool
 	corr     atomic.Uint64
 
-	pmu     sync.Mutex
-	pending map[uint64]func(wire.Reply) // remote calls awaiting replies
-	migs    map[uint64]chan string      // migrations awaiting acks
-	serves  map[uint64]*serveCtl        // inbound calls being served locally
+	pmu       sync.Mutex
+	pending   map[uint64]func(wire.Reply) // remote calls awaiting replies
+	migs      map[uint64]chan string      // migrations awaiting acks
+	serves    map[uint64]*serveCtl        // inbound calls/streams being served locally
+	streamsIn map[uint64]*streamIn        // forwarded stream opens awaiting chunks/end
+	relays    map[uint64]*core.Stream     // inbound streams being relayed locally
 }
 
 // serveCtl lets a FrameCancel (or peer death) revoke an inbound call while
@@ -77,9 +79,11 @@ type serveCtl struct {
 func newPeer(n *Node, id string, conn net.Conn, enc *wire.Encoder, dec *wire.Decoder, seen *atomic.Int64) *peer {
 	p := &peer{
 		n: n, id: id, conn: conn, enc: enc, dec: dec, lastSeen: seen,
-		pending: map[uint64]func(wire.Reply){},
-		migs:    map[uint64]chan string{},
-		serves:  map[uint64]*serveCtl{},
+		pending:   map[uint64]func(wire.Reply){},
+		migs:      map[uint64]chan string{},
+		serves:    map[uint64]*serveCtl{},
+		streamsIn: map[uint64]*streamIn{},
+		relays:    map[uint64]*core.Stream{},
 	}
 	p.lastSeen.Store(time.Now().UnixNano())
 	return p
@@ -167,9 +171,11 @@ func (p *peer) failAll(reason string) {
 	pending := p.pending
 	migs := p.migs
 	serves := p.serves
+	streams := p.streamsIn
 	p.pending = map[uint64]func(wire.Reply){}
 	p.migs = map[uint64]chan string{}
 	p.serves = map[uint64]*serveCtl{}
+	p.streamsIn = map[uint64]*streamIn{}
 	p.pmu.Unlock()
 	for corr, cb := range pending {
 		cb(wire.Reply{Corr: corr, Err: reason})
@@ -181,11 +187,16 @@ func (p *peer) failAll(reason string) {
 		}
 	}
 	// Calls we were serving for the dead peer can never deliver their
-	// replies; abort them so they stop consuming local capacity.
+	// replies; abort them so they stop consuming local capacity. Relayed
+	// streams are covered here too: their serveCtls live in the same table,
+	// and revoking one cancels the relay context, reclaiming its producer.
 	for _, ctl := range serves {
 		ctl.revoked.Store(true)
 		ctl.cancel()
 	}
+	// Streams forwarded over this link can never deliver another chunk;
+	// settle their consumers with an error end.
+	p.failStreamsIn(streams, reason)
 }
 
 // readLoop dispatches inbound frames until the link dies.
@@ -245,6 +256,34 @@ func (p *peer) readLoop() {
 						return
 					}
 					p.handleCancel(c)
+				case wire.FrameStreamOpen:
+					o, perr := wire.ParseStreamOpen(sb)
+					if perr != nil {
+						p.n.peerDown(p, "protocol: "+perr.Error())
+						return
+					}
+					p.dispatchStreamOpen(o)
+				case wire.FrameStreamChunk:
+					c, perr := wire.ParseStreamChunk(sb)
+					if perr != nil {
+						p.n.peerDown(p, "protocol: "+perr.Error())
+						return
+					}
+					p.n.deliverStreamChunk(p, c)
+				case wire.FrameStreamCredit:
+					c, perr := wire.ParseStreamCredit(sb)
+					if perr != nil {
+						p.n.peerDown(p, "protocol: "+perr.Error())
+						return
+					}
+					p.grantRelay(c)
+				case wire.FrameStreamEnd:
+					s, perr := wire.ParseStreamEnd(sb)
+					if perr != nil {
+						p.n.peerDown(p, "protocol: "+perr.Error())
+						return
+					}
+					p.n.deliverStreamEnd(p, s)
 				default:
 					p.n.opts.Logf("cluster %s: unknown batched frame %v from %s", p.n.id, st, p.id)
 				}
@@ -257,6 +296,34 @@ func (p *peer) readLoop() {
 				return
 			}
 			p.handleCancel(c)
+		case wire.FrameStreamOpen:
+			o, perr := wire.ParseStreamOpen(body)
+			if perr != nil {
+				p.n.peerDown(p, "protocol: "+perr.Error())
+				return
+			}
+			p.dispatchStreamOpen(o)
+		case wire.FrameStreamChunk:
+			c, perr := wire.ParseStreamChunk(body)
+			if perr != nil {
+				p.n.peerDown(p, "protocol: "+perr.Error())
+				return
+			}
+			p.n.deliverStreamChunk(p, c)
+		case wire.FrameStreamCredit:
+			c, perr := wire.ParseStreamCredit(body)
+			if perr != nil {
+				p.n.peerDown(p, "protocol: "+perr.Error())
+				return
+			}
+			p.grantRelay(c)
+		case wire.FrameStreamEnd:
+			s, perr := wire.ParseStreamEnd(body)
+			if perr != nil {
+				p.n.peerDown(p, "protocol: "+perr.Error())
+				return
+			}
+			p.n.deliverStreamEnd(p, s)
 		case wire.FrameMigrate:
 			m, perr := wire.ParseMigrate(body)
 			if perr != nil {

@@ -1,0 +1,339 @@
+// Cross-node server streams (wire v5): the gateway forwards a stream open
+// over the owning peer's link, the serving side relays it into a local
+// manual-credit stream, and chunks/credits/ends ride the same per-link
+// egress batches as calls and replies. Credit is threaded end-to-end: the
+// remote consumer's grants arrive as FrameStreamCredit and are applied to
+// the relay stream, which forwards them to the producer — so the window
+// that throttles the producer is the real consumer's, not the relay's.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/bus"
+	"repro/internal/connector"
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// streamIn is the caller-side record of one stream forwarded over a link:
+// the wire correlation maps back to the original bus caller so inbound
+// chunks and the end frame are re-emitted toward the consumer's address.
+type streamIn struct {
+	src  bus.Address // original caller (consumer) address
+	corr uint64      // original bus correlation id
+	comp string
+	op   string
+}
+
+// chunkRetry bounds how long the read loop parks re-offering an inbound
+// chunk to a momentarily full consumer mailbox before dropping it. Credit
+// keeps in-flight chunks at or below the consumer's ring size, so only
+// unrelated traffic on the shared shard can force this path.
+const (
+	chunkRetry    = 200 * time.Microsecond
+	chunkAttempts = 8
+)
+
+// addStreamIn registers a caller-side stream record.
+func (p *peer) addStreamIn(corr uint64, si *streamIn) {
+	p.pmu.Lock()
+	p.streamsIn[corr] = si
+	p.pmu.Unlock()
+}
+
+// lookupStreamIn returns the caller-side stream record without removing it.
+func (p *peer) lookupStreamIn(corr uint64) (*streamIn, bool) {
+	p.pmu.Lock()
+	si, ok := p.streamsIn[corr]
+	p.pmu.Unlock()
+	return si, ok
+}
+
+// takeStreamIn removes and returns the caller-side stream record.
+func (p *peer) takeStreamIn(corr uint64) (*streamIn, bool) {
+	p.pmu.Lock()
+	si, ok := p.streamsIn[corr]
+	if ok {
+		delete(p.streamsIn, corr)
+	}
+	p.pmu.Unlock()
+	return si, ok
+}
+
+// addRelay registers the serve-side relay stream so inbound credit frames
+// can find it; the relay's cancel handle lives in serves like any inbound
+// call, so FrameCancel and peer death revoke it through the same path.
+func (p *peer) addRelay(corr uint64, st *core.Stream) {
+	p.pmu.Lock()
+	p.relays[corr] = st
+	p.pmu.Unlock()
+}
+
+// dropRelay removes a serve-side relay stream.
+func (p *peer) dropRelay(corr uint64) {
+	p.pmu.Lock()
+	delete(p.relays, corr)
+	p.pmu.Unlock()
+}
+
+// grantRelay applies one inbound credit frame to its relay stream, which
+// forwards the grant to the local producer. Unmatched credit (the stream
+// already ended) is dropped — credit is best-effort, like cancel.
+func (p *peer) grantRelay(c wire.StreamCredit) {
+	p.pmu.Lock()
+	st := p.relays[c.Corr]
+	p.pmu.Unlock()
+	if st != nil && c.Credit > 0 {
+		st.Grant(int(c.Credit))
+	}
+}
+
+// forwardStreamOpen ships one stream open over the wire and registers the
+// correlation mapping that routes chunks, the end frame, credit and cancel
+// for the stream's whole lifetime. A pre-v5 peer cannot parse stream
+// frames, so the open is refused locally with the typed
+// ErrKindStreamUnsupported — the consumer sees core.ErrStreamUnsupported
+// via errors.Is, not a protocol violation on the link.
+func (n *Node) forwardStreamOpen(comp string, m bus.Message, open connector.StreamOpenPayload) {
+	endHere := func(kind connector.ErrKind, reason string) {
+		_ = n.sys.Bus().Send(bus.Message{
+			Kind: bus.Reply, Op: m.Op,
+			Src: core.ComponentAddress(comp), Dst: m.Src, Corr: m.Corr,
+			Payload: connector.StreamEndPayload{Err: reason, Kind: kind},
+		})
+	}
+	p := n.livePeer(n.Owner(comp))
+	if p == nil {
+		endHere(connector.ErrKindApp, fmt.Sprintf("cluster: no live peer hosts %s", comp))
+		return
+	}
+	if p.version < wire.VersionStream {
+		endHere(connector.ErrKindStreamUnsupported, fmt.Sprintf(
+			"cluster: %s.%s: peer %s negotiated wire v%d, streams need v%d",
+			comp, m.Op, p.id, p.version, wire.VersionStream))
+		return
+	}
+	var deadlineNanos int64
+	if m.Deadline != 0 {
+		rem := time.Until(time.Unix(0, m.Deadline))
+		if rem <= 0 {
+			n.shedGateway.Add(1)
+			endHere(connector.ErrKindDeadline,
+				fmt.Sprintf("cluster: %s.%s: deadline exceeded at gateway", comp, m.Op))
+			return
+		}
+		deadlineNanos = int64(rem)
+	}
+	corr := p.corr.Add(1)
+	o := wire.StreamOpen{Corr: corr, Component: comp, Op: m.Op,
+		Principal: open.Principal, Window: uint32(open.Window), Args: open.Args}
+	n.imu.Lock()
+	n.inflight[callKey{src: m.Src, corr: m.Corr}] = remoteRef{p: p, corr: corr}
+	n.imu.Unlock()
+	p.addStreamIn(corr, &streamIn{src: m.Src, corr: m.Corr, comp: comp, op: m.Op})
+	if p.egress != nil {
+		o.DeadlineNanos = 0 // stamped at write time from the absolute deadline
+		p.egress.enqueueStreamOpen(o, m.Deadline)
+		return
+	}
+	o.DeadlineNanos = deadlineNanos
+	if err := p.send(func(e *wire.Encoder) error { return e.EncodeStreamOpen(o) }); err != nil {
+		n.endStreamIn(p, corr, connector.ErrKindApp, "cluster: "+err.Error())
+	}
+}
+
+// creditForward relays a consumer's credit grant over the wire. Credit for
+// a stream that already settled (or whose link died) is silently dropped.
+func (n *Node) creditForward(m bus.Message) {
+	credit, _ := m.Payload.(int)
+	if credit <= 0 {
+		return
+	}
+	n.imu.Lock()
+	ref, ok := n.inflight[callKey{src: m.Src, corr: m.Corr}]
+	n.imu.Unlock()
+	if !ok || ref.p.down.Load() {
+		return
+	}
+	c := wire.StreamCredit{Corr: ref.corr, Credit: uint32(credit)}
+	if ref.p.egress != nil {
+		ref.p.egress.enqueueStreamCredit(c)
+		return
+	}
+	_ = ref.p.send(func(e *wire.Encoder) error { return e.EncodeStreamCredit(c) })
+}
+
+// endStreamIn settles one forwarded stream locally: the correlation
+// mappings are dropped and the consumer gets a terminal end payload.
+// Idempotent — every settle path (end frame, egress expiry, encode failure,
+// link death) funnels through the takeStreamIn claim.
+func (n *Node) endStreamIn(p *peer, corr uint64, kind connector.ErrKind, reason string) {
+	si, ok := p.takeStreamIn(corr)
+	if !ok {
+		return
+	}
+	n.imu.Lock()
+	delete(n.inflight, callKey{src: si.src, corr: si.corr})
+	n.imu.Unlock()
+	_ = n.sys.Bus().Send(bus.Message{
+		Kind: bus.Reply, Op: si.op,
+		Src: core.ComponentAddress(si.comp), Dst: si.src, Corr: si.corr,
+		Payload: connector.StreamEndPayload{Err: reason, Kind: kind},
+	})
+}
+
+// deliverStreamChunk re-emits one inbound chunk as a local bus push toward
+// the original consumer, in the same pooled envelope local producers use —
+// the reply pump releases it after moving the item into the stream's ring.
+// A chunk for an unknown correlation (the consumer closed; the cancel and
+// the chunk crossed on the wire) is dropped.
+func (n *Node) deliverStreamChunk(p *peer, c wire.StreamChunk) {
+	si, ok := p.lookupStreamIn(c.Corr)
+	if !ok {
+		return
+	}
+	env := connector.NewStreamItem(c.Seq, c.Item)
+	m := bus.Message{
+		Kind: bus.Reply, Op: si.op, Payload: env,
+		Src: core.ComponentAddress(si.comp), Dst: si.src, Corr: si.corr,
+	}
+	for attempt := 0; ; attempt++ {
+		err := n.sys.Bus().Send(m)
+		if err == nil {
+			return
+		}
+		if !errors.Is(err, bus.ErrMailboxFull) || attempt >= chunkAttempts {
+			env.Release()
+			n.opts.Logf("cluster %s: dropped stream chunk corr=%d from %s: %v",
+				n.id, c.Corr, p.id, err)
+			return
+		}
+		time.Sleep(chunkRetry)
+	}
+}
+
+// deliverStreamEnd settles a forwarded stream with the producer's terminal
+// state.
+func (n *Node) deliverStreamEnd(p *peer, s wire.StreamEnd) {
+	n.endStreamIn(p, s.Corr, connector.ErrKind(s.Kind), s.Err)
+}
+
+// failStreamsIn settles a dead link's forwarded streams with an error end —
+// the streaming half of failAll. The map has already been detached from the
+// peer under pmu.
+func (p *peer) failStreamsIn(streams map[uint64]*streamIn, reason string) {
+	for _, si := range streams {
+		p.n.imu.Lock()
+		delete(p.n.inflight, callKey{src: si.src, corr: si.corr})
+		p.n.imu.Unlock()
+		_ = p.n.sys.Bus().Send(bus.Message{
+			Kind: bus.Reply, Op: si.op,
+			Src: core.ComponentAddress(si.comp), Dst: si.src, Corr: si.corr,
+			Payload: connector.StreamEndPayload{Err: reason, Kind: connector.ErrKindApp},
+		})
+	}
+}
+
+// dispatchStreamOpen serves one inbound stream open concurrently — the
+// relay goroutine lives as long as the stream flows.
+func (p *peer) dispatchStreamOpen(o wire.StreamOpen) {
+	p.n.wg.Add(1)
+	go func() {
+		defer p.n.wg.Done()
+		p.serveStream(o)
+	}()
+}
+
+// serveStream relays one inbound stream open into the local system: a
+// manual-credit stream against the hosting component, whose items are
+// pumped back as chunk frames through the egress batcher. Credit arriving
+// from the remote consumer is granted to this relay (grantRelay), which
+// forwards it to the producer — so end-to-end backpressure is governed by
+// the real consumer. The relay registers a serveCtl like any inbound call:
+// a FrameCancel (or link death) revokes it, which cancels the relay context
+// and through it reclaims the local producer without waiting out the
+// deadline.
+func (p *peer) serveStream(o wire.StreamOpen) {
+	ctx := p.n.ctx
+	var cancel context.CancelFunc
+	if o.DeadlineNanos > 0 {
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(o.DeadlineNanos))
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+	ctl := &serveCtl{cancel: cancel}
+	p.addServe(o.Corr, ctl)
+	defer p.dropServe(o.Corr)
+	cl := p.n.sys.Client(o.Component)
+	if o.Principal != "" {
+		cl = cl.With(core.WithPrincipal(o.Principal))
+	}
+	st, err := cl.StreamManual(ctx, int(o.Window), o.Op, o.Args...)
+	if err != nil {
+		if !ctl.revoked.Load() {
+			p.sendStreamEnd(wire.StreamEnd{Corr: o.Corr, Err: err.Error(), Kind: replyKindOf(err)})
+		}
+		return
+	}
+	p.addRelay(o.Corr, st)
+	defer p.dropRelay(o.Corr)
+	defer st.Close()
+	var seq uint64
+	for {
+		item, rerr := st.Recv(ctx)
+		if rerr != nil {
+			if ctl.revoked.Load() {
+				return // caller revoked the stream and forgot the corr — no end frame
+			}
+			end := wire.StreamEnd{Corr: o.Corr}
+			if !errors.Is(rerr, io.EOF) {
+				end.Err = rerr.Error()
+				end.Kind = replyKindOf(rerr)
+			}
+			p.sendStreamEnd(end)
+			return
+		}
+		seq++
+		p.sendStreamChunk(wire.StreamChunk{Corr: o.Corr, Seq: seq, Item: item})
+	}
+}
+
+// sendStreamChunk ships one chunk, coalescing through the egress batcher.
+func (p *peer) sendStreamChunk(c wire.StreamChunk) {
+	if p.egress != nil {
+		p.egress.enqueueStreamChunk(c)
+		return
+	}
+	_ = p.send(func(e *wire.Encoder) error { return e.EncodeStreamChunk(c) })
+}
+
+// sendStreamEnd ships one terminal end frame.
+func (p *peer) sendStreamEnd(s wire.StreamEnd) {
+	if p.egress != nil {
+		p.egress.enqueueStreamEnd(s)
+		return
+	}
+	_ = p.send(func(e *wire.Encoder) error { return e.EncodeStreamEnd(s) })
+}
+
+// abortRelayEncode reclaims a relay whose chunk the value codec could not
+// ship: the relay is revoked (reclaiming the producer through its context)
+// and the consumer gets a typed end instead of a silent gap in the
+// sequence.
+func (p *peer) abortRelayEncode(corr uint64) {
+	p.pmu.Lock()
+	ctl := p.serves[corr]
+	p.pmu.Unlock()
+	if ctl != nil {
+		ctl.revoked.Store(true)
+		ctl.cancel()
+	}
+	p.sendStreamEnd(wire.StreamEnd{Corr: corr, Kind: wire.KindAppError,
+		Err: "cluster: stream item not wire-encodable"})
+}

@@ -48,6 +48,10 @@ const (
 	ErrKindDeadline        ErrKind = 2 // deadline exceeded
 	ErrKindCancelled       ErrKind = 3 // caller cancelled
 	ErrKindNoSuchComponent ErrKind = 4 // destination component does not exist
+	// ErrKindStreamUnsupported classifies a stream-open refused because the
+	// path to the component crosses a peer link negotiated below wire v5.
+	// Numbering shared with wire.KindStreamUnsupported.
+	ErrKindStreamUnsupported ErrKind = 5
 )
 
 // ReplyPayload is the reply payload convention; Err is non-empty on

@@ -1,0 +1,69 @@
+package container
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// StreamSink is the producer's half of a server stream: the handler pushes
+// items through Send and returns when the flow ends. Send applies credit-
+// based flow control — it blocks while the consumer's window is exhausted —
+// and fails once the stream is cancelled, its deadline lapses, or the
+// component is reclaimed (migration, shutdown). A handler MUST stop and
+// return when Send fails; the error tells it why.
+type StreamSink interface {
+	// Send pushes one item to the consumer, blocking on flow control.
+	Send(item any) error
+	// Context is done when the stream is cancelled or its deadline lapses;
+	// handlers doing slow per-item work should watch it between Sends.
+	Context() context.Context
+}
+
+// StreamerComponent is optionally implemented by components that serve
+// streaming operations. HandleStream pushes any number of items through
+// sink and returns nil for a clean end or an error to fail the stream.
+// Return ErrUnstreamableOp for operations the component does not stream —
+// the caller's open fails with that error.
+type StreamerComponent interface {
+	Component
+	HandleStream(op string, args []any, sink StreamSink) error
+}
+
+// ErrUnstreamableOp is returned for stream opens on components (or ops)
+// that do not serve streams.
+var ErrUnstreamableOp = errors.New("container: op not served as a stream")
+
+// InvokeStream services one stream through the container's interposition
+// chain: the same lifecycle gate, authorization and inflight accounting as
+// Invoke, held for the stream's whole lifetime — a quiescing container
+// waits for running streams exactly like running calls (the serve plane
+// aborts streams before quiescing, so reconfiguration is not held hostage
+// to a long flow). Transactional rollback is deliberately not applied:
+// items already pushed cannot be unsent, so a failed stream is reported,
+// never rolled back.
+func (c *Container) InvokeStream(principal, op string, args []any, sink StreamSink) error {
+	c.mu.Lock()
+	if c.state != Active {
+		st := c.state
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %s is %s", ErrNotActive, c.desc.Name, st)
+	}
+	if c.desc.RequireAuth && principal == "" {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %s.%s", ErrUnauthorized, c.desc.Name, op)
+	}
+	comp := c.comp
+	sc, ok := comp.(StreamerComponent)
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %s.%s", ErrUnstreamableOp, c.desc.Name, op)
+	}
+	c.inflight++
+	c.calls++
+	c.mu.Unlock()
+
+	err := sc.HandleStream(op, args, sink)
+	c.finish(op, principal, err)
+	return err
+}

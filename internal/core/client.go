@@ -62,6 +62,9 @@ type Client struct {
 	// none; zero defers to Options.CallTimeout. Unlike the system fallback it
 	// is propagated to the callee (it is an explicit contract of the handle).
 	budget time.Duration
+	// window is the stream credit window for Stream opens; zero means
+	// DefaultStreamWindow.
+	window int
 }
 
 // CallOption configures a derived Client handle (see Client.With).
@@ -84,11 +87,25 @@ func WithDeadline(d time.Duration) CallOption {
 	return func(c *Client) { c.budget = d }
 }
 
+// WithStreamWindow returns an option setting the credit window (in items)
+// Stream opens of the derived handle request: the producer may have at most
+// n un-consumed items in flight toward this consumer. Zero or negative
+// restores DefaultStreamWindow; the window is clamped server-side to a
+// sane maximum.
+func WithStreamWindow(n int) CallOption {
+	return func(c *Client) {
+		if n < 0 {
+			n = 0
+		}
+		c.window = n
+	}
+}
+
 // With derives a handle sharing this handle's compiled binding with the
 // given options applied. Deriving is allocation-cheap but not free; derive
 // once and reuse when the options are stable.
 func (c *Client) With(opts ...CallOption) *Client {
-	d := &Client{b: c.b, principal: c.principal, budget: c.budget}
+	d := &Client{b: c.b, principal: c.principal, budget: c.budget, window: c.window}
 	for _, o := range opts {
 		o(d)
 	}
@@ -448,6 +465,8 @@ func errKindOf(err error) connector.ErrKind {
 		return connector.ErrKindCancelled
 	case errors.Is(err, ErrUnknownComp):
 		return connector.ErrKindNoSuchComponent
+	case errors.Is(err, ErrStreamUnsupported):
+		return connector.ErrKindStreamUnsupported
 	default:
 		return connector.ErrKindApp
 	}
@@ -460,7 +479,8 @@ func errKindOf(err error) connector.ErrKind {
 // string convention replyError implements.
 func replyErrorKind(msg string, kind connector.ErrKind) error {
 	switch kind {
-	case connector.ErrKindDeadline, connector.ErrKindCancelled, connector.ErrKindNoSuchComponent:
+	case connector.ErrKindDeadline, connector.ErrKindCancelled,
+		connector.ErrKindNoSuchComponent, connector.ErrKindStreamUnsupported:
 		return &kindedError{msg: msg, kind: kind}
 	}
 	return replyError(msg)
@@ -482,6 +502,8 @@ func (e *kindedError) Is(target error) bool {
 		return target == context.Canceled
 	case connector.ErrKindNoSuchComponent:
 		return target == ErrUnknownComp
+	case connector.ErrKindStreamUnsupported:
+		return target == ErrStreamUnsupported
 	}
 	return false
 }

@@ -98,6 +98,16 @@ type runtimeComponent struct {
 	// serve executes its published snapshot around the woven invocation.
 	meta metaobj.Chain
 
+	// streams tracks running stream producers keyed by (consumer, corr) so
+	// credit and cancel controls find them; abortStreams drains the table
+	// before any quiesce (streams are long-lived by design, so waiting
+	// them out would hold every reconfiguration hostage).
+	smu     sync.Mutex
+	streams map[streamKey]*streamProducer
+	// serveCtx is the serve loop's context, parent of every stream
+	// producer: stopping the component reclaims its streams.
+	serveCtx context.Context
+
 	wg     sync.WaitGroup
 	cancel context.CancelFunc
 }
@@ -181,6 +191,7 @@ const serveWorkers = 4
 // start launches the serve loop.
 func (rc *runtimeComponent) start(ctx context.Context) {
 	ctx, rc.cancel = context.WithCancel(ctx)
+	rc.serveCtx = ctx
 	rc.cont.Activate()
 	work := make(chan bus.Message) // unbuffered: a send succeeds only into an idle worker
 	for i := 0; i < serveWorkers; i++ {
@@ -228,9 +239,14 @@ func (rc *runtimeComponent) start(ctx context.Context) {
 			case bus.Control:
 				// A cancel overtakes the request it revokes (Control skips
 				// the EDF lane and passes pauseRequests barriers); record it
-				// so the request is answered unserved when it surfaces.
-				if m.Op == bus.OpCancel {
+				// so the request is answered unserved when it surfaces, and
+				// reclaim the matching stream producer if one is running.
+				switch m.Op {
+				case bus.OpCancel:
 					rc.cancels.add(m.Src, m.Corr, time.Now().UnixNano())
+					rc.cancelStream(m.Src, m.Corr)
+				case bus.OpStreamCredit:
+					rc.grantStream(m.Src, m.Corr, m.Payload)
 				}
 			}
 		}
@@ -257,6 +273,14 @@ func (rc *runtimeComponent) stop() {
 // atomic snapshots, so a concurrent interchange never tears a chain under
 // an in-flight request.
 func (rc *runtimeComponent) serve(m bus.Message) {
+	// Stream opens take their own path: the pre-serve checks are the same
+	// but every rejection and the terminal reply are stream-end payloads,
+	// and the container invocation hands the handler a flow-controlled
+	// sink instead of collecting results.
+	if open, ok := m.Payload.(connector.StreamOpenPayload); ok {
+		rc.serveStream(&m, open)
+		return
+	}
 	// A request whose caller's deadline already passed is answered with an
 	// error instead of being served: the caller has returned and released
 	// its waiter slot, so invoking the container would burn capacity on a

@@ -141,6 +141,10 @@ func (s *System) MigrateOut(component string, to netsim.NodeID, ship func(Handof
 
 	// 2. Reach the reconfiguration point, then bounce every queued request
 	// onto the paused route so the mailbox is empty before teardown.
+	// Running stream producers are aborted first: a stream is long-lived
+	// by design, so waiting it out would hold the migration hostage — the
+	// consumer gets a fast-fail end and reopens against the new home.
+	rc.abortStreams("component migrating")
 	ctx, cancel := context.WithTimeout(context.Background(), s.callTimeout)
 	err := rc.cont.Quiesce(ctx)
 	cancel()

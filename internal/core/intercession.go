@@ -58,7 +58,10 @@ func (s *System) SwapImplementation(component string, entry registry.Entry, tran
 	// 1. Block the communication channel; new requests are parked.
 	s.bus.PauseRequests(addr)
 
-	// 2. Reach the reconfiguration point: in-flight requests complete.
+	// 2. Reach the reconfiguration point: in-flight requests complete,
+	// running stream producers are aborted (the consumer fast-fails and
+	// reopens against the new implementation).
+	rc.abortStreams("implementation swapping")
 	ctx, cancel := context.WithTimeout(context.Background(), s.callTimeout)
 	defer cancel()
 	if err := rc.cont.Quiesce(ctx); err != nil {

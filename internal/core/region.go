@@ -169,6 +169,7 @@ func (s *System) pauseRegion(r *reconfigRegion) error {
 			// running yet: nothing can be in flight, nothing to quiesce.
 			continue
 		}
+		rc.abortStreams("region reconfiguring")
 		ctx, cancel := context.WithTimeout(context.Background(), s.callTimeout)
 		err := rc.cont.Quiesce(ctx)
 		cancel()

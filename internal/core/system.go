@@ -121,8 +121,15 @@ type System struct {
 	clientEPs     atomic.Pointer[[]*bus.Endpoint]
 	clientCorr    atomic.Uint64
 	clientWaiters replyWaiters
-	clientWG      sync.WaitGroup
-	clientStop    context.CancelFunc
+	// clientStreams is the correlation-sharded table of open server
+	// streams; the reply pump routes chunk and end payloads through it.
+	clientStreams streamWaiters
+	// streamShed counts chunks that arrived for a stream the consumer had
+	// already closed (or whose ring a misbehaving producer overran) — the
+	// shed side of the conservation ledger sent == received + shed.
+	streamShed atomic.Uint64
+	clientWG   sync.WaitGroup
+	clientStop context.CancelFunc
 
 	// clients is the compiled client-binding table (see client.go): one
 	// canonical *Client per component name, created on first System.Client
@@ -414,6 +421,27 @@ func (s *System) startClient() error {
 					return
 				}
 				if m.Kind != bus.Reply {
+					continue
+				}
+				// Stream traffic dispatches on payload type before the
+				// unary waiter path: chunks look their stream up without
+				// taking it, the end takes it. The chunk envelope is
+				// released here, in the pump — the item has moved into the
+				// stream's ring, so the steady-state receive path recycles
+				// every envelope it leases.
+				switch pl := m.Payload.(type) {
+				case *connector.StreamItem:
+					if st, ok := s.clientStreams.lookup(m.Corr); ok && st.push(pl.Item) {
+						pl.Release()
+						continue
+					}
+					s.streamShed.Add(1)
+					pl.Release()
+					continue
+				case connector.StreamEndPayload:
+					if st, ok := s.clientStreams.take(m.Corr); ok {
+						st.finish(pl.Err, pl.Kind)
+					}
 					continue
 				}
 				if w, ok := s.clientWaiters.take(m.Corr); ok {

@@ -1,0 +1,110 @@
+// Credit-window flow control for server streams (DESIGN.md §10). The
+// window is the single backpressure signal of the stream plane: the
+// consumer grants credit as it consumes, the producer acquires one credit
+// per item and blocks when the window is exhausted. Like the EDF lane and
+// the admission estimator, this file stays off the time package — blocking
+// is bounded by the caller's context, which already carries the stream's
+// deadline, so the window itself never touches a clock.
+package qos
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrCreditClosed is returned by Acquire after Close: the stream ended (or
+// its producer was reclaimed) while the producer was blocked on credit.
+var ErrCreditClosed = errors.New("qos: credit window closed")
+
+// CreditWindow is the producer-side half of a stream's flow-control state
+// machine. It starts at the consumer's initial window and moves through
+// exactly two transitions: Grant (consumer consumed, window grows) and
+// Acquire (producer sends, window shrinks). Acquire blocks while the
+// window is zero; Close fails all current and future Acquires.
+type CreditWindow struct {
+	mu     sync.Mutex
+	credit int64
+	closed bool
+	// wake is replaced wholesale on every grant/close; blocked acquirers
+	// wait on the generation they observed, so a single Grant releases
+	// every waiter at once (they re-check under the lock).
+	wake chan struct{}
+}
+
+// NewCreditWindow returns a window holding initial credits.
+func NewCreditWindow(initial int) *CreditWindow {
+	return &CreditWindow{credit: int64(initial), wake: make(chan struct{})}
+}
+
+// Grant adds n credits and wakes blocked acquirers. Non-positive n is
+// ignored.
+func (w *CreditWindow) Grant(n int) {
+	if n <= 0 {
+		return
+	}
+	w.mu.Lock()
+	w.credit += int64(n)
+	wake := w.wake
+	w.wake = make(chan struct{})
+	w.mu.Unlock()
+	close(wake)
+}
+
+// Acquire takes one credit, blocking until credit is granted, the window
+// closes (ErrCreditClosed) or ctx is done (its error).
+func (w *CreditWindow) Acquire(ctx context.Context) error {
+	for {
+		w.mu.Lock()
+		if w.closed {
+			w.mu.Unlock()
+			return ErrCreditClosed
+		}
+		if w.credit > 0 {
+			w.credit--
+			w.mu.Unlock()
+			return nil
+		}
+		wake := w.wake
+		w.mu.Unlock()
+		select {
+		case <-wake:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// TryAcquire takes one credit without blocking; it reports false when the
+// window is empty or closed.
+func (w *CreditWindow) TryAcquire() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed || w.credit <= 0 {
+		return false
+	}
+	w.credit--
+	return true
+}
+
+// Close fails all blocked and future Acquires. Idempotent.
+func (w *CreditWindow) Close() {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.closed = true
+	wake := w.wake
+	w.wake = make(chan struct{})
+	w.mu.Unlock()
+	close(wake)
+}
+
+// Credit reports the currently available credit (observability; racy by
+// nature).
+func (w *CreditWindow) Credit() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.credit
+}

@@ -52,11 +52,20 @@ const (
 	// against an older peer the sender simply skips the frame and relies on
 	// deadline-based reclamation.
 	VersionCancel = 4
+	// VersionStream (5) adds server-streaming calls: FrameStreamOpen asks a
+	// peer to start a stream, FrameStreamChunk carries one pushed item,
+	// FrameStreamCredit extends the producer's send window, and
+	// FrameStreamEnd terminates the stream. Chunk, credit and end frames
+	// ride FrameBatch like calls and replies do, so a busy stream amortizes
+	// the syscall identically. Negotiated like v3/v4; a stream-open toward
+	// a pre-v5 peer is refused locally with a typed error (the frames are
+	// never put on an older link).
+	VersionStream = 5
 	// MinVersion and MaxVersion bound the versions this build speaks. A
 	// decoder accepts any frame version in the range; what an encoder emits
 	// is fixed by the link's negotiated version.
 	MinVersion = Version
-	MaxVersion = VersionCancel
+	MaxVersion = VersionStream
 
 	headerSize = 8
 	// MaxFrame bounds a single frame body (migration states included).
@@ -99,6 +108,24 @@ const (
 	// interrupts it if already serving) and must NOT send a reply for a
 	// cancelled correlation — the caller has already forgotten it.
 	FrameCancel
+	// FrameStreamOpen (v5 links only) asks the peer to open a server
+	// stream: one request that will be answered by any number of
+	// FrameStreamChunk frames and exactly one FrameStreamEnd. The body is a
+	// call body plus the consumer's initial credit window.
+	FrameStreamOpen
+	// FrameStreamChunk (v5 links only) carries one pushed stream item,
+	// correlated to its FrameStreamOpen. Chunks coalesce into FrameBatch on
+	// a busy link exactly like replies.
+	FrameStreamChunk
+	// FrameStreamCredit (v5 links only) extends the producer's send window
+	// by Credit items — the consumer replenishes as it consumes, and the
+	// producer never has more un-credited chunks in flight than the window.
+	FrameStreamCredit
+	// FrameStreamEnd (v5 links only) terminates a stream: clean end (empty
+	// Err) or failure, with the same structured kind byte replies carry.
+	// After sending it the producer forgets the correlation; after
+	// receiving it the consumer does.
+	FrameStreamEnd
 )
 
 // String implements fmt.Stringer.
@@ -124,6 +151,14 @@ func (t FrameType) String() string {
 		return "batch"
 	case FrameCancel:
 		return "cancel"
+	case FrameStreamOpen:
+		return "stream-open"
+	case FrameStreamChunk:
+		return "stream-chunk"
+	case FrameStreamCredit:
+		return "stream-credit"
+	case FrameStreamEnd:
+		return "stream-end"
 	default:
 		return "unknown"
 	}
@@ -401,6 +436,11 @@ const (
 	KindDeadline        = 2 // deadline exceeded
 	KindCancelled       = 3 // caller cancelled
 	KindNoSuchComponent = 4 // destination component does not exist
+	// KindStreamUnsupported (v5) classifies a stream-open refused because
+	// the path to the component crosses a link negotiated below v5. It ends
+	// the stream before any frame reaches the older peer, so the caller
+	// gets a typed error instead of a protocol violation.
+	KindStreamUnsupported = 5
 )
 
 // Reply answers a Call; Err is non-empty on failure.
@@ -606,6 +646,176 @@ func ParseCancel(b []byte) (Cancel, error) {
 		return Cancel{}, ErrTruncated
 	}
 	return Cancel{Corr: corr}, nil
+}
+
+// StreamOpen asks the peer to start a server stream (v5 links only). It is
+// a call body plus the consumer's initial credit window: the producer may
+// have at most Window un-credited chunks in flight before blocking.
+type StreamOpen struct {
+	Corr      uint64
+	Component string
+	Op        string
+	Principal string
+	// DeadlineNanos is the caller's remaining budget at encode time
+	// (relative, like Call.DeadlineNanos; 0 = no deadline).
+	DeadlineNanos int64
+	// Window is the initial credit window in items (>= 1).
+	Window uint32
+	Args   []any
+}
+
+// AppendStreamOpen encodes o.
+func AppendStreamOpen(dst []byte, o StreamOpen) ([]byte, error) {
+	dst = binary.AppendUvarint(dst, o.Corr)
+	dst = AppendString(dst, o.Component)
+	dst = AppendString(dst, o.Op)
+	dst = AppendString(dst, o.Principal)
+	dst = binary.AppendVarint(dst, o.DeadlineNanos)
+	dst = binary.AppendUvarint(dst, uint64(o.Window))
+	return AppendValues(dst, o.Args)
+}
+
+// ParseStreamOpen decodes a StreamOpen body.
+func ParseStreamOpen(b []byte) (StreamOpen, error) {
+	var (
+		o   StreamOpen
+		err error
+	)
+	corr, n := binary.Uvarint(b)
+	if n <= 0 {
+		return o, ErrTruncated
+	}
+	o.Corr = corr
+	b = b[n:]
+	if o.Component, b, err = ReadString(b); err != nil {
+		return o, err
+	}
+	if o.Op, b, err = ReadString(b); err != nil {
+		return o, err
+	}
+	if o.Principal, b, err = ReadString(b); err != nil {
+		return o, err
+	}
+	dl, n := binary.Varint(b)
+	if n <= 0 {
+		return o, ErrTruncated
+	}
+	o.DeadlineNanos = dl
+	b = b[n:]
+	w, n := binary.Uvarint(b)
+	if n <= 0 || w > math.MaxUint32 {
+		return o, ErrTruncated
+	}
+	o.Window = uint32(w)
+	b = b[n:]
+	o.Args, _, err = ReadValues(b)
+	return o, err
+}
+
+// StreamChunk carries one pushed stream item (v5 links only). Seq is the
+// 1-based position of the item in its stream, for conservation accounting
+// on the consumer side.
+type StreamChunk struct {
+	Corr uint64
+	Seq  uint64
+	Item any
+}
+
+// AppendStreamChunk encodes c.
+func AppendStreamChunk(dst []byte, c StreamChunk) ([]byte, error) {
+	dst = binary.AppendUvarint(dst, c.Corr)
+	dst = binary.AppendUvarint(dst, c.Seq)
+	return AppendValue(dst, c.Item)
+}
+
+// ParseStreamChunk decodes a StreamChunk body.
+func ParseStreamChunk(b []byte) (StreamChunk, error) {
+	var c StreamChunk
+	corr, n := binary.Uvarint(b)
+	if n <= 0 {
+		return c, ErrTruncated
+	}
+	c.Corr = corr
+	b = b[n:]
+	seq, n := binary.Uvarint(b)
+	if n <= 0 {
+		return c, ErrTruncated
+	}
+	c.Seq = seq
+	b = b[n:]
+	item, _, err := ReadValue(b)
+	if err != nil {
+		return c, err
+	}
+	c.Item = item
+	return c, nil
+}
+
+// StreamCredit extends the producer's send window by Credit items (v5
+// links only).
+type StreamCredit struct {
+	Corr   uint64
+	Credit uint32
+}
+
+// AppendStreamCredit encodes c.
+func AppendStreamCredit(dst []byte, c StreamCredit) []byte {
+	dst = binary.AppendUvarint(dst, c.Corr)
+	return binary.AppendUvarint(dst, uint64(c.Credit))
+}
+
+// ParseStreamCredit decodes a StreamCredit body.
+func ParseStreamCredit(b []byte) (StreamCredit, error) {
+	var c StreamCredit
+	corr, n := binary.Uvarint(b)
+	if n <= 0 {
+		return c, ErrTruncated
+	}
+	c.Corr = corr
+	b = b[n:]
+	cr, n := binary.Uvarint(b)
+	if n <= 0 || cr > math.MaxUint32 {
+		return c, ErrTruncated
+	}
+	c.Credit = uint32(cr)
+	return c, nil
+}
+
+// StreamEnd terminates a stream (v5 links only): clean end when Err is
+// empty, failure otherwise. Kind classifies Err like Reply.Kind does.
+type StreamEnd struct {
+	Corr uint64
+	Err  string
+	Kind uint8
+}
+
+// AppendStreamEnd encodes s.
+func AppendStreamEnd(dst []byte, s StreamEnd) []byte {
+	dst = binary.AppendUvarint(dst, s.Corr)
+	dst = AppendString(dst, s.Err)
+	return append(dst, s.Kind)
+}
+
+// ParseStreamEnd decodes a StreamEnd body.
+func ParseStreamEnd(b []byte) (StreamEnd, error) {
+	var (
+		s   StreamEnd
+		err error
+	)
+	corr, n := binary.Uvarint(b)
+	if n <= 0 {
+		return s, ErrTruncated
+	}
+	s.Corr = corr
+	b = b[n:]
+	if s.Err, b, err = ReadString(b); err != nil {
+		return s, err
+	}
+	if len(b) < 1 {
+		return s, ErrTruncated
+	}
+	s.Kind = b[0]
+	return s, nil
 }
 
 // AppendMigrate encodes m.
@@ -828,6 +1038,35 @@ func (e *Encoder) EncodeCancel(c Cancel) error {
 	return e.flushFrame(FrameCancel, AppendCancel(e.body(), c))
 }
 
+// EncodeStreamOpen writes a FrameStreamOpen. The caller must have
+// negotiated v5 on this link.
+func (e *Encoder) EncodeStreamOpen(o StreamOpen) error {
+	buf, err := AppendStreamOpen(e.body(), o)
+	if err != nil {
+		return err
+	}
+	return e.flushFrame(FrameStreamOpen, buf)
+}
+
+// EncodeStreamChunk writes a FrameStreamChunk (v5 links only).
+func (e *Encoder) EncodeStreamChunk(c StreamChunk) error {
+	buf, err := AppendStreamChunk(e.body(), c)
+	if err != nil {
+		return err
+	}
+	return e.flushFrame(FrameStreamChunk, buf)
+}
+
+// EncodeStreamCredit writes a FrameStreamCredit (v5 links only).
+func (e *Encoder) EncodeStreamCredit(c StreamCredit) error {
+	return e.flushFrame(FrameStreamCredit, AppendStreamCredit(e.body(), c))
+}
+
+// EncodeStreamEnd writes a FrameStreamEnd (v5 links only).
+func (e *Encoder) EncodeStreamEnd(s StreamEnd) error {
+	return e.flushFrame(FrameStreamEnd, AppendStreamEnd(e.body(), s))
+}
+
 // EncodeMigrate writes a FrameMigrate.
 func (e *Encoder) EncodeMigrate(m Migrate) error {
 	return e.flushFrame(FrameMigrate, AppendMigrate(e.body(), m))
@@ -849,7 +1088,7 @@ func (e *Encoder) EncodeAnnounce(a Announce) error {
 // FrameBatch write. Sub-frame layout inside the body:
 //
 //	offset  size  field
-//	0       1     sub-frame type (FrameCall, FrameReply, or FrameCancel)
+//	0       1     sub-frame type (call, reply, cancel, or a stream frame)
 //	1       4     sub-frame body length (big-endian u32)
 //	5       n     sub-frame body (same encoding as the standalone frame)
 
@@ -890,6 +1129,30 @@ func (e *Encoder) BatchAddReply(r Reply) error {
 // BatchAddCancel appends a cancel sub-frame to the open batch (v4 links).
 func (e *Encoder) BatchAddCancel(c Cancel) error {
 	return e.batchAdd(FrameCancel, func(dst []byte) ([]byte, error) { return AppendCancel(dst, c), nil })
+}
+
+// BatchAddStreamOpen appends a stream-open sub-frame to the pending batch
+// (v5 links only).
+func (e *Encoder) BatchAddStreamOpen(o StreamOpen) error {
+	return e.batchAdd(FrameStreamOpen, func(dst []byte) ([]byte, error) { return AppendStreamOpen(dst, o) })
+}
+
+// BatchAddStreamChunk appends a stream-chunk sub-frame to the pending batch
+// (v5 links only) — the coalescing path a busy stream rides.
+func (e *Encoder) BatchAddStreamChunk(c StreamChunk) error {
+	return e.batchAdd(FrameStreamChunk, func(dst []byte) ([]byte, error) { return AppendStreamChunk(dst, c) })
+}
+
+// BatchAddStreamCredit appends a stream-credit sub-frame to the pending
+// batch (v5 links only).
+func (e *Encoder) BatchAddStreamCredit(c StreamCredit) error {
+	return e.batchAdd(FrameStreamCredit, func(dst []byte) ([]byte, error) { return AppendStreamCredit(dst, c), nil })
+}
+
+// BatchAddStreamEnd appends a stream-end sub-frame to the pending batch
+// (v5 links only).
+func (e *Encoder) BatchAddStreamEnd(s StreamEnd) error {
+	return e.batchAdd(FrameStreamEnd, func(dst []byte) ([]byte, error) { return AppendStreamEnd(dst, s), nil })
 }
 
 // BatchLen reports the assembled batch size in bytes (header included).

@@ -405,3 +405,124 @@ func BenchmarkEncodeCall(b *testing.B) {
 type noopWriter struct{}
 
 func (noopWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+// TestStreamFramesRoundTrip covers the four v5 stream frames standalone and
+// as batch sub-frames — the coalescing path a flowing stream actually uses.
+func TestStreamFramesRoundTrip(t *testing.T) {
+	var conn bytes.Buffer
+	enc := NewEncoder(&conn)
+	enc.SetVersion(VersionStream)
+	dec := NewDecoder(&conn)
+
+	open := StreamOpen{Corr: 41, Component: "Feed", Op: "list",
+		Principal: "alice", DeadlineNanos: 5_000_000, Window: 32,
+		Args: []any{"prefix", 10}}
+	if err := enc.EncodeStreamOpen(open); err != nil {
+		t.Fatal(err)
+	}
+	typ, body, err := dec.Next()
+	if err != nil || typ != FrameStreamOpen {
+		t.Fatalf("open frame: %v %v", typ, err)
+	}
+	gotOpen, err := ParseStreamOpen(body)
+	if err != nil || gotOpen.Corr != open.Corr || gotOpen.Component != open.Component ||
+		gotOpen.Op != open.Op || gotOpen.Principal != open.Principal ||
+		gotOpen.DeadlineNanos != open.DeadlineNanos || gotOpen.Window != open.Window ||
+		len(gotOpen.Args) != 2 || gotOpen.Args[0] != "prefix" {
+		t.Fatalf("open: %#v %v", gotOpen, err)
+	}
+
+	chunk := StreamChunk{Corr: 41, Seq: 3, Item: "item-3"}
+	if err := enc.EncodeStreamChunk(chunk); err != nil {
+		t.Fatal(err)
+	}
+	typ, body, err = dec.Next()
+	if err != nil || typ != FrameStreamChunk {
+		t.Fatalf("chunk frame: %v %v", typ, err)
+	}
+	if got, err := ParseStreamChunk(body); err != nil || got != chunk {
+		t.Fatalf("chunk: %#v %v", got, err)
+	}
+
+	credit := StreamCredit{Corr: 41, Credit: 8}
+	if err := enc.EncodeStreamCredit(credit); err != nil {
+		t.Fatal(err)
+	}
+	typ, body, err = dec.Next()
+	if err != nil || typ != FrameStreamCredit {
+		t.Fatalf("credit frame: %v %v", typ, err)
+	}
+	if got, err := ParseStreamCredit(body); err != nil || got != credit {
+		t.Fatalf("credit: %#v %v", got, err)
+	}
+
+	end := StreamEnd{Corr: 41, Err: "boom", Kind: KindAppError}
+	if err := enc.EncodeStreamEnd(end); err != nil {
+		t.Fatal(err)
+	}
+	typ, body, err = dec.Next()
+	if err != nil || typ != FrameStreamEnd {
+		t.Fatalf("end frame: %v %v", typ, err)
+	}
+	if got, err := ParseStreamEnd(body); err != nil || got != end {
+		t.Fatalf("end: %#v %v", got, err)
+	}
+
+	// All four coalesce as batch sub-frames alongside a reply.
+	enc.BeginBatch()
+	if err := enc.BatchAddStreamOpen(open); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.BatchAddStreamChunk(chunk); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.BatchAddReply(Reply{Corr: 9, Results: []any{"r"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.BatchAddStreamCredit(credit); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.BatchAddStreamEnd(end); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.FlushBatch(); err != nil {
+		t.Fatal(err)
+	}
+	typ, body, err = dec.Next()
+	if err != nil || typ != FrameBatch {
+		t.Fatalf("batch frame: %v %v", typ, err)
+	}
+	wantSubs := []FrameType{FrameStreamOpen, FrameStreamChunk, FrameReply, FrameStreamCredit, FrameStreamEnd}
+	for i, want := range wantSubs {
+		st, sb, rest, err := ReadBatchFrame(body)
+		if err != nil || st != want {
+			t.Fatalf("sub %d: %v %v", i, st, err)
+		}
+		switch st {
+		case FrameStreamChunk:
+			if got, err := ParseStreamChunk(sb); err != nil || got != chunk {
+				t.Fatalf("batched chunk: %#v %v", got, err)
+			}
+		case FrameStreamEnd:
+			if got, err := ParseStreamEnd(sb); err != nil || got != end {
+				t.Fatalf("batched end: %#v %v", got, err)
+			}
+		}
+		body = rest
+	}
+	if len(body) != 0 {
+		t.Fatalf("%d trailing bytes", len(body))
+	}
+
+	// Truncated bodies are rejected, not crashed on.
+	for _, parse := range []func([]byte) error{
+		func(b []byte) error { _, err := ParseStreamOpen(b); return err },
+		func(b []byte) error { _, err := ParseStreamChunk(b); return err },
+		func(b []byte) error { _, err := ParseStreamCredit(b); return err },
+		func(b []byte) error { _, err := ParseStreamEnd(b); return err },
+	} {
+		if err := parse(nil); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("empty body: %v", err)
+		}
+	}
+}
