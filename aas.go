@@ -61,6 +61,7 @@ import (
 	"repro/internal/qos"
 	"repro/internal/registry"
 	"repro/internal/strategy"
+	"repro/internal/telemetry"
 )
 
 // System is a running auto-adaptive system (see core.System).
@@ -403,6 +404,58 @@ const (
 
 // Metrics is an introspection metric snapshot.
 type Metrics = strategy.Metrics
+
+// Telemetry plane (DESIGN.md §11): end-to-end tracing plus one unified
+// metrics snapshot per node. Zero-alloc span records are written at the
+// client-handle edge, the serving component, and cluster gateways; trace
+// context crosses peer links on wire v6. Observe a system through
+// System.Telemetry / System.Spans (node-local), ClusterNode.Telemetry
+// (adds per-link state and gateway sheds), ClusterNode.ShedStats and
+// ClusterNode.BatchStats (the raw distribution-plane counters), and
+// System.Events().Published / .Dropped (the event hub's ledger). Tune
+// sampling with Options.TraceSampling or at run time via
+// System.Recorder().SetSampling.
+type (
+	// Telemetry is the unified metrics snapshot of one node.
+	Telemetry = telemetry.Snapshot
+	// Span is one recorded hop of a traced call.
+	Span = telemetry.Span
+	// SpanRecorder keeps recent spans in fixed-size lock-free rings.
+	SpanRecorder = telemetry.Recorder
+	// SpanKind classifies which edge of the call path a span covers.
+	SpanKind = telemetry.Kind
+	// SpanOutcome classifies how a span ended.
+	SpanOutcome = telemetry.Outcome
+	// EventHub is the RAML event fan-out (System.Events).
+	EventHub = core.EventHub
+)
+
+// Re-exported span kinds and outcomes.
+const (
+	SpanClient  = telemetry.KindClient
+	SpanServer  = telemetry.KindServer
+	SpanForward = telemetry.KindForward
+	SpanStream  = telemetry.KindStream
+
+	SpanOK                = telemetry.OutcomeOK
+	SpanAppError          = telemetry.OutcomeAppError
+	SpanDeadline          = telemetry.OutcomeDeadline
+	SpanCancelled         = telemetry.OutcomeCancelled
+	SpanNoSuchComponent   = telemetry.OutcomeNoSuchComponent
+	SpanStreamUnsupported = telemetry.OutcomeStreamUnsupported
+	SpanOverload          = telemetry.OutcomeOverload
+	SpanShed              = telemetry.OutcomeShed
+)
+
+// PackSpan packs a span id over its parent id into the single word carried
+// by bus.Message.Span; SpanID and ParentSpanID unpack it.
+func PackSpan(span, parent uint32) int64 { return telemetry.PackSpan(span, parent) }
+
+// SpanID extracts the current span id from a packed span word.
+func SpanID(packed int64) uint32 { return telemetry.SpanID(packed) }
+
+// ParentSpanID extracts the parent span id from a packed span word.
+func ParentSpanID(packed int64) uint32 { return telemetry.ParentID(packed) }
 
 // Distribution plane (DESIGN.md §6): real multi-node clustering with
 // location-transparent remote bindings and live cross-node migration.

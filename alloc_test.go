@@ -17,6 +17,7 @@ import (
 	aas "repro"
 
 	"repro/internal/qos"
+	"repro/internal/telemetry"
 )
 
 func minAllocsPerRun(batches, runs int, f func()) float64 {
@@ -187,6 +188,65 @@ func TestMonitorRecordAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("Monitor.Record allocates %.1f/op, budget 0", allocs)
+	}
+}
+
+// TestSpanRecordAllocs pins the telemetry record path at zero allocations:
+// one span write is an atomic claim plus plain word stores into a
+// preallocated ring slot (DESIGN.md §11).
+func TestSpanRecordAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	r := telemetry.NewRecorder(0)
+	s := telemetry.Span{Trace: 1, ID: 1, Start: 100, End: 200, Op: "op", Comp: "C"}
+	allocs := minAllocsPerRun(3, 1000, func() {
+		r.Record(s)
+		if !r.SampleRoot() {
+			t.Fatal("rate-1 recorder must sample")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("span record allocates %.1f/op, budget 0", allocs)
+	}
+}
+
+// TestTracedCallAllocsSamplingOff proves tracing costs nothing when turned
+// off: the same typed call path that holds the 2-allocation budget with
+// sampling on (TestTypedCallAllocs) holds it with sampling off too —
+// tracing on ≈ tracing off, the span machinery adds no per-call garbage
+// either way.
+func TestTracedCallAllocsSamplingOff(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	reg := aas.NewRegistry()
+	reg.MustRegister("Greeter", "1.0", nil, func() any { return &typedGreeter{Greeting: "Hello"} })
+	sys, err := aas.Load(greeterADL, aas.Options{Registry: reg.Registry, TraceSampling: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Stop()
+	ctx := context.Background()
+	g := aas.ClientOf[string, string](sys, "Greeter")
+	for i := 0; i < 64; i++ {
+		if _, err := g.Call(ctx, "greet", "world"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := minAllocsPerRun(5, 200, func() {
+		if _, err := g.Call(ctx, "greet", "world"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("untraced typed call allocates %.1f/op, budget 2", allocs)
+	}
+	if spans := sys.Spans(); len(spans) != 0 {
+		t.Fatalf("sampling off recorded %d spans", len(spans))
 	}
 }
 

@@ -1,0 +1,280 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	aas "repro"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/registry"
+)
+
+// E21: end-to-end tracing under live migration churn. Two cluster nodes
+// host a stateful Probe component that migrates between them continuously
+// while n1 drives traced calls through one compiled handle. Every sampled
+// call leaves a span tree scattered across both nodes' ring recorders —
+// client edge on n1, gateway forward span on n1 when the call crossed the
+// link, server span wherever the component happened to live — and the
+// experiment reassembles each tree by trace id after the run.
+//
+// Three claims are exercised:
+//
+//  1. Stitching: every trace rooted by the driver reassembles into a
+//     well-formed tree — exactly one client root, every parent edge
+//     resolving inside the same trace, and the remote server span parented
+//     under the gateway's forward span, never directly under the root.
+//     Migration churn must not orphan or cross-wire a single span.
+//  2. Attribution: each server span carries the queue/service split — the
+//     time the request sat in a mailbox is separated from handler run time,
+//     and both fit inside the client span's end-to-end interval.
+//  3. Conservation: after the run both nodes' unified snapshots balance
+//     (Sent == Delivered + Dropped + Held) with zero call errors, while the
+//     churn sustained at least 40 migrations/sec.
+const e21ADL = `
+system TracedMobility {
+  component Probe {
+    provide get(k) -> (v)
+  }
+}
+`
+
+// e21Probe is a minimal stateful component: the hop counter rides
+// snapshots, proving the spans describe calls served by a component that
+// really was in flight between nodes.
+type e21Probe struct {
+	mu   sync.Mutex
+	hops int64
+}
+
+func (p *e21Probe) Handle(op string, args []any) ([]any, error) {
+	if op != "get" {
+		return nil, fmt.Errorf("probe: unknown op %s", op)
+	}
+	return []any{args[0]}, nil
+}
+
+func (p *e21Probe) Snapshot() ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.hops++
+	return json.Marshal(p.hops)
+}
+
+func (p *e21Probe) Restore(b []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return json.Unmarshal(b, &p.hops)
+}
+
+func runE21() {
+	h, err := aas.StartCluster(context.Background(), aas.ClusterSpec{
+		ADL:       e21ADL,
+		Nodes:     []string{"n1", "n2"},
+		Placement: map[string]string{"Probe": "n2"},
+		Registry: func(string) *registry.Registry {
+			reg := &registry.Registry{}
+			if err := reg.Register(registry.Entry{Name: "Probe", Version: registry.Version{Major: 1},
+				New: func() any { return &e21Probe{} }}); err != nil {
+				log.Fatal(err)
+			}
+			return reg
+		},
+		// Rate-1 sampling with rings deep enough that no span from the run
+		// is evicted before reassembly.
+		Options: func(string) core.Options {
+			return core.Options{TraceBuffer: 1 << 12}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer h.Close()
+	sys1, sys2 := h.System("n1"), h.System("n2")
+	ctx := context.Background()
+
+	probe := sys1.Client("Probe").With(aas.WithDeadline(5 * time.Second))
+	if _, err := probe.Call(ctx, "get", "warm"); err != nil {
+		log.Fatal(err)
+	}
+
+	// Migration churn: bounce the component between the nodes as fast as a
+	// handoff completes, with a short breather so calls interleave.
+	stop := make(chan struct{})
+	churnDone := make(chan struct{})
+	var migrations atomic.Uint64
+	go func() {
+		defer close(churnDone)
+		owner := "n2"
+		systems := map[string]*aas.System{"n1": sys1, "n2": sys2}
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			target := "n1"
+			if owner == "n1" {
+				target = "n2"
+			}
+			if err := systems[owner].Migrate("Probe", netsim.NodeID(target)); err != nil {
+				log.Fatalf("E21: migration %s -> %s: %v", owner, target, err)
+			}
+			owner = target
+			migrations.Add(1)
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	// Drive traced calls until the churn has crossed the component over the
+	// link many times; every call must succeed. The driver is paced so the
+	// whole run's spans fit inside the ring recorders — this experiment
+	// audits every tree, so no span may be evicted before reassembly.
+	const (
+		minCalls      = 1500
+		minMigrations = 60
+	)
+	calls := 0
+	t0 := time.Now()
+	for calls < minCalls || migrations.Load() < minMigrations {
+		if _, err := probe.Call(ctx, "get", fmt.Sprintf("k%d", calls)); err != nil {
+			log.Fatalf("E21 FAILED: call %d errored under churn: %v", calls, err)
+		}
+		calls++
+		time.Sleep(200 * time.Microsecond)
+	}
+	close(stop)
+	<-churnDone
+	elapsed := time.Since(t0)
+	rate := float64(migrations.Load()) / elapsed.Seconds()
+
+	// Let in-flight replies land and the trailing spans reach the rings.
+	if err := sys1.Bus().WaitIdle(ctx); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys2.Bus().WaitIdle(ctx); err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+
+	// --- Claim 1: reassemble every driver-rooted trace across both rings. ---
+	byTrace := map[int64][]aas.Span{}
+	for _, s := range append(sys1.Spans(), sys2.Spans()...) {
+		byTrace[s.Trace] = append(byTrace[s.Trace], s)
+	}
+	var (
+		trees, crossNode, local, maxHops int
+		queueNs, serviceNs               int64
+		servedOn                         = map[string]int{}
+	)
+	for trace, spans := range byTrace {
+		var root, server *aas.Span
+		byID := map[uint32]*aas.Span{}
+		for i := range spans {
+			s := &spans[i]
+			byID[s.ID] = s
+			switch s.Kind {
+			case aas.SpanClient:
+				if root != nil {
+					log.Fatalf("E21 FAILED: trace %#x has two client roots", trace)
+				}
+				root = s
+			case aas.SpanServer:
+				if server != nil {
+					log.Fatalf("E21 FAILED: trace %#x served twice", trace)
+				}
+				server = s
+			}
+		}
+		if root == nil || root.Op != "get" {
+			continue // warm-up remnants or partial trailing work
+		}
+		trees++
+		if root.Parent != 0 || root.Outcome != aas.SpanOK {
+			log.Fatalf("E21 FAILED: root span malformed: %+v", *root)
+		}
+		for i := range spans {
+			if s := &spans[i]; s.Parent != 0 && byID[s.Parent] == nil {
+				log.Fatalf("E21 FAILED: trace %#x span %d orphaned (parent %d missing)",
+					trace, s.ID, s.Parent)
+			}
+		}
+		if server == nil {
+			log.Fatalf("E21 FAILED: trace %#x has no server span: %+v", trace, spans)
+		}
+		servedOn[server.Dst]++
+		// Walk the server span's ancestry: it must reach the client root
+		// through forward spans only — one per node the call hopped through
+		// while chasing the migrating component.
+		hops := 0
+		cur := byID[server.Parent]
+		for cur != nil && cur != root {
+			if cur.Kind != aas.SpanForward {
+				log.Fatalf("E21 FAILED: trace %#x server ancestry crosses a %d-kind span", trace, cur.Kind)
+			}
+			hops++
+			if hops > len(spans) {
+				log.Fatalf("E21 FAILED: trace %#x has a parent cycle", trace)
+			}
+			if byID[cur.Parent] == root && cur.Src != "n1" {
+				log.Fatalf("E21 FAILED: first forward hop src %q, want the driver node n1", cur.Src)
+			}
+			cur = byID[cur.Parent]
+		}
+		if cur != root {
+			log.Fatalf("E21 FAILED: trace %#x server span does not chain to the root", trace)
+		}
+		if hops > maxHops {
+			maxHops = hops
+		}
+		if hops > 0 {
+			crossNode++
+		} else {
+			local++
+		}
+		// --- Claim 2: queue/service split, nested in the client interval. ---
+		service := server.End - server.Start
+		if server.Queue < 0 || service < 0 {
+			log.Fatalf("E21 FAILED: negative queue/service split: %+v", *server)
+		}
+		if total := root.End - root.Start; service > total {
+			log.Fatalf("E21 FAILED: service %dns exceeds the client's %dns end-to-end", service, total)
+		}
+		queueNs += server.Queue
+		serviceNs += service
+	}
+	if trees < minCalls {
+		log.Fatalf("E21 FAILED: reassembled %d trees from %d calls — spans were lost", trees, calls)
+	}
+	if crossNode == 0 || local == 0 {
+		log.Fatalf("E21 FAILED: churn never split the traffic (cross-node %d, local %d)", crossNode, local)
+	}
+
+	fmt.Printf("%d traced calls under %d migrations (%.0f/sec): every span tree reassembled\n",
+		calls, migrations.Load(), rate)
+	fmt.Printf("tree shapes: %d cross-node (client -> forward -> server, deepest %d hops), %d local (client -> server); served on %v\n",
+		crossNode, maxHops, local, servedOn)
+	fmt.Printf("server-side attribution: mean queue wait %v, mean service %v\n",
+		(time.Duration(queueNs) / time.Duration(trees)).Round(time.Microsecond),
+		(time.Duration(serviceNs) / time.Duration(trees)).Round(time.Microsecond))
+
+	// --- Claim 3: both nodes' unified snapshots balance after the run. ---
+	if rate < 40 {
+		log.Fatalf("E21 FAILED: churn sustained only %.0f migrations/sec, want >= 40", rate)
+	}
+	for _, id := range []string{"n1", "n2"} {
+		snap := h.Node(id).Telemetry()
+		if snap.Bus.Sent != snap.Bus.Delivered+snap.Bus.Dropped+snap.Bus.Held {
+			log.Fatalf("E21 FAILED: %s conservation violated: %+v", id, snap.Bus)
+		}
+		fmt.Printf("%s snapshot: sent=%d delivered=%d dropped=%d held=%d spans=%d lost=%d links=%d (wire v%d)\n",
+			id, snap.Bus.Sent, snap.Bus.Delivered, snap.Bus.Dropped, snap.Bus.Held,
+			snap.Spans.Recorded, snap.Spans.Lost, len(snap.Links), snap.Links[0].WireVersion)
+	}
+}

@@ -49,6 +49,7 @@ func main() {
 	join := flag.String("join", "", "comma-separated peer addresses to join")
 	place := flag.String("place", "", "component placement Comp=node,Comp=node (components placed on other nodes are remote)")
 	nodes := flag.Int("nodes", 0, "run an in-process N-node cluster demo instead of a single system")
+	obs := flag.String("obs", "", "serve live introspection on this address (e.g. :9090): /metrics, /trace, /debug/vars, /debug/pprof")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: aasd [flags] <file.adl>")
@@ -67,7 +68,7 @@ func main() {
 
 	placement := parsePlacement(*place)
 	if *nodes > 1 {
-		runInProcessCluster(string(src), cfg, *nodes, placement, *dur, *rps)
+		runInProcessCluster(string(src), cfg, *nodes, placement, *dur, *rps, *obs)
 		return
 	}
 
@@ -93,6 +94,7 @@ func main() {
 	}
 	defer sys.Stop()
 
+	telemetry := sys.Telemetry
 	if *nodeID != "" {
 		node, err := aas.StartClusterNode(sys, aas.ClusterOptions{Node: *nodeID, Listen: *listen})
 		if err != nil {
@@ -100,6 +102,7 @@ func main() {
 			os.Exit(1)
 		}
 		defer node.Close()
+		telemetry = node.Telemetry // adds link state and gateway sheds
 		fmt.Printf("aasd: node %s listening on %s\n", *nodeID, node.Addr())
 		for _, addr := range strings.Split(*join, ",") {
 			if addr = strings.TrimSpace(addr); addr == "" {
@@ -111,6 +114,15 @@ func main() {
 			}
 			fmt.Printf("aasd: joined %s\n", addr)
 		}
+	}
+	if *obs != "" {
+		addr, stopObs, err := startObs(*obs, telemetry, sys.Spans)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aasd: obs: %v\n", err)
+			os.Exit(1)
+		}
+		defer stopObs()
+		fmt.Printf("aasd: observing on http://%s (/metrics /trace /debug/pprof)\n", addr)
 	}
 
 	drive(sys, cfg, *dur, *rps)
@@ -139,7 +151,7 @@ func parsePlacement(s string) map[string]string {
 
 // runInProcessCluster starts n nodes over TCP loopback in this process,
 // spreads unplaced components round-robin, and drives the first node.
-func runInProcessCluster(src string, cfg *aas.Config, n int, placement map[string]string, dur time.Duration, rps int) {
+func runInProcessCluster(src string, cfg *aas.Config, n int, placement map[string]string, dur time.Duration, rps int, obs string) {
 	ids := make([]string, n)
 	for i := range ids {
 		ids[i] = fmt.Sprintf("n%d", i+1)
@@ -160,6 +172,18 @@ func runInProcessCluster(src string, cfg *aas.Config, n int, placement map[strin
 	defer h.Close()
 	for comp, node := range placement {
 		fmt.Printf("aasd: %s -> %s\n", comp, node)
+	}
+	if obs != "" {
+		// Observe the driven node; the other nodes' spans still show up in
+		// its /metrics link table and in cross-node traces it roots.
+		first := h.Node(ids[0])
+		addr, stopObs, err := startObs(obs, first.Telemetry, first.System().Spans)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aasd: obs: %v\n", err)
+			os.Exit(1)
+		}
+		defer stopObs()
+		fmt.Printf("aasd: observing %s on http://%s (/metrics /trace /debug/pprof)\n", ids[0], addr)
 	}
 	drive(h.System(ids[0]), cfg, dur, rps)
 }

@@ -1,0 +1,82 @@
+// Live introspection endpoint (-obs): one HTTP listener serving the
+// telemetry plane of DESIGN.md §11 —
+//
+//	/metrics      the unified aas.Telemetry snapshot as JSON
+//	/trace        recent sampled spans, ?component= and ?trace= filterable
+//	/debug/vars   the same snapshot under the expvar convention
+//	/debug/pprof  the standard Go profiling surface
+//
+// The endpoint is read-only and allocation-cold: every request takes a
+// fresh snapshot/span copy, so serving it never perturbs the hot paths it
+// observes beyond the recorder's lock-free slot claims.
+package main
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+
+	aas "repro"
+)
+
+// startObs serves the introspection endpoint on addr (e.g. ":9090"). It
+// returns the bound address and a stopper.
+func startObs(addr string, snap func() aas.Telemetry, spans func() []aas.Span) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, snap())
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		out := spans()
+		if comp := r.URL.Query().Get("component"); comp != "" {
+			out = filterSpans(out, func(s aas.Span) bool { return s.Comp == comp })
+		}
+		if tr := r.URL.Query().Get("trace"); tr != "" {
+			id, perr := strconv.ParseUint(tr, 0, 64)
+			if perr != nil {
+				http.Error(w, "trace: want a decimal or 0x id: "+perr.Error(), http.StatusBadRequest)
+				return
+			}
+			out = filterSpans(out, func(s aas.Span) bool { return uint64(s.Trace) == id })
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+		writeJSON(w, out)
+	})
+	// expvar convention: the whole snapshot published under one key, plus
+	// whatever the process already exposes (cmdline, memstats).
+	expvar.Publish("aas", expvar.Func(func() any { return snap() }))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func filterSpans(in []aas.Span, keep func(aas.Span) bool) []aas.Span {
+	out := in[:0]
+	for _, s := range in {
+		if keep(s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}

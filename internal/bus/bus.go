@@ -76,7 +76,21 @@ type Message struct {
 	Dst     Address
 	Seq     uint64 // per (Src,Dst) FIFO sequence, assigned on Send
 	Corr    uint64 // request/reply correlation
-	SentAt  time.Time
+	// SentAt is the send stamp in unix nanoseconds, assigned on Send from
+	// the bus clock. One int64 rather than a time.Time (3 words) for the
+	// same size-class reason as Deadline — and serving components subtract
+	// it from their serve-start read to split queue wait from service time
+	// in span records (DESIGN.md §11).
+	SentAt int64
+	// Trace is the trace id of the call this message belongs to (0 when the
+	// call is untraced): minted at the client-handle edge by head sampling,
+	// forwarded unchanged by connectors, and carried across peer links in
+	// wire v6 frames. Span packs the current span id (high 32 bits) over its
+	// parent span id (low 32 bits) — see telemetry.PackSpan. Together with
+	// the SentAt shrink these two words keep Message inside the allocation
+	// size class documented on Deadline.
+	Trace int64
+	Span  int64
 	// Deadline is the caller's end-to-end deadline in unix nanoseconds (0
 	// when none): stamped at the platform edge from the call context,
 	// forwarded unchanged by connectors, carried across peer links in the
@@ -440,7 +454,7 @@ func (b *Bus) deliver(m Message) error {
 	sp := r.seq.cell(m.Src)
 	*sp++
 	m.Seq = *sp
-	m.SentAt = b.clk.Now()
+	m.SentAt = b.clk.Now().UnixNano()
 	b.stats.sent.Add(1)
 
 	delay := time.Duration(0)

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,6 +32,7 @@ import (
 	"repro/internal/connector"
 	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -183,6 +185,8 @@ func Start(sys *core.System, opts Options) (*Node, error) {
 		inflight: map[callKey]remoteRef{},
 	}
 	n.ctx, n.cancel = context.WithCancel(context.Background())
+	// Spans recorded from here on carry the cluster identity as their node.
+	sys.SetNodeName(opts.Node)
 
 	// Requests toward declared-remote components park at their (otherwise
 	// endpoint-less) address until the hosting peer links and a gateway
@@ -281,6 +285,42 @@ func (n *Node) BatchStats() (writes, frames uint64) {
 // whose caller already gave up never spends a network round trip.
 func (n *Node) ShedStats() (shed uint64) {
 	return n.shedGateway.Load()
+}
+
+// Telemetry returns the node's unified metrics snapshot: the system-level
+// sections filled by core.System.Telemetry plus the distribution-plane
+// sections only this layer can see — gateway sheds and one LinkState per
+// peer (negotiated wire version, per-link batching counters, heartbeat
+// liveness). This is the struct the aasd -obs /metrics endpoint serves.
+func (n *Node) Telemetry() telemetry.Snapshot {
+	snap := n.sys.Telemetry()
+	snap.GatewayShed = n.shedGateway.Load()
+	now := time.Now().UnixNano()
+	n.mu.Lock()
+	ids := make([]string, 0, len(n.peers))
+	for id := range n.peers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		p := n.peers[id]
+		ls := telemetry.LinkState{
+			Peer:          id,
+			WireVersion:   int(p.version),
+			BatchWrites:   p.batchWrites.Load(),
+			BatchFrames:   p.batchFrames.Load(),
+			LastSeenNanos: p.lastSeen.Load(),
+			Down:          p.down.Load(),
+		}
+		if ls.LastSeenNanos == 0 {
+			ls.LastSeenNanos, ls.SinceSeenNanos = -1, -1
+		} else {
+			ls.SinceSeenNanos = now - ls.LastSeenNanos
+		}
+		snap.Links = append(snap.Links, ls)
+	}
+	n.mu.Unlock()
+	return snap
 }
 
 // acceptLoop links inbound peers.
@@ -552,6 +592,20 @@ func (n *Node) forward(comp string, m bus.Message) {
 		}
 		c.Principal, c.RawArgs = pl.Principal(), raw
 	}
+	// Trace propagation: the gateway opens a forward span parented under the
+	// caller's span and ships its own id as the new parent, so the remote
+	// serve span hangs off the gateway hop. On links below VersionTrace the
+	// encoder drops the trailer — the trace then terminates at this hop but
+	// the forward span itself is still recorded locally.
+	var fwdStart int64
+	var fwdSpan uint32
+	trace, parentSpan := m.Trace, telemetry.SpanID(m.Span)
+	if trace != 0 {
+		fwdSpan = telemetry.NextSpanID()
+		c.Trace = trace
+		c.Span = telemetry.PackSpan(fwdSpan, parentSpan)
+		fwdStart = time.Now().UnixNano()
+	}
 	corr := p.corr.Add(1)
 	c.Corr = corr
 	src, srcCorr, op := m.Src, m.Corr, m.Op
@@ -566,6 +620,20 @@ func (n *Node) forward(comp string, m bus.Message) {
 		n.imu.Lock()
 		delete(n.inflight, key)
 		n.imu.Unlock()
+		if fwdStart != 0 {
+			outcome := telemetry.OutcomeOK
+			if rep.Err != "" {
+				if outcome = telemetry.Outcome(rep.Kind); outcome == telemetry.OutcomeOK {
+					outcome = telemetry.OutcomeAppError // v2 peers ship no kind byte
+				}
+			}
+			n.sys.Recorder().Record(telemetry.Span{
+				Trace: trace, ID: fwdSpan, Parent: parentSpan,
+				Start: fwdStart, End: time.Now().UnixNano(),
+				Op: op, Comp: comp, Src: n.id, Dst: p.id,
+				Kind: telemetry.KindForward, Outcome: outcome,
+			})
+		}
 		if serr := n.sys.Bus().Send(bus.Message{
 			Kind: bus.Reply, Op: op,
 			Payload: connector.ReplyPayload{Results: rep.Results, Err: rep.Err,

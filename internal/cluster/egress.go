@@ -255,8 +255,8 @@ func (e *egress) writeBatch(items []egressItem) {
 			}
 		}
 		if werr == nil {
-			p.n.batchWrites.Add(1)
-			p.n.batchFrames.Add(1)
+			p.countBatchWrite()
+			p.countBatchFrame()
 		}
 	} else {
 		enc.BeginBatch()
@@ -309,16 +309,16 @@ func (e *egress) writeBatch(items []egressItem) {
 			if werr != nil {
 				break
 			}
-			p.n.batchFrames.Add(1)
+			p.countBatchFrame()
 			if enc.BatchLen() >= batchMaxBytes || enc.BatchCount() >= batchMaxFrames {
-				p.n.batchWrites.Add(1)
+				p.countBatchWrite()
 				if werr = enc.FlushBatch(); werr != nil {
 					break
 				}
 			}
 		}
 		if werr == nil && enc.BatchCount() > 0 {
-			p.n.batchWrites.Add(1)
+			p.countBatchWrite()
 			werr = enc.FlushBatch()
 		}
 	}

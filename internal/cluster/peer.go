@@ -59,6 +59,11 @@ type peer struct {
 	down     atomic.Bool
 	corr     atomic.Uint64
 
+	// Per-link egress coalescing counters — the node-wide BatchStats split
+	// by peer for the telemetry snapshot's link table.
+	batchWrites atomic.Uint64
+	batchFrames atomic.Uint64
+
 	pmu       sync.Mutex
 	pending   map[uint64]func(wire.Reply) // remote calls awaiting replies
 	migs      map[uint64]chan string      // migrations awaiting acks
@@ -104,6 +109,20 @@ func (p *peer) send(encode func(*wire.Encoder) error) error {
 	defer p.encMu.Unlock()
 	_ = p.conn.SetWriteDeadline(time.Now().Add(writeTimeout))
 	return encode(p.enc)
+}
+
+// countBatchWrite bumps the coalesced-write counters, node-wide and
+// per-link.
+func (p *peer) countBatchWrite() {
+	p.n.batchWrites.Add(1)
+	p.batchWrites.Add(1)
+}
+
+// countBatchFrame bumps the coalesced-frame counters, node-wide and
+// per-link.
+func (p *peer) countBatchFrame() {
+	p.n.batchFrames.Add(1)
+	p.batchFrames.Add(1)
 }
 
 // addPending registers a reply continuation for a remote call.
@@ -214,7 +233,7 @@ func (p *peer) readLoop() {
 		case wire.FrameHeartbeat:
 			// Liveness already recorded.
 		case wire.FrameCall:
-			c, perr := wire.ParseCall(body)
+			c, perr := wire.ParseCall(body, p.dec.FrameVersion())
 			if perr != nil {
 				p.n.peerDown(p, "protocol: "+perr.Error())
 				return
@@ -236,7 +255,7 @@ func (p *peer) readLoop() {
 				}
 				switch st {
 				case wire.FrameCall:
-					c, perr := wire.ParseCall(sb)
+					c, perr := wire.ParseCall(sb, p.dec.FrameVersion())
 					if perr != nil {
 						p.n.peerDown(p, "protocol: "+perr.Error())
 						return
@@ -257,7 +276,7 @@ func (p *peer) readLoop() {
 					}
 					p.handleCancel(c)
 				case wire.FrameStreamOpen:
-					o, perr := wire.ParseStreamOpen(sb)
+					o, perr := wire.ParseStreamOpen(sb, p.dec.FrameVersion())
 					if perr != nil {
 						p.n.peerDown(p, "protocol: "+perr.Error())
 						return
@@ -297,7 +316,7 @@ func (p *peer) readLoop() {
 			}
 			p.handleCancel(c)
 		case wire.FrameStreamOpen:
-			o, perr := wire.ParseStreamOpen(body)
+			o, perr := wire.ParseStreamOpen(body, p.dec.FrameVersion())
 			if perr != nil {
 				p.n.peerDown(p, "protocol: "+perr.Error())
 				return
@@ -409,6 +428,10 @@ func (p *peer) serveCall(c wire.Call) {
 	ctl := &serveCtl{cancel: cancel}
 	p.addServe(c.Corr, ctl)
 	defer p.dropServe(c.Corr)
+	// Re-enter the platform edge as a mid-trace continuation: the serving
+	// node extends the caller's span tree (its serve span parents under the
+	// forwarded span id) instead of minting a second root.
+	ctx = core.WithTrace(ctx, c.Trace, c.Span)
 	cl := p.n.sys.Client(c.Component)
 	if c.Principal != "" {
 		cl = cl.With(core.WithPrincipal(c.Principal))

@@ -17,6 +17,7 @@ import (
 	"repro/internal/bus"
 	"repro/internal/connector"
 	"repro/internal/core"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -132,6 +133,21 @@ func (n *Node) forwardStreamOpen(comp string, m bus.Message, open connector.Stre
 	corr := p.corr.Add(1)
 	o := wire.StreamOpen{Corr: corr, Component: comp, Op: m.Op,
 		Principal: open.Principal, Window: uint32(open.Window), Args: open.Args}
+	// Trace propagation mirrors forward(): the gateway's forward span rides
+	// as the remote parent. A stream's gateway hop is recorded at open time —
+	// the relay may outlive any reasonable span buffer residency.
+	if m.Trace != 0 {
+		fwdSpan := telemetry.NextSpanID()
+		o.Trace = m.Trace
+		o.Span = telemetry.PackSpan(fwdSpan, telemetry.SpanID(m.Span))
+		now := time.Now().UnixNano()
+		n.sys.Recorder().Record(telemetry.Span{
+			Trace: m.Trace, ID: fwdSpan, Parent: telemetry.SpanID(m.Span),
+			Start: now, End: now,
+			Op: m.Op, Comp: comp, Src: n.id, Dst: p.id,
+			Kind: telemetry.KindForward, Outcome: telemetry.OutcomeOK,
+		})
+	}
 	n.imu.Lock()
 	n.inflight[callKey{src: m.Src, corr: m.Corr}] = remoteRef{p: p, corr: corr}
 	n.imu.Unlock()
@@ -270,6 +286,9 @@ func (p *peer) serveStream(o wire.StreamOpen) {
 	ctl := &serveCtl{cancel: cancel}
 	p.addServe(o.Corr, ctl)
 	defer p.dropServe(o.Corr)
+	// Continue the caller's trace: the relayed open's span parents under the
+	// gateway's forward span, exactly like a forwarded unary call.
+	ctx = core.WithTrace(ctx, o.Trace, o.Span)
 	cl := p.n.sys.Client(o.Component)
 	if o.Principal != "" {
 		cl = cl.With(core.WithPrincipal(o.Principal))

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/bus"
 	"repro/internal/connector"
+	"repro/internal/telemetry"
 )
 
 // This file is the first-class invocation surface of the platform edge: a
@@ -208,7 +209,7 @@ func (s *System) PendingCalls() int {
 func (c *Client) Call(ctx context.Context, op string, args ...any) ([]any, error) {
 	b := c.b
 	s := b.sys
-	w, corr, dl, err := c.send(ctx, op, args)
+	w, corr, dl, tr, err := c.send(ctx, op, args)
 	if err != nil {
 		return nil, err
 	}
@@ -224,18 +225,23 @@ func (c *Client) Call(ctx context.Context, op string, args ...any) ([]any, error
 	select {
 	case payload := <-w:
 		if payload.Err != "" {
-			return nil, replyErrorKind(payload.Err, payload.Kind)
+			rerr := replyErrorKind(payload.Err, payload.Kind)
+			c.recordEdgeSpan(tr, op, telemetry.KindClient, outcomeOf(rerr))
+			return nil, rerr
 		}
+		c.recordEdgeSpan(tr, op, telemetry.KindClient, telemetry.OutcomeOK)
 		return payload.Results, nil
 	case <-ctx.Done():
 		if _, ok := s.clientWaiters.take(corr); ok {
 			c.sendCancel(corr, dl)
 		}
+		c.recordEdgeSpan(tr, op, telemetry.KindClient, outcomeOf(ctx.Err()))
 		return nil, fmt.Errorf("core: call %s.%s: %w", b.name, op, ctx.Err())
 	case <-timerC:
 		if _, ok := s.clientWaiters.take(corr); ok {
 			c.sendCancel(corr, dl)
 		}
+		c.recordEdgeSpan(tr, op, telemetry.KindClient, telemetry.OutcomeDeadline)
 		return nil, c.timeoutError(op)
 	}
 }
@@ -259,12 +265,13 @@ func (c *Client) timeoutError(op string) error {
 // context cancellation releases it immediately, awaited or not.
 func (c *Client) Async(ctx context.Context, op string, args ...any) *Future {
 	f := &Future{component: c.b.name, op: op, done: make(chan struct{})}
-	w, corr, dl, err := c.send(ctx, op, args)
+	w, corr, dl, tr, err := c.send(ctx, op, args)
 	if err != nil {
 		f.settle(nil, err)
 		return f
 	}
 	s := c.b.sys
+	f.cl, f.tr = c, tr
 	f.w = w
 	f.take = func() bool { _, ok := s.clientWaiters.take(corr); return ok }
 	// Bound the slot: whoever owns the take wins — the reply pump (normal
@@ -315,12 +322,12 @@ func (c *Client) Async(ctx context.Context, op string, args ...any) *Future {
 // endpoint or parks on a route whose component is gone, and both shapes are
 // detected here.
 func (c *Client) Oneway(ctx context.Context, op string, args ...any) error {
-	ep, corr, dl, err := c.admit(ctx, op)
+	ep, corr, dl, tr, err := c.admit(ctx, op)
 	if err != nil {
 		return err
 	}
 	b := c.b
-	if err := b.sys.bus.Send(c.request(ep, corr, dl, op, args)); err != nil {
+	if err := b.sys.bus.Send(c.request(ep, corr, dl, tr, op, args)); err != nil {
 		if errors.Is(err, bus.ErrUnknownDst) {
 			return fmt.Errorf("%w: %s", ErrNoSuchComponent, b.name)
 		}
@@ -332,6 +339,10 @@ func (c *Client) Oneway(ctx context.Context, op string, args ...any) error {
 	if !b.present.Load() && !b.resolveNow() {
 		return fmt.Errorf("%w: %s", ErrNoSuchComponent, b.name)
 	}
+	// A one-way call has no reply edge, so its root span closes at the
+	// send: the record marks where the trace entered the system, and the
+	// serving side's span (parented to it) carries the service story.
+	c.recordEdgeSpan(tr, op, telemetry.KindClient, telemetry.OutcomeOK)
 	return nil
 }
 
@@ -351,21 +362,21 @@ func (c *Client) Oneway(ctx context.Context, op string, args ...any) error {
 // budget, the call is shed with the bare ErrOverloaded sentinel before any
 // resource is committed: no waiter slot, no message, no goroutine, no
 // allocation.
-func (c *Client) admit(ctx context.Context, op string) (*bus.Endpoint, uint64, int64, error) {
+func (c *Client) admit(ctx context.Context, op string) (*bus.Endpoint, uint64, int64, traceRef, error) {
 	b := c.b
 	s := b.sys
 	if !s.live.Load() {
-		return nil, 0, 0, ErrNotRunning
+		return nil, 0, 0, traceRef{}, ErrNotRunning
 	}
 	if !b.present.Load() && !b.resolveNow() {
-		return nil, 0, 0, fmt.Errorf("%w: %s", ErrUnknownComp, b.name)
+		return nil, 0, 0, traceRef{}, fmt.Errorf("%w: %s", ErrUnknownComp, b.name)
 	}
 	epsp := s.clientEPs.Load()
 	if epsp == nil {
-		return nil, 0, 0, ErrNotRunning
+		return nil, 0, 0, traceRef{}, ErrNotRunning
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, 0, 0, fmt.Errorf("core: call %s.%s: %w", b.name, op, err)
+		return nil, 0, 0, traceRef{}, fmt.Errorf("core: call %s.%s: %w", b.name, op, err)
 	}
 	var dl, now int64
 	if d, ok := ctx.Deadline(); ok {
@@ -380,39 +391,45 @@ func (c *Client) admit(ctx context.Context, op string) (*bus.Endpoint, uint64, i
 				now = time.Now().UnixNano()
 			}
 			if rem := dl - now; rem > 0 && !local.adm.Admit(local.depth(), rem) {
-				return nil, 0, 0, ErrOverloaded
+				return nil, 0, 0, traceRef{}, ErrOverloaded
 			}
 		}
 	}
+	// The trace root starts only for calls that pass admission: the shed
+	// path's zero-allocation, ~100ns contract stays untouched, and shed
+	// rates are observable through the snapshot's admission section anyway.
+	tr := c.traceStart(ctx, now)
 	corr := s.clientCorr.Add(1)
-	return (*epsp)[corr&(clientEndpoints-1)], corr, dl, nil
+	return (*epsp)[corr&(clientEndpoints-1)], corr, dl, tr, nil
 }
 
-// request assembles the admitted request message, deadline stamped.
-func (c *Client) request(ep *bus.Endpoint, corr uint64, dl int64, op string, args []any) bus.Message {
+// request assembles the admitted request message, deadline and trace
+// context stamped.
+func (c *Client) request(ep *bus.Endpoint, corr uint64, dl int64, tr traceRef, op string, args []any) bus.Message {
 	return bus.Message{
 		Kind: bus.Request, Op: op,
 		Payload: connector.CallPayload{Principal: c.principal, Args: args},
 		Src:     ep.Addr(), Dst: c.b.dst, Corr: corr,
+		Trace: tr.trace, Span: tr.span,
 		Deadline: dl,
 	}
 }
 
 // send admits the call, registers the reply waiter and puts the request on
 // the bus. On error the waiter slot is already released.
-func (c *Client) send(ctx context.Context, op string, args []any) (chan connector.ReplyPayload, uint64, int64, error) {
-	ep, corr, dl, err := c.admit(ctx, op)
+func (c *Client) send(ctx context.Context, op string, args []any) (chan connector.ReplyPayload, uint64, int64, traceRef, error) {
+	ep, corr, dl, tr, err := c.admit(ctx, op)
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, 0, 0, traceRef{}, err
 	}
 	s := c.b.sys
 	w := make(chan connector.ReplyPayload, 1)
 	s.clientWaiters.add(corr, w)
-	if err := s.bus.Send(c.request(ep, corr, dl, op, args)); err != nil {
+	if err := s.bus.Send(c.request(ep, corr, dl, tr, op, args)); err != nil {
 		s.clientWaiters.take(corr)
-		return nil, 0, 0, err
+		return nil, 0, 0, traceRef{}, err
 	}
-	return w, corr, dl, nil
+	return w, corr, dl, tr, nil
 }
 
 // sendCancel tells the callee — and any mediating gateway on the way, which
@@ -544,6 +561,11 @@ type Future struct {
 	w             chan connector.ReplyPayload
 	take          func() bool
 
+	// cl and tr close the client-edge span when the future settles; cl is
+	// nil when the call failed before a request was sent.
+	cl *Client
+	tr traceRef
+
 	// cleanupMu guards the timer/hook handoff: Async arms them after the
 	// send, but the very callbacks they run (or the reply pump via Wait)
 	// can settle the future first — a near-expired deadline makes that
@@ -565,6 +587,9 @@ type Future struct {
 func (f *Future) settle(results []any, err error) {
 	f.settleOnce.Do(func() {
 		f.results, f.err = results, err
+		if f.cl != nil {
+			f.cl.recordEdgeSpan(f.tr, f.op, telemetry.KindClient, outcomeOf(err))
+		}
 		close(f.done)
 		f.cleanup()
 	})

@@ -18,6 +18,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/qos"
 	"repro/internal/registry"
+	"repro/internal/telemetry"
 )
 
 // Caller lets a hosted component invoke its required services; calls are
@@ -326,9 +327,14 @@ func (rc *runtimeComponent) serve(m bus.Message) {
 		return
 	}
 
-	elapsed := rc.sys.clk.Now().Sub(started)
-	rc.sys.monitor.Record(qos.Latency, elapsed.Seconds())
-	rc.sys.monitor.Record(qos.Throughput, 1)
+	// One clock read closes service: the end timestamp feeds the QoS monitor
+	// (spans auto-feed the monitor — RecordAt reuses it instead of a second
+	// clock read) and, for traced requests, the server span below.
+	ended := rc.sys.clk.Now()
+	endNs := ended.UnixNano()
+	elapsed := ended.Sub(started)
+	rc.sys.monitor.RecordAt(qos.Latency, endNs, elapsed.Seconds())
+	rc.sys.monitor.RecordAt(qos.Throughput, endNs, 1)
 	rc.adm.Observe(elapsed.Nanoseconds())
 
 	reply := bus.Message{
@@ -367,6 +373,34 @@ func (rc *runtimeComponent) serve(m bus.Message) {
 			Component: rc.name, Detail: m.Op})
 	}
 	_ = rc.sys.bus.Send(reply)
+	rc.recordServerSpan(&m, started.UnixNano(), endNs, outcomeOf(err))
+}
+
+// recordServerSpan closes the serving-side span of a traced request: it
+// parents under the caller's span id carried in the message and splits the
+// request's life into queue wait (send stamp → serve start) and service
+// (serve start → end). Untraced requests record nothing.
+func (rc *runtimeComponent) recordServerSpan(m *bus.Message, startNs, endNs int64, outcome telemetry.Outcome) {
+	if m.Trace == 0 {
+		return
+	}
+	queue := int64(0)
+	if m.SentAt != 0 && startNs > m.SentAt {
+		queue = startNs - m.SentAt
+	}
+	rc.sys.rec.Record(telemetry.Span{
+		Trace:   m.Trace,
+		ID:      telemetry.NextSpanID(),
+		Parent:  telemetry.SpanID(m.Span),
+		Start:   startNs,
+		End:     endNs,
+		Queue:   queue,
+		Op:      m.Op,
+		Comp:    rc.name,
+		Dst:     rc.sys.NodeName(),
+		Kind:    telemetry.KindServer,
+		Outcome: outcome,
+	})
 }
 
 // rejectUnserved answers a request without invoking the container: the
@@ -390,6 +424,11 @@ func (rc *runtimeComponent) rejectUnserved(m *bus.Message, reason string, kind c
 		reject.Payload = connector.ReplyPayload{Err: msg, Kind: kind}
 	}
 	_ = rc.sys.bus.Send(reject)
+	// A rejected request never entered service: its span is all queue wait
+	// (Start == End), which is exactly what the queue/service split should
+	// show for work shed after the caller gave up.
+	now := rc.sys.clk.Now().UnixNano()
+	rc.recordServerSpan(m, now, now, outcomeOfKind(kind))
 }
 
 // depth is the admission-control view of this component's backlog: queued

@@ -233,3 +233,8 @@ func (h *EventHub) History(kind EventKind) []Event {
 func (h *EventHub) Dropped() uint64 {
 	return h.dropped.Load()
 }
+
+// Published reports the total number of events ever emitted.
+func (h *EventHub) Published() uint64 {
+	return h.seq.Load()
+}

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/bus"
 	"repro/internal/connector"
+	"repro/internal/telemetry"
 )
 
 // DefaultStreamWindow is the credit window used when neither
@@ -241,7 +242,7 @@ func (c *Client) streamOpen(ctx context.Context, op string, args []any, window i
 	if window > maxStreamWindow {
 		window = maxStreamWindow
 	}
-	ep, corr, dl, err := c.admit(ctx, op)
+	ep, corr, dl, tr, err := c.admit(ctx, op)
 	if err != nil {
 		return nil, err
 	}
@@ -261,11 +262,17 @@ func (c *Client) streamOpen(ctx context.Context, op string, args []any, window i
 		Payload: connector.StreamOpenPayload{Principal: c.principal, Args: args, Window: window},
 		Src:     ep.Addr(), Dst: c.b.dst, Corr: corr,
 		Deadline: dl,
+		Trace:    tr.trace, Span: tr.span,
 	}
 	if err := s.bus.Send(m); err != nil {
 		s.clientStreams.take(corr)
+		c.recordEdgeSpan(tr, op, telemetry.KindStream, outcomeOf(err))
 		return nil, err
 	}
+	// A stream's client span covers the open edge: the handle may live
+	// arbitrarily long, so the span closes once the open is on the bus and
+	// the per-item path stays untraced.
+	c.recordEdgeSpan(tr, op, telemetry.KindStream, telemetry.OutcomeOK)
 	return st, nil
 }
 

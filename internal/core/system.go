@@ -20,6 +20,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/qos"
 	"repro/internal/registry"
+	"repro/internal/telemetry"
 )
 
 // Options configures a System. Zero values select working defaults: real
@@ -41,6 +42,16 @@ type Options struct {
 	// toward their (unchanged) bus address are served by a gateway endpoint
 	// the distribution plane attaches once the hosting peer is linked.
 	Remote map[string]bool
+	// TraceSampling sets the telemetry recorder's head-sampling rate
+	// (DESIGN.md §11): 0 selects the default of 1 (every root call traced),
+	// n > 1 traces one root in n, and a negative value disables tracing
+	// entirely. The sampling decision is made once, where a trace starts —
+	// the compiled client-handle edge — and every downstream span inherits
+	// it, so thinning the rate thins whole traces, never partial trees.
+	TraceSampling int
+	// TraceBuffer is the span capacity of each of the recorder's 8 ring
+	// shards (default 512, i.e. 4096 recent spans retained per system).
+	TraceBuffer int
 	// NoOverloadControl disables overload governance (DESIGN.md §9): no
 	// deadline-aware admission control at the platform edge, no EDF mailbox
 	// lane, no expired-work shedding. Deadline-carrying calls are accepted
@@ -69,6 +80,13 @@ type System struct {
 	events  *EventHub
 	monitor *qos.Monitor
 	weaver  *aspects.Weaver
+	// rec is the span recorder of the telemetry plane (DESIGN.md §11);
+	// always non-nil, possibly with sampling disabled.
+	rec *telemetry.Recorder
+	// node is the cluster node id this system runs as, stamped into span
+	// records as the local endpoint name. Empty for single-node systems;
+	// the distribution plane sets it when it adopts the system.
+	node atomic.Pointer[string]
 
 	// noOverload disables edge admission control (Options.NoOverloadControl);
 	// immutable after NewSystem.
@@ -198,6 +216,15 @@ func NewSystem(cfg *adl.Config, opts Options) (*System, error) {
 		window = 10 * time.Second
 	}
 	s.monitor = qos.NewMonitor(s.clk, window, 1<<14)
+	s.rec = telemetry.NewRecorder(opts.TraceBuffer)
+	switch {
+	case opts.TraceSampling < 0:
+		s.rec.SetSampling(0)
+	case opts.TraceSampling > 0:
+		s.rec.SetSampling(opts.TraceSampling)
+	}
+	empty := ""
+	s.node.Store(&empty)
 	s.noOverload = opts.NoOverloadControl
 	if s.bus == nil {
 		busOpts := []bus.Option{bus.WithClock(s.clk), bus.WithDelay(s.delayFor)}
@@ -542,6 +569,77 @@ func (s *System) LocalComponents() []string {
 
 // Events exposes the RAML stream hub.
 func (s *System) Events() *EventHub { return s.events }
+
+// Recorder exposes the telemetry span recorder (sampling control, span
+// reads, recorder health).
+func (s *System) Recorder() *telemetry.Recorder { return s.rec }
+
+// Spans copies out the recorder's recent spans.
+func (s *System) Spans() []telemetry.Span { return s.rec.Spans(nil) }
+
+// SetNodeName tells the system which cluster node it runs as; the name is
+// stamped into span records. The distribution plane calls this once at
+// node construction, before traffic flows.
+func (s *System) SetNodeName(node string) { s.node.Store(&node) }
+
+// NodeName returns the cluster node id set by SetNodeName ("" when
+// single-node).
+func (s *System) NodeName() string { return *s.node.Load() }
+
+// Telemetry gathers the node-local sections of the unified metrics
+// snapshot (DESIGN.md §11): bus conservation counters, event-hub ledger,
+// stream occupancy, recorder health, per-component admission estimator
+// state, and the QoS monitor's statistic map. The distribution plane
+// layers the per-link sections on top (cluster.Node.Telemetry).
+func (s *System) Telemetry() telemetry.Snapshot {
+	bst := s.bus.Stats()
+	rec, lost, roots := s.rec.Stats()
+	snap := telemetry.Snapshot{
+		Schema:     telemetry.SchemaVersion,
+		Node:       s.NodeName(),
+		TakenNanos: s.clk.Now().UnixNano(),
+		Bus: telemetry.BusCounters{
+			Sent:      bst.Sent,
+			Delivered: bst.Delivered,
+			Dropped:   bst.Dropped,
+			Held:      bst.Held,
+			InFlight:  bst.InFlight,
+			Redirects: bst.Redirects,
+		},
+		Events: telemetry.EventCounters{
+			Published: s.events.Published(),
+			Dropped:   s.events.Dropped(),
+		},
+		Streams: telemetry.StreamCounters{
+			Pending:   s.PendingStreams(),
+			Active:    s.ActiveStreams(),
+			ShedItems: s.ShedStreamItems(),
+		},
+		Spans: telemetry.SpanCounters{
+			Recorded:   rec,
+			Lost:       lost,
+			Roots:      roots,
+			SampleRate: s.rec.Sampling(),
+		},
+		QoS: s.monitor.Snapshot(),
+	}
+	view := *s.compView.Load()
+	names := make([]string, 0, len(view))
+	for name := range view {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ast := view[name].adm.Stats()
+		snap.Admission = append(snap.Admission, telemetry.AdmissionState{
+			Component:     name,
+			EstimateNanos: float64(ast.EWMAServiceNanos),
+			Admitted:      ast.Admitted,
+			Rejected:      ast.Rejected,
+		})
+	}
+	return snap
+}
 
 // Monitor exposes the QoS monitor.
 func (s *System) Monitor() *qos.Monitor { return s.monitor }

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/connector"
+	"repro/internal/telemetry"
+)
+
+// This file is the platform edge of the telemetry plane (DESIGN.md §11).
+// A trace starts at a compiled client-binding handle: the head-sampling
+// decision is made once, a trace id is minted, and the client span's id
+// rides in every downstream message as the packed word bus.Message.Span.
+// The distribution plane re-enters the platform edge when serving a
+// forwarded call (peer.serveCall → sys.Client(...).Call); WithTrace marks
+// that context as a mid-trace continuation so the serving node extends the
+// caller's tree instead of starting a second root — and instead of opening
+// a redundant client span of its own.
+
+// traceRef is the per-call trace state threaded through a call shape: the
+// ids stamped into the request plus the client span's start timestamp.
+// start == 0 marks a continuation (no client span owned on this node).
+type traceRef struct {
+	trace int64
+	span  int64 // telemetry.PackSpan(current, parent)
+	start int64 // unix ns; 0 = no client span to record
+}
+
+// traceCtxKey keys a mid-trace continuation injected by the distribution
+// plane.
+type traceCtxKey struct{}
+
+// traceCtxVal carries the remote caller's trace context.
+type traceCtxVal struct {
+	trace int64
+	span  int64
+}
+
+// WithTrace returns a context marked as a continuation of an in-flight
+// trace: calls made with it propagate the given context verbatim instead
+// of minting a root. span is the packed word from the incoming frame
+// (telemetry.PackSpan layout). Used by the cluster layer when serving
+// forwarded calls and stream opens.
+func WithTrace(ctx context.Context, trace, span int64) context.Context {
+	if trace == 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, traceCtxVal{trace: trace, span: span})
+}
+
+// traceFrom extracts a continuation installed by WithTrace.
+func traceFrom(ctx context.Context) (trace, span int64, ok bool) {
+	v, ok := ctx.Value(traceCtxKey{}).(traceCtxVal)
+	if !ok {
+		return 0, 0, false
+	}
+	return v.trace, v.span, true
+}
+
+// traceStart makes the root-or-continuation decision for one admitted call.
+// now is a unix-ns timestamp the caller may already hold (0 = not read
+// yet); the clock is only consulted for calls that are actually traced, so
+// with sampling off the call path pays one atomic load and nothing else.
+func (c *Client) traceStart(ctx context.Context, now int64) traceRef {
+	s := c.b.sys
+	if t, sp, ok := traceFrom(ctx); ok {
+		return traceRef{trace: t, span: sp}
+	}
+	if !s.rec.SampleRoot() {
+		return traceRef{}
+	}
+	if now == 0 {
+		now = s.clk.Now().UnixNano()
+	}
+	return traceRef{
+		trace: telemetry.NewTraceID(),
+		span:  telemetry.PackSpan(telemetry.NextSpanID(), 0),
+		start: now,
+	}
+}
+
+// recordEdgeSpan closes the client-edge span of a traced call. kind is
+// KindClient for unary shapes and KindStream for stream opens;
+// continuations (start == 0) and untraced calls record nothing.
+func (c *Client) recordEdgeSpan(tr traceRef, op string, kind telemetry.Kind, outcome telemetry.Outcome) {
+	if tr.trace == 0 || tr.start == 0 {
+		return
+	}
+	s := c.b.sys
+	s.rec.Record(telemetry.Span{
+		Trace:   tr.trace,
+		ID:      telemetry.SpanID(tr.span),
+		Parent:  telemetry.ParentID(tr.span),
+		Start:   tr.start,
+		End:     s.clk.Now().UnixNano(),
+		Op:      op,
+		Comp:    c.b.name,
+		Src:     s.NodeName(),
+		Kind:    kind,
+		Outcome: outcome,
+	})
+}
+
+// outcomeOf classifies a call-shape error into a span outcome. The kind
+// numbering is shared (connector.ErrKind values are telemetry.Outcome
+// values), so classified errors map directly; ErrOverloaded — shed before
+// any kind machinery runs — gets its own outcome.
+func outcomeOf(err error) telemetry.Outcome {
+	if err == nil {
+		return telemetry.OutcomeOK
+	}
+	if errors.Is(err, ErrOverloaded) {
+		return telemetry.OutcomeOverload
+	}
+	return telemetry.Outcome(errKindOf(err))
+}
+
+// outcomeOfKind maps a reply payload's structured kind (or the kind a
+// serving side computed) to a span outcome.
+func outcomeOfKind(kind connector.ErrKind) telemetry.Outcome {
+	return telemetry.Outcome(kind)
+}

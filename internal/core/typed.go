@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/bus"
 	"repro/internal/connector"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -263,7 +264,7 @@ func (t *TypedClient[Req, Resp]) Call(ctx context.Context, op string, req Req) (
 	c := t.c
 	b := c.b
 	s := b.sys
-	ep, corr, dl, err := c.admit(ctx, op)
+	ep, corr, dl, tr, err := c.admit(ctx, op)
 	if err != nil {
 		// The overload-shed path exits here, before the envelope lease: a
 		// rejected typed call touches nothing poolable and allocates nothing.
@@ -275,6 +276,7 @@ func (t *TypedClient[Req, Resp]) Call(ctx context.Context, op string, req Req) (
 		Kind: bus.Request, Op: op,
 		Payload: e,
 		Src:     ep.Addr(), Dst: b.dst, Corr: corr,
+		Trace: tr.trace, Span: tr.span,
 		Deadline: dl,
 	}
 	if err := s.bus.Send(m); err != nil {
@@ -296,7 +298,9 @@ func (t *TypedClient[Req, Resp]) Call(ctx context.Context, op string, req Req) (
 		if timerC != nil {
 			e.timer.Stop()
 		}
-		return t.collect(e, payload)
+		resp, cerr := t.collect(e, payload)
+		c.recordEdgeSpan(tr, op, telemetry.KindClient, outcomeOf(cerr))
+		return resp, cerr
 	case <-ctx.Done():
 		if _, ok := s.clientWaiters.take(corr); ok {
 			c.sendCancel(corr, dl)
@@ -304,12 +308,14 @@ func (t *TypedClient[Req, Resp]) Call(ctx context.Context, op string, req Req) (
 		if timerC != nil {
 			e.timer.Stop()
 		}
+		c.recordEdgeSpan(tr, op, telemetry.KindClient, outcomeOf(ctx.Err()))
 		// Abandon the envelope: the serving side may still write it.
 		return zero, fmt.Errorf("core: call %s.%s: %w", b.name, op, ctx.Err())
 	case <-timerC:
 		if _, ok := s.clientWaiters.take(corr); ok {
 			c.sendCancel(corr, dl)
 		}
+		c.recordEdgeSpan(tr, op, telemetry.KindClient, telemetry.OutcomeDeadline)
 		return zero, c.timeoutError(op)
 	}
 }
@@ -356,16 +362,18 @@ func (t *TypedClient[Req, Resp]) Async(ctx context.Context, op string, req Req) 
 		principal: c.principal, req: req}
 	f.e = e
 	s := c.b.sys
-	ep, corr, dl, err := c.admit(ctx, op)
+	ep, corr, dl, tr, err := c.admit(ctx, op)
 	if err != nil {
 		f.settle(nil, err)
 		return f
 	}
+	f.cl, f.tr = c, tr
 	s.clientWaiters.add(corr, e.w)
 	m := bus.Message{
 		Kind: bus.Request, Op: op,
 		Payload: e,
 		Src:     ep.Addr(), Dst: c.b.dst, Corr: corr,
+		Trace: tr.trace, Span: tr.span,
 		Deadline: dl,
 	}
 	if err := s.bus.Send(m); err != nil {
@@ -409,6 +417,11 @@ type TypedFuture[Req, Resp any] struct {
 	e    *typedEnvelope[Req, Resp]
 	take func() bool
 
+	// cl and tr close the client-edge span on settle (cl nil when the call
+	// failed before a request was sent).
+	cl *Client
+	tr traceRef
+
 	cleanupMu sync.Mutex
 	timer     *time.Timer
 	stopHook  func() bool
@@ -422,6 +435,9 @@ type TypedFuture[Req, Resp any] struct {
 func (f *TypedFuture[Req, Resp]) settle(resp *Resp, err error) {
 	f.settleOnce.Do(func() {
 		f.resp, f.err = resp, err
+		if f.cl != nil {
+			f.cl.recordEdgeSpan(f.tr, f.op, telemetry.KindClient, outcomeOf(err))
+		}
 		close(f.done)
 		f.cleanup()
 	})

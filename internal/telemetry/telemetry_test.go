@@ -1,0 +1,142 @@
+package telemetry
+
+import "testing"
+
+func TestPackSpanRoundTrip(t *testing.T) {
+	cases := []struct{ span, parent uint32 }{
+		{0, 0},
+		{1, 0},
+		{0, 1},
+		{42, 7},
+		{0xFFFFFFFF, 0xFFFFFFFF},
+		{0x80000000, 0x00000001},
+	}
+	for _, c := range cases {
+		packed := PackSpan(c.span, c.parent)
+		if got := SpanID(packed); got != c.span {
+			t.Errorf("SpanID(PackSpan(%d,%d)) = %d", c.span, c.parent, got)
+		}
+		if got := ParentID(packed); got != c.parent {
+			t.Errorf("ParentID(PackSpan(%d,%d)) = %d", c.span, c.parent, got)
+		}
+	}
+}
+
+func TestNewTraceIDNonZeroAndDistinct(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := 0; i < 10000; i++ {
+		id := NewTraceID()
+		if id == 0 {
+			t.Fatal("NewTraceID returned 0")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace id %#x after %d draws", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestNextSpanIDSkipsZero(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		if NextSpanID() == 0 {
+			t.Fatal("NextSpanID returned 0")
+		}
+	}
+}
+
+func TestSampling(t *testing.T) {
+	r := NewRecorder(16)
+	if got := r.Sampling(); got != 1 {
+		t.Fatalf("default sampling = %d, want 1", got)
+	}
+	for i := 0; i < 10; i++ {
+		if !r.SampleRoot() {
+			t.Fatal("rate 1 must sample every root")
+		}
+	}
+	r.SetSampling(0)
+	for i := 0; i < 10; i++ {
+		if r.SampleRoot() {
+			t.Fatal("rate 0 must sample nothing")
+		}
+	}
+	r.SetSampling(4)
+	hits := 0
+	for i := 0; i < 400; i++ {
+		if r.SampleRoot() {
+			hits++
+		}
+	}
+	if hits != 100 {
+		t.Fatalf("rate 4 sampled %d of 400 roots, want 100", hits)
+	}
+	r.SetSampling(-5)
+	if r.Sampling() != 0 {
+		t.Fatal("negative rate must clamp to 0 (off)")
+	}
+}
+
+func TestRecordAndSpans(t *testing.T) {
+	r := NewRecorder(16)
+	r.Record(Span{Trace: 0, ID: 1}) // untraced: ignored
+	r.Record(Span{Trace: 7, ID: 1, Parent: 0, Op: "a", Comp: "C"})
+	r.Record(Span{Trace: 7, ID: 2, Parent: 1, Op: "b", Comp: "C"})
+	recorded, lost, _ := r.Stats()
+	if recorded != 2 || lost != 0 {
+		t.Fatalf("Stats = (%d, %d), want (2, 0)", recorded, lost)
+	}
+	spans := r.Spans(nil)
+	if len(spans) != 2 {
+		t.Fatalf("Spans returned %d spans, want 2", len(spans))
+	}
+	byID := map[uint32]Span{}
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	if byID[2].Parent != 1 || byID[2].Op != "b" {
+		t.Fatalf("span 2 = %+v, want parent 1 op b", byID[2])
+	}
+}
+
+func TestRingWrapKeepsRecent(t *testing.T) {
+	r := NewRecorder(4) // 8 shards × 4 slots
+	// All spans share one ID so they land in one shard and wrap its ring.
+	for i := 1; i <= 100; i++ {
+		r.Record(Span{Trace: int64(i), ID: 8}) // 8&7 == 0: shard 0
+	}
+	spans := r.Spans(nil)
+	if len(spans) != 4 {
+		t.Fatalf("wrapped ring holds %d spans, want 4", len(spans))
+	}
+	for _, s := range spans {
+		if s.Trace < 97 {
+			t.Fatalf("span with trace %d survived a wrap that should keep only 97..100", s.Trace)
+		}
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(Span{Trace: 1})
+	r.SetSampling(3)
+	if r.SampleRoot() {
+		t.Fatal("nil recorder must not sample")
+	}
+	if got := r.Spans(nil); got != nil {
+		t.Fatalf("nil recorder Spans = %v", got)
+	}
+	if rec, lost, roots := r.Stats(); rec != 0 || lost != 0 || roots != 0 {
+		t.Fatal("nil recorder stats must be zero")
+	}
+}
+
+func BenchmarkSpanRecord(b *testing.B) {
+	r := NewRecorder(0)
+	s := Span{Trace: 99, ID: 3, Parent: 1, Start: 100, End: 200, Op: "op", Comp: "C"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ID = uint32(i | 1)
+		r.Record(s)
+	}
+}

@@ -61,11 +61,19 @@ const (
 	// a pre-v5 peer is refused locally with a typed error (the frames are
 	// never put on an older link).
 	VersionStream = 5
+	// VersionTrace (6) adds the trace-context trailer to call and
+	// stream-open bodies: the 64-bit trace id plus the packed span/parent
+	// word (telemetry.PackSpan), appended after the argument list. The
+	// trailer position makes downgrade free in both directions — ParseCall
+	// and ParseStreamOpen have always discarded trailing bytes, and an
+	// encoder on a link negotiated below v6 simply omits the trailer, so
+	// calls cross mixed-version links fine and spans terminate at the link.
+	VersionTrace = 6
 	// MinVersion and MaxVersion bound the versions this build speaks. A
 	// decoder accepts any frame version in the range; what an encoder emits
 	// is fixed by the link's negotiated version.
 	MinVersion = Version
-	MaxVersion = VersionStream
+	MaxVersion = VersionTrace
 
 	headerSize = 8
 	// MaxFrame bounds a single frame body (migration states included).
@@ -426,6 +434,12 @@ type Call struct {
 	// typed client handle uses so its arguments are marshalled exactly once.
 	// Encode-side only; ParseCall always decodes into Args.
 	RawArgs []byte
+	// Trace and Span carry the call's trace context on v6 links: Trace is
+	// the 64-bit trace id (0 = untraced), Span packs the sender's span id
+	// over its parent (telemetry.PackSpan). Encoded as a fixed 16-byte
+	// trailer after the argument list; absent below v6.
+	Trace int64
+	Span  int64
 }
 
 // Reply error kinds (v3 links). The numbering is shared with the
@@ -541,23 +555,34 @@ func ParseHello(b []byte) (Hello, error) {
 	return h, nil
 }
 
-// AppendCall encodes c. When RawArgs is set it is spliced verbatim in place
-// of Args; the output is byte-identical either way, so the fast path is
-// invisible to the receiving peer.
-func AppendCall(dst []byte, c Call) ([]byte, error) {
+// AppendCall encodes c for a link speaking the given protocol version.
+// When RawArgs is set it is spliced verbatim in place of Args; the output
+// is byte-identical either way, so the fast path is invisible to the
+// receiving peer. v6 bodies carry the trace-context trailer after the
+// argument list; older bodies stay byte-identical to what older builds
+// emit, which is what lets a trace gracefully truncate at a v5 link.
+func AppendCall(dst []byte, c Call, version uint8) ([]byte, error) {
 	dst = binary.AppendUvarint(dst, c.Corr)
 	dst = AppendString(dst, c.Component)
 	dst = AppendString(dst, c.Op)
 	dst = AppendString(dst, c.Principal)
 	dst = binary.AppendVarint(dst, c.DeadlineNanos)
+	var err error
 	if c.RawArgs != nil {
-		return append(dst, c.RawArgs...), nil
+		dst = append(dst, c.RawArgs...)
+	} else if dst, err = AppendValues(dst, c.Args); err != nil {
+		return dst, err
 	}
-	return AppendValues(dst, c.Args)
+	if version >= VersionTrace {
+		dst = appendTrace(dst, c.Trace, c.Span)
+	}
+	return dst, nil
 }
 
-// ParseCall decodes a Call body.
-func ParseCall(b []byte) (Call, error) {
+// ParseCall decodes a Call body encoded at the given protocol version.
+// Bodies below v6 (and v6 bodies from untraced calls, whose trailer still
+// rides but holds zeros) yield Trace == 0.
+func ParseCall(b []byte, version uint8) (Call, error) {
 	var (
 		c   Call
 		err error
@@ -583,8 +608,36 @@ func ParseCall(b []byte) (Call, error) {
 	}
 	c.DeadlineNanos = dl
 	b = b[n:]
-	c.Args, _, err = ReadValues(b)
-	return c, err
+	if c.Args, b, err = ReadValues(b); err != nil {
+		return c, err
+	}
+	c.Trace, c.Span = parseTrace(b, version)
+	return c, nil
+}
+
+// traceTrailerSize is the fixed encoding of the v6 trace-context trailer:
+// trace id and packed span word, little-endian. Fixed-width rather than
+// varint because trace ids are uniformly random 64-bit values — a varint
+// would average 10 bytes against the fixed 16 for the pair.
+const traceTrailerSize = 16
+
+// appendTrace appends the v6 trace-context trailer.
+func appendTrace(dst []byte, trace, span int64) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(trace))
+	return binary.LittleEndian.AppendUint64(dst, uint64(span))
+}
+
+// parseTrace reads the trailer from the bytes remaining after a body's
+// argument list. Tolerant by construction: a short or absent trailer (an
+// older encoder, or a v6 body from a build predating a later extension)
+// simply yields an untraced call rather than a frame error.
+func parseTrace(b []byte, version uint8) (trace, span int64) {
+	if version < VersionTrace || len(b) < traceTrailerSize {
+		return 0, 0
+	}
+	trace = int64(binary.LittleEndian.Uint64(b))
+	span = int64(binary.LittleEndian.Uint64(b[8:]))
+	return trace, span
 }
 
 // AppendReply encodes r for a link speaking the given protocol version:
@@ -662,21 +715,34 @@ type StreamOpen struct {
 	// Window is the initial credit window in items (>= 1).
 	Window uint32
 	Args   []any
+	// Trace and Span carry the stream's trace context on v6 links, exactly
+	// as on Call.
+	Trace int64
+	Span  int64
 }
 
-// AppendStreamOpen encodes o.
-func AppendStreamOpen(dst []byte, o StreamOpen) ([]byte, error) {
+// AppendStreamOpen encodes o for a link speaking the given protocol
+// version; v6 bodies carry the trace-context trailer after the arguments.
+func AppendStreamOpen(dst []byte, o StreamOpen, version uint8) ([]byte, error) {
 	dst = binary.AppendUvarint(dst, o.Corr)
 	dst = AppendString(dst, o.Component)
 	dst = AppendString(dst, o.Op)
 	dst = AppendString(dst, o.Principal)
 	dst = binary.AppendVarint(dst, o.DeadlineNanos)
 	dst = binary.AppendUvarint(dst, uint64(o.Window))
-	return AppendValues(dst, o.Args)
+	var err error
+	if dst, err = AppendValues(dst, o.Args); err != nil {
+		return dst, err
+	}
+	if version >= VersionTrace {
+		dst = appendTrace(dst, o.Trace, o.Span)
+	}
+	return dst, nil
 }
 
-// ParseStreamOpen decodes a StreamOpen body.
-func ParseStreamOpen(b []byte) (StreamOpen, error) {
+// ParseStreamOpen decodes a StreamOpen body encoded at the given protocol
+// version; bodies below v6 yield Trace == 0.
+func ParseStreamOpen(b []byte, version uint8) (StreamOpen, error) {
 	var (
 		o   StreamOpen
 		err error
@@ -708,8 +774,11 @@ func ParseStreamOpen(b []byte) (StreamOpen, error) {
 	}
 	o.Window = uint32(w)
 	b = b[n:]
-	o.Args, _, err = ReadValues(b)
-	return o, err
+	if o.Args, b, err = ReadValues(b); err != nil {
+		return o, err
+	}
+	o.Trace, o.Span = parseTrace(b, version)
+	return o, nil
 }
 
 // StreamChunk carries one pushed stream item (v5 links only). Seq is the
@@ -1016,7 +1085,7 @@ func (e *Encoder) EncodeHeartbeat() error {
 
 // EncodeCall writes a FrameCall.
 func (e *Encoder) EncodeCall(c Call) error {
-	buf, err := AppendCall(e.body(), c)
+	buf, err := AppendCall(e.body(), c, e.version)
 	if err != nil {
 		return err
 	}
@@ -1041,7 +1110,7 @@ func (e *Encoder) EncodeCancel(c Cancel) error {
 // EncodeStreamOpen writes a FrameStreamOpen. The caller must have
 // negotiated v5 on this link.
 func (e *Encoder) EncodeStreamOpen(o StreamOpen) error {
-	buf, err := AppendStreamOpen(e.body(), o)
+	buf, err := AppendStreamOpen(e.body(), o, e.version)
 	if err != nil {
 		return err
 	}
@@ -1118,7 +1187,7 @@ func (e *Encoder) batchAdd(t FrameType, encode func([]byte) ([]byte, error)) err
 
 // BatchAddCall appends a call sub-frame to the open batch.
 func (e *Encoder) BatchAddCall(c Call) error {
-	return e.batchAdd(FrameCall, func(dst []byte) ([]byte, error) { return AppendCall(dst, c) })
+	return e.batchAdd(FrameCall, func(dst []byte) ([]byte, error) { return AppendCall(dst, c, e.version) })
 }
 
 // BatchAddReply appends a reply sub-frame to the open batch.
@@ -1134,7 +1203,7 @@ func (e *Encoder) BatchAddCancel(c Cancel) error {
 // BatchAddStreamOpen appends a stream-open sub-frame to the pending batch
 // (v5 links only).
 func (e *Encoder) BatchAddStreamOpen(o StreamOpen) error {
-	return e.batchAdd(FrameStreamOpen, func(dst []byte) ([]byte, error) { return AppendStreamOpen(dst, o) })
+	return e.batchAdd(FrameStreamOpen, func(dst []byte) ([]byte, error) { return AppendStreamOpen(dst, o, e.version) })
 }
 
 // BatchAddStreamChunk appends a stream-chunk sub-frame to the pending batch

@@ -120,7 +120,7 @@ func TestFrameRoundTrip(t *testing.T) {
 	if err != nil || typ != FrameCall {
 		t.Fatalf("call frame: %v %v", typ, err)
 	}
-	gotCall, err := ParseCall(body)
+	gotCall, err := ParseCall(body, dec.FrameVersion())
 	if err != nil || !reflect.DeepEqual(gotCall, call) {
 		t.Fatalf("call: %#v %v", gotCall, err)
 	}
@@ -208,11 +208,11 @@ func TestRawArgsEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	boxed, err := AppendCall(nil, Call{Corr: 5, Component: "Store", Op: "get", Args: args})
+	boxed, err := AppendCall(nil, Call{Corr: 5, Component: "Store", Op: "get", Args: args}, Version)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pre, err := AppendCall(nil, Call{Corr: 5, Component: "Store", Op: "get", RawArgs: raw})
+	pre, err := AppendCall(nil, Call{Corr: 5, Component: "Store", Op: "get", RawArgs: raw}, Version)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,7 +258,7 @@ func TestBatchRoundTrip(t *testing.T) {
 		if err != nil || st != FrameCall {
 			t.Fatalf("sub %d: %v %v", i, st, err)
 		}
-		got, err := ParseCall(sb)
+		got, err := ParseCall(sb, dec.FrameVersion())
 		if err != nil || !reflect.DeepEqual(got, want) {
 			t.Fatalf("sub %d: %#v %v", i, got, err)
 		}
@@ -371,7 +371,7 @@ func TestTruncatedBodies(t *testing.T) {
 	if _, _, err := ReadString([]byte{5, 'a'}); !errors.Is(err, ErrTruncated) {
 		t.Fatalf("string: want ErrTruncated, got %v", err)
 	}
-	if _, err := ParseCall([]byte{}); !errors.Is(err, ErrTruncated) {
+	if _, err := ParseCall([]byte{}, MaxVersion); !errors.Is(err, ErrTruncated) {
 		t.Fatalf("call: want ErrTruncated, got %v", err)
 	}
 	if _, err := ParseMigrate([]byte{1, 0}); !errors.Is(err, ErrTruncated) {
@@ -424,7 +424,7 @@ func TestStreamFramesRoundTrip(t *testing.T) {
 	if err != nil || typ != FrameStreamOpen {
 		t.Fatalf("open frame: %v %v", typ, err)
 	}
-	gotOpen, err := ParseStreamOpen(body)
+	gotOpen, err := ParseStreamOpen(body, dec.FrameVersion())
 	if err != nil || gotOpen.Corr != open.Corr || gotOpen.Component != open.Component ||
 		gotOpen.Op != open.Op || gotOpen.Principal != open.Principal ||
 		gotOpen.DeadlineNanos != open.DeadlineNanos || gotOpen.Window != open.Window ||
@@ -516,7 +516,7 @@ func TestStreamFramesRoundTrip(t *testing.T) {
 
 	// Truncated bodies are rejected, not crashed on.
 	for _, parse := range []func([]byte) error{
-		func(b []byte) error { _, err := ParseStreamOpen(b); return err },
+		func(b []byte) error { _, err := ParseStreamOpen(b, MaxVersion); return err },
 		func(b []byte) error { _, err := ParseStreamChunk(b); return err },
 		func(b []byte) error { _, err := ParseStreamCredit(b); return err },
 		func(b []byte) error { _, err := ParseStreamEnd(b); return err },
