@@ -209,6 +209,7 @@ const (
 	EvTriggerActionFailed = core.EvTriggerActionFailed
 	EvPeerUp              = core.EvPeerUp
 	EvPeerDown            = core.EvPeerDown
+	EvStateLost           = core.EvStateLost
 )
 
 // Component-side contracts.
@@ -487,3 +488,34 @@ func StartClusterNode(sys *System, opts ClusterOptions) (*ClusterNode, error) {
 func StartCluster(ctx context.Context, spec ClusterSpec) (*ClusterHarness, error) {
 	return cluster.StartHarness(ctx, spec)
 }
+
+// Elastic plane (DESIGN.md §12): gossip membership, load-driven placement
+// and warm-standby replication on top of the distribution plane. A node
+// given ClusterOptions.Seeds joins by dialing any live peer and learns the
+// full member view through gossip; ClusterNode.StartPlacer feeds observed
+// load into the live rebalancing planner and enacts its own moves;
+// ClusterNode.StartReplicator ships component snapshots to a follower so
+// ClusterNode.EnableFailover can promote warm state when the host dies.
+type (
+	// Member is a point-in-time copy of one gossip membership entry.
+	Member = cluster.Member
+	// MemberStatus is a member's health as seen by the failure detector.
+	MemberStatus = cluster.MemberStatus
+	// MemberComponent is one component hosted by a member, as gossiped.
+	MemberComponent = cluster.MemberComponent
+	// PlacerOptions tunes the load-driven placement loop.
+	PlacerOptions = cluster.PlacerOptions
+	// Placer is a running placement loop (ClusterNode.StartPlacer).
+	Placer = cluster.Placer
+	// ReplicatorOptions tunes warm-standby snapshot shipping.
+	ReplicatorOptions = cluster.ReplicatorOptions
+	// Replicator is a running replication loop (ClusterNode.StartReplicator).
+	Replicator = cluster.Replicator
+)
+
+// Re-exported membership statuses.
+const (
+	MemberAlive   = cluster.MemberAlive
+	MemberSuspect = cluster.MemberSuspect
+	MemberDead    = cluster.MemberDead
+)

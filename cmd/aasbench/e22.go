@@ -1,0 +1,245 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	aas "repro"
+
+	"repro/internal/registry"
+)
+
+// E22: the elastic cluster plane under churn. Act 1 builds a four-node
+// cluster the production way — one seed address, gossip completes the mesh —
+// runs the E16 stateful workload with warm-standby replication, then kills
+// the Store's host mid-flight and measures the failover blackout: the time
+// from the kill until the promoted follower serves again, with the restored
+// counter equal to every completed call (zero state mismatches). Act 2
+// starts all services on one node, turns the load-driven placers on, joins a
+// fresh node and measures how long until rebalancing hands it work — under
+// continuous load with zero call errors.
+
+func runE22() {
+	e22Failover()
+	e22ScaleOut()
+}
+
+func e22Failover() {
+	mkReg := func(string) *registry.Registry {
+		reg := &registry.Registry{}
+		if err := reg.Register(registry.Entry{Name: "Front", Version: registry.Version{Major: 1},
+			New: func() any { return &e16Front{} }}); err != nil {
+			log.Fatal(err)
+		}
+		if err := reg.Register(registry.Entry{Name: "Store", Version: registry.Version{Major: 1},
+			New: func() any { return &e16Store{} }}); err != nil {
+			log.Fatal(err)
+		}
+		return reg
+	}
+	t0 := time.Now()
+	h, err := aas.StartCluster(context.Background(), aas.ClusterSpec{
+		ADL:       e16ADL,
+		Nodes:     []string{"n1", "n2", "n3", "n4"},
+		Placement: map[string]string{"Front": "n1", "Store": "n2"},
+		Registry:  mkReg,
+		Cluster: func(string) aas.ClusterOptions {
+			return aas.ClusterOptions{Heartbeat: 50 * time.Millisecond,
+				FailAfter: 300 * time.Millisecond, SuspectAfter: 300 * time.Millisecond}
+		},
+		SeedJoin: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer h.Close()
+	fmt.Printf("4-node seed-list join converged in %v (1 seed address, gossip discovered the rest)\n",
+		time.Since(t0).Round(time.Millisecond))
+
+	for _, id := range h.Nodes() {
+		if err := h.Node(id).EnableFailover(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	rep := h.Node("n2").StartReplicator(aas.ReplicatorOptions{Interval: 50 * time.Millisecond})
+	defer rep.Stop()
+
+	sys1 := h.System("n1")
+	const (
+		clients = 4
+		window  = 1500 * time.Millisecond
+	)
+	var errs atomic.Uint64
+	lats := e16Drive(sys1, clients, window, &errs)
+	fmt.Println("cross-node call with 50ms warm-standby replication riding the link:")
+	fmt.Printf("%-30s %10s %10s %10s %10s %12s\n", "condition", "p50", "p95", "p99", "max", "calls/sec")
+	e16Report("steady state (replicated)", lats, window)
+	if errs.Load() != 0 {
+		log.Fatalf("E22 FAILED: %d call errors in steady state", errs.Load())
+	}
+	completed := uint64(len(lats))
+
+	// Settle: ship the final state and wait until the follower acked it and
+	// every survivor gossip-learned who the follower is.
+	rep.ReplicateNow()
+	deadline := time.Now().Add(10 * time.Second)
+	follower := ""
+	for follower == "" {
+		if time.Now().After(deadline) {
+			log.Fatal("E22 FAILED: replication never settled")
+		}
+		snap := h.Node("n2").Telemetry()
+		if len(snap.Replication) == 1 && snap.Replication[0].AckedSeq > 0 &&
+			snap.Replication[0].AckedSeq == snap.Replication[0].ShippedSeq {
+			follower = snap.Replication[0].Follower
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, id := range []string{"n1", "n3", "n4"} {
+		for {
+			m, ok := h.Node(id).Member("n2")
+			if ok && len(m.Components) == 1 && m.Components[0].Follower == follower {
+				break
+			}
+			if time.Now().After(deadline) {
+				log.Fatal("E22 FAILED: follower assignment never gossiped")
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// Kill the host and measure the blackout until the promoted follower
+	// serves the first post-kill call.
+	front := sys1.Client("Front")
+	kill := time.Now()
+	h.Kill("n2")
+	for {
+		if _, err := front.Call(context.Background(), "fetch", "probe"); err == nil {
+			completed++
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatal("E22 FAILED: service never recovered after the kill")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	blackout := time.Since(kill)
+
+	out, err := sys1.Client("Store").Call(context.Background(), "count")
+	if err != nil {
+		log.Fatalf("E22: count: %v", err)
+	}
+	served := uint64(out[0].(int))
+	fmt.Printf("\nhost killed -> follower %s promoted warm: blackout %v (dominated by the 300ms refute window)\n",
+		follower, blackout.Round(time.Millisecond))
+	fmt.Printf("calls completed: %d, store served: %d\n", completed, served)
+	if served != completed {
+		log.Fatalf("E22 FAILED: state mismatch after warm failover (served %d != completed %d)", served, completed)
+	}
+	for _, id := range h.Nodes() {
+		if lost := h.System(id).Events().History(aas.EvStateLost); len(lost) != 0 {
+			log.Fatalf("E22 FAILED: EvStateLost on %s during a warm failover", id)
+		}
+	}
+	fmt.Println("zero mismatches, zero EvStateLost: the standby carried every acked call")
+}
+
+const e22SvcADL = `
+system Elastic {
+  component SvcA { provide ping(x) -> (r) }
+  component SvcB { provide ping(x) -> (r) }
+  component SvcC { provide ping(x) -> (r) }
+  component SvcD { provide ping(x) -> (r) }
+}
+`
+
+type e22Svc struct{}
+
+func (e22Svc) Handle(op string, args []any) ([]any, error) { return []any{args[0]}, nil }
+
+func e22ScaleOut() {
+	mkReg := func(string) *registry.Registry {
+		reg := &registry.Registry{}
+		for _, name := range []string{"SvcA", "SvcB", "SvcC", "SvcD"} {
+			if err := reg.Register(registry.Entry{Name: name, Version: registry.Version{Major: 1},
+				New: func() any { return e22Svc{} }}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return reg
+	}
+	h, err := aas.StartCluster(context.Background(), aas.ClusterSpec{
+		ADL:   e22SvcADL,
+		Nodes: []string{"n1", "n2"},
+		Placement: map[string]string{
+			"SvcA": "n1", "SvcB": "n1", "SvcC": "n1", "SvcD": "n1",
+		},
+		Registry: mkReg,
+		Cluster: func(string) aas.ClusterOptions {
+			return aas.ClusterOptions{Heartbeat: 50 * time.Millisecond,
+				FailAfter: 300 * time.Millisecond, SuspectAfter: 300 * time.Millisecond}
+		},
+		SeedJoin: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer h.Close()
+	for _, id := range h.Nodes() {
+		defer h.Node(id).StartPlacer(aas.PlacerOptions{Interval: 50 * time.Millisecond}).Stop()
+	}
+
+	// Continuous load against every service from the second node while the
+	// topology churns underneath it.
+	var calls, errs atomic.Uint64
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		svcs := []string{"SvcA", "SvcB", "SvcC", "SvcD"}
+		sys2 := h.System("n2")
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			svc := svcs[i%len(svcs)]
+			token := fmt.Sprintf("t%d", i)
+			if out, err := sys2.Client(svc).Call(context.Background(), "ping", token); err != nil || out[0] != token {
+				errs.Add(1)
+			} else {
+				calls.Add(1)
+			}
+		}
+	}()
+
+	fmt.Println("\nall 4 services start on n1; placers rebalance by observed load:")
+	joined := time.Now()
+	if err := h.Add("n3"); err != nil {
+		log.Fatalf("E22: add n3: %v", err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for len(h.System("n3").LocalComponents()) == 0 {
+		if time.Now().After(deadline) {
+			log.Fatal("E22 FAILED: rebalancing never reached the fresh node")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	toFirst := time.Since(joined)
+	close(stop)
+	<-done
+
+	for _, id := range h.Nodes() {
+		fmt.Printf("  %-3s hosts %v\n", id, h.System(id).LocalComponents())
+	}
+	fmt.Printf("fresh n3 received work %v after joining; %d calls, %d errors during the churn\n",
+		toFirst.Round(time.Millisecond), calls.Load(), errs.Load())
+	if errs.Load() != 0 {
+		log.Fatal("E22 FAILED: calls lost while rebalancing onto the fresh node")
+	}
+	fmt.Println("zero lost calls: live migration kept every binding serving through the moves")
+}

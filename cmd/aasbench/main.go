@@ -1,12 +1,12 @@
 // Command aasbench regenerates every experiment in EXPERIMENTS.md
-// (E1–E21). The paper is a position paper with no tables and one figure;
+// (E1–E22). The paper is a position paper with no tables and one figure;
 // each experiment quantifies one of its claims (see DESIGN.md §3 for the
 // claim-to-experiment mapping).
 //
 // Usage:
 //
 //	aasbench           run all experiments
-//	aasbench -e E4     run one experiment (E1..E21)
+//	aasbench -e E4     run one experiment (E1..E22)
 package main
 
 import (
@@ -23,7 +23,7 @@ type experiment struct {
 }
 
 func main() {
-	only := flag.String("e", "", "run a single experiment (E1..E21)")
+	only := flag.String("e", "", "run a single experiment (E1..E22)")
 	flag.Parse()
 
 	exps := []experiment{
@@ -48,6 +48,7 @@ func main() {
 		{"E19", "goodput under open-loop overload: admission, EDF, expired-work shedding", runE19},
 		{"E20", "server streaming: credit flow control vs the call-per-item floor", runE20},
 		{"E21", "end-to-end tracing: span-tree reassembly under migration churn", runE21},
+		{"E22", "elastic plane: seed-list join, warm-standby failover blackout, rebalance onto a fresh node", runE22},
 	}
 	sort.SliceStable(exps, func(i, j int) bool { return i < j })
 

@@ -17,6 +17,11 @@
 //	aasd -node n2 -listen 127.0.0.1:7002 -join 127.0.0.1:7001 \
 //	     -place Store=n2 file.adl
 //
+//	# elastic: join through any live peer (gossip completes the mesh),
+//	# rebalance by load, replicate state and fail over warm
+//	aasd -node n3 -listen 127.0.0.1:7003 -seed 127.0.0.1:7001 \
+//	     -rebalance -replicate 500ms -failover file.adl
+//
 //	# in-process multi-node demo over TCP loopback
 //	aasd -nodes 2 file.adl
 package main
@@ -46,7 +51,11 @@ func main() {
 	rps := flag.Int("rps", 50, "synthetic request rate against the first component")
 	nodeID := flag.String("node", "", "cluster node id (enables cluster mode)")
 	listen := flag.String("listen", "127.0.0.1:0", "cluster listen address")
-	join := flag.String("join", "", "comma-separated peer addresses to join")
+	join := flag.String("join", "", "comma-separated peer addresses to join explicitly")
+	seed := flag.String("seed", "", "comma-separated seed addresses: join through any live one, gossip discovers the rest")
+	rebalance := flag.Bool("rebalance", false, "run the load-driven placement loop (moves owned components toward idle peers)")
+	replicate := flag.Duration("replicate", 0, "ship warm state snapshots to a follower at this interval (0 disables)")
+	failover := flag.Bool("failover", false, "promote components of dead peers (warm from a standby when one exists)")
 	place := flag.String("place", "", "component placement Comp=node,Comp=node (components placed on other nodes are remote)")
 	nodes := flag.Int("nodes", 0, "run an in-process N-node cluster demo instead of a single system")
 	obs := flag.String("obs", "", "serve live introspection on this address (e.g. :9090): /metrics, /trace, /debug/vars, /debug/pprof")
@@ -96,7 +105,8 @@ func main() {
 
 	telemetry := sys.Telemetry
 	if *nodeID != "" {
-		node, err := aas.StartClusterNode(sys, aas.ClusterOptions{Node: *nodeID, Listen: *listen})
+		nopts := aas.ClusterOptions{Node: *nodeID, Listen: *listen, Seeds: splitList(*seed)}
+		node, err := aas.StartClusterNode(sys, nopts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "aasd: %v\n", err)
 			os.Exit(1)
@@ -104,15 +114,27 @@ func main() {
 		defer node.Close()
 		telemetry = node.Telemetry // adds link state and gateway sheds
 		fmt.Printf("aasd: node %s listening on %s\n", *nodeID, node.Addr())
-		for _, addr := range strings.Split(*join, ",") {
-			if addr = strings.TrimSpace(addr); addr == "" {
-				continue
-			}
+		for _, addr := range splitList(*join) {
 			if err := node.Join(addr); err != nil {
 				fmt.Fprintf(os.Stderr, "aasd: %v\n", err)
 				os.Exit(1)
 			}
 			fmt.Printf("aasd: joined %s\n", addr)
+		}
+		if *rebalance {
+			defer node.StartPlacer(aas.PlacerOptions{}).Stop()
+			fmt.Println("aasd: placement loop running")
+		}
+		if *replicate > 0 {
+			defer node.StartReplicator(aas.ReplicatorOptions{Interval: *replicate}).Stop()
+			fmt.Printf("aasd: replicating warm state every %v\n", *replicate)
+		}
+		if *failover {
+			if err := node.EnableFailover(); err != nil {
+				fmt.Fprintf(os.Stderr, "aasd: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println("aasd: failover promotion armed")
 		}
 	}
 	if *obs != "" {
@@ -136,6 +158,17 @@ func stubRegistry(cfg *aas.Config) *aas.Registry {
 		reg.MustRegister(name, "1.0", nil, func() any { return echo{name: name} })
 	}
 	return reg
+}
+
+// splitList parses a comma-separated flag into trimmed non-empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 // parsePlacement parses "Comp=node,Comp=node".

@@ -83,6 +83,24 @@ type Options struct {
 	// more frames per write (default 0: no artificial delay; batching
 	// arises from backpressure while the previous write is in flight).
 	BatchLinger time.Duration
+	// Seeds lists addresses of existing cluster members. The node dials
+	// them at start and keeps retrying while it has no link at all; one
+	// reachable seed suffices — gossip then teaches it the rest of the
+	// cluster and the mesh completes itself through auto-dial.
+	Seeds []string
+	// Advertise is the address gossiped for other members to dial this
+	// node (default: the actual listen address). Set it when the listen
+	// address is not reachable as-is (NAT, 0.0.0.0 binds).
+	Advertise string
+	// SuspectAfter is the refute window: how long a member stays suspect
+	// after its link dies before the failure detector declares it dead and
+	// fires EvPeerDown (default FailAfter). Fresh gossip through any other
+	// path clears the suspicion within this window.
+	SuspectAfter time.Duration
+	// StandbyTTL bounds the age of a warm standby snapshot at promotion
+	// time (default 1 minute): an older snapshot is treated as absent and
+	// failover takes the lossy path with an explicit EvStateLost.
+	StandbyTTL time.Duration
 }
 
 // Node is one cluster member: a core.System plus its links to peers.
@@ -100,7 +118,20 @@ type Node struct {
 	peers    map[string]*peer
 	owners   map[string]string // component -> hosting peer id
 	gateways map[string]*gateway
+	blocked  map[string]bool // peers refused at handshake (partition testing)
+	repl     *Replicator     // outbound replication loop, nil until started
 	closed   bool
+
+	// membership is the gossip view, meter the local load signal feeding
+	// it; both exist from Start (gossip runs on every v7 link regardless of
+	// whether a placer or replicator was started).
+	membership *membership
+	meter      *loadMeter
+
+	// standbys holds warm snapshots shipped by peers' replicators; the
+	// intake is always on (see handleReplicate).
+	smu      sync.Mutex
+	standbys map[string]standby
 
 	// inflight maps a caller-side (src, corr) to the wire call it became,
 	// so a bus-level cancel arriving at a gateway can revoke the matching
@@ -170,9 +201,18 @@ func Start(sys *core.System, opts Options) (*Node, error) {
 	if opts.MaxWireVersion < wire.MinVersion {
 		opts.MaxWireVersion = wire.MinVersion
 	}
+	if opts.SuspectAfter <= 0 {
+		opts.SuspectAfter = opts.FailAfter
+	}
+	if opts.StandbyTTL <= 0 {
+		opts.StandbyTTL = time.Minute
+	}
 	ln, err := net.Listen("tcp", opts.Listen)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: listen: %w", err)
+	}
+	if opts.Advertise == "" {
+		opts.Advertise = ln.Addr().String()
 	}
 	n := &Node{
 		sys:      sys,
@@ -182,8 +222,12 @@ func Start(sys *core.System, opts Options) (*Node, error) {
 		peers:    map[string]*peer{},
 		owners:   map[string]string{},
 		gateways: map[string]*gateway{},
+		blocked:  map[string]bool{},
+		standbys: map[string]standby{},
 		inflight: map[callKey]remoteRef{},
 	}
+	n.membership = newMembership(n, opts.Advertise)
+	n.meter = newLoadMeter(opts.Heartbeat / 2)
 	n.ctx, n.cancel = context.WithCancel(context.Background())
 	// Spans recorded from here on carry the cluster identity as their node.
 	sys.SetNodeName(opts.Node)
@@ -199,7 +243,45 @@ func Start(sys *core.System, opts Options) (*Node, error) {
 	n.wg.Add(2)
 	go n.acceptLoop()
 	go n.watchdogLoop()
+	if len(opts.Seeds) > 0 {
+		n.wg.Add(1)
+		go n.seedLoop()
+	}
 	return n, nil
+}
+
+// seedLoop dials the seed list until the node holds at least one link, then
+// keeps watching: if every link is ever lost (full partition, every peer
+// restarted) it resumes dialing, so a node rejoins the cluster without
+// operator action. Gossip takes over from the first successful link.
+func (n *Node) seedLoop() {
+	defer n.wg.Done()
+	try := func() {
+		for _, addr := range n.opts.Seeds {
+			if addr == n.opts.Advertise || addr == n.Addr() {
+				continue // a node may appear in its own seed list
+			}
+			if len(n.Peers()) > 0 {
+				return
+			}
+			if err := n.Join(addr); err != nil {
+				n.opts.Logf("cluster %s: seed %s: %v", n.id, addr, err)
+			}
+		}
+	}
+	try()
+	t := time.NewTicker(2 * n.opts.Heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.ctx.Done():
+			return
+		case <-t.C:
+			if len(n.Peers()) == 0 {
+				try()
+			}
+		}
+	}
 }
 
 // ID returns this node's id.
@@ -262,7 +344,40 @@ func (n *Node) Join(addr string) error {
 // hello builds this node's handshake payload.
 func (n *Node) hello() wire.Hello {
 	return wire.Hello{Node: n.id, System: n.sys.Name(), Components: n.sys.LocalComponents(),
-		MaxVersion: n.opts.MaxWireVersion}
+		MaxVersion: n.opts.MaxWireVersion, Addr: n.opts.Advertise}
+}
+
+// Members returns the gossip membership view, this node included, sorted by
+// id. Entries for dead members are retained — they carry the component and
+// follower assignments failover needs.
+func (n *Node) Members() []Member {
+	return n.membership.members()
+}
+
+// Member returns one membership entry by id.
+func (n *Node) Member(id string) (Member, bool) {
+	return n.membership.member(id)
+}
+
+// Block refuses future links from peer id and severs any current one —
+// a test helper for partition scenarios. The severed link follows the
+// normal failure-detection path (suspect, then dead after the refute
+// window), exactly as a real partition would.
+func (n *Node) Block(id string) {
+	n.mu.Lock()
+	n.blocked[id] = true
+	p := n.peers[id]
+	n.mu.Unlock()
+	if p != nil {
+		n.peerDown(p, "blocked")
+	}
+}
+
+// Unblock lifts a Block; gossip-driven auto-dial re-links the two sides.
+func (n *Node) Unblock(id string) {
+	n.mu.Lock()
+	delete(n.blocked, id)
+	n.mu.Unlock()
 }
 
 // BatchStats reports the egress coalescing counters across all v3+ links:
@@ -319,7 +434,58 @@ func (n *Node) Telemetry() telemetry.Snapshot {
 		}
 		snap.Links = append(snap.Links, ls)
 	}
+	repl := n.repl
 	n.mu.Unlock()
+
+	for _, m := range n.Members() {
+		ms := telemetry.MemberState{
+			ID: m.ID, Addr: m.Addr, Status: m.Status.String(),
+			Incarnation: m.Incarnation, Version: m.Version, Load: m.Load,
+		}
+		for _, c := range m.Components {
+			ms.Components = append(ms.Components, c.Name)
+		}
+		snap.Members = append(snap.Members, ms)
+	}
+
+	if repl != nil {
+		repl.mu.Lock()
+		comps := make([]string, 0, len(repl.states))
+		for comp := range repl.states {
+			comps = append(comps, comp)
+		}
+		sort.Strings(comps)
+		for _, comp := range comps {
+			st := repl.states[comp]
+			rs := telemetry.ReplicationState{
+				Component: comp, Follower: st.follower,
+				ShippedSeq: st.seq, AckedSeq: st.ackedSeq,
+				Bytes: st.bytes, LastError: st.lastErr,
+			}
+			if st.ackedAt == 0 {
+				rs.AckAgeNanos = -1
+			} else {
+				rs.AckAgeNanos = now - st.ackedAt
+			}
+			snap.Replication = append(snap.Replication, rs)
+		}
+		repl.mu.Unlock()
+	}
+
+	n.smu.Lock()
+	scomps := make([]string, 0, len(n.standbys))
+	for comp := range n.standbys {
+		scomps = append(scomps, comp)
+	}
+	sort.Strings(scomps)
+	for _, comp := range scomps {
+		sb := n.standbys[comp]
+		snap.Standbys = append(snap.Standbys, telemetry.StandbyState{
+			Component: comp, Origin: sb.origin, Seq: sb.seq,
+			Bytes: len(sb.state), AgeNanos: now - sb.at.UnixNano(),
+		})
+	}
+	n.smu.Unlock()
 	return snap
 }
 
@@ -372,6 +538,17 @@ func (n *Node) addPeer(conn net.Conn, enc *wire.Encoder, dec *wire.Decoder, h wi
 		conn.Close()
 		return fmt.Errorf("%w: %q vs %q", ErrSystemName, h.System, n.sys.Name())
 	}
+	if h.Node == n.id {
+		conn.Close()
+		return fmt.Errorf("cluster: %s dialed itself", n.id)
+	}
+	n.mu.Lock()
+	refused := n.blocked[h.Node]
+	n.mu.Unlock()
+	if refused {
+		conn.Close()
+		return fmt.Errorf("cluster: peer %s is blocked", h.Node)
+	}
 	p := newPeer(n, h.Node, conn, enc, dec, seen)
 	// Version negotiation: both sides independently compute min(offers) —
 	// the hello carried each side's MaxVersion — so encoder and decoder
@@ -406,6 +583,7 @@ func (n *Node) addPeer(conn net.Conn, enc *wire.Encoder, dec *wire.Decoder, h wi
 	for _, comp := range h.Components {
 		n.learnOwner(comp, h.Node)
 	}
+	n.membership.linkUp(h.Node, h.Addr, h.Components)
 	n.sys.Events().Emit(core.Event{Kind: core.EvPeerUp, At: n.sys.Now(),
 		Component: h.Node, Detail: conn.RemoteAddr().String()})
 	p.start()
@@ -787,22 +965,49 @@ func (n *Node) adopt(decl adl.ComponentDecl, state []byte, hasState bool) error 
 }
 
 // AdoptLocal promotes a component currently served through a gateway to a
-// local instance built from this node's registry with no transferred state
-// — the failover path an EvPeerDown trigger uses when the hosting peer
-// died. The declaration comes from this node's configuration.
+// local instance built from this node's registry — the failover path an
+// EvPeerDown trigger uses when the hosting peer died. When this node holds
+// a fresh warm-standby snapshot for the component (shipped by the dead
+// host's replicator) the instance restarts from it — the warm promotion;
+// without one the component restarts from its config default and a
+// distinct EvStateLost marks the loss on the RAML stream, so operators and
+// tests can tell a lossless failover from a lossy one.
 func (n *Node) AdoptLocal(component string) error {
 	decl, ok := n.sys.Config().Component(component)
 	if !ok {
 		return fmt.Errorf("cluster: adopt-local %s: not declared here", component)
 	}
-	if err := n.adopt(decl, nil, false); err != nil {
+	sb, warm := n.takeStandby(component)
+	var state []byte
+	if warm {
+		state = sb.state
+	}
+	if err := n.adopt(decl, state, warm); err != nil {
 		// Ownership untouched: if the hosting peer is in fact alive, the
 		// still-attached gateway keeps forwarding to it.
+		if warm {
+			// The snapshot was consumed from the table but not used; put it
+			// back so a retry can still promote warm.
+			n.smu.Lock()
+			if _, exists := n.standbys[component]; !exists {
+				n.standbys[component] = sb
+			}
+			n.smu.Unlock()
+		}
 		return err
 	}
 	n.mu.Lock()
 	delete(n.owners, component)
 	n.mu.Unlock()
+	if warm {
+		n.opts.Logf("cluster %s: promoted %s warm (seq %d, %d bytes)",
+			n.id, component, sb.seq, len(sb.state))
+	} else if _, serr := n.sys.SnapshotComponent(component); serr == nil {
+		// Only a capturable (stateful) component adopted cold actually lost
+		// anything; a stateless one restarts from nothing by design.
+		n.sys.Events().Emit(core.Event{Kind: core.EvStateLost, At: n.sys.Now(),
+			Component: component, Detail: "no warm standby: restarted from config default"})
+	}
 	n.announce(wire.Announce{Add: true, Component: component}, "")
 	return nil
 }
@@ -838,7 +1043,9 @@ func (n *Node) handleAnnounce(p *peer, a wire.Announce) {
 	n.mu.Unlock()
 }
 
-// watchdogLoop declares peers down after FailAfter of silence.
+// watchdogLoop declares peers down after FailAfter of silence, promotes
+// suspicions that outlived their refute window to dead, and dials alive
+// members gossip says we should be linked to but are not.
 func (n *Node) watchdogLoop() {
 	defer n.wg.Done()
 	t := time.NewTicker(n.opts.Heartbeat)
@@ -860,16 +1067,75 @@ func (n *Node) watchdogLoop() {
 			for _, p := range stale {
 				n.peerDown(p, "heartbeat timeout")
 			}
+			for _, id := range n.membership.sweep(n.opts.SuspectAfter) {
+				n.memberDead(id, "suspicion unrefuted")
+			}
+			for _, tgt := range n.membership.dialCandidates(n.linkedIDs()) {
+				n.dialMember(tgt)
+			}
 		}
+	}
+}
+
+// dialMember joins a gossip-discovered member in the background.
+func (n *Node) dialMember(t dialTarget) {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		if err := n.Join(t.addr); err != nil {
+			n.opts.Logf("cluster %s: auto-dial %s (%s): %v", n.id, t.id, t.addr, err)
+		}
+	}()
+}
+
+// memberDead emits the converged failure verdict for one member: EvPeerDown
+// on the RAML stream, which failover triggers react to.
+func (n *Node) memberDead(id, reason string) {
+	n.mu.Lock()
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return
+	}
+	n.opts.Logf("cluster %s: member %s dead (%s)", n.id, id, reason)
+	n.sys.Events().Emit(core.Event{Kind: core.EvPeerDown, At: n.sys.Now(),
+		Component: id, Detail: reason})
+}
+
+// handleGossip merges one received view and applies its side effects:
+// EvPeerDown for members the merge declared dead, ownership learned from
+// alive entries, and dials toward discovered members.
+func (n *Node) handleGossip(p *peer, g wire.Gossip) {
+	eff := n.membership.merge(g, n.linkedIDs())
+	for _, id := range eff.newlyDead {
+		n.memberDead(id, "gossip: declared dead by "+p.id)
+	}
+	for _, cl := range eff.claims {
+		if cl.owner == n.id {
+			continue
+		}
+		n.mu.Lock()
+		known := n.owners[cl.comp] == cl.owner
+		n.mu.Unlock()
+		if !known {
+			n.learnOwner(cl.comp, cl.owner)
+		}
+	}
+	for _, tgt := range eff.dialable {
+		n.dialMember(tgt)
 	}
 }
 
 // peerDown tears a peer link down exactly once: the connection closes, its
 // pending remote calls fail fast (the caller sees an error, not a hung
-// timeout), waiting migrations abort, and EvPeerDown hits the RAML stream
-// for failover triggers. Gateways toward the dead peer stay attached — new
-// calls get immediate error replies until an announce or adoption repoints
-// or replaces them.
+// timeout), waiting migrations abort. What it *means* depends on the link
+// version: a lost v7 link only makes the member suspect — EvPeerDown waits
+// for converged suspicion (sweep or merged gossip) so one flaky link cannot
+// trigger cluster-wide failover — while a legacy link's death keeps the old
+// contract and declares the peer dead immediately, since pre-v7 peers
+// cannot be refuted through gossip. Gateways toward the dead peer stay
+// attached — new calls get immediate error replies until an announce or
+// adoption repoints or replaces them.
 func (n *Node) peerDown(p *peer, reason string) {
 	if !p.down.CompareAndSwap(false, true) {
 		return
@@ -882,7 +1148,15 @@ func (n *Node) peerDown(p *peer, reason string) {
 	closed := n.closed
 	n.mu.Unlock()
 	p.failAll("cluster: peer " + p.id + " down: " + reason)
-	if !closed {
+	if closed {
+		return
+	}
+	if p.version >= wire.VersionCluster {
+		n.membership.suspect(p.id)
+		n.opts.Logf("cluster %s: link to %s lost (%s), member suspect", n.id, p.id, reason)
+		return
+	}
+	if n.membership.forceDead(p.id) {
 		n.sys.Events().Emit(core.Event{Kind: core.EvPeerDown, At: n.sys.Now(),
 			Component: p.id, Detail: reason})
 	}

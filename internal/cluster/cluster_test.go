@@ -250,7 +250,7 @@ func TestClusterRemoteCallAndLiveMigration(t *testing.T) {
 		}
 	}
 	drainEvents(events)
-	h.Node("n2").Close()
+	h.Kill("n2")
 	if !waitForEvent(t, events, core.EvPeerDown, "n2", 5*time.Second) {
 		t.Fatal("EvPeerDown for n2 never observed on n1's stream")
 	}
@@ -296,7 +296,7 @@ func TestClusterPeerDownFailover(t *testing.T) {
 	if _, err := sys1.Call("Front", "fetch", "pre"); err != nil {
 		t.Fatalf("pre-failure call: %v", err)
 	}
-	h.Node("n2").Close()
+	h.Kill("n2")
 
 	deadline := time.Now().Add(5 * time.Second)
 	for {
@@ -354,6 +354,9 @@ func TestClusterThreeNodeAnnounce(t *testing.T) {
 		Placement: map[string]string{"Front": "n1", "Store": "n2"},
 		Registry:  testRegistry,
 		Cluster:   fastCluster,
+		// Production-style membership: n2 and n3 learn of each other through
+		// gossip from the shared seed n1 and auto-dial completes the mesh.
+		SeedJoin: true,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -39,6 +39,8 @@ type egressItem struct {
 	streamChunk  wire.StreamChunk
 	streamCredit wire.StreamCredit
 	streamEnd    wire.StreamEnd
+	replicate    wire.Replicate
+	replicateAck wire.ReplicateAck
 	absDeadline  int64 // unix nanos, 0 = none; calls and stream opens only
 }
 
@@ -53,6 +55,8 @@ const (
 	egressStreamChunk
 	egressStreamCredit
 	egressStreamEnd
+	egressReplicate
+	egressReplicateAck
 )
 
 // egress is the coalescing writer of one v3 peer link.
@@ -110,6 +114,18 @@ func (e *egress) enqueueStreamCredit(c wire.StreamCredit) {
 // preserves enqueue order, so an end can never overtake its own chunks.
 func (e *egress) enqueueStreamEnd(s wire.StreamEnd) {
 	e.enqueue(egressItem{kind: egressStreamEnd, streamEnd: s})
+}
+
+// enqueueReplicate queues one outbound warm-standby snapshot (v7 links
+// only). Replication traffic coalesces with calls and replies — shipping a
+// snapshot costs a fraction of a syscall when the link is busy.
+func (e *egress) enqueueReplicate(r wire.Replicate) {
+	e.enqueue(egressItem{kind: egressReplicate, replicate: r})
+}
+
+// enqueueReplicateAck queues one outbound replication acknowledgement.
+func (e *egress) enqueueReplicateAck(a wire.ReplicateAck) {
+	e.enqueue(egressItem{kind: egressReplicateAck, replicateAck: a})
 }
 
 func (e *egress) enqueue(it egressItem) {
@@ -248,6 +264,17 @@ func (e *egress) writeBatch(items []egressItem) {
 			werr = enc.EncodeStreamCredit(it.streamCredit)
 		case egressStreamEnd:
 			werr = enc.EncodeStreamEnd(it.streamEnd)
+		case egressReplicate:
+			if werr = enc.EncodeReplicate(it.replicate); werr != nil && wireDataError(werr) {
+				// An oversized snapshot is a data problem, not a link problem:
+				// drop it (the replicator's next round retries; ack lag shows
+				// the gap) and keep the link up.
+				p.n.opts.Logf("cluster %s: replicate %s seq=%d to %s dropped: %v",
+					p.n.id, it.replicate.Component, it.replicate.Seq, p.id, werr)
+				werr = nil
+			}
+		case egressReplicateAck:
+			werr = enc.EncodeReplicateAck(it.replicateAck)
 		default:
 			if werr = enc.EncodeCall(it.call); werr != nil && wireDataError(werr) {
 				failed = append(failed, it.call)
@@ -294,6 +321,20 @@ func (e *egress) writeBatch(items []egressItem) {
 				}
 			case egressStreamEnd:
 				if werr = enc.BatchAddStreamEnd(it.streamEnd); werr != nil {
+					break
+				}
+			case egressReplicate:
+				if aerr := enc.BatchAddReplicate(it.replicate); aerr != nil {
+					if !wireDataError(aerr) {
+						werr = aerr
+						break
+					}
+					p.n.opts.Logf("cluster %s: replicate %s seq=%d to %s dropped: %v",
+						p.n.id, it.replicate.Component, it.replicate.Seq, p.id, aerr)
+					continue
+				}
+			case egressReplicateAck:
+				if werr = enc.BatchAddReplicateAck(it.replicateAck); werr != nil {
 					break
 				}
 			default:

@@ -303,6 +303,20 @@ func (p *peer) readLoop() {
 						return
 					}
 					p.n.deliverStreamEnd(p, s)
+				case wire.FrameReplicate:
+					r, perr := wire.ParseReplicate(sb)
+					if perr != nil {
+						p.n.peerDown(p, "protocol: "+perr.Error())
+						return
+					}
+					p.n.handleReplicate(p, r)
+				case wire.FrameReplicateAck:
+					a, perr := wire.ParseReplicateAck(sb)
+					if perr != nil {
+						p.n.peerDown(p, "protocol: "+perr.Error())
+						return
+					}
+					p.n.handleReplicateAck(p, a)
 				default:
 					p.n.opts.Logf("cluster %s: unknown batched frame %v from %s", p.n.id, st, p.id)
 				}
@@ -379,6 +393,27 @@ func (p *peer) readLoop() {
 				return
 			}
 			p.n.handleAnnounce(p, a)
+		case wire.FrameGossip:
+			g, perr := wire.ParseGossip(body)
+			if perr != nil {
+				p.n.peerDown(p, "protocol: "+perr.Error())
+				return
+			}
+			p.n.handleGossip(p, g)
+		case wire.FrameReplicate:
+			r, perr := wire.ParseReplicate(body)
+			if perr != nil {
+				p.n.peerDown(p, "protocol: "+perr.Error())
+				return
+			}
+			p.n.handleReplicate(p, r)
+		case wire.FrameReplicateAck:
+			a, perr := wire.ParseReplicateAck(body)
+			if perr != nil {
+				p.n.peerDown(p, "protocol: "+perr.Error())
+				return
+			}
+			p.n.handleReplicateAck(p, a)
 		default:
 			p.n.opts.Logf("cluster %s: unknown frame %v from %s", p.n.id, t, p.id)
 		}
@@ -513,7 +548,11 @@ func (p *peer) handleMigrate(m wire.Migrate) {
 	}
 }
 
-// heartbeatLoop beacons liveness until the link dies.
+// heartbeatLoop beacons liveness until the link dies. On v7 links the
+// beacon is the gossip carrier: instead of an empty heartbeat each tick
+// ships the full membership view (the self entry's version bumps per
+// beacon, which is what lets a relayed fresh view refute a suspicion).
+// Any received frame counts as liveness on the other side either way.
 func (p *peer) heartbeatLoop() {
 	defer p.n.wg.Done()
 	t := time.NewTicker(p.n.opts.Heartbeat)
@@ -526,7 +565,14 @@ func (p *peer) heartbeatLoop() {
 			if p.down.Load() {
 				return
 			}
-			if err := p.send(func(e *wire.Encoder) error { return e.EncodeHeartbeat() }); err != nil {
+			var err error
+			if p.version >= wire.VersionCluster {
+				g := p.n.membership.localView()
+				err = p.send(func(e *wire.Encoder) error { return e.EncodeGossip(g) })
+			} else {
+				err = p.send(func(e *wire.Encoder) error { return e.EncodeHeartbeat() })
+			}
+			if err != nil {
 				p.n.peerDown(p, "heartbeat send: "+err.Error())
 				return
 			}

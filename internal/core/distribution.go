@@ -224,6 +224,21 @@ func (s *System) EvictComponent(name string) error {
 	return s.removeComponentLive(name)
 }
 
+// SnapshotComponent captures a hot copy of a local component's state for
+// warm-standby replication. Unlike the migration path there is no pause or
+// quiesce: the snapshot is taken while the component keeps serving, so the
+// component's own Snapshot implementation must be safe against concurrent
+// invocations (every StateCapturer in this codebase guards its state with
+// its own mutex). Returns container.ErrNotCapturable (wrapped) for
+// stateless components — the replicator uses that to skip them.
+func (s *System) SnapshotComponent(component string) ([]byte, error) {
+	rc, ok := (*s.compView.Load())[component]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownComp, component)
+	}
+	return rc.cont.Snapshot()
+}
+
 // drainServeQueue waits until the component's mailbox is empty and no serve
 // goroutine still holds a popped message. The channel is paused and the
 // container passive, so every queued request is bounced by the container

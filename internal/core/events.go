@@ -38,6 +38,12 @@ const (
 	// timeout (Component carries the peer node id); failover triggers react
 	// to it.
 	EvPeerDown
+	// EvStateLost reports a lossy failover: a component was re-adopted
+	// after its host died without any warm standby snapshot, so it
+	// restarted from the config default and its runtime state is gone.
+	// Distinct from the warm-promotion path so operators and tests can
+	// tell the two apart (Component carries the component name).
+	EvStateLost
 )
 
 var eventNames = map[EventKind]string{
@@ -48,7 +54,7 @@ var eventNames = map[EventKind]string{
 	EvReconfigRolledBack: "reconfig-rolled-back", EvAdaptation: "adaptation",
 	EvMigration: "migration", EvSwap: "swap", EvTriggerFired: "trigger-fired",
 	EvGuardFailed: "guard-failed", EvTriggerActionFailed: "trigger-action-failed",
-	EvPeerUp: "peer-up", EvPeerDown: "peer-down",
+	EvPeerUp: "peer-up", EvPeerDown: "peer-down", EvStateLost: "state-lost",
 }
 
 // String implements fmt.Stringer.

@@ -1,0 +1,215 @@
+// Live-feed planning: the adapters that let the deployment planners run
+// against *observed* cluster state instead of a declared requirement list.
+// The static planners in planner.go answer "where should these components
+// go, from scratch, on this topology"; the live planner here answers the
+// runtime question "given where everything is now and what load each
+// component is actually seeing, which few migrations are worth their cost".
+// The cluster placer feeds it from gossip + telemetry snapshots and enacts
+// the returned moves through live migration.
+package deploy
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/netsim"
+	"repro/internal/telemetry"
+)
+
+// LiveInput is a point-in-time view of a running cluster: the alive nodes,
+// the current component placement, and each component's observed load in
+// any consistent unit (the cluster meter uses EWMA-smoothed busy
+// nanoseconds per second; the snapshot adapter uses the admission
+// estimator's per-request cost). Components missing from Load count as 0.
+type LiveInput struct {
+	Nodes     []string
+	Placement map[string]string
+	Load      map[string]float64
+}
+
+// LivePlanner decides migrations from observed state. Implementations must
+// be deterministic: every node of a cluster runs the same planner over the
+// (converged) same input, and each enacts only the moves departing from
+// itself — determinism is what makes that coordination-free.
+type LivePlanner interface {
+	PlanLive(in LiveInput) []Move
+}
+
+// Steady is the no-move planner: the strategy selector rests on it while
+// load skew stays under the rebalance guard's threshold, which is half of
+// the feedback loop's damping (the other half is Rebalance.MinGain).
+type Steady struct{}
+
+// PlanLive returns no moves.
+func (Steady) PlanLive(LiveInput) []Move { return nil }
+
+// Rebalance is a deterministic, current-placement-aware greedy planner: it
+// repeatedly moves one component from the most-loaded node to the
+// least-loaded node, choosing the component whose load is closest to half
+// the gap (the move that best levels the pair), and only while the move
+// improves the load spread by at least MinGain. Unlike the from-scratch
+// planners it is idempotent by construction — re-planning a balanced
+// cluster yields an empty plan, because the first candidate move fails the
+// gain test — so a converged cluster generates no migration churn.
+type Rebalance struct {
+	// MinGain is the fractional reduction of the node-load standard
+	// deviation a move must achieve to be worth a live migration
+	// (default 0.1). This is the hysteresis band: loads inside it are
+	// "balanced enough" and produce an empty plan.
+	MinGain float64
+	// MaxMoves caps the moves per planning round (default 1): the loop
+	// re-observes after each enacted move, so planning conservatively and
+	// re-planning beats predicting a long move sequence from stale load.
+	MaxMoves int
+}
+
+// PlanLive computes the rebalancing moves for in.
+func (r Rebalance) PlanLive(in LiveInput) []Move {
+	minGain := r.MinGain
+	if minGain <= 0 {
+		minGain = 0.1
+	}
+	maxMoves := r.MaxMoves
+	if maxMoves <= 0 {
+		maxMoves = 1
+	}
+	if len(in.Nodes) < 2 {
+		return nil
+	}
+	nodes := append([]string(nil), in.Nodes...)
+	sort.Strings(nodes)
+	valid := make(map[string]bool, len(nodes))
+	for _, id := range nodes {
+		valid[id] = true
+	}
+	nodeLoad := make(map[string]float64, len(nodes))
+	for _, id := range nodes {
+		nodeLoad[id] = 0
+	}
+	// Components placed on nodes outside the alive set are not movable by
+	// this planner (their host is gone or unknown); skip them rather than
+	// double-assign.
+	comps := make([]string, 0, len(in.Placement))
+	for c, host := range in.Placement {
+		if !valid[host] {
+			continue
+		}
+		comps = append(comps, c)
+		nodeLoad[host] += in.Load[c]
+	}
+	sort.Strings(comps)
+	placed := make(map[string]string, len(comps))
+	for _, c := range comps {
+		placed[c] = in.Placement[c]
+	}
+
+	var moves []Move
+	for len(moves) < maxMoves {
+		src, dst := "", ""
+		for _, id := range nodes {
+			if src == "" || nodeLoad[id] > nodeLoad[src] {
+				src = id
+			}
+			if dst == "" || nodeLoad[id] < nodeLoad[dst] {
+				dst = id
+			}
+		}
+		gap := nodeLoad[src] - nodeLoad[dst]
+		if src == dst || gap <= 0 {
+			break
+		}
+		before := loadStdDev(nodes, nodeLoad)
+		// The component whose load is closest to half the gap levels the
+		// pair best; anything heavier than the gap would just swap the
+		// imbalance around.
+		best, bestDist := "", math.Inf(1)
+		for _, c := range comps {
+			if placed[c] != src {
+				continue
+			}
+			l := in.Load[c]
+			if l <= 0 || l >= gap {
+				continue
+			}
+			if d := math.Abs(gap/2 - l); d < bestDist {
+				best, bestDist = c, d
+			}
+		}
+		if best == "" {
+			break
+		}
+		l := in.Load[best]
+		nodeLoad[src] -= l
+		nodeLoad[dst] += l
+		after := loadStdDev(nodes, nodeLoad)
+		if after > before*(1-minGain) {
+			break // not worth a live migration: inside the hysteresis band
+		}
+		placed[best] = dst
+		moves = append(moves, Move{Component: best, From: netsim.NodeID(src), To: netsim.NodeID(dst)})
+	}
+	return moves
+}
+
+func loadStdDev(nodes []string, load map[string]float64) float64 {
+	xs := make([]float64, 0, len(nodes))
+	for _, id := range nodes {
+		xs = append(xs, load[id])
+	}
+	return stddev(xs)
+}
+
+// LoadSkew summarizes a LiveInput's imbalance as the coefficient of
+// variation of per-node load (stddev/mean, 0 when idle). This is the metric
+// the cluster placer feeds the strategy selector's rebalance guard.
+func LoadSkew(in LiveInput) float64 {
+	if len(in.Nodes) == 0 {
+		return 0
+	}
+	valid := make(map[string]bool, len(in.Nodes))
+	nodeLoad := make(map[string]float64, len(in.Nodes))
+	for _, id := range in.Nodes {
+		valid[id] = true
+		nodeLoad[id] = 0
+	}
+	total := 0.0
+	for c, host := range in.Placement {
+		if !valid[host] {
+			continue
+		}
+		nodeLoad[host] += in.Load[c]
+		total += in.Load[c]
+	}
+	mean := total / float64(len(in.Nodes))
+	if mean <= 0 {
+		return 0
+	}
+	return loadStdDev(in.Nodes, nodeLoad) / mean
+}
+
+// FromSnapshots builds a LiveInput from one telemetry snapshot per node —
+// the bridge between the PR 9 observability plane and the planners. Each
+// snapshot's admission section attributes its components to that node with
+// the admission estimator's EWMA cost estimate as the load signal; a
+// component reported by several nodes (a snapshot raced a migration) goes
+// to the node whose snapshot is newest.
+func FromSnapshots(snaps []telemetry.Snapshot) LiveInput {
+	in := LiveInput{Placement: map[string]string{}, Load: map[string]float64{}}
+	taken := map[string]int64{}
+	for _, s := range snaps {
+		if s.Node == "" {
+			continue
+		}
+		in.Nodes = append(in.Nodes, s.Node)
+		for _, a := range s.Admission {
+			if prev, ok := taken[a.Component]; ok && prev >= s.TakenNanos {
+				continue
+			}
+			taken[a.Component] = s.TakenNanos
+			in.Placement[a.Component] = s.Node
+			in.Load[a.Component] = a.EstimateNanos
+		}
+	}
+	sort.Strings(in.Nodes)
+	return in
+}

@@ -1,0 +1,232 @@
+package deploy
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/strategy"
+	"repro/internal/telemetry"
+)
+
+// skewedInput: three nodes, all load on a; the planner should move exactly
+// one component toward the idle side per round.
+func skewedInput() LiveInput {
+	return LiveInput{
+		Nodes:     []string{"a", "b", "c"},
+		Placement: map[string]string{"w": "a", "x": "a", "y": "a", "z": "a"},
+		Load:      map[string]float64{"w": 4e6, "x": 3e6, "y": 2e6, "z": 1e6},
+	}
+}
+
+func TestRebalanceMovesFromHotToCold(t *testing.T) {
+	in := skewedInput()
+	moves := (Rebalance{}).PlanLive(in)
+	if len(moves) != 1 {
+		t.Fatalf("moves = %v, want exactly one", moves)
+	}
+	mv := moves[0]
+	if string(mv.From) != "a" {
+		t.Fatalf("move departs %s, want the hot node a", mv.From)
+	}
+	if string(mv.To) != "b" {
+		t.Fatalf("move lands on %s, want the first-sorted idle node b", mv.To)
+	}
+	// Total load 10e6 over three nodes: the gap a→b is 10e6, half-gap 5e6,
+	// and w (4e6) is the component closest to it.
+	if mv.Component != "w" {
+		t.Fatalf("moved %s, want w (closest to half the gap)", mv.Component)
+	}
+}
+
+func TestRebalanceMultiRoundConverges(t *testing.T) {
+	in := skewedInput()
+	// Re-plan round by round, applying each move, as the placer loop does.
+	for round := 0; round < 10; round++ {
+		moves := (Rebalance{}).PlanLive(in)
+		if len(moves) == 0 {
+			break
+		}
+		for _, mv := range moves {
+			in.Placement[mv.Component] = string(mv.To)
+		}
+	}
+	// Converged: replanning yields the empty delta (idempotence), and no
+	// node holds everything anymore.
+	if moves := (Rebalance{}).PlanLive(in); len(moves) != 0 {
+		t.Fatalf("replanning a converged cluster returned %v, want empty", moves)
+	}
+	perNode := map[string]int{}
+	for _, host := range in.Placement {
+		perNode[host]++
+	}
+	if perNode["a"] == 4 {
+		t.Fatalf("no load ever left the hot node: %v", in.Placement)
+	}
+}
+
+func TestRebalanceIdempotentOnBalancedInput(t *testing.T) {
+	in := LiveInput{
+		Nodes:     []string{"a", "b"},
+		Placement: map[string]string{"x": "a", "y": "b"},
+		Load:      map[string]float64{"x": 1e6, "y": 1e6},
+	}
+	if moves := (Rebalance{}).PlanLive(in); len(moves) != 0 {
+		t.Fatalf("balanced cluster planned %v, want empty", moves)
+	}
+	// Mild imbalance inside the gain band must also plan nothing — this is
+	// the hysteresis that prevents migration churn.
+	in.Load["x"] = 1.05e6
+	if moves := (Rebalance{MinGain: 0.5}).PlanLive(in); len(moves) != 0 {
+		t.Fatalf("imbalance inside the gain band planned %v, want empty", moves)
+	}
+}
+
+func TestRebalanceSkipsComponentsOnDeadHosts(t *testing.T) {
+	in := LiveInput{
+		Nodes:     []string{"a", "b"},
+		Placement: map[string]string{"x": "gone", "y": "a"},
+		Load:      map[string]float64{"x": 9e6, "y": 1e6},
+	}
+	for _, mv := range (Rebalance{MaxMoves: 4}).PlanLive(in) {
+		if mv.Component == "x" {
+			t.Fatalf("planned a move for a component on a dead host: %v", mv)
+		}
+	}
+}
+
+func TestFromSnapshotsBuildsLiveInput(t *testing.T) {
+	snaps := []telemetry.Snapshot{
+		{Node: "a", TakenNanos: 100, Admission: []telemetry.AdmissionState{
+			{Component: "x", EstimateNanos: 5e5},
+			{Component: "y", EstimateNanos: 2e5},
+		}},
+		{Node: "b", TakenNanos: 200, Admission: []telemetry.AdmissionState{
+			// x reported by b too, with a newer snapshot: a raced a
+			// migration and b's claim wins.
+			{Component: "x", EstimateNanos: 7e5},
+		}},
+	}
+	in := FromSnapshots(snaps)
+	if len(in.Nodes) != 2 || in.Nodes[0] != "a" || in.Nodes[1] != "b" {
+		t.Fatalf("nodes = %v", in.Nodes)
+	}
+	if in.Placement["x"] != "b" {
+		t.Fatalf("x placed on %s, want b (newest snapshot wins)", in.Placement["x"])
+	}
+	if in.Load["x"] != 7e5 || in.Load["y"] != 2e5 {
+		t.Fatalf("loads = %v", in.Load)
+	}
+}
+
+func TestLoadSkew(t *testing.T) {
+	balanced := LiveInput{
+		Nodes:     []string{"a", "b"},
+		Placement: map[string]string{"x": "a", "y": "b"},
+		Load:      map[string]float64{"x": 1e6, "y": 1e6},
+	}
+	if s := LoadSkew(balanced); s != 0 {
+		t.Fatalf("balanced skew = %v, want 0", s)
+	}
+	skewed := LiveInput{
+		Nodes:     []string{"a", "b"},
+		Placement: map[string]string{"x": "a", "y": "a"},
+		Load:      map[string]float64{"x": 1e6, "y": 1e6},
+	}
+	if s := LoadSkew(skewed); s != 1 {
+		t.Fatalf("one-sided two-node skew = %v, want 1 (stddev==mean)", s)
+	}
+	if s := LoadSkew(LiveInput{Nodes: []string{"a", "b"}}); s != 0 {
+		t.Fatalf("idle skew = %v, want 0", s)
+	}
+}
+
+// TestSelectorDrivesLivePlanner wires the strategy selector exactly as the
+// cluster placer does — steady vs rebalance behind a skew guard with a
+// two-threshold hysteresis band — and walks it through a load swing on a
+// simulated clock.
+func TestSelectorDrivesLivePlanner(t *testing.T) {
+	sim := clock.NewSim(time.Date(2003, 5, 19, 0, 0, 0, 0, time.UTC))
+	const threshold = 0.25
+	sel := strategy.NewSelector[LivePlanner](sim, 2*time.Second)
+	if err := sel.Register("steady", Steady{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sel.Register("balance", Rebalance{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sel.AddGuard(strategy.Guard{
+		Name: "load-skew", Priority: 1,
+		When: func(m strategy.Metrics) bool { return m["skew"] > threshold },
+		Use:  "balance",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sel.AddGuard(strategy.Guard{
+		Name: "steady-state", Priority: 0,
+		When: func(m strategy.Metrics) bool { return m["skew"] <= threshold/2 },
+		Use:  "steady",
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	step := func(in LiveInput) []Move {
+		sel.Evaluate(strategy.Metrics{"skew": LoadSkew(in)})
+		_, planner := sel.Current()
+		return planner.PlanLive(in)
+	}
+
+	// Quiet cluster: steady, no moves.
+	balanced := LiveInput{
+		Nodes:     []string{"a", "b"},
+		Placement: map[string]string{"x": "a", "y": "b"},
+		Load:      map[string]float64{"x": 1e6, "y": 1e6},
+	}
+	if moves := step(balanced); len(moves) != 0 {
+		t.Fatalf("steady state planned %v", moves)
+	}
+	if name, _ := sel.Current(); name != "steady" {
+		t.Fatalf("strategy = %s, want steady", name)
+	}
+
+	// Load swings hot on one side: the guard arms the rebalance planner and
+	// it emits a delta.
+	sim.Advance(3 * time.Second)
+	hot := LiveInput{
+		Nodes:     []string{"a", "b"},
+		Placement: map[string]string{"x": "a", "y": "a"},
+		Load:      map[string]float64{"x": 3e6, "y": 1e6},
+	}
+	moves := step(hot)
+	if name, _ := sel.Current(); name != "balance" {
+		t.Fatalf("strategy = %s, want balance", name)
+	}
+	// Gap a→b is 4e6, half-gap 2e6: x (3e6) and y (1e6) are equidistant and
+	// the planner deterministically keeps the first in sorted order.
+	if len(moves) != 1 || moves[0].Component != "x" || string(moves[0].To) != "b" {
+		t.Fatalf("moves = %v, want x -> b", moves)
+	}
+
+	// Skew inside the hysteresis band (between threshold/2 and threshold):
+	// neither guard fires, the selector stays where it is — no thrashing.
+	sim.Advance(3 * time.Second)
+	mid := LiveInput{
+		Nodes:     []string{"a", "b"},
+		Placement: map[string]string{"x": "a", "y": "b"},
+		Load:      map[string]float64{"x": 1.4e6, "y": 1e6},
+	}
+	if LoadSkew(mid) <= threshold/2 || LoadSkew(mid) > threshold {
+		t.Fatalf("test input skew %v not inside the hysteresis band", LoadSkew(mid))
+	}
+	step(mid)
+	if name, _ := sel.Current(); name != "balance" {
+		t.Fatalf("strategy flapped to %s inside the hysteresis band", name)
+	}
+
+	// Fully settled: the rest guard brings it back to steady.
+	sim.Advance(3 * time.Second)
+	step(balanced)
+	if name, _ := sel.Current(); name != "steady" {
+		t.Fatalf("strategy = %s after settling, want steady", name)
+	}
+}

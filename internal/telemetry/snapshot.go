@@ -26,6 +26,11 @@ type Snapshot struct {
 	Admission   []AdmissionState   `json:"admission,omitempty"`
 	Links       []LinkState        `json:"links,omitempty"`
 	GatewayShed uint64             `json:"gateway_shed"`
+
+	// Elastic-plane sections (cluster.Node fills these on v7 clusters).
+	Members     []MemberState      `json:"members,omitempty"`
+	Replication []ReplicationState `json:"replication,omitempty"`
+	Standbys    []StandbyState     `json:"standbys,omitempty"`
 }
 
 // BusCounters is the software bus's conservation ledger. When the bus is
@@ -82,4 +87,39 @@ type LinkState struct {
 	LastSeenNanos  int64  `json:"last_seen_nanos"`
 	SinceSeenNanos int64  `json:"since_seen_nanos"`
 	Down           bool   `json:"down"`
+}
+
+// MemberState is one row of the gossip membership view: liveness verdict,
+// gossiped load, and the components the member hosts.
+type MemberState struct {
+	ID          string   `json:"id"`
+	Addr        string   `json:"addr,omitempty"`
+	Status      string   `json:"status"`
+	Incarnation uint64   `json:"incarnation"`
+	Version     uint64   `json:"version"`
+	Load        float64  `json:"load"`
+	Components  []string `json:"components,omitempty"`
+}
+
+// ReplicationState is the outbound warm-standby bookkeeping for one
+// component this node replicates: where the snapshots go and how far the
+// follower's acknowledgements lag behind what was shipped.
+type ReplicationState struct {
+	Component   string `json:"component"`
+	Follower    string `json:"follower,omitempty"`
+	ShippedSeq  uint64 `json:"shipped_seq"`
+	AckedSeq    uint64 `json:"acked_seq"`
+	AckAgeNanos int64  `json:"ack_age_nanos"` // -1 when never acked
+	Bytes       int    `json:"bytes"`
+	LastError   string `json:"last_error,omitempty"`
+}
+
+// StandbyState is one warm snapshot this node holds for a peer's component,
+// ready for promotion on that peer's death.
+type StandbyState struct {
+	Component string `json:"component"`
+	Origin    string `json:"origin"`
+	Seq       uint64 `json:"seq"`
+	Bytes     int    `json:"bytes"`
+	AgeNanos  int64  `json:"age_nanos"`
 }

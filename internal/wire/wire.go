@@ -69,11 +69,20 @@ const (
 	// encoder on a link negotiated below v6 simply omits the trailer, so
 	// calls cross mixed-version links fine and spans terminate at the link.
 	VersionTrace = 6
+	// VersionCluster (7) adds the elastic cluster plane: FrameGossip
+	// carries the full membership view (incarnation-numbered member
+	// entries with per-component load and follower assignments) on the
+	// heartbeat cadence, and FrameReplicate/FrameReplicateAck ship warm
+	// standby state snapshots to a follower. Negotiated like v3–v6; none
+	// of these frames is ever put on a link negotiated below 7, so v6
+	// peers interoperate with only the direct-link watchdog and lossy
+	// failover they already had.
+	VersionCluster = 7
 	// MinVersion and MaxVersion bound the versions this build speaks. A
 	// decoder accepts any frame version in the range; what an encoder emits
 	// is fixed by the link's negotiated version.
 	MinVersion = Version
-	MaxVersion = VersionTrace
+	MaxVersion = VersionCluster
 
 	headerSize = 8
 	// MaxFrame bounds a single frame body (migration states included).
@@ -134,6 +143,23 @@ const (
 	// After sending it the producer forgets the correlation; after
 	// receiving it the consumer does.
 	FrameStreamEnd
+	// FrameGossip (v7 links only) carries the sender's full membership
+	// view: one entry per known member with incarnation, entry version,
+	// status, aggregate load, and the components it hosts (each with its
+	// observed load and replication follower). Sent in place of the bare
+	// heartbeat on v7 links — any frame counts as liveness — so membership
+	// converges at the beacon cadence with no extra traffic class.
+	FrameGossip
+	// FrameReplicate (v7 links only) ships one warm-standby state snapshot
+	// of a component to its follower: monotonically sequenced per
+	// component so a reordered or replayed snapshot can never roll a
+	// standby backwards. Coalesces into FrameBatch like calls do.
+	FrameReplicate
+	// FrameReplicateAck (v7 links only) confirms a standby snapshot was
+	// installed (or refused); the origin tracks the last-acked sequence
+	// per component, which is the replication-lag figure telemetry
+	// reports and the state a promoted follower is guaranteed to have.
+	FrameReplicateAck
 )
 
 // String implements fmt.Stringer.
@@ -167,6 +193,12 @@ func (t FrameType) String() string {
 		return "stream-credit"
 	case FrameStreamEnd:
 		return "stream-end"
+	case FrameGossip:
+		return "gossip"
+	case FrameReplicate:
+		return "replicate"
+	case FrameReplicateAck:
+		return "replicate-ack"
 	default:
 		return "unknown"
 	}
@@ -412,6 +444,11 @@ type Hello struct {
 	// compatible: absent on the wire means a legacy v2 peer. Both sides use
 	// min(ours, theirs) for every frame after the handshake.
 	MaxVersion uint8
+	// Addr is the sender's advertised listen address, so gossip can tell
+	// third parties where to dial this member. Rides as a second trailing
+	// field after MaxVersion — pre-v7 parsers stop at the uvarint and
+	// ignore it; absent on the wire means the peer did not advertise one.
+	Addr string
 }
 
 // Call is one remote invocation routed through a gateway endpoint.
@@ -497,6 +534,65 @@ type Announce struct {
 	Component string
 }
 
+// Member statuses carried in gossip entries. The numbering is the merge
+// precedence at equal (Incarnation, Version): a worse status wins.
+const (
+	GossipAlive   = 1
+	GossipSuspect = 2
+	GossipDead    = 3
+)
+
+// GossipComp is one hosted component inside a gossip entry: its observed
+// load (EWMA-smoothed busy nanoseconds per second, from the admission
+// estimator) and the node id of its replication follower ("" = none). The
+// follower assignment riding gossip is what lets every node agree, without
+// any coordination frame, on who promotes a component when its host dies.
+type GossipComp struct {
+	Name     string
+	Load     float64
+	Follower string
+}
+
+// GossipMember is one member entry in a gossip exchange. Incarnation orders
+// reincarnations of the same node id (a member refutes its own suspicion by
+// bumping it); Version orders updates within one incarnation (the origin
+// bumps it every beacon, so a fresh heartbeat relayed through any path
+// clears a stale suspicion). Merge rule: higher Incarnation wins, then
+// higher Version, then worse Status.
+type GossipMember struct {
+	Node        string
+	Addr        string
+	Incarnation uint64
+	Version     uint64
+	Status      uint8
+	Load        float64
+	Comps       []GossipComp
+}
+
+// Gossip is the full membership view one node pushes to a v7 peer in place
+// of the bare heartbeat.
+type Gossip struct {
+	Members []GossipMember
+}
+
+// Replicate ships one warm-standby state snapshot to a follower (v7 links
+// only). Seq is monotonic per (origin, component); a follower ignores any
+// snapshot at or below the sequence it already installed.
+type Replicate struct {
+	Corr      uint64
+	Component string
+	Seq       uint64
+	State     []byte
+}
+
+// ReplicateAck confirms (empty Err) or refuses a standby snapshot.
+type ReplicateAck struct {
+	Corr      uint64
+	Component string
+	Seq       uint64
+	Err       string
+}
+
 // ---------------------------------------------------------------------------
 // Body encoders/decoders.
 
@@ -512,7 +608,8 @@ func AppendHello(dst []byte, h Hello) []byte {
 	if max < Version {
 		max = Version
 	}
-	return binary.AppendUvarint(dst, uint64(max))
+	dst = binary.AppendUvarint(dst, uint64(max))
+	return AppendString(dst, h.Addr)
 }
 
 // ParseHello decodes a Hello body.
@@ -551,6 +648,13 @@ func ParseHello(b []byte) (Hello, error) {
 		if max > Version && max < 256 {
 			h.MaxVersion = uint8(max)
 		}
+		b = b[n:]
+	}
+	if len(b) > 0 {
+		if h.Addr, b, err = ReadString(b); err != nil {
+			return h, err
+		}
+		_ = b // further trailing fields belong to newer builds
 	}
 	return h, nil
 }
@@ -996,6 +1100,166 @@ func ParseAnnounce(b []byte) (Announce, error) {
 	return a, err
 }
 
+func appendFloat64(dst []byte, f float64) []byte {
+	return binary.BigEndian.AppendUint64(dst, math.Float64bits(f))
+}
+
+func readFloat64(b []byte) (float64, []byte, error) {
+	if len(b) < 8 {
+		return 0, b, ErrTruncated
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(b)), b[8:], nil
+}
+
+// AppendGossip encodes g (v7 links only). Same hand-rolled tag-free layout
+// as every other body — the beacon path stays off reflection.
+func AppendGossip(dst []byte, g Gossip) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(g.Members)))
+	for _, m := range g.Members {
+		dst = AppendString(dst, m.Node)
+		dst = AppendString(dst, m.Addr)
+		dst = binary.AppendUvarint(dst, m.Incarnation)
+		dst = binary.AppendUvarint(dst, m.Version)
+		dst = append(dst, m.Status)
+		dst = appendFloat64(dst, m.Load)
+		dst = binary.AppendUvarint(dst, uint64(len(m.Comps)))
+		for _, c := range m.Comps {
+			dst = AppendString(dst, c.Name)
+			dst = appendFloat64(dst, c.Load)
+			dst = AppendString(dst, c.Follower)
+		}
+	}
+	return dst
+}
+
+// ParseGossip decodes a Gossip body.
+func ParseGossip(b []byte) (Gossip, error) {
+	var g Gossip
+	count, n := binary.Uvarint(b)
+	if n <= 0 {
+		return g, ErrTruncated
+	}
+	b = b[n:]
+	if count > uint64(len(b)) {
+		return g, ErrTruncated
+	}
+	g.Members = make([]GossipMember, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var (
+			m   GossipMember
+			err error
+		)
+		if m.Node, b, err = ReadString(b); err != nil {
+			return g, err
+		}
+		if m.Addr, b, err = ReadString(b); err != nil {
+			return g, err
+		}
+		if m.Incarnation, n = binary.Uvarint(b); n <= 0 {
+			return g, ErrTruncated
+		}
+		b = b[n:]
+		if m.Version, n = binary.Uvarint(b); n <= 0 {
+			return g, ErrTruncated
+		}
+		b = b[n:]
+		if len(b) < 1 {
+			return g, ErrTruncated
+		}
+		m.Status = b[0]
+		b = b[1:]
+		if m.Load, b, err = readFloat64(b); err != nil {
+			return g, err
+		}
+		nc, n := binary.Uvarint(b)
+		if n <= 0 {
+			return g, ErrTruncated
+		}
+		b = b[n:]
+		if nc > uint64(len(b)) {
+			return g, ErrTruncated
+		}
+		if nc > 0 {
+			m.Comps = make([]GossipComp, 0, nc)
+		}
+		for j := uint64(0); j < nc; j++ {
+			var c GossipComp
+			if c.Name, b, err = ReadString(b); err != nil {
+				return g, err
+			}
+			if c.Load, b, err = readFloat64(b); err != nil {
+				return g, err
+			}
+			if c.Follower, b, err = ReadString(b); err != nil {
+				return g, err
+			}
+			m.Comps = append(m.Comps, c)
+		}
+		g.Members = append(g.Members, m)
+	}
+	return g, nil
+}
+
+// AppendReplicate encodes r (v7 links only).
+func AppendReplicate(dst []byte, r Replicate) []byte {
+	dst = binary.AppendUvarint(dst, r.Corr)
+	dst = AppendString(dst, r.Component)
+	dst = binary.AppendUvarint(dst, r.Seq)
+	return AppendBytes(dst, r.State)
+}
+
+// ParseReplicate decodes a Replicate body.
+func ParseReplicate(b []byte) (Replicate, error) {
+	var (
+		r   Replicate
+		err error
+	)
+	var n int
+	if r.Corr, n = binary.Uvarint(b); n <= 0 {
+		return r, ErrTruncated
+	}
+	b = b[n:]
+	if r.Component, b, err = ReadString(b); err != nil {
+		return r, err
+	}
+	if r.Seq, n = binary.Uvarint(b); n <= 0 {
+		return r, ErrTruncated
+	}
+	b = b[n:]
+	r.State, _, err = ReadBytes(b)
+	return r, err
+}
+
+// AppendReplicateAck encodes a (v7 links only).
+func AppendReplicateAck(dst []byte, a ReplicateAck) []byte {
+	dst = binary.AppendUvarint(dst, a.Corr)
+	dst = AppendString(dst, a.Component)
+	dst = binary.AppendUvarint(dst, a.Seq)
+	return AppendString(dst, a.Err)
+}
+
+// ParseReplicateAck decodes a ReplicateAck body.
+func ParseReplicateAck(b []byte) (ReplicateAck, error) {
+	var (
+		a   ReplicateAck
+		err error
+	)
+	var n int
+	if a.Corr, n = binary.Uvarint(b); n <= 0 {
+		return a, ErrTruncated
+	}
+	b = b[n:]
+	if a.Component, b, err = ReadString(b); err != nil {
+		return a, err
+	}
+	if a.Seq, n = binary.Uvarint(b); n <= 0 {
+		return a, ErrTruncated
+	}
+	b = b[n:]
+	a.Err, _, err = ReadString(b)
+	return a, err
+}
+
 // ---------------------------------------------------------------------------
 // Framed stream I/O.
 
@@ -1151,6 +1415,22 @@ func (e *Encoder) EncodeAnnounce(a Announce) error {
 	return e.flushFrame(FrameAnnounce, AppendAnnounce(e.body(), a))
 }
 
+// EncodeGossip writes a FrameGossip. The caller must have negotiated v7 on
+// this link; toward older peers send the bare heartbeat instead.
+func (e *Encoder) EncodeGossip(g Gossip) error {
+	return e.flushFrame(FrameGossip, AppendGossip(e.body(), g))
+}
+
+// EncodeReplicate writes a FrameReplicate (v7 links only).
+func (e *Encoder) EncodeReplicate(r Replicate) error {
+	return e.flushFrame(FrameReplicate, AppendReplicate(e.body(), r))
+}
+
+// EncodeReplicateAck writes a FrameReplicateAck (v7 links only).
+func (e *Encoder) EncodeReplicateAck(a ReplicateAck) error {
+	return e.flushFrame(FrameReplicateAck, AppendReplicateAck(e.body(), a))
+}
+
 // ---------------------------------------------------------------------------
 // Batch assembly (v3). A batch is built incrementally — BeginBatch, then any
 // mix of BatchAddCall/BatchAddReply, then FlushBatch — and goes out as one
@@ -1222,6 +1502,19 @@ func (e *Encoder) BatchAddStreamCredit(c StreamCredit) error {
 // (v5 links only).
 func (e *Encoder) BatchAddStreamEnd(s StreamEnd) error {
 	return e.batchAdd(FrameStreamEnd, func(dst []byte) ([]byte, error) { return AppendStreamEnd(dst, s), nil })
+}
+
+// BatchAddReplicate appends a standby-snapshot sub-frame to the pending
+// batch (v7 links only) — replication shares the coalesced egress write
+// with calls and replies instead of paying its own syscall.
+func (e *Encoder) BatchAddReplicate(r Replicate) error {
+	return e.batchAdd(FrameReplicate, func(dst []byte) ([]byte, error) { return AppendReplicate(dst, r), nil })
+}
+
+// BatchAddReplicateAck appends a replicate-ack sub-frame to the pending
+// batch (v7 links only).
+func (e *Encoder) BatchAddReplicateAck(a ReplicateAck) error {
+	return e.batchAdd(FrameReplicateAck, func(dst []byte) ([]byte, error) { return AppendReplicateAck(dst, a), nil })
 }
 
 // BatchLen reports the assembled batch size in bytes (header included).

@@ -526,3 +526,129 @@ func TestStreamFramesRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+func TestGossipRoundTrip(t *testing.T) {
+	var conn bytes.Buffer
+	enc := NewEncoder(&conn)
+	enc.SetVersion(VersionCluster)
+	dec := NewDecoder(&conn)
+
+	g := Gossip{Members: []GossipMember{
+		{Node: "n1", Addr: "127.0.0.1:7001", Incarnation: 3, Version: 91, Status: GossipAlive,
+			Load: 0.75, Comps: []GossipComp{
+				{Name: "Store", Load: 1.25e6, Follower: "n2"},
+				{Name: "Front", Load: 0, Follower: ""},
+			}},
+		{Node: "n2", Addr: "127.0.0.1:7002", Incarnation: 1, Version: 40, Status: GossipSuspect, Load: 0.1},
+		{Node: "n3", Addr: "", Incarnation: 0, Version: 0, Status: GossipDead},
+	}}
+	if err := enc.EncodeGossip(g); err != nil {
+		t.Fatal(err)
+	}
+	typ, body, err := dec.Next()
+	if err != nil || typ != FrameGossip {
+		t.Fatalf("frame: %v %v", typ, err)
+	}
+	got, err := ParseGossip(body)
+	if err != nil || !reflect.DeepEqual(got, g) {
+		t.Fatalf("gossip round trip: %#v %v", got, err)
+	}
+	if _, err := ParseGossip(body[:len(body)-3]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated gossip: %v", err)
+	}
+	if _, err := ParseGossip(nil); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("empty gossip: %v", err)
+	}
+}
+
+func TestReplicateRoundTrip(t *testing.T) {
+	var conn bytes.Buffer
+	enc := NewEncoder(&conn)
+	enc.SetVersion(VersionCluster)
+	dec := NewDecoder(&conn)
+
+	rep := Replicate{Corr: 11, Component: "Store", Seq: 42, State: []byte("snapshot-bytes")}
+	ack := ReplicateAck{Corr: 11, Component: "Store", Seq: 42, Err: "busy"}
+
+	if err := enc.EncodeReplicate(rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.EncodeReplicateAck(ack); err != nil {
+		t.Fatal(err)
+	}
+	enc.BeginBatch()
+	if err := enc.BatchAddReplicate(rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.BatchAddReplicateAck(ack); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.FlushBatch(); err != nil {
+		t.Fatal(err)
+	}
+
+	typ, body, err := dec.Next()
+	if err != nil || typ != FrameReplicate {
+		t.Fatalf("frame 1: %v %v", typ, err)
+	}
+	if got, err := ParseReplicate(body); err != nil || !reflect.DeepEqual(got, rep) {
+		t.Fatalf("replicate: %#v %v", got, err)
+	}
+	typ, body, err = dec.Next()
+	if err != nil || typ != FrameReplicateAck {
+		t.Fatalf("frame 2: %v %v", typ, err)
+	}
+	if got, err := ParseReplicateAck(body); err != nil || got != ack {
+		t.Fatalf("ack: %#v %v", got, err)
+	}
+	typ, body, err = dec.Next()
+	if err != nil || typ != FrameBatch {
+		t.Fatalf("frame 3: %v %v", typ, err)
+	}
+	st, sb, rest, err := ReadBatchFrame(body)
+	if err != nil || st != FrameReplicate {
+		t.Fatalf("sub 1: %v %v", st, err)
+	}
+	if got, err := ParseReplicate(sb); err != nil || !reflect.DeepEqual(got, rep) {
+		t.Fatalf("batched replicate: %#v %v", got, err)
+	}
+	st, sb, rest, err = ReadBatchFrame(rest)
+	if err != nil || st != FrameReplicateAck {
+		t.Fatalf("sub 2: %v %v", st, err)
+	}
+	if got, err := ParseReplicateAck(sb); err != nil || got != ack {
+		t.Fatalf("batched ack: %#v %v", got, err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+
+	for _, parse := range []func([]byte) error{
+		func(b []byte) error { _, err := ParseReplicate(b); return err },
+		func(b []byte) error { _, err := ParseReplicateAck(b); return err },
+	} {
+		if err := parse(nil); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("empty body: %v", err)
+		}
+	}
+}
+
+func TestHelloAddrTrailer(t *testing.T) {
+	// New builds advertise a listen address as a second trailing field.
+	h := Hello{Node: "n1", System: "S", MaxVersion: VersionCluster, Addr: "10.0.0.1:7000"}
+	got, err := ParseHello(AppendHello(nil, h))
+	if err != nil || got.Addr != h.Addr || got.MaxVersion != VersionCluster {
+		t.Fatalf("addr trailer: %#v %v", got, err)
+	}
+
+	// A body that stops at the MaxVersion uvarint (what pre-v7 builds
+	// emit) still parses, with an empty Addr.
+	legacy := AppendString(nil, "n1")
+	legacy = AppendString(legacy, "S")
+	legacy = append(legacy, 0) // zero components
+	legacy = append(legacy, VersionTrace)
+	got, err = ParseHello(legacy)
+	if err != nil || got.Addr != "" || got.MaxVersion != VersionTrace {
+		t.Fatalf("legacy hello: %#v %v", got, err)
+	}
+}
