@@ -117,6 +117,13 @@ type Node struct {
 	mu       sync.Mutex
 	peers    map[string]*peer
 	owners   map[string]string // component -> hosting peer id
+	// ownersAt records when each component's ownership last changed through
+	// an authoritative path (handshake, announce, migration rebind, local
+	// adoption). Gossip-learned claims are refused while the record is
+	// fresh: a just-migrated-away host keeps advertising the component for
+	// up to its load-meter cache window, and without the timestamp that
+	// stale claim would flip ownership back and misroute new calls.
+	ownersAt map[string]time.Time
 	gateways map[string]*gateway
 	blocked  map[string]bool // peers refused at handshake (partition testing)
 	repl     *Replicator     // outbound replication loop, nil until started
@@ -221,6 +228,7 @@ func Start(sys *core.System, opts Options) (*Node, error) {
 		ln:       ln,
 		peers:    map[string]*peer{},
 		owners:   map[string]string{},
+		ownersAt: map[string]time.Time{},
 		gateways: map[string]*gateway{},
 		blocked:  map[string]bool{},
 		standbys: map[string]standby{},
@@ -602,6 +610,7 @@ func (n *Node) learnOwner(comp, peerID string) {
 	}
 	n.mu.Lock()
 	n.owners[comp] = peerID
+	n.ownersAt[comp] = time.Now()
 	n.mu.Unlock()
 	if err := n.attachGateway(comp); err != nil {
 		n.opts.Logf("cluster %s: gateway for %s: %v", n.id, comp, err)
@@ -942,6 +951,7 @@ func (n *Node) migrateTo(component string, p *peer) error {
 	rebind := func() error {
 		n.mu.Lock()
 		n.owners[component] = p.id
+		n.ownersAt[component] = time.Now()
 		n.mu.Unlock()
 		return n.attachGateway(component)
 	}
@@ -998,6 +1008,7 @@ func (n *Node) AdoptLocal(component string) error {
 	}
 	n.mu.Lock()
 	delete(n.owners, component)
+	n.ownersAt[component] = time.Now()
 	n.mu.Unlock()
 	if warm {
 		n.opts.Logf("cluster %s: promoted %s warm (seq %d, %d bytes)",
@@ -1039,6 +1050,7 @@ func (n *Node) handleAnnounce(p *peer, a wire.Announce) {
 	n.mu.Lock()
 	if n.owners[a.Component] == p.id {
 		delete(n.owners, a.Component)
+		n.ownersAt[a.Component] = time.Now()
 	}
 	n.mu.Unlock()
 }
@@ -1110,14 +1122,22 @@ func (n *Node) handleGossip(p *peer, g wire.Gossip) {
 	for _, id := range eff.newlyDead {
 		n.memberDead(id, "gossip: declared dead by "+p.id)
 	}
+	// Gossiped self entries are built from a cached load meter, so for up to
+	// that cache window a host that just migrated a component away (or had
+	// it adopted out from under it) still advertises it. A claim that
+	// contradicts an ownership record younger than the stale-claim window is
+	// therefore presumed stale and dropped; once the window passes, only the
+	// real owner keeps claiming the component and the view converges.
+	staleClaim := 2 * n.opts.Heartbeat
 	for _, cl := range eff.claims {
 		if cl.owner == n.id {
 			continue
 		}
 		n.mu.Lock()
 		known := n.owners[cl.comp] == cl.owner
+		fresh := time.Since(n.ownersAt[cl.comp]) < staleClaim
 		n.mu.Unlock()
-		if !known {
+		if !known && !fresh {
 			n.learnOwner(cl.comp, cl.owner)
 		}
 	}

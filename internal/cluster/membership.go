@@ -9,9 +9,11 @@
 // Failure detection is converged suspicion rather than a single link's
 // watchdog verdict: losing a link marks the member *suspect*; a fresher
 // entry gossiped through any other path (the member bumps its entry version
-// every beacon) refutes the suspicion, a member seeing itself suspected
-// refutes with an incarnation bump, and only a suspicion that survives the
-// refute window unchallenged becomes dead and fires EvPeerDown. Links
+// every beacon) refutes the suspicion, a member seeing any entry for itself
+// that would outrank its own — an accusation at its incarnation, or any
+// higher incarnation — outbids it with an incarnation bump, and only a
+// suspicion that survives the refute window unchallenged becomes dead and
+// fires EvPeerDown. Links
 // negotiated below v7 keep the legacy behaviour — their death is declared
 // directly by the watchdog — so mixed-version clusters degrade gracefully.
 package cluster
@@ -243,11 +245,18 @@ func (mb *membership) merge(g wire.Gossip, linked map[string]bool) mergeEffects 
 	mb.mu.Lock()
 	for _, gm := range g.Members {
 		if gm.Node == mb.n.id {
-			// Refutation: someone thinks we are suspect or dead. Outbid
-			// them — a higher incarnation makes our next beacon win every
-			// merge against the accusation.
+			// Someone else holds an entry for us that would outrank our own
+			// beacons: either an accusation (suspect/dead at our incarnation)
+			// or any entry at a *higher* incarnation — e.g. the proxy
+			// resurrection linkUp performs on a peer's behalf after a
+			// partition heals. In both cases outbid it: adopting the highest
+			// incarnation seen for ourselves plus one makes our next beacon
+			// win every merge, so our load, component list and follower
+			// assignments keep propagating instead of freezing cluster-wide
+			// behind the foreign entry.
 			self := mb.entries[mb.n.id]
-			if gm.Status != wire.GossipAlive && gm.Incarnation >= self.m.Incarnation {
+			if gm.Incarnation > self.m.Incarnation ||
+				(gm.Incarnation == self.m.Incarnation && gm.Status != wire.GossipAlive) {
 				self.m.Incarnation = gm.Incarnation + 1
 			}
 			continue

@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// testMembership builds a membership table around a bare Node — enough for
+// the pure table logic (localView/merge/linkUp/suspect/sweep), which never
+// touches the network or the system.
+func testMembership(id string) *membership {
+	return newMembership(&Node{id: id, opts: Options{Heartbeat: 50 * time.Millisecond}}, "addr-"+id)
+}
+
+// TestMembershipProxyResurrectionRefuted pins the regression where a member
+// resurrected by a peer's linkUp (the proxy incarnation bump after a
+// partition heals) could be permanently outranked by that proxy entry: the
+// member must adopt any higher incarnation it sees for itself — even on an
+// Alive entry — so its own beacons win merges again and its load, component
+// list and follower assignments keep propagating.
+func TestMembershipProxyResurrectionRefuted(t *testing.T) {
+	a := testMembership("a")
+	b := testMembership("b")
+	linkedA := map[string]bool{"b": true}
+	linkedB := map[string]bool{"a": true}
+
+	// a learns b through a handshake plus b's first beacon.
+	a.linkUp("b", "addr-b", nil)
+	a.merge(b.localView(), linkedA)
+	bInc := mustMember(t, a, "b").Incarnation
+
+	// The link dies fully (2-node cluster: no third path can refute), the
+	// suspicion expires, b is dead in a's view.
+	a.suspect("b")
+	if dead := a.sweep(0); len(dead) != 1 || dead[0] != "b" {
+		t.Fatalf("sweep = %v, want [b]", dead)
+	}
+
+	// The partition heals: b re-links directly and a resurrects the dead
+	// entry as b's proxy, with an incarnation above b's own.
+	a.linkUp("b", "addr-b", nil)
+	proxy := mustMember(t, a, "b")
+	if proxy.Status != MemberAlive || proxy.Incarnation <= bInc {
+		t.Fatalf("proxy entry = %+v, want alive above incarnation %d", proxy, bInc)
+	}
+
+	// b merges a's view containing the proxy entry: it must outbid it, not
+	// ignore it because the status is Alive.
+	b.merge(a.localView(), linkedB)
+	self := mustMember(t, b, "b")
+	if self.Incarnation <= proxy.Incarnation {
+		t.Fatalf("self incarnation %d did not outbid proxy %d", self.Incarnation, proxy.Incarnation)
+	}
+
+	// b's next beacon must therefore win the merge at a: a adopts b's own
+	// entry (fresh incarnation and version) instead of keeping the frozen
+	// proxy row.
+	beacon := b.localView()
+	a.merge(beacon, linkedA)
+	got := mustMember(t, a, "b")
+	want := mustMember(t, b, "b")
+	if got.Incarnation != want.Incarnation || got.Version != want.Version {
+		t.Fatalf("a's entry for b = (inc %d, ver %d), want b's own (inc %d, ver %d): beacons lose to the proxy entry",
+			got.Incarnation, got.Version, want.Incarnation, want.Version)
+	}
+}
+
+// TestMembershipSuspicionRefutedByIncarnation is the classic SWIM refute: a
+// member that finds itself suspected at its current incarnation outbids the
+// accusation so its next beacon clears the suspicion everywhere.
+func TestMembershipSuspicionRefutedByIncarnation(t *testing.T) {
+	a := testMembership("a")
+	b := testMembership("b")
+
+	a.linkUp("b", "addr-b", nil)
+	a.merge(b.localView(), map[string]bool{"b": true})
+	a.suspect("b")
+	accused := mustMember(t, a, "b")
+
+	b.merge(a.localView(), map[string]bool{"a": true})
+	if self := mustMember(t, b, "b"); self.Incarnation <= accused.Incarnation {
+		t.Fatalf("self incarnation %d did not outbid the suspicion at %d", self.Incarnation, accused.Incarnation)
+	}
+
+	// The refuting beacon clears the suspicion without any linkUp clamp.
+	a.merge(b.localView(), map[string]bool{})
+	if got := mustMember(t, a, "b"); got.Status != MemberAlive {
+		t.Fatalf("b still %s at a after the refuting beacon, want alive", got.Status)
+	}
+}
+
+func mustMember(t *testing.T, mb *membership, id string) Member {
+	t.Helper()
+	m, ok := mb.member(id)
+	if !ok {
+		t.Fatalf("member %s unknown", id)
+	}
+	return m
+}

@@ -259,13 +259,15 @@ type standby struct {
 
 // handleReplicate stores an inbound snapshot and acks it. The intake is
 // unconditional — holding a few snapshot byte slices is cheap insurance —
-// and last-writer-wins per component: a newer sequence from the same origin
-// replaces, a different origin replaces outright (the component migrated
-// and its new home re-replicated).
+// and last-writer-wins per component: a strictly newer sequence from the
+// same origin replaces (at-or-below is a replay and is ignored, per the
+// wire.Replicate contract, though still acked), while a different origin
+// replaces outright (the component migrated and its new home
+// re-replicated).
 func (n *Node) handleReplicate(p *peer, r wire.Replicate) {
 	n.smu.Lock()
 	cur, ok := n.standbys[r.Component]
-	if !ok || cur.origin != p.id || r.Seq >= cur.seq {
+	if !ok || cur.origin != p.id || r.Seq > cur.seq {
 		n.standbys[r.Component] = standby{
 			origin: p.id, seq: r.Seq,
 			state: append([]byte(nil), r.State...),
